@@ -1,0 +1,73 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers -----*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the figure-reproduction benches: wall-clock timing,
+/// fastest-of-N measurement (the paper takes the fastest of three runs,
+/// Section 6 "Setup"), corpus loading, and table printing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_BENCH_BENCHUTIL_H
+#define TRUEDIFF_BENCH_BENCHUTIL_H
+
+#include "corpus/Corpus.h"
+#include "support/Stats.h"
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace truediff {
+namespace bench {
+
+using Clock = std::chrono::steady_clock;
+
+inline double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+/// Runs \p Fn \p Runs times and returns the fastest wall time in ms.
+inline double fastestMs(unsigned Runs, const std::function<void()> &Fn) {
+  double Best = 1e300;
+  for (unsigned I = 0; I != Runs; ++I) {
+    auto Start = Clock::now();
+    Fn();
+    Best = std::min(Best, msSince(Start));
+  }
+  return Best;
+}
+
+/// Builds the default evaluation corpus. NumPairs scales run time;
+/// overridable via argv[1].
+inline std::vector<corpus::CommitPair> defaultCorpus(int Argc, char **Argv,
+                                                     unsigned NumPairs) {
+  corpus::CorpusOptions Opts;
+  Opts.NumPairs = NumPairs;
+  if (Argc > 1)
+    Opts.NumPairs = static_cast<unsigned>(std::atoi(Argv[1]));
+  std::printf("# corpus: %u commit pairs (seed %llu)\n", Opts.NumPairs,
+              static_cast<unsigned long long>(Opts.Seed));
+  return corpus::buildCommitCorpus(Opts);
+}
+
+inline void printHeader(const char *Title) {
+  std::printf("\n== %s ==\n", Title);
+  std::printf("%-28s %10s %10s %10s %10s %12s %10s %8s\n", "series", "min",
+              "q1", "median", "q3", "max", "mean", "n");
+}
+
+inline void printRow(const std::string &Label,
+                     const std::vector<double> &Values) {
+  std::printf("%s\n", formatBoxRow(Label, BoxStats::of(Values)).c_str());
+}
+
+} // namespace bench
+} // namespace truediff
+
+#endif // TRUEDIFF_BENCH_BENCHUTIL_H

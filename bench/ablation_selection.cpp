@@ -1,0 +1,84 @@
+//===- bench/ablation_selection.cpp - Ablations of truediff's Step 3 -------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ablation study of the two candidate-selection ingredients the paper
+/// motivates in Sections 4.1 and 4.3 (DESIGN.md E9/E10):
+///
+///  - preferring literally equivalent (exact-copy) candidates before any
+///    structurally equivalent one;
+///  - traversing target subtrees highest-first (vs plain FIFO/BFS),
+///    which avoids subtree fragmentation.
+///
+/// Reports patch sizes and diff times per configuration over the corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "python/Python.h"
+#include "truediff/TrueDiff.h"
+
+using namespace truediff;
+using namespace truediff::bench;
+
+int main(int Argc, char **Argv) {
+  std::printf("ablation_selection: truediff candidate-selection ablations "
+              "(DESIGN.md E9/E10)\n");
+  SignatureTable Sig = python::makePythonSignature();
+  std::vector<corpus::CommitPair> Pairs = defaultCorpus(Argc, Argv, 200);
+
+  struct Config {
+    const char *Name;
+    TrueDiffOptions Opts;
+  };
+  Config Configs[3];
+  Configs[0].Name = "full (paper)";
+  Configs[1].Name = "no literal preference";
+  Configs[1].Opts.PreferLiteralMatches = false;
+  Configs[2].Name = "FIFO instead of height";
+  Configs[2].Opts.HeightPriority = false;
+
+  std::vector<double> Sizes[3], Times[3], Updates[3];
+
+  for (const corpus::CommitPair &Pair : Pairs) {
+    TreeContext Ctx(Sig);
+    auto Before = python::parsePython(Ctx, Pair.Before);
+    auto After = python::parsePython(Ctx, Pair.After);
+    if (!Before.ok() || !After.ok())
+      continue;
+
+    for (int C = 0; C != 3; ++C) {
+      size_t Size = 0, NumUpdates = 0;
+      double Ms = fastestMs(3, [&] {
+        Tree *Src = Ctx.deepCopy(Before.Module);
+        Tree *Dst = Ctx.deepCopy(After.Module);
+        TrueDiff Differ(Ctx, Configs[C].Opts);
+        DiffResult R = Differ.compareTo(Src, Dst);
+        Size = R.Script.coalescedSize();
+        NumUpdates = 0;
+        for (const Edit &E : R.Script.edits())
+          NumUpdates += E.Kind == EditKind::Update;
+      });
+      Sizes[C].push_back(static_cast<double>(Size));
+      Times[C].push_back(Ms);
+      Updates[C].push_back(static_cast<double>(NumUpdates));
+    }
+  }
+
+  printHeader("patch size (coalesced edits)");
+  for (int C = 0; C != 3; ++C)
+    printRow(Configs[C].Name, Sizes[C]);
+
+  printHeader("update edits per patch (exact copies avoid updates)");
+  for (int C = 0; C != 3; ++C)
+    printRow(Configs[C].Name, Updates[C]);
+
+  printHeader("diff time (ms, fastest of 3)");
+  for (int C = 0; C != 3; ++C)
+    printRow(Configs[C].Name, Times[C]);
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===- bench/fig4_conciseness.cpp - Reproduces paper Figure 4 --------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 4 of the paper: edit-script conciseness as box plots of the
+/// patch-size *difference* (left plot: hdiff - truediff and
+/// gumtree - truediff) and the patch-size *ratio* (right plot:
+/// hdiff/truediff and gumtree/truediff) over the commit corpus.
+///
+/// Patch sizes follow the paper's counting: compound edits for truediff
+/// (Load+Attach / Detach+Unload of the same node count once), actions for
+/// Gumtree, constructors mentioned in the rewriting for hdiff. Extra rows
+/// report the Lempsink-style Cpy/Ins/Del baseline (DESIGN.md E7).
+///
+/// Expected shape: hdiff/truediff around an order of magnitude (paper:
+/// mean 18.8x), gumtree/truediff near 1 (paper: mean 1.01x).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "gumtree/GumTree.h"
+#include "hdiff/HDiff.h"
+#include "lcsdiff/LcsDiff.h"
+#include "python/Python.h"
+#include "truediff/TrueDiff.h"
+
+using namespace truediff;
+using namespace truediff::bench;
+
+int main(int Argc, char **Argv) {
+  std::printf("fig4_conciseness: patch-size difference and ratio "
+              "(paper Figure 4)\n");
+  SignatureTable Sig = python::makePythonSignature();
+  std::vector<corpus::CommitPair> Pairs = defaultCorpus(Argc, Argv, 300);
+
+  std::vector<double> TrueDiffSizes, GumtreeSizes, HdiffSizes, LcsSizes,
+      LcsChanges;
+  std::vector<double> HdiffMinusTruediff, GumtreeMinusTruediff,
+      LcsMinusTruediff;
+  std::vector<double> HdiffOverTruediff, GumtreeOverTruediff,
+      LcsOverTruediff;
+
+  for (const corpus::CommitPair &Pair : Pairs) {
+    TreeContext Ctx(Sig);
+    gumtree::RoseForest Forest;
+    auto Before = python::parsePython(Ctx, Pair.Before);
+    auto After = python::parsePython(Ctx, Pair.After);
+    if (!Before.ok() || !After.ok())
+      continue;
+
+    hdiff::HDiff HDiffer(Ctx);
+    double Hdiff = static_cast<double>(
+        HDiffer.diff(Before.Module, After.Module).numConstructors());
+
+    lcsdiff::LcsScript Lcs = lcsdiff::lcsDiff(Before.Module, After.Module);
+    double LcsSize = static_cast<double>(Lcs.size());
+
+    double Gumtree = static_cast<double>(
+        gumtree::gumtreeDiff(Forest, Forest.fromTree(Sig, Before.Module),
+                             Forest.fromTree(Sig, After.Module))
+            .patchSize());
+
+    TrueDiff Differ(Ctx);
+    double Truediff = static_cast<double>(
+        Differ.compareTo(Before.Module, After.Module)
+            .Script.coalescedSize());
+
+    TrueDiffSizes.push_back(Truediff);
+    GumtreeSizes.push_back(Gumtree);
+    HdiffSizes.push_back(Hdiff);
+    LcsSizes.push_back(LcsSize);
+    LcsChanges.push_back(static_cast<double>(Lcs.numChanges()));
+
+    HdiffMinusTruediff.push_back(Hdiff - Truediff);
+    GumtreeMinusTruediff.push_back(Gumtree - Truediff);
+    LcsMinusTruediff.push_back(LcsSize - Truediff);
+    if (Truediff > 0) {
+      HdiffOverTruediff.push_back(Hdiff / Truediff);
+      GumtreeOverTruediff.push_back(Gumtree / Truediff);
+      LcsOverTruediff.push_back(LcsSize / Truediff);
+    }
+  }
+
+  printHeader("patch sizes (absolute)");
+  printRow("truediff", TrueDiffSizes);
+  printRow("gumtree", GumtreeSizes);
+  printRow("hdiff", HdiffSizes);
+  printRow("lcsdiff (all ops)", LcsSizes);
+  printRow("lcsdiff (ins+del only)", LcsChanges);
+
+  printHeader("Figure 4 left: patch size difference");
+  printRow("hdiff - truediff", HdiffMinusTruediff);
+  printRow("gumtree - truediff", GumtreeMinusTruediff);
+  printRow("lcsdiff - truediff", LcsMinusTruediff);
+
+  printHeader("Figure 4 right: patch size ratio");
+  printRow("hdiff / truediff", HdiffOverTruediff);
+  printRow("gumtree / truediff", GumtreeOverTruediff);
+  printRow("lcsdiff / truediff", LcsOverTruediff);
+  return 0;
+}

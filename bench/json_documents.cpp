@@ -1,0 +1,93 @@
+//===- bench/json_documents.cpp - JSON substrate benchmark (E12) -----------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extension experiment (DESIGN.md E12): the paper's evaluation uses
+/// Python; this bench repeats the conciseness and throughput comparison
+/// on JSON documents -- the database use case of Section 1 -- to show the
+/// results are not Python-specific. Same protocol as fig4/fig5: patch
+/// sizes per tool and fastest-of-3 throughput with hashing included.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "corpus/JsonGen.h"
+#include "gumtree/GumTree.h"
+#include "hdiff/HDiff.h"
+#include "json/Json.h"
+#include "lcsdiff/LcsDiff.h"
+#include "truediff/TrueDiff.h"
+
+using namespace truediff;
+using namespace truediff::bench;
+
+int main(int Argc, char **Argv) {
+  std::printf("json_documents: conciseness and throughput on JSON "
+              "(extension E12)\n");
+  unsigned NumPairs = 200;
+  if (Argc > 1)
+    NumPairs = static_cast<unsigned>(std::atoi(Argv[1]));
+  std::printf("# %u document pairs (seed 7)\n", NumPairs);
+
+  SignatureTable Sig = json::makeJsonSignature();
+  Rng R(7);
+
+  std::vector<double> TruediffSizes, GumtreeSizes, HdiffSizes, LcsSizes;
+  std::vector<double> TruediffThroughput, GumtreeThroughput;
+
+  for (unsigned Pair = 0; Pair != NumPairs; ++Pair) {
+    TreeContext Ctx(Sig);
+    corpus::JsonGenOptions Gen;
+    Gen.MaxDepth = 5;
+    Tree *Before = corpus::generateJson(Ctx, R, Gen);
+    Tree *After = corpus::mutateJson(Ctx, R, Before);
+    double Nodes = static_cast<double>(Before->size() + After->size());
+
+    gumtree::RoseForest Forest;
+    double GumtreeSize = static_cast<double>(
+        gumtree::gumtreeDiff(Forest, Forest.fromTree(Sig, Before),
+                             Forest.fromTree(Sig, After))
+            .patchSize());
+    hdiff::HDiff HDiffer(Ctx);
+    double HdiffSize =
+        static_cast<double>(HDiffer.diff(Before, After).numConstructors());
+    double LcsSize =
+        static_cast<double>(lcsdiff::lcsDiff(Before, After).size());
+
+    size_t TruediffSize = 0;
+    double TD = fastestMs(3, [&] {
+      Tree *Src = Ctx.deepCopy(Before);
+      Tree *Dst = Ctx.deepCopy(After);
+      TrueDiff Differ(Ctx);
+      TruediffSize = Differ.compareTo(Src, Dst).Script.coalescedSize();
+    });
+    double GT = fastestMs(3, [&] {
+      gumtree::RoseForest LocalForest;
+      (void)gumtree::gumtreeDiff(LocalForest,
+                                 LocalForest.fromTree(Sig, Before),
+                                 LocalForest.fromTree(Sig, After));
+    });
+
+    TruediffSizes.push_back(static_cast<double>(TruediffSize));
+    GumtreeSizes.push_back(GumtreeSize);
+    HdiffSizes.push_back(HdiffSize);
+    LcsSizes.push_back(LcsSize);
+    TruediffThroughput.push_back(Nodes / TD);
+    GumtreeThroughput.push_back(Nodes / GT);
+  }
+
+  printHeader("patch sizes on JSON documents");
+  printRow("truediff", TruediffSizes);
+  printRow("gumtree", GumtreeSizes);
+  printRow("hdiff", HdiffSizes);
+  printRow("lcsdiff (all ops)", LcsSizes);
+
+  printHeader("throughput (nodes/ms, fastest of 3)");
+  printRow("truediff", TruediffThroughput);
+  printRow("gumtree", GumtreeThroughput);
+  return 0;
+}

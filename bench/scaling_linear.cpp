@@ -1,0 +1,79 @@
+//===- bench/scaling_linear.cpp - Validates Theorem 4.1 (linear time) ------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Theorem 4.1 claims truediff runs in O(m + n). This bench diffs
+/// generated modules of growing size against lightly mutated versions and
+/// prints time per node; a flat final column confirms linearity. Gumtree
+/// is measured on the smaller sizes for contrast (its matching is
+/// superlinear), as is hdiff.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "gumtree/GumTree.h"
+#include "hdiff/HDiff.h"
+#include "python/Python.h"
+#include "truediff/TrueDiff.h"
+
+using namespace truediff;
+using namespace truediff::bench;
+
+int main(int Argc, char **Argv) {
+  std::printf("scaling_linear: truediff run time vs tree size "
+              "(Theorem 4.1)\n\n");
+  SignatureTable Sig = python::makePythonSignature();
+
+  uint64_t MaxSize = 300000;
+  if (Argc > 1)
+    MaxSize = static_cast<uint64_t>(std::atoll(Argv[1]));
+
+  std::printf("%10s %14s %14s %14s %16s\n", "nodes", "truediff(ms)",
+              "us/node", "gumtree(ms)", "hdiff(ms)");
+
+  for (uint64_t Size = 1000; Size <= MaxSize; Size *= 3) {
+    TreeContext Ctx(Sig);
+    Rng R(Size);
+    Tree *Base = corpus::generateModuleOfSize(Ctx, R, Size);
+    corpus::MutatorOptions Mut;
+    Mut.MinOps = 4;
+    Mut.MaxOps = 4;
+    Tree *Target = corpus::mutateModule(Ctx, R, Base, Mut);
+    double Nodes = static_cast<double>(Base->size() + Target->size());
+
+    double TD = fastestMs(3, [&] {
+      Tree *Src = Ctx.deepCopy(Base);
+      Tree *Dst = Ctx.deepCopy(Target);
+      TrueDiff Differ(Ctx);
+      (void)Differ.compareTo(Src, Dst);
+    });
+
+    // Baselines only at moderate sizes; they dominate the bench time
+    // beyond that.
+    double GT = -1, HD = -1;
+    if (Base->size() <= 30000) {
+      GT = fastestMs(2, [&] {
+        gumtree::RoseForest Forest;
+        (void)gumtree::gumtreeDiff(Forest, Forest.fromTree(Sig, Base),
+                                   Forest.fromTree(Sig, Target));
+      });
+      HD = fastestMs(2, [&] {
+        Tree *Src = Ctx.deepCopy(Base);
+        Tree *Dst = Ctx.deepCopy(Target);
+        hdiff::HDiff Differ(Ctx);
+        (void)Differ.diff(Src, Dst);
+      });
+    }
+
+    std::printf("%10llu %14.2f %14.4f %14.2f %16.2f\n",
+                static_cast<unsigned long long>(Base->size()), TD,
+                TD * 1000.0 / Nodes, GT, HD);
+  }
+  std::printf("\n# a flat us/node column indicates linear run time "
+              "(Theorem 4.1)\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- examples/version_history.cpp - Diffing a commit history -------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simulates a commit history over a generated Python file (the repo's
+/// stand-in for the paper's keras corpus) and compares, per commit, the
+/// patch sizes of all four diffing approaches:
+///
+///   truediff  - concise AND type-safe (this paper)
+///   gumtree   - concise but untyped (Chawathe-style actions)
+///   hdiff     - type-safe but patches grow with the trees
+///   lcsdiff   - type-safe but no moves; scripts span the traversal
+///
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+#include "gumtree/GumTree.h"
+#include "hdiff/HDiff.h"
+#include "lcsdiff/LcsDiff.h"
+#include "python/Python.h"
+#include "truediff/TrueDiff.h"
+
+#include <cstdio>
+
+using namespace truediff;
+
+int main() {
+  SignatureTable Sig = python::makePythonSignature();
+  TreeContext Gen(Sig);
+  Rng R(7);
+
+  Tree *Current = corpus::generateModule(Gen, R);
+  std::string CurrentSrc = python::unparsePython(Sig, Current);
+  std::printf("simulating 10 commits on a file with %llu AST nodes\n\n",
+              static_cast<unsigned long long>(Current->size()));
+  std::printf("%-8s %-34s %9s %9s %9s %9s\n", "commit", "mutations",
+              "truediff", "gumtree", "hdiff", "lcsdiff");
+
+  for (int Commit = 1; Commit <= 10; ++Commit) {
+    corpus::MutationReport Report;
+    Tree *Next = corpus::mutateModule(Gen, R, Current, corpus::MutatorOptions(),
+                                      &Report);
+    std::string NextSrc = python::unparsePython(Sig, Next);
+
+    // Run the full pipeline like the benches: parse fresh trees.
+    TreeContext Ctx(Sig);
+    Tree *Before = python::parsePython(Ctx, CurrentSrc).Module;
+    Tree *After = python::parsePython(Ctx, NextSrc).Module;
+
+    gumtree::RoseForest Forest;
+    size_t Gumtree =
+        gumtree::gumtreeDiff(Forest, Forest.fromTree(Sig, Before),
+                             Forest.fromTree(Sig, After))
+            .patchSize();
+    hdiff::HDiff HDiffer(Ctx);
+    size_t Hdiff = HDiffer.diff(Before, After).numConstructors();
+    size_t Lcs = lcsdiff::lcsDiff(Before, After).size();
+    TrueDiff Differ(Ctx);
+    size_t Truediff =
+        Differ.compareTo(Before, After).Script.coalescedSize();
+
+    std::string Mutations;
+    for (size_t I = 0; I != Report.Applied.size() && I != 2; ++I) {
+      if (I != 0)
+        Mutations += ",";
+      Mutations += corpus::mutationKindName(Report.Applied[I]);
+    }
+    if (Report.Applied.size() > 2)
+      Mutations += ",...";
+
+    std::printf("%-8d %-34s %9zu %9zu %9zu %9zu\n", Commit,
+                Mutations.c_str(), Truediff, Gumtree, Hdiff, Lcs);
+
+    Current = Next;
+    CurrentSrc = std::move(NextSrc);
+  }
+
+  std::printf("\ntruediff patches stay proportional to the change; hdiff "
+              "and lcsdiff grow with the file.\n");
+  return 0;
+}

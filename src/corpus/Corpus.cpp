@@ -1,0 +1,42 @@
+//===- corpus/Corpus.cpp - Synthetic commit-history corpus -----------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Corpus.h"
+
+#include "python/Python.h"
+
+using namespace truediff;
+using namespace truediff::corpus;
+
+std::vector<CommitPair>
+truediff::corpus::buildCommitCorpus(const CorpusOptions &Opts) {
+  SignatureTable Sig = python::makePythonSignature();
+  Rng R(Opts.Seed);
+
+  std::vector<CommitPair> Pairs;
+  Pairs.reserve(Opts.NumPairs);
+
+  while (Pairs.size() < Opts.NumPairs) {
+    // One fresh file, then a chain of commits against it. Each file uses
+    // its own context so arena memory is bounded per history.
+    TreeContext Ctx(Sig);
+    Tree *Current = generateModule(Ctx, R, Opts.Gen);
+    std::string CurrentSrc = python::unparsePython(Sig, Current);
+
+    for (unsigned Commit = 0;
+         Commit != Opts.CommitsPerFile && Pairs.size() < Opts.NumPairs;
+         ++Commit) {
+      MutationReport Report;
+      Tree *Next = mutateModule(Ctx, R, Current, Opts.Mut, &Report);
+      std::string NextSrc = python::unparsePython(Sig, Next);
+      if (NextSrc != CurrentSrc)
+        Pairs.push_back(CommitPair{CurrentSrc, NextSrc, Report.Applied});
+      Current = Next;
+      CurrentSrc = std::move(NextSrc);
+    }
+  }
+  return Pairs;
+}

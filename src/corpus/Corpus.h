@@ -1,0 +1,53 @@
+//===- corpus/Corpus.h - Synthetic commit-history corpus --------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the evaluation corpus: a set of (before, after) source-file
+/// pairs produced by simulating commit histories over generated Python
+/// modules. This substitutes for the paper's 2393 changed keras files
+/// from 500 commits (see DESIGN.md). Pairs are plain source text, so
+/// every benchmark runs the full pipeline: parse, hash, diff.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_CORPUS_CORPUS_H
+#define TRUEDIFF_CORPUS_CORPUS_H
+
+#include "corpus/Mutator.h"
+#include "corpus/PyGen.h"
+
+#include <string>
+#include <vector>
+
+namespace truediff {
+namespace corpus {
+
+/// One changed file in one commit.
+struct CommitPair {
+  std::string Before;
+  std::string After;
+  /// Which mutation kinds produced After from Before.
+  std::vector<MutationKind> Mutations;
+};
+
+struct CorpusOptions {
+  /// Total number of (before, after) pairs.
+  unsigned NumPairs = 300;
+  /// Consecutive commits simulated per generated file; pairs chain:
+  /// commit i's After is commit i+1's Before.
+  unsigned CommitsPerFile = 10;
+  uint64_t Seed = 42;
+  PyGenOptions Gen;
+  MutatorOptions Mut;
+};
+
+/// Builds the corpus deterministically from the seed.
+std::vector<CommitPair> buildCommitCorpus(const CorpusOptions &Opts);
+
+} // namespace corpus
+} // namespace truediff
+
+#endif // TRUEDIFF_CORPUS_CORPUS_H

@@ -1,0 +1,201 @@
+//===- corpus/JsonGen.cpp - Random JSON documents and edits ----------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/JsonGen.h"
+
+#include "corpus/Sketch.h"
+
+using namespace truediff;
+using namespace truediff::corpus;
+
+namespace {
+
+const char *Keys[] = {"name",   "rate",  "mode",    "layers", "units",
+                      "config", "jobs",  "enabled", "id",     "path",
+                      "limit",  "cache", "shards",  "epochs"};
+const char *Strings[] = {"fast", "slow", "auto", "relu", "adam",
+                         "prod", "dev",  "gpu",  "cpu"};
+
+class JsonGenerator {
+public:
+  JsonGenerator(TreeContext &Ctx, Rng &R, const JsonGenOptions &Opts)
+      : Ctx(Ctx), R(R), Opts(Opts) {}
+
+  Tree *value(unsigned Depth) {
+    if (Depth == 0 || R.chance(35))
+      return scalar();
+    return R.chance(50) ? array(Depth) : object(Depth);
+  }
+
+private:
+  Tree *scalar() {
+    switch (R.below(4)) {
+    case 0:
+      return Ctx.make("JNull", {}, {});
+    case 1:
+      return Ctx.make("JBool", {}, {Literal(R.chance(50))});
+    case 2:
+      return Ctx.make(
+          "JNumber", {},
+          {Literal(static_cast<double>(R.range(0, 1000)) / 10.0)});
+    default:
+      return Ctx.make("JString", {}, {Literal(Strings[R.below(9)])});
+    }
+  }
+
+  Tree *array(unsigned Depth) {
+    Tree *List = Ctx.make("ElemNil", {}, {});
+    for (unsigned I = 1 + static_cast<unsigned>(R.below(Opts.MaxFanout));
+         I-- > 0;)
+      List = Ctx.make("ElemCons", {value(Depth - 1), List}, {});
+    return Ctx.make("JArray", {List}, {});
+  }
+
+  Tree *object(unsigned Depth) {
+    Tree *List = Ctx.make("MemberNil", {}, {});
+    for (unsigned I = 1 + static_cast<unsigned>(R.below(Opts.MaxFanout));
+         I-- > 0;) {
+      Tree *Member = Ctx.make("Member", {value(Depth - 1)},
+                              {Literal(Keys[R.below(14)])});
+      List = Ctx.make("MemberCons", {Member, List}, {});
+    }
+    return Ctx.make("JObject", {List}, {});
+  }
+
+  TreeContext &Ctx;
+  Rng &R;
+  const JsonGenOptions &Opts;
+};
+
+/// Sketch-level JSON edits.
+class JsonMutator {
+public:
+  JsonMutator(const SignatureTable &Sig, Rng &R) : Sig(Sig), R(R) {
+    NumberTag = Sig.lookup("JNumber");
+    StringTag = Sig.lookup("JString");
+    BoolTag = Sig.lookup("JBool");
+    MemberTag = Sig.lookup("Member");
+  }
+
+  bool apply(TreeSketch &Doc) {
+    switch (R.below(6)) {
+    case 0: // change a number
+      return changeLit(Doc, NumberTag, [&] {
+        return Literal(static_cast<double>(R.range(0, 1000)) / 10.0);
+      });
+    case 1: // change a string
+      return changeLit(Doc, StringTag,
+                       [&] { return Literal(Strings[R.below(9)]); });
+    case 2: // flip a bool
+      return changeLit(Doc, BoolTag, [&] { return Literal(R.chance(50)); });
+    case 3: // rename a member key
+      return changeLit(Doc, MemberTag,
+                       [&] { return Literal(Keys[R.below(14)]); });
+    case 4: // splice an array: insert, delete, or rotate one element
+      return spliceList(Doc, "ElemCons", "ElemNil", [&](auto &Elems) {
+        if (Elems.empty() || R.chance(50)) {
+          TreeSketch Fresh;
+          Fresh.Tag = NumberTag;
+          Fresh.Lits.push_back(
+              Literal(static_cast<double>(R.range(0, 99))));
+          Elems.insert(Elems.begin() +
+                           static_cast<long>(R.below(Elems.size() + 1)),
+                       std::move(Fresh));
+        } else if (Elems.size() >= 2 && R.chance(50)) {
+          std::rotate(Elems.begin(), Elems.begin() + 1, Elems.end());
+        } else {
+          Elems.erase(Elems.begin() +
+                      static_cast<long>(R.below(Elems.size())));
+        }
+        return true;
+      });
+    default: // splice an object: move or remove one member
+      return spliceList(Doc, "MemberCons", "MemberNil", [&](auto &Members) {
+        if (Members.size() < 2)
+          return false;
+        if (R.chance(60)) {
+          size_t From = R.below(Members.size());
+          TreeSketch Moved = std::move(Members[From]);
+          Members.erase(Members.begin() + static_cast<long>(From));
+          Members.insert(Members.begin() +
+                             static_cast<long>(R.below(Members.size() + 1)),
+                         std::move(Moved));
+        } else {
+          Members.erase(Members.begin() +
+                        static_cast<long>(R.below(Members.size())));
+        }
+        return true;
+      });
+    }
+  }
+
+private:
+  bool changeLit(TreeSketch &Doc, TagId Tag,
+                 const std::function<Literal()> &Fresh) {
+    std::vector<TreeSketch *> Sites;
+    Doc.foreach([&](TreeSketch &N) {
+      if (N.Tag == Tag)
+        Sites.push_back(&N);
+    });
+    if (Sites.empty())
+      return false;
+    Sites[R.below(Sites.size())]->Lits[0] = Fresh();
+    return true;
+  }
+
+  bool
+  spliceList(TreeSketch &Doc, std::string_view ConsName,
+             std::string_view NilName,
+             const std::function<bool(std::vector<TreeSketch> &)> &Edit) {
+    TagId Cons = Sig.lookup(ConsName);
+    TagId Nil = Sig.lookup(NilName);
+    // List heads: kids of JArray/JObject nodes.
+    std::vector<TreeSketch *> Heads;
+    Doc.foreach([&](TreeSketch &N) {
+      for (TreeSketch &Kid : N.Kids)
+        if (Kid.Tag == Cons || Kid.Tag == Nil)
+          Heads.push_back(&Kid);
+    });
+    if (Heads.empty())
+      return false;
+    TreeSketch *Head = Heads[R.below(Heads.size())];
+    std::vector<TreeSketch> Elems = listToVector(Sig, *Head);
+    if (!Edit(Elems))
+      return false;
+    *Head = vectorToList(Sig, ConsName, NilName, std::move(Elems));
+    return true;
+  }
+
+  const SignatureTable &Sig;
+  Rng &R;
+  TagId NumberTag, StringTag, BoolTag, MemberTag;
+};
+
+} // namespace
+
+Tree *truediff::corpus::generateJson(TreeContext &Ctx, Rng &R,
+                                     const JsonGenOptions &Opts) {
+  // Top level is always an object, like real configuration documents.
+  JsonGenerator Gen(Ctx, R, Opts);
+  Tree *List = Ctx.make("MemberNil", {}, {});
+  for (unsigned I = 0; I != Opts.MaxFanout; ++I) {
+    Tree *Member = Ctx.make("Member", {Gen.value(Opts.MaxDepth)},
+                            {Literal(Keys[R.below(14)])});
+    List = Ctx.make("MemberCons", {Member, List}, {});
+  }
+  return Ctx.make("JObject", {List}, {});
+}
+
+Tree *truediff::corpus::mutateJson(TreeContext &Ctx, Rng &R, const Tree *Doc,
+                                   unsigned MaxOps) {
+  TreeSketch Sketch = TreeSketch::of(Doc);
+  JsonMutator M(Ctx.signatures(), R);
+  unsigned Ops = 1 + static_cast<unsigned>(R.below(MaxOps));
+  unsigned Applied = 0;
+  for (unsigned Attempt = 0; Applied < Ops && Attempt < Ops * 8; ++Attempt)
+    Applied += M.apply(Sketch);
+  return Sketch.build(Ctx);
+}

@@ -1,0 +1,42 @@
+//===- corpus/JsonGen.h - Random JSON documents and edits -------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Workload generator for the JSON substrate: nested configuration-style
+/// documents and realistic document edits (value changes, member
+/// insertion/removal, array splices, member moves). Exercises the
+/// paper's database use case (Section 1) on a second signature.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_CORPUS_JSONGEN_H
+#define TRUEDIFF_CORPUS_JSONGEN_H
+
+#include "support/Rng.h"
+#include "tree/Tree.h"
+
+namespace truediff {
+namespace corpus {
+
+struct JsonGenOptions {
+  unsigned MaxDepth = 4;
+  unsigned MaxFanout = 6;
+};
+
+/// Generates a random JSON document tree in \p Ctx (signature:
+/// json::makeJsonSignature()).
+Tree *generateJson(TreeContext &Ctx, Rng &R,
+                   const JsonGenOptions &Opts = JsonGenOptions());
+
+/// Returns an edited copy of \p Doc (fresh tree; input untouched),
+/// applying 1..MaxOps random document edits.
+Tree *mutateJson(TreeContext &Ctx, Rng &R, const Tree *Doc,
+                 unsigned MaxOps = 3);
+
+} // namespace corpus
+} // namespace truediff
+
+#endif // TRUEDIFF_CORPUS_JSONGEN_H

@@ -1,0 +1,370 @@
+//===- corpus/Mutator.cpp - Commit-simulating tree mutations ---------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/Mutator.h"
+
+#include "corpus/Sketch.h"
+
+#include <cassert>
+
+using namespace truediff;
+using namespace truediff::corpus;
+
+const char *truediff::corpus::mutationKindName(MutationKind Kind) {
+  switch (Kind) {
+  case MutationKind::RenameIdentifier:
+    return "rename-identifier";
+  case MutationKind::ChangeNumber:
+    return "change-number";
+  case MutationKind::ChangeString:
+    return "change-string";
+  case MutationKind::ChangeOperator:
+    return "change-operator";
+  case MutationKind::InsertStatement:
+    return "insert-statement";
+  case MutationKind::DeleteStatement:
+    return "delete-statement";
+  case MutationKind::DuplicateStatement:
+    return "duplicate-statement";
+  case MutationKind::SwapStatements:
+    return "swap-statements";
+  case MutationKind::MoveStatement:
+    return "move-statement";
+  case MutationKind::WrapInIf:
+    return "wrap-in-if";
+  case MutationKind::ReorderTopLevel:
+    return "reorder-top-level";
+  }
+  return "<unknown>";
+}
+
+namespace {
+
+const char *FreshNames[] = {"tmp", "buf", "delta", "scale", "bias",
+                            "count", "flag", "cache"};
+const char *FreshStrings[] = {"tanh", "sigmoid", "sgd", "same", "linear"};
+
+class Mutator {
+public:
+  Mutator(const SignatureTable &Sig, Rng &R) : Sig(Sig), R(R) {
+    StmtConsTag = Sig.lookup("StmtCons");
+    NameTag = Sig.lookup("Name");
+    ParamTag = Sig.lookup("Param");
+    FuncDefTag = Sig.lookup("FuncDef");
+    AttributeTag = Sig.lookup("Attribute");
+    IntLitTag = Sig.lookup("IntLit");
+    FloatLitTag = Sig.lookup("FloatLit");
+    StrLitTag = Sig.lookup("StrLit");
+    BinOpTag = Sig.lookup("BinOp");
+    CompareTag = Sig.lookup("Compare");
+    BoolOpTag = Sig.lookup("BoolOp");
+    AugAssignTag = Sig.lookup("AugAssign");
+    ModuleTag = Sig.lookup("Module");
+  }
+
+  bool apply(TreeSketch &Module, MutationKind Kind) {
+    switch (Kind) {
+    case MutationKind::RenameIdentifier:
+      return renameIdentifier(Module);
+    case MutationKind::ChangeNumber:
+      return changeNumber(Module);
+    case MutationKind::ChangeString:
+      return changeString(Module);
+    case MutationKind::ChangeOperator:
+      return changeOperator(Module);
+    case MutationKind::InsertStatement:
+      return spliceBody(Module, [this](std::vector<TreeSketch> &Stmts) {
+        Stmts.insert(Stmts.begin() +
+                         static_cast<long>(R.below(Stmts.size() + 1)),
+                     freshStatement());
+        return true;
+      });
+    case MutationKind::DeleteStatement:
+      return spliceBody(Module, [this](std::vector<TreeSketch> &Stmts) {
+        if (Stmts.size() < 2)
+          return false; // keep bodies non-empty
+        Stmts.erase(Stmts.begin() + static_cast<long>(R.below(Stmts.size())));
+        return true;
+      });
+    case MutationKind::DuplicateStatement:
+      return spliceBody(Module, [this](std::vector<TreeSketch> &Stmts) {
+        size_t I = R.below(Stmts.size());
+        Stmts.insert(Stmts.begin() + static_cast<long>(I), Stmts[I]);
+        return true;
+      });
+    case MutationKind::SwapStatements:
+      return spliceBody(Module, [this](std::vector<TreeSketch> &Stmts) {
+        if (Stmts.size() < 2)
+          return false;
+        size_t I = R.below(Stmts.size() - 1);
+        std::swap(Stmts[I], Stmts[I + 1]);
+        return true;
+      });
+    case MutationKind::MoveStatement:
+      return moveStatement(Module);
+    case MutationKind::WrapInIf:
+      return spliceBody(Module, [this](std::vector<TreeSketch> &Stmts) {
+        size_t I = R.below(Stmts.size());
+        TreeSketch If;
+        If.Tag = Sig.lookup("If");
+        TreeSketch Cond;
+        Cond.Tag = CompareTag;
+        Cond.Lits.push_back(Literal("=="));
+        TreeSketch Lhs;
+        Lhs.Tag = NameTag;
+        Lhs.Lits.push_back(Literal("flag"));
+        TreeSketch Rhs;
+        Rhs.Tag = Sig.lookup("BoolLit");
+        Rhs.Lits.push_back(Literal(true));
+        Cond.Kids = {Lhs, Rhs};
+        If.Kids.push_back(std::move(Cond));
+        If.Kids.push_back(vectorToList(Sig, "StmtCons", "StmtNil",
+                                       {std::move(Stmts[I])}));
+        TreeSketch Nil;
+        Nil.Tag = Sig.lookup("StmtNil");
+        If.Kids.push_back(std::move(Nil));
+        Stmts[I] = std::move(If);
+        return true;
+      });
+    case MutationKind::ReorderTopLevel:
+      return reorderTopLevel(Module);
+    }
+    return false;
+  }
+
+private:
+  //===--------------------------------------------------------------===//
+  // Literal-level mutations
+  //===--------------------------------------------------------------===//
+
+  /// Renames every occurrence of one identifier, mimicking a refactoring
+  /// commit. Candidates come from Name, Param, and Attribute nodes.
+  bool renameIdentifier(TreeSketch &Module) {
+    std::vector<std::string> Candidates;
+    Module.foreach([&](TreeSketch &N) {
+      if ((N.Tag == NameTag || N.Tag == ParamTag) && !N.Lits.empty())
+        Candidates.push_back(N.Lits[0].asString());
+    });
+    if (Candidates.empty())
+      return false;
+    const std::string Old = Candidates[R.below(Candidates.size())];
+    std::string New = std::string(FreshNames[R.below(8)]) + "_" +
+                      std::to_string(R.below(1000));
+    Module.foreach([&](TreeSketch &N) {
+      if ((N.Tag == NameTag || N.Tag == ParamTag) && !N.Lits.empty() &&
+          N.Lits[0].asString() == Old)
+        N.Lits[0] = Literal(New);
+    });
+    return true;
+  }
+
+  bool changeNumber(TreeSketch &Module) {
+    std::vector<TreeSketch *> Sites;
+    Module.foreach([&](TreeSketch &N) {
+      if (N.Tag == IntLitTag || N.Tag == FloatLitTag)
+        Sites.push_back(&N);
+    });
+    if (Sites.empty())
+      return false;
+    TreeSketch *Site = Sites[R.below(Sites.size())];
+    if (Site->Tag == IntLitTag)
+      Site->Lits[0] = Literal(R.range(0, 1024));
+    else
+      Site->Lits[0] = Literal(static_cast<double>(R.below(1000)) / 100.0);
+    return true;
+  }
+
+  bool changeString(TreeSketch &Module) {
+    std::vector<TreeSketch *> Sites;
+    Module.foreach([&](TreeSketch &N) {
+      if (N.Tag == StrLitTag)
+        Sites.push_back(&N);
+    });
+    if (Sites.empty())
+      return false;
+    Sites[R.below(Sites.size())]->Lits[0] =
+        Literal(FreshStrings[R.below(5)]);
+    return true;
+  }
+
+  bool changeOperator(TreeSketch &Module) {
+    std::vector<TreeSketch *> Sites;
+    Module.foreach([&](TreeSketch &N) {
+      if (N.Tag == BinOpTag || N.Tag == CompareTag || N.Tag == BoolOpTag ||
+          N.Tag == AugAssignTag)
+        Sites.push_back(&N);
+    });
+    if (Sites.empty())
+      return false;
+    TreeSketch *Site = Sites[R.below(Sites.size())];
+    const std::string Op = Site->Lits[0].asString();
+    std::string New;
+    if (Op == "+")
+      New = "-";
+    else if (Op == "-")
+      New = "+";
+    else if (Op == "*")
+      New = "/";
+    else if (Op == "/")
+      New = "*";
+    else if (Op == "==")
+      New = "!=";
+    else if (Op == "!=")
+      New = "==";
+    else if (Op == "<")
+      New = "<=";
+    else if (Op == "<=")
+      New = "<";
+    else if (Op == ">")
+      New = ">=";
+    else if (Op == ">=")
+      New = ">";
+    else if (Op == "and")
+      New = "or";
+    else if (Op == "or")
+      New = "and";
+    else
+      return false;
+    Site->Lits[0] = Literal(New);
+    return true;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Statement-list mutations
+  //===--------------------------------------------------------------===//
+
+  /// Collects pointers to every statement-list head (the StmtList kid of
+  /// Module/FuncDef/ClassDef/If/While/For) that currently holds at least
+  /// one statement.
+  std::vector<TreeSketch *> bodyHeads(TreeSketch &Module,
+                                      bool AllowEmpty = false) {
+    std::vector<TreeSketch *> Heads;
+    Module.foreach([&](TreeSketch &N) {
+      const TagSignature &TagSig = Sig.signature(N.Tag);
+      for (size_t I = 0, E = N.Kids.size(); I != E; ++I) {
+        if (Sig.name(TagSig.Kids[I].Sort) != "StmtList")
+          continue;
+        if (AllowEmpty || Sig.name(N.Kids[I].Tag) == "StmtCons")
+          Heads.push_back(&N.Kids[I]);
+      }
+    });
+    return Heads;
+  }
+
+  /// Picks a random non-empty body, lets \p Edit splice its statement
+  /// vector, and writes the list back.
+  bool spliceBody(TreeSketch &Module,
+                  const std::function<bool(std::vector<TreeSketch> &)> &Edit) {
+    std::vector<TreeSketch *> Heads = bodyHeads(Module);
+    if (Heads.empty())
+      return false;
+    TreeSketch *Head = Heads[R.below(Heads.size())];
+    std::vector<TreeSketch> Stmts = listToVector(Sig, *Head);
+    if (Stmts.empty() || !Edit(Stmts))
+      return false;
+    *Head = vectorToList(Sig, "StmtCons", "StmtNil", std::move(Stmts));
+    return true;
+  }
+
+  /// Moves one statement from one body to another (or within one),
+  /// exercising truediff's subtree moves.
+  bool moveStatement(TreeSketch &Module) {
+    std::vector<TreeSketch *> Heads = bodyHeads(Module);
+    if (Heads.empty())
+      return false;
+    TreeSketch *From = Heads[R.below(Heads.size())];
+    std::vector<TreeSketch> FromStmts = listToVector(Sig, *From);
+    if (FromStmts.size() < 2)
+      return false; // keep the source body non-empty
+    size_t I = R.below(FromStmts.size());
+    TreeSketch Moved = std::move(FromStmts[I]);
+    FromStmts.erase(FromStmts.begin() + static_cast<long>(I));
+    *From = vectorToList(Sig, "StmtCons", "StmtNil", std::move(FromStmts));
+
+    // Re-collect heads: `From`'s subtree changed; allow empty targets.
+    std::vector<TreeSketch *> Targets = bodyHeads(Module, /*AllowEmpty=*/true);
+    TreeSketch *To = Targets[R.below(Targets.size())];
+    std::vector<TreeSketch> ToStmts = listToVector(Sig, *To);
+    ToStmts.insert(ToStmts.begin() + static_cast<long>(
+                                         R.below(ToStmts.size() + 1)),
+                   std::move(Moved));
+    *To = vectorToList(Sig, "StmtCons", "StmtNil", std::move(ToStmts));
+    return true;
+  }
+
+  bool reorderTopLevel(TreeSketch &Module) {
+    assert(Module.Tag == ModuleTag);
+    std::vector<TreeSketch> Stmts = listToVector(Sig, Module.Kids[0]);
+    if (Stmts.size() < 2)
+      return false;
+    size_t From = R.below(Stmts.size());
+    TreeSketch Moved = std::move(Stmts[From]);
+    Stmts.erase(Stmts.begin() + static_cast<long>(From));
+    Stmts.insert(Stmts.begin() + static_cast<long>(R.below(Stmts.size() + 1)),
+                 std::move(Moved));
+    Module.Kids[0] = vectorToList(Sig, "StmtCons", "StmtNil",
+                                  std::move(Stmts));
+    return true;
+  }
+
+  /// A small fresh statement for insertions.
+  TreeSketch freshStatement() {
+    TreeSketch Assign;
+    Assign.Tag = Sig.lookup("Assign");
+    TreeSketch Target;
+    Target.Tag = NameTag;
+    Target.Lits.push_back(
+        Literal(std::string(FreshNames[R.below(8)]) + "_" +
+                std::to_string(R.below(1000))));
+    TreeSketch Value;
+    if (R.chance(50)) {
+      Value.Tag = IntLitTag;
+      Value.Lits.push_back(Literal(R.range(0, 512)));
+    } else {
+      Value.Tag = Sig.lookup("Call");
+      TreeSketch Callee;
+      Callee.Tag = NameTag;
+      Callee.Lits.push_back(Literal("build"));
+      TreeSketch Nil;
+      Nil.Tag = Sig.lookup("ExprNil");
+      Value.Kids = {std::move(Callee), std::move(Nil)};
+    }
+    Assign.Kids = {std::move(Target), std::move(Value)};
+    return Assign;
+  }
+
+  const SignatureTable &Sig;
+  Rng &R;
+  TagId StmtConsTag, NameTag, ParamTag, FuncDefTag, AttributeTag, IntLitTag,
+      FloatLitTag, StrLitTag, BinOpTag, CompareTag, BoolOpTag, AugAssignTag,
+      ModuleTag;
+};
+
+} // namespace
+
+Tree *truediff::corpus::mutateModule(TreeContext &Ctx, Rng &R,
+                                     const Tree *Module,
+                                     const MutatorOptions &Opts,
+                                     MutationReport *Report) {
+  TreeSketch Sketch = TreeSketch::of(Module);
+  Mutator M(Ctx.signatures(), R);
+
+  unsigned NumOps = static_cast<unsigned>(
+      R.range(static_cast<int64_t>(Opts.MinOps),
+              static_cast<int64_t>(Opts.MaxOps)));
+  unsigned Applied = 0;
+  unsigned Attempts = 0;
+  while (Applied < NumOps && Attempts < NumOps * 8) {
+    ++Attempts;
+    auto Kind = static_cast<MutationKind>(R.below(11));
+    if (M.apply(Sketch, Kind)) {
+      ++Applied;
+      if (Report != nullptr)
+        Report->Applied.push_back(Kind);
+    }
+  }
+  return Sketch.build(Ctx);
+}

@@ -1,0 +1,64 @@
+//===- corpus/Mutator.h - Commit-simulating tree mutations ------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Applies realistic edit operations to Python-subset modules, simulating
+/// the commits of the paper's keras corpus: identifier renames, literal
+/// tweaks, operator changes, statement insertion/deletion/duplication,
+/// statement moves within and across bodies, wrapping in conditionals,
+/// and top-level reordering. Every operation preserves well-typedness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_CORPUS_MUTATOR_H
+#define TRUEDIFF_CORPUS_MUTATOR_H
+
+#include "support/Rng.h"
+#include "tree/Tree.h"
+
+#include <string>
+#include <vector>
+
+namespace truediff {
+namespace corpus {
+
+enum class MutationKind : uint8_t {
+  RenameIdentifier,
+  ChangeNumber,
+  ChangeString,
+  ChangeOperator,
+  InsertStatement,
+  DeleteStatement,
+  DuplicateStatement,
+  SwapStatements,
+  MoveStatement,
+  WrapInIf,
+  ReorderTopLevel,
+};
+
+const char *mutationKindName(MutationKind Kind);
+
+struct MutatorOptions {
+  unsigned MinOps = 1;
+  unsigned MaxOps = 4;
+};
+
+/// Names of the operations actually applied (some draws are no-ops when
+/// the tree offers no applicable site).
+struct MutationReport {
+  std::vector<MutationKind> Applied;
+};
+
+/// Returns a mutated copy of \p Module (a fresh tree in \p Ctx); the
+/// input is not modified.
+Tree *mutateModule(TreeContext &Ctx, Rng &R, const Tree *Module,
+                   const MutatorOptions &Opts = MutatorOptions(),
+                   MutationReport *Report = nullptr);
+
+} // namespace corpus
+} // namespace truediff
+
+#endif // TRUEDIFF_CORPUS_MUTATOR_H

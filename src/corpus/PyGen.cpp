@@ -1,0 +1,251 @@
+//===- corpus/PyGen.cpp - Random Python program generator ------------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/PyGen.h"
+
+#include <string>
+#include <vector>
+
+using namespace truediff;
+using namespace truediff::corpus;
+
+namespace {
+
+const char *ModuleNames[] = {"keras",  "numpy",      "os",
+                             "math",   "tensorflow", "keras.layers",
+                             "random", "json"};
+const char *VarNames[] = {"x",      "y",       "model",  "layer", "units",
+                          "result", "total",   "inputs", "batch", "loss",
+                          "epoch",  "weights", "data",   "rate",  "acc"};
+const char *FuncNames[] = {"build",      "train_step", "evaluate",
+                           "get_config", "call",       "fit",
+                           "compile",    "predict",    "update_state",
+                           "reset",      "load",       "save",
+                           "normalize",  "dense_block"};
+const char *AttrNames[] = {"shape", "layers", "dtype", "size", "name",
+                           "units", "output", "state"};
+const char *ClassNames[] = {"Model", "Dense", "Layer", "Optimizer",
+                            "Callback", "Metric"};
+const char *StrValues[] = {"relu", "softmax", "adam", "mse", "valid",
+                           "channels_last", "float32"};
+const char *BinOps[] = {"+", "-", "*", "/"};
+const char *CmpOps[] = {"==", "!=", "<", "<=", ">", ">="};
+
+/// Tree-building helper bound to one generation run.
+class Generator {
+public:
+  Generator(TreeContext &Ctx, Rng &R, const PyGenOptions &Opts)
+      : Ctx(Ctx), R(R), Opts(Opts) {}
+
+  Tree *module() {
+    std::vector<Tree *> Stmts;
+    for (unsigned I = 0; I != Opts.NumImports; ++I)
+      Stmts.push_back(import());
+    for (unsigned I = 0; I != Opts.NumFunctions; ++I)
+      Stmts.push_back(funcDef());
+    for (unsigned I = 0; I != Opts.NumClasses; ++I)
+      Stmts.push_back(classDef());
+    return Ctx.make("Module", {stmtList(std::move(Stmts))}, {});
+  }
+
+  Tree *funcDef() {
+    std::vector<Tree *> Params;
+    unsigned NumParams = static_cast<unsigned>(R.range(0, 3));
+    for (unsigned I = 0; I != NumParams; ++I)
+      Params.push_back(
+          Ctx.make("Param", {}, {Literal(pick(VarNames))}));
+    return Ctx.make("FuncDef",
+                    {paramList(std::move(Params)),
+                     body(Opts.MaxBlockDepth, /*InFunction=*/true)},
+                    {Literal(pick(FuncNames) + std::string("_") +
+                             std::to_string(R.below(100)))});
+  }
+
+private:
+  template <size_t N> const char *pick(const char *(&Pool)[N]) {
+    return Pool[R.below(N)];
+  }
+
+  Tree *stmtList(std::vector<Tree *> Stmts) {
+    Tree *List = Ctx.make("StmtNil", {}, {});
+    for (size_t I = Stmts.size(); I-- > 0;)
+      List = Ctx.make("StmtCons", {Stmts[I], List}, {});
+    return List;
+  }
+
+  Tree *exprList(std::vector<Tree *> Exprs) {
+    Tree *List = Ctx.make("ExprNil", {}, {});
+    for (size_t I = Exprs.size(); I-- > 0;)
+      List = Ctx.make("ExprCons", {Exprs[I], List}, {});
+    return List;
+  }
+
+  Tree *paramList(std::vector<Tree *> Params) {
+    Tree *List = Ctx.make("ParamNil", {}, {});
+    for (size_t I = Params.size(); I-- > 0;)
+      List = Ctx.make("ParamCons", {Params[I], List}, {});
+    return List;
+  }
+
+  Tree *import() {
+    if (R.chance(60))
+      return Ctx.make("Import", {}, {Literal(pick(ModuleNames))});
+    return Ctx.make("ImportFrom", {},
+                    {Literal(pick(ModuleNames)), Literal(pick(FuncNames))});
+  }
+
+  Tree *classDef() {
+    std::vector<Tree *> Methods;
+    for (unsigned I = 0; I != Opts.MethodsPerClass; ++I)
+      Methods.push_back(funcDef());
+    std::vector<Tree *> Bases;
+    if (R.chance(70))
+      Bases.push_back(name(pick(ClassNames)));
+    return Ctx.make("ClassDef",
+                    {exprList(std::move(Bases)),
+                     stmtList(std::move(Methods))},
+                    {Literal(pick(ClassNames) + std::string("_") +
+                             std::to_string(R.below(100)))});
+  }
+
+  Tree *body(unsigned Depth, bool InFunction) {
+    std::vector<Tree *> Stmts;
+    unsigned Count = 1 + static_cast<unsigned>(R.below(Opts.StmtsPerBody));
+    for (unsigned I = 0; I != Count; ++I)
+      Stmts.push_back(stmt(Depth, InFunction));
+    if (InFunction && R.chance(60))
+      Stmts.push_back(Ctx.make("Return", {expr(2)}, {}));
+    return stmtList(std::move(Stmts));
+  }
+
+  Tree *stmt(unsigned Depth, bool InFunction) {
+    unsigned Choice = static_cast<unsigned>(R.below(Depth > 0 ? 10 : 7));
+    switch (Choice) {
+    case 0:
+    case 1:
+    case 2:
+      return Ctx.make("Assign", {name(pick(VarNames)), expr(Opts.MaxExprDepth)},
+                      {});
+    case 3:
+      return Ctx.make("AugAssign", {name(pick(VarNames)), expr(2)},
+                      {Literal(pick(BinOps))});
+    case 4:
+      return Ctx.make("ExprStmt", {callExpr(Opts.MaxExprDepth)}, {});
+    case 5:
+      return Ctx.make("Assert", {compare()}, {});
+    case 6:
+      return Ctx.make("Pass", {}, {});
+    case 7: // if
+      return Ctx.make("If",
+                      {compare(), body(Depth - 1, InFunction),
+                       R.chance(50) ? body(Depth - 1, InFunction)
+                                    : Ctx.make("StmtNil", {}, {})},
+                      {});
+    case 8: // for
+      return Ctx.make("For",
+                      {name(pick(VarNames)),
+                       Ctx.make("Call",
+                                {name("range"), exprList({intLit()})}, {}),
+                       body(Depth - 1, InFunction)},
+                      {});
+    default: // while
+      return Ctx.make("While", {compare(), body(Depth - 1, InFunction)},
+                      {});
+    }
+  }
+
+  Tree *name(const std::string &Id) {
+    return Ctx.make("Name", {}, {Literal(Id)});
+  }
+
+  Tree *intLit() {
+    return Ctx.make("IntLit", {}, {Literal(R.range(0, 256))});
+  }
+
+  Tree *compare() {
+    return Ctx.make("Compare", {expr(1), expr(1)}, {Literal(pick(CmpOps))});
+  }
+
+  Tree *callExpr(unsigned Depth) {
+    Tree *Callee = R.chance(50)
+                       ? name(pick(FuncNames))
+                       : Ctx.make("Attribute", {name(pick(VarNames))},
+                                  {Literal(pick(FuncNames))});
+    std::vector<Tree *> Args;
+    unsigned NumArgs = static_cast<unsigned>(R.range(0, 3));
+    for (unsigned I = 0; I != NumArgs; ++I)
+      Args.push_back(expr(Depth > 0 ? Depth - 1 : 0));
+    return Ctx.make("Call", {Callee, exprList(std::move(Args))}, {});
+  }
+
+  Tree *expr(unsigned Depth) {
+    if (Depth == 0 || R.chance(35)) {
+      switch (R.below(5)) {
+      case 0:
+        return intLit();
+      case 1:
+        return Ctx.make("FloatLit", {},
+                        {Literal(static_cast<double>(R.below(100)) / 10.0)});
+      case 2:
+        return Ctx.make("StrLit", {}, {Literal(pick(StrValues))});
+      case 3:
+        return name(pick(VarNames));
+      default:
+        return Ctx.make("Attribute", {name(pick(VarNames))},
+                        {Literal(pick(AttrNames))});
+      }
+    }
+    switch (R.below(6)) {
+    case 0:
+    case 1:
+      return Ctx.make("BinOp", {expr(Depth - 1), expr(Depth - 1)},
+                      {Literal(pick(BinOps))});
+    case 2:
+      return callExpr(Depth - 1);
+    case 3:
+      return Ctx.make("Subscript", {name(pick(VarNames)), intLit()}, {});
+    case 4:
+      return Ctx.make("ListExpr",
+                      {exprList({expr(Depth - 1), expr(Depth - 1)})}, {});
+    default:
+      return Ctx.make("UnaryOp", {expr(Depth - 1)}, {Literal("-")});
+    }
+  }
+
+  TreeContext &Ctx;
+  Rng &R;
+  const PyGenOptions &Opts;
+};
+
+} // namespace
+
+Tree *truediff::corpus::generateModule(TreeContext &Ctx, Rng &R,
+                                       const PyGenOptions &Opts) {
+  return Generator(Ctx, R, Opts).module();
+}
+
+Tree *truediff::corpus::generateModuleOfSize(TreeContext &Ctx, Rng &R,
+                                             uint64_t MinNodes) {
+  PyGenOptions Opts;
+  Opts.NumImports = 2;
+  Opts.NumClasses = 0;
+  Opts.NumFunctions = 1;
+
+  // Generate functions until the module body is large enough, then wrap
+  // them in one module.
+  Generator Gen(Ctx, R, Opts);
+  std::vector<Tree *> Funcs;
+  uint64_t Nodes = 0;
+  while (Nodes < MinNodes) {
+    Tree *F = Gen.funcDef();
+    Nodes += F->size() + 1;
+    Funcs.push_back(F);
+  }
+  Tree *List = Ctx.make("StmtNil", {}, {});
+  for (size_t I = Funcs.size(); I-- > 0;)
+    List = Ctx.make("StmtCons", {Funcs[I], List}, {});
+  return Ctx.make("Module", {List}, {});
+}

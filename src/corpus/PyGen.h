@@ -1,0 +1,49 @@
+//===- corpus/PyGen.h - Random Python program generator ---------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random generator for Python-subset modules. The paper
+/// evaluates on the keras commit history; since that corpus is not
+/// available offline, this generator produces deep-learning-flavoured
+/// modules (imports, layer-builder functions, classes with methods,
+/// training loops) whose ASTs have realistic shapes -- nested bodies,
+/// repeated call patterns, shared sub-expressions -- so diffing exercises
+/// the same code paths (see DESIGN.md, substitution table).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_CORPUS_PYGEN_H
+#define TRUEDIFF_CORPUS_PYGEN_H
+
+#include "support/Rng.h"
+#include "tree/Tree.h"
+
+namespace truediff {
+namespace corpus {
+
+struct PyGenOptions {
+  unsigned NumImports = 3;
+  unsigned NumFunctions = 6;
+  unsigned NumClasses = 2;
+  unsigned MethodsPerClass = 3;
+  unsigned StmtsPerBody = 5;
+  unsigned MaxExprDepth = 3;
+  unsigned MaxBlockDepth = 2;
+};
+
+/// Generates a random module tree in \p Ctx (signature:
+/// python::makePythonSignature()).
+Tree *generateModule(TreeContext &Ctx, Rng &R,
+                     const PyGenOptions &Opts = PyGenOptions());
+
+/// Generates a module with at least \p MinNodes AST nodes by appending
+/// functions; used by the linear-scaling bench (DESIGN.md E5).
+Tree *generateModuleOfSize(TreeContext &Ctx, Rng &R, uint64_t MinNodes);
+
+} // namespace corpus
+} // namespace truediff
+
+#endif // TRUEDIFF_CORPUS_PYGEN_H

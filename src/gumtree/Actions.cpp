@@ -1,0 +1,310 @@
+//===- gumtree/Actions.cpp - Chawathe et al. action generation -------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Derives an insert/delete/move/update edit script from a Gumtree
+/// mapping, following Chawathe et al. (SIGMOD 1996) as implemented in
+/// Gumtree's ActionGenerator: a breadth-first pass over the destination
+/// tree emits inserts, updates, and moves (including the child-alignment
+/// moves), and a post-order pass over the working tree emits deletes. The
+/// script is simulated on a working copy of the source so tests can check
+/// it reproduces the destination tree.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gumtree/GumTree.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+using namespace truediff;
+using namespace truediff::gumtree;
+
+namespace {
+
+/// Runs the Chawathe algorithm on a working copy of the source tree.
+class ActionGenerator {
+public:
+  ActionGenerator(RoseForest &Forest, RNode *Src, RNode *Dst,
+                  const MappingStore &Orig)
+      : Forest(Forest) {
+    // Work on a copy of src; wire up the work<->dst mapping from the
+    // original mapping. Fake roots allow replacing the real root.
+    WorkRoot = copyRec(Src);
+    FakeSrc = Forest.make(InvalidSymbol, "", {WorkRoot});
+    FakeDst = Forest.make(InvalidSymbol, "", {Dst});
+    for (auto [S, D] : collectPairs(Src, Orig))
+      M.add(CopyOf.at(S), D);
+    M.add(FakeSrc, FakeDst);
+  }
+
+  std::vector<Action> run() {
+    bfsPhase();
+    deletePhase();
+    return std::move(Actions);
+  }
+
+  RNode *patchedSource() const {
+    return FakeSrc->Kids.empty() ? nullptr : FakeSrc->Kids[0];
+  }
+
+private:
+  static std::vector<std::pair<RNode *, RNode *>>
+  collectPairs(RNode *Src, const MappingStore &Orig) {
+    std::vector<std::pair<RNode *, RNode *>> Pairs;
+    Src->foreachNode([&](RNode *N) {
+      if (RNode *D = Orig.dstOf(N))
+        Pairs.push_back({N, D});
+    });
+    return Pairs;
+  }
+
+  RNode *copyRec(RNode *N) {
+    std::vector<RNode *> Kids;
+    Kids.reserve(N->Kids.size());
+    for (RNode *Kid : N->Kids)
+      Kids.push_back(copyRec(Kid));
+    RNode *Copy = Forest.make(N->Type, N->Label, std::move(Kids));
+    CopyOf[N] = Copy;
+    Origin[Copy] = N;
+    return Copy;
+  }
+
+  /// Breadth-first pass over the destination tree: inserts, updates,
+  /// moves, and child alignment.
+  void bfsPhase() {
+    std::deque<RNode *> Work{FakeDst};
+    while (!Work.empty()) {
+      RNode *X = Work.front();
+      Work.pop_front();
+      for (RNode *Kid : X->Kids)
+        Work.push_back(Kid);
+
+      RNode *W = M.srcOf(X);
+      if (W == nullptr) {
+        // Insert X (as a leaf; its children follow in BFS order).
+        RNode *Y = X->Parent;
+        RNode *Z = M.srcOf(Y);
+        assert(Z != nullptr && "parent processed before child in BFS");
+        size_t K = findPos(X);
+        W = Forest.make(X->Type, X->Label, {});
+        M.add(W, X);
+        insertChild(Z, W, K);
+        Actions.push_back(
+            Action{ActionKind::Insert, X, originOf(Z), K, std::string()});
+      } else if (X != FakeDst) {
+        RNode *Y = X->Parent;
+        RNode *V = W->Parent;
+        if (W->Label != X->Label) {
+          Actions.push_back(Action{ActionKind::Update, originOf(W), nullptr,
+                                   0, X->Label});
+          W->Label = X->Label;
+        }
+        RNode *Z = M.srcOf(Y);
+        assert(Z != nullptr);
+        if (Z != V) {
+          size_t K = findPos(X);
+          removeChild(V, W);
+          insertChild(Z, W, K);
+          Actions.push_back(
+              Action{ActionKind::Move, originOf(W), originOf(Z), K,
+                     std::string()});
+        }
+      }
+      SrcInOrder.insert(W);
+      DstInOrder.insert(X);
+      alignChildren(W, X);
+    }
+  }
+
+  /// Post-order pass deleting unmapped nodes of the working tree.
+  void deletePhase() {
+    std::vector<RNode *> ToDelete;
+    FakeSrc->foreachPostOrder([&](RNode *N) {
+      if (N != FakeSrc && !M.hasSrc(N))
+        ToDelete.push_back(N);
+    });
+    for (RNode *N : ToDelete) {
+      Actions.push_back(
+          Action{ActionKind::Delete, originOf(N), nullptr, 0, std::string()});
+      removeChild(N->Parent, N);
+    }
+  }
+
+  void alignChildren(RNode *W, RNode *X) {
+    for (RNode *C : W->Kids)
+      SrcInOrder.erase(C);
+    for (RNode *C : X->Kids)
+      DstInOrder.erase(C);
+
+    // S1: children of W mapped into X's children; S2 dually.
+    std::vector<RNode *> S1, S2;
+    for (RNode *C : W->Kids) {
+      RNode *P = M.dstOf(C);
+      if (P != nullptr && P->Parent == X)
+        S1.push_back(C);
+    }
+    for (RNode *C : X->Kids) {
+      RNode *P = M.srcOf(C);
+      if (P != nullptr && P->Parent == W)
+        S2.push_back(C);
+    }
+
+    // Longest common subsequence of S1 and S2 under the mapping.
+    std::vector<std::pair<RNode *, RNode *>> Lcs = lcs(S1, S2);
+    std::unordered_set<RNode *> InLcsSrc;
+    for (auto &[A, B] : Lcs) {
+      SrcInOrder.insert(A);
+      DstInOrder.insert(B);
+      InLcsSrc.insert(A);
+    }
+
+    for (RNode *A : S1) {
+      if (InLcsSrc.count(A))
+        continue;
+      RNode *B = M.dstOf(A);
+      // A is mapped into X's children but out of sequence: move it.
+      size_t K = findPos(B);
+      removeChild(W, A);
+      insertChild(W, A, K);
+      Actions.push_back(
+          Action{ActionKind::Move, originOf(A), originOf(W), K,
+                 std::string()});
+      SrcInOrder.insert(A);
+      DstInOrder.insert(B);
+    }
+  }
+
+  std::vector<std::pair<RNode *, RNode *>> lcs(const std::vector<RNode *> &S1,
+                                               const std::vector<RNode *> &S2) {
+    size_t N = S1.size(), K = S2.size();
+    std::vector<std::vector<unsigned>> Dp(N + 1,
+                                          std::vector<unsigned>(K + 1, 0));
+    for (size_t I = N; I-- > 0;)
+      for (size_t J = K; J-- > 0;) {
+        if (M.areMapped(S1[I], S2[J]))
+          Dp[I][J] = Dp[I + 1][J + 1] + 1;
+        else
+          Dp[I][J] = std::max(Dp[I + 1][J], Dp[I][J + 1]);
+      }
+    std::vector<std::pair<RNode *, RNode *>> Out;
+    size_t I = 0, J = 0;
+    while (I < N && J < K) {
+      if (M.areMapped(S1[I], S2[J])) {
+        Out.push_back({S1[I], S2[J]});
+        ++I;
+        ++J;
+      } else if (Dp[I + 1][J] >= Dp[I][J + 1]) {
+        ++I;
+      } else {
+        ++J;
+      }
+    }
+    return Out;
+  }
+
+  /// Chawathe's FindPos: the insertion position of dst node \p X within
+  /// its parent, derived from in-order siblings.
+  size_t findPos(RNode *X) {
+    RNode *Y = X->Parent;
+    // If X is the leftmost in-order child of Y, insert at 0.
+    for (RNode *C : Y->Kids) {
+      if (!DstInOrder.count(C))
+        continue;
+      if (C == X)
+        return 0;
+      break;
+    }
+    // V: rightmost in-order sibling left of X.
+    RNode *V = nullptr;
+    for (RNode *C : Y->Kids) {
+      if (C == X)
+        break;
+      if (DstInOrder.count(C))
+        V = C;
+    }
+    if (V == nullptr)
+      return 0;
+    RNode *U = M.srcOf(V);
+    assert(U != nullptr && U->Parent != nullptr);
+    return U->Parent->kidIndex(U) + 1;
+  }
+
+  void insertChild(RNode *Parent, RNode *Kid, size_t &Pos) {
+    if (Pos > Parent->Kids.size())
+      Pos = Parent->Kids.size();
+    Parent->Kids.insert(Parent->Kids.begin() + Pos, Kid);
+    Kid->Parent = Parent;
+  }
+
+  void removeChild(RNode *Parent, RNode *Kid) {
+    Parent->Kids.erase(
+        std::find(Parent->Kids.begin(), Parent->Kids.end(), Kid));
+    Kid->Parent = nullptr;
+  }
+
+  /// Maps working-tree nodes back to original source nodes for reporting;
+  /// inserted nodes report their destination origin.
+  const RNode *originOf(RNode *WorkNode) {
+    auto It = Origin.find(WorkNode);
+    if (It != Origin.end())
+      return It->second;
+    RNode *D = M.dstOf(WorkNode);
+    return D != nullptr ? D : WorkNode;
+  }
+
+  RoseForest &Forest;
+  RNode *WorkRoot;
+  RNode *FakeSrc;
+  RNode *FakeDst;
+  MappingStore M;
+  std::unordered_map<const RNode *, RNode *> CopyOf;
+  std::unordered_map<const RNode *, RNode *> Origin;
+  std::unordered_set<RNode *> SrcInOrder, DstInOrder;
+  std::vector<Action> Actions;
+};
+
+} // namespace
+
+GumTreeResult truediff::gumtree::gumtreeDiff(RoseForest &Forest, RNode *Src,
+                                             RNode *Dst,
+                                             const GumTreeOptions &Opts) {
+  MappingStore M = computeMappings(Src, Dst, Opts);
+  ActionGenerator Gen(Forest, Src, Dst, M);
+  GumTreeResult Result;
+  Result.NumMappings = M.size();
+  Result.Actions = Gen.run();
+  Result.PatchedSource = Gen.patchedSource();
+  return Result;
+}
+
+std::string truediff::gumtree::actionToString(const SignatureTable &Sig,
+                                              const Action &A) {
+  auto Name = [&](const RNode *N) {
+    if (N == nullptr)
+      return std::string("<null>");
+    if (N->Type == InvalidSymbol)
+      return std::string("<root>");
+    std::string S = Sig.name(N->Type);
+    if (!N->Label.empty())
+      S += "{" + N->Label + "}";
+    return S;
+  };
+  switch (A.Kind) {
+  case ActionKind::Insert:
+    return "insert " + Name(A.Node) + " into " + Name(A.Parent) + " at " +
+           std::to_string(A.Pos);
+  case ActionKind::Delete:
+    return "delete " + Name(A.Node);
+  case ActionKind::Move:
+    return "move " + Name(A.Node) + " into " + Name(A.Parent) + " at " +
+           std::to_string(A.Pos);
+  case ActionKind::Update:
+    return "update " + Name(A.Node) + " to {" + A.NewLabel + "}";
+  }
+  return "<unknown>";
+}

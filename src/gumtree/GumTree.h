@@ -1,0 +1,127 @@
+//===- gumtree/GumTree.h - Gumtree-style untyped diffing --------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch implementation of the Gumtree structural diffing
+/// algorithm (Falleri et al., ASE 2014), the untyped Chawathe-style
+/// baseline of the paper's evaluation (Section 6):
+///
+///  1. *Top-down* phase: greedily maps isomorphic subtrees, largest first.
+///  2. *Bottom-up* phase: maps container nodes whose descendants are
+///     mostly mapped (dice coefficient >= MinDice), plus a histogram-based
+///     recovery pass for their unmapped descendants.
+///  3. *Action generation*: the Chawathe et al. (1996) algorithm derives
+///     an edit script of insert/delete/move/update actions from the
+///     mapping, including the child-alignment moves.
+///
+/// The edit script operates on untyped rose trees; its intermediate trees
+/// are not well-typed (the motivation for truechange).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_GUMTREE_GUMTREE_H
+#define TRUEDIFF_GUMTREE_GUMTREE_H
+
+#include "gumtree/RoseTree.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace truediff {
+namespace gumtree {
+
+/// A source-to-destination node mapping (bidirectional, injective).
+class MappingStore {
+public:
+  void add(RNode *Src, RNode *Dst) {
+    SrcToDst.emplace(Src, Dst);
+    DstToSrc.emplace(Dst, Src);
+  }
+
+  /// Maps \p Src to \p Dst and, pairwise, all their descendants; the trees
+  /// must be isomorphic.
+  void addRecursively(RNode *Src, RNode *Dst);
+
+  RNode *dstOf(const RNode *Src) const {
+    auto It = SrcToDst.find(Src);
+    return It == SrcToDst.end() ? nullptr : It->second;
+  }
+  RNode *srcOf(const RNode *Dst) const {
+    auto It = DstToSrc.find(Dst);
+    return It == DstToSrc.end() ? nullptr : It->second;
+  }
+  bool hasSrc(const RNode *Src) const { return SrcToDst.count(Src) != 0; }
+  bool hasDst(const RNode *Dst) const { return DstToSrc.count(Dst) != 0; }
+  bool areMapped(const RNode *Src, const RNode *Dst) const {
+    return dstOf(Src) == Dst;
+  }
+  size_t size() const { return SrcToDst.size(); }
+
+private:
+  std::unordered_map<const RNode *, RNode *> SrcToDst;
+  std::unordered_map<const RNode *, RNode *> DstToSrc;
+};
+
+/// Dice coefficient of two containers under \p M: twice the number of
+/// mapped descendant pairs over the total descendant count.
+double diceCoefficient(const RNode *Src, const RNode *Dst,
+                       const MappingStore &M);
+
+/// Gumtree tuning parameters (defaults follow Falleri et al.).
+struct GumTreeOptions {
+  /// Minimum height of subtrees considered by the top-down phase.
+  unsigned MinHeight = 2;
+  /// Minimum dice similarity for bottom-up container matching.
+  double MinDice = 0.5;
+  /// Maximum subtree size for the bottom-up recovery pass (Gumtree's
+  /// SIZE_THRESHOLD for its bounded edit-distance recovery).
+  uint64_t MaxRecoverySize = 1000;
+};
+
+/// One edit action of the Chawathe et al. script.
+enum class ActionKind : uint8_t { Insert, Delete, Move, Update };
+
+struct Action {
+  ActionKind Kind;
+  /// Insert: the dst node inserted. Delete/Move/Update: the src node.
+  const RNode *Node = nullptr;
+  /// Insert/Move: the parent (src working tree) receiving the node.
+  const RNode *Parent = nullptr;
+  /// Insert/Move: child position.
+  size_t Pos = 0;
+  /// Update: the new label.
+  std::string NewLabel;
+};
+
+/// Result of a Gumtree diff.
+struct GumTreeResult {
+  std::vector<Action> Actions;
+  size_t NumMappings = 0;
+  /// The working copy of the source tree after simulating the script;
+  /// equals the destination tree if the script is correct (tested).
+  RNode *PatchedSource = nullptr;
+
+  /// The paper's conciseness metric for Gumtree: the number of actions.
+  size_t patchSize() const { return Actions.size(); }
+};
+
+/// Computes mappings only (both phases); exposed for tests.
+MappingStore computeMappings(RNode *Src, RNode *Dst,
+                             const GumTreeOptions &Opts);
+
+/// Runs the full pipeline: matching plus action generation. Allocates the
+/// working tree in \p Forest.
+GumTreeResult gumtreeDiff(RoseForest &Forest, RNode *Src, RNode *Dst,
+                          const GumTreeOptions &Opts = GumTreeOptions());
+
+/// Renders an action for debugging, e.g. "move Sub to Mul at 1".
+std::string actionToString(const SignatureTable &Sig, const Action &A);
+
+} // namespace gumtree
+} // namespace truediff
+
+#endif // TRUEDIFF_GUMTREE_GUMTREE_H

@@ -1,0 +1,344 @@
+//===- gumtree/Matcher.cpp - Gumtree top-down and bottom-up matching -------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gumtree/GumTree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <unordered_set>
+
+using namespace truediff;
+using namespace truediff::gumtree;
+
+void MappingStore::addRecursively(RNode *Src, RNode *Dst) {
+  assert(Src->isomorphicTo(Dst) && "recursive mapping needs isomorphism");
+  add(Src, Dst);
+  for (size_t I = 0, E = Src->Kids.size(); I != E; ++I)
+    addRecursively(Src->Kids[I], Dst->Kids[I]);
+}
+
+double truediff::gumtree::diceCoefficient(const RNode *Src, const RNode *Dst,
+                                          const MappingStore &M) {
+  if (Src->numDescendants() + Dst->numDescendants() == 0)
+    return 0.0;
+  // Count descendants of Src mapped to descendants of Dst.
+  size_t Common = 0;
+  const_cast<RNode *>(Src)->foreachNode([&](RNode *N) {
+    if (N == Src)
+      return;
+    RNode *Partner = M.dstOf(N);
+    if (Partner == nullptr)
+      return;
+    for (const RNode *Up = Partner->Parent; Up != nullptr; Up = Up->Parent)
+      if (Up == Dst) {
+        ++Common;
+        return;
+      }
+  });
+  return 2.0 * static_cast<double>(Common) /
+         static_cast<double>(Src->numDescendants() + Dst->numDescendants());
+}
+
+namespace {
+
+/// Gumtree's height-indexed priority list: pops all trees of the current
+/// maximum height at once.
+class HeightQueue {
+public:
+  void push(RNode *T) { Buckets[T->Height].push_back(T); }
+
+  void open(RNode *T) {
+    for (RNode *Kid : T->Kids)
+      push(Kid);
+  }
+
+  /// Height of the tallest queued tree, or 0 if empty.
+  unsigned peekMax() const {
+    return Buckets.empty() ? 0 : Buckets.rbegin()->first;
+  }
+
+  /// Removes and returns all trees of maximum height.
+  std::vector<RNode *> popMax() {
+    auto It = std::prev(Buckets.end());
+    std::vector<RNode *> Trees = std::move(It->second);
+    Buckets.erase(It);
+    return Trees;
+  }
+
+  bool empty() const { return Buckets.empty(); }
+
+private:
+  std::map<unsigned, std::vector<RNode *>> Buckets;
+};
+
+/// Phase 1: greedy top-down matching of isomorphic subtrees.
+class TopDownMatcher {
+public:
+  TopDownMatcher(RNode *Src, RNode *Dst, const GumTreeOptions &Opts,
+                 MappingStore &M)
+      : Src(Src), Dst(Dst), Opts(Opts), M(M) {}
+
+  void run() {
+    HeightQueue SrcQueue, DstQueue;
+    SrcQueue.push(Src);
+    DstQueue.push(Dst);
+
+    while (std::min(SrcQueue.peekMax(), DstQueue.peekMax()) >=
+           Opts.MinHeight) {
+      if (SrcQueue.peekMax() > DstQueue.peekMax()) {
+        for (RNode *T : SrcQueue.popMax())
+          SrcQueue.open(T);
+        continue;
+      }
+      if (DstQueue.peekMax() > SrcQueue.peekMax()) {
+        for (RNode *T : DstQueue.popMax())
+          DstQueue.open(T);
+        continue;
+      }
+      matchLevel(SrcQueue, DstQueue);
+    }
+    resolveAmbiguous();
+  }
+
+private:
+  void matchLevel(HeightQueue &SrcQueue, HeightQueue &DstQueue) {
+    std::vector<RNode *> SrcTrees = SrcQueue.popMax();
+    std::vector<RNode *> DstTrees = DstQueue.popMax();
+
+    // Group both sides by isomorphism hash, preserving encounter order.
+    struct Group {
+      std::vector<RNode *> Srcs, Dsts;
+    };
+    std::unordered_map<Digest, Group, DigestHash> Groups;
+    std::vector<Digest> Order;
+    for (RNode *T : SrcTrees) {
+      if (!Groups.count(T->Hash))
+        Order.push_back(T->Hash);
+      Groups[T->Hash].Srcs.push_back(T);
+    }
+    for (RNode *T : DstTrees) {
+      if (!Groups.count(T->Hash))
+        Order.push_back(T->Hash);
+      Groups[T->Hash].Dsts.push_back(T);
+    }
+
+    std::unordered_set<RNode *> Matched;
+    for (const Digest &Hash : Order) {
+      Group &G = Groups[Hash];
+      if (G.Srcs.empty() || G.Dsts.empty())
+        continue;
+      if (G.Srcs.size() == 1 && G.Dsts.size() == 1) {
+        // Unique isomorphic pair: map immediately and recursively.
+        M.addRecursively(G.Srcs[0], G.Dsts[0]);
+        Matched.insert(G.Srcs[0]);
+        Matched.insert(G.Dsts[0]);
+        continue;
+      }
+      // Ambiguous: defer; resolved by parent similarity after the loop.
+      for (RNode *S : G.Srcs)
+        for (RNode *D : G.Dsts)
+          Ambiguous.push_back({S, D});
+      for (RNode *S : G.Srcs)
+        Matched.insert(S);
+      for (RNode *D : G.Dsts)
+        Matched.insert(D);
+    }
+
+    // Open unmatched trees so their children can still be mapped.
+    for (RNode *T : SrcTrees)
+      if (!Matched.count(T))
+        SrcQueue.open(T);
+    for (RNode *T : DstTrees)
+      if (!Matched.count(T))
+        DstQueue.open(T);
+  }
+
+  void resolveAmbiguous() {
+    // Sort candidate pairs by the dice similarity of their parents,
+    // descending, then greedily map still-unmapped pairs.
+    std::stable_sort(Ambiguous.begin(), Ambiguous.end(),
+                     [&](const auto &A, const auto &B) {
+                       return parentDice(A) > parentDice(B);
+                     });
+    for (const auto &[S, D] : Ambiguous) {
+      if (M.hasSrc(S) || M.hasDst(D))
+        continue;
+      M.addRecursively(S, D);
+    }
+  }
+
+  double parentDice(const std::pair<RNode *, RNode *> &Pair) const {
+    const RNode *SP = Pair.first->Parent;
+    const RNode *DP = Pair.second->Parent;
+    if (SP == nullptr || DP == nullptr)
+      return 0.0;
+    return diceCoefficient(SP, DP, M);
+  }
+
+  RNode *Src;
+  RNode *Dst;
+  const GumTreeOptions &Opts;
+  MappingStore &M;
+  std::vector<std::pair<RNode *, RNode *>> Ambiguous;
+};
+
+/// Phase 2: bottom-up container matching with histogram recovery.
+class BottomUpMatcher {
+public:
+  BottomUpMatcher(RNode *Src, RNode *Dst, const GumTreeOptions &Opts,
+                  MappingStore &M)
+      : Src(Src), Dst(Dst), Opts(Opts), M(M) {}
+
+  void run() {
+    Src->foreachPostOrder([&](RNode *N) {
+      if (N == Src) {
+        // Roots are mapped when compatible (Falleri et al., Section
+        // III.B). Different root types cannot be mapped: Chawathe updates
+        // change labels, never types.
+        if (!M.hasSrc(N) && !M.hasDst(Dst) && N->Type == Dst->Type) {
+          M.add(N, Dst);
+          recover(N, Dst);
+        }
+        return;
+      }
+      if (M.hasSrc(N) || N->isLeaf())
+        return;
+      RNode *Best = bestCandidate(N);
+      if (Best != nullptr && diceCoefficient(N, Best, M) >= Opts.MinDice) {
+        M.add(N, Best);
+        recover(N, Best);
+      }
+    });
+  }
+
+private:
+  /// Candidate destination containers: unmapped ancestors (of the right
+  /// type) of the partners of N's mapped descendants.
+  RNode *bestCandidate(RNode *N) {
+    std::vector<RNode *> Candidates;
+    std::unordered_set<RNode *> Seen;
+    N->foreachNode([&](RNode *D) {
+      if (D == N)
+        return;
+      RNode *Partner = M.dstOf(D);
+      if (Partner == nullptr)
+        return;
+      for (RNode *Up = Partner->Parent; Up != nullptr; Up = Up->Parent) {
+        if (!Seen.insert(Up).second)
+          break; // ancestors above were already considered
+        if (Up->Type == N->Type && !M.hasDst(Up) && Up != Dst)
+          Candidates.push_back(Up);
+      }
+    });
+    RNode *Best = nullptr;
+    double BestDice = -1.0;
+    for (RNode *C : Candidates) {
+      double Dice = diceCoefficient(N, C, M);
+      if (Dice > BestDice) {
+        BestDice = Dice;
+        Best = C;
+      }
+    }
+    return Best;
+  }
+
+  /// Recovery pass below a freshly mapped container pair: match remaining
+  /// descendants that are unambiguous by hash, then by (type, label), then
+  /// by type. This approximates Gumtree's bounded edit-distance recovery.
+  void recover(RNode *SrcC, RNode *DstC) {
+    if (SrcC->Size > Opts.MaxRecoverySize || DstC->Size > Opts.MaxRecoverySize)
+      return;
+    std::vector<RNode *> SrcOpen, DstOpen;
+    SrcC->foreachNode([&](RNode *N) {
+      if (N != SrcC && !M.hasSrc(N))
+        SrcOpen.push_back(N);
+    });
+    DstC->foreachNode([&](RNode *N) {
+      if (N != DstC && !M.hasDst(N))
+        DstOpen.push_back(N);
+    });
+
+    matchUnique(SrcOpen, DstOpen, [](const RNode *N) {
+      return N->Hash.toHex();
+    }, /*Recursive=*/true);
+    matchUnique(SrcOpen, DstOpen, [](const RNode *N) {
+      return std::to_string(N->Type) + "\x1f" + N->Label;
+    }, /*Recursive=*/false);
+    matchUnique(SrcOpen, DstOpen, [](const RNode *N) {
+      return std::to_string(N->Type);
+    }, /*Recursive=*/false);
+    positionalMatch(SrcC, DstC);
+  }
+
+  /// Final recovery stage: walks the container pair in parallel and maps
+  /// same-type nodes positionally where the shapes agree. This is the
+  /// cheap stand-in for Gumtree's bounded edit-distance recovery and
+  /// catches the ubiquitous rename case (same tree, changed labels).
+  void positionalMatch(RNode *Src, RNode *Dst) {
+    if (Src->Type != Dst->Type)
+      return;
+    if (!M.hasSrc(Src) && !M.hasDst(Dst))
+      M.add(Src, Dst);
+    if (!M.areMapped(Src, Dst))
+      return;
+    if (Src->Kids.size() != Dst->Kids.size())
+      return;
+    for (size_t I = 0, E = Src->Kids.size(); I != E; ++I)
+      positionalMatch(Src->Kids[I], Dst->Kids[I]);
+  }
+
+  template <typename KeyFn>
+  void matchUnique(std::vector<RNode *> &SrcOpen, std::vector<RNode *> &DstOpen,
+                   KeyFn Key, bool Recursive) {
+    std::unordered_map<std::string, std::vector<RNode *>> SrcByKey, DstByKey;
+    for (RNode *N : SrcOpen)
+      if (!M.hasSrc(N))
+        SrcByKey[Key(N)].push_back(N);
+    for (RNode *N : DstOpen)
+      if (!M.hasDst(N))
+        DstByKey[Key(N)].push_back(N);
+    for (auto &[K, Srcs] : SrcByKey) {
+      auto It = DstByKey.find(K);
+      if (It == DstByKey.end())
+        continue;
+      if (Srcs.size() != 1 || It->second.size() != 1)
+        continue;
+      if (M.hasSrc(Srcs[0]) || M.hasDst(It->second[0]))
+        continue;
+      if (Recursive) {
+        // A recursive add must not overwrite mappings of descendants that
+        // the top-down phase established elsewhere.
+        bool Clean = true;
+        Srcs[0]->foreachNode([&](RNode *D) { Clean &= !M.hasSrc(D); });
+        It->second[0]->foreachNode([&](RNode *D) { Clean &= !M.hasDst(D); });
+        if (Clean)
+          M.addRecursively(Srcs[0], It->second[0]);
+        else
+          M.add(Srcs[0], It->second[0]);
+      } else {
+        M.add(Srcs[0], It->second[0]);
+      }
+    }
+  }
+
+  RNode *Src;
+  RNode *Dst;
+  const GumTreeOptions &Opts;
+  MappingStore &M;
+};
+
+} // namespace
+
+MappingStore truediff::gumtree::computeMappings(RNode *Src, RNode *Dst,
+                                                const GumTreeOptions &Opts) {
+  RoseForest::index(Src);
+  RoseForest::index(Dst);
+  MappingStore M;
+  TopDownMatcher(Src, Dst, Opts, M).run();
+  BottomUpMatcher(Src, Dst, Opts, M).run();
+  return M;
+}

@@ -1,0 +1,362 @@
+//===- incremental/Analysis.cpp - Incremental program analyses -------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "incremental/Analysis.h"
+
+#include <deque>
+#include <unordered_set>
+
+using namespace truediff;
+using namespace truediff::incremental;
+
+//===----------------------------------------------------------------------===//
+// TagCensus
+//===----------------------------------------------------------------------===//
+
+void TagCensus::recomputeAll(const TreeDatabase &Db) {
+  Counts.clear();
+  // Walk the database from the virtual root.
+  std::deque<URI> Work{NullURI};
+  while (!Work.empty()) {
+    URI Cur = Work.front();
+    Work.pop_front();
+    const NodeRow *Row = Db.node(Cur);
+    if (Row == nullptr)
+      continue;
+    if (Cur != NullURI)
+      ++Counts[Row->Tag];
+    for (URI Kid : Db.childrenOf(Cur))
+      Work.push_back(Kid);
+  }
+}
+
+void TagCensus::update(const EditScript &Script) {
+  for (const Edit &E : Script.edits()) {
+    if (E.Kind == EditKind::Load)
+      ++Counts[E.Node.Tag];
+    else if (E.Kind == EditKind::Unload) {
+      auto It = Counts.find(E.Node.Tag);
+      if (It != Counts.end() && --It->second == 0)
+        Counts.erase(It);
+    }
+  }
+}
+
+uint64_t TagCensus::countOf(TagId Tag) const {
+  auto It = Counts.find(Tag);
+  return It == Counts.end() ? 0 : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// CallGraph
+//===----------------------------------------------------------------------===//
+
+CallGraph::CallGraph(const SignatureTable &Sig) {
+  FuncDefTag = Sig.lookup("FuncDef");
+  CallTag = Sig.lookup("Call");
+  NameTag = Sig.lookup("Name");
+  AttributeTag = Sig.lookup("Attribute");
+  NameLit = Sig.lookup("name");
+  AttrLit = Sig.lookup("attr");
+  IdLit = Sig.lookup("id");
+}
+
+void CallGraph::recomputeFunction(const TreeDatabase &Db, URI Func) {
+  std::set<std::string> Result;
+  const SignatureTable &Sig = Db.signatures();
+  std::deque<URI> Work{Func};
+  bool First = true;
+  while (!Work.empty()) {
+    URI Cur = Work.front();
+    Work.pop_front();
+    const NodeRow *Row = Db.node(Cur);
+    if (Row == nullptr)
+      continue;
+    if (!First && Row->Tag == FuncDefTag) {
+      // Nested function: its calls belong to itself.
+      continue;
+    }
+    First = false;
+    if (Row->Tag == CallTag) {
+      // Callee name: Name id or Attribute attr of the func child.
+      if (auto Callee = Db.childOf(Cur, Sig.lookup("func"))) {
+        const NodeRow *CalleeRow = Db.node(*Callee);
+        if (CalleeRow != nullptr) {
+          for (const LitRef &Lit : CalleeRow->Lits) {
+            if ((CalleeRow->Tag == NameTag && Lit.Link == IdLit) ||
+                (CalleeRow->Tag == AttributeTag && Lit.Link == AttrLit))
+              Result.insert(Lit.Value.asString());
+          }
+        }
+      }
+    }
+    for (URI Kid : Db.childrenOf(Cur))
+      Work.push_back(Kid);
+  }
+  Callees[Func] = std::move(Result);
+}
+
+void CallGraph::recomputeAll(const TreeDatabase &Db) {
+  Callees.clear();
+  std::deque<URI> Work{NullURI};
+  while (!Work.empty()) {
+    URI Cur = Work.front();
+    Work.pop_front();
+    const NodeRow *Row = Db.node(Cur);
+    if (Row == nullptr)
+      continue;
+    if (Row->Tag == FuncDefTag)
+      recomputeFunction(Db, Cur);
+    for (URI Kid : Db.childrenOf(Cur))
+      Work.push_back(Kid);
+  }
+}
+
+std::optional<URI> CallGraph::enclosingFunction(const TreeDatabase &Db,
+                                                URI Uri) const {
+  std::optional<URI> Cur = Uri;
+  while (Cur) {
+    const NodeRow *Row = Db.node(*Cur);
+    if (Row != nullptr && Row->Tag == FuncDefTag)
+      return Cur;
+    Cur = Db.parentOf(*Cur);
+  }
+  return std::nullopt;
+}
+
+size_t CallGraph::update(const TreeDatabase &Db, const EditScript &Script) {
+  // Anchors: nodes whose surroundings changed. The database has already
+  // been patched, so climbing the parent index reflects the new tree.
+  std::unordered_set<URI> Anchors;
+  for (const Edit &E : Script.edits()) {
+    switch (E.Kind) {
+    case EditKind::Detach:
+    case EditKind::Attach:
+      Anchors.insert(E.Parent.Uri);
+      Anchors.insert(E.Node.Uri);
+      break;
+    case EditKind::Load:
+    case EditKind::Update:
+      Anchors.insert(E.Node.Uri);
+      break;
+    case EditKind::Unload:
+      Callees.erase(E.Node.Uri); // covers deleted functions
+      break;
+    }
+  }
+
+  std::unordered_set<URI> Dirty;
+  for (URI Anchor : Anchors) {
+    if (Db.node(Anchor) == nullptr)
+      continue; // unloaded later in the script
+    if (auto Func = enclosingFunction(Db, Anchor))
+      Dirty.insert(*Func);
+    // Loaded FuncDefs are dirty themselves even without an enclosing one.
+    const NodeRow *Row = Db.node(Anchor);
+    if (Row != nullptr && Row->Tag == FuncDefTag)
+      Dirty.insert(Anchor);
+  }
+
+  for (URI Func : Dirty)
+    recomputeFunction(Db, Func);
+  return Dirty.size();
+}
+
+const std::set<std::string> *CallGraph::calleesOf(URI Func) const {
+  auto It = Callees.find(Func);
+  return It == Callees.end() ? nullptr : &It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// DefUseAnalysis
+//===----------------------------------------------------------------------===//
+
+DefUseAnalysis::DefUseAnalysis(const SignatureTable &Sig) {
+  FuncDefTag = Sig.lookup("FuncDef");
+  ParamTag = Sig.lookup("Param");
+  AssignTag = Sig.lookup("Assign");
+  AugAssignTag = Sig.lookup("AugAssign");
+  ForTag = Sig.lookup("For");
+  NameTag = Sig.lookup("Name");
+  TupleTag = Sig.lookup("TupleExpr");
+  ListTag = Sig.lookup("ListExpr");
+  ExprConsTag = Sig.lookup("ExprCons");
+  ExprNilTag = Sig.lookup("ExprNil");
+  IdLit = Sig.lookup("id");
+  NameLit = Sig.lookup("name");
+  TargetLink = Sig.lookup("target");
+  ValueLink = Sig.lookup("value");
+  IterLink = Sig.lookup("iter");
+}
+
+std::set<std::string> DefUseAnalysis::FunctionInfo::freeVariables() const {
+  std::set<std::string> Free;
+  for (const std::string &Name : Uses)
+    if (!Defs.count(Name))
+      Free.insert(Name);
+  return Free;
+}
+
+void DefUseAnalysis::collectTargetDefs(const TreeDatabase &Db, URI Target,
+                                       URI Site, FunctionInfo &Out) const {
+  const NodeRow *Row = Db.node(Target);
+  if (Row == nullptr)
+    return;
+  if (Row->Tag == NameTag) {
+    for (const LitRef &Lit : Row->Lits)
+      if (Lit.Link == IdLit)
+        Out.Defs[Lit.Value.asString()].insert(Site);
+    return;
+  }
+  if (Row->Tag == TupleTag || Row->Tag == ListTag ||
+      Row->Tag == ExprConsTag) {
+    // Tuple/list targets keep their elements behind the typed cons
+    // encoding; descend through the spine.
+    for (URI Kid : Db.childrenOf(Target))
+      collectTargetDefs(Db, Kid, Site, Out);
+    return;
+  }
+  if (Row->Tag == ExprNilTag)
+    return;
+  // Attribute/Subscript targets define no local variable, but their base
+  // expressions are reads.
+  collectUses(Db, Target, Out);
+}
+
+void DefUseAnalysis::collectUses(const TreeDatabase &Db, URI Node,
+                                 FunctionInfo &Out) const {
+  const NodeRow *Row = Db.node(Node);
+  if (Row == nullptr || Row->Tag == FuncDefTag)
+    return; // nested functions own their reads
+  if (Row->Tag == NameTag) {
+    for (const LitRef &Lit : Row->Lits)
+      if (Lit.Link == IdLit)
+        Out.Uses.insert(Lit.Value.asString());
+    return;
+  }
+  for (URI Kid : Db.childrenOf(Node))
+    collectUses(Db, Kid, Out);
+}
+
+void DefUseAnalysis::recomputeFunction(const TreeDatabase &Db, URI Func) {
+  FunctionInfo Result;
+  std::deque<URI> Work{Func};
+  bool First = true;
+  while (!Work.empty()) {
+    URI Cur = Work.front();
+    Work.pop_front();
+    const NodeRow *Row = Db.node(Cur);
+    if (Row == nullptr)
+      continue;
+    if (!First && Row->Tag == FuncDefTag)
+      continue; // nested function: separate scope
+    First = false;
+
+    if (Row->Tag == ParamTag) {
+      for (const LitRef &Lit : Row->Lits)
+        if (Lit.Link == NameLit)
+          Result.Defs[Lit.Value.asString()].insert(Cur);
+      continue;
+    }
+    if (Row->Tag == AssignTag || Row->Tag == AugAssignTag) {
+      if (auto Target = Db.childOf(Cur, TargetLink))
+        collectTargetDefs(Db, *Target, Cur, Result);
+      if (auto Value = Db.childOf(Cur, ValueLink))
+        collectUses(Db, *Value, Result);
+      // AugAssign also *reads* its target.
+      if (Row->Tag == AugAssignTag)
+        if (auto Target = Db.childOf(Cur, TargetLink))
+          collectUses(Db, *Target, Result);
+      continue;
+    }
+    if (Row->Tag == ForTag) {
+      if (auto Target = Db.childOf(Cur, TargetLink))
+        collectTargetDefs(Db, *Target, Cur, Result);
+      if (auto Iter = Db.childOf(Cur, IterLink))
+        collectUses(Db, *Iter, Result);
+      // The body continues through the worklist below.
+      for (URI Kid : Db.childrenOf(Cur)) {
+        if (Kid != Db.childOf(Cur, TargetLink) &&
+            Kid != Db.childOf(Cur, IterLink))
+          Work.push_back(Kid);
+      }
+      continue;
+    }
+    if (Row->Tag == NameTag) {
+      for (const LitRef &Lit : Row->Lits)
+        if (Lit.Link == IdLit)
+          Result.Uses.insert(Lit.Value.asString());
+      continue;
+    }
+    for (URI Kid : Db.childrenOf(Cur))
+      Work.push_back(Kid);
+  }
+  Info[Func] = std::move(Result);
+}
+
+void DefUseAnalysis::recomputeAll(const TreeDatabase &Db) {
+  Info.clear();
+  std::deque<URI> Work{NullURI};
+  while (!Work.empty()) {
+    URI Cur = Work.front();
+    Work.pop_front();
+    const NodeRow *Row = Db.node(Cur);
+    if (Row == nullptr)
+      continue;
+    if (Row->Tag == FuncDefTag)
+      recomputeFunction(Db, Cur);
+    for (URI Kid : Db.childrenOf(Cur))
+      Work.push_back(Kid);
+  }
+}
+
+size_t DefUseAnalysis::update(const TreeDatabase &Db,
+                              const EditScript &Script) {
+  std::unordered_set<URI> Anchors;
+  for (const Edit &E : Script.edits()) {
+    switch (E.Kind) {
+    case EditKind::Detach:
+    case EditKind::Attach:
+      Anchors.insert(E.Parent.Uri);
+      Anchors.insert(E.Node.Uri);
+      break;
+    case EditKind::Load:
+    case EditKind::Update:
+      Anchors.insert(E.Node.Uri);
+      break;
+    case EditKind::Unload:
+      Info.erase(E.Node.Uri);
+      break;
+    }
+  }
+
+  std::unordered_set<URI> Dirty;
+  for (URI Anchor : Anchors) {
+    const NodeRow *Row = Db.node(Anchor);
+    if (Row == nullptr)
+      continue;
+    std::optional<URI> Cur = Anchor;
+    while (Cur) {
+      const NodeRow *CurRow = Db.node(*Cur);
+      if (CurRow != nullptr && CurRow->Tag == FuncDefTag) {
+        Dirty.insert(*Cur);
+        break;
+      }
+      Cur = Db.parentOf(*Cur);
+    }
+    if (Row->Tag == FuncDefTag)
+      Dirty.insert(Anchor);
+  }
+
+  for (URI Func : Dirty)
+    recomputeFunction(Db, Func);
+  return Dirty.size();
+}
+
+const DefUseAnalysis::FunctionInfo *DefUseAnalysis::infoOf(URI Func) const {
+  auto It = Info.find(Func);
+  return It == Info.end() ? nullptr : &It->second;
+}

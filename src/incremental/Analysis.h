@@ -1,0 +1,142 @@
+//===- incremental/Analysis.h - Incremental program analyses ----*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two IncA-style incremental analyses over the TreeDatabase, driven by
+/// truechange edit scripts (paper Section 6):
+///
+///  - TagCensus: node counts per constructor; maintained exactly from
+///    Load/Unload edits.
+///  - CallGraph: for every function, the set of callee names in its body;
+///    maintained by recomputing only the functions an edit script
+///    touches (dirty-set propagation through the parent index).
+///
+/// Both analyses offer a recomputeAll() used as the full-reanalysis
+/// baseline and as the test oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_INCREMENTAL_ANALYSIS_H
+#define TRUEDIFF_INCREMENTAL_ANALYSIS_H
+
+#include "incremental/TreeDatabase.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace truediff {
+namespace incremental {
+
+/// Node counts per tag.
+class TagCensus {
+public:
+  /// Full recomputation from the database.
+  void recomputeAll(const TreeDatabase &Db);
+
+  /// Exact incremental maintenance from an edit script.
+  void update(const EditScript &Script);
+
+  uint64_t countOf(TagId Tag) const;
+  const std::map<TagId, uint64_t> &counts() const { return Counts; }
+
+  bool operator==(const TagCensus &O) const { return Counts == O.Counts; }
+
+private:
+  std::map<TagId, uint64_t> Counts;
+};
+
+/// Function name -> set of called names (Name callees and Attribute
+/// method names).
+class CallGraph {
+public:
+  explicit CallGraph(const SignatureTable &Sig);
+
+  void recomputeAll(const TreeDatabase &Db);
+
+  /// Incremental maintenance: derives the dirty function set from the
+  /// script's anchors and recomputes only those functions.
+  /// \returns the number of functions recomputed.
+  size_t update(const TreeDatabase &Db, const EditScript &Script);
+
+  /// Callees of the function with URI \p Func.
+  const std::set<std::string> *calleesOf(URI Func) const;
+
+  size_t numFunctions() const { return Callees.size(); }
+
+  bool operator==(const CallGraph &O) const { return Callees == O.Callees; }
+
+private:
+  /// Recomputes one function's callee set by walking its database
+  /// subtree.
+  void recomputeFunction(const TreeDatabase &Db, URI Func);
+
+  /// The enclosing FuncDef of \p Uri in the database, if any.
+  std::optional<URI> enclosingFunction(const TreeDatabase &Db,
+                                       URI Uri) const;
+
+  TagId FuncDefTag, CallTag, NameTag, AttributeTag;
+  LinkId NameLit, AttrLit, IdLit;
+  std::map<URI, std::set<std::string>> Callees;
+};
+
+/// Flow-insensitive def-use information per function: for every variable
+/// name, the set of defining sites (parameters, assignment targets,
+/// for-loop targets) and whether the name is used. This is the kind of
+/// dataflow fact IncA maintains incrementally (paper Section 6); like
+/// CallGraph it updates by recomputing only dirty functions.
+class DefUseAnalysis {
+public:
+  explicit DefUseAnalysis(const SignatureTable &Sig);
+
+  /// Defs and uses of one function.
+  struct FunctionInfo {
+    /// Variable name -> defining statement/parameter URIs.
+    std::map<std::string, std::set<URI>> Defs;
+    /// Names read in the function.
+    std::set<std::string> Uses;
+
+    bool operator==(const FunctionInfo &O) const {
+      return Defs == O.Defs && Uses == O.Uses;
+    }
+
+    /// Names that are used but never defined locally (free variables --
+    /// globals, builtins, or bugs).
+    std::set<std::string> freeVariables() const;
+  };
+
+  void recomputeAll(const TreeDatabase &Db);
+
+  /// Incremental maintenance; returns the number of functions
+  /// recomputed.
+  size_t update(const TreeDatabase &Db, const EditScript &Script);
+
+  const FunctionInfo *infoOf(URI Func) const;
+  size_t numFunctions() const { return Info.size(); }
+
+  bool operator==(const DefUseAnalysis &O) const { return Info == O.Info; }
+
+private:
+  void recomputeFunction(const TreeDatabase &Db, URI Func);
+
+  /// Collects the Name ids under a target expression (Name, TupleExpr,
+  /// ListExpr) as definitions of \p Site.
+  void collectTargetDefs(const TreeDatabase &Db, URI Target, URI Site,
+                         FunctionInfo &Out) const;
+
+  /// Walks an expression subtree counting Name reads.
+  void collectUses(const TreeDatabase &Db, URI Node, FunctionInfo &Out) const;
+
+  TagId FuncDefTag, ParamTag, AssignTag, AugAssignTag, ForTag, NameTag,
+      TupleTag, ListTag, ExprConsTag, ExprNilTag;
+  LinkId IdLit, NameLit, TargetLink, ValueLink, IterLink;
+  std::map<URI, FunctionInfo> Info;
+};
+
+} // namespace incremental
+} // namespace truediff
+
+#endif // TRUEDIFF_INCREMENTAL_ANALYSIS_H

@@ -1,0 +1,122 @@
+//===- incremental/Index.h - Bidirectional link indices ---------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two index encodings from the paper's incremental-computing case
+/// study (Section 6): because truechange scripts are type-safe and never
+/// overload links, a link can be stored in a bidirectional *one-to-one*
+/// index. Untyped edit scripts require the weaker *many-to-one* encoding,
+/// where a parent may transiently hold several children on one link, and
+/// every operation pays for set handling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_INCREMENTAL_INDEX_H
+#define TRUEDIFF_INCREMENTAL_INDEX_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+namespace truediff {
+namespace incremental {
+
+/// Bidirectional one-to-one index: each key maps to at most one value and
+/// vice versa. Valid only under type-safe edit scripts.
+template <typename K, typename V> class BidirectionalOneToOneIndex {
+public:
+  void put(const K &Key, const V &Value) {
+    // Type safety guarantees the slot was vacated first; keep the
+    // assertion cheap but present.
+    assert(!Fwd.count(Key) && "one-to-one violated on key");
+    assert(!Rev.count(Value) && "one-to-one violated on value");
+    Fwd.emplace(Key, Value);
+    Rev.emplace(Value, Key);
+  }
+
+  void eraseKey(const K &Key) {
+    auto It = Fwd.find(Key);
+    if (It == Fwd.end())
+      return;
+    Rev.erase(It->second);
+    Fwd.erase(It);
+  }
+
+  std::optional<V> get(const K &Key) const {
+    auto It = Fwd.find(Key);
+    if (It == Fwd.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  std::optional<K> getReverse(const V &Value) const {
+    auto It = Rev.find(Value);
+    if (It == Rev.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  size_t size() const { return Fwd.size(); }
+
+private:
+  std::unordered_map<K, V> Fwd;
+  std::unordered_map<V, K> Rev;
+};
+
+/// Bidirectional many-to-one index: many keys may map to one value; the
+/// reverse direction yields a set. This is the encoding untyped edit
+/// scripts force, with set operations on every access.
+template <typename K, typename V> class BidirectionalManyToOneIndex {
+public:
+  void put(const K &Key, const V &Value) {
+    auto It = Fwd.find(Key);
+    if (It != Fwd.end()) {
+      Rev[It->second].erase(Key);
+      It->second = Value;
+    } else {
+      Fwd.emplace(Key, Value);
+    }
+    Rev[Value].insert(Key);
+  }
+
+  void eraseKey(const K &Key) {
+    auto It = Fwd.find(Key);
+    if (It == Fwd.end())
+      return;
+    auto RevIt = Rev.find(It->second);
+    if (RevIt != Rev.end()) {
+      RevIt->second.erase(Key);
+      if (RevIt->second.empty())
+        Rev.erase(RevIt);
+    }
+    Fwd.erase(It);
+  }
+
+  std::optional<V> get(const K &Key) const {
+    auto It = Fwd.find(Key);
+    if (It == Fwd.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  const std::set<K> *getReverse(const V &Value) const {
+    auto It = Rev.find(Value);
+    return It == Rev.end() ? nullptr : &It->second;
+  }
+
+  size_t size() const { return Fwd.size(); }
+
+private:
+  std::unordered_map<K, V> Fwd;
+  std::unordered_map<V, std::set<K>> Rev;
+};
+
+} // namespace incremental
+} // namespace truediff
+
+#endif // TRUEDIFF_INCREMENTAL_INDEX_H

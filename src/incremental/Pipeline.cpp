@@ -1,0 +1,95 @@
+//===- incremental/Pipeline.cpp - Reparse-diff-update driver ---------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "incremental/Pipeline.h"
+
+#include <chrono>
+
+using namespace truediff;
+using namespace truediff::incremental;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+IncrementalPipeline::IncrementalPipeline(IndexMode Mode)
+    : Sig(python::makePythonSignature()), Calls(Sig), DefUse(Sig),
+      Mode(Mode) {}
+
+bool IncrementalPipeline::init(const std::string &Source) {
+  Ctx = std::make_unique<TreeContext>(Sig);
+  python::PyParseResult R = python::parsePython(*Ctx, Source);
+  if (!R.ok())
+    return false;
+  Current = R.Module;
+  Db = std::make_unique<TreeDatabase>(Sig, Mode);
+  Db->initFromTree(Current);
+  Census.recomputeAll(*Db);
+  Calls.recomputeAll(*Db);
+  DefUse.recomputeAll(*Db);
+  return true;
+}
+
+std::optional<IncrementalPipeline::StepStats>
+IncrementalPipeline::step(const std::string &NewSource) {
+  StepStats Stats;
+
+  auto T0 = Clock::now();
+  python::PyParseResult R = python::parsePython(*Ctx, NewSource);
+  Stats.ParseMs = msSince(T0);
+  if (!R.ok())
+    return std::nullopt;
+
+  auto T1 = Clock::now();
+  TrueDiff Diff(*Ctx);
+  DiffResult Result = Diff.compareTo(Current, R.Module);
+  Stats.DiffMs = msSince(T1);
+  Current = Result.Patched;
+  Stats.EditCount = Result.Script.size();
+  Stats.PatchSize = Result.Script.coalescedSize();
+
+  auto T2 = Clock::now();
+  Db->applyScript(Result.Script);
+  Stats.DbMs = msSince(T2);
+
+  auto T3 = Clock::now();
+  Census.update(Result.Script);
+  Stats.DirtyFunctions = Calls.update(*Db, Result.Script);
+  DefUse.update(*Db, Result.Script);
+  Stats.AnalysisMs = msSince(T3);
+  Stats.TotalFunctions = Calls.numFunctions();
+  return Stats;
+}
+
+IncrementalPipeline::FullStats
+IncrementalPipeline::fullReanalysis(const std::string &Source) {
+  FullStats Stats;
+  auto T0 = Clock::now();
+  TreeContext Fresh(Sig);
+  python::PyParseResult R = python::parsePython(Fresh, Source);
+  Stats.ParseMs = msSince(T0);
+  if (!R.ok())
+    return Stats;
+
+  auto T1 = Clock::now();
+  TreeDatabase FreshDb(Sig, Mode);
+  FreshDb.initFromTree(R.Module);
+  TagCensus FreshCensus;
+  FreshCensus.recomputeAll(FreshDb);
+  CallGraph FreshCalls(Sig);
+  FreshCalls.recomputeAll(FreshDb);
+  DefUseAnalysis FreshDefUse(Sig);
+  FreshDefUse.recomputeAll(FreshDb);
+  Stats.BuildMs = msSince(T1);
+  return Stats;
+}

@@ -1,0 +1,56 @@
+//===- json/Json.h - JSON documents as typed trees --------------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A second language substrate besides Python: JSON documents as typed
+/// trees. The paper motivates structural patches for databases and
+/// version control (Section 1); this front end shows that the entire
+/// stack -- truediff, the type checker, the standard semantics -- is
+/// datatype-generic: it only needs a signature.
+///
+/// Signature: sorts Value, ElemList, Member, MemberList. Arrays and
+/// objects use the typed cons encoding like Python's statement lists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_JSON_JSON_H
+#define TRUEDIFF_JSON_JSON_H
+
+#include "tree/Signature.h"
+#include "tree/Tree.h"
+
+#include <string>
+#include <string_view>
+
+namespace truediff {
+namespace json {
+
+/// Builds the JSON signature: JNull, JBool, JNumber, JString, JArray,
+/// JObject, plus the list encodings.
+SignatureTable makeJsonSignature();
+
+struct JsonParseResult {
+  Tree *Value = nullptr;
+  std::string Error;
+
+  bool ok() const { return Value != nullptr; }
+};
+
+/// Parses a JSON document into a typed tree; the context's signature
+/// must be makeJsonSignature(). Numbers are stored as doubles (JSON has
+/// one number type); object member order is preserved.
+JsonParseResult parseJson(TreeContext &Ctx, std::string_view Text);
+
+/// Renders the tree as compact JSON (round-trips through parseJson).
+std::string unparseJson(const SignatureTable &Sig, const Tree *Value);
+
+/// Renders the tree as indented JSON for humans.
+std::string unparseJsonPretty(const SignatureTable &Sig, const Tree *Value);
+
+} // namespace json
+} // namespace truediff
+
+#endif // TRUEDIFF_JSON_JSON_H

@@ -1,0 +1,88 @@
+//===- lcsdiff/LcsDiff.h - Type-safe diffing without moves ------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A type-safe edit script in the style of Lempsink et al. (WGP 2009) and
+/// Vassena (TyDe 2016), discussed in the paper's Sections 1 and 7: the
+/// script is a list of Cpy/Ins/Del operations interpreted against a
+/// pre-order traversal of the tree. Because the script cannot express
+/// moves, a moved subtree is deleted and re-inserted from scratch, and the
+/// script mentions every unchanged node through Cpy -- the paper's example
+/// for "type-safe but not concise".
+///
+/// The script is computed as a longest common subsequence of the pre-order
+/// token sequences (common prefix/suffix are trimmed first; very large
+/// middles fall back to full replacement, see DESIGN.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_LCSDIFF_LCSDIFF_H
+#define TRUEDIFF_LCSDIFF_LCSDIFF_H
+
+#include "tree/Tree.h"
+
+#include <string>
+#include <vector>
+
+namespace truediff {
+namespace lcsdiff {
+
+/// One node of the pre-order serialization: the constructor and its
+/// literals. Arity is implied by the signature.
+struct Token {
+  TagId Tag = InvalidSymbol;
+  std::vector<Literal> Lits;
+
+  bool operator==(const Token &O) const {
+    return Tag == O.Tag && Lits == O.Lits;
+  }
+};
+
+enum class OpKind : uint8_t { Cpy, Ins, Del };
+
+struct Op {
+  OpKind Kind;
+  Token Tok;
+};
+
+/// A Cpy/Ins/Del edit script over pre-order traversals.
+struct LcsScript {
+  std::vector<Op> Ops;
+
+  /// Total script length; this is the Lempsink et al. patch size the
+  /// paper criticises (proportional to the traversal, Cpy included).
+  size_t size() const { return Ops.size(); }
+
+  /// Only the changes (Ins + Del).
+  size_t numChanges() const;
+
+  std::string toString(const SignatureTable &Sig) const;
+};
+
+/// Pre-order serialization of a tree.
+std::vector<Token> preOrderTokens(const Tree *T);
+
+/// Options controlling the LCS fallback for very large diffs.
+struct LcsOptions {
+  /// Maximum product of middle lengths for the exact LCS; larger inputs
+  /// replace the middle wholesale (Del* then Ins*).
+  uint64_t MaxDpProduct = 6250000; // 2500 x 2500
+};
+
+/// Computes a Cpy/Ins/Del script turning \p Src into \p Dst.
+LcsScript lcsDiff(const Tree *Src, const Tree *Dst,
+                  const LcsOptions &Opts = LcsOptions());
+
+/// Applies a script to \p Src: replays the operations against the
+/// pre-order serialization and rebuilds the typed result tree in \p Ctx.
+/// Returns nullptr if the script does not fit the tree (wrong Cpy/Del
+/// tokens, leftover input, or an ill-formed output sequence).
+Tree *applyLcs(TreeContext &Ctx, const Tree *Src, const LcsScript &Script);
+
+} // namespace lcsdiff
+} // namespace truediff
+
+#endif // TRUEDIFF_LCSDIFF_LCSDIFF_H

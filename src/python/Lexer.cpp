@@ -1,0 +1,314 @@
+//===- python/Lexer.cpp - Indentation-aware Python lexer -------------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "python/Lexer.h"
+
+#include <cctype>
+
+using namespace truediff;
+using namespace truediff::python;
+
+namespace {
+
+const char *Keywords[] = {"def",    "class", "if",     "elif",   "else",
+                          "while",  "for",   "in",     "return", "pass",
+                          "break",  "continue", "import", "from", "assert",
+                          "and",    "or",    "not",    "True",   "False",
+                          "None",   "is"};
+
+bool isKeyword(std::string_view S) {
+  for (const char *K : Keywords)
+    if (S == K)
+      return true;
+  return false;
+}
+
+/// Multi-character operators, longest first.
+const char *MultiOps[] = {"**=", "//=", "==", "!=", "<=", ">=", "+=", "-=",
+                          "*=",  "/=",  "%=", "**", "//"};
+
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Src(Source) {
+    Indents.push_back(0);
+  }
+
+  std::vector<Tok> run() {
+    while (!AtEof) {
+      lexLine();
+    }
+    // Close open blocks.
+    if (!Failed) {
+      while (Indents.back() > 0) {
+        Indents.pop_back();
+        emit(TokKind::Dedent, "");
+      }
+      emit(TokKind::EndOfFile, "");
+    }
+    return std::move(Toks);
+  }
+
+private:
+  void emit(TokKind Kind, std::string Text) {
+    Toks.push_back(Tok{Kind, std::move(Text), Line});
+  }
+
+  void error(const std::string &Message) {
+    if (!Failed)
+      emit(TokKind::Error,
+           Message + " at line " + std::to_string(Line));
+    Failed = true;
+    AtEof = true;
+  }
+
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+  }
+  char take() { return Src[Pos++]; }
+  bool atEnd() const { return Pos >= Src.size(); }
+
+  /// Lexes one logical line: indentation handling, then tokens until the
+  /// newline.
+  void lexLine() {
+    // Measure indentation; skip blank/comment lines entirely.
+    size_t LineStart = Pos;
+    int Indent = 0;
+    while (!atEnd() && (peek() == ' ' || peek() == '\t')) {
+      Indent += peek() == '\t' ? 8 - (Indent % 8) : 1;
+      ++Pos;
+    }
+    if (atEnd()) {
+      AtEof = true;
+      return;
+    }
+    if (peek() == '\n' || peek() == '#') {
+      skipToLineEnd();
+      return;
+    }
+    (void)LineStart;
+
+    // INDENT/DEDENT per the indentation stack.
+    if (Indent > Indents.back()) {
+      Indents.push_back(Indent);
+      emit(TokKind::Indent, "");
+    } else {
+      while (Indent < Indents.back()) {
+        Indents.pop_back();
+        emit(TokKind::Dedent, "");
+      }
+      if (Indent != Indents.back()) {
+        error("inconsistent dedent");
+        return;
+      }
+    }
+
+    // Tokens until end of (logical) line.
+    while (!atEnd() && peek() != '\n') {
+      if (peek() == ' ' || peek() == '\t') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '#') {
+        while (!atEnd() && peek() != '\n')
+          ++Pos;
+        break;
+      }
+      if (!lexToken())
+        return;
+    }
+    if (!atEnd())
+      ++Pos; // consume '\n'
+    if (BracketDepth == 0)
+      emit(TokKind::Newline, "");
+    ++Line;
+    if (atEnd())
+      AtEof = true;
+
+    // Inside brackets, logical lines continue: merge following physical
+    // lines without layout tokens.
+    while (BracketDepth > 0 && !atEnd()) {
+      while (!atEnd() && peek() != '\n') {
+        if (peek() == ' ' || peek() == '\t') {
+          ++Pos;
+          continue;
+        }
+        if (peek() == '#') {
+          while (!atEnd() && peek() != '\n')
+            ++Pos;
+          break;
+        }
+        if (!lexToken())
+          return;
+      }
+      if (!atEnd())
+        ++Pos;
+      ++Line;
+      if (BracketDepth == 0)
+        emit(TokKind::Newline, "");
+    }
+    if (atEnd())
+      AtEof = true;
+  }
+
+  void skipToLineEnd() {
+    while (!atEnd() && peek() != '\n')
+      ++Pos;
+    if (!atEnd())
+      ++Pos;
+    ++Line;
+    if (atEnd())
+      AtEof = true;
+  }
+
+  bool lexToken() {
+    char C = peek();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+      return lexName();
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber();
+    if (C == '"' || C == '\'')
+      return lexString();
+    return lexOp();
+  }
+
+  bool lexName() {
+    size_t Start = Pos;
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      ++Pos;
+    std::string Text(Src.substr(Start, Pos - Start));
+    TokKind Kind = isKeyword(Text) ? TokKind::Keyword : TokKind::Name;
+    emit(Kind, std::move(Text));
+    return true;
+  }
+
+  bool lexNumber() {
+    size_t Start = Pos;
+    bool IsFloat = false;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    if (!atEnd() && peek() == '.' &&
+        std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      ++Pos;
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      size_t Save = Pos;
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      if (std::isdigit(static_cast<unsigned char>(peek()))) {
+        IsFloat = true;
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+          ++Pos;
+      } else {
+        Pos = Save;
+      }
+    }
+    emit(IsFloat ? TokKind::Float : TokKind::Int,
+         std::string(Src.substr(Start, Pos - Start)));
+    return true;
+  }
+
+  bool lexString() {
+    char Quote = take();
+    std::string Value;
+    while (!atEnd() && peek() != Quote && peek() != '\n') {
+      char C = take();
+      if (C == '\\' && !atEnd()) {
+        char E = take();
+        switch (E) {
+        case 'n':
+          Value.push_back('\n');
+          break;
+        case 't':
+          Value.push_back('\t');
+          break;
+        case '\\':
+          Value.push_back('\\');
+          break;
+        case '\'':
+          Value.push_back('\'');
+          break;
+        case '"':
+          Value.push_back('"');
+          break;
+        default:
+          Value.push_back('\\');
+          Value.push_back(E);
+        }
+      } else {
+        Value.push_back(C);
+      }
+    }
+    if (atEnd() || peek() == '\n') {
+      error("unterminated string literal");
+      return false;
+    }
+    ++Pos; // closing quote
+    emit(TokKind::Str, std::move(Value));
+    return true;
+  }
+
+  bool lexOp() {
+    for (const char *O : MultiOps) {
+      size_t Len = std::char_traits<char>::length(O);
+      if (Src.substr(Pos, Len) == O) {
+        Pos += Len;
+        emit(TokKind::Op, O);
+        return true;
+      }
+    }
+    char C = take();
+    switch (C) {
+    case '(':
+    case '[':
+    case '{':
+      ++BracketDepth;
+      break;
+    case ')':
+    case ']':
+    case '}':
+      if (BracketDepth > 0)
+        --BracketDepth;
+      break;
+    case '+':
+    case '-':
+    case '*':
+    case '/':
+    case '%':
+    case '=':
+    case '<':
+    case '>':
+    case ',':
+    case ':':
+    case '.':
+      break;
+    default:
+      error(std::string("unexpected character '") + C + "'");
+      return false;
+    }
+    emit(TokKind::Op, std::string(1, C));
+    return true;
+  }
+
+  std::string_view Src;
+  size_t Pos = 0;
+  int Line = 1;
+  int BracketDepth = 0;
+  bool AtEof = false;
+  bool Failed = false;
+  std::vector<int> Indents;
+  std::vector<Tok> Toks;
+};
+
+} // namespace
+
+std::vector<Tok> truediff::python::lexPython(std::string_view Source) {
+  return Lexer(Source).run();
+}

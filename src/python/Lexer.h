@@ -1,0 +1,62 @@
+//===- python/Lexer.h - Indentation-aware Python lexer ----------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizes the Python subset: names, keywords, numbers, strings,
+/// operators, and the layout tokens NEWLINE/INDENT/DEDENT produced from
+/// an indentation stack (CPython's tokenizer algorithm). Blank lines and
+/// `#` comments are skipped; newlines inside brackets are ignored.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_PYTHON_LEXER_H
+#define TRUEDIFF_PYTHON_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace truediff {
+namespace python {
+
+enum class TokKind : uint8_t {
+  Name,
+  Keyword,
+  Int,
+  Float,
+  Str,
+  Op,
+  Newline,
+  Indent,
+  Dedent,
+  EndOfFile,
+  Error,
+};
+
+struct Tok {
+  TokKind Kind;
+  /// The lexeme; for Str the *decoded* value.
+  std::string Text;
+  int Line = 0;
+
+  bool isKw(std::string_view Kw) const {
+    return Kind == TokKind::Keyword && Text == Kw;
+  }
+  bool isOp(std::string_view O) const {
+    return Kind == TokKind::Op && Text == O;
+  }
+};
+
+/// Tokenizes \p Source. On a lexical error the last token has kind Error
+/// and carries the message; otherwise the stream ends with EndOfFile
+/// (preceded by the dedents closing open blocks).
+std::vector<Tok> lexPython(std::string_view Source);
+
+} // namespace python
+} // namespace truediff
+
+#endif // TRUEDIFF_PYTHON_LEXER_H

@@ -1,0 +1,657 @@
+//===- python/Parser.cpp - Recursive-descent parser for the subset ---------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "python/Python.h"
+
+#include "python/Lexer.h"
+
+#include <cstdlib>
+#include <functional>
+
+using namespace truediff;
+using namespace truediff::python;
+
+namespace {
+
+/// Recursive-descent parser; errors unwind through nullptr with the first
+/// message retained.
+class Parser {
+public:
+  Parser(TreeContext &Ctx, std::vector<Tok> Tokens)
+      : Ctx(Ctx), Sig(Ctx.signatures()), Toks(std::move(Tokens)) {}
+
+  Tree *parseModule() {
+    if (!Toks.empty() && Toks.back().Kind == TokKind::Error) {
+      Err = Toks.back().Text;
+      return nullptr;
+    }
+    std::vector<Tree *> Stmts;
+    while (!at(TokKind::EndOfFile)) {
+      Tree *S = parseStmt();
+      if (S == nullptr)
+        return nullptr;
+      Stmts.push_back(S);
+    }
+    return Ctx.make("Module", {stmtList(Stmts)}, {});
+  }
+
+  const std::string &error() const { return Err; }
+
+private:
+  //===--------------------------------------------------------------===//
+  // Token helpers
+  //===--------------------------------------------------------------===//
+
+  const Tok &cur() const { return Toks[Pos]; }
+  bool at(TokKind K) const { return cur().Kind == K; }
+  bool atKw(std::string_view K) const { return cur().isKw(K); }
+  bool atOp(std::string_view O) const { return cur().isOp(O); }
+
+  Tok take() { return Toks[Pos++]; }
+
+  bool eatKw(std::string_view K) {
+    if (!atKw(K))
+      return false;
+    ++Pos;
+    return true;
+  }
+  bool eatOp(std::string_view O) {
+    if (!atOp(O))
+      return false;
+    ++Pos;
+    return true;
+  }
+  bool eat(TokKind K) {
+    if (!at(K))
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  std::nullptr_t fail(const std::string &Message) {
+    if (Err.empty())
+      Err = Message + " at line " + std::to_string(cur().Line);
+    return nullptr;
+  }
+
+  bool expectOp(std::string_view O) {
+    if (eatOp(O))
+      return true;
+    fail("expected '" + std::string(O) + "'");
+    return false;
+  }
+
+  bool expectNewline() {
+    if (eat(TokKind::Newline))
+      return true;
+    fail("expected end of line");
+    return false;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Tree builders
+  //===--------------------------------------------------------------===//
+
+  Tree *stmtList(const std::vector<Tree *> &Stmts) {
+    Tree *List = Ctx.make("StmtNil", {}, {});
+    for (size_t I = Stmts.size(); I-- > 0;)
+      List = Ctx.make("StmtCons", {Stmts[I], List}, {});
+    return List;
+  }
+
+  Tree *exprList(const std::vector<Tree *> &Exprs) {
+    Tree *List = Ctx.make("ExprNil", {}, {});
+    for (size_t I = Exprs.size(); I-- > 0;)
+      List = Ctx.make("ExprCons", {Exprs[I], List}, {});
+    return List;
+  }
+
+  Tree *paramList(const std::vector<Tree *> &Params) {
+    Tree *List = Ctx.make("ParamNil", {}, {});
+    for (size_t I = Params.size(); I-- > 0;)
+      List = Ctx.make("ParamCons", {Params[I], List}, {});
+    return List;
+  }
+
+  Tree *entryList(const std::vector<Tree *> &Entries) {
+    Tree *List = Ctx.make("EntryNil", {}, {});
+    for (size_t I = Entries.size(); I-- > 0;)
+      List = Ctx.make("EntryCons", {Entries[I], List}, {});
+    return List;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------===//
+
+  Tree *parseStmt() {
+    if (atKw("def"))
+      return parseFuncDef();
+    if (atKw("class"))
+      return parseClassDef();
+    if (atKw("if"))
+      return parseIf();
+    if (atKw("while"))
+      return parseWhile();
+    if (atKw("for"))
+      return parseFor();
+    Tree *S = parseSimpleStmt();
+    if (S == nullptr)
+      return nullptr;
+    if (!expectNewline())
+      return nullptr;
+    return S;
+  }
+
+  /// ':' NEWLINE INDENT stmt+ DEDENT
+  Tree *parseBlock() {
+    if (!expectOp(":"))
+      return nullptr;
+    if (!expectNewline())
+      return nullptr;
+    if (!eat(TokKind::Indent))
+      return fail("expected an indented block");
+    std::vector<Tree *> Stmts;
+    while (!at(TokKind::Dedent) && !at(TokKind::EndOfFile)) {
+      Tree *S = parseStmt();
+      if (S == nullptr)
+        return nullptr;
+      Stmts.push_back(S);
+    }
+    if (!eat(TokKind::Dedent))
+      return fail("expected dedent");
+    if (Stmts.empty())
+      return fail("empty block");
+    return stmtList(Stmts);
+  }
+
+  Tree *parseFuncDef() {
+    eatKw("def");
+    if (!at(TokKind::Name))
+      return fail("expected function name");
+    std::string Name = take().Text;
+    if (!expectOp("("))
+      return nullptr;
+    std::vector<Tree *> Params;
+    if (!atOp(")")) {
+      do {
+        if (!at(TokKind::Name))
+          return fail("expected parameter name");
+        Params.push_back(Ctx.make("Param", {}, {Literal(take().Text)}));
+      } while (eatOp(","));
+    }
+    if (!expectOp(")"))
+      return nullptr;
+    Tree *Body = parseBlock();
+    if (Body == nullptr)
+      return nullptr;
+    return Ctx.make("FuncDef", {paramList(Params), Body},
+                    {Literal(std::move(Name))});
+  }
+
+  Tree *parseClassDef() {
+    eatKw("class");
+    if (!at(TokKind::Name))
+      return fail("expected class name");
+    std::string Name = take().Text;
+    std::vector<Tree *> Bases;
+    if (eatOp("(")) {
+      if (!atOp(")")) {
+        do {
+          Tree *E = parseExpr();
+          if (E == nullptr)
+            return nullptr;
+          Bases.push_back(E);
+        } while (eatOp(","));
+      }
+      if (!expectOp(")"))
+        return nullptr;
+    }
+    Tree *Body = parseBlock();
+    if (Body == nullptr)
+      return nullptr;
+    return Ctx.make("ClassDef", {exprList(Bases), Body},
+                    {Literal(std::move(Name))});
+  }
+
+  Tree *parseIf() {
+    eatKw("if");
+    return parseIfRest();
+  }
+
+  /// Parses "<cond> block {elif...} [else...]"; elif becomes a nested If.
+  Tree *parseIfRest() {
+    Tree *Cond = parseExpr();
+    if (Cond == nullptr)
+      return nullptr;
+    Tree *Then = parseBlock();
+    if (Then == nullptr)
+      return nullptr;
+    Tree *Else = nullptr;
+    if (atKw("elif")) {
+      eatKw("elif");
+      Tree *Nested = parseIfRest();
+      if (Nested == nullptr)
+        return nullptr;
+      Else = stmtList({Nested});
+    } else if (eatKw("else")) {
+      Else = parseBlock();
+      if (Else == nullptr)
+        return nullptr;
+    } else {
+      Else = Ctx.make("StmtNil", {}, {});
+    }
+    return Ctx.make("If", {Cond, Then, Else}, {});
+  }
+
+  Tree *parseWhile() {
+    eatKw("while");
+    Tree *Cond = parseExpr();
+    if (Cond == nullptr)
+      return nullptr;
+    Tree *Body = parseBlock();
+    if (Body == nullptr)
+      return nullptr;
+    return Ctx.make("While", {Cond, Body}, {});
+  }
+
+  /// For-loop targets are postfix expressions (names, attributes,
+  /// subscripts) or tuples thereof; a full expression would swallow the
+  /// 'in' keyword as a comparison.
+  Tree *parseTarget() {
+    Tree *First = parsePostfix();
+    if (First == nullptr)
+      return nullptr;
+    if (!atOp(","))
+      return First;
+    std::vector<Tree *> Elts{First};
+    while (eatOp(",")) {
+      if (atKw("in"))
+        break;
+      Tree *E = parsePostfix();
+      if (E == nullptr)
+        return nullptr;
+      Elts.push_back(E);
+    }
+    return Ctx.make("TupleExpr", {exprList(Elts)}, {});
+  }
+
+  Tree *parseFor() {
+    eatKw("for");
+    Tree *Target = parseTarget();
+    if (Target == nullptr)
+      return nullptr;
+    if (!eatKw("in"))
+      return fail("expected 'in'");
+    Tree *Iter = parseExpr();
+    if (Iter == nullptr)
+      return nullptr;
+    Tree *Body = parseBlock();
+    if (Body == nullptr)
+      return nullptr;
+    return Ctx.make("For", {Target, Iter, Body}, {});
+  }
+
+  Tree *parseSimpleStmt() {
+    if (eatKw("pass"))
+      return Ctx.make("Pass", {}, {});
+    if (eatKw("break"))
+      return Ctx.make("Break", {}, {});
+    if (eatKw("continue"))
+      return Ctx.make("Continue", {}, {});
+    if (eatKw("return")) {
+      if (at(TokKind::Newline))
+        return Ctx.make("Return", {Ctx.make("NoneLit", {}, {})}, {});
+      Tree *V = parseExprListAsExpr();
+      if (V == nullptr)
+        return nullptr;
+      return Ctx.make("Return", {V}, {});
+    }
+    if (eatKw("import")) {
+      std::string Module = parseDottedName();
+      if (Module.empty())
+        return nullptr;
+      return Ctx.make("Import", {}, {Literal(std::move(Module))});
+    }
+    if (eatKw("from")) {
+      std::string Module = parseDottedName();
+      if (Module.empty())
+        return nullptr;
+      if (!eatKw("import"))
+        return fail("expected 'import'");
+      if (!at(TokKind::Name) && !atOp("*"))
+        return fail("expected imported name");
+      std::string Name = take().Text;
+      return Ctx.make("ImportFrom", {},
+                      {Literal(std::move(Module)), Literal(std::move(Name))});
+    }
+    if (eatKw("assert")) {
+      Tree *T = parseExpr();
+      if (T == nullptr)
+        return nullptr;
+      return Ctx.make("Assert", {T}, {});
+    }
+
+    // Expression statement, assignment, or augmented assignment.
+    Tree *Target = parseExprListAsExpr();
+    if (Target == nullptr)
+      return nullptr;
+    static const char *AugOps[] = {"+=", "-=", "*=", "/=", "%=", "**=",
+                                   "//="};
+    for (const char *O : AugOps) {
+      if (atOp(O)) {
+        std::string Op(take().Text, 0, std::string(O).size() - 1);
+        Tree *Value = parseExprListAsExpr();
+        if (Value == nullptr)
+          return nullptr;
+        return Ctx.make("AugAssign", {Target, Value},
+                        {Literal(std::move(Op))});
+      }
+    }
+    if (eatOp("=")) {
+      Tree *Value = parseExprListAsExpr();
+      if (Value == nullptr)
+        return nullptr;
+      return Ctx.make("Assign", {Target, Value}, {});
+    }
+    return Ctx.make("ExprStmt", {Target}, {});
+  }
+
+  std::string parseDottedName() {
+    if (!at(TokKind::Name)) {
+      fail("expected module name");
+      return "";
+    }
+    std::string Name = take().Text;
+    while (atOp(".")) {
+      ++Pos;
+      if (!at(TokKind::Name)) {
+        fail("expected name after '.'");
+        return "";
+      }
+      Name += ".";
+      Name += take().Text;
+    }
+    return Name;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------===//
+
+  /// expr {',' expr}: a single expression, or a TupleExpr.
+  Tree *parseExprListAsExpr() {
+    Tree *First = parseExpr();
+    if (First == nullptr)
+      return nullptr;
+    if (!atOp(","))
+      return First;
+    std::vector<Tree *> Elts{First};
+    while (eatOp(",")) {
+      if (at(TokKind::Newline) || atOp(")") || atOp("]") || atOp("}") ||
+          atOp(":") || atOp("="))
+        break; // trailing comma
+      Tree *E = parseExpr();
+      if (E == nullptr)
+        return nullptr;
+      Elts.push_back(E);
+    }
+    return Ctx.make("TupleExpr", {exprList(Elts)}, {});
+  }
+
+  Tree *parseExpr() { return parseOr(); }
+
+  Tree *parseOr() {
+    Tree *L = parseAnd();
+    if (L == nullptr)
+      return nullptr;
+    while (atKw("or")) {
+      ++Pos;
+      Tree *R = parseAnd();
+      if (R == nullptr)
+        return nullptr;
+      L = Ctx.make("BoolOp", {L, R}, {Literal("or")});
+    }
+    return L;
+  }
+
+  Tree *parseAnd() {
+    Tree *L = parseNot();
+    if (L == nullptr)
+      return nullptr;
+    while (atKw("and")) {
+      ++Pos;
+      Tree *R = parseNot();
+      if (R == nullptr)
+        return nullptr;
+      L = Ctx.make("BoolOp", {L, R}, {Literal("and")});
+    }
+    return L;
+  }
+
+  Tree *parseNot() {
+    if (atKw("not")) {
+      ++Pos;
+      Tree *E = parseNot();
+      if (E == nullptr)
+        return nullptr;
+      return Ctx.make("UnaryOp", {E}, {Literal("not")});
+    }
+    return parseComparison();
+  }
+
+  Tree *parseComparison() {
+    Tree *L = parseArith();
+    if (L == nullptr)
+      return nullptr;
+    for (;;) {
+      std::string Op;
+      if (atOp("==") || atOp("!=") || atOp("<") || atOp("<=") ||
+          atOp(">") || atOp(">=")) {
+        Op = take().Text;
+      } else if (atKw("in")) {
+        ++Pos;
+        Op = "in";
+      } else if (atKw("not")) {
+        // 'not in'
+        ++Pos;
+        if (!eatKw("in"))
+          return fail("expected 'in' after 'not'");
+        Op = "not in";
+      } else if (atKw("is")) {
+        ++Pos;
+        Op = eatKw("not") ? "is not" : "is";
+      } else {
+        return L;
+      }
+      Tree *R = parseArith();
+      if (R == nullptr)
+        return nullptr;
+      L = Ctx.make("Compare", {L, R}, {Literal(std::move(Op))});
+    }
+  }
+
+  Tree *parseArith() {
+    Tree *L = parseTerm();
+    if (L == nullptr)
+      return nullptr;
+    while (atOp("+") || atOp("-")) {
+      std::string Op = take().Text;
+      Tree *R = parseTerm();
+      if (R == nullptr)
+        return nullptr;
+      L = Ctx.make("BinOp", {L, R}, {Literal(std::move(Op))});
+    }
+    return L;
+  }
+
+  Tree *parseTerm() {
+    Tree *L = parseFactor();
+    if (L == nullptr)
+      return nullptr;
+    while (atOp("*") || atOp("/") || atOp("%") || atOp("//")) {
+      std::string Op = take().Text;
+      Tree *R = parseFactor();
+      if (R == nullptr)
+        return nullptr;
+      L = Ctx.make("BinOp", {L, R}, {Literal(std::move(Op))});
+    }
+    return L;
+  }
+
+  Tree *parseFactor() {
+    if (atOp("-") || atOp("+")) {
+      std::string Op = take().Text;
+      Tree *E = parseFactor();
+      if (E == nullptr)
+        return nullptr;
+      return Ctx.make("UnaryOp", {E}, {Literal(std::move(Op))});
+    }
+    return parsePower();
+  }
+
+  Tree *parsePower() {
+    Tree *L = parsePostfix();
+    if (L == nullptr)
+      return nullptr;
+    if (atOp("**")) {
+      ++Pos;
+      Tree *R = parseFactor(); // right-associative
+      if (R == nullptr)
+        return nullptr;
+      return Ctx.make("BinOp", {L, R}, {Literal("**")});
+    }
+    return L;
+  }
+
+  Tree *parsePostfix() {
+    Tree *E = parseAtom();
+    if (E == nullptr)
+      return nullptr;
+    for (;;) {
+      if (eatOp("(")) {
+        std::vector<Tree *> Args;
+        if (!atOp(")")) {
+          do {
+            if (atOp(")"))
+              break; // trailing comma
+            Tree *A = parseExpr();
+            if (A == nullptr)
+              return nullptr;
+            Args.push_back(A);
+          } while (eatOp(","));
+        }
+        if (!expectOp(")"))
+          return nullptr;
+        E = Ctx.make("Call", {E, exprList(Args)}, {});
+        continue;
+      }
+      if (eatOp(".")) {
+        if (!at(TokKind::Name))
+          return fail("expected attribute name");
+        E = Ctx.make("Attribute", {E}, {Literal(take().Text)});
+        continue;
+      }
+      if (eatOp("[")) {
+        Tree *Index = parseExprListAsExpr();
+        if (Index == nullptr)
+          return nullptr;
+        if (!expectOp("]"))
+          return nullptr;
+        E = Ctx.make("Subscript", {E, Index}, {});
+        continue;
+      }
+      return E;
+    }
+  }
+
+  Tree *parseAtom() {
+    if (at(TokKind::Name))
+      return Ctx.make("Name", {}, {Literal(take().Text)});
+    if (at(TokKind::Int))
+      return Ctx.make(
+          "IntLit", {},
+          {Literal(static_cast<int64_t>(
+              std::strtoll(take().Text.c_str(), nullptr, 10)))});
+    if (at(TokKind::Float))
+      return Ctx.make("FloatLit", {},
+                      {Literal(std::strtod(take().Text.c_str(), nullptr))});
+    if (at(TokKind::Str))
+      return Ctx.make("StrLit", {}, {Literal(take().Text)});
+    if (eatKw("True"))
+      return Ctx.make("BoolLit", {}, {Literal(true)});
+    if (eatKw("False"))
+      return Ctx.make("BoolLit", {}, {Literal(false)});
+    if (eatKw("None"))
+      return Ctx.make("NoneLit", {}, {});
+    if (eatOp("(")) {
+      if (eatOp(")")) // empty tuple
+        return Ctx.make("TupleExpr", {exprList({})}, {});
+      Tree *E = parseExprListAsExpr();
+      if (E == nullptr)
+        return nullptr;
+      if (!expectOp(")"))
+        return nullptr;
+      return E; // grouping; tuples got built by the comma rule
+    }
+    if (eatOp("[")) {
+      std::vector<Tree *> Elts;
+      if (!atOp("]")) {
+        do {
+          if (atOp("]"))
+            break;
+          Tree *E = parseExpr();
+          if (E == nullptr)
+            return nullptr;
+          Elts.push_back(E);
+        } while (eatOp(","));
+      }
+      if (!expectOp("]"))
+        return nullptr;
+      return Ctx.make("ListExpr", {exprList(Elts)}, {});
+    }
+    if (eatOp("{")) {
+      std::vector<Tree *> Entries;
+      if (!atOp("}")) {
+        do {
+          if (atOp("}"))
+            break;
+          Tree *K = parseExpr();
+          if (K == nullptr)
+            return nullptr;
+          if (!expectOp(":"))
+            return nullptr;
+          Tree *V = parseExpr();
+          if (V == nullptr)
+            return nullptr;
+          Entries.push_back(Ctx.make("Entry", {K, V}, {}));
+        } while (eatOp(","));
+      }
+      if (!expectOp("}"))
+        return nullptr;
+      return Ctx.make("DictExpr", {entryList(Entries)}, {});
+    }
+    return fail("expected expression");
+  }
+
+  TreeContext &Ctx;
+  const SignatureTable &Sig;
+  std::vector<Tok> Toks;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+PyParseResult truediff::python::parsePython(TreeContext &Ctx,
+                                            std::string_view Source) {
+  Parser P(Ctx, lexPython(Source));
+  PyParseResult R;
+  R.Module = P.parseModule();
+  if (R.Module == nullptr)
+    R.Error = P.error().empty() ? "parse error" : P.error();
+  return R;
+}

@@ -1,0 +1,92 @@
+//===- python/PySig.cpp - Typed AST signature for a Python subset ----------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "python/PySig.h"
+
+using namespace truediff;
+
+SignatureTable truediff::python::makePythonSignature() {
+  SignatureTable Sig;
+
+  // Module and statement lists.
+  Sig.defineTag("Module", "Mod", {{"body", "StmtList"}}, {});
+  Sig.defineTag("StmtNil", "StmtList", {}, {});
+  Sig.defineTag("StmtCons", "StmtList",
+                {{"head", "Stmt"}, {"tail", "StmtList"}}, {});
+
+  // Parameters.
+  Sig.defineTag("Param", "Param", {}, {{"name", LitKind::String}});
+  Sig.defineTag("ParamNil", "ParamList", {}, {});
+  Sig.defineTag("ParamCons", "ParamList",
+                {{"head", "Param"}, {"tail", "ParamList"}}, {});
+
+  // Statements.
+  Sig.defineTag("FuncDef", "Stmt",
+                {{"params", "ParamList"}, {"body", "StmtList"}},
+                {{"name", LitKind::String}});
+  Sig.defineTag("ClassDef", "Stmt",
+                {{"bases", "ExprList"}, {"body", "StmtList"}},
+                {{"name", LitKind::String}});
+  Sig.defineTag("If", "Stmt",
+                {{"cond", "Expr"}, {"then", "StmtList"},
+                 {"orelse", "StmtList"}},
+                {});
+  Sig.defineTag("While", "Stmt", {{"cond", "Expr"}, {"body", "StmtList"}},
+                {});
+  Sig.defineTag("For", "Stmt",
+                {{"target", "Expr"}, {"iter", "Expr"}, {"body", "StmtList"}},
+                {});
+  Sig.defineTag("Return", "Stmt", {{"value", "Expr"}}, {});
+  Sig.defineTag("Assign", "Stmt", {{"target", "Expr"}, {"value", "Expr"}},
+                {});
+  Sig.defineTag("AugAssign", "Stmt",
+                {{"target", "Expr"}, {"value", "Expr"}},
+                {{"op", LitKind::String}});
+  Sig.defineTag("ExprStmt", "Stmt", {{"value", "Expr"}}, {});
+  Sig.defineTag("Pass", "Stmt", {}, {});
+  Sig.defineTag("Break", "Stmt", {}, {});
+  Sig.defineTag("Continue", "Stmt", {}, {});
+  Sig.defineTag("Import", "Stmt", {}, {{"module", LitKind::String}});
+  Sig.defineTag("ImportFrom", "Stmt", {},
+                {{"module", LitKind::String}, {"name", LitKind::String}});
+  Sig.defineTag("Assert", "Stmt", {{"test", "Expr"}}, {});
+
+  // Expressions.
+  Sig.defineTag("Name", "Expr", {}, {{"id", LitKind::String}});
+  Sig.defineTag("IntLit", "Expr", {}, {{"value", LitKind::Int}});
+  Sig.defineTag("FloatLit", "Expr", {}, {{"value", LitKind::Float}});
+  Sig.defineTag("StrLit", "Expr", {}, {{"value", LitKind::String}});
+  Sig.defineTag("BoolLit", "Expr", {}, {{"value", LitKind::Bool}});
+  Sig.defineTag("NoneLit", "Expr", {}, {});
+  Sig.defineTag("BinOp", "Expr", {{"left", "Expr"}, {"right", "Expr"}},
+                {{"op", LitKind::String}});
+  Sig.defineTag("BoolOp", "Expr", {{"left", "Expr"}, {"right", "Expr"}},
+                {{"op", LitKind::String}});
+  Sig.defineTag("Compare", "Expr", {{"left", "Expr"}, {"right", "Expr"}},
+                {{"op", LitKind::String}});
+  Sig.defineTag("UnaryOp", "Expr", {{"operand", "Expr"}},
+                {{"op", LitKind::String}});
+  Sig.defineTag("Call", "Expr", {{"func", "Expr"}, {"args", "ExprList"}},
+                {});
+  Sig.defineTag("Attribute", "Expr", {{"value", "Expr"}},
+                {{"attr", LitKind::String}});
+  Sig.defineTag("Subscript", "Expr",
+                {{"value", "Expr"}, {"index", "Expr"}}, {});
+  Sig.defineTag("ListExpr", "Expr", {{"elts", "ExprList"}}, {});
+  Sig.defineTag("TupleExpr", "Expr", {{"elts", "ExprList"}}, {});
+  Sig.defineTag("DictExpr", "Expr", {{"entries", "EntryList"}}, {});
+
+  // Expression lists and dict entries.
+  Sig.defineTag("ExprNil", "ExprList", {}, {});
+  Sig.defineTag("ExprCons", "ExprList",
+                {{"head", "Expr"}, {"tail", "ExprList"}}, {});
+  Sig.defineTag("Entry", "Entry", {{"key", "Expr"}, {"value", "Expr"}}, {});
+  Sig.defineTag("EntryNil", "EntryList", {}, {});
+  Sig.defineTag("EntryCons", "EntryList",
+                {{"head", "Entry"}, {"tail", "EntryList"}}, {});
+
+  return Sig;
+}

@@ -1,0 +1,35 @@
+//===- python/PySig.h - Typed AST signature for a Python subset -*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The signature Sigma of the Python-subset ASTs used by the evaluation
+/// (paper Section 6 benchmarks Python files). Statement and expression
+/// sequences are encoded as typed cons lists (StmtCons/StmtNil etc.), the
+/// standard algebraic encoding, so every tag has a fixed arity as required
+/// by typed tree representations.
+///
+/// Sorts: Mod, Stmt, StmtList, Expr, ExprList, Param, ParamList, Entry,
+/// EntryList.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_PYTHON_PYSIG_H
+#define TRUEDIFF_PYTHON_PYSIG_H
+
+#include "tree/Signature.h"
+
+namespace truediff {
+namespace python {
+
+/// Builds the Python-subset signature (see the file comment for the sort
+/// structure). The returned table is self-contained and shared by parser,
+/// unparser, generator, and mutator.
+SignatureTable makePythonSignature();
+
+} // namespace python
+} // namespace truediff
+
+#endif // TRUEDIFF_PYTHON_PYSIG_H

@@ -1,0 +1,45 @@
+//===- python/Python.h - Parse and unparse the Python subset ----*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Front end for the Python subset: parsing source text into typed trees
+/// (signature from PySig.h) and unparsing trees back to source. Together
+/// with truediff this reproduces the paper's evaluation pipeline:
+/// reparse the file, diff the trees, process the edit script (Section 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_PYTHON_PYTHON_H
+#define TRUEDIFF_PYTHON_PYTHON_H
+
+#include "python/PySig.h"
+#include "tree/Tree.h"
+
+#include <string>
+#include <string_view>
+
+namespace truediff {
+namespace python {
+
+struct PyParseResult {
+  Tree *Module = nullptr;
+  std::string Error;
+
+  bool ok() const { return Module != nullptr; }
+};
+
+/// Parses \p Source into a Module tree in \p Ctx; the context's signature
+/// must be makePythonSignature().
+PyParseResult parsePython(TreeContext &Ctx, std::string_view Source);
+
+/// Renders a Module tree as source text. Output is canonical (4-space
+/// indent, conservative parentheses) and reparses to an equal tree.
+std::string unparsePython(const SignatureTable &Sig, const Tree *Module);
+
+} // namespace python
+} // namespace truediff
+
+#endif // TRUEDIFF_PYTHON_PYTHON_H

@@ -1,0 +1,287 @@
+//===- python/Unparser.cpp - Render Python-subset trees as source ----------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "python/Python.h"
+
+#include <cassert>
+
+using namespace truediff;
+using namespace truediff::python;
+
+namespace {
+
+/// Expression precedence levels; higher binds tighter.
+enum Prec {
+  PrecOr = 1,
+  PrecAnd = 2,
+  PrecNot = 3,
+  PrecCompare = 4,
+  PrecArith = 5,
+  PrecTerm = 6,
+  PrecUnary = 7,
+  PrecPower = 8,
+  PrecPostfix = 9,
+  PrecAtom = 10,
+};
+
+class Unparser {
+public:
+  explicit Unparser(const SignatureTable &Sig) : Sig(Sig) {}
+
+  std::string run(const Tree *Module) {
+    assert(tagIs(Module, "Module"));
+    stmts(Module->kid(0), 0);
+    return std::move(Out);
+  }
+
+private:
+  bool tagIs(const Tree *T, std::string_view Name) const {
+    return Sig.name(T->tag()) == Name;
+  }
+
+  void indent(int Level) { Out.append(static_cast<size_t>(Level) * 4, ' '); }
+
+  void line(int Level, const std::string &Text) {
+    indent(Level);
+    Out += Text;
+    Out += "\n";
+  }
+
+  /// Walks a StmtCons/StmtNil list.
+  void stmts(const Tree *List, int Level) {
+    while (tagIs(List, "StmtCons")) {
+      stmt(List->kid(0), Level);
+      List = List->kid(1);
+    }
+  }
+
+  void block(const Tree *List, int Level) {
+    Out += ":\n";
+    if (!tagIs(List, "StmtCons")) {
+      line(Level + 1, "pass"); // defensive: empty bodies never parse back
+      return;
+    }
+    stmts(List, Level + 1);
+  }
+
+  void stmt(const Tree *S, int Level) {
+    const std::string &Tag = Sig.name(S->tag());
+    if (Tag == "FuncDef") {
+      indent(Level);
+      Out += "def " + S->lit(0).asString() + "(";
+      const Tree *P = S->kid(0);
+      bool First = true;
+      while (tagIs(P, "ParamCons")) {
+        if (!First)
+          Out += ", ";
+        Out += P->kid(0)->lit(0).asString();
+        First = false;
+        P = P->kid(1);
+      }
+      Out += ")";
+      block(S->kid(1), Level);
+      return;
+    }
+    if (Tag == "ClassDef") {
+      indent(Level);
+      Out += "class " + S->lit(0).asString();
+      if (tagIs(S->kid(0), "ExprCons")) {
+        Out += "(";
+        exprListInline(S->kid(0));
+        Out += ")";
+      }
+      block(S->kid(1), Level);
+      return;
+    }
+    if (Tag == "If") {
+      indent(Level);
+      Out += "if ";
+      expr(S->kid(0), PrecOr);
+      block(S->kid(1), Level);
+      const Tree *Else = S->kid(2);
+      if (tagIs(Else, "StmtCons")) {
+        indent(Level);
+        Out += "else";
+        block(Else, Level);
+      }
+      return;
+    }
+    if (Tag == "While") {
+      indent(Level);
+      Out += "while ";
+      expr(S->kid(0), PrecOr);
+      block(S->kid(1), Level);
+      return;
+    }
+    if (Tag == "For") {
+      indent(Level);
+      Out += "for ";
+      expr(S->kid(0), PrecOr);
+      Out += " in ";
+      expr(S->kid(1), PrecOr);
+      block(S->kid(2), Level);
+      return;
+    }
+
+    // Simple statements.
+    indent(Level);
+    if (Tag == "Return") {
+      if (tagIs(S->kid(0), "NoneLit"))
+        Out += "return";
+      else {
+        Out += "return ";
+        expr(S->kid(0), PrecOr);
+      }
+    } else if (Tag == "Assign") {
+      expr(S->kid(0), PrecOr);
+      Out += " = ";
+      expr(S->kid(1), PrecOr);
+    } else if (Tag == "AugAssign") {
+      expr(S->kid(0), PrecOr);
+      Out += " " + S->lit(0).asString() + "= ";
+      expr(S->kid(1), PrecOr);
+    } else if (Tag == "ExprStmt") {
+      expr(S->kid(0), PrecOr);
+    } else if (Tag == "Pass") {
+      Out += "pass";
+    } else if (Tag == "Break") {
+      Out += "break";
+    } else if (Tag == "Continue") {
+      Out += "continue";
+    } else if (Tag == "Import") {
+      Out += "import " + S->lit(0).asString();
+    } else if (Tag == "ImportFrom") {
+      Out += "from " + S->lit(0).asString() + " import " +
+             S->lit(1).asString();
+    } else if (Tag == "Assert") {
+      Out += "assert ";
+      expr(S->kid(0), PrecOr);
+    } else {
+      assert(false && "unknown statement tag");
+    }
+    Out += "\n";
+  }
+
+  void exprListInline(const Tree *List) {
+    bool First = true;
+    while (tagIs(List, "ExprCons")) {
+      if (!First)
+        Out += ", ";
+      expr(List->kid(0), PrecOr);
+      First = false;
+      List = List->kid(1);
+    }
+  }
+
+  static int binOpPrec(const std::string &Op) {
+    if (Op == "+" || Op == "-")
+      return PrecArith;
+    if (Op == "**")
+      return PrecPower;
+    return PrecTerm; // * / % //
+  }
+
+  /// Renders \p E, parenthesizing when its precedence is below the
+  /// context's minimum. Conservative: equal precedence on the right side
+  /// also gets parentheses, which keeps associativity explicit and makes
+  /// the output reparse to an equal tree.
+  void expr(const Tree *E, int MinPrec) {
+    const std::string &Tag = Sig.name(E->tag());
+    int MyPrec;
+    if (Tag == "BoolOp")
+      MyPrec = E->lit(0).asString() == "or" ? PrecOr : PrecAnd;
+    else if (Tag == "Compare")
+      MyPrec = PrecCompare;
+    else if (Tag == "BinOp")
+      MyPrec = binOpPrec(E->lit(0).asString());
+    else if (Tag == "UnaryOp")
+      MyPrec = E->lit(0).asString() == "not" ? PrecNot : PrecUnary;
+    else if (Tag == "Call" || Tag == "Attribute" || Tag == "Subscript")
+      MyPrec = PrecPostfix;
+    else
+      MyPrec = PrecAtom;
+
+    bool Parens = MyPrec < MinPrec;
+    if (Parens)
+      Out += "(";
+
+    if (Tag == "Name") {
+      Out += E->lit(0).asString();
+    } else if (Tag == "IntLit") {
+      Out += std::to_string(E->lit(0).asInt());
+    } else if (Tag == "FloatLit") {
+      Out += E->lit(0).toString();
+    } else if (Tag == "StrLit") {
+      Out += E->lit(0).toString(); // quoted + escaped
+    } else if (Tag == "BoolLit") {
+      Out += E->lit(0).asBool() ? "True" : "False";
+    } else if (Tag == "NoneLit") {
+      Out += "None";
+    } else if (Tag == "BoolOp" || Tag == "Compare" || Tag == "BinOp") {
+      expr(E->kid(0), MyPrec);
+      Out += " " + E->lit(0).asString() + " ";
+      expr(E->kid(1), MyPrec + 1);
+    } else if (Tag == "UnaryOp") {
+      const std::string &Op = E->lit(0).asString();
+      Out += Op == "not" ? "not " : Op;
+      expr(E->kid(0), MyPrec);
+    } else if (Tag == "Call") {
+      expr(E->kid(0), PrecPostfix);
+      Out += "(";
+      exprListInline(E->kid(1));
+      Out += ")";
+    } else if (Tag == "Attribute") {
+      expr(E->kid(0), PrecPostfix);
+      Out += "." + E->lit(0).asString();
+    } else if (Tag == "Subscript") {
+      expr(E->kid(0), PrecPostfix);
+      Out += "[";
+      expr(E->kid(1), PrecOr);
+      Out += "]";
+    } else if (Tag == "ListExpr") {
+      Out += "[";
+      exprListInline(E->kid(0));
+      Out += "]";
+    } else if (Tag == "TupleExpr") {
+      Out += "(";
+      exprListInline(E->kid(0));
+      // A one-element tuple needs the trailing comma, or it would reparse
+      // as grouping.
+      if (tagIs(E->kid(0), "ExprCons") && !tagIs(E->kid(0)->kid(1), "ExprCons"))
+        Out += ",";
+      Out += ")";
+    } else if (Tag == "DictExpr") {
+      Out += "{";
+      const Tree *List = E->kid(0);
+      bool First = true;
+      while (tagIs(List, "EntryCons")) {
+        if (!First)
+          Out += ", ";
+        expr(List->kid(0)->kid(0), PrecOr);
+        Out += ": ";
+        expr(List->kid(0)->kid(1), PrecOr);
+        First = false;
+        List = List->kid(1);
+      }
+      Out += "}";
+    } else {
+      assert(false && "unknown expression tag");
+    }
+
+    if (Parens)
+      Out += ")";
+  }
+
+  const SignatureTable &Sig;
+  std::string Out;
+};
+
+} // namespace
+
+std::string truediff::python::unparsePython(const SignatureTable &Sig,
+                                            const Tree *Module) {
+  return Unparser(Sig).run(Module);
+}

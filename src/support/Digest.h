@@ -1,0 +1,66 @@
+//===- support/Digest.h - 256-bit digest value type -------------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 32-byte digest value with cheap equality and hashing. truediff stores
+/// two digests per tree node (structure hash and literal hash, paper
+/// Section 4.1) and uses them as hash-table keys in the SubtreeRegistry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_SUPPORT_DIGEST_H
+#define TRUEDIFF_SUPPORT_DIGEST_H
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace truediff {
+
+/// A 256-bit digest. Equality of digests is treated as equality of the
+/// hashed trees, exactly as in the paper.
+class Digest {
+public:
+  static constexpr size_t NumBytes = 32;
+
+  Digest() { Bytes.fill(0); }
+
+  explicit Digest(const std::array<uint8_t, NumBytes> &B) : Bytes(B) {}
+
+  const std::array<uint8_t, NumBytes> &bytes() const { return Bytes; }
+
+  /// The first eight bytes interpreted as a machine word; used as the
+  /// bucket key for hash tables (the full digest is compared on collision).
+  uint64_t prefixWord() const {
+    uint64_t W;
+    std::memcpy(&W, Bytes.data(), sizeof(W));
+    return W;
+  }
+
+  bool operator==(const Digest &O) const { return Bytes == O.Bytes; }
+  bool operator!=(const Digest &O) const { return Bytes != O.Bytes; }
+
+  /// Lexicographic order, handy for deterministic iteration in tests.
+  bool operator<(const Digest &O) const { return Bytes < O.Bytes; }
+
+  /// Renders the digest as lowercase hex, e.g. for debugging output.
+  std::string toHex() const;
+
+private:
+  std::array<uint8_t, NumBytes> Bytes;
+};
+
+/// Hash functor so Digest can key std::unordered_map.
+struct DigestHash {
+  size_t operator()(const Digest &D) const {
+    return static_cast<size_t>(D.prefixWord());
+  }
+};
+
+} // namespace truediff
+
+#endif // TRUEDIFF_SUPPORT_DIGEST_H

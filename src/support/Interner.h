@@ -1,0 +1,88 @@
+//===- support/Interner.h - String interning --------------------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns strings into dense integer symbols. Node tags, link names, and
+/// sort names are interned so that tag/link comparisons in the hot diffing
+/// loop are integer comparisons.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_SUPPORT_INTERNER_H
+#define TRUEDIFF_SUPPORT_INTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace truediff {
+
+/// A dense integer id handed out by an Interner. Symbol 0 is reserved as
+/// the invalid symbol.
+using Symbol = uint32_t;
+
+constexpr Symbol InvalidSymbol = 0;
+
+/// Bidirectional string <-> Symbol table.
+///
+/// Symbols are stable for the lifetime of the interner and start at 1.
+class Interner {
+public:
+  Interner() {
+    // Reserve symbol 0 so that value-initialized symbols are invalid.
+    Names.push_back("<invalid>");
+  }
+
+  /// Returns the symbol for \p Name, interning it on first use.
+  Symbol intern(std::string_view Name) {
+    auto It = Table.find(Name);
+    if (It != Table.end())
+      return It->second;
+    Symbol Sym = static_cast<Symbol>(Names.size());
+    Names.emplace_back(Name);
+    Table.emplace(Names.back(), Sym);
+    return Sym;
+  }
+
+  /// Returns the symbol for \p Name or InvalidSymbol if never interned.
+  Symbol lookup(std::string_view Name) const {
+    auto It = Table.find(Name);
+    return It == Table.end() ? InvalidSymbol : It->second;
+  }
+
+  /// Returns the string for \p Sym.
+  const std::string &name(Symbol Sym) const {
+    assert(Sym < Names.size() && "symbol out of range");
+    return Names[Sym];
+  }
+
+  /// Number of interned symbols, including the reserved invalid symbol.
+  size_t size() const { return Names.size(); }
+
+private:
+  struct ViewHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view S) const {
+      return std::hash<std::string_view>()(S);
+    }
+  };
+  struct ViewEq {
+    using is_transparent = void;
+    bool operator()(std::string_view A, std::string_view B) const {
+      return A == B;
+    }
+  };
+
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, Symbol, ViewHash, ViewEq> Table;
+};
+
+} // namespace truediff
+
+#endif // TRUEDIFF_SUPPORT_INTERNER_H

@@ -1,0 +1,99 @@
+//===- support/Literal.cpp - Literal values in tree nodes ------------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Literal.h"
+
+#include "support/Sha256.h"
+
+#include <charconv>
+
+using namespace truediff;
+
+const char *truediff::litKindName(LitKind Kind) {
+  switch (Kind) {
+  case LitKind::Int:
+    return "Int";
+  case LitKind::Float:
+    return "Float";
+  case LitKind::Bool:
+    return "Bool";
+  case LitKind::String:
+    return "String";
+  }
+  return "<unknown>";
+}
+
+void Literal::addToHash(Sha256 &Hasher) const {
+  uint8_t KindByte = static_cast<uint8_t>(kind());
+  Hasher.update(&KindByte, 1);
+  switch (kind()) {
+  case LitKind::Int:
+    Hasher.updateU64(static_cast<uint64_t>(asInt()));
+    break;
+  case LitKind::Float: {
+    double V = asFloat();
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V));
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    Hasher.updateU64(Bits);
+    break;
+  }
+  case LitKind::Bool: {
+    uint8_t B = asBool() ? 1 : 0;
+    Hasher.update(&B, 1);
+    break;
+  }
+  case LitKind::String:
+    // Length prefix prevents ambiguity between adjacent strings.
+    Hasher.updateU64(asString().size());
+    Hasher.update(asString());
+    break;
+  }
+}
+
+std::string Literal::toString() const {
+  switch (kind()) {
+  case LitKind::Int:
+    return std::to_string(asInt());
+  case LitKind::Float: {
+    char Buf[64];
+    auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), asFloat(),
+                                   std::chars_format::general);
+    (void)Ec;
+    std::string S(Buf, End);
+    // Keep float literals distinguishable from ints in dumps.
+    if (S.find_first_of(".eE") == std::string::npos)
+      S += ".0";
+    return S;
+  }
+  case LitKind::Bool:
+    return asBool() ? "true" : "false";
+  case LitKind::String: {
+    std::string Out = "\"";
+    for (char C : asString()) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      default:
+        Out.push_back(C);
+      }
+    }
+    Out.push_back('"');
+    return Out;
+  }
+  }
+  return "<unknown>";
+}

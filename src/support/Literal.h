@@ -1,0 +1,81 @@
+//===- support/Literal.h - Literal values in tree nodes ---------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Literal values stored at tree leaves (paper: "usually numbers and
+/// strings"). Literals participate in the literal hash and in Update edits
+/// but never in the structure hash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_SUPPORT_LITERAL_H
+#define TRUEDIFF_SUPPORT_LITERAL_H
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace truediff {
+
+class Sha256;
+
+/// Base types of literals, mirroring the paper's base types B in tag
+/// signatures.
+enum class LitKind : uint8_t {
+  Int,
+  Float,
+  Bool,
+  String,
+};
+
+/// Returns a human-readable name for \p Kind ("Int", "Float", ...).
+const char *litKindName(LitKind Kind);
+
+/// A dynamically typed literal value with a LitKind discriminator.
+class Literal {
+public:
+  Literal() : Value(int64_t(0)) {}
+  explicit Literal(int64_t V) : Value(V) {}
+  explicit Literal(double V) : Value(V) {}
+  explicit Literal(bool V) : Value(V) {}
+  explicit Literal(std::string V) : Value(std::move(V)) {}
+  explicit Literal(const char *V) : Value(std::string(V)) {}
+
+  LitKind kind() const {
+    switch (Value.index()) {
+    case 0:
+      return LitKind::Int;
+    case 1:
+      return LitKind::Float;
+    case 2:
+      return LitKind::Bool;
+    default:
+      return LitKind::String;
+    }
+  }
+
+  int64_t asInt() const { return std::get<int64_t>(Value); }
+  double asFloat() const { return std::get<double>(Value); }
+  bool asBool() const { return std::get<bool>(Value); }
+  const std::string &asString() const { return std::get<std::string>(Value); }
+
+  bool operator==(const Literal &O) const { return Value == O.Value; }
+  bool operator!=(const Literal &O) const { return Value != O.Value; }
+
+  /// Feeds a canonical encoding (kind byte + payload) into \p Hasher.
+  void addToHash(Sha256 &Hasher) const;
+
+  /// Renders the literal the way it appears in s-expressions and edit
+  /// script dumps; strings are quoted and escaped.
+  std::string toString() const;
+
+private:
+  std::variant<int64_t, double, bool, std::string> Value;
+};
+
+} // namespace truediff
+
+#endif // TRUEDIFF_SUPPORT_LITERAL_H

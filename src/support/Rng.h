@@ -1,0 +1,64 @@
+//===- support/Rng.h - Deterministic random number generator ----*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (splitmix64 seeded xoshiro-style
+/// xorshift). Used by the corpus generators and property tests; the same
+/// seed always reproduces the same workload on every platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_SUPPORT_RNG_H
+#define TRUEDIFF_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace truediff {
+
+/// Deterministic 64-bit PRNG.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // splitmix64 expansion of the seed avoids pathological states.
+    State = Seed + 0x9e3779b97f4a7c15ull;
+    for (int I = 0; I != 4; ++I)
+      (void)next();
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// True with probability \p Percent / 100.
+  bool chance(unsigned Percent) { return below(100) < Percent; }
+
+  /// Uniform double in [0, 1).
+  double unit() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace truediff
+
+#endif // TRUEDIFF_SUPPORT_RNG_H

@@ -1,0 +1,75 @@
+//===- support/Sha256.h - SHA-256 message digest ----------------*- C++-*-===//
+//
+// Part of truediff-cpp, a reproduction of "Concise, Type-Safe, and Efficient
+// Structural Diffing" (PLDI 2021). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A from-scratch implementation of the SHA-256 cryptographic hash
+/// (FIPS 180-4). truediff decides subtree equivalence purely through digest
+/// equality (paper Section 4.1), so the hash must be collision resistant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_SUPPORT_SHA256_H
+#define TRUEDIFF_SUPPORT_SHA256_H
+
+#include "support/Digest.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace truediff {
+
+/// Incremental SHA-256 hasher.
+///
+/// Usage mirrors `MessageDigest` from the paper's Scala implementation:
+/// feed byte ranges with update() and obtain the 32-byte digest with
+/// finish(). A hasher must not be updated after finish().
+class Sha256 {
+public:
+  Sha256() { reset(); }
+
+  /// Resets the hasher to the initial state so it can be reused.
+  void reset();
+
+  /// Absorbs \p Size bytes starting at \p Data.
+  void update(const void *Data, size_t Size);
+
+  /// Absorbs the bytes of \p Str.
+  void update(std::string_view Str) { update(Str.data(), Str.size()); }
+
+  /// Absorbs a little-endian encoding of \p Value.
+  void updateU64(uint64_t Value);
+
+  /// Absorbs a little-endian encoding of \p Value.
+  void updateU32(uint32_t Value);
+
+  /// Absorbs a previously computed digest.
+  void update(const Digest &D) { update(D.bytes().data(), Digest::NumBytes); }
+
+  /// Pads, finalizes, and returns the 32-byte digest.
+  Digest finish();
+
+  /// Convenience helper: hash of one contiguous byte range.
+  static Digest hash(const void *Data, size_t Size);
+
+  /// Convenience helper: hash of a string.
+  static Digest hash(std::string_view Str) {
+    return hash(Str.data(), Str.size());
+  }
+
+private:
+  void compressBlock(const uint8_t *Block);
+
+  uint32_t State[8];
+  uint8_t Buffer[64];
+  size_t BufferLen = 0;
+  uint64_t TotalBytes = 0;
+};
+
+} // namespace truediff
+
+#endif // TRUEDIFF_SUPPORT_SHA256_H

@@ -1,0 +1,67 @@
+//===- support/Stats.cpp - Box-plot summary statistics ---------------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace truediff;
+
+namespace {
+
+/// Linear-interpolation percentile of a sorted vector, matching numpy's
+/// default method so plots can be cross-checked.
+double percentile(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  double Rank = P * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Sorted[Lo] * (1.0 - Frac) + Sorted[Hi] * Frac;
+}
+
+} // namespace
+
+BoxStats BoxStats::of(std::vector<double> Values) {
+  BoxStats S;
+  if (Values.empty())
+    return S;
+  std::sort(Values.begin(), Values.end());
+  S.Count = Values.size();
+  S.Min = Values.front();
+  S.Max = Values.back();
+  S.Q1 = percentile(Values, 0.25);
+  S.Median = percentile(Values, 0.5);
+  S.Q3 = percentile(Values, 0.75);
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  S.Mean = Sum / static_cast<double>(Values.size());
+  return S;
+}
+
+std::string BoxStats::toString() const {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "min=%.3f q1=%.3f median=%.3f q3=%.3f max=%.3f mean=%.3f "
+                "n=%zu",
+                Min, Q1, Median, Q3, Max, Mean, Count);
+  return Buf;
+}
+
+std::string truediff::formatBoxRow(const std::string &Label,
+                                   const BoxStats &Stats) {
+  char Buf[320];
+  std::snprintf(Buf, sizeof(Buf),
+                "%-28s %10.3f %10.3f %10.3f %10.3f %12.3f %10.3f %8zu",
+                Label.c_str(), Stats.Min, Stats.Q1, Stats.Median, Stats.Q3,
+                Stats.Max, Stats.Mean, Stats.Count);
+  return Buf;
+}

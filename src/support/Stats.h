@@ -1,0 +1,46 @@
+//===- support/Stats.h - Box-plot summary statistics ------------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics for the benchmark harness. Figures 4 and 5 of the
+/// paper are box plots; our benches print the five-number summary plus the
+/// mean for each series so the figures can be regenerated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_SUPPORT_STATS_H
+#define TRUEDIFF_SUPPORT_STATS_H
+
+#include <string>
+#include <vector>
+
+namespace truediff {
+
+/// Five-number summary (min, q1, median, q3, max) plus mean and count.
+struct BoxStats {
+  double Min = 0;
+  double Q1 = 0;
+  double Median = 0;
+  double Q3 = 0;
+  double Max = 0;
+  double Mean = 0;
+  size_t Count = 0;
+
+  /// Computes summary statistics of \p Values (copied and sorted inside).
+  /// An empty input yields an all-zero summary.
+  static BoxStats of(std::vector<double> Values);
+
+  /// Renders "min=.. q1=.. median=.. q3=.. max=.. mean=.. n=..".
+  std::string toString() const;
+};
+
+/// Prints one aligned table row: the label followed by the box stats.
+/// All bench binaries share this so outputs line up.
+std::string formatBoxRow(const std::string &Label, const BoxStats &Stats);
+
+} // namespace truediff
+
+#endif // TRUEDIFF_SUPPORT_STATS_H

@@ -1,0 +1,41 @@
+//===- tree/Ids.h - URI, tag, link, and sort identifiers --------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifier types shared by trees and edit scripts (paper Figure 1):
+/// URIs name nodes, tags name constructors, links name constructor
+/// arguments, and sorts name the types of the signature Sigma.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_TREE_IDS_H
+#define TRUEDIFF_TREE_IDS_H
+
+#include "support/Interner.h"
+
+#include <cstdint>
+
+namespace truediff {
+
+/// Uniquely identifies a node. The paper writes URIs as subscripts
+/// (Add_1). URI 0 is the pre-defined root node the paper calls "null".
+using URI = uint64_t;
+
+/// The URI of the pre-defined root node.
+constexpr URI NullURI = 0;
+
+/// A constructor symbol (interned).
+using TagId = Symbol;
+
+/// A link connecting a parent to a child or literal (interned).
+using LinkId = Symbol;
+
+/// A sort, i.e. the type T of a tree in the signature Sigma (interned).
+using SortId = Symbol;
+
+} // namespace truediff
+
+#endif // TRUEDIFF_TREE_IDS_H

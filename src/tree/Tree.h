@@ -1,0 +1,230 @@
+//===- tree/Tree.h - Mutable typed trees with hashes ------------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Diffable tree representation of the paper (Sections 4 and 5): a
+/// mutable, typed tree whose nodes carry
+///   - a URI and constructor tag,
+///   - children and literals in signature order,
+///   - cached SHA-256 structure and literal hashes (Section 4.1),
+///   - cached height and size, and
+///   - the diffing state (share and assignment) of Sections 4.2-4.3.
+///
+/// Nodes are owned by a TreeContext arena. truediff moves nodes between the
+/// source and the patched tree, so nodes cannot belong to a single tree
+/// object; the arena is the C++ realisation of the paper's "mutable, yet
+/// linearly typed resources".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_TREE_TREE_H
+#define TRUEDIFF_TREE_TREE_H
+
+#include "support/Digest.h"
+#include "support/Literal.h"
+#include "tree/Ids.h"
+#include "tree/Signature.h"
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace truediff {
+
+class SubtreeShare;
+class TreeContext;
+
+/// A mutable typed tree node. Children and literals are stored in the
+/// order fixed by the tag's signature, so link lookups are array accesses.
+class Tree {
+public:
+  /// \name Identity and structure
+  /// @{
+  TagId tag() const { return Tag; }
+  URI uri() const { return Uri; }
+
+  size_t arity() const { return Kids.size(); }
+  Tree *kid(size_t I) const { return Kids[I]; }
+  void setKid(size_t I, Tree *New) { Kids[I] = New; }
+
+  size_t numLits() const { return Lits.size(); }
+  const Literal &lit(size_t I) const { return Lits[I]; }
+  const std::vector<Literal> &lits() const { return Lits; }
+  void setLits(std::vector<Literal> New) { Lits = std::move(New); }
+  /// @}
+
+  /// \name Cached derived data (valid after TreeContext::make or
+  /// refreshDerived)
+  /// @{
+
+  /// Hash of the tree's shape: tag and kid structure hashes, ignoring
+  /// literals. Trees with equal structure hashes are *structurally
+  /// equivalent* reuse candidates (Section 4.1).
+  const Digest &structureHash() const { return StructHash; }
+
+  /// Hash of the tree's literals, ignoring tags. Among structurally
+  /// equivalent candidates, trees with equal literal hashes are *preferred*
+  /// (exact copies).
+  const Digest &literalHash() const { return LitHash; }
+
+  /// Height of the tree; a leaf has height 1. Drives the highest-first
+  /// traversal of Section 4.3.
+  uint32_t height() const { return Height; }
+
+  /// Number of nodes in the tree.
+  uint64_t size() const { return Size; }
+
+  /// True iff this and \p Other are structurally AND literally equivalent,
+  /// i.e. equal up to URIs.
+  bool equalsModuloUris(const Tree &Other) const {
+    return StructHash == Other.StructHash && LitHash == Other.LitHash;
+  }
+  /// @}
+
+  /// \name Diffing state (Sections 4.2-4.3)
+  /// @{
+  SubtreeShare *share() const { return Share; }
+  void setShare(SubtreeShare *S) { Share = S; }
+
+  Tree *assigned() const { return Assigned; }
+
+  /// True if an ancestor of this (target) node was acquired as a whole in
+  /// Step 3, so this node must not acquire a source tree of its own.
+  bool covered() const { return Covered; }
+  void setCovered(bool C) { Covered = C; }
+
+  /// Symmetrically assigns this tree and \p That to each other.
+  void assignTree(Tree *That) {
+    Assigned = That;
+    That->Assigned = this;
+  }
+
+  /// Symmetrically clears the assignment of this tree (and its partner).
+  void unassignTree() {
+    if (Assigned != nullptr) {
+      Assigned->Assigned = nullptr;
+      Assigned = nullptr;
+    }
+  }
+  /// @}
+
+  /// \name Traversals
+  /// @{
+
+  /// Applies \p Fn to this node and every descendant, pre-order. Inlined
+  /// template: these traversals sit on truediff's hot path.
+  template <typename Fn> void foreachTree(Fn &&F) {
+    F(this);
+    for (Tree *Kid : Kids)
+      if (Kid != nullptr)
+        Kid->foreachTree(F);
+  }
+
+  /// Applies \p Fn to every proper descendant, pre-order.
+  template <typename Fn> void foreachSubtree(Fn &&F) {
+    for (Tree *Kid : Kids)
+      if (Kid != nullptr)
+        Kid->foreachTree(F);
+  }
+  /// @}
+
+  /// \name Diff-session marks (used by TrueDiff::takeTree)
+  /// @{
+  uint32_t mark() const { return Mark; }
+  void setMark(uint32_t M) { Mark = M; }
+  /// @}
+
+  /// Recomputes hashes, height, and size of this node and every
+  /// descendant. Called on the patched tree after diffing, because reused
+  /// nodes may have received new children or literals.
+  void refreshDerived(const SignatureTable &Sig);
+
+  /// Clears share and assignment pointers in the whole tree.
+  void clearDiffState();
+
+private:
+  friend class TreeContext;
+
+  Tree() = default;
+
+  /// Recomputes this node's caches from its (already consistent) kids.
+  void computeDerived(const SignatureTable &Sig);
+
+  TagId Tag = InvalidSymbol;
+  URI Uri = NullURI;
+  std::vector<Tree *> Kids;
+  std::vector<Literal> Lits;
+
+  Digest StructHash;
+  Digest LitHash;
+  uint32_t Height = 0;
+  uint64_t Size = 0;
+
+  SubtreeShare *Share = nullptr;
+  Tree *Assigned = nullptr;
+  bool Covered = false;
+  uint32_t Mark = 0;
+};
+
+/// Arena that owns every node of a diffing session and hands out fresh
+/// URIs. Source and target trees of one diff must come from the same
+/// context so URIs are globally unique (the paper's uniqueness-of-URIs
+/// requirement).
+class TreeContext {
+public:
+  explicit TreeContext(const SignatureTable &Sig) : Sig(Sig) {}
+
+  TreeContext(const TreeContext &) = delete;
+  TreeContext &operator=(const TreeContext &) = delete;
+
+  const SignatureTable &signatures() const { return Sig; }
+
+  /// Creates a node with the given tag, children, and literals, assigning
+  /// a fresh URI and computing all derived data. Asserts that children and
+  /// literals match the tag's signature (arity, sorts, literal kinds).
+  Tree *make(TagId Tag, std::vector<Tree *> Kids, std::vector<Literal> Lits);
+
+  /// Same, with the tag given by name.
+  Tree *make(std::string_view TagName, std::vector<Tree *> Kids,
+             std::vector<Literal> Lits);
+
+  /// Creates a node with a caller-chosen URI (used by edit-script replay
+  /// and by tests). Asserts the URI has not been used by this context.
+  Tree *makeWithUri(TagId Tag, URI Uri, std::vector<Tree *> Kids,
+                    std::vector<Literal> Lits);
+
+  /// Deep-copies \p T into this context with fresh URIs. Used by the
+  /// benchmarks to rebuild trees so hashing time is measured (Section 6).
+  Tree *deepCopy(const Tree *T);
+
+  /// Checks the whole tree against the signatures; returns an error
+  /// message or std::nullopt if well-typed. Construction already asserts
+  /// this, so the function exists for tests and external input.
+  std::optional<std::string> validate(const Tree *T) const;
+
+  /// Next URI that will be handed out; also used by truediff to allocate
+  /// URIs for loaded nodes.
+  URI peekNextUri() const { return NextUri; }
+
+  /// Number of nodes allocated so far.
+  size_t numNodes() const { return Nodes.size(); }
+
+private:
+  const SignatureTable &Sig;
+  std::deque<Tree> Nodes;
+  URI NextUri = 1;
+};
+
+/// True iff \p A and \p B have identical shapes, tags, and literals,
+/// ignoring URIs. Unlike Tree::equalsModuloUris this walks the trees, so it
+/// is usable in tests that deliberately corrupt cached hashes.
+bool treeEqualsModuloUris(const Tree *A, const Tree *B);
+
+} // namespace truediff
+
+#endif // TRUEDIFF_TREE_TREE_H

@@ -1,0 +1,154 @@
+//===- truechange/Edit.cpp - The truechange edit script language -----------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "truechange/Edit.h"
+
+using namespace truediff;
+
+const char *truediff::editKindName(EditKind Kind) {
+  switch (Kind) {
+  case EditKind::Detach:
+    return "detach";
+  case EditKind::Attach:
+    return "attach";
+  case EditKind::Load:
+    return "load";
+  case EditKind::Unload:
+    return "unload";
+  case EditKind::Update:
+    return "update";
+  }
+  return "<unknown>";
+}
+
+Edit Edit::detach(NodeRef Node, LinkId Link, NodeRef Parent) {
+  Edit E;
+  E.Kind = EditKind::Detach;
+  E.Node = Node;
+  E.Link = Link;
+  E.Parent = Parent;
+  return E;
+}
+
+Edit Edit::attach(NodeRef Node, LinkId Link, NodeRef Parent) {
+  Edit E;
+  E.Kind = EditKind::Attach;
+  E.Node = Node;
+  E.Link = Link;
+  E.Parent = Parent;
+  return E;
+}
+
+Edit Edit::load(NodeRef Node, std::vector<KidRef> Kids,
+                std::vector<LitRef> Lits) {
+  Edit E;
+  E.Kind = EditKind::Load;
+  E.Node = Node;
+  E.Kids = std::move(Kids);
+  E.Lits = std::move(Lits);
+  return E;
+}
+
+Edit Edit::unload(NodeRef Node, std::vector<KidRef> Kids,
+                  std::vector<LitRef> Lits) {
+  Edit E;
+  E.Kind = EditKind::Unload;
+  E.Node = Node;
+  E.Kids = std::move(Kids);
+  E.Lits = std::move(Lits);
+  return E;
+}
+
+Edit Edit::update(NodeRef Node, std::vector<LitRef> Old,
+                  std::vector<LitRef> Now) {
+  Edit E;
+  E.Kind = EditKind::Update;
+  E.Node = Node;
+  E.OldLits = std::move(Old);
+  E.Lits = std::move(Now);
+  return E;
+}
+
+static std::string nodeToString(const SignatureTable &Sig,
+                                const NodeRef &Node) {
+  return Sig.name(Node.Tag) + "_" + std::to_string(Node.Uri);
+}
+
+static std::string kidsToString(const SignatureTable &Sig,
+                                const std::vector<KidRef> &Kids) {
+  std::string Out = "[";
+  for (size_t I = 0, E = Kids.size(); I != E; ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += "\"" + Sig.name(Kids[I].Link) + "\"->" +
+           std::to_string(Kids[I].Uri);
+  }
+  return Out + "]";
+}
+
+static std::string litsToString(const SignatureTable &Sig,
+                                const std::vector<LitRef> &Lits) {
+  std::string Out = "[";
+  for (size_t I = 0, E = Lits.size(); I != E; ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += "\"" + Sig.name(Lits[I].Link) + "\"->" + Lits[I].Value.toString();
+  }
+  return Out + "]";
+}
+
+std::string Edit::toString(const SignatureTable &Sig) const {
+  std::string Out = editKindName(Kind);
+  Out += "(";
+  Out += nodeToString(Sig, Node);
+  switch (Kind) {
+  case EditKind::Detach:
+  case EditKind::Attach:
+    Out += ", \"" + Sig.name(Link) + "\", " + nodeToString(Sig, Parent);
+    break;
+  case EditKind::Load:
+  case EditKind::Unload:
+    Out += ", " + kidsToString(Sig, Kids) + ", " + litsToString(Sig, Lits);
+    break;
+  case EditKind::Update:
+    Out += ", " + litsToString(Sig, OldLits) + ", " + litsToString(Sig, Lits);
+    break;
+  }
+  Out += ")";
+  return Out;
+}
+
+size_t EditScript::coalescedSize() const {
+  size_t Count = 0;
+  for (size_t I = 0, E = Edits.size(); I != E; ++I) {
+    if (I + 1 != E) {
+      const Edit &Cur = Edits[I];
+      const Edit &Next = Edits[I + 1];
+      bool InsertPair = Cur.Kind == EditKind::Load &&
+                        Next.Kind == EditKind::Attach &&
+                        Cur.Node.Uri == Next.Node.Uri;
+      bool DeletePair = Cur.Kind == EditKind::Detach &&
+                        Next.Kind == EditKind::Unload &&
+                        Cur.Node.Uri == Next.Node.Uri;
+      if (InsertPair || DeletePair) {
+        ++Count;
+        ++I; // consume the pair
+        continue;
+      }
+    }
+    ++Count;
+  }
+  return Count;
+}
+
+std::string EditScript::toString(const SignatureTable &Sig) const {
+  std::string Out;
+  for (const Edit &E : Edits) {
+    Out += E.toString(Sig);
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,129 @@
+//===- truechange/Edit.h - The truechange edit script language --*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax of truechange edit scripts (paper Figure 1):
+///
+///   Edit ::= Detach(n, l, par) | Attach(n, l, par)
+///          | Load(n, ks, ls)   | Unload(n, ks, ls)
+///          | Update(n, old, now)
+///
+/// Nodes are (tag, URI) pairs; kids are (link, URI) pairs; lits are
+/// (link, value) pairs. An EditScript is a sequence of edits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_TRUECHANGE_EDIT_H
+#define TRUEDIFF_TRUECHANGE_EDIT_H
+
+#include "support/Literal.h"
+#include "tree/Ids.h"
+#include "tree/Signature.h"
+
+#include <string>
+#include <vector>
+
+namespace truediff {
+
+/// A node reference (tag, URI); the paper writes Tag_URI.
+struct NodeRef {
+  TagId Tag = InvalidSymbol;
+  URI Uri = NullURI;
+
+  bool operator==(const NodeRef &O) const {
+    return Tag == O.Tag && Uri == O.Uri;
+  }
+};
+
+/// One (link, URI) entry of a Load/Unload kid list.
+struct KidRef {
+  LinkId Link = InvalidSymbol;
+  URI Uri = NullURI;
+};
+
+/// One (link, value) entry of a literal list.
+struct LitRef {
+  LinkId Link = InvalidSymbol;
+  Literal Value;
+};
+
+/// Discriminator for Edit.
+enum class EditKind : uint8_t {
+  Detach,
+  Attach,
+  Load,
+  Unload,
+  Update,
+};
+
+/// Returns "detach", "attach", ...
+const char *editKindName(EditKind Kind);
+
+/// One edit operation. A tagged struct rather than a class hierarchy: edit
+/// scripts are bulk data that gets copied, stored, and replayed.
+struct Edit {
+  EditKind Kind;
+  /// The node the edit manipulates (all edit kinds).
+  NodeRef Node;
+  /// Detach/Attach: the link between parent and node.
+  LinkId Link = InvalidSymbol;
+  /// Detach/Attach: the parent node.
+  NodeRef Parent;
+  /// Load/Unload: the node's kid list.
+  std::vector<KidRef> Kids;
+  /// Load/Unload: the node's literal list. Update: the *new* literals.
+  std::vector<LitRef> Lits;
+  /// Update only: the old literals.
+  std::vector<LitRef> OldLits;
+
+  static Edit detach(NodeRef Node, LinkId Link, NodeRef Parent);
+  static Edit attach(NodeRef Node, LinkId Link, NodeRef Parent);
+  static Edit load(NodeRef Node, std::vector<KidRef> Kids,
+                   std::vector<LitRef> Lits);
+  static Edit unload(NodeRef Node, std::vector<KidRef> Kids,
+                     std::vector<LitRef> Lits);
+  static Edit update(NodeRef Node, std::vector<LitRef> Old,
+                     std::vector<LitRef> Now);
+
+  /// True for Detach and Unload, the "negative" edits truediff emits
+  /// before all positive ones (Section 4.4).
+  bool isNegative() const {
+    return Kind == EditKind::Detach || Kind == EditKind::Unload;
+  }
+
+  /// Renders the edit in the paper's notation, e.g.
+  /// "detach(Sub_2, \"e1\", Add_1)".
+  std::string toString(const SignatureTable &Sig) const;
+};
+
+/// A sequence of edits.
+class EditScript {
+public:
+  EditScript() = default;
+  explicit EditScript(std::vector<Edit> Edits) : Edits(std::move(Edits)) {}
+
+  const std::vector<Edit> &edits() const { return Edits; }
+  size_t size() const { return Edits.size(); }
+  bool empty() const { return Edits.empty(); }
+  const Edit &operator[](size_t I) const { return Edits[I]; }
+
+  void append(Edit E) { Edits.push_back(std::move(E)); }
+
+  /// The paper's conciseness metric: a Load directly followed by an Attach
+  /// of the same node counts as one edit, and likewise a Detach directly
+  /// followed by an Unload of the same node (Section 6, "Conciseness").
+  size_t coalescedSize() const;
+
+  /// One edit per line, in the paper's notation.
+  std::string toString(const SignatureTable &Sig) const;
+
+private:
+  std::vector<Edit> Edits;
+};
+
+} // namespace truediff
+
+#endif // TRUEDIFF_TRUECHANGE_EDIT_H

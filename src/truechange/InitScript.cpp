@@ -1,0 +1,39 @@
+//===- truechange/InitScript.cpp - Initializing edit scripts ---------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "truechange/InitScript.h"
+
+using namespace truediff;
+
+namespace {
+
+void loadRec(const SignatureTable &Sig, const Tree *T,
+             std::vector<Edit> &Edits) {
+  const TagSignature &TagSig = Sig.signature(T->tag());
+  std::vector<KidRef> Kids;
+  Kids.reserve(T->arity());
+  for (size_t I = 0, E = T->arity(); I != E; ++I) {
+    loadRec(Sig, T->kid(I), Edits);
+    Kids.push_back(KidRef{TagSig.Kids[I].Link, T->kid(I)->uri()});
+  }
+  std::vector<LitRef> Lits;
+  Lits.reserve(T->numLits());
+  for (size_t I = 0, E = T->numLits(); I != E; ++I)
+    Lits.push_back(LitRef{TagSig.Lits[I].Link, T->lit(I)});
+  Edits.push_back(Edit::load(NodeRef{T->tag(), T->uri()}, std::move(Kids),
+                             std::move(Lits)));
+}
+
+} // namespace
+
+EditScript truediff::buildInitializingScript(const SignatureTable &Sig,
+                                             const Tree *T) {
+  std::vector<Edit> Edits;
+  loadRec(Sig, T, Edits);
+  Edits.push_back(Edit::attach(NodeRef{T->tag(), T->uri()}, Sig.rootLink(),
+                               NodeRef{Sig.rootTag(), NullURI}));
+  return EditScript(std::move(Edits));
+}

@@ -1,0 +1,33 @@
+//===- truechange/InitScript.h - Initializing edit scripts ------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Produces *initializing* edit scripts (paper Definition 3.2): a script
+/// that builds a given tree from the empty tree by loading every node
+/// bottom-up and attaching the root to RootLink -- exactly the shape of
+/// the paper's Delta_1 example (Section 3.1). With this, a tree itself
+/// can be transmitted as an edit script, so a truechange consumer needs
+/// no other wire format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_TRUECHANGE_INITSCRIPT_H
+#define TRUEDIFF_TRUECHANGE_INITSCRIPT_H
+
+#include "tree/Tree.h"
+#include "truechange/Edit.h"
+
+namespace truediff {
+
+/// Builds the initializing script for \p T: loads in post-order (kids
+/// before parents, satisfying T-Load's linearity) and attaches the root.
+/// The result satisfies Definition 3.2:
+///   Sigma |- D : ((null:Root) . (null.RootLink:Any)) > ((null:Root) . e)
+EditScript buildInitializingScript(const SignatureTable &Sig, const Tree *T);
+
+} // namespace truediff
+
+#endif // TRUEDIFF_TRUECHANGE_INITSCRIPT_H

@@ -1,0 +1,33 @@
+//===- truechange/Inverse.cpp - Inverting edit scripts ---------------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "truechange/Inverse.h"
+
+using namespace truediff;
+
+Edit truediff::invertEdit(const Edit &E) {
+  switch (E.Kind) {
+  case EditKind::Detach:
+    return Edit::attach(E.Node, E.Link, E.Parent);
+  case EditKind::Attach:
+    return Edit::detach(E.Node, E.Link, E.Parent);
+  case EditKind::Load:
+    return Edit::unload(E.Node, E.Kids, E.Lits);
+  case EditKind::Unload:
+    return Edit::load(E.Node, E.Kids, E.Lits);
+  case EditKind::Update:
+    return Edit::update(E.Node, E.Lits, E.OldLits);
+  }
+  return E; // unreachable
+}
+
+EditScript truediff::invertScript(const EditScript &Script) {
+  std::vector<Edit> Inverted;
+  Inverted.reserve(Script.size());
+  for (size_t I = Script.size(); I-- > 0;)
+    Inverted.push_back(invertEdit(Script[I]));
+  return EditScript(std::move(Inverted));
+}

@@ -1,0 +1,37 @@
+//===- truechange/Inverse.h - Inverting edit scripts ------------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Inversion of truechange edit scripts. Every edit operation has an
+/// exact inverse (detach/attach, load/unload are dual; update swaps its
+/// literal lists), so a well-typed script can be undone by inverting each
+/// edit and reversing the order:
+///
+///   Sigma |- D : (R . S) > (R' . S')  implies
+///   Sigma |- invert(D) : (R' . S') > (R . S)
+///
+/// This gives truechange-based systems first-class undo and enables the
+/// patch-algebra style of version control the paper relates to (darcs,
+/// Section 7): applying D then invert(D) restores the original tree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_TRUECHANGE_INVERSE_H
+#define TRUEDIFF_TRUECHANGE_INVERSE_H
+
+#include "truechange/Edit.h"
+
+namespace truediff {
+
+/// The inverse of a single edit.
+Edit invertEdit(const Edit &E);
+
+/// The inverse script: each edit inverted, in reverse order.
+EditScript invertScript(const EditScript &Script);
+
+} // namespace truediff
+
+#endif // TRUEDIFF_TRUECHANGE_INVERSE_H

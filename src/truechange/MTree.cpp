@@ -1,0 +1,303 @@
+//===- truechange/MTree.cpp - Standard semantics of edit scripts -----------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "truechange/MTree.h"
+
+#include <cassert>
+
+using namespace truediff;
+
+MTree::MTree(const SignatureTable &Sig) : Sig(Sig) {
+  Arena.emplace_back();
+  Root = &Arena.back();
+  Root->Tag = Sig.rootTag();
+  Root->Uri = NullURI;
+  Root->Kids.emplace(Sig.rootLink(), nullptr);
+  Index.emplace(NullURI, Root);
+}
+
+void MTree::buildFromTree(MNode *Parent, LinkId Link, const Tree *T) {
+  Arena.emplace_back();
+  MNode *N = &Arena.back();
+  N->Tag = T->tag();
+  N->Uri = T->uri();
+  Parent->Kids[Link] = N;
+  assert(!Index.count(T->uri()) && "URIs must be unique");
+  Index.emplace(T->uri(), N);
+
+  const TagSignature &TagSig = Sig.signature(T->tag());
+  for (size_t I = 0, E = T->arity(); I != E; ++I)
+    buildFromTree(N, TagSig.Kids[I].Link, T->kid(I));
+  for (size_t I = 0, E = T->numLits(); I != E; ++I)
+    N->Lits.emplace(TagSig.Lits[I].Link, T->lit(I));
+}
+
+MTree MTree::fromTree(const SignatureTable &Sig, const Tree *T) {
+  MTree M(Sig);
+  if (T != nullptr)
+    M.buildFromTree(M.Root, Sig.rootLink(), T);
+  return M;
+}
+
+const MNode *MTree::lookup(URI Uri) const {
+  auto It = Index.find(Uri);
+  return It == Index.end() ? nullptr : It->second;
+}
+
+const MNode *MTree::top() const {
+  auto It = Root->Kids.find(Sig.rootLink());
+  return It == Root->Kids.end() ? nullptr : It->second;
+}
+
+MTree::PatchResult MTree::processEdit(const Edit &E, size_t Index0) {
+  auto Fail = [&](std::string Message) {
+    PatchResult R;
+    R.Ok = false;
+    R.ErrorIndex = Index0;
+    R.Error = E.toString(Sig) + ": " + std::move(Message);
+    return R;
+  };
+
+  switch (E.Kind) {
+  case EditKind::Detach: {
+    auto It = Index.find(E.Parent.Uri);
+    if (It == Index.end())
+      return Fail("parent not in index");
+    It->second->Kids[E.Link] = nullptr;
+    return PatchResult();
+  }
+  case EditKind::Attach: {
+    auto ParentIt = Index.find(E.Parent.Uri);
+    if (ParentIt == Index.end())
+      return Fail("parent not in index");
+    auto NodeIt = Index.find(E.Node.Uri);
+    if (NodeIt == Index.end())
+      return Fail("node not in index");
+    ParentIt->second->Kids[E.Link] = NodeIt->second;
+    return PatchResult();
+  }
+  case EditKind::Load: {
+    Arena.emplace_back();
+    MNode *N = &Arena.back();
+    N->Tag = E.Node.Tag;
+    N->Uri = E.Node.Uri;
+    for (const KidRef &Kid : E.Kids) {
+      auto It = Index.find(Kid.Uri);
+      if (It == Index.end()) {
+        Arena.pop_back();
+        return Fail("kid " + std::to_string(Kid.Uri) + " not in index");
+      }
+      N->Kids.emplace(Kid.Link, It->second);
+    }
+    for (const LitRef &Lit : E.Lits)
+      N->Lits.emplace(Lit.Link, Lit.Value);
+    if (!Index.emplace(E.Node.Uri, N).second) {
+      Arena.pop_back();
+      return Fail("URI already loaded");
+    }
+    return PatchResult();
+  }
+  case EditKind::Unload: {
+    if (Index.erase(E.Node.Uri) == 0)
+      return Fail("node not in index");
+    return PatchResult();
+  }
+  case EditKind::Update: {
+    auto It = Index.find(E.Node.Uri);
+    if (It == Index.end())
+      return Fail("node not in index");
+    for (const LitRef &Lit : E.Lits)
+      It->second->Lits[Lit.Link] = Lit.Value;
+    return PatchResult();
+  }
+  }
+  return Fail("unknown edit kind");
+}
+
+MTree::PatchResult MTree::checkCompliance(const Edit &E, size_t Index0) const {
+  auto Fail = [&](std::string Message) {
+    PatchResult R;
+    R.Ok = false;
+    R.ErrorIndex = Index0;
+    R.Error = E.toString(Sig) + ": non-compliant: " + std::move(Message);
+    return R;
+  };
+
+  switch (E.Kind) {
+  case EditKind::Detach: {
+    // Definition 3.5 (1): the parent exists, has the claimed tag, and its
+    // link currently holds the claimed node.
+    const MNode *P = lookup(E.Parent.Uri);
+    if (P == nullptr)
+      return Fail("parent not loaded");
+    if (P->Tag != E.Parent.Tag)
+      return Fail("parent tag mismatch");
+    auto It = P->Kids.find(E.Link);
+    if (It == P->Kids.end() || It->second == nullptr)
+      return Fail("link is not filled");
+    if (It->second->Uri != E.Node.Uri || It->second->Tag != E.Node.Tag)
+      return Fail("link holds a different node");
+    return PatchResult();
+  }
+  case EditKind::Attach:
+    // Definition 3.5 (2): ensured by the type system, nothing to check.
+    return PatchResult();
+  case EditKind::Load:
+    // Definition 3.5 (3): the URI is fresh. Later loads of the same URI
+    // fail here too because patching interleaves with these checks.
+    if (lookup(E.Node.Uri) != nullptr)
+      return Fail("URI is not fresh");
+    return PatchResult();
+  case EditKind::Unload: {
+    // Definition 3.5 (4): the node exists with the claimed tag, kids, and
+    // literals.
+    const MNode *N = lookup(E.Node.Uri);
+    if (N == nullptr)
+      return Fail("node not loaded");
+    if (N->Tag != E.Node.Tag)
+      return Fail("tag mismatch");
+    for (const KidRef &Kid : E.Kids) {
+      auto It = N->Kids.find(Kid.Link);
+      if (It == N->Kids.end() || It->second == nullptr ||
+          It->second->Uri != Kid.Uri)
+        return Fail("kid list disagrees with tree");
+    }
+    for (const LitRef &Lit : E.Lits) {
+      auto It = N->Lits.find(Lit.Link);
+      if (It == N->Lits.end() || !(It->second == Lit.Value))
+        return Fail("literal list disagrees with tree");
+    }
+    return PatchResult();
+  }
+  case EditKind::Update: {
+    const MNode *N = lookup(E.Node.Uri);
+    if (N == nullptr)
+      return Fail("node not loaded");
+    if (N->Tag != E.Node.Tag)
+      return Fail("tag mismatch");
+    for (const LitRef &Lit : E.OldLits) {
+      auto It = N->Lits.find(Lit.Link);
+      if (It == N->Lits.end() || !(It->second == Lit.Value))
+        return Fail("old literals disagree with tree");
+    }
+    return PatchResult();
+  }
+  }
+  return Fail("unknown edit kind");
+}
+
+MTree::PatchResult MTree::patch(const EditScript &Script) {
+  for (size_t I = 0, E = Script.size(); I != E; ++I) {
+    PatchResult R = processEdit(Script[I], I);
+    if (!R.Ok)
+      return R;
+  }
+  return PatchResult();
+}
+
+MTree::PatchResult MTree::patchChecked(const EditScript &Script) {
+  for (size_t I = 0, E = Script.size(); I != E; ++I) {
+    PatchResult R = checkCompliance(Script[I], I);
+    if (!R.Ok)
+      return R;
+    R = processEdit(Script[I], I);
+    if (!R.Ok)
+      return R;
+  }
+  return PatchResult();
+}
+
+bool MTree::nodeEqualsTree(const MNode *N, const Tree *T) const {
+  if (N == nullptr || T == nullptr)
+    return N == nullptr && T == nullptr;
+  if (N->Tag != T->tag())
+    return false;
+  const TagSignature &TagSig = Sig.signature(T->tag());
+  if (N->Kids.size() != TagSig.Kids.size() ||
+      N->Lits.size() != TagSig.Lits.size())
+    return false;
+  for (size_t I = 0, E = T->arity(); I != E; ++I) {
+    auto It = N->Kids.find(TagSig.Kids[I].Link);
+    if (It == N->Kids.end() || !nodeEqualsTree(It->second, T->kid(I)))
+      return false;
+  }
+  for (size_t I = 0, E = T->numLits(); I != E; ++I) {
+    auto It = N->Lits.find(TagSig.Lits[I].Link);
+    if (It == N->Lits.end() || !(It->second == T->lit(I)))
+      return false;
+  }
+  return true;
+}
+
+bool MTree::equalsTree(const Tree *T) const { return nodeEqualsTree(top(), T); }
+
+Tree *MTree::toTree(TreeContext &Ctx) const {
+  if (!isClosedWellFormed())
+    return nullptr;
+  std::function<Tree *(const MNode *)> Build =
+      [&](const MNode *N) -> Tree * {
+    const TagSignature &TagSig = Sig.signature(N->Tag);
+    std::vector<Tree *> Kids;
+    Kids.reserve(TagSig.Kids.size());
+    for (const KidSpec &Spec : TagSig.Kids)
+      Kids.push_back(Build(N->Kids.at(Spec.Link)));
+    std::vector<Literal> Lits;
+    Lits.reserve(TagSig.Lits.size());
+    for (const LitSpec &Spec : TagSig.Lits)
+      Lits.push_back(N->Lits.at(Spec.Link));
+    return Ctx.make(N->Tag, std::move(Kids), std::move(Lits));
+  };
+  return Build(top());
+}
+
+bool MTree::isClosedWellFormed() const {
+  size_t Reachable = 1; // the virtual root
+  std::function<bool(const MNode *)> Walk = [&](const MNode *N) -> bool {
+    if (N == nullptr)
+      return false; // empty slot
+    ++Reachable;
+    if (!Sig.hasTag(N->Tag))
+      return false;
+    const TagSignature &TagSig = Sig.signature(N->Tag);
+    for (const KidSpec &Spec : TagSig.Kids) {
+      auto It = N->Kids.find(Spec.Link);
+      if (It == N->Kids.end() || !Walk(It->second))
+        return false;
+    }
+    for (const LitSpec &Spec : TagSig.Lits) {
+      auto It = N->Lits.find(Spec.Link);
+      if (It == N->Lits.end() || It->second.kind() != Spec.Kind)
+        return false;
+    }
+    return true;
+  };
+  auto TopIt = Root->Kids.find(Sig.rootLink());
+  if (TopIt == Root->Kids.end() || !Walk(TopIt->second))
+    return false;
+  // No leaked roots: the index holds exactly the reachable nodes.
+  return Reachable == Index.size();
+}
+
+std::string MTree::nodeToString(const MNode *N) const {
+  if (N == nullptr)
+    return "<hole>";
+  std::string Out = "(" + Sig.name(N->Tag) + "_" + std::to_string(N->Uri);
+  const TagSignature &TagSig = Sig.signature(N->Tag);
+  for (const KidSpec &Spec : TagSig.Kids) {
+    Out += " ";
+    auto It = N->Kids.find(Spec.Link);
+    Out += It == N->Kids.end() ? "<hole>" : nodeToString(It->second);
+  }
+  for (const LitSpec &Spec : TagSig.Lits) {
+    Out += " ";
+    auto It = N->Lits.find(Spec.Link);
+    Out += It == N->Lits.end() ? "<missing>" : It->second.toString();
+  }
+  Out += ")";
+  return Out;
+}
+
+std::string MTree::toString() const { return nodeToString(top()); }

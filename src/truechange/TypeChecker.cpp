@@ -1,0 +1,237 @@
+//===- truechange/TypeChecker.cpp - Linear type system of truechange -------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "truechange/TypeChecker.h"
+
+using namespace truediff;
+
+LinearState LinearState::closed(const SignatureTable &Sig) {
+  LinearState S;
+  S.Roots.emplace(NullURI, Sig.rootSort());
+  return S;
+}
+
+LinearState LinearState::empty(const SignatureTable &Sig) {
+  LinearState S;
+  S.Roots.emplace(NullURI, Sig.rootSort());
+  S.Slots.emplace(SlotKey{NullURI, Sig.rootLink()}, Sig.anySort());
+  return S;
+}
+
+namespace {
+
+/// Checks that the kid list of a Load/Unload provides exactly the links of
+/// the signature, in any order, and returns the kid URI per signature slot.
+/// On error returns a message.
+std::string matchKids(const SignatureTable &Sig, const TagSignature &TagSig,
+                      const std::vector<KidRef> &Kids,
+                      std::vector<URI> &UrisBySlot) {
+  if (Kids.size() != TagSig.Kids.size())
+    return "kid list does not match signature arity";
+  UrisBySlot.assign(TagSig.Kids.size(), NullURI);
+  std::vector<bool> Filled(TagSig.Kids.size(), false);
+  for (const KidRef &Kid : Kids) {
+    int Index = TagSig.kidIndex(Kid.Link);
+    if (Index < 0)
+      return "kid link \"" + Sig.name(Kid.Link) + "\" not in signature";
+    if (Filled[Index])
+      return "kid link \"" + Sig.name(Kid.Link) + "\" provided twice";
+    Filled[Index] = true;
+    UrisBySlot[Index] = Kid.Uri;
+  }
+  return "";
+}
+
+/// Checks that the literal list provides exactly the links of the
+/// signature with well-kinded values.
+std::string matchLits(const SignatureTable &Sig, const TagSignature &TagSig,
+                      const std::vector<LitRef> &Lits) {
+  if (Lits.size() != TagSig.Lits.size())
+    return "literal list does not match signature arity";
+  std::vector<bool> Filled(TagSig.Lits.size(), false);
+  for (const LitRef &Lit : Lits) {
+    int Index = TagSig.litIndex(Lit.Link);
+    if (Index < 0)
+      return "literal link \"" + Sig.name(Lit.Link) + "\" not in signature";
+    if (Filled[Index])
+      return "literal link \"" + Sig.name(Lit.Link) + "\" provided twice";
+    Filled[Index] = true;
+    if (Lit.Value.kind() != TagSig.Lits[Index].Kind)
+      return "literal \"" + Sig.name(Lit.Link) + "\" has kind " +
+             litKindName(Lit.Value.kind()) + ", signature requires " +
+             litKindName(TagSig.Lits[Index].Kind);
+  }
+  return "";
+}
+
+} // namespace
+
+TypeCheckResult LinearTypeChecker::checkEdit(const Edit &E, LinearState &State,
+                                             size_t Index) const {
+  auto Fail = [&](std::string Message) {
+    return TypeCheckResult::failure(
+        Index, E.toString(Sig) + ": " + std::move(Message));
+  };
+
+  if (!Sig.hasTag(E.Node.Tag))
+    return Fail("unknown tag");
+
+  switch (E.Kind) {
+  case EditKind::Detach: {
+    // T-Detach
+    if (State.Roots.count(E.Node.Uri))
+      return Fail("node is already an unattached root");
+    if (!Sig.hasTag(E.Parent.Tag))
+      return Fail("unknown parent tag");
+    const TagSignature &ParentSig = Sig.signature(E.Parent.Tag);
+    int SlotIndex = ParentSig.kidIndex(E.Link);
+    if (SlotIndex < 0)
+      return Fail("parent has no link \"" + Sig.name(E.Link) + "\"");
+    LinearState::SlotKey Key{E.Parent.Uri, E.Link};
+    if (State.Slots.count(Key))
+      return Fail("slot is already empty");
+    State.Roots.emplace(E.Node.Uri, Sig.signature(E.Node.Tag).Result);
+    State.Slots.emplace(Key, ParentSig.Kids[SlotIndex].Sort);
+    return TypeCheckResult::success();
+  }
+
+  case EditKind::Attach: {
+    // T-Attach
+    auto RootIt = State.Roots.find(E.Node.Uri);
+    if (RootIt == State.Roots.end())
+      return Fail("node is not an unattached root");
+    LinearState::SlotKey Key{E.Parent.Uri, E.Link};
+    auto SlotIt = State.Slots.find(Key);
+    if (SlotIt == State.Slots.end())
+      return Fail("target slot is not empty");
+    if (!Sig.isSubsort(RootIt->second, SlotIt->second))
+      return Fail("root sort " + Sig.name(RootIt->second) +
+                  " is not a subsort of slot sort " +
+                  Sig.name(SlotIt->second));
+    State.Roots.erase(RootIt);
+    State.Slots.erase(SlotIt);
+    return TypeCheckResult::success();
+  }
+
+  case EditKind::Load: {
+    // T-Load
+    if (State.Roots.count(E.Node.Uri))
+      return Fail("loaded node URI collides with an unattached root");
+    const TagSignature &TagSig = Sig.signature(E.Node.Tag);
+    std::vector<URI> KidUris;
+    if (std::string Err = matchKids(Sig, TagSig, E.Kids, KidUris);
+        !Err.empty())
+      return Fail(std::move(Err));
+    if (std::string Err = matchLits(Sig, TagSig, E.Lits); !Err.empty())
+      return Fail(std::move(Err));
+    // Consume all kid roots; Ti <: Ui per slot. Consume as we go but check
+    // duplicates first so errors do not corrupt the state.
+    for (size_t I = 0, End = KidUris.size(); I != End; ++I) {
+      for (size_t J = I + 1; J != End; ++J)
+        if (KidUris[I] == KidUris[J])
+          return Fail("kid URI " + std::to_string(KidUris[I]) +
+                      " used twice; subtrees are linear resources");
+    }
+    for (size_t I = 0, End = KidUris.size(); I != End; ++I) {
+      auto It = State.Roots.find(KidUris[I]);
+      if (It == State.Roots.end())
+        return Fail("kid " + std::to_string(KidUris[I]) +
+                    " is not an unattached root");
+      if (!Sig.isSubsort(It->second, TagSig.Kids[I].Sort))
+        return Fail("kid sort " + Sig.name(It->second) +
+                    " is not a subsort of " + Sig.name(TagSig.Kids[I].Sort));
+    }
+    for (URI Kid : KidUris)
+      State.Roots.erase(Kid);
+    State.Roots.emplace(E.Node.Uri, TagSig.Result);
+    return TypeCheckResult::success();
+  }
+
+  case EditKind::Unload: {
+    // T-Unload
+    auto RootIt = State.Roots.find(E.Node.Uri);
+    if (RootIt == State.Roots.end())
+      return Fail("node is not an unattached root");
+    const TagSignature &TagSig = Sig.signature(E.Node.Tag);
+    if (!Sig.isSubsort(RootIt->second, TagSig.Result) &&
+        !Sig.isSubsort(TagSig.Result, RootIt->second))
+      return Fail("root sort disagrees with tag signature");
+    std::vector<URI> KidUris;
+    if (std::string Err = matchKids(Sig, TagSig, E.Kids, KidUris);
+        !Err.empty())
+      return Fail(std::move(Err));
+    if (std::string Err = matchLits(Sig, TagSig, E.Lits); !Err.empty())
+      return Fail(std::move(Err));
+    // {k1, ..., km} disjoint from dom(R).
+    for (URI Kid : KidUris)
+      if (State.Roots.count(Kid))
+        return Fail("kid " + std::to_string(Kid) +
+                    " is already an unattached root");
+    for (size_t I = 0, End = KidUris.size(); I != End; ++I) {
+      for (size_t J = I + 1; J != End; ++J)
+        if (KidUris[I] == KidUris[J])
+          return Fail("kid URI " + std::to_string(KidUris[I]) +
+                      " listed twice");
+    }
+    State.Roots.erase(RootIt);
+    for (size_t I = 0, End = KidUris.size(); I != End; ++I)
+      State.Roots.emplace(KidUris[I], TagSig.Kids[I].Sort);
+    return TypeCheckResult::success();
+  }
+
+  case EditKind::Update: {
+    // T-Update
+    const TagSignature &TagSig = Sig.signature(E.Node.Tag);
+    if (std::string Err = matchLits(Sig, TagSig, E.Lits); !Err.empty())
+      return Fail("new literals: " + Err);
+    if (std::string Err = matchLits(Sig, TagSig, E.OldLits); !Err.empty())
+      return Fail("old literals: " + Err);
+    return TypeCheckResult::success();
+  }
+  }
+  return Fail("unknown edit kind");
+}
+
+TypeCheckResult LinearTypeChecker::checkScript(const EditScript &Script,
+                                               LinearState &State) const {
+  for (size_t I = 0, E = Script.size(); I != E; ++I) {
+    TypeCheckResult R = checkEdit(Script[I], State, I);
+    if (!R.Ok)
+      return R;
+  }
+  return TypeCheckResult::success();
+}
+
+TypeCheckResult
+LinearTypeChecker::checkWellTyped(const EditScript &Script) const {
+  LinearState State = LinearState::closed(Sig);
+  TypeCheckResult R = checkScript(Script, State);
+  if (!R.Ok)
+    return R;
+  if (!(State == LinearState::closed(Sig))) {
+    std::string Message = "script leaks resources:";
+    for (const auto &[Uri, Sort] : State.Roots)
+      if (Uri != NullURI)
+        Message += " root " + std::to_string(Uri);
+    for (const auto &[Key, Sort] : State.Slots)
+      Message += " slot " + std::to_string(Key.Parent) + "." +
+                 Sig.name(Key.Link);
+    return TypeCheckResult::failure(Script.size(), std::move(Message));
+  }
+  return TypeCheckResult::success();
+}
+
+TypeCheckResult
+LinearTypeChecker::checkInitializing(const EditScript &Script) const {
+  LinearState State = LinearState::empty(Sig);
+  TypeCheckResult R = checkScript(Script, State);
+  if (!R.Ok)
+    return R;
+  if (!(State == LinearState::closed(Sig)))
+    return TypeCheckResult::failure(Script.size(),
+                                    "initializing script leaks resources");
+  return TypeCheckResult::success();
+}

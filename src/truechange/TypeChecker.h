@@ -1,0 +1,113 @@
+//===- truechange/TypeChecker.h - Linear type system of truechange *- C++-*-=//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linear type system of truechange (paper Figure 3). The judgment
+///
+///   Sigma |- e : (R . S) > (R' . S')
+///
+/// tracks unattached roots R (URI -> sort) and empty slots S
+/// ((URI, link) -> sort) as linearly typed resources. Rules:
+///
+///   T-Detach: node not in R, par.x not in S; adds node and the slot.
+///   T-Attach: consumes node from R and par.x from S if T <: T'.
+///   T-Load:   consumes the kid roots, produces the node root; kids and
+///             lits must match the tag's signature.
+///   T-Unload: consumes the node root, produces the kid roots.
+///   T-Update: checks the new literals against the signature; no effect.
+///
+/// Definition 3.1 (well-typed script) and Definition 3.2 (well-typed
+/// initializing script) are exposed as checkWellTyped/checkInitializing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_TRUECHANGE_TYPECHECKER_H
+#define TRUEDIFF_TRUECHANGE_TYPECHECKER_H
+
+#include "truechange/Edit.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace truediff {
+
+/// Outcome of type checking: Ok, or the index of the offending edit and a
+/// diagnostic message (style: lowercase, no trailing period).
+struct TypeCheckResult {
+  bool Ok = true;
+  size_t ErrorIndex = 0;
+  std::string Error;
+
+  static TypeCheckResult success() { return TypeCheckResult(); }
+  static TypeCheckResult failure(size_t Index, std::string Message) {
+    TypeCheckResult R;
+    R.Ok = false;
+    R.ErrorIndex = Index;
+    R.Error = std::move(Message);
+    return R;
+  }
+};
+
+/// The typing state (R . S): unattached roots and empty slots with sorts.
+class LinearState {
+public:
+  /// Key of an empty slot: the parent URI and the link.
+  struct SlotKey {
+    URI Parent;
+    LinkId Link;
+    bool operator==(const SlotKey &O) const {
+      return Parent == O.Parent && Link == O.Link;
+    }
+  };
+  struct SlotKeyHash {
+    size_t operator()(const SlotKey &K) const {
+      return std::hash<uint64_t>()(K.Parent * 1000003u + K.Link);
+    }
+  };
+
+  std::unordered_map<URI, SortId> Roots;
+  std::unordered_map<SlotKey, SortId, SlotKeyHash> Slots;
+
+  /// The state of Definition 3.1: R = {null : Root}, S = {}.
+  static LinearState closed(const SignatureTable &Sig);
+
+  /// The initial state of Definition 3.2: R = {null : Root},
+  /// S = {null.RootLink : Any}.
+  static LinearState empty(const SignatureTable &Sig);
+
+  bool operator==(const LinearState &O) const {
+    return Roots == O.Roots && Slots == O.Slots;
+  }
+};
+
+/// Checks truechange edit scripts against the linear type system.
+class LinearTypeChecker {
+public:
+  explicit LinearTypeChecker(const SignatureTable &Sig) : Sig(Sig) {}
+
+  /// Threads one edit through \p State per Figure 3. On success, State is
+  /// updated in place.
+  TypeCheckResult checkEdit(const Edit &E, LinearState &State,
+                            size_t Index = 0) const;
+
+  /// Threads a whole script through \p State (T-EditScript-Nil/Cons).
+  TypeCheckResult checkScript(const EditScript &Script,
+                              LinearState &State) const;
+
+  /// Definition 3.1: Sigma |- Delta : ((null:Root) . e) > ((null:Root) . e).
+  TypeCheckResult checkWellTyped(const EditScript &Script) const;
+
+  /// Definition 3.2: from ((null:Root) . (null.RootLink:Any)) to
+  /// ((null:Root) . e); used for scripts that initialize the empty tree.
+  TypeCheckResult checkInitializing(const EditScript &Script) const;
+
+private:
+  const SignatureTable &Sig;
+};
+
+} // namespace truediff
+
+#endif // TRUEDIFF_TRUECHANGE_TYPECHECKER_H

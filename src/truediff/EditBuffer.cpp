@@ -1,0 +1,19 @@
+//===- truediff/EditBuffer.cpp - Ordered edit accumulation -----------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "truediff/EditBuffer.h"
+
+using namespace truediff;
+
+EditScript EditBuffer::toEditScript() && {
+  std::vector<Edit> All;
+  All.reserve(Negatives.size() + Positives.size());
+  for (Edit &E : Negatives)
+    All.push_back(std::move(E));
+  for (Edit &E : Positives)
+    All.push_back(std::move(E));
+  return EditScript(std::move(All));
+}

@@ -1,0 +1,49 @@
+//===- truediff/EditBuffer.h - Ordered edit accumulation --------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects edits during Step 4 of truediff. The buffer distinguishes
+/// negative edits (detach, unload) from positive edits (attach, load,
+/// update); the final edit script contains all negative edits before all
+/// positive edits, which ensures every subtree is detached before it is
+/// reattached (paper Section 4.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_TRUEDIFF_EDITBUFFER_H
+#define TRUEDIFF_TRUEDIFF_EDITBUFFER_H
+
+#include "truechange/Edit.h"
+
+#include <vector>
+
+namespace truediff {
+
+/// Accumulates edits in two phases and assembles the final script.
+class EditBuffer {
+public:
+  /// Appends \p E to the negative or positive phase based on its kind.
+  void emit(Edit E) {
+    if (E.isNegative())
+      Negatives.push_back(std::move(E));
+    else
+      Positives.push_back(std::move(E));
+  }
+
+  size_t size() const { return Negatives.size() + Positives.size(); }
+
+  /// Assembles negatives-then-positives into one script, consuming the
+  /// buffer.
+  EditScript toEditScript() &&;
+
+private:
+  std::vector<Edit> Negatives;
+  std::vector<Edit> Positives;
+};
+
+} // namespace truediff
+
+#endif // TRUEDIFF_TRUEDIFF_EDITBUFFER_H

@@ -1,0 +1,98 @@
+//===- truediff/SubtreeShare.h - Shares of equivalent subtrees --*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Subtree shares manage subtrees as resources during diffing (paper
+/// Section 4.2): all structurally equivalent subtrees of the source and
+/// target tree are assigned the same share. Source subtrees are registered
+/// as *available* resources; target subtrees demand resources from their
+/// share in Step 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_TRUEDIFF_SUBTREESHARE_H
+#define TRUEDIFF_TRUEDIFF_SUBTREESHARE_H
+
+#include "support/Digest.h"
+#include "tree/Tree.h"
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace truediff {
+
+/// The share of one structural-equivalence class of subtrees.
+///
+/// Availability is tracked with a registration-order list plus a live set;
+/// deregistered entries are skipped lazily, which keeps registration,
+/// deregistration, and selection amortized constant time (required for the
+/// linear-time bound of Theorem 4.1) and makes "take any" deterministic
+/// (earliest registered wins).
+class SubtreeShare {
+public:
+  /// Makes \p T available for reuse. Called for source subtrees in Step 2.
+  void registerAvailableTree(Tree *T) {
+    Order.push_back(T);
+    Available.insert(T->uri());
+  }
+
+  /// Removes \p Uri from the available set (the tree was consumed as part
+  /// of an acquired subtree). No-op if not available.
+  void deregisterAvailableTree(URI Uri) { Available.erase(Uri); }
+
+  bool isAvailable(URI Uri) const { return Available.count(Uri) != 0; }
+
+  /// Returns the earliest-registered available tree, or nullptr.
+  Tree *takeAny();
+
+  /// Returns the earliest-registered available tree whose literal hash
+  /// equals \p LitHash (an exact copy, the *preferred* candidates of
+  /// Section 4.1), or nullptr. The literal index is built lazily on the
+  /// first preferred query, i.e. at the start of Step 3 when the available
+  /// set is complete.
+  Tree *takePreferred(const Digest &LitHash);
+
+private:
+  /// Candidates with one literal hash, in registration order; Head skips
+  /// entries consumed since the index was built.
+  struct PrefList {
+    std::vector<Tree *> Trees;
+    size_t Head = 0;
+  };
+
+  void buildPreferredIndex();
+
+  std::vector<Tree *> Order;
+  size_t Head = 0;
+  std::unordered_set<URI> Available;
+  std::unordered_map<Digest, PrefList, DigestHash> Preferred;
+  bool PreferredBuilt = false;
+};
+
+/// Interns subtree shares by structure hash: two subtrees receive the same
+/// share iff they are structurally equivalent (Section 4.2).
+class SubtreeRegistry {
+public:
+  /// Returns the share for \p T's structure hash, creating it on first
+  /// use, and stores it in the node. Idempotent.
+  SubtreeShare *assignShare(Tree *T);
+
+  /// assignShare + registerAvailableTree; used for source subtrees that
+  /// may be moved anywhere.
+  SubtreeShare *assignShareAndRegisterTree(Tree *T);
+
+  size_t numShares() const { return Shares.size(); }
+
+private:
+  std::unordered_map<Digest, std::unique_ptr<SubtreeShare>, DigestHash>
+      Shares;
+};
+
+} // namespace truediff
+
+#endif // TRUEDIFF_TRUEDIFF_SUBTREESHARE_H

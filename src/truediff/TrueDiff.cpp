@@ -1,0 +1,348 @@
+//===- truediff/TrueDiff.cpp - The truediff structural diffing algorithm ---===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "truediff/TrueDiff.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_set>
+
+using namespace truediff;
+
+//===----------------------------------------------------------------------===//
+// Step 2: find reuse candidates
+//===----------------------------------------------------------------------===//
+
+void TrueDiff::assignShares(Tree *This, Tree *That) {
+  Registry.assignShare(This);
+  Registry.assignShare(That);
+  if (This->share() == That->share()) {
+    // this and that are structurally equivalent: preemptively assign the
+    // pair and stop recursing; the whole subtree is reused in place.
+    This->assignTree(That);
+    return;
+  }
+  assignSharesRec(This, That);
+}
+
+void TrueDiff::assignSharesRec(Tree *This, Tree *That) {
+  if (This->tag() == That->tag()) {
+    // Same constructor: this may be reusable in place, and we recurse
+    // simultaneously into the kids.
+    This->share()->registerAvailableTree(This);
+    for (size_t I = 0, E = This->arity(); I != E; ++I)
+      assignShares(This->kid(I), That->kid(I));
+    return;
+  }
+  // Different constructors: every source subtree becomes available for
+  // moves; every target subtree receives its share for Step 3.
+  This->foreachTree(
+      [this](Tree *T) { Registry.assignShareAndRegisterTree(T); });
+  That->foreachSubtree([this](Tree *T) { Registry.assignShare(T); });
+}
+
+//===----------------------------------------------------------------------===//
+// Step 3: select reuse candidates
+//===----------------------------------------------------------------------===//
+
+bool TrueDiff::selectTree(Tree *That, bool Preferred) {
+  // Preemptively assigned target kids can re-enter the queue (see
+  // takeTree), and their own kids may never have received a share in
+  // Step 2; assignShare is idempotent and fills the gap.
+  SubtreeShare *Share = Registry.assignShare(That);
+  Tree *Candidate = Preferred ? Share->takePreferred(That->literalHash())
+                              : Share->takeAny();
+  if (Candidate == nullptr)
+    return false;
+  takeTree(Candidate, That);
+  return true;
+}
+
+void TrueDiff::takeTree(Tree *Source, Tree *That) {
+  assert(Source->share() != nullptr && "available trees carry a share");
+
+  // Assigning Source to That as a whole invalidates every assignment that
+  // involves a node inside either tree. Mark both node sets first (cheap
+  // session-unique stamps); the traversal cost matches the paper's
+  // accounting for Step 3 (acquired trees are traversed once to
+  // deregister their nodes).
+  uint32_t SourceMark = ++MarkCounter;
+  uint32_t ThatMark = ++MarkCounter;
+  Source->foreachTree([&](Tree *T) { T->setMark(SourceMark); });
+  That->foreachTree([&](Tree *T) { T->setMark(ThatMark); });
+  auto InSourceCount = [&](const Tree *T) { return T->mark() == SourceMark; };
+  auto InThatCount = [&](const Tree *T) { return T->mark() == ThatMark; };
+
+  // The acquired tree is consumed as a whole: none of its subtrees may be
+  // reused elsewhere, and preemptive assignments of smaller subtrees are
+  // undone -- we prioritize reusing the larger tree (Section 4.3).
+  Source->share()->deregisterAvailableTree(Source->uri());
+  Source->foreachSubtree([&](Tree *Subtree) {
+    if (Subtree->share() != nullptr)
+      Subtree->share()->deregisterAvailableTree(Subtree->uri());
+    if (Subtree->assigned() != nullptr) {
+      Tree *ThatNode = Subtree->assigned();
+      Subtree->unassignTree();
+      // The affected target subtree must look for another candidate --
+      // unless it lives inside That, where the acquired tree already
+      // covers it.
+      if (!InThatCount(ThatNode))
+        Queue.push(ThatNode);
+    }
+  });
+
+  // Dually, target subtrees of That that were assigned to source trees
+  // *outside* Source release their partners: those source trees become
+  // available resources again. (Partners inside Source were just handled
+  // above.) Every target descendant is also marked covered: a target node
+  // re-enqueued by an earlier undo must not acquire a source tree of its
+  // own once an ancestor reuses a tree wholesale -- Step 4 would never
+  // visit it and its partner would leak.
+  That->foreachSubtree([&](Tree *ThatSub) {
+    ThatSub->setCovered(true);
+    if (ThatSub->assigned() == nullptr)
+      return;
+    Tree *Partner = ThatSub->assigned();
+    ThatSub->unassignTree();
+    if (!InSourceCount(Partner)) {
+      assert(Partner->share() != nullptr &&
+             "assigned source nodes carry a share");
+      Partner->share()->registerAvailableTree(Partner);
+    }
+  });
+
+  Source->assignTree(That);
+}
+
+void TrueDiff::assignSubtrees(Tree *That) {
+  if (!Opts.HeightPriority) {
+    // Ablation mode: plain FIFO breadth-first processing.
+    std::deque<Tree *> Fifo{That};
+    auto Drain = [&]() {
+      while (!Fifo.empty()) {
+        Tree *Next = Fifo.front();
+        Fifo.pop_front();
+        if (Next->assigned() != nullptr || Next->covered())
+          continue;
+        if (Opts.PreferLiteralMatches && selectTree(Next, /*Preferred=*/true))
+          continue;
+        if (selectTree(Next, /*Preferred=*/false))
+          continue;
+        for (size_t I = 0, E = Next->arity(); I != E; ++I)
+          Fifo.push_back(Next->kid(I));
+      }
+    };
+    Drain();
+    // takeTree pushes undone targets into Queue; drain them FIFO too.
+    while (!Queue.empty()) {
+      Fifo.push_back(Queue.top());
+      Queue.pop();
+      Drain();
+    }
+    return;
+  }
+
+  Queue.push(That);
+  while (!Queue.empty()) {
+    // Dequeue all subtrees of the current (largest) height. Deduplicate:
+    // a target node can be enqueued by its parent and again by an
+    // assignment undo.
+    uint32_t Level = Queue.top()->height();
+    std::vector<Tree *> Nexts;
+    std::unordered_set<Tree *> SeenThisLevel;
+    while (!Queue.empty() && Queue.top()->height() == Level) {
+      Tree *Next = Queue.top();
+      Queue.pop();
+      if (Next->assigned() != nullptr || Next->covered())
+        continue; // reused as a whole (itself or via an ancestor)
+      if (SeenThisLevel.insert(Next).second)
+        Nexts.push_back(Next);
+    }
+
+    // First try preferred (literally equivalent) candidates, then any
+    // structurally equivalent candidate.
+    std::vector<Tree *> Remaining;
+    if (Opts.PreferLiteralMatches) {
+      for (Tree *Next : Nexts)
+        if (!selectTree(Next, /*Preferred=*/true))
+          Remaining.push_back(Next);
+    } else {
+      Remaining = std::move(Nexts);
+    }
+    for (Tree *Next : Remaining) {
+      if (selectTree(Next, /*Preferred=*/false))
+        continue;
+      // No reuse candidate: search for smaller reusable subtrees.
+      for (size_t I = 0, E = Next->arity(); I != E; ++I)
+        Queue.push(Next->kid(I));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Step 4: compute edit script
+//===----------------------------------------------------------------------===//
+
+std::vector<KidRef> TrueDiff::kidRefs(const Tree *T) const {
+  const TagSignature &TagSig = Sig.signature(T->tag());
+  std::vector<KidRef> Refs;
+  Refs.reserve(T->arity());
+  for (size_t I = 0, E = T->arity(); I != E; ++I)
+    Refs.push_back(KidRef{TagSig.Kids[I].Link, T->kid(I)->uri()});
+  return Refs;
+}
+
+std::vector<LitRef> TrueDiff::litRefs(TagId Tag,
+                                      const std::vector<Literal> &Lits) const {
+  const TagSignature &TagSig = Sig.signature(Tag);
+  assert(Lits.size() == TagSig.Lits.size());
+  std::vector<LitRef> Refs;
+  Refs.reserve(Lits.size());
+  for (size_t I = 0, E = Lits.size(); I != E; ++I)
+    Refs.push_back(LitRef{TagSig.Lits[I].Link, Lits[I]});
+  return Refs;
+}
+
+Tree *TrueDiff::updateLits(Tree *This, Tree *That, EditBuffer &Edits) {
+  if (This->literalHash() != That->literalHash()) {
+    if (This->lits() != That->lits()) {
+      Edits.emit(Edit::update(NodeRef{This->tag(), This->uri()},
+                              litRefs(This->tag(), This->lits()),
+                              litRefs(This->tag(), That->lits())));
+      This->setLits(That->lits());
+    }
+    // Structurally equivalent trees have identical shapes; descend to fix
+    // literal mismatches further down.
+    for (size_t I = 0, E = This->arity(); I != E; ++I)
+      updateLits(This->kid(I), That->kid(I), Edits);
+  }
+  return This;
+}
+
+Tree *TrueDiff::computeEditsRec(Tree *This, Tree *That, EditBuffer &Edits) {
+  if (This->tag() != That->tag())
+    return nullptr;
+  // Reuse this node in place and continue the simultaneous traversal.
+  NodeRef Parent{This->tag(), This->uri()};
+  const TagSignature &TagSig = Sig.signature(This->tag());
+  for (size_t I = 0, E = This->arity(); I != E; ++I)
+    This->setKid(I, computeEdits(This->kid(I), That->kid(I), Parent,
+                                 TagSig.Kids[I].Link, Edits));
+  if (This->lits() != That->lits()) {
+    Edits.emit(Edit::update(NodeRef{This->tag(), This->uri()},
+                            litRefs(This->tag(), This->lits()),
+                            litRefs(This->tag(), That->lits())));
+    This->setLits(That->lits());
+  }
+  return This;
+}
+
+void TrueDiff::unloadUnassigned(Tree *This, EditBuffer &Edits) {
+  if (This->assigned() != nullptr) {
+    // Assigned subtrees are kept: they stay unattached roots until they
+    // are reattached at their new position.
+    return;
+  }
+  Edits.emit(Edit::unload(NodeRef{This->tag(), This->uri()}, kidRefs(This),
+                          litRefs(This->tag(), This->lits())));
+  for (size_t I = 0, E = This->arity(); I != E; ++I)
+    unloadUnassigned(This->kid(I), Edits);
+}
+
+Tree *TrueDiff::loadUnassigned(Tree *That, EditBuffer &Edits) {
+  if (That->assigned() != nullptr) {
+    // Reuse the assigned source tree, adapting its literals if it was
+    // only structurally equivalent.
+    return updateLits(That->assigned(), That, Edits);
+  }
+  const TagSignature &TagSig = Sig.signature(That->tag());
+  std::vector<Tree *> NewKids;
+  std::vector<KidRef> Refs;
+  NewKids.reserve(That->arity());
+  Refs.reserve(That->arity());
+  for (size_t I = 0, E = That->arity(); I != E; ++I) {
+    Tree *Kid = loadUnassigned(That->kid(I), Edits);
+    Refs.push_back(KidRef{TagSig.Kids[I].Link, Kid->uri()});
+    NewKids.push_back(Kid);
+  }
+  Tree *NewNode = Ctx.make(That->tag(), std::move(NewKids), That->lits());
+  Edits.emit(Edit::load(NodeRef{NewNode->tag(), NewNode->uri()},
+                        std::move(Refs),
+                        litRefs(That->tag(), That->lits())));
+  return NewNode;
+}
+
+Tree *TrueDiff::computeEdits(Tree *This, Tree *That, NodeRef Parent,
+                             LinkId Link, EditBuffer &Edits) {
+  if (This->assigned() == That)
+    return updateLits(This, That, Edits);
+
+  if (This->assigned() == nullptr && That->assigned() == nullptr)
+    if (Tree *Reused = computeEditsRec(This, That, Edits))
+      return Reused;
+
+  // Replace this subtree by that subtree.
+  Edits.emit(Edit::detach(NodeRef{This->tag(), This->uri()}, Link, Parent));
+  unloadUnassigned(This, Edits);
+  Tree *NewTree = loadUnassigned(That, Edits);
+  Edits.emit(
+      Edit::attach(NodeRef{NewTree->tag(), NewTree->uri()}, Link, Parent));
+  return NewTree;
+}
+
+//===----------------------------------------------------------------------===//
+// Main algorithm
+//===----------------------------------------------------------------------===//
+
+DiffResult TrueDiff::compareTo(Tree *Source, Tree *Target) {
+  assert(Source != nullptr && Target != nullptr);
+  assert(Source != Target && "cannot diff a tree against itself");
+
+  // Fresh session state (Step 1 hashes are cached in the nodes already).
+  Registry = SubtreeRegistry();
+  assert(Queue.empty());
+
+  assignShares(Source, Target);  // Step 2
+  assignSubtrees(Target);        // Step 3
+
+#ifdef TRUEDIFF_DEBUG_INVARIANTS
+  // Nested assignments on either side leak resources in Step 4.
+  std::function<void(Tree *, Tree *, const char *)> CheckNesting =
+      [&](Tree *T, Tree *AssignedAncestor, const char *Side) {
+        if (T->assigned() != nullptr && AssignedAncestor != nullptr)
+          fprintf(stderr,
+                  "NESTED ASSIGNMENT side=%s uri=%llu partner=%llu "
+                  "ancestor=%llu ancestorPartner=%llu\n",
+                  Side, (unsigned long long)T->uri(),
+                  (unsigned long long)T->assigned()->uri(),
+                  (unsigned long long)AssignedAncestor->uri(),
+                  (unsigned long long)AssignedAncestor->assigned()->uri());
+        Tree *Now = AssignedAncestor != nullptr
+                        ? AssignedAncestor
+                        : (T->assigned() != nullptr ? T : nullptr);
+        for (size_t I = 0; I != T->arity(); ++I)
+          CheckNesting(T->kid(I), Now, Side);
+      };
+  CheckNesting(Target, nullptr, "target");
+  CheckNesting(Source, nullptr, "source");
+#endif
+
+  EditBuffer Edits;              // Step 4
+  Tree *Patched =
+      computeEdits(Source, Target, NodeRef{Sig.rootTag(), NullURI},
+                   Sig.rootLink(), Edits);
+
+  DiffResult Result;
+  Result.Script = std::move(Edits).toEditScript();
+  Result.Patched = Patched;
+
+  // Reused nodes received new kids and literals; refresh the caches so
+  // the patched tree is ready for the next diffing round.
+  Patched->refreshDerived(Sig);
+  Patched->clearDiffState();
+  Target->clearDiffState();
+  return Result;
+}

@@ -1,0 +1,67 @@
+//===- tests/TestLang.h - Shared expression language for tests --*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small expression language used by the paper's examples (Sections
+/// 1-4): Exp with Add, Sub, Mul, Num, Var, Call, and the leaf tags a, b,
+/// c, d from the Section 1/2 examples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_TESTS_TESTLANG_H
+#define TRUEDIFF_TESTS_TESTLANG_H
+
+#include "tree/Signature.h"
+#include "tree/Tree.h"
+
+namespace truediff {
+namespace testlang {
+
+/// Builds the Exp signature. Kid links are named "e1", "e2" like in the
+/// paper.
+inline SignatureTable makeExpSignature() {
+  SignatureTable Sig;
+  Sig.defineTag("Num", "Exp", {}, {{"n", LitKind::Int}});
+  Sig.defineTag("Var", "Exp", {}, {{"name", LitKind::String}});
+  Sig.defineTag("Add", "Exp", {{"e1", "Exp"}, {"e2", "Exp"}}, {});
+  Sig.defineTag("Sub", "Exp", {{"e1", "Exp"}, {"e2", "Exp"}}, {});
+  Sig.defineTag("Mul", "Exp", {{"e1", "Exp"}, {"e2", "Exp"}}, {});
+  Sig.defineTag("Call", "Exp", {{"a", "Exp"}}, {{"f", LitKind::String}});
+  // Leaf expressions used by the paper's Section 1/2 examples.
+  Sig.defineTag("a", "Exp", {}, {});
+  Sig.defineTag("b", "Exp", {}, {});
+  Sig.defineTag("c", "Exp", {}, {});
+  Sig.defineTag("d", "Exp", {}, {});
+  return Sig;
+}
+
+/// Shorthand builders.
+inline Tree *num(TreeContext &Ctx, int64_t N) {
+  return Ctx.make("Num", {}, {Literal(N)});
+}
+inline Tree *var(TreeContext &Ctx, const std::string &Name) {
+  return Ctx.make("Var", {}, {Literal(Name)});
+}
+inline Tree *add(TreeContext &Ctx, Tree *L, Tree *R) {
+  return Ctx.make("Add", {L, R}, {});
+}
+inline Tree *sub(TreeContext &Ctx, Tree *L, Tree *R) {
+  return Ctx.make("Sub", {L, R}, {});
+}
+inline Tree *mul(TreeContext &Ctx, Tree *L, Tree *R) {
+  return Ctx.make("Mul", {L, R}, {});
+}
+inline Tree *call(TreeContext &Ctx, const std::string &F, Tree *A) {
+  return Ctx.make("Call", {A}, {Literal(F)});
+}
+inline Tree *leaf(TreeContext &Ctx, const char *Tag) {
+  return Ctx.make(Tag, {}, {});
+}
+
+} // namespace testlang
+} // namespace truediff
+
+#endif // TRUEDIFF_TESTS_TESTLANG_H

@@ -1,0 +1,132 @@
+//===- tests/lcsdiff_test.cpp - Unit tests for the LCS baseline ------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lcsdiff/LcsDiff.h"
+
+#include "support/Rng.h"
+
+#include "TestLang.h"
+
+#include <gtest/gtest.h>
+
+using namespace truediff;
+using namespace truediff::lcsdiff;
+using namespace truediff::testlang;
+
+namespace {
+
+class LcsDiffTest : public ::testing::Test {
+protected:
+  LcsDiffTest() : Sig(makeExpSignature()), Ctx(Sig) {}
+
+  LcsScript checkedDiff(const Tree *Src, const Tree *Dst,
+                        LcsOptions Opts = LcsOptions()) {
+    LcsScript Script = lcsDiff(Src, Dst, Opts);
+    Tree *Applied = applyLcs(Ctx, Src, Script);
+    EXPECT_NE(Applied, nullptr);
+    if (Applied != nullptr) {
+      EXPECT_TRUE(treeEqualsModuloUris(Applied, Dst))
+          << Script.toString(Sig);
+    }
+    return Script;
+  }
+
+  SignatureTable Sig;
+  TreeContext Ctx;
+};
+
+TEST_F(LcsDiffTest, PreOrderTokens) {
+  Tree *T = add(Ctx, num(Ctx, 1), call(Ctx, "f", var(Ctx, "x")));
+  std::vector<Token> Toks = preOrderTokens(T);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Tag, Sig.lookup("Add"));
+  EXPECT_EQ(Toks[1].Tag, Sig.lookup("Num"));
+  EXPECT_EQ(Toks[2].Tag, Sig.lookup("Call"));
+  EXPECT_EQ(Toks[3].Tag, Sig.lookup("Var"));
+}
+
+TEST_F(LcsDiffTest, IdenticalTreesAreAllCpy) {
+  Tree *Src = add(Ctx, num(Ctx, 1), num(Ctx, 2));
+  Tree *Dst = add(Ctx, num(Ctx, 1), num(Ctx, 2));
+  LcsScript S = checkedDiff(Src, Dst);
+  EXPECT_EQ(S.size(), 3u); // proportional to the tree, even unchanged
+  EXPECT_EQ(S.numChanges(), 0u);
+}
+
+TEST_F(LcsDiffTest, LiteralChangeIsDelIns) {
+  Tree *Src = add(Ctx, num(Ctx, 1), num(Ctx, 2));
+  Tree *Dst = add(Ctx, num(Ctx, 1), num(Ctx, 9));
+  LcsScript S = checkedDiff(Src, Dst);
+  EXPECT_EQ(S.numChanges(), 2u); // Del(Num 2), Ins(Num 9)
+}
+
+TEST_F(LcsDiffTest, MovedSubtreeIsDeletedAndReinserted) {
+  // The paper's Section 1 point: no moves, so the swap costs
+  // delete+reinsert of whole subtrees.
+  Tree *Src = add(Ctx, sub(Ctx, leaf(Ctx, "a"), leaf(Ctx, "b")),
+                  mul(Ctx, leaf(Ctx, "c"), leaf(Ctx, "d")));
+  Tree *Dst = add(Ctx, leaf(Ctx, "d"),
+                  mul(Ctx, leaf(Ctx, "c"),
+                      sub(Ctx, leaf(Ctx, "a"), leaf(Ctx, "b"))));
+  LcsScript S = checkedDiff(Src, Dst);
+  // truediff needs 4 edits; the LCS script needs strictly more changes.
+  EXPECT_GT(S.numChanges(), 4u) << S.toString(Sig);
+}
+
+TEST_F(LcsDiffTest, FallbackStillCorrect) {
+  Tree *Src = add(Ctx, num(Ctx, 1), mul(Ctx, num(Ctx, 2), num(Ctx, 3)));
+  Tree *Dst = sub(Ctx, num(Ctx, 4), call(Ctx, "f", num(Ctx, 5)));
+  LcsOptions Opts;
+  Opts.MaxDpProduct = 0; // force wholesale replacement
+  LcsScript S = checkedDiff(Src, Dst, Opts);
+  EXPECT_EQ(S.numChanges(), Src->size() + Dst->size());
+}
+
+TEST_F(LcsDiffTest, ApplyRejectsWrongSource) {
+  Tree *Src = add(Ctx, num(Ctx, 1), num(Ctx, 2));
+  Tree *Dst = add(Ctx, num(Ctx, 1), num(Ctx, 9));
+  LcsScript S = lcsDiff(Src, Dst);
+  // Cpy is positional, but Del checks the deleted token: a source whose
+  // deleted position differs must be rejected.
+  Tree *Other = add(Ctx, num(Ctx, 1), num(Ctx, 5));
+  EXPECT_EQ(applyLcs(Ctx, Other, S), nullptr);
+  // A script longer than the source must be rejected too.
+  Tree *Tiny = num(Ctx, 1);
+  EXPECT_EQ(applyLcs(Ctx, Tiny, S), nullptr);
+}
+
+class LcsRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LcsRandomTest, ApplyDiffRoundTrips) {
+  SignatureTable Sig = makeExpSignature();
+  TreeContext Ctx(Sig);
+  Rng R(GetParam() * 15013 + 29);
+
+  std::function<Tree *(int)> Gen = [&](int Depth) -> Tree * {
+    if (Depth <= 1 || R.chance(30))
+      return num(Ctx, R.range(0, 4));
+    switch (R.below(3)) {
+    case 0:
+      return add(Ctx, Gen(Depth - 1), Gen(Depth - 1));
+    case 1:
+      return mul(Ctx, Gen(Depth - 1), Gen(Depth - 1));
+    default:
+      return call(Ctx, "f", Gen(Depth - 1));
+    }
+  };
+
+  Tree *Src = Gen(6);
+  Tree *Dst = Gen(6);
+  LcsScript S = lcsDiff(Src, Dst);
+  Tree *Applied = applyLcs(Ctx, Src, S);
+  ASSERT_NE(Applied, nullptr);
+  EXPECT_TRUE(treeEqualsModuloUris(Applied, Dst));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcsRandomTest,
+                         ::testing::Range<uint64_t>(0, 50));
+
+} // namespace

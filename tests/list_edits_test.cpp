@@ -1,0 +1,186 @@
+//===- tests/list_edits_test.cpp - Conciseness on cons-encoded lists -------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed trees encode statement lists as cons spines (DESIGN.md). These
+/// tests pin down that truediff still produces *constant-size* patches
+/// for the canonical list edits -- insert, delete, move, swap -- instead
+/// of rebuilding the spine: the unchanged suffix is structurally
+/// equivalent to an available source list and is reused wholesale.
+///
+//===----------------------------------------------------------------------===//
+
+#include "python/Python.h"
+#include "truechange/MTree.h"
+#include "truechange/TypeChecker.h"
+#include "truediff/TrueDiff.h"
+
+#include <gtest/gtest.h>
+
+using namespace truediff;
+
+namespace {
+
+class ListEditsTest : public ::testing::Test {
+protected:
+  ListEditsTest() : Sig(python::makePythonSignature()), Ctx(Sig) {}
+
+  /// Builds a module with N statements of *varying shape* (like real
+  /// code): truediff identifies reuse candidates by structural
+  /// equivalence, so shape diversity is what makes list suffixes
+  /// unambiguous.
+  std::string numberedStatements(int N, int Skip = -1,
+                                 const char *ExtraAt = nullptr,
+                                 int ExtraPos = -1) {
+    std::string Src;
+    for (int I = 0; I != N; ++I) {
+      if (I == ExtraPos && ExtraAt != nullptr)
+        Src.append(ExtraAt).append("\n");
+      if (I == Skip)
+        continue;
+      std::string V = "v";
+      V += std::to_string(I);
+      std::string K = std::to_string(I);
+      switch (I % 5) {
+      case 0:
+        Src += V + " = " + K + "\n";
+        break;
+      case 1:
+        Src += V + " = f(" + K + ")\n";
+        break;
+      case 2:
+        Src += V + " += " + K + "\n";
+        break;
+      case 3:
+        Src += "assert " + V + " == " + K + "\n";
+        break;
+      default:
+        Src += V + " = [" + K + ", " + K + "]\n";
+        break;
+      }
+    }
+    if (ExtraPos == N && ExtraAt != nullptr)
+      Src += std::string(ExtraAt) + "\n";
+    return Src;
+  }
+
+  size_t diffSize(const std::string &Before, const std::string &After) {
+    auto A = python::parsePython(Ctx, Before);
+    auto B = python::parsePython(Ctx, After);
+    EXPECT_TRUE(A.ok()) << A.Error;
+    EXPECT_TRUE(B.ok()) << B.Error;
+
+    MTree M = MTree::fromTree(Sig, A.Module);
+    TrueDiff Differ(Ctx);
+    DiffResult R = Differ.compareTo(A.Module, B.Module);
+
+    LinearTypeChecker Checker(Sig);
+    EXPECT_TRUE(Checker.checkWellTyped(R.Script).Ok);
+    EXPECT_TRUE(M.patchChecked(R.Script).Ok);
+    EXPECT_TRUE(M.equalsTree(B.Module));
+    return R.Script.coalescedSize();
+  }
+
+  SignatureTable Sig;
+  TreeContext Ctx;
+};
+
+TEST_F(ListEditsTest, InsertAtFrontIsConstant) {
+  // Inserting one statement at the front of a 50-statement body must not
+  // rebuild the spine: one new cons cell + statement nodes + relink.
+  size_t Size = diffSize(numberedStatements(50),
+                         numberedStatements(50, -1, "fresh = 99", 0));
+  EXPECT_LE(Size, 8u);
+}
+
+TEST_F(ListEditsTest, InsertInMiddleIsConstant) {
+  size_t Size = diffSize(numberedStatements(50),
+                         numberedStatements(50, -1, "fresh = 99", 25));
+  EXPECT_LE(Size, 8u);
+}
+
+TEST_F(ListEditsTest, InsertAtEndIsConstant) {
+  size_t Size = diffSize(numberedStatements(50),
+                         numberedStatements(50, -1, "fresh = 99", 50));
+  EXPECT_LE(Size, 8u);
+}
+
+TEST_F(ListEditsTest, DeleteInMiddleIsConstant) {
+  size_t Size = diffSize(numberedStatements(50),
+                         numberedStatements(50, /*Skip=*/25));
+  EXPECT_LE(Size, 8u);
+}
+
+TEST_F(ListEditsTest, PatchSizeIndependentOfListLength) {
+  // The same middle insertion on a 4x longer list must not grow the
+  // patch.
+  size_t Small = diffSize(numberedStatements(25),
+                          numberedStatements(25, -1, "fresh = 99", 12));
+  size_t Large = diffSize(numberedStatements(100),
+                          numberedStatements(100, -1, "fresh = 99", 50));
+  EXPECT_EQ(Small, Large);
+}
+
+TEST_F(ListEditsTest, MoveStatementToOtherFunctionIsSmall) {
+  const char *Before = "def a():\n"
+                       "    x = build(1, 2, 3)\n"
+                       "    y = 2\n"
+                       "    z = 3\n"
+                       "def b():\n"
+                       "    w = 4\n";
+  const char *After = "def a():\n"
+                      "    y = 2\n"
+                      "    z = 3\n"
+                      "def b():\n"
+                      "    x = build(1, 2, 3)\n"
+                      "    w = 4\n";
+  // The x-assignment subtree moves: detach+attach plus spine relinks,
+  // never a rebuild of the statement.
+  EXPECT_LE(diffSize(Before, After), 7u);
+}
+
+TEST_F(ListEditsTest, SwapAdjacentStatementsIsSmall) {
+  const char *Before = "a = compute(1)\nb = compute(2)\nc = compute(3)\n";
+  const char *After = "b = compute(2)\na = compute(1)\nc = compute(3)\n";
+  EXPECT_LE(diffSize(Before, After), 10u);
+}
+
+TEST_F(ListEditsTest, HomogeneousListsDegradeGracefully) {
+  // Documented behavior of the paper's greedy Step 3: when every
+  // statement has the *same shape* (here "v<i> = <i>"), equal-length
+  // spine suffixes are structurally equivalent, the any-candidate pass
+  // can pick a shifted spine, and the patch pays literal updates up to
+  // the insertion point instead of a single move. Real code is shape
+  // diverse, so this pathology does not show in the corpus (Figure 4).
+  auto Homogeneous = [](int N, int ExtraPos) {
+    std::string Src;
+    for (int I = 0; I != N; ++I) {
+      if (I == ExtraPos)
+        Src += "fresh = 99\n";
+      Src.append("v").append(std::to_string(I)).append(" = ").append(std::to_string(I)).append("\n");
+    }
+    return Src;
+  };
+  size_t Size = diffSize(Homogeneous(20, -1), Homogeneous(20, 10));
+  // Bounded by ~2 updates per shifted statement plus the insertion, and
+  // still far below a full rebuild (which would cost ~80 edits).
+  EXPECT_LE(Size, 2u * 10u + 6u);
+  EXPECT_GE(Size, 5u);
+}
+
+TEST_F(ListEditsTest, ReverseIsProportionalToLength) {
+  // Sanity in the other direction: reversing the whole list is a real
+  // O(n) change and the patch is allowed to grow with it.
+  std::string Before = numberedStatements(20);
+  std::string After;
+  for (int I = 19; I >= 0; --I)
+    After.append("v").append(std::to_string(I)).append(" = ")
+        .append(std::to_string(I)).append("\n");
+  size_t Size = diffSize(Before, After);
+  EXPECT_GE(Size, 10u);
+}
+
+} // namespace

@@ -1,0 +1,419 @@
+//===- tests/truechange_extra_test.cpp - Inversion, wire format, fuzzing ---===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the truechange extensions built on the paper's core:
+///  - script inversion (undo): applying a script and its inverse restores
+///    the original tree, and the inverse of a well-typed script is
+///    well-typed with swapped contexts;
+///  - the textual wire format: parse is the exact inverse of serialize;
+///  - adversarial fuzzing of Theorem 3.6: randomly corrupted scripts are
+///    either rejected (by the type checker or the compliance checks) or
+///    still yield closed, well-formed trees.
+///
+//===----------------------------------------------------------------------===//
+
+#include "truechange/InitScript.h"
+#include "truechange/Inverse.h"
+#include "truechange/MTree.h"
+#include "truechange/Serialize.h"
+#include "truechange/TypeChecker.h"
+
+#include "corpus/Corpus.h"
+#include "python/Python.h"
+#include "support/Rng.h"
+#include "truediff/TrueDiff.h"
+
+#include "TestLang.h"
+
+#include <gtest/gtest.h>
+
+using namespace truediff;
+using namespace truediff::testlang;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Inversion
+//===----------------------------------------------------------------------===//
+
+class InverseTest : public ::testing::Test {
+protected:
+  InverseTest() : Sig(makeExpSignature()), Ctx(Sig), Checker(Sig) {}
+  SignatureTable Sig;
+  TreeContext Ctx;
+  LinearTypeChecker Checker;
+};
+
+TEST_F(InverseTest, InvertsEachKind) {
+  NodeRef N{Sig.lookup("Num"), 3};
+  NodeRef P{Sig.lookup("Add"), 1};
+  LinkId E1 = Sig.lookup("e1");
+
+  Edit D = Edit::detach(N, E1, P);
+  EXPECT_EQ(invertEdit(D).Kind, EditKind::Attach);
+  EXPECT_EQ(invertEdit(invertEdit(D)).Kind, EditKind::Detach);
+
+  Edit L = Edit::load(N, {}, {LitRef{Sig.lookup("n"), Literal(int64_t(7))}});
+  EXPECT_EQ(invertEdit(L).Kind, EditKind::Unload);
+
+  Edit U = Edit::update(N, {LitRef{Sig.lookup("n"), Literal(int64_t(1))}},
+                        {LitRef{Sig.lookup("n"), Literal(int64_t(2))}});
+  Edit UI = invertEdit(U);
+  EXPECT_EQ(UI.Kind, EditKind::Update);
+  EXPECT_EQ(UI.Lits[0].Value, Literal(int64_t(1)));
+  EXPECT_EQ(UI.OldLits[0].Value, Literal(int64_t(2)));
+}
+
+TEST_F(InverseTest, UndoRestoresOriginalTree) {
+  Tree *Source = add(Ctx, sub(Ctx, leaf(Ctx, "a"), leaf(Ctx, "b")),
+                     mul(Ctx, leaf(Ctx, "c"), leaf(Ctx, "d")));
+  Tree *Target = add(Ctx, leaf(Ctx, "d"),
+                     mul(Ctx, leaf(Ctx, "c"),
+                         sub(Ctx, leaf(Ctx, "a"), leaf(Ctx, "b"))));
+  Tree *SourceCopy = Ctx.deepCopy(Source);
+
+  MTree M = MTree::fromTree(Sig, Source);
+  TrueDiff Differ(Ctx);
+  DiffResult R = Differ.compareTo(Source, Target);
+
+  ASSERT_TRUE(M.patchChecked(R.Script).Ok);
+  EXPECT_TRUE(M.equalsTree(Target));
+
+  EditScript Undo = invertScript(R.Script);
+  ASSERT_TRUE(Checker.checkWellTyped(Undo).Ok)
+      << Undo.toString(Sig);
+  ASSERT_TRUE(M.patchChecked(Undo).Ok);
+  EXPECT_TRUE(M.equalsTree(SourceCopy)) << M.toString();
+}
+
+TEST_F(InverseTest, InversionIsAnInvolution) {
+  Tree *Source = add(Ctx, num(Ctx, 1), call(Ctx, "f", num(Ctx, 2)));
+  Tree *Target = mul(Ctx, call(Ctx, "g", num(Ctx, 2)), num(Ctx, 3));
+  TrueDiff Differ(Ctx);
+  DiffResult R = Differ.compareTo(Source, Target);
+  EXPECT_EQ(invertScript(invertScript(R.Script)).toString(Sig),
+            R.Script.toString(Sig));
+}
+
+class InversePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InversePropertyTest, UndoOnPythonCorpus) {
+  SignatureTable Sig = python::makePythonSignature();
+  TreeContext Ctx(Sig);
+  Rng R(GetParam() * 733 + 11);
+  LinearTypeChecker Checker(Sig);
+
+  Tree *Base = corpus::generateModule(Ctx, R);
+  Tree *Mutated = corpus::mutateModule(Ctx, R, Base);
+  Tree *BaseCopy = Ctx.deepCopy(Base);
+
+  MTree M = MTree::fromTree(Sig, Base);
+  TrueDiff Differ(Ctx);
+  DiffResult Result = Differ.compareTo(Base, Mutated);
+
+  ASSERT_TRUE(M.patchChecked(Result.Script).Ok);
+  EditScript Undo = invertScript(Result.Script);
+  ASSERT_TRUE(Checker.checkWellTyped(Undo).Ok);
+  ASSERT_TRUE(M.patchChecked(Undo).Ok);
+  EXPECT_TRUE(M.equalsTree(BaseCopy));
+  EXPECT_TRUE(M.isClosedWellFormed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InversePropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+//===----------------------------------------------------------------------===//
+// Wire format
+//===----------------------------------------------------------------------===//
+
+class SerializeTest : public ::testing::Test {
+protected:
+  SerializeTest() : Sig(makeExpSignature()), Ctx(Sig) {}
+  SignatureTable Sig;
+  TreeContext Ctx;
+};
+
+TEST_F(SerializeTest, RoundTripAllEditKinds) {
+  TagId NumTag = Sig.lookup("Num");
+  TagId AddTag = Sig.lookup("Add");
+  TagId CallTag = Sig.lookup("Call");
+  LinkId E1 = Sig.lookup("e1"), E2 = Sig.lookup("e2");
+  LinkId N = Sig.lookup("n"), F = Sig.lookup("f"), A = Sig.lookup("a");
+
+  EditScript S;
+  S.append(Edit::detach(NodeRef{NumTag, 5}, E1, NodeRef{AddTag, 1}));
+  S.append(Edit::unload(NodeRef{NumTag, 5}, {},
+                        {LitRef{N, Literal(int64_t(-7))}}));
+  S.append(Edit::load(NodeRef{CallTag, 9}, {KidRef{A, 6}},
+                      {LitRef{F, Literal("fn \"quoted\"\n")}}));
+  S.append(Edit::attach(NodeRef{CallTag, 9}, E2, NodeRef{AddTag, 1}));
+  S.append(Edit::update(NodeRef{NumTag, 6},
+                        {LitRef{N, Literal(int64_t(2))}},
+                        {LitRef{N, Literal(int64_t(3))}}));
+
+  std::string Text = serializeEditScript(Sig, S);
+  ParseScriptResult P = parseEditScript(Sig, Text);
+  ASSERT_TRUE(P.Ok) << P.Error << "\n" << Text;
+  EXPECT_EQ(serializeEditScript(Sig, P.Script), Text);
+  EXPECT_EQ(P.Script.size(), S.size());
+}
+
+TEST_F(SerializeTest, RoundTripFloatAndBoolLiterals) {
+  SignatureTable PySig = python::makePythonSignature();
+  EditScript S;
+  S.append(Edit::load(NodeRef{PySig.lookup("FloatLit"), 3}, {},
+                      {LitRef{PySig.lookup("value"), Literal(2.5)}}));
+  S.append(Edit::load(NodeRef{PySig.lookup("BoolLit"), 4}, {},
+                      {LitRef{PySig.lookup("value"), Literal(true)}}));
+  std::string Text = serializeEditScript(PySig, S);
+  ParseScriptResult P = parseEditScript(PySig, Text);
+  ASSERT_TRUE(P.Ok) << P.Error;
+  EXPECT_EQ(P.Script[0].Lits[0].Value, Literal(2.5));
+  EXPECT_EQ(P.Script[1].Lits[0].Value, Literal(true));
+}
+
+TEST_F(SerializeTest, ParsedScriptAppliesIdentically) {
+  Tree *Source = add(Ctx, num(Ctx, 1), num(Ctx, 2));
+  Tree *Target = mul(Ctx, num(Ctx, 2), num(Ctx, 1));
+  MTree M1 = MTree::fromTree(Sig, Source);
+  MTree M2 = MTree::fromTree(Sig, Source);
+
+  TrueDiff Differ(Ctx);
+  DiffResult R = Differ.compareTo(Source, Target);
+  ParseScriptResult P =
+      parseEditScript(Sig, serializeEditScript(Sig, R.Script));
+  ASSERT_TRUE(P.Ok) << P.Error;
+
+  ASSERT_TRUE(M1.patchChecked(R.Script).Ok);
+  ASSERT_TRUE(M2.patchChecked(P.Script).Ok);
+  EXPECT_EQ(M1.toString(), M2.toString());
+}
+
+TEST_F(SerializeTest, ReportsErrors) {
+  EXPECT_FALSE(parseEditScript(Sig, "explode(Num_1)").Ok);
+  EXPECT_FALSE(parseEditScript(Sig, "detach(Bogus_1, \"e1\", Add_2)").Ok);
+  EXPECT_FALSE(parseEditScript(Sig, "detach(Num_1, \"zz\", Add_2)").Ok);
+  EXPECT_FALSE(parseEditScript(Sig, "detach(Num_1, \"e1\"").Ok);
+  EXPECT_FALSE(parseEditScript(Sig, "load(Num_1, [], [\"n\"->]）").Ok);
+  EXPECT_TRUE(parseEditScript(Sig, "").Ok);
+}
+
+class SerializePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerializePropertyTest, RoundTripOnPythonCorpus) {
+  SignatureTable Sig = python::makePythonSignature();
+  TreeContext Ctx(Sig);
+  Rng R(GetParam() * 881 + 23);
+
+  Tree *Base = corpus::generateModule(Ctx, R);
+  Tree *Mutated = corpus::mutateModule(Ctx, R, Base);
+  TrueDiff Differ(Ctx);
+  DiffResult Result = Differ.compareTo(Base, Mutated);
+
+  std::string Text = serializeEditScript(Sig, Result.Script);
+  ParseScriptResult P = parseEditScript(Sig, Text);
+  ASSERT_TRUE(P.Ok) << P.Error;
+  EXPECT_EQ(serializeEditScript(Sig, P.Script), Text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializePropertyTest,
+                         ::testing::Range<uint64_t>(0, 12));
+
+//===----------------------------------------------------------------------===//
+// Initializing scripts (Definition 3.2) and MTree round trips
+//===----------------------------------------------------------------------===//
+
+class InitScriptTest : public ::testing::Test {
+protected:
+  InitScriptTest() : Sig(makeExpSignature()), Ctx(Sig), Checker(Sig) {}
+  SignatureTable Sig;
+  TreeContext Ctx;
+  LinearTypeChecker Checker;
+};
+
+TEST_F(InitScriptTest, BuildsTreeFromEmpty) {
+  Tree *T = add(Ctx, call(Ctx, "f", num(Ctx, 1)), var(Ctx, "x"));
+  EditScript Init = buildInitializingScript(Sig, T);
+  EXPECT_EQ(Init.size(), T->size() + 1); // one load per node + attach
+
+  auto TC = Checker.checkInitializing(Init);
+  EXPECT_TRUE(TC.Ok) << TC.Error;
+  // An initializing script is NOT well-typed against a closed tree.
+  EXPECT_FALSE(Checker.checkWellTyped(Init).Ok);
+
+  MTree Empty(Sig);
+  ASSERT_TRUE(Empty.patchChecked(Init).Ok);
+  EXPECT_TRUE(Empty.equalsTree(T));
+  EXPECT_TRUE(Empty.isClosedWellFormed());
+}
+
+TEST_F(InitScriptTest, MatchesPaperDelta1Shape) {
+  // Section 3.1's Delta_1 builds Add(Var("a"), Var("b")) with three loads
+  // and one attach, loads bottom-up.
+  Tree *T = add(Ctx, var(Ctx, "a"), var(Ctx, "b"));
+  EditScript Init = buildInitializingScript(Sig, T);
+  ASSERT_EQ(Init.size(), 4u);
+  EXPECT_EQ(Init[0].Kind, EditKind::Load);
+  EXPECT_EQ(Init[1].Kind, EditKind::Load);
+  EXPECT_EQ(Init[2].Kind, EditKind::Load);
+  EXPECT_EQ(Init[3].Kind, EditKind::Attach);
+  EXPECT_EQ(Init[2].Node.Uri, T->uri()); // root loaded last
+  EXPECT_EQ(Init[3].Node.Uri, T->uri());
+}
+
+TEST_F(InitScriptTest, MTreeToTreeRoundTrip) {
+  Tree *T = mul(Ctx, add(Ctx, num(Ctx, 1), var(Ctx, "v")),
+                call(Ctx, "g", num(Ctx, 2)));
+  MTree M = MTree::fromTree(Sig, T);
+  Tree *Back = M.toTree(Ctx);
+  ASSERT_NE(Back, nullptr);
+  EXPECT_TRUE(treeEqualsModuloUris(T, Back));
+}
+
+TEST_F(InitScriptTest, ToTreeRejectsOpenTrees) {
+  Tree *T = add(Ctx, num(Ctx, 1), num(Ctx, 2));
+  MTree M = MTree::fromTree(Sig, T);
+  // Detach a kid: the tree now has a hole, so conversion must refuse.
+  EditScript S;
+  S.append(Edit::detach(NodeRef{T->kid(0)->tag(), T->kid(0)->uri()},
+                        Sig.lookup("e1"), NodeRef{T->tag(), T->uri()}));
+  ASSERT_TRUE(M.patchChecked(S).Ok);
+  EXPECT_EQ(M.toTree(Ctx), nullptr);
+  EXPECT_FALSE(M.isClosedWellFormed());
+}
+
+TEST_F(InitScriptTest, TransmitTreeThenPatchPipeline) {
+  // Full transmission scenario: send the initial tree as a script, then
+  // send a diff; the receiver reconstructs the target without ever
+  // seeing a tree.
+  Tree *V1 = add(Ctx, num(Ctx, 1), num(Ctx, 2));
+  Tree *V2 = add(Ctx, num(Ctx, 1), mul(Ctx, num(Ctx, 2), num(Ctx, 3)));
+  EditScript Init = buildInitializingScript(Sig, V1);
+
+  TrueDiff Differ(Ctx);
+  Tree *V1Copy = Ctx.deepCopy(V1);
+  DiffResult R = Differ.compareTo(V1, V2);
+  (void)V1Copy;
+
+  // Receiver side: deserialize both scripts, replay from empty.
+  std::string Wire1 = serializeEditScript(Sig, Init);
+  std::string Wire2 = serializeEditScript(Sig, R.Script);
+  MTree Receiver(Sig);
+  auto P1 = parseEditScript(Sig, Wire1);
+  auto P2 = parseEditScript(Sig, Wire2);
+  ASSERT_TRUE(P1.Ok && P2.Ok);
+  ASSERT_TRUE(Receiver.patchChecked(P1.Script).Ok);
+  ASSERT_TRUE(Receiver.patchChecked(P2.Script).Ok);
+  EXPECT_TRUE(Receiver.equalsTree(V2));
+}
+
+class InitScriptPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InitScriptPropertyTest, InitializesRandomPythonModules) {
+  SignatureTable Sig = python::makePythonSignature();
+  TreeContext Ctx(Sig);
+  Rng R(GetParam() * 557 + 41);
+  LinearTypeChecker Checker(Sig);
+
+  Tree *Module = corpus::generateModule(Ctx, R);
+  EditScript Init = buildInitializingScript(Sig, Module);
+  ASSERT_TRUE(Checker.checkInitializing(Init).Ok);
+
+  MTree Empty(Sig);
+  ASSERT_TRUE(Empty.patchChecked(Init).Ok);
+  EXPECT_TRUE(Empty.equalsTree(Module));
+
+  Tree *Back = Empty.toTree(Ctx);
+  ASSERT_NE(Back, nullptr);
+  EXPECT_TRUE(treeEqualsModuloUris(Module, Back));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InitScriptPropertyTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+//===----------------------------------------------------------------------===//
+// Theorem 3.6 under adversarial corruption
+//===----------------------------------------------------------------------===//
+
+/// Randomly corrupts one aspect of a script.
+EditScript corrupt(Rng &R, const EditScript &Script) {
+  std::vector<Edit> Edits(Script.edits());
+  if (Edits.empty())
+    return EditScript(std::move(Edits));
+  switch (R.below(6)) {
+  case 0: { // swap two edits
+    size_t I = R.below(Edits.size()), J = R.below(Edits.size());
+    std::swap(Edits[I], Edits[J]);
+    break;
+  }
+  case 1: // drop an edit
+    Edits.erase(Edits.begin() + static_cast<long>(R.below(Edits.size())));
+    break;
+  case 2: { // duplicate an edit
+    size_t I = R.below(Edits.size());
+    Edits.insert(Edits.begin() + static_cast<long>(I), Edits[I]);
+    break;
+  }
+  case 3: { // perturb a node URI
+    Edit &E = Edits[R.below(Edits.size())];
+    E.Node.Uri += R.range(1, 5);
+    break;
+  }
+  case 4: { // perturb a parent URI (detach/attach only)
+    Edit &E = Edits[R.below(Edits.size())];
+    E.Parent.Uri += R.range(1, 5);
+    break;
+  }
+  default: { // reverse the whole script without inverting the edits
+    std::reverse(Edits.begin(), Edits.end());
+    break;
+  }
+  }
+  return EditScript(std::move(Edits));
+}
+
+class Theorem36FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Theorem36FuzzTest, AcceptedScriptsYieldWellFormedTrees) {
+  SignatureTable Sig = python::makePythonSignature();
+  TreeContext Ctx(Sig);
+  Rng R(GetParam() * 677 + 101);
+  LinearTypeChecker Checker(Sig);
+
+  Tree *Base = corpus::generateModule(Ctx, R);
+  Tree *Mutated = corpus::mutateModule(Ctx, R, Base);
+  Tree *BaseCopy = Ctx.deepCopy(Base);
+  TrueDiff Differ(Ctx);
+  DiffResult Result = Differ.compareTo(Base, Mutated);
+
+  size_t Accepted = 0, Rejected = 0;
+  for (int Round = 0; Round != 40; ++Round) {
+    EditScript Bad = corrupt(R, Result.Script);
+    bool WellTyped = Checker.checkWellTyped(Bad).Ok;
+    MTree M = MTree::fromTree(Sig, BaseCopy);
+    bool Applied = WellTyped && M.patchChecked(Bad).Ok;
+    if (Applied) {
+      // Theorem 3.6: a script that passes the type system and the
+      // compliance checks must produce a closed, well-typed tree.
+      EXPECT_TRUE(M.isClosedWellFormed())
+          << "corrupted script accepted but tree malformed:\n"
+          << Bad.toString(Sig);
+      ++Accepted;
+    } else {
+      ++Rejected;
+    }
+  }
+  // Most corruptions must be caught; a few (e.g. swapping commuting
+  // edits) legitimately stay valid.
+  EXPECT_GT(Rejected, 0u);
+  (void)Accepted;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem36FuzzTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+} // namespace

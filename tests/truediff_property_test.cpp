@@ -1,0 +1,161 @@
+//===- tests/truediff_property_test.cpp - Property tests for truediff ------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-based tests (parameterized over RNG seeds): for random source
+/// and target trees, every truediff script
+///   - is well-typed (Conjecture 4.2),
+///   - transforms the source MTree into the target tree (Conjecture 4.3),
+///   - produces a patched tree equal to the target with unique URIs,
+/// and the conciseness is bounded by the trivial rebuild script.
+///
+//===----------------------------------------------------------------------===//
+
+#include "truediff/TrueDiff.h"
+
+#include "support/Rng.h"
+#include "truechange/MTree.h"
+#include "truechange/TypeChecker.h"
+
+#include "TestLang.h"
+
+#include <gtest/gtest.h>
+
+using namespace truediff;
+using namespace truediff::testlang;
+
+namespace {
+
+/// Generates a random expression tree of at most \p MaxDepth.
+Tree *randomExp(TreeContext &Ctx, Rng &R, int MaxDepth) {
+  static const char *Vars[] = {"x", "y", "z", "acc", "tmp"};
+  static const char *Funcs[] = {"f", "g", "len", "sqrt"};
+  if (MaxDepth <= 1 || R.chance(25)) {
+    switch (R.below(3)) {
+    case 0:
+      return num(Ctx, R.range(0, 9));
+    case 1:
+      return var(Ctx, Vars[R.below(5)]);
+    default:
+      return leaf(Ctx, (const char *[]){"a", "b", "c", "d"}[R.below(4)]);
+    }
+  }
+  switch (R.below(4)) {
+  case 0:
+    return add(Ctx, randomExp(Ctx, R, MaxDepth - 1),
+               randomExp(Ctx, R, MaxDepth - 1));
+  case 1:
+    return sub(Ctx, randomExp(Ctx, R, MaxDepth - 1),
+               randomExp(Ctx, R, MaxDepth - 1));
+  case 2:
+    return mul(Ctx, randomExp(Ctx, R, MaxDepth - 1),
+               randomExp(Ctx, R, MaxDepth - 1));
+  default:
+    return call(Ctx, Funcs[R.below(4)], randomExp(Ctx, R, MaxDepth - 1));
+  }
+}
+
+/// Produces a mutated copy of \p T: each node has a small chance to be
+/// replaced, literal-edited, or child-swapped, simulating a code change.
+Tree *mutateExp(TreeContext &Ctx, Rng &R, const Tree *T, unsigned Percent) {
+  if (R.chance(Percent))
+    return randomExp(Ctx, R, 3);
+  const SignatureTable &Sig = Ctx.signatures();
+  std::vector<Tree *> Kids;
+  for (size_t I = 0, E = T->arity(); I != E; ++I)
+    Kids.push_back(mutateExp(Ctx, R, T->kid(I), Percent));
+  if (Kids.size() == 2 && R.chance(Percent))
+    std::swap(Kids[0], Kids[1]);
+  std::vector<Literal> Lits = T->lits();
+  if (!Lits.empty() && R.chance(Percent) &&
+      Lits[0].kind() == LitKind::Int)
+    Lits[0] = Literal(R.range(0, 9));
+  (void)Sig;
+  return Ctx.make(T->tag(), std::move(Kids), std::move(Lits));
+}
+
+class TrueDiffPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrueDiffPropertyTest, RandomPairInvariants) {
+  SignatureTable Sig = makeExpSignature();
+  TreeContext Ctx(Sig);
+  Rng R(GetParam());
+
+  Tree *Source = randomExp(Ctx, R, 7);
+  Tree *Target = R.chance(50) ? mutateExp(Ctx, R, Source, 10)
+                              : randomExp(Ctx, R, 7);
+
+  uint64_t SourceSize = Source->size();
+  uint64_t TargetSize = Target->size();
+
+  MTree Before = MTree::fromTree(Sig, Source);
+  TrueDiff Diff(Ctx);
+  DiffResult Result = Diff.compareTo(Source, Target);
+
+  // Conjecture 4.2: the script is well-typed.
+  LinearTypeChecker Checker(Sig);
+  auto TC = Checker.checkWellTyped(Result.Script);
+  ASSERT_TRUE(TC.Ok) << TC.Error << "\n" << Result.Script.toString(Sig);
+
+  // Conjecture 4.3: patching the source MTree yields the target.
+  auto PR = Before.patchChecked(Result.Script);
+  ASSERT_TRUE(PR.Ok) << PR.Error;
+  EXPECT_TRUE(Before.equalsTree(Target));
+
+  // The patched tree equals the target and has unique URIs.
+  EXPECT_TRUE(treeEqualsModuloUris(Result.Patched, Target));
+  EXPECT_TRUE(Result.Patched->equalsModuloUris(*Target));
+  std::unordered_set<URI> Seen;
+  Result.Patched->foreachTree(
+      [&](Tree *T) { EXPECT_TRUE(Seen.insert(T->uri()).second); });
+
+  // Conciseness sanity: never worse than delete-everything plus
+  // load-everything plus the two root edits.
+  EXPECT_LE(Result.Script.size(), SourceSize + TargetSize + 2);
+}
+
+TEST_P(TrueDiffPropertyTest, SelfDiffIsEmptyAfterCopy) {
+  SignatureTable Sig = makeExpSignature();
+  TreeContext Ctx(Sig);
+  Rng R(GetParam() * 7919 + 13);
+  Tree *Source = randomExp(Ctx, R, 6);
+  Tree *Copy = Ctx.deepCopy(Source);
+  TrueDiff Diff(Ctx);
+  DiffResult Result = Diff.compareTo(Source, Copy);
+  EXPECT_EQ(Result.Script.size(), 0u) << Result.Script.toString(Sig);
+}
+
+TEST_P(TrueDiffPropertyTest, AblationsPreserveCorrectness) {
+  SignatureTable Sig = makeExpSignature();
+  TreeContext Ctx(Sig);
+  Rng R(GetParam() * 31337 + 7);
+
+  for (int Mode = 0; Mode != 3; ++Mode) {
+    Tree *Source = randomExp(Ctx, R, 6);
+    Tree *Target = mutateExp(Ctx, R, Source, 15);
+    MTree Before = MTree::fromTree(Sig, Source);
+
+    TrueDiffOptions Opts;
+    Opts.PreferLiteralMatches = Mode != 1;
+    Opts.HeightPriority = Mode != 2;
+    TrueDiff Diff(Ctx, Opts);
+    DiffResult Result = Diff.compareTo(Source, Target);
+
+    LinearTypeChecker Checker(Sig);
+    auto TC = Checker.checkWellTyped(Result.Script);
+    ASSERT_TRUE(TC.Ok) << "mode " << Mode << ": " << TC.Error << "\n"
+                       << Result.Script.toString(Sig);
+    auto PR = Before.patchChecked(Result.Script);
+    ASSERT_TRUE(PR.Ok) << "mode " << Mode << ": " << PR.Error;
+    EXPECT_TRUE(Before.equalsTree(Target));
+    EXPECT_TRUE(treeEqualsModuloUris(Result.Patched, Target));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrueDiffPropertyTest,
+                         ::testing::Range<uint64_t>(0, 60));
+
+} // namespace

@@ -1,0 +1,368 @@
+//===- tests/truediff_test.cpp - Unit tests for the truediff algorithm -----===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises truediff on the paper's running examples and checks the three
+/// invariants that Conjectures 4.2/4.3 claim for every diff:
+///   1. the edit script is well-typed,
+///   2. patching the source MTree yields the target tree,
+///   3. the returned patched tree equals the target tree.
+///
+//===----------------------------------------------------------------------===//
+
+#include "truediff/TrueDiff.h"
+
+#include "tree/SExpr.h"
+#include "truechange/MTree.h"
+#include "truechange/TypeChecker.h"
+
+#include "TestLang.h"
+
+#include <gtest/gtest.h>
+
+using namespace truediff;
+using namespace truediff::testlang;
+
+namespace {
+
+class TrueDiffTest : public ::testing::Test {
+protected:
+  TrueDiffTest() : Sig(makeExpSignature()), Ctx(Sig) {}
+
+  /// Runs truediff and verifies the script invariants. \p Source is
+  /// consumed, as documented in TrueDiff::compareTo.
+  DiffResult checkedDiff(Tree *Source, Tree *Target,
+                         TrueDiffOptions Opts = TrueDiffOptions()) {
+    MTree Before = MTree::fromTree(Sig, Source);
+    TrueDiff Diff(Ctx, Opts);
+    DiffResult R = Diff.compareTo(Source, Target);
+
+    EXPECT_TRUE(treeEqualsModuloUris(R.Patched, Target))
+        << "patched: " << printSExpr(Sig, R.Patched)
+        << "\ntarget:  " << printSExpr(Sig, Target);
+    EXPECT_TRUE(R.Patched->equalsModuloUris(*Target))
+        << "stale derived data on patched tree";
+
+    LinearTypeChecker Checker(Sig);
+    auto TC = Checker.checkWellTyped(R.Script);
+    EXPECT_TRUE(TC.Ok) << TC.Error << "\nscript:\n"
+                       << R.Script.toString(Sig);
+
+    auto PR = Before.patchChecked(R.Script);
+    EXPECT_TRUE(PR.Ok) << PR.Error << "\nscript:\n"
+                       << R.Script.toString(Sig);
+    EXPECT_TRUE(Before.equalsTree(Target))
+        << "MTree after patch: " << Before.toString();
+    return R;
+  }
+
+  SignatureTable Sig;
+  TreeContext Ctx;
+};
+
+TEST_F(TrueDiffTest, IdenticalTreesYieldEmptyScript) {
+  Tree *A = add(Ctx, num(Ctx, 1), num(Ctx, 2));
+  Tree *B = add(Ctx, num(Ctx, 1), num(Ctx, 2));
+  DiffResult R = checkedDiff(A, B);
+  EXPECT_EQ(R.Script.size(), 0u);
+}
+
+TEST_F(TrueDiffTest, PaperSection2SwapExample) {
+  // diff(Add(Sub(a,b), Mul(c,d)), Add(d, Mul(c, Sub(a,b)))) must produce
+  // the minimal 4-edit move script of Section 2.
+  Tree *A = leaf(Ctx, "a");
+  Tree *B = leaf(Ctx, "b");
+  Tree *C = leaf(Ctx, "c");
+  Tree *D = leaf(Ctx, "d");
+  Tree *SubT = sub(Ctx, A, B);
+  Tree *MulT = mul(Ctx, C, D);
+  Tree *Source = add(Ctx, SubT, MulT);
+
+  Tree *Target = add(Ctx, leaf(Ctx, "d"),
+                     mul(Ctx, leaf(Ctx, "c"),
+                         sub(Ctx, leaf(Ctx, "a"), leaf(Ctx, "b"))));
+
+  URI SubUri = SubT->uri(), DUri = D->uri();
+  URI AddUri = Source->uri(), MulUri = MulT->uri();
+
+  DiffResult R = checkedDiff(Source, Target);
+  ASSERT_EQ(R.Script.size(), 4u) << R.Script.toString(Sig);
+  EXPECT_EQ(R.Script.coalescedSize(), 4u);
+
+  const auto &E = R.Script.edits();
+  // Negative edits first: both detaches, in traversal order.
+  EXPECT_EQ(E[0].Kind, EditKind::Detach);
+  EXPECT_EQ(E[0].Node.Uri, SubUri);
+  EXPECT_EQ(E[0].Parent.Uri, AddUri);
+  EXPECT_EQ(E[1].Kind, EditKind::Detach);
+  EXPECT_EQ(E[1].Node.Uri, DUri);
+  EXPECT_EQ(E[1].Parent.Uri, MulUri);
+  // Then the crosswise attaches.
+  EXPECT_EQ(E[2].Kind, EditKind::Attach);
+  EXPECT_EQ(E[2].Node.Uri, DUri);
+  EXPECT_EQ(E[2].Parent.Uri, AddUri);
+  EXPECT_EQ(E[3].Kind, EditKind::Attach);
+  EXPECT_EQ(E[3].Node.Uri, SubUri);
+  EXPECT_EQ(E[3].Parent.Uri, MulUri);
+}
+
+TEST_F(TrueDiffTest, PaperSection2ExcessiveDemandExample) {
+  // diff(Add(a,b), Add(b,b)): b cannot be reused twice; one fresh b is
+  // loaded while a is unloaded.
+  Tree *A = leaf(Ctx, "a");
+  Tree *B = leaf(Ctx, "b");
+  Tree *Source = add(Ctx, A, B);
+  Tree *Target = add(Ctx, leaf(Ctx, "b"), leaf(Ctx, "b"));
+
+  URI AUri = A->uri();
+  DiffResult R = checkedDiff(Source, Target);
+  ASSERT_EQ(R.Script.size(), 4u) << R.Script.toString(Sig);
+  EXPECT_EQ(R.Script.coalescedSize(), 2u);
+
+  const auto &E = R.Script.edits();
+  EXPECT_EQ(E[0].Kind, EditKind::Detach);
+  EXPECT_EQ(E[0].Node.Uri, AUri);
+  EXPECT_EQ(E[1].Kind, EditKind::Unload);
+  EXPECT_EQ(E[1].Node.Uri, AUri);
+  EXPECT_EQ(E[2].Kind, EditKind::Load);
+  EXPECT_EQ(E[3].Kind, EditKind::Attach);
+  EXPECT_EQ(E[2].Node.Uri, E[3].Node.Uri);
+}
+
+TEST_F(TrueDiffTest, LiteralChangeYieldsSingleUpdate) {
+  Tree *Source = add(Ctx, num(Ctx, 1), num(Ctx, 2));
+  Tree *Target = add(Ctx, num(Ctx, 1), num(Ctx, 99));
+  DiffResult R = checkedDiff(Source, Target);
+  ASSERT_EQ(R.Script.size(), 1u) << R.Script.toString(Sig);
+  EXPECT_EQ(R.Script[0].Kind, EditKind::Update);
+  EXPECT_EQ(R.Script[0].Lits[0].Value, Literal(int64_t(99)));
+  EXPECT_EQ(R.Script[0].OldLits[0].Value, Literal(int64_t(2)));
+}
+
+TEST_F(TrueDiffTest, DeepLiteralChangeYieldsSingleUpdate) {
+  Tree *Source =
+      mul(Ctx, call(Ctx, "f", add(Ctx, var(Ctx, "x"), num(Ctx, 7))),
+          num(Ctx, 0));
+  Tree *Target =
+      mul(Ctx, call(Ctx, "f", add(Ctx, var(Ctx, "y"), num(Ctx, 7))),
+          num(Ctx, 0));
+  DiffResult R = checkedDiff(Source, Target);
+  ASSERT_EQ(R.Script.size(), 1u) << R.Script.toString(Sig);
+  EXPECT_EQ(R.Script[0].Kind, EditKind::Update);
+}
+
+TEST_F(TrueDiffTest, Section4RunningExample) {
+  // this = Add(Call("f",Num(1)), Num(2)),
+  // that = Add(Call("g",Num(1)), Sub(Num(2),Num(2))).
+  // Expected: update Call's name; move Num(2) under a loaded Sub; load one
+  // extra Num(2) (Section 4.4 walkthrough).
+  Tree *CallT = call(Ctx, "f", num(Ctx, 1));
+  Tree *Num2 = num(Ctx, 2);
+  Tree *Source = add(Ctx, CallT, Num2);
+  Tree *Target = add(Ctx, call(Ctx, "g", num(Ctx, 1)),
+                     sub(Ctx, num(Ctx, 2), num(Ctx, 2)));
+
+  URI CallUri = CallT->uri(), Num2Uri = Num2->uri();
+  DiffResult R = checkedDiff(Source, Target);
+
+  // One update (f -> g), one detach of Num(2), one load of Sub, one load
+  // of the second Num(2), one attach of Sub.
+  size_t Updates = 0, Detaches = 0, Loads = 0, Attaches = 0, Unloads = 0;
+  bool CallUpdated = false, Num2Detached = false;
+  for (const Edit &E : R.Script.edits()) {
+    switch (E.Kind) {
+    case EditKind::Update:
+      ++Updates;
+      CallUpdated |= E.Node.Uri == CallUri;
+      break;
+    case EditKind::Detach:
+      ++Detaches;
+      Num2Detached |= E.Node.Uri == Num2Uri;
+      break;
+    case EditKind::Load:
+      ++Loads;
+      break;
+    case EditKind::Attach:
+      ++Attaches;
+      break;
+    case EditKind::Unload:
+      ++Unloads;
+      break;
+    }
+  }
+  EXPECT_EQ(Updates, 1u);
+  EXPECT_TRUE(CallUpdated);
+  EXPECT_EQ(Detaches, 1u);
+  EXPECT_TRUE(Num2Detached);
+  EXPECT_EQ(Loads, 2u); // Sub and one Num(2)
+  EXPECT_EQ(Attaches, 1u);
+  EXPECT_EQ(Unloads, 0u);
+}
+
+TEST_F(TrueDiffTest, PrefersExactCopyOverStructuralCandidate) {
+  // Two structurally equivalent candidates Num(5) and Num(7); the target
+  // demands Num(7) somewhere else. With literal preference the exact copy
+  // moves and no update is needed.
+  Tree *N5 = num(Ctx, 5);
+  Tree *N7 = num(Ctx, 7);
+  Tree *Source = add(Ctx, sub(Ctx, N5, N7), num(Ctx, 0));
+  Tree *Target = add(Ctx, num(Ctx, 0), call(Ctx, "k", num(Ctx, 7)));
+  URI N7Uri = N7->uri();
+
+  DiffResult R = checkedDiff(Source, Target);
+  bool N7Reused = false;
+  for (const Edit &E : R.Script.edits()) {
+    EXPECT_NE(E.Kind, EditKind::Update) << R.Script.toString(Sig);
+    if (E.Kind == EditKind::Attach && E.Node.Uri == N7Uri)
+      N7Reused = true;
+    if (E.Kind == EditKind::Load && !E.Kids.empty())
+      for (const KidRef &K : E.Kids)
+        N7Reused |= K.Uri == N7Uri;
+  }
+  EXPECT_TRUE(N7Reused) << R.Script.toString(Sig);
+}
+
+TEST_F(TrueDiffTest, WithoutPreferenceStructuralCandidateNeedsUpdate) {
+  // Ablation (DESIGN.md E9): disabling the preferred pass may pick the
+  // wrong copy and pay an update; correctness must still hold.
+  Tree *Source = add(Ctx, sub(Ctx, num(Ctx, 5), num(Ctx, 7)), num(Ctx, 0));
+  Tree *Target = add(Ctx, num(Ctx, 0), call(Ctx, "k", num(Ctx, 7)));
+  TrueDiffOptions Opts;
+  Opts.PreferLiteralMatches = false;
+  checkedDiff(Source, Target, Opts);
+}
+
+TEST_F(TrueDiffTest, FifoOrderStaysCorrect) {
+  // Ablation (DESIGN.md E10): FIFO instead of highest-first still
+  // produces correct (if possibly less concise) scripts.
+  Tree *Source = add(Ctx, sub(Ctx, num(Ctx, 1), num(Ctx, 2)),
+                     mul(Ctx, num(Ctx, 3), num(Ctx, 4)));
+  Tree *Target = mul(Ctx, sub(Ctx, num(Ctx, 1), num(Ctx, 2)),
+                     add(Ctx, num(Ctx, 4), num(Ctx, 3)));
+  TrueDiffOptions Opts;
+  Opts.HeightPriority = false;
+  checkedDiff(Source, Target, Opts);
+}
+
+TEST_F(TrueDiffTest, CompleteReplacement) {
+  Tree *Source = num(Ctx, 1);
+  Tree *Target = call(Ctx, "f", var(Ctx, "x"));
+  DiffResult R = checkedDiff(Source, Target);
+  // detach+unload Num; load Var, Call; attach Call = 2 coalesced + 1 load.
+  EXPECT_EQ(R.Script.coalescedSize(), 3u) << R.Script.toString(Sig);
+}
+
+TEST_F(TrueDiffTest, MoveSubtreeDeeper) {
+  Tree *Payload = mul(Ctx, var(Ctx, "v"), num(Ctx, 3));
+  Tree *Source = add(Ctx, Payload, num(Ctx, 0));
+  Tree *Target =
+      add(Ctx, num(Ctx, 0),
+          call(Ctx, "wrap", mul(Ctx, var(Ctx, "v"), num(Ctx, 3))));
+  URI PayloadUri = Payload->uri();
+  DiffResult R = checkedDiff(Source, Target);
+  bool Moved = false;
+  for (const Edit &E : R.Script.edits()) {
+    if (E.Kind == EditKind::Load)
+      for (const KidRef &K : E.Kids)
+        Moved |= K.Uri == PayloadUri;
+  }
+  EXPECT_TRUE(Moved) << R.Script.toString(Sig);
+}
+
+TEST_F(TrueDiffTest, ChainedDiffsReusePatchedTree) {
+  // Incremental usage: the patched tree of one diff is the source of the
+  // next (Section 6, incremental computing).
+  Tree *V1 = add(Ctx, num(Ctx, 1), num(Ctx, 2));
+  Tree *V2 = add(Ctx, num(Ctx, 1), mul(Ctx, num(Ctx, 2), num(Ctx, 3)));
+  Tree *V3 = add(Ctx, mul(Ctx, num(Ctx, 2), num(Ctx, 3)), num(Ctx, 1));
+
+  DiffResult R1 = checkedDiff(V1, V2);
+  DiffResult R2 = checkedDiff(R1.Patched, V3);
+  EXPECT_TRUE(treeEqualsModuloUris(R2.Patched, V3));
+}
+
+TEST_F(TrueDiffTest, UrisInPatchedTreeAreUnique) {
+  Tree *Source = add(Ctx, num(Ctx, 1), add(Ctx, num(Ctx, 1), num(Ctx, 1)));
+  Tree *Target = add(Ctx, add(Ctx, num(Ctx, 1), num(Ctx, 1)),
+                     add(Ctx, num(Ctx, 1), num(Ctx, 1)));
+  DiffResult R = checkedDiff(Source, Target);
+  std::unordered_set<URI> Seen;
+  R.Patched->foreachTree([&](Tree *T) {
+    EXPECT_TRUE(Seen.insert(T->uri()).second)
+        << "duplicate URI " << T->uri();
+  });
+}
+
+TEST_F(TrueDiffTest, SubtypingFlowsThroughThePipeline) {
+  // A signature with a proper subsort hierarchy: Lit <: Exp, so literal
+  // nodes may sit wherever an Exp is demanded. Exercises the T <: T'
+  // premises of T-Attach/T-Load end to end.
+  SignatureTable S;
+  S.declareSubsort("Lit", "Exp");
+  S.defineTag("IntL", "Lit", {}, {{"v", LitKind::Int}});
+  S.defineTag("Neg", "Exp", {{"e", "Exp"}}, {});
+  S.defineTag("Plus", "Exp", {{"l", "Exp"}, {"r", "Exp"}}, {});
+  TreeContext C(S);
+
+  auto IntL = [&](int64_t V) { return C.make("IntL", {}, {Literal(V)}); };
+  Tree *Source = C.make("Plus", {C.make("Neg", {IntL(1)}, {}), IntL(2)}, {});
+  Tree *Target = C.make("Plus", {IntL(2), C.make("Neg", {IntL(1)}, {})}, {});
+
+  MTree M = MTree::fromTree(S, Source);
+  TrueDiff Differ(C);
+  DiffResult R = Differ.compareTo(Source, Target);
+
+  LinearTypeChecker Checker(S);
+  auto TC = Checker.checkWellTyped(R.Script);
+  ASSERT_TRUE(TC.Ok) << TC.Error;
+  ASSERT_TRUE(M.patchChecked(R.Script).Ok);
+  EXPECT_TRUE(M.equalsTree(Target));
+  // The swap reuses both subtrees: a 4-edit move script, with Lit-typed
+  // roots attached to Exp-typed slots.
+  EXPECT_EQ(R.Script.size(), 4u) << R.Script.toString(S);
+}
+
+TEST_F(TrueDiffTest, SupersortRootRejectedInSubsortSlot) {
+  // The converse direction must fail in the checker: attaching an
+  // Exp-typed root into a Lit-only slot violates T-Attach.
+  SignatureTable S;
+  S.declareSubsort("Lit", "Exp");
+  S.defineTag("IntL", "Lit", {}, {{"v", LitKind::Int}});
+  S.defineTag("Neg", "Exp", {{"e", "Exp"}}, {});
+  S.defineTag("LitBox", "Exp", {{"payload", "Lit"}}, {});
+
+  EditScript Bad;
+  Bad.append(Edit::detach(NodeRef{S.lookup("IntL"), 2}, S.lookup("payload"),
+                          NodeRef{S.lookup("LitBox"), 1}));
+  Bad.append(Edit::detach(NodeRef{S.lookup("IntL"), 4}, S.lookup("e"),
+                          NodeRef{S.lookup("Neg"), 3}));
+  // Load an Exp-typed Neg around IntL_4 and attach it into the Lit slot.
+  Bad.append(Edit::load(NodeRef{S.lookup("Neg"), 9},
+                        {KidRef{S.lookup("e"), 4}}, {}));
+  Bad.append(Edit::attach(NodeRef{S.lookup("Neg"), 9}, S.lookup("payload"),
+                          NodeRef{S.lookup("LitBox"), 1}));
+  Bad.append(Edit::attach(NodeRef{S.lookup("IntL"), 2}, S.lookup("e"),
+                          NodeRef{S.lookup("Neg"), 3}));
+  LinearTypeChecker Checker(S);
+  LinearState State = LinearState::closed(S);
+  auto TC = Checker.checkScript(Bad, State);
+  EXPECT_FALSE(TC.Ok);
+  EXPECT_NE(TC.Error.find("not a subsort"), std::string::npos) << TC.Error;
+}
+
+TEST_F(TrueDiffTest, EmptyScriptForLargeIdenticalTrees) {
+  // Structure sharing must detect equality at the top immediately.
+  Tree *A = num(Ctx, 0);
+  Tree *B = num(Ctx, 0);
+  for (int I = 0; I != 200; ++I) {
+    A = add(Ctx, A, num(Ctx, I));
+    B = add(Ctx, B, num(Ctx, I));
+  }
+  DiffResult R = checkedDiff(A, B);
+  EXPECT_EQ(R.Script.size(), 0u);
+}
+
+} // namespace
