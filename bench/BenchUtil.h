@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <vector>
 
 namespace truediff {
 namespace bench {
@@ -66,6 +67,105 @@ inline void printRow(const std::string &Label,
                      const std::vector<double> &Values) {
   std::printf("%s\n", formatBoxRow(Label, BoxStats::of(Values)).c_str());
 }
+
+//===----------------------------------------------------------------------===//
+// Machine-readable results: every bench writes one BENCH_<name>.json with
+// the same schema, so the perf trajectory stays comparable across PRs:
+//
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "meta": {"<key>": <number-or-string>, ...},
+//     "series": [
+//       {"name": "...", "unit": "...",
+//        "stats": {"min":..,"q1":..,"median":..,"q3":..,"max":..,
+//                  "mean":..,"n":..}},
+//       ...
+//     ]
+//   }
+//===----------------------------------------------------------------------===//
+
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      (Out += '\\') += C;
+    else if (C == '\n')
+      Out += "\\n";
+    else
+      Out += C;
+  }
+  return Out;
+}
+
+class JsonReport {
+public:
+  explicit JsonReport(std::string BenchName) : Name(std::move(BenchName)) {}
+
+  void meta(const std::string &Key, double Value) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%g", Value);
+    MetaItems.push_back("\"" + jsonEscape(Key) + "\":" + Buf);
+  }
+
+  void meta(const std::string &Key, const std::string &Value) {
+    MetaItems.push_back("\"" + jsonEscape(Key) + "\":\"" + jsonEscape(Value) +
+                        "\"");
+  }
+
+  /// Adds one series, summarised as box stats over \p Values.
+  void add(const std::string &Series, const std::string &Unit,
+           const std::vector<double> &Values) {
+    BoxStats S = BoxStats::of(Values);
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"min\":%g,\"q1\":%g,\"median\":%g,\"q3\":%g,"
+                  "\"max\":%g,\"mean\":%g,\"n\":%zu}",
+                  S.Min, S.Q1, S.Median, S.Q3, S.Max, S.Mean, S.Count);
+    SeriesItems.push_back("{\"name\":\"" + jsonEscape(Series) +
+                          "\",\"unit\":\"" + jsonEscape(Unit) +
+                          "\",\"stats\":" + Buf + "}");
+  }
+
+  /// Adds a single-valued series (a scalar measurement).
+  void scalar(const std::string &Series, const std::string &Unit,
+              double Value) {
+    add(Series, Unit, std::vector<double>{Value});
+  }
+
+  /// Writes BENCH_<name>.json into the working directory.
+  void write() const {
+    std::string Path = "BENCH_" + Name + ".json";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (F == nullptr) {
+      std::printf("# failed to write %s\n", Path.c_str());
+      return;
+    }
+    std::string Out = "{\"schema_version\":1,\"bench\":\"" + jsonEscape(Name) +
+                      "\",\"meta\":{";
+    for (size_t I = 0; I != MetaItems.size(); ++I) {
+      if (I != 0)
+        Out += ",";
+      Out += MetaItems[I];
+    }
+    Out += "},\"series\":[";
+    for (size_t I = 0; I != SeriesItems.size(); ++I) {
+      if (I != 0)
+        Out += ",";
+      Out += SeriesItems[I];
+    }
+    Out += "]}\n";
+    std::fwrite(Out.data(), 1, Out.size(), F);
+    std::fclose(F);
+    std::printf("# wrote %s\n", Path.c_str());
+  }
+
+private:
+  std::string Name;
+  std::vector<std::string> MetaItems;
+  std::vector<std::string> SeriesItems;
+};
 
 } // namespace bench
 } // namespace truediff

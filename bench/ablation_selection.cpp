@@ -80,5 +80,15 @@ int main(int Argc, char **Argv) {
   printHeader("diff time (ms, fastest of 3)");
   for (int C = 0; C != 3; ++C)
     printRow(Configs[C].Name, Times[C]);
+
+  JsonReport Report("ablation_selection");
+  Report.meta("pairs", static_cast<double>(Sizes[0].size()));
+  const char *Keys[3] = {"full", "no_literal_preference", "fifo"};
+  for (int C = 0; C != 3; ++C) {
+    Report.add(std::string(Keys[C]) + "_size", "edits", Sizes[C]);
+    Report.add(std::string(Keys[C]) + "_updates", "edits", Updates[C]);
+    Report.add(std::string(Keys[C]) + "_time", "ms", Times[C]);
+  }
+  Report.write();
   return 0;
 }

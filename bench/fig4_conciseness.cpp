@@ -101,5 +101,17 @@ int main(int Argc, char **Argv) {
   printRow("hdiff / truediff", HdiffOverTruediff);
   printRow("gumtree / truediff", GumtreeOverTruediff);
   printRow("lcsdiff / truediff", LcsOverTruediff);
+
+  JsonReport Report("fig4_conciseness");
+  Report.meta("pairs", static_cast<double>(TrueDiffSizes.size()));
+  Report.add("truediff", "edits", TrueDiffSizes);
+  Report.add("gumtree", "edits", GumtreeSizes);
+  Report.add("hdiff", "edits", HdiffSizes);
+  Report.add("lcsdiff", "edits", LcsSizes);
+  Report.add("hdiff_minus_truediff", "edits", HdiffMinusTruediff);
+  Report.add("gumtree_minus_truediff", "edits", GumtreeMinusTruediff);
+  Report.add("hdiff_over_truediff", "ratio", HdiffOverTruediff);
+  Report.add("gumtree_over_truediff", "ratio", GumtreeOverTruediff);
+  Report.write();
   return 0;
 }

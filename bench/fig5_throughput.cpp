@@ -96,5 +96,15 @@ int main(int Argc, char **Argv) {
   printRow("truediff", TruediffMs);
   std::printf("\n# paper reference for truediff: median 6.4 ms, mean 12.7 "
               "ms per file (JVM, keras corpus)\n");
+
+  JsonReport Report("fig5_throughput");
+  Report.meta("pairs", static_cast<double>(TruediffMs.size()));
+  Report.add("truediff", "nodes_per_ms", TruediffThroughput);
+  Report.add("gumtree", "nodes_per_ms", GumtreeThroughput);
+  Report.add("hdiff", "nodes_per_ms", HdiffThroughput);
+  Report.add("truediff_time", "ms", TruediffMs);
+  Report.add("gumtree_time", "ms", GumtreeMs);
+  Report.add("hdiff_time", "ms", HdiffMs);
+  Report.write();
   return 0;
 }

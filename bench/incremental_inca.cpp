@@ -53,6 +53,10 @@ int main(int Argc, char **Argv) {
     History.push_back(python::unparsePython(Sig, Cur));
   }
 
+  JsonReport Report("incremental_inca");
+  Report.meta("nodes", static_cast<double>(Module->size()));
+  Report.meta("commits", static_cast<double>(NumCommits));
+
   for (IndexMode Mode : {IndexMode::OneToOne, IndexMode::ManyToOne}) {
     const char *ModeName =
         Mode == IndexMode::OneToOne ? "one-to-one" : "many-to-one";
@@ -101,7 +105,17 @@ int main(int Argc, char **Argv) {
     printRow("speedup incl. parse+diff", Speedup);
     printRow("analysis-only speedup", AnalysisSpeedup);
     printRow("dirty function fraction", DirtyFrac);
+
+    std::string Prefix =
+        Mode == IndexMode::OneToOne ? "one_to_one_" : "many_to_one_";
+    Report.add(Prefix + "step", "ms", StepMs);
+    Report.add(Prefix + "full", "ms", FullMs);
+    Report.add(Prefix + "db_update", "ms", DbMs);
+    Report.add(Prefix + "speedup", "ratio", Speedup);
+    Report.add(Prefix + "analysis_speedup", "ratio", AnalysisSpeedup);
+    Report.add(Prefix + "dirty_fraction", "ratio", DirtyFrac);
   }
+  Report.write();
 
   std::printf("\n# type-safe scripts permit the one-to-one index; untyped "
               "scripts would force many-to-one (paper Section 6)\n");

@@ -89,5 +89,15 @@ int main(int Argc, char **Argv) {
   printHeader("throughput (nodes/ms, fastest of 3)");
   printRow("truediff", TruediffThroughput);
   printRow("gumtree", GumtreeThroughput);
+
+  JsonReport Report("json_documents");
+  Report.meta("pairs", static_cast<double>(TruediffSizes.size()));
+  Report.add("truediff_size", "edits", TruediffSizes);
+  Report.add("gumtree_size", "edits", GumtreeSizes);
+  Report.add("hdiff_size", "edits", HdiffSizes);
+  Report.add("lcsdiff_size", "edits", LcsSizes);
+  Report.add("truediff", "nodes_per_ms", TruediffThroughput);
+  Report.add("gumtree", "nodes_per_ms", GumtreeThroughput);
+  Report.write();
   return 0;
 }

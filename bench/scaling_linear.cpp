@@ -35,6 +35,10 @@ int main(int Argc, char **Argv) {
   std::printf("%10s %14s %14s %14s %16s\n", "nodes", "truediff(ms)",
               "us/node", "gumtree(ms)", "hdiff(ms)");
 
+  JsonReport Report("scaling_linear");
+  Report.meta("max_size", static_cast<double>(MaxSize));
+  std::vector<double> UsPerNode;
+
   for (uint64_t Size = 1000; Size <= MaxSize; Size *= 3) {
     TreeContext Ctx(Sig);
     Rng R(Size);
@@ -72,8 +76,15 @@ int main(int Argc, char **Argv) {
     std::printf("%10llu %14.2f %14.4f %14.2f %16.2f\n",
                 static_cast<unsigned long long>(Base->size()), TD,
                 TD * 1000.0 / Nodes, GT, HD);
+
+    std::string SizeLabel = "nodes_" + std::to_string(Base->size());
+    Report.scalar(SizeLabel + "_truediff", "ms", TD);
+    Report.scalar(SizeLabel + "_us_per_node", "us", TD * 1000.0 / Nodes);
+    UsPerNode.push_back(TD * 1000.0 / Nodes);
   }
   std::printf("\n# a flat us/node column indicates linear run time "
               "(Theorem 4.1)\n");
+  Report.add("us_per_node", "us", UsPerNode);
+  Report.write();
   return 0;
 }

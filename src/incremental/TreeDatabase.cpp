@@ -25,11 +25,15 @@ void TreeDatabase::unlink(URI Parent, LinkId Link, URI Child) {
     Many[Link].eraseKey(Child);
 }
 
-void TreeDatabase::initFromTree(const Tree *T) {
-  // Row for the pre-defined root, then the tree below RootLink.
+void TreeDatabase::initEmpty() {
   NodeRow Root;
   Root.Tag = Sig.rootTag();
   Nodes.emplace(NullURI, Root);
+}
+
+void TreeDatabase::initFromTree(const Tree *T) {
+  // Row for the pre-defined root, then the tree below RootLink.
+  initEmpty();
   link(NullURI, Sig.rootLink(), T->uri());
 
   std::function<void(const Tree *)> Walk = [&](const Tree *Node) {

@@ -45,6 +45,13 @@ public:
   TreeDatabase(const SignatureTable &Sig, IndexMode Mode)
       : Sig(Sig), Mode(Mode) {}
 
+  /// Inserts the row for the pre-defined virtual root, i.e. the state of
+  /// the empty tree. A database initialised this way can be built up
+  /// purely from an initializing edit script (truechange/InitScript),
+  /// which is how the service layer's DatabaseMirror subscribes a
+  /// database to a DocumentStore's script stream.
+  void initEmpty();
+
   /// Loads every node of \p T (including a row for the virtual root).
   void initFromTree(const Tree *T);
 

@@ -1,0 +1,85 @@
+//===- service/BoundedQueue.h - Bounded MPMC request queue ------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded multi-producer multi-consumer queue with reject-on-full
+/// semantics: producers never block, they get backpressure instead
+/// (tryPush returns false), which is the contract the DiffService exposes
+/// to its clients. Consumers block in pop until an item arrives or the
+/// queue is closed *and* drained, so closing gives graceful shutdown: no
+/// accepted request is dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_SERVICE_BOUNDEDQUEUE_H
+#define TRUEDIFF_SERVICE_BOUNDEDQUEUE_H
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace truediff {
+namespace service {
+
+template <typename T> class BoundedQueue {
+public:
+  explicit BoundedQueue(size_t Capacity) : Capacity(Capacity) {}
+
+  /// Enqueues \p Item unless the queue is full or closed. On failure the
+  /// item is left untouched (not moved from).
+  bool tryPush(T &&Item) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (Closed || Items.size() >= Capacity)
+        return false;
+      Items.push_back(std::move(Item));
+    }
+    NotEmpty.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available and returns it, or returns
+  /// std::nullopt once the queue is closed and fully drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    NotEmpty.wait(Lock, [&] { return Closed || !Items.empty(); });
+    if (Items.empty())
+      return std::nullopt;
+    T Item = std::move(Items.front());
+    Items.pop_front();
+    return Item;
+  }
+
+  /// Stops accepting new items; blocked consumers drain the remainder and
+  /// then observe end-of-queue.
+  void close() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Closed = true;
+    }
+    NotEmpty.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Items.size();
+  }
+
+  size_t capacity() const { return Capacity; }
+
+private:
+  const size_t Capacity;
+  mutable std::mutex Mu;
+  std::condition_variable NotEmpty;
+  std::deque<T> Items;
+  bool Closed = false;
+};
+
+} // namespace service
+} // namespace truediff
+
+#endif // TRUEDIFF_SERVICE_BOUNDEDQUEUE_H

@@ -1,0 +1,182 @@
+//===- service/DiffService.cpp - Worker-pool diff serving ------------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/DiffService.h"
+
+#include "truechange/Serialize.h"
+
+using namespace truediff;
+using namespace truediff::service;
+
+DiffService::DiffService(DocumentStore &Store, ServiceConfig C)
+    : Store(Store),
+      NumWorkers(C.Workers != 0 ? C.Workers
+                                : std::max(1u, std::thread::hardware_concurrency())),
+      Queue(std::max<size_t>(1, C.QueueCapacity)) {
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+DiffService::~DiffService() { shutdown(); }
+
+void DiffService::shutdown() {
+  if (Stopped.exchange(true))
+    return;
+  Queue.close();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+OpKind DiffService::kindOf(const Operation &Op) {
+  return static_cast<OpKind>(Op.index());
+}
+
+std::future<Response> DiffService::enqueue(Operation Op, OpKind Kind) {
+  Request R;
+  R.Op = std::move(Op);
+  R.Enqueued = Clock::now();
+  std::future<Response> Fut = R.Promise.get_future();
+  if (!Queue.tryPush(std::move(R))) {
+    Metrics.Rejected.fetch_add(1, std::memory_order_relaxed);
+    Metrics.Ops[static_cast<unsigned>(Kind)].Failures.fetch_add(
+        1, std::memory_order_relaxed);
+    Response Rej;
+    Rej.Error = Stopped.load() ? "service is shut down"
+                               : "request queue full (backpressure)";
+    R.Promise.set_value(std::move(Rej));
+  }
+  return Fut;
+}
+
+std::future<Response> DiffService::openAsync(DocId Doc, TreeBuilder Build) {
+  return enqueue(OpenOp{Doc, std::move(Build)}, OpKind::Open);
+}
+std::future<Response> DiffService::submitAsync(DocId Doc, TreeBuilder Build) {
+  return enqueue(SubmitOp{Doc, std::move(Build)}, OpKind::Submit);
+}
+std::future<Response> DiffService::rollbackAsync(DocId Doc) {
+  return enqueue(RollbackOp{Doc}, OpKind::Rollback);
+}
+std::future<Response> DiffService::getVersionAsync(DocId Doc) {
+  return enqueue(GetVersionOp{Doc}, OpKind::GetVersion);
+}
+std::future<Response> DiffService::statsAsync() {
+  return enqueue(StatsOp{}, OpKind::Stats);
+}
+
+Response DiffService::open(DocId Doc, TreeBuilder Build) {
+  return openAsync(Doc, std::move(Build)).get();
+}
+Response DiffService::submit(DocId Doc, TreeBuilder Build) {
+  return submitAsync(Doc, std::move(Build)).get();
+}
+Response DiffService::rollback(DocId Doc) { return rollbackAsync(Doc).get(); }
+Response DiffService::getVersion(DocId Doc) {
+  return getVersionAsync(Doc).get();
+}
+Response DiffService::stats() { return statsAsync().get(); }
+
+void DiffService::workerLoop() {
+  while (std::optional<Request> R = Queue.pop()) {
+    auto Started = Clock::now();
+    double WaitMs =
+        std::chrono::duration<double, std::milli>(Started - R->Enqueued)
+            .count();
+    Metrics.QueueWait.record(WaitMs);
+
+    OpKind Kind = kindOf(R->Op);
+    ServiceMetrics::PerOp &Op = Metrics.Ops[static_cast<unsigned>(Kind)];
+    Op.Requests.fetch_add(1, std::memory_order_relaxed);
+
+    Response Resp = execute(R->Op);
+
+    double ExecMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - Started)
+            .count();
+    Op.Latency.record(ExecMs);
+    if (!Resp.Ok)
+      Op.Failures.fetch_add(1, std::memory_order_relaxed);
+    R->Promise.set_value(std::move(Resp));
+  }
+}
+
+namespace {
+
+Response fromStoreResult(StoreResult &&R) {
+  Response Out;
+  Out.Ok = R.Ok;
+  Out.Error = std::move(R.Error);
+  Out.Version = R.Version;
+  Out.EditCount = R.Script.size();
+  Out.CoalescedSize = R.Script.coalescedSize();
+  Out.TreeSize = R.TreeSize;
+  return Out;
+}
+
+} // namespace
+
+Response DiffService::execute(Operation &Op) {
+  return std::visit(
+      [&](auto &Req) -> Response {
+        using T = std::decay_t<decltype(Req)>;
+        if constexpr (std::is_same_v<T, OpenOp>) {
+          return fromStoreResult(Store.open(Req.Doc, Req.Build));
+        } else if constexpr (std::is_same_v<T, SubmitOp>) {
+          StoreResult R = Store.submit(Req.Doc, Req.Build);
+          if (R.Ok) {
+            Metrics.ScriptsEmitted.fetch_add(1, std::memory_order_relaxed);
+            Metrics.EditsEmitted.fetch_add(R.Script.size(),
+                                           std::memory_order_relaxed);
+            Metrics.CoalescedEdits.fetch_add(R.Script.coalescedSize(),
+                                             std::memory_order_relaxed);
+            Metrics.NodesDiffed.fetch_add(R.NodesDiffed,
+                                          std::memory_order_relaxed);
+          }
+          std::string Payload =
+              R.Ok ? serializeEditScript(Store.signatures(), R.Script) : "";
+          Response Out = fromStoreResult(std::move(R));
+          Out.Payload = std::move(Payload);
+          return Out;
+        } else if constexpr (std::is_same_v<T, RollbackOp>) {
+          return fromStoreResult(Store.rollback(Req.Doc));
+        } else if constexpr (std::is_same_v<T, GetVersionOp>) {
+          DocumentSnapshot S = Store.snapshot(Req.Doc);
+          Response Out;
+          Out.Ok = S.Ok;
+          Out.Error = std::move(S.Error);
+          Out.Version = S.Version;
+          Out.TreeSize = S.TreeSize;
+          Out.Payload = std::move(S.Text);
+          return Out;
+        } else {
+          static_assert(std::is_same_v<T, StatsOp>);
+          Response Out;
+          Out.Ok = true;
+          Out.Payload = statsJson();
+          return Out;
+        }
+      },
+      Op);
+}
+
+std::string DiffService::statsJson() const {
+  StoreStats S = Store.stats();
+  char Buf[160];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      ",\"store\":{\"documents\":%llu,\"versions_retained\":%llu,"
+      "\"live_nodes\":%llu}}",
+      static_cast<unsigned long long>(S.NumDocuments),
+      static_cast<unsigned long long>(S.VersionsRetained),
+      static_cast<unsigned long long>(S.LiveNodes));
+  std::string Json =
+      Metrics.toJson(Queue.depth(), Queue.capacity(), NumWorkers);
+  // Splice the store object into the metrics object.
+  Json.pop_back(); // trailing '}'
+  Json += Buf;
+  return Json;
+}

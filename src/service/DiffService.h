@@ -1,0 +1,148 @@
+//===- service/DiffService.h - Worker-pool diff serving ---------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed pool of worker threads consuming a bounded MPMC queue of typed
+/// requests against a DocumentStore:
+///
+///   Submit    diff a new version in, returns the serialized edit script
+///   Open      create a document
+///   Rollback  undo the latest version via its recorded inverse
+///   GetVersion current version + serialized tree
+///   Stats     metrics and store gauges as JSON
+///
+/// Backpressure is explicit: when the queue is full (or the service is
+/// shut down) a request is rejected immediately with an error response
+/// rather than blocking the client. shutdown() is graceful: the queue
+/// stops accepting, workers drain every accepted request, then join, so
+/// no accepted request is ever dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_SERVICE_DIFFSERVICE_H
+#define TRUEDIFF_SERVICE_DIFFSERVICE_H
+
+#include "service/BoundedQueue.h"
+#include "service/DocumentStore.h"
+#include "service/Metrics.h"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <variant>
+#include <vector>
+
+namespace truediff {
+namespace service {
+
+/// What the service answers for any request.
+struct Response {
+  bool Ok = false;
+  std::string Error;
+  uint64_t Version = 0;
+  uint64_t EditCount = 0;
+  uint64_t CoalescedSize = 0;
+  uint64_t TreeSize = 0;
+  /// submit: the serialized edit script (truechange/Serialize);
+  /// get_version: the document's s-expression; stats: JSON.
+  std::string Payload;
+};
+
+/// \name Typed requests
+/// @{
+struct OpenOp {
+  DocId Doc = 0;
+  TreeBuilder Build;
+};
+struct SubmitOp {
+  DocId Doc = 0;
+  TreeBuilder Build;
+};
+struct RollbackOp {
+  DocId Doc = 0;
+};
+struct GetVersionOp {
+  DocId Doc = 0;
+};
+struct StatsOp {};
+
+using Operation =
+    std::variant<OpenOp, SubmitOp, RollbackOp, GetVersionOp, StatsOp>;
+/// @}
+
+struct ServiceConfig {
+  /// 0 picks std::thread::hardware_concurrency().
+  unsigned Workers = 0;
+  /// Bound of the request queue; requests beyond it are rejected.
+  size_t QueueCapacity = 256;
+};
+
+class DiffService {
+public:
+  DiffService(DocumentStore &Store, ServiceConfig C = ServiceConfig());
+  ~DiffService();
+
+  DiffService(const DiffService &) = delete;
+  DiffService &operator=(const DiffService &) = delete;
+
+  /// \name Asynchronous API
+  /// All return immediately. A rejected request (queue full / shut down)
+  /// yields an already-resolved error response.
+  /// @{
+  std::future<Response> openAsync(DocId Doc, TreeBuilder Build);
+  std::future<Response> submitAsync(DocId Doc, TreeBuilder Build);
+  std::future<Response> rollbackAsync(DocId Doc);
+  std::future<Response> getVersionAsync(DocId Doc);
+  std::future<Response> statsAsync();
+  /// @}
+
+  /// \name Blocking convenience wrappers
+  /// @{
+  Response open(DocId Doc, TreeBuilder Build);
+  Response submit(DocId Doc, TreeBuilder Build);
+  Response rollback(DocId Doc);
+  Response getVersion(DocId Doc);
+  Response stats();
+  /// @}
+
+  /// Stops accepting requests, drains the queue, joins the workers.
+  /// Idempotent; also run by the destructor.
+  void shutdown();
+
+  unsigned workers() const { return NumWorkers; }
+  size_t queueDepth() const { return Queue.depth(); }
+  const ServiceMetrics &metrics() const { return Metrics; }
+
+  /// The Stats payload: metrics, queue gauges, and store stats.
+  std::string statsJson() const;
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    Operation Op;
+    std::promise<Response> Promise;
+    Clock::time_point Enqueued;
+  };
+
+  std::future<Response> enqueue(Operation Op, OpKind Kind);
+  void workerLoop();
+  Response execute(Operation &Op);
+  static OpKind kindOf(const Operation &Op);
+
+  DocumentStore &Store;
+  const unsigned NumWorkers;
+  BoundedQueue<Request> Queue;
+  ServiceMetrics Metrics;
+  std::vector<std::thread> Workers;
+  std::atomic<bool> Stopped{false};
+};
+
+} // namespace service
+} // namespace truediff
+
+#endif // TRUEDIFF_SERVICE_DIFFSERVICE_H

@@ -1,0 +1,217 @@
+//===- service/DocumentStore.cpp - Versioned live-document store -----------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/DocumentStore.h"
+
+#include "tree/SExpr.h"
+#include "truechange/InitScript.h"
+#include "truechange/Inverse.h"
+#include "truechange/MTree.h"
+#include "truediff/TrueDiff.h"
+
+using namespace truediff;
+using namespace truediff::service;
+
+DocumentStore::DocumentStore(const SignatureTable &Sig)
+    : DocumentStore(Sig, Config()) {}
+
+DocumentStore::DocumentStore(const SignatureTable &Sig, Config C)
+    : Sig(Sig), Cfg(C), Shards(std::max<size_t>(1, C.NumShards)) {}
+
+void DocumentStore::addScriptListener(ScriptListener Listener) {
+  std::lock_guard<std::mutex> Lock(ListenersMu);
+  Listeners.push_back(std::move(Listener));
+}
+
+std::shared_ptr<DocumentStore::Document> DocumentStore::find(DocId Doc) const {
+  const Shard &S = shardFor(Doc);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Docs.find(Doc);
+  return It == S.Docs.end() ? nullptr : It->second;
+}
+
+void DocumentStore::emit(DocId Doc, uint64_t Version,
+                         const EditScript &Script) const {
+  std::lock_guard<std::mutex> Lock(ListenersMu);
+  for (const ScriptListener &L : Listeners)
+    L(Doc, Version, Script);
+}
+
+StoreResult DocumentStore::open(DocId Doc, const TreeBuilder &Build) {
+  StoreResult R;
+  auto D = std::make_shared<Document>();
+  D->Ctx = std::make_unique<TreeContext>(Sig);
+  BuildResult B = Build(*D->Ctx);
+  if (B.Root == nullptr) {
+    R.Error = B.Error.empty() ? "builder produced no tree" : B.Error;
+    return R;
+  }
+  D->Current = B.Root;
+  D->Version = 0;
+
+  // Hold the (still private) document lock across publication so that a
+  // racing submit on the same id observes the initializing script first.
+  std::lock_guard<std::mutex> DocLock(D->Mu);
+  {
+    Shard &S = shardFor(Doc);
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    if (!S.Docs.emplace(Doc, D).second) {
+      R.Error = "document already exists";
+      return R;
+    }
+  }
+  R.Script = buildInitializingScript(Sig, D->Current);
+  emit(Doc, 0, R.Script);
+  R.Ok = true;
+  R.Version = 0;
+  R.TreeSize = D->Current->size();
+  return R;
+}
+
+StoreResult DocumentStore::submit(DocId Doc, const TreeBuilder &Build) {
+  StoreResult R;
+  std::shared_ptr<Document> D = find(Doc);
+  if (!D) {
+    R.Error = "no such document";
+    return R;
+  }
+  std::lock_guard<std::mutex> Lock(D->Mu);
+  BuildResult B = Build(*D->Ctx);
+  if (B.Root == nullptr) {
+    R.Error = B.Error.empty() ? "builder produced no tree" : B.Error;
+    return R;
+  }
+  uint64_t SourceSize = D->Current->size();
+  uint64_t TargetSize = B.Root->size();
+
+  TrueDiff Differ(*D->Ctx);
+  DiffResult Diff = Differ.compareTo(D->Current, B.Root);
+  D->Current = Diff.Patched;
+  ++D->Version;
+
+  VersionRecord Rec;
+  Rec.Version = D->Version;
+  Rec.Inverse = invertScript(Diff.Script);
+  Rec.Script = std::move(Diff.Script);
+  D->History.push_back(std::move(Rec));
+  if (D->History.size() > Cfg.HistoryCapacity)
+    D->History.pop_front();
+
+  emit(Doc, D->Version, D->History.back().Script);
+  maybeCompact(*D);
+
+  R.Ok = true;
+  R.Version = D->Version;
+  R.Script = D->History.back().Script;
+  R.NodesDiffed = SourceSize + TargetSize;
+  R.TreeSize = D->Current->size();
+  return R;
+}
+
+StoreResult DocumentStore::rollback(DocId Doc) {
+  StoreResult R;
+  std::shared_ptr<Document> D = find(Doc);
+  if (!D) {
+    R.Error = "no such document";
+    return R;
+  }
+  std::lock_guard<std::mutex> Lock(D->Mu);
+  if (D->History.empty()) {
+    R.Error = "no history to roll back";
+    return R;
+  }
+  VersionRecord Rec = std::move(D->History.back());
+  D->History.pop_back();
+
+  // Lift into the standard semantics, undo, and rebuild with the same
+  // URIs so older ring entries remain applicable.
+  MTree M = MTree::fromTree(Sig, D->Current);
+  MTree::PatchResult P = M.patchChecked(Rec.Inverse);
+  if (!P.Ok) {
+    // Cannot happen for scripts we recorded ourselves; fail loudly and
+    // leave the document at its current version (the record is consumed,
+    // matching what the tree now provably is not).
+    R.Error = "internal error: inverse script rejected: " + P.Error;
+    return R;
+  }
+  auto FreshCtx = std::make_unique<TreeContext>(Sig);
+  Tree *Restored = M.toTreePreservingUris(*FreshCtx);
+  if (Restored == nullptr) {
+    R.Error = "internal error: rolled-back tree is not closed";
+    return R;
+  }
+  D->Ctx = std::move(FreshCtx);
+  D->Current = Restored;
+  D->Version = Rec.Version - 1;
+
+  emit(Doc, D->Version, Rec.Inverse);
+
+  R.Ok = true;
+  R.Version = D->Version;
+  R.Script = std::move(Rec.Inverse);
+  R.TreeSize = D->Current->size();
+  return R;
+}
+
+DocumentSnapshot DocumentStore::snapshot(DocId Doc) const {
+  DocumentSnapshot S;
+  std::shared_ptr<Document> D = find(Doc);
+  if (!D) {
+    S.Error = "no such document";
+    return S;
+  }
+  std::lock_guard<std::mutex> Lock(D->Mu);
+  S.Ok = true;
+  S.Version = D->Version;
+  S.TreeSize = D->Current->size();
+  S.Text = printSExpr(Sig, D->Current);
+  S.UriText = printSExprWithUris(Sig, D->Current);
+  return S;
+}
+
+bool DocumentStore::contains(DocId Doc) const { return find(Doc) != nullptr; }
+
+bool DocumentStore::erase(DocId Doc) {
+  Shard &S = shardFor(Doc);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  return S.Docs.erase(Doc) != 0;
+}
+
+StoreStats DocumentStore::stats() const {
+  StoreStats Out;
+  for (const Shard &S : Shards) {
+    std::vector<std::shared_ptr<Document>> Docs;
+    {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      Docs.reserve(S.Docs.size());
+      for (const auto &[Id, D] : S.Docs)
+        Docs.push_back(D);
+    }
+    // Document locks are taken after the shard lock is released; see the
+    // locking model in the header.
+    for (const std::shared_ptr<Document> &D : Docs) {
+      std::lock_guard<std::mutex> Lock(D->Mu);
+      ++Out.NumDocuments;
+      Out.VersionsRetained += D->History.size();
+      Out.LiveNodes += D->Current->size();
+    }
+  }
+  return Out;
+}
+
+void DocumentStore::maybeCompact(Document &D) const {
+  if (Cfg.CompactionFactor == 0)
+    return;
+  if (D.Ctx->numNodes() <= Cfg.CompactionFactor * D.Current->size() + 256)
+    return;
+  MTree M = MTree::fromTree(Sig, D.Current);
+  auto FreshCtx = std::make_unique<TreeContext>(Sig);
+  Tree *Fresh = M.toTreePreservingUris(*FreshCtx);
+  if (Fresh == nullptr)
+    return; // live trees are always closed; keep the old arena if not
+  D.Ctx = std::move(FreshCtx);
+  D.Current = Fresh;
+}

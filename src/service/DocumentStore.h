@@ -1,0 +1,195 @@
+//===- service/DocumentStore.h - Versioned live-document store --*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe, sharded store of live documents -- the version-control
+/// and database use cases the paper motivates (Section 1), grown into a
+/// subsystem. Each document owns its TreeContext and current Tree plus a
+/// bounded ring of applied edit scripts and their inverses (via
+/// truechange/Inverse), so any document can be rolled back version by
+/// version or its history replayed by a subscriber.
+///
+/// Locking model: a shard mutex guards only the DocId -> Document map;
+/// every document has its own mutex that serialises all tree access. This
+/// keeps the share-assignment state of one diff single-threaded (as the
+/// truediff algorithm requires -- Tree nodes carry mutable diffing state)
+/// while diffs on independent documents proceed in parallel. No code path
+/// acquires a shard mutex while holding a document mutex, so the two
+/// levels cannot deadlock.
+///
+/// Rollback works in URI space: the current tree is lifted into the
+/// standard semantics (MTree), the recorded inverse script is applied
+/// with full compliance checking, and the restored tree is rebuilt into a
+/// fresh context *preserving URIs*, so the remaining history ring stays
+/// meaningful for further rollbacks. The same rebuild doubles as arena
+/// compaction once a long-lived document's context accumulates garbage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_SERVICE_DOCUMENTSTORE_H
+#define TRUEDIFF_SERVICE_DOCUMENTSTORE_H
+
+#include "tree/Tree.h"
+#include "truechange/Edit.h"
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace truediff {
+namespace service {
+
+/// Identifies one live document in the store.
+using DocId = uint64_t;
+
+/// What a TreeBuilder produced: a tree, or an error message.
+struct BuildResult {
+  Tree *Root = nullptr;
+  std::string Error;
+};
+
+/// Builds a version of a document inside the document's own context.
+/// Called under the document lock, so it must not call back into the
+/// store. Returning a null Root fails the request with Error.
+using TreeBuilder = std::function<BuildResult(TreeContext &)>;
+
+/// Result of a mutating store operation.
+struct StoreResult {
+  bool Ok = false;
+  std::string Error;
+  /// Version after the operation (0 = freshly opened).
+  uint64_t Version = 0;
+  /// open: the initializing script; submit: the forward script;
+  /// rollback: the inverse script that was applied.
+  EditScript Script;
+  /// submit: source + target node count (throughput accounting).
+  uint64_t NodesDiffed = 0;
+  /// Node count of the document's tree after the operation.
+  uint64_t TreeSize = 0;
+};
+
+/// Read-only view of a document's current state.
+struct DocumentSnapshot {
+  bool Ok = false;
+  std::string Error;
+  uint64_t Version = 0;
+  uint64_t TreeSize = 0;
+  /// Plain s-expression of the current tree (the wire tree format).
+  std::string Text;
+  /// S-expression with URI subscripts; stable across rollback, so tests
+  /// can assert exact (URI-level) restoration.
+  std::string UriText;
+};
+
+/// Aggregate store gauges.
+struct StoreStats {
+  uint64_t NumDocuments = 0;
+  uint64_t VersionsRetained = 0;
+  uint64_t LiveNodes = 0;
+};
+
+class DocumentStore {
+public:
+  struct Config {
+    /// Number of independently locked map shards.
+    size_t NumShards = 16;
+    /// Bound of the per-document history ring; rollback depth is limited
+    /// to this many versions.
+    size_t HistoryCapacity = 32;
+    /// Compact a document's arena when it holds more than
+    /// CompactionFactor * treeSize + 256 nodes. 0 disables compaction.
+    size_t CompactionFactor = 8;
+  };
+
+  /// Observes every applied script: the initializing script on open, the
+  /// forward script on submit, the inverse script on rollback. Called
+  /// under the document's lock, so per-document invocations are totally
+  /// ordered; implementations must not call back into the store. Register
+  /// all listeners before serving traffic.
+  using ScriptListener =
+      std::function<void(DocId, uint64_t Version, const EditScript &)>;
+
+  explicit DocumentStore(const SignatureTable &Sig);
+  DocumentStore(const SignatureTable &Sig, Config C);
+
+  const SignatureTable &signatures() const { return Sig; }
+  const Config &config() const { return Cfg; }
+
+  void addScriptListener(ScriptListener Listener);
+
+  /// Creates document \p Doc at version 0 from \p Build; fails if it
+  /// already exists. Emits the initializing script.
+  StoreResult open(DocId Doc, const TreeBuilder &Build);
+
+  /// Diffs the current version against the tree \p Build produces and
+  /// advances the document to it. The result carries the edit script.
+  StoreResult submit(DocId Doc, const TreeBuilder &Build);
+
+  /// Undoes the most recent submit by applying its recorded inverse.
+  /// Fails if the history ring is exhausted.
+  StoreResult rollback(DocId Doc);
+
+  /// Current version and serialized tree of \p Doc.
+  DocumentSnapshot snapshot(DocId Doc) const;
+
+  bool contains(DocId Doc) const;
+
+  /// Removes \p Doc; in-flight operations holding the document finish
+  /// against the detached document. Returns false if absent.
+  bool erase(DocId Doc);
+
+  StoreStats stats() const;
+
+private:
+  struct VersionRecord {
+    uint64_t Version = 0;
+    EditScript Script;
+    EditScript Inverse;
+  };
+
+  struct Document {
+    mutable std::mutex Mu;
+    std::unique_ptr<TreeContext> Ctx;
+    Tree *Current = nullptr;
+    uint64_t Version = 0;
+    std::deque<VersionRecord> History;
+  };
+
+  struct Shard {
+    mutable std::mutex Mu;
+    std::unordered_map<DocId, std::shared_ptr<Document>> Docs;
+  };
+
+  Shard &shardFor(DocId Doc) {
+    return Shards[static_cast<size_t>(Doc) % Shards.size()];
+  }
+  const Shard &shardFor(DocId Doc) const {
+    return Shards[static_cast<size_t>(Doc) % Shards.size()];
+  }
+
+  std::shared_ptr<Document> find(DocId Doc) const;
+  void emit(DocId Doc, uint64_t Version, const EditScript &Script) const;
+
+  /// Rebuilds \p D's tree into a fresh context, URIs preserved, if the
+  /// arena has outgrown the live tree. Requires D.Mu held.
+  void maybeCompact(Document &D) const;
+
+  const SignatureTable &Sig;
+  const Config Cfg;
+  std::vector<Shard> Shards;
+
+  mutable std::mutex ListenersMu;
+  std::vector<ScriptListener> Listeners;
+};
+
+} // namespace service
+} // namespace truediff
+
+#endif // TRUEDIFF_SERVICE_DOCUMENTSTORE_H

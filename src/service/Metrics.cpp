@@ -1,0 +1,126 @@
+//===- service/Metrics.cpp - Counters and latency histograms ---------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+using namespace truediff;
+using namespace truediff::service;
+
+const char *service::opKindName(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::Open:
+    return "open";
+  case OpKind::Submit:
+    return "submit";
+  case OpKind::Rollback:
+    return "rollback";
+  case OpKind::GetVersion:
+    return "get_version";
+  case OpKind::Stats:
+    return "stats";
+  }
+  return "?";
+}
+
+void LatencyHistogram::record(double Ms) {
+  uint64_t Us = Ms <= 0 ? 0 : static_cast<uint64_t>(Ms * 1000.0);
+  size_t Bucket = std::bit_width(Us); // 0 us -> bucket 0, [2^(i-1),2^i) -> i
+  if (Bucket >= NumBuckets)
+    Bucket = NumBuckets - 1;
+  Buckets[Bucket].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  SumUs.fetch_add(Us, std::memory_order_relaxed);
+  uint64_t Prev = MaxUs.load(std::memory_order_relaxed);
+  while (Us > Prev &&
+         !MaxUs.compare_exchange_weak(Prev, Us, std::memory_order_relaxed)) {
+  }
+}
+
+LatencyHistogram::Summary LatencyHistogram::summarize() const {
+  Summary S;
+  std::array<uint64_t, NumBuckets> Snap;
+  for (size_t I = 0; I != NumBuckets; ++I)
+    Snap[I] = Buckets[I].load(std::memory_order_relaxed);
+  uint64_t Total = 0;
+  for (uint64_t C : Snap)
+    Total += C;
+  S.Count = Total;
+  if (Total == 0)
+    return S;
+  S.MeanMs = static_cast<double>(SumUs.load(std::memory_order_relaxed)) /
+             static_cast<double>(Total) / 1000.0;
+  S.MaxMs = static_cast<double>(MaxUs.load(std::memory_order_relaxed)) / 1000.0;
+
+  // A percentile reports the upper bound of the bucket containing it, in
+  // ms; bucket i's upper bound is 2^i us.
+  auto Percentile = [&](double P) {
+    uint64_t Rank = static_cast<uint64_t>(std::ceil(P * Total));
+    if (Rank == 0)
+      Rank = 1;
+    uint64_t Seen = 0;
+    for (size_t I = 0; I != NumBuckets; ++I) {
+      Seen += Snap[I];
+      if (Seen >= Rank)
+        return static_cast<double>(uint64_t(1) << I) / 1000.0;
+    }
+    return S.MaxMs;
+  };
+  S.P50Ms = Percentile(0.50);
+  S.P95Ms = Percentile(0.95);
+  S.P99Ms = Percentile(0.99);
+  return S;
+}
+
+std::string LatencyHistogram::toJson() const {
+  Summary S = summarize();
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"count\":%llu,\"mean_ms\":%.4f,\"p50_ms\":%.4f,"
+                "\"p95_ms\":%.4f,\"p99_ms\":%.4f,\"max_ms\":%.4f}",
+                static_cast<unsigned long long>(S.Count), S.MeanMs, S.P50Ms,
+                S.P95Ms, S.P99Ms, S.MaxMs);
+  return Buf;
+}
+
+std::string ServiceMetrics::toJson(size_t QueueDepth, size_t QueueCapacity,
+                                   unsigned Workers) const {
+  std::string Out = "{";
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "\"workers\":%u,\"queue\":{\"depth\":%zu,\"capacity\":%zu},",
+                Workers, QueueDepth, QueueCapacity);
+  Out += Buf;
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "\"rejected\":%llu,\"scripts_emitted\":%llu,\"edits_emitted\":%llu,"
+      "\"coalesced_edits\":%llu,\"nodes_diffed\":%llu,",
+      static_cast<unsigned long long>(Rejected.load()),
+      static_cast<unsigned long long>(ScriptsEmitted.load()),
+      static_cast<unsigned long long>(EditsEmitted.load()),
+      static_cast<unsigned long long>(CoalescedEdits.load()),
+      static_cast<unsigned long long>(NodesDiffed.load()));
+  Out += Buf;
+  Out += "\"queue_wait\":" + QueueWait.toJson() + ",\"ops\":{";
+  for (unsigned I = 0; I != NumOpKinds; ++I) {
+    if (I != 0)
+      Out += ",";
+    const PerOp &Op = Ops[I];
+    std::snprintf(Buf, sizeof(Buf),
+                  "\"%s\":{\"requests\":%llu,\"failures\":%llu,\"latency\":",
+                  opKindName(static_cast<OpKind>(I)),
+                  static_cast<unsigned long long>(Op.Requests.load()),
+                  static_cast<unsigned long long>(Op.Failures.load()));
+    Out += Buf;
+    Out += Op.Latency.toJson();
+    Out += "}";
+  }
+  Out += "}}";
+  return Out;
+}

@@ -1,0 +1,109 @@
+//===- service/Metrics.h - Counters and latency histograms ------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observability for the concurrent diff service: lock-free counters and
+/// log-bucketed latency histograms (p50/p95/p99 per operation), dumpable
+/// as JSON. All members are atomics, so worker threads record without
+/// coordination and a reader thread can summarize at any time; summaries
+/// are monotone snapshots, not linearizable cuts, which is the standard
+/// contract for service metrics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_SERVICE_METRICS_H
+#define TRUEDIFF_SERVICE_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace truediff {
+namespace service {
+
+/// The typed operations the service processes.
+enum class OpKind : unsigned {
+  Open,
+  Submit,
+  Rollback,
+  GetVersion,
+  Stats,
+};
+
+inline constexpr unsigned NumOpKinds = 5;
+
+/// Returns "open", "submit", ...
+const char *opKindName(OpKind Kind);
+
+/// A fixed-size histogram over power-of-two microsecond buckets: bucket i
+/// counts latencies in [2^(i-1), 2^i) us (bucket 0 counts < 1 us). 40
+/// buckets cover up to ~9 minutes, far beyond any request we serve.
+class LatencyHistogram {
+public:
+  static constexpr size_t NumBuckets = 40;
+
+  void record(double Ms);
+
+  struct Summary {
+    uint64_t Count = 0;
+    double MeanMs = 0;
+    double P50Ms = 0;
+    double P95Ms = 0;
+    double P99Ms = 0;
+    double MaxMs = 0;
+  };
+
+  Summary summarize() const;
+
+  /// {"count":..,"mean_ms":..,"p50_ms":..,"p95_ms":..,"p99_ms":..,
+  ///  "max_ms":..}
+  std::string toJson() const;
+
+private:
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> SumUs{0};
+  std::atomic<uint64_t> MaxUs{0};
+};
+
+/// All service counters. Owned by DiffService; exposed const to callers.
+struct ServiceMetrics {
+  struct PerOp {
+    std::atomic<uint64_t> Requests{0};
+    std::atomic<uint64_t> Failures{0};
+    LatencyHistogram Latency;
+  };
+
+  /// Indexed by OpKind.
+  std::array<PerOp, NumOpKinds> Ops;
+
+  /// Time requests spend queued before a worker picks them up.
+  LatencyHistogram QueueWait;
+
+  /// Requests rejected because the queue was full (backpressure) or the
+  /// service was shut down.
+  std::atomic<uint64_t> Rejected{0};
+
+  /// Successful submits, i.e. edit scripts produced and emitted.
+  std::atomic<uint64_t> ScriptsEmitted{0};
+  /// Total raw edit operations across emitted scripts.
+  std::atomic<uint64_t> EditsEmitted{0};
+  /// Total coalesced edits (the paper's conciseness metric).
+  std::atomic<uint64_t> CoalescedEdits{0};
+  /// Total source+target nodes processed by submits (throughput basis).
+  std::atomic<uint64_t> NodesDiffed{0};
+
+  /// Dumps everything as one JSON object. Queue depth and capacity are
+  /// live gauges owned by the service, so the caller passes them in.
+  std::string toJson(size_t QueueDepth, size_t QueueCapacity,
+                     unsigned Workers) const;
+};
+
+} // namespace service
+} // namespace truediff
+
+#endif // TRUEDIFF_SERVICE_METRICS_H

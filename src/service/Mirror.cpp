@@ -1,0 +1,56 @@
+//===- service/Mirror.cpp - TreeDatabase on the script stream --------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Mirror.h"
+
+using namespace truediff;
+using namespace truediff::service;
+
+DatabaseMirror::Entry &DatabaseMirror::entryFor(DocId Doc) {
+  std::lock_guard<std::mutex> Lock(MapMu);
+  std::unique_ptr<Entry> &Slot = Entries[Doc];
+  if (!Slot)
+    Slot = std::make_unique<Entry>(Sig, Mode);
+  return *Slot;
+}
+
+const DatabaseMirror::Entry *DatabaseMirror::lookup(DocId Doc) const {
+  std::lock_guard<std::mutex> Lock(MapMu);
+  auto It = Entries.find(Doc);
+  return It == Entries.end() ? nullptr : It->second.get();
+}
+
+void DatabaseMirror::onScript(DocId Doc, uint64_t Version,
+                              const EditScript &Script) {
+  Entry &E = entryFor(Doc);
+  std::lock_guard<std::mutex> Lock(E.Mu);
+  E.Db.applyScript(Script);
+  E.LastVersion = Version;
+}
+
+size_t DatabaseMirror::numDocuments() const {
+  std::lock_guard<std::mutex> Lock(MapMu);
+  return Entries.size();
+}
+
+bool DatabaseMirror::withDatabase(
+    DocId Doc,
+    const std::function<void(const incremental::TreeDatabase &)> &Fn) const {
+  const Entry *E = lookup(Doc);
+  if (E == nullptr)
+    return false;
+  std::lock_guard<std::mutex> Lock(E->Mu);
+  Fn(E->Db);
+  return true;
+}
+
+std::optional<uint64_t> DatabaseMirror::lastVersion(DocId Doc) const {
+  const Entry *E = lookup(Doc);
+  if (E == nullptr)
+    return std::nullopt;
+  std::lock_guard<std::mutex> Lock(E->Mu);
+  return E->LastVersion;
+}

@@ -1,0 +1,86 @@
+//===- service/Mirror.h - TreeDatabase on the script stream -----*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Subscribes a per-document incremental TreeDatabase (the paper's IncA
+/// fact database, Section 6) to a DocumentStore's script stream. Because
+/// the store emits the initializing script on open, the forward script on
+/// submit, and the inverse script on rollback -- each in per-document
+/// order -- the mirror maintains every database purely by constant-time
+/// edit application, never re-walking a tree. This is the paper's
+/// incremental-computing story operating inside the concurrent service.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_SERVICE_MIRROR_H
+#define TRUEDIFF_SERVICE_MIRROR_H
+
+#include "incremental/TreeDatabase.h"
+#include "service/DocumentStore.h"
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace truediff {
+namespace service {
+
+class DatabaseMirror {
+public:
+  DatabaseMirror(const SignatureTable &Sig, incremental::IndexMode Mode)
+      : Sig(Sig), Mode(Mode) {}
+
+  /// Registers this mirror as a script listener on \p Store. The mirror
+  /// must outlive the store's traffic. Call before serving requests.
+  void attach(DocumentStore &Store) {
+    Store.addScriptListener(
+        [this](DocId Doc, uint64_t Version, const EditScript &Script) {
+          onScript(Doc, Version, Script);
+        });
+  }
+
+  /// Applies one script to \p Doc's database, creating it (from the empty
+  /// state) on first sight. Thread-safe; per-document calls arrive in
+  /// order because the store invokes listeners under the document lock.
+  void onScript(DocId Doc, uint64_t Version, const EditScript &Script);
+
+  size_t numDocuments() const;
+
+  /// Runs \p Fn with \p Doc's database under the mirror's lock for that
+  /// document; returns false if the document was never seen.
+  bool withDatabase(
+      DocId Doc,
+      const std::function<void(const incremental::TreeDatabase &)> &Fn) const;
+
+  /// The version of the last script applied for \p Doc, or nullopt.
+  std::optional<uint64_t> lastVersion(DocId Doc) const;
+
+private:
+  struct Entry {
+    mutable std::mutex Mu;
+    incremental::TreeDatabase Db;
+    uint64_t LastVersion = 0;
+
+    Entry(const SignatureTable &Sig, incremental::IndexMode Mode)
+        : Db(Sig, Mode) {
+      Db.initEmpty();
+    }
+  };
+
+  Entry &entryFor(DocId Doc);
+  const Entry *lookup(DocId Doc) const;
+
+  const SignatureTable &Sig;
+  incremental::IndexMode Mode;
+  mutable std::mutex MapMu;
+  std::unordered_map<DocId, std::unique_ptr<Entry>> Entries;
+};
+
+} // namespace service
+} // namespace truediff
+
+#endif // TRUEDIFF_SERVICE_MIRROR_H

@@ -1,0 +1,127 @@
+//===- service/Wire.cpp - Textual wire protocol for the service ------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Wire.h"
+
+#include "tree/SExpr.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace truediff;
+using namespace truediff::service;
+
+namespace {
+
+std::string_view trimLeft(std::string_view S) {
+  while (!S.empty() && (S.front() == ' ' || S.front() == '\t'))
+    S.remove_prefix(1);
+  return S;
+}
+
+std::string_view nextToken(std::string_view &S) {
+  S = trimLeft(S);
+  size_t End = 0;
+  while (End != S.size() && S[End] != ' ' && S[End] != '\t')
+    ++End;
+  std::string_view Tok = S.substr(0, End);
+  S.remove_prefix(End);
+  return Tok;
+}
+
+bool parseDocId(std::string_view Tok, DocId &Out) {
+  if (Tok.empty())
+    return false;
+  DocId Value = 0;
+  for (char C : Tok) {
+    if (C < '0' || C > '9')
+      return false;
+    Value = Value * 10 + static_cast<DocId>(C - '0');
+  }
+  Out = Value;
+  return true;
+}
+
+} // namespace
+
+WireCommand service::parseWireCommand(std::string_view Line) {
+  WireCommand Cmd;
+  std::string_view Rest = Line;
+  std::string_view Verb = nextToken(Rest);
+  if (Verb.empty()) {
+    Cmd.Error = "empty command";
+    return Cmd;
+  }
+
+  auto NeedDoc = [&](WireCommand::Kind K, bool WantsArg) {
+    std::string_view IdTok = nextToken(Rest);
+    if (!parseDocId(IdTok, Cmd.Doc)) {
+      Cmd.Error = "expected numeric document id after '" + std::string(Verb) +
+                  "'";
+      return;
+    }
+    Rest = trimLeft(Rest);
+    if (WantsArg) {
+      if (Rest.empty()) {
+        Cmd.Error = "expected s-expression after document id";
+        return;
+      }
+      Cmd.Arg = std::string(Rest);
+    } else if (!Rest.empty()) {
+      Cmd.Error = "unexpected trailing input: " + std::string(Rest);
+      return;
+    }
+    Cmd.K = K;
+  };
+
+  if (Verb == "open")
+    NeedDoc(WireCommand::Kind::Open, /*WantsArg=*/true);
+  else if (Verb == "submit")
+    NeedDoc(WireCommand::Kind::Submit, /*WantsArg=*/true);
+  else if (Verb == "rollback")
+    NeedDoc(WireCommand::Kind::Rollback, /*WantsArg=*/false);
+  else if (Verb == "get")
+    NeedDoc(WireCommand::Kind::Get, /*WantsArg=*/false);
+  else if (Verb == "stats" && trimLeft(Rest).empty())
+    Cmd.K = WireCommand::Kind::Stats;
+  else if ((Verb == "quit" || Verb == "exit") && trimLeft(Rest).empty())
+    Cmd.K = WireCommand::Kind::Quit;
+  else
+    Cmd.Error = "unknown command: " + std::string(Verb);
+  return Cmd;
+}
+
+std::string service::formatWireResponse(const Response &R) {
+  std::string Out;
+  if (R.Ok) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf),
+                  "ok version=%llu edits=%llu coalesced=%llu size=%llu\n",
+                  static_cast<unsigned long long>(R.Version),
+                  static_cast<unsigned long long>(R.EditCount),
+                  static_cast<unsigned long long>(R.CoalescedSize),
+                  static_cast<unsigned long long>(R.TreeSize));
+    Out += Buf;
+    if (!R.Payload.empty()) {
+      Out += R.Payload;
+      if (Out.back() != '\n')
+        Out += '\n';
+    }
+  } else {
+    Out += "err " + R.Error + "\n";
+  }
+  Out += ".\n";
+  return Out;
+}
+
+TreeBuilder service::makeSExprBuilder(std::string Text) {
+  return [Text = std::move(Text)](TreeContext &Ctx) -> BuildResult {
+    ParseResult P = parseSExpr(Ctx, Text);
+    if (!P.ok())
+      return BuildResult{nullptr, P.Error};
+    return BuildResult{P.Root, ""};
+  };
+}

@@ -1,0 +1,82 @@
+//===- service/Wire.h - Textual wire protocol for the service ---*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The line-oriented wire protocol the diff server speaks. Commands, one
+/// per line:
+///
+///   open <doc-id> <s-expression>      create a document
+///   submit <doc-id> <s-expression>    diff a new version in
+///   rollback <doc-id>                 undo the latest version
+///   get <doc-id>                      current version + tree
+///   stats                             service metrics as JSON
+///   quit                              close the session
+///
+/// Responses are framed by a terminating "." line:
+///
+///   ok version=3 edits=5 coalesced=2 size=40
+///   <payload: serialized edit script / s-expression / JSON>
+///   .
+///
+/// or, on failure:
+///
+///   err <message>
+///   .
+///
+/// Trees travel as s-expressions (tree/SExpr), edit scripts in the
+/// truechange textual format (truechange/Serialize), so the protocol
+/// composes the repo's two existing text formats instead of inventing a
+/// third.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_SERVICE_WIRE_H
+#define TRUEDIFF_SERVICE_WIRE_H
+
+#include "service/DiffService.h"
+
+#include <string>
+#include <string_view>
+
+namespace truediff {
+namespace service {
+
+/// One parsed command line.
+struct WireCommand {
+  enum class Kind {
+    Open,
+    Submit,
+    Rollback,
+    Get,
+    Stats,
+    Quit,
+    Invalid,
+  };
+
+  Kind K = Kind::Invalid;
+  DocId Doc = 0;
+  /// open/submit: the s-expression text.
+  std::string Arg;
+  /// Kind::Invalid: what went wrong.
+  std::string Error;
+};
+
+/// Parses one line of the protocol. Never throws; malformed input yields
+/// Kind::Invalid with an error message.
+WireCommand parseWireCommand(std::string_view Line);
+
+/// Renders a service response in the framed wire format, including the
+/// trailing "." line.
+std::string formatWireResponse(const Response &R);
+
+/// A TreeBuilder that parses \p Text as an s-expression inside the
+/// document's context -- the builder the wire front end submits.
+TreeBuilder makeSExprBuilder(std::string Text);
+
+} // namespace service
+} // namespace truediff
+
+#endif // TRUEDIFF_SERVICE_WIRE_H

@@ -8,6 +8,7 @@
 
 #include "support/Sha256.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace truediff;
@@ -103,6 +104,11 @@ Tree *TreeContext::make(std::string_view TagName, std::vector<Tree *> Kids,
 Tree *TreeContext::makeWithUri(TagId Tag, URI Uri, std::vector<Tree *> Kids,
                                std::vector<Literal> Lits) {
   assert(Uri >= NextUri && "URI already used in this context");
+  return adoptWithUri(Tag, Uri, std::move(Kids), std::move(Lits));
+}
+
+Tree *TreeContext::adoptWithUri(TagId Tag, URI Uri, std::vector<Tree *> Kids,
+                                std::vector<Literal> Lits) {
   assertMatchesSignature(Sig, Tag, Kids, Lits);
 
   Nodes.emplace_back(Tree());
@@ -112,7 +118,7 @@ Tree *TreeContext::makeWithUri(TagId Tag, URI Uri, std::vector<Tree *> Kids,
   Node->Kids = std::move(Kids);
   Node->Lits = std::move(Lits);
   Node->computeDerived(Sig);
-  NextUri = Uri + 1;
+  NextUri = std::max(NextUri, Uri + 1);
   return Node;
 }
 

@@ -198,6 +198,15 @@ public:
   Tree *makeWithUri(TagId Tag, URI Uri, std::vector<Tree *> Kids,
                     std::vector<Literal> Lits);
 
+  /// Like makeWithUri, but without the monotonicity requirement: the
+  /// caller guarantees \p Uri is not carried by any live node of this
+  /// context. The next fresh URI is bumped past \p Uri, so later make()
+  /// calls stay unique. Used by MTree::toTreePreservingUris to rebuild
+  /// rolled-back documents whose historical URIs are out of allocation
+  /// order.
+  Tree *adoptWithUri(TagId Tag, URI Uri, std::vector<Tree *> Kids,
+                     std::vector<Literal> Lits);
+
   /// Deep-copies \p T into this context with fresh URIs. Used by the
   /// benchmarks to rebuild trees so hashing time is measured (Section 6).
   Tree *deepCopy(const Tree *T);

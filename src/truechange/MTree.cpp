@@ -253,6 +253,25 @@ Tree *MTree::toTree(TreeContext &Ctx) const {
   return Build(top());
 }
 
+Tree *MTree::toTreePreservingUris(TreeContext &Ctx) const {
+  if (!isClosedWellFormed())
+    return nullptr;
+  std::function<Tree *(const MNode *)> Build =
+      [&](const MNode *N) -> Tree * {
+    const TagSignature &TagSig = Sig.signature(N->Tag);
+    std::vector<Tree *> Kids;
+    Kids.reserve(TagSig.Kids.size());
+    for (const KidSpec &Spec : TagSig.Kids)
+      Kids.push_back(Build(N->Kids.at(Spec.Link)));
+    std::vector<Literal> Lits;
+    Lits.reserve(TagSig.Lits.size());
+    for (const LitSpec &Spec : TagSig.Lits)
+      Lits.push_back(N->Lits.at(Spec.Link));
+    return Ctx.adoptWithUri(N->Tag, N->Uri, std::move(Kids), std::move(Lits));
+  };
+  return Build(top());
+}
+
 bool MTree::isClosedWellFormed() const {
   size_t Reachable = 1; // the virtual root
   std::function<bool(const MNode *)> Walk = [&](const MNode *N) -> bool {

@@ -107,6 +107,15 @@ public:
   /// the loop: typed tree -> standard semantics -> typed tree.
   Tree *toTree(TreeContext &Ctx) const;
 
+  /// Like toTree, but every rebuilt node keeps its MTree URI, so scripts
+  /// produced against the original tree remain meaningful against the
+  /// result. \p Ctx must not hold a live node with any of these URIs
+  /// (pass a fresh context); its fresh-URI counter is bumped past the
+  /// maximum adopted URI. This is how the service layer materialises a
+  /// rolled-back document: fromTree -> patch(inverse) ->
+  /// toTreePreservingUris.
+  Tree *toTreePreservingUris(TreeContext &Ctx) const;
+
   /// Renders the tree like printSExprWithUris, for tests and debugging.
   std::string toString() const;
   /// @}

@@ -1,0 +1,594 @@
+//===- tests/service_test.cpp - Concurrent diff service tests --------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the service layer: DocumentStore versioning and rollback
+/// (inverse round trips at the store level), DiffService worker pool
+/// semantics (backpressure, graceful shutdown), the wire protocol, the
+/// metrics, the TreeDatabase mirror on the script stream, and a
+/// multi-threaded hammer that the CI runs under ThreadSanitizer: 8+
+/// client threads over 64+ documents with no lost updates.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/DiffService.h"
+#include "service/DocumentStore.h"
+#include "service/Metrics.h"
+#include "service/Mirror.h"
+#include "service/Wire.h"
+
+#include "corpus/PyGen.h"
+#include "python/Python.h"
+#include "support/Rng.h"
+#include "tree/SExpr.h"
+#include "truechange/MTree.h"
+#include "truechange/Serialize.h"
+
+#include "TestLang.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace truediff;
+using namespace truediff::service;
+using namespace truediff::testlang;
+
+namespace {
+
+TreeBuilder sexprBuilder(const std::string &Text) {
+  return makeSExprBuilder(Text);
+}
+
+/// Builds a random Python module from a fixed seed; deterministic per
+/// seed, usable concurrently (every invocation owns its Rng).
+TreeBuilder moduleBuilder(uint64_t Seed) {
+  return [Seed](TreeContext &Ctx) -> BuildResult {
+    Rng R(Seed);
+    corpus::PyGenOptions Opts;
+    Opts.NumFunctions = 2;
+    Opts.NumClasses = 1;
+    Opts.MethodsPerClass = 2;
+    Opts.StmtsPerBody = 3;
+    return BuildResult{corpus::generateModule(Ctx, R, Opts), ""};
+  };
+}
+
+/// Structurally compares the mirror database against a tree (modulo
+/// URIs), starting at the database's root link.
+void expectDbMatchesTree(const incremental::TreeDatabase &Db,
+                         const SignatureTable &Sig, const Tree *T, URI DbUri) {
+  const incremental::NodeRow *Row = Db.node(DbUri);
+  ASSERT_NE(Row, nullptr);
+  EXPECT_EQ(Row->Tag, T->tag());
+  const TagSignature &TagSig = Sig.signature(T->tag());
+  ASSERT_EQ(T->numLits(), TagSig.Lits.size());
+  for (size_t I = 0; I != T->numLits(); ++I) {
+    bool Found = false;
+    for (const LitRef &LR : Row->Lits)
+      if (LR.Link == TagSig.Lits[I].Link) {
+        EXPECT_TRUE(LR.Value == T->lit(I));
+        Found = true;
+      }
+    EXPECT_TRUE(Found) << "missing literal link";
+  }
+  for (size_t I = 0; I != T->arity(); ++I) {
+    std::optional<URI> Kid = Db.childOf(DbUri, TagSig.Kids[I].Link);
+    ASSERT_TRUE(Kid.has_value());
+    expectDbMatchesTree(Db, Sig, T->kid(I), *Kid);
+  }
+}
+
+void expectMirrorMatchesSnapshot(const DatabaseMirror &Mirror,
+                                 const SignatureTable &Sig, DocId Doc,
+                                 const DocumentSnapshot &Snap) {
+  ASSERT_TRUE(Snap.Ok);
+  TreeContext Ctx(Sig);
+  ParseResult P = parseSExpr(Ctx, Snap.Text);
+  ASSERT_TRUE(P.ok()) << P.Error;
+  bool Seen = Mirror.withDatabase(Doc, [&](const incremental::TreeDatabase &Db) {
+    EXPECT_EQ(Db.numNodes(), Snap.TreeSize + 1); // + virtual root
+    std::optional<URI> Root = Db.childOf(NullURI, Sig.rootLink());
+    ASSERT_TRUE(Root.has_value());
+    expectDbMatchesTree(Db, Sig, P.Root, *Root);
+  });
+  EXPECT_TRUE(Seen);
+}
+
+//===----------------------------------------------------------------------===//
+// DocumentStore
+//===----------------------------------------------------------------------===//
+
+class StoreTest : public ::testing::Test {
+protected:
+  StoreTest() : Sig(makeExpSignature()), Store(Sig) {}
+  SignatureTable Sig;
+  DocumentStore Store;
+};
+
+TEST_F(StoreTest, OpenSubmitSnapshot) {
+  StoreResult R = Store.open(1, sexprBuilder("(Add (a) (b))"));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Version, 0u);
+  EXPECT_EQ(R.TreeSize, 3u);
+  EXPECT_FALSE(R.Script.empty()); // the initializing script
+
+  R = Store.submit(1, sexprBuilder("(Add (a) (Mul (b) (c)))"));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Version, 1u);
+  EXPECT_EQ(R.TreeSize, 5u);
+  EXPECT_FALSE(R.Script.empty());
+  EXPECT_EQ(R.NodesDiffed, 3u + 5u);
+
+  DocumentSnapshot S = Store.snapshot(1);
+  ASSERT_TRUE(S.Ok);
+  EXPECT_EQ(S.Version, 1u);
+  EXPECT_EQ(S.Text, "(Add (a) (Mul (b) (c)))");
+
+  EXPECT_TRUE(Store.contains(1));
+  EXPECT_FALSE(Store.contains(2));
+  EXPECT_FALSE(Store.open(1, sexprBuilder("(a)")).Ok); // already exists
+  EXPECT_FALSE(Store.submit(2, sexprBuilder("(a)")).Ok);
+  EXPECT_FALSE(Store.snapshot(2).Ok);
+}
+
+TEST_F(StoreTest, ScriptStreamReconstructsDocument) {
+  // Applying the emitted init + submit scripts onto an empty MTree must
+  // reconstruct the document: the script stream alone carries the full
+  // state, which is what a remote truechange consumer relies on.
+  MTree M(Sig);
+  std::vector<EditScript> Stream;
+  Store.addScriptListener(
+      [&](DocId, uint64_t, const EditScript &S) { Stream.push_back(S); });
+  ASSERT_TRUE(Store.open(1, sexprBuilder("(Sub (a) (b))")).Ok);
+  ASSERT_TRUE(Store.submit(1, sexprBuilder("(Sub (Add (a) (b)) (b))")).Ok);
+  ASSERT_EQ(Stream.size(), 2u);
+  for (const EditScript &S : Stream)
+    ASSERT_TRUE(M.patchChecked(S).Ok);
+  TreeContext Out(Sig);
+  ParseResult Want = parseSExpr(Out, "(Sub (Add (a) (b)) (b))");
+  ASSERT_TRUE(Want.ok());
+  EXPECT_TRUE(M.equalsTree(Want.Root));
+}
+
+TEST_F(StoreTest, RollbackRestoresExactTrees) {
+  // The store-level inverse round trip: apply script then its recorded
+  // inverse restores a tree equal to the original -- including URIs,
+  // which is stronger than structural equality.
+  ASSERT_TRUE(Store.open(1, sexprBuilder("(Add (Num 1) (Num 2))")).Ok);
+  DocumentSnapshot V0 = Store.snapshot(1);
+
+  ASSERT_TRUE(Store.submit(1, sexprBuilder("(Mul (Num 2) (Num 3))")).Ok);
+  DocumentSnapshot V1 = Store.snapshot(1);
+
+  ASSERT_TRUE(
+      Store.submit(1, sexprBuilder("(Mul (Num 2) (Add (Num 3) (a)))")).Ok);
+
+  StoreResult R = Store.rollback(1);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Version, 1u);
+  DocumentSnapshot S = Store.snapshot(1);
+  EXPECT_EQ(S.Text, V1.Text);
+  EXPECT_EQ(S.UriText, V1.UriText); // literal, URI-level restoration
+
+  R = Store.rollback(1);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Version, 0u);
+  S = Store.snapshot(1);
+  EXPECT_EQ(S.Text, V0.Text);
+  EXPECT_EQ(S.UriText, V0.UriText);
+
+  EXPECT_FALSE(Store.rollback(1).Ok); // history exhausted
+}
+
+TEST_F(StoreTest, RollbackAfterResubmitKeepsHistoryConsistent) {
+  ASSERT_TRUE(Store.open(1, sexprBuilder("(a)")).Ok);
+  ASSERT_TRUE(Store.submit(1, sexprBuilder("(Add (a) (b))")).Ok);
+  DocumentSnapshot V1 = Store.snapshot(1);
+  ASSERT_TRUE(Store.rollback(1).Ok);
+  // Diverge: submit something else, then roll all the way back again.
+  ASSERT_TRUE(Store.submit(1, sexprBuilder("(Mul (c) (d))")).Ok);
+  ASSERT_TRUE(Store.submit(1, sexprBuilder("(Mul (d) (c))")).Ok);
+  ASSERT_TRUE(Store.rollback(1).Ok);
+  DocumentSnapshot S = Store.snapshot(1);
+  EXPECT_EQ(S.Text, "(Mul (c) (d))");
+  ASSERT_TRUE(Store.rollback(1).Ok);
+  EXPECT_EQ(Store.snapshot(1).Text, "(a)");
+  (void)V1;
+}
+
+TEST(StoreConfigTest, HistoryRingIsBounded) {
+  SignatureTable Sig = makeExpSignature();
+  DocumentStore::Config Cfg;
+  Cfg.HistoryCapacity = 2;
+  DocumentStore Store(Sig, Cfg);
+  ASSERT_TRUE(Store.open(1, makeSExprBuilder("(a)")).Ok);
+  ASSERT_TRUE(Store.submit(1, makeSExprBuilder("(b)")).Ok);
+  ASSERT_TRUE(Store.submit(1, makeSExprBuilder("(c)")).Ok);
+  ASSERT_TRUE(Store.submit(1, makeSExprBuilder("(d)")).Ok);
+  EXPECT_TRUE(Store.rollback(1).Ok);  // v3 -> v2
+  EXPECT_TRUE(Store.rollback(1).Ok);  // v2 -> v1
+  EXPECT_FALSE(Store.rollback(1).Ok); // v1's record was evicted
+  EXPECT_EQ(Store.snapshot(1).Text, "(b)");
+}
+
+TEST(StoreConfigTest, CompactionPreservesRollback) {
+  SignatureTable Sig = makeExpSignature();
+  DocumentStore::Config Cfg;
+  Cfg.CompactionFactor = 1; // compact aggressively
+  Cfg.HistoryCapacity = 64;
+  DocumentStore Store(Sig, Cfg);
+  ASSERT_TRUE(Store.open(1, makeSExprBuilder("(Num 0)")).Ok);
+
+  std::vector<DocumentSnapshot> Snaps;
+  Snaps.push_back(Store.snapshot(1));
+  for (int I = 1; I <= 24; ++I) {
+    std::string Text =
+        "(Add (Num " + std::to_string(I) + ") (Mul (Num " +
+        std::to_string(I * 2) + ") (Num " + std::to_string(I * 3) + ")))";
+    ASSERT_TRUE(Store.submit(1, makeSExprBuilder(Text)).Ok);
+    Snaps.push_back(Store.snapshot(1));
+  }
+  for (int I = 24; I >= 1; --I) {
+    ASSERT_TRUE(Store.rollback(1).Ok) << "at version " << I;
+    DocumentSnapshot S = Store.snapshot(1);
+    EXPECT_EQ(S.Text, Snaps[static_cast<size_t>(I) - 1].Text);
+    EXPECT_EQ(S.UriText, Snaps[static_cast<size_t>(I) - 1].UriText);
+  }
+}
+
+TEST_F(StoreTest, EraseRemovesDocument) {
+  ASSERT_TRUE(Store.open(1, sexprBuilder("(a)")).Ok);
+  EXPECT_TRUE(Store.erase(1));
+  EXPECT_FALSE(Store.erase(1));
+  EXPECT_FALSE(Store.contains(1));
+  EXPECT_FALSE(Store.submit(1, sexprBuilder("(b)")).Ok);
+}
+
+TEST_F(StoreTest, BuilderErrorsAreReported) {
+  StoreResult R = Store.open(1, sexprBuilder("(Nope)"));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_FALSE(Store.contains(1));
+
+  ASSERT_TRUE(Store.open(2, sexprBuilder("(a)")).Ok);
+  R = Store.submit(2, sexprBuilder("(Nope ("));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(Store.snapshot(2).Version, 0u); // unchanged
+}
+
+//===----------------------------------------------------------------------===//
+// DiffService
+//===----------------------------------------------------------------------===//
+
+TEST(DiffServiceTest, SubmitReturnsSerializedScript) {
+  SignatureTable Sig = makeExpSignature();
+  DocumentStore Store(Sig);
+  ServiceConfig Cfg;
+  Cfg.Workers = 2;
+  DiffService Service(Store, Cfg);
+
+  Response R = Service.open(1, makeSExprBuilder("(Add (a) (b))"));
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  R = Service.submit(1, makeSExprBuilder("(Add (b) (a))"));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Version, 1u);
+  EXPECT_GT(R.EditCount, 0u);
+  ASSERT_FALSE(R.Payload.empty());
+
+  // The payload parses back into an equal script (wire round trip).
+  ParseScriptResult P = parseEditScript(Sig, R.Payload);
+  ASSERT_TRUE(P.Ok) << P.Error;
+  EXPECT_EQ(serializeEditScript(Sig, P.Script), R.Payload);
+  EXPECT_EQ(P.Script.size(), R.EditCount);
+
+  R = Service.getVersion(1);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Version, 1u);
+  EXPECT_EQ(R.Payload, "(Add (b) (a))");
+
+  R = Service.stats();
+  ASSERT_TRUE(R.Ok);
+  EXPECT_NE(R.Payload.find("\"scripts_emitted\":1"), std::string::npos);
+  EXPECT_NE(R.Payload.find("\"store\":{\"documents\":1"), std::string::npos);
+
+  Service.shutdown();
+  EXPECT_FALSE(Service.submit(1, makeSExprBuilder("(a)")).Ok);
+}
+
+TEST(DiffServiceTest, BackpressureRejectsWhenQueueFull) {
+  SignatureTable Sig = makeExpSignature();
+  DocumentStore Store(Sig);
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueCapacity = 2;
+  DiffService Service(Store, Cfg);
+
+  ASSERT_TRUE(Service.open(1, makeSExprBuilder("(a)")).Ok);
+
+  // A builder that blocks the single worker until released.
+  std::promise<void> GateP;
+  std::shared_future<void> Gate(GateP.get_future());
+  auto Slow = [Gate](TreeContext &Ctx) -> BuildResult {
+    Gate.wait();
+    return BuildResult{Ctx.make("b", {}, {}), ""};
+  };
+
+  std::future<Response> F1 = Service.submitAsync(1, Slow);
+  // Wait until the worker has dequeued F1 and is parked in the builder.
+  while (Service.queueDepth() != 0)
+    std::this_thread::yield();
+
+  std::future<Response> F2 = Service.submitAsync(1, makeSExprBuilder("(c)"));
+  std::future<Response> F3 = Service.submitAsync(1, makeSExprBuilder("(d)"));
+  std::future<Response> F4 = Service.submitAsync(1, makeSExprBuilder("(a)"));
+
+  Response R4 = F4.get(); // rejected immediately, worker still blocked
+  EXPECT_FALSE(R4.Ok);
+  EXPECT_NE(R4.Error.find("queue full"), std::string::npos);
+  EXPECT_GE(Service.metrics().Rejected.load(), 1u);
+
+  GateP.set_value();
+  EXPECT_TRUE(F1.get().Ok);
+  EXPECT_TRUE(F2.get().Ok);
+  EXPECT_TRUE(F3.get().Ok);
+}
+
+TEST(DiffServiceTest, GracefulShutdownDrainsAcceptedWork) {
+  SignatureTable Sig = makeExpSignature();
+  DocumentStore Store(Sig);
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueCapacity = 64;
+  DiffService Service(Store, Cfg);
+
+  ASSERT_TRUE(Service.open(1, makeSExprBuilder("(a)")).Ok);
+
+  std::promise<void> GateP;
+  std::shared_future<void> Gate(GateP.get_future());
+  auto Slow = [Gate](TreeContext &Ctx) -> BuildResult {
+    Gate.wait();
+    return BuildResult{Ctx.make("b", {}, {}), ""};
+  };
+
+  std::vector<std::future<Response>> Futures;
+  Futures.push_back(Service.submitAsync(1, Slow));
+  for (int I = 0; I != 5; ++I)
+    Futures.push_back(Service.submitAsync(1, makeSExprBuilder("(c)")));
+
+  std::thread Release([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    GateP.set_value();
+  });
+  Service.shutdown(); // must drain all six accepted submits
+  Release.join();
+
+  for (std::future<Response> &F : Futures)
+    EXPECT_TRUE(F.get().Ok);
+  EXPECT_EQ(Store.snapshot(1).Version, 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// Wire protocol
+//===----------------------------------------------------------------------===//
+
+TEST(WireTest, ParsesCommands) {
+  WireCommand C = parseWireCommand("open 12 (Add (a) (b))");
+  EXPECT_EQ(C.K, WireCommand::Kind::Open);
+  EXPECT_EQ(C.Doc, 12u);
+  EXPECT_EQ(C.Arg, "(Add (a) (b))");
+
+  C = parseWireCommand("submit 3 (a)");
+  EXPECT_EQ(C.K, WireCommand::Kind::Submit);
+  C = parseWireCommand("rollback 3");
+  EXPECT_EQ(C.K, WireCommand::Kind::Rollback);
+  C = parseWireCommand("get 3");
+  EXPECT_EQ(C.K, WireCommand::Kind::Get);
+  C = parseWireCommand("stats");
+  EXPECT_EQ(C.K, WireCommand::Kind::Stats);
+  C = parseWireCommand("quit");
+  EXPECT_EQ(C.K, WireCommand::Kind::Quit);
+
+  EXPECT_EQ(parseWireCommand("").K, WireCommand::Kind::Invalid);
+  EXPECT_EQ(parseWireCommand("open x (a)").K, WireCommand::Kind::Invalid);
+  EXPECT_EQ(parseWireCommand("open 1").K, WireCommand::Kind::Invalid);
+  EXPECT_EQ(parseWireCommand("rollback 1 extra").K,
+            WireCommand::Kind::Invalid);
+  EXPECT_EQ(parseWireCommand("frobnicate 1").K, WireCommand::Kind::Invalid);
+}
+
+TEST(WireTest, FormatsResponses) {
+  Response R;
+  R.Ok = true;
+  R.Version = 3;
+  R.EditCount = 5;
+  R.CoalescedSize = 2;
+  R.TreeSize = 40;
+  R.Payload = "load(Num_9, [], [])";
+  EXPECT_EQ(formatWireResponse(R),
+            "ok version=3 edits=5 coalesced=2 size=40\n"
+            "load(Num_9, [], [])\n.\n");
+
+  Response E;
+  E.Error = "no such document";
+  EXPECT_EQ(formatWireResponse(E), "err no such document\n.\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, HistogramPercentilesAreOrdered) {
+  LatencyHistogram H;
+  for (int I = 1; I <= 1000; ++I)
+    H.record(static_cast<double>(I) / 100.0); // 0.01ms .. 10ms
+  LatencyHistogram::Summary S = H.summarize();
+  EXPECT_EQ(S.Count, 1000u);
+  EXPECT_LE(S.P50Ms, S.P95Ms);
+  EXPECT_LE(S.P95Ms, S.P99Ms);
+  EXPECT_LE(S.P99Ms, S.MaxMs * 2.0); // bucket upper bound rounds up
+  EXPECT_NEAR(S.MeanMs, 5.0, 0.5);
+  EXPECT_NEAR(S.MaxMs, 10.0, 0.1);
+}
+
+TEST(MetricsTest, JsonDumpHasAllSections) {
+  ServiceMetrics M;
+  M.Ops[static_cast<unsigned>(OpKind::Submit)].Requests = 7;
+  M.QueueWait.record(0.5);
+  std::string J = M.toJson(3, 256, 4);
+  for (const char *Key :
+       {"\"workers\":4", "\"queue\":{\"depth\":3,\"capacity\":256}",
+        "\"open\"", "\"submit\"", "\"rollback\"", "\"get_version\"",
+        "\"stats\"", "\"queue_wait\"", "\"requests\":7"})
+    EXPECT_NE(J.find(Key), std::string::npos) << Key;
+}
+
+//===----------------------------------------------------------------------===//
+// DatabaseMirror on the script stream
+//===----------------------------------------------------------------------===//
+
+class MirrorTest : public ::testing::TestWithParam<incremental::IndexMode> {};
+
+TEST_P(MirrorTest, TracksOpenSubmitRollback) {
+  SignatureTable Sig = python::makePythonSignature();
+  DocumentStore Store(Sig);
+  DatabaseMirror Mirror(Sig, GetParam());
+  Mirror.attach(Store);
+
+  ASSERT_TRUE(Store.open(1, moduleBuilder(100)).Ok);
+  expectMirrorMatchesSnapshot(Mirror, Sig, 1, Store.snapshot(1));
+
+  ASSERT_TRUE(Store.submit(1, moduleBuilder(101)).Ok);
+  expectMirrorMatchesSnapshot(Mirror, Sig, 1, Store.snapshot(1));
+
+  ASSERT_TRUE(Store.submit(1, moduleBuilder(102)).Ok);
+  expectMirrorMatchesSnapshot(Mirror, Sig, 1, Store.snapshot(1));
+
+  ASSERT_TRUE(Store.rollback(1).Ok);
+  expectMirrorMatchesSnapshot(Mirror, Sig, 1, Store.snapshot(1));
+  EXPECT_EQ(Mirror.lastVersion(1), Store.snapshot(1).Version);
+
+  ASSERT_TRUE(Store.rollback(1).Ok);
+  expectMirrorMatchesSnapshot(Mirror, Sig, 1, Store.snapshot(1));
+  EXPECT_EQ(Mirror.numDocuments(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, MirrorTest,
+                         ::testing::Values(incremental::IndexMode::OneToOne,
+                                           incremental::IndexMode::ManyToOne));
+
+//===----------------------------------------------------------------------===//
+// Concurrent hammer (run under TSan in CI)
+//===----------------------------------------------------------------------===//
+
+TEST(ConcurrentServiceTest, HammerManyClientsManyDocuments) {
+  constexpr unsigned NumClients = 8;
+  constexpr unsigned NumDocs = 64;
+  constexpr unsigned OpsPerClient = 48;
+
+  SignatureTable Sig = python::makePythonSignature();
+  DocumentStore::Config StoreCfg;
+  StoreCfg.NumShards = 8;
+  StoreCfg.HistoryCapacity = 8;
+  DocumentStore Store(Sig, StoreCfg);
+  DatabaseMirror Mirror(Sig, incremental::IndexMode::OneToOne);
+  Mirror.attach(Store);
+
+  ServiceConfig Cfg;
+  Cfg.Workers = 4;
+  Cfg.QueueCapacity = 4096; // ample: this test is about races, not rejects
+  DiffService Service(Store, Cfg);
+
+  // Every document is opened up front so all ops target live documents.
+  for (DocId Doc = 1; Doc <= NumDocs; ++Doc)
+    ASSERT_TRUE(Service.open(Doc, moduleBuilder(Doc)).Ok);
+
+  // Per-document tallies of *successful* version-changing operations.
+  std::array<std::atomic<int64_t>, NumDocs + 1> Submits{};
+  std::array<std::atomic<int64_t>, NumDocs + 1> Rollbacks{};
+
+  std::vector<std::thread> Clients;
+  Clients.reserve(NumClients);
+  for (unsigned C = 0; C != NumClients; ++C) {
+    Clients.emplace_back([&, C] {
+      Rng R(C * 7919 + 17);
+      for (unsigned I = 0; I != OpsPerClient; ++I) {
+        DocId Doc = static_cast<DocId>(R.below(NumDocs) + 1);
+        uint64_t Kind = R.below(100);
+        if (Kind < 55) {
+          Response Resp = Service.submit(Doc, moduleBuilder(R.next()));
+          if (Resp.Ok)
+            Submits[Doc].fetch_add(1, std::memory_order_relaxed);
+        } else if (Kind < 70) {
+          Response Resp = Service.rollback(Doc);
+          if (Resp.Ok)
+            Rollbacks[Doc].fetch_add(1, std::memory_order_relaxed);
+        } else if (Kind < 95) {
+          Response Resp = Service.getVersion(Doc);
+          EXPECT_TRUE(Resp.Ok);
+        } else {
+          EXPECT_TRUE(Service.stats().Ok);
+        }
+      }
+    });
+  }
+  for (std::thread &T : Clients)
+    T.join();
+  Service.shutdown();
+
+  // No lost updates: each document's final version equals its successful
+  // submits minus its successful rollbacks, and the mirror -- fed purely
+  // by the script stream -- agrees with the store's final trees.
+  for (DocId Doc = 1; Doc <= NumDocs; ++Doc) {
+    DocumentSnapshot S = Store.snapshot(Doc);
+    ASSERT_TRUE(S.Ok);
+    int64_t Expected = Submits[Doc].load() - Rollbacks[Doc].load();
+    EXPECT_EQ(static_cast<int64_t>(S.Version), Expected) << "doc " << Doc;
+    expectMirrorMatchesSnapshot(Mirror, Sig, Doc, S);
+  }
+}
+
+TEST(ConcurrentServiceTest, RollbackUnderContentionRestoresSnapshots) {
+  // Writers hammer one document while readers snapshot it; afterwards,
+  // rolling everything back restores the opening tree exactly.
+  SignatureTable Sig = makeExpSignature();
+  DocumentStore::Config StoreCfg;
+  StoreCfg.HistoryCapacity = 1024;
+  DocumentStore Store(Sig, StoreCfg);
+  ASSERT_TRUE(Store.open(1, makeSExprBuilder("(Add (Num 1) (Num 2))")).Ok);
+  DocumentSnapshot V0 = Store.snapshot(1);
+
+  constexpr unsigned NumWriters = 4;
+  constexpr unsigned SubmitsPerWriter = 32;
+  std::vector<std::thread> Writers;
+  for (unsigned W = 0; W != NumWriters; ++W) {
+    Writers.emplace_back([&, W] {
+      for (unsigned I = 0; I != SubmitsPerWriter; ++I) {
+        std::string Text = "(Mul (Num " + std::to_string(W) + ") (Num " +
+                           std::to_string(I) + "))";
+        ASSERT_TRUE(Store.submit(1, makeSExprBuilder(Text)).Ok);
+      }
+    });
+  }
+  std::thread Reader([&] {
+    for (int I = 0; I != 64; ++I)
+      ASSERT_TRUE(Store.snapshot(1).Ok);
+  });
+  for (std::thread &T : Writers)
+    T.join();
+  Reader.join();
+
+  ASSERT_EQ(Store.snapshot(1).Version, NumWriters * SubmitsPerWriter);
+  for (unsigned I = 0; I != NumWriters * SubmitsPerWriter; ++I)
+    ASSERT_TRUE(Store.rollback(1).Ok) << "rollback " << I;
+  DocumentSnapshot S = Store.snapshot(1);
+  EXPECT_EQ(S.Text, V0.Text);
+  EXPECT_EQ(S.UriText, V0.UriText);
+}
+
+} // namespace

@@ -220,6 +220,29 @@ TEST_P(SerializePropertyTest, RoundTripOnPythonCorpus) {
   EXPECT_EQ(serializeEditScript(Sig, P.Script), Text);
 }
 
+TEST_P(SerializePropertyTest, ParsedScriptAppliesToTarget) {
+  // The full wire round trip: serialize -> parse -> apply to the base
+  // tree yields the target tree, i.e. the textual form preserves not
+  // just syntax but the script's semantics.
+  SignatureTable Sig = python::makePythonSignature();
+  TreeContext Ctx(Sig);
+  Rng R(GetParam() * 881 + 23);
+
+  Tree *Base = corpus::generateModule(Ctx, R);
+  Tree *Mutated = corpus::mutateModule(Ctx, R, Base);
+
+  MTree M = MTree::fromTree(Sig, Base);
+  TrueDiff Differ(Ctx);
+  DiffResult Result = Differ.compareTo(Base, Mutated);
+
+  ParseScriptResult P =
+      parseEditScript(Sig, serializeEditScript(Sig, Result.Script));
+  ASSERT_TRUE(P.Ok) << P.Error;
+  ASSERT_TRUE(M.patchChecked(P.Script).Ok);
+  EXPECT_TRUE(M.equalsTree(Mutated));
+  EXPECT_TRUE(M.isClosedWellFormed());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializePropertyTest,
                          ::testing::Range<uint64_t>(0, 12));
 
