@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_selection"
+  "../bench/ablation_selection.pdb"
+  "CMakeFiles/ablation_selection.dir/ablation_selection.cpp.o"
+  "CMakeFiles/ablation_selection.dir/ablation_selection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_conciseness"
+  "../bench/fig4_conciseness.pdb"
+  "CMakeFiles/fig4_conciseness.dir/fig4_conciseness.cpp.o"
+  "CMakeFiles/fig4_conciseness.dir/fig4_conciseness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_conciseness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_throughput"
+  "../bench/fig5_throughput.pdb"
+  "CMakeFiles/fig5_throughput.dir/fig5_throughput.cpp.o"
+  "CMakeFiles/fig5_throughput.dir/fig5_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

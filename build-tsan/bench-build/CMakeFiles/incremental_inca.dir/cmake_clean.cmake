@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/incremental_inca"
+  "../bench/incremental_inca.pdb"
+  "CMakeFiles/incremental_inca.dir/incremental_inca.cpp.o"
+  "CMakeFiles/incremental_inca.dir/incremental_inca.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_inca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

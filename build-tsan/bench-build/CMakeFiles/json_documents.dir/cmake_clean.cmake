@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/json_documents"
+  "../bench/json_documents.pdb"
+  "CMakeFiles/json_documents.dir/json_documents.cpp.o"
+  "CMakeFiles/json_documents.dir/json_documents.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_documents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/patch_apply"
+  "../bench/patch_apply.pdb"
+  "CMakeFiles/patch_apply.dir/patch_apply.cpp.o"
+  "CMakeFiles/patch_apply.dir/patch_apply.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patch_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

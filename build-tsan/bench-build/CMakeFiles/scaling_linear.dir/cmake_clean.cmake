@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_linear"
+  "../bench/scaling_linear.pdb"
+  "CMakeFiles/scaling_linear.dir/scaling_linear.cpp.o"
+  "CMakeFiles/scaling_linear.dir/scaling_linear.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diff_server.dir/diff_server.cpp.o"
+  "CMakeFiles/diff_server.dir/diff_server.cpp.o.d"
+  "diff_server"
+  "diff_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diff_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

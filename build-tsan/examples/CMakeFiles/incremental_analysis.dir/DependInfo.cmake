@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/incremental_analysis.cpp" "examples/CMakeFiles/incremental_analysis.dir/incremental_analysis.cpp.o" "gcc" "examples/CMakeFiles/incremental_analysis.dir/incremental_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/incremental/CMakeFiles/inca.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/truediff/CMakeFiles/truediff_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/truechange/CMakeFiles/truechange.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/python/CMakeFiles/pyparse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tree/CMakeFiles/truediff_tree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/truediff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

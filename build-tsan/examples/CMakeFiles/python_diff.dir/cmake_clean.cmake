@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/python_diff.dir/python_diff.cpp.o"
+  "CMakeFiles/python_diff.dir/python_diff.cpp.o.d"
+  "python_diff"
+  "python_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/python_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

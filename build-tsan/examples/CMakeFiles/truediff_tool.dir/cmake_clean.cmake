@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truediff_tool.dir/truediff_tool.cpp.o"
+  "CMakeFiles/truediff_tool.dir/truediff_tool.cpp.o.d"
+  "truediff_tool"
+  "truediff_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truediff_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

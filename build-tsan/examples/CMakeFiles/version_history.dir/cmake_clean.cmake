@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_history.dir/version_history.cpp.o"
+  "CMakeFiles/version_history.dir/version_history.cpp.o.d"
+  "version_history"
+  "version_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

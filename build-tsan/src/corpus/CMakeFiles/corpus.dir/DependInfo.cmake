@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/Corpus.cpp" "src/corpus/CMakeFiles/corpus.dir/Corpus.cpp.o" "gcc" "src/corpus/CMakeFiles/corpus.dir/Corpus.cpp.o.d"
+  "/root/repo/src/corpus/JsonGen.cpp" "src/corpus/CMakeFiles/corpus.dir/JsonGen.cpp.o" "gcc" "src/corpus/CMakeFiles/corpus.dir/JsonGen.cpp.o.d"
+  "/root/repo/src/corpus/Mutator.cpp" "src/corpus/CMakeFiles/corpus.dir/Mutator.cpp.o" "gcc" "src/corpus/CMakeFiles/corpus.dir/Mutator.cpp.o.d"
+  "/root/repo/src/corpus/PyGen.cpp" "src/corpus/CMakeFiles/corpus.dir/PyGen.cpp.o" "gcc" "src/corpus/CMakeFiles/corpus.dir/PyGen.cpp.o.d"
+  "/root/repo/src/corpus/Sketch.cpp" "src/corpus/CMakeFiles/corpus.dir/Sketch.cpp.o" "gcc" "src/corpus/CMakeFiles/corpus.dir/Sketch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/python/CMakeFiles/pyparse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/json/CMakeFiles/jsontree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tree/CMakeFiles/truediff_tree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/truediff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus.dir/Corpus.cpp.o"
+  "CMakeFiles/corpus.dir/Corpus.cpp.o.d"
+  "CMakeFiles/corpus.dir/JsonGen.cpp.o"
+  "CMakeFiles/corpus.dir/JsonGen.cpp.o.d"
+  "CMakeFiles/corpus.dir/Mutator.cpp.o"
+  "CMakeFiles/corpus.dir/Mutator.cpp.o.d"
+  "CMakeFiles/corpus.dir/PyGen.cpp.o"
+  "CMakeFiles/corpus.dir/PyGen.cpp.o.d"
+  "CMakeFiles/corpus.dir/Sketch.cpp.o"
+  "CMakeFiles/corpus.dir/Sketch.cpp.o.d"
+  "libcorpus.a"
+  "libcorpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

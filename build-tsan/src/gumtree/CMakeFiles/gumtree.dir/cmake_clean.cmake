@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gumtree.dir/Actions.cpp.o"
+  "CMakeFiles/gumtree.dir/Actions.cpp.o.d"
+  "CMakeFiles/gumtree.dir/Matcher.cpp.o"
+  "CMakeFiles/gumtree.dir/Matcher.cpp.o.d"
+  "CMakeFiles/gumtree.dir/RoseTree.cpp.o"
+  "CMakeFiles/gumtree.dir/RoseTree.cpp.o.d"
+  "libgumtree.a"
+  "libgumtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gumtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdiff.dir/HDiff.cpp.o"
+  "CMakeFiles/hdiff.dir/HDiff.cpp.o.d"
+  "libhdiff.a"
+  "libhdiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

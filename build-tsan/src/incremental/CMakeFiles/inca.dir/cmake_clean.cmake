@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inca.dir/Analysis.cpp.o"
+  "CMakeFiles/inca.dir/Analysis.cpp.o.d"
+  "CMakeFiles/inca.dir/Pipeline.cpp.o"
+  "CMakeFiles/inca.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/inca.dir/TreeDatabase.cpp.o"
+  "CMakeFiles/inca.dir/TreeDatabase.cpp.o.d"
+  "libinca.a"
+  "libinca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

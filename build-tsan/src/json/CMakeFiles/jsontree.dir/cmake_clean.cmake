@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsontree.dir/Json.cpp.o"
+  "CMakeFiles/jsontree.dir/Json.cpp.o.d"
+  "libjsontree.a"
+  "libjsontree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsontree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

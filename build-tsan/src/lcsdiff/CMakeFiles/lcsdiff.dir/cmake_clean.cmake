@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcsdiff.dir/LcsDiff.cpp.o"
+  "CMakeFiles/lcsdiff.dir/LcsDiff.cpp.o.d"
+  "liblcsdiff.a"
+  "liblcsdiff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcsdiff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/python/Lexer.cpp" "src/python/CMakeFiles/pyparse.dir/Lexer.cpp.o" "gcc" "src/python/CMakeFiles/pyparse.dir/Lexer.cpp.o.d"
+  "/root/repo/src/python/Parser.cpp" "src/python/CMakeFiles/pyparse.dir/Parser.cpp.o" "gcc" "src/python/CMakeFiles/pyparse.dir/Parser.cpp.o.d"
+  "/root/repo/src/python/PySig.cpp" "src/python/CMakeFiles/pyparse.dir/PySig.cpp.o" "gcc" "src/python/CMakeFiles/pyparse.dir/PySig.cpp.o.d"
+  "/root/repo/src/python/Unparser.cpp" "src/python/CMakeFiles/pyparse.dir/Unparser.cpp.o" "gcc" "src/python/CMakeFiles/pyparse.dir/Unparser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/tree/CMakeFiles/truediff_tree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/truediff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

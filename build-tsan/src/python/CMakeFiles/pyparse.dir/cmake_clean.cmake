@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyparse.dir/Lexer.cpp.o"
+  "CMakeFiles/pyparse.dir/Lexer.cpp.o.d"
+  "CMakeFiles/pyparse.dir/Parser.cpp.o"
+  "CMakeFiles/pyparse.dir/Parser.cpp.o.d"
+  "CMakeFiles/pyparse.dir/PySig.cpp.o"
+  "CMakeFiles/pyparse.dir/PySig.cpp.o.d"
+  "CMakeFiles/pyparse.dir/Unparser.cpp.o"
+  "CMakeFiles/pyparse.dir/Unparser.cpp.o.d"
+  "libpyparse.a"
+  "libpyparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

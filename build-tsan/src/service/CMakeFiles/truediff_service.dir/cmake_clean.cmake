@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truediff_service.dir/DiffService.cpp.o"
+  "CMakeFiles/truediff_service.dir/DiffService.cpp.o.d"
+  "CMakeFiles/truediff_service.dir/DocumentStore.cpp.o"
+  "CMakeFiles/truediff_service.dir/DocumentStore.cpp.o.d"
+  "CMakeFiles/truediff_service.dir/Metrics.cpp.o"
+  "CMakeFiles/truediff_service.dir/Metrics.cpp.o.d"
+  "CMakeFiles/truediff_service.dir/Mirror.cpp.o"
+  "CMakeFiles/truediff_service.dir/Mirror.cpp.o.d"
+  "CMakeFiles/truediff_service.dir/Wire.cpp.o"
+  "CMakeFiles/truediff_service.dir/Wire.cpp.o.d"
+  "libtruediff_service.a"
+  "libtruediff_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truediff_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/Digest.cpp" "src/support/CMakeFiles/truediff_support.dir/Digest.cpp.o" "gcc" "src/support/CMakeFiles/truediff_support.dir/Digest.cpp.o.d"
+  "/root/repo/src/support/Literal.cpp" "src/support/CMakeFiles/truediff_support.dir/Literal.cpp.o" "gcc" "src/support/CMakeFiles/truediff_support.dir/Literal.cpp.o.d"
+  "/root/repo/src/support/Sha256.cpp" "src/support/CMakeFiles/truediff_support.dir/Sha256.cpp.o" "gcc" "src/support/CMakeFiles/truediff_support.dir/Sha256.cpp.o.d"
+  "/root/repo/src/support/Sha256Ni.cpp" "src/support/CMakeFiles/truediff_support.dir/Sha256Ni.cpp.o" "gcc" "src/support/CMakeFiles/truediff_support.dir/Sha256Ni.cpp.o.d"
+  "/root/repo/src/support/Stats.cpp" "src/support/CMakeFiles/truediff_support.dir/Stats.cpp.o" "gcc" "src/support/CMakeFiles/truediff_support.dir/Stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

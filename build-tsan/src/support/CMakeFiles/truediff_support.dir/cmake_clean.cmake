@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truediff_support.dir/Digest.cpp.o"
+  "CMakeFiles/truediff_support.dir/Digest.cpp.o.d"
+  "CMakeFiles/truediff_support.dir/Literal.cpp.o"
+  "CMakeFiles/truediff_support.dir/Literal.cpp.o.d"
+  "CMakeFiles/truediff_support.dir/Sha256.cpp.o"
+  "CMakeFiles/truediff_support.dir/Sha256.cpp.o.d"
+  "CMakeFiles/truediff_support.dir/Sha256Ni.cpp.o"
+  "CMakeFiles/truediff_support.dir/Sha256Ni.cpp.o.d"
+  "CMakeFiles/truediff_support.dir/Stats.cpp.o"
+  "CMakeFiles/truediff_support.dir/Stats.cpp.o.d"
+  "libtruediff_support.a"
+  "libtruediff_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truediff_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtruediff_support.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/SExpr.cpp" "src/tree/CMakeFiles/truediff_tree.dir/SExpr.cpp.o" "gcc" "src/tree/CMakeFiles/truediff_tree.dir/SExpr.cpp.o.d"
+  "/root/repo/src/tree/Signature.cpp" "src/tree/CMakeFiles/truediff_tree.dir/Signature.cpp.o" "gcc" "src/tree/CMakeFiles/truediff_tree.dir/Signature.cpp.o.d"
+  "/root/repo/src/tree/Tree.cpp" "src/tree/CMakeFiles/truediff_tree.dir/Tree.cpp.o" "gcc" "src/tree/CMakeFiles/truediff_tree.dir/Tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/support/CMakeFiles/truediff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

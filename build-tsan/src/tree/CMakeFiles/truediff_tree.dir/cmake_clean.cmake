@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truediff_tree.dir/SExpr.cpp.o"
+  "CMakeFiles/truediff_tree.dir/SExpr.cpp.o.d"
+  "CMakeFiles/truediff_tree.dir/Signature.cpp.o"
+  "CMakeFiles/truediff_tree.dir/Signature.cpp.o.d"
+  "CMakeFiles/truediff_tree.dir/Tree.cpp.o"
+  "CMakeFiles/truediff_tree.dir/Tree.cpp.o.d"
+  "libtruediff_tree.a"
+  "libtruediff_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truediff_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

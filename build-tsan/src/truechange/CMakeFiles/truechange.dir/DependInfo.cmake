@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/truechange/Edit.cpp" "src/truechange/CMakeFiles/truechange.dir/Edit.cpp.o" "gcc" "src/truechange/CMakeFiles/truechange.dir/Edit.cpp.o.d"
+  "/root/repo/src/truechange/InitScript.cpp" "src/truechange/CMakeFiles/truechange.dir/InitScript.cpp.o" "gcc" "src/truechange/CMakeFiles/truechange.dir/InitScript.cpp.o.d"
+  "/root/repo/src/truechange/Inverse.cpp" "src/truechange/CMakeFiles/truechange.dir/Inverse.cpp.o" "gcc" "src/truechange/CMakeFiles/truechange.dir/Inverse.cpp.o.d"
+  "/root/repo/src/truechange/MTree.cpp" "src/truechange/CMakeFiles/truechange.dir/MTree.cpp.o" "gcc" "src/truechange/CMakeFiles/truechange.dir/MTree.cpp.o.d"
+  "/root/repo/src/truechange/Serialize.cpp" "src/truechange/CMakeFiles/truechange.dir/Serialize.cpp.o" "gcc" "src/truechange/CMakeFiles/truechange.dir/Serialize.cpp.o.d"
+  "/root/repo/src/truechange/TypeChecker.cpp" "src/truechange/CMakeFiles/truechange.dir/TypeChecker.cpp.o" "gcc" "src/truechange/CMakeFiles/truechange.dir/TypeChecker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/tree/CMakeFiles/truediff_tree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/truediff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truechange.dir/Edit.cpp.o"
+  "CMakeFiles/truechange.dir/Edit.cpp.o.d"
+  "CMakeFiles/truechange.dir/InitScript.cpp.o"
+  "CMakeFiles/truechange.dir/InitScript.cpp.o.d"
+  "CMakeFiles/truechange.dir/Inverse.cpp.o"
+  "CMakeFiles/truechange.dir/Inverse.cpp.o.d"
+  "CMakeFiles/truechange.dir/MTree.cpp.o"
+  "CMakeFiles/truechange.dir/MTree.cpp.o.d"
+  "CMakeFiles/truechange.dir/Serialize.cpp.o"
+  "CMakeFiles/truechange.dir/Serialize.cpp.o.d"
+  "CMakeFiles/truechange.dir/TypeChecker.cpp.o"
+  "CMakeFiles/truechange.dir/TypeChecker.cpp.o.d"
+  "libtruechange.a"
+  "libtruechange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truechange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

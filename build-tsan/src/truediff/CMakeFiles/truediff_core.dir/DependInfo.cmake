@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/truediff/EditBuffer.cpp" "src/truediff/CMakeFiles/truediff_core.dir/EditBuffer.cpp.o" "gcc" "src/truediff/CMakeFiles/truediff_core.dir/EditBuffer.cpp.o.d"
+  "/root/repo/src/truediff/SubtreeShare.cpp" "src/truediff/CMakeFiles/truediff_core.dir/SubtreeShare.cpp.o" "gcc" "src/truediff/CMakeFiles/truediff_core.dir/SubtreeShare.cpp.o.d"
+  "/root/repo/src/truediff/TrueDiff.cpp" "src/truediff/CMakeFiles/truediff_core.dir/TrueDiff.cpp.o" "gcc" "src/truediff/CMakeFiles/truediff_core.dir/TrueDiff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/truechange/CMakeFiles/truechange.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/tree/CMakeFiles/truediff_tree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/support/CMakeFiles/truediff_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truediff_core.dir/EditBuffer.cpp.o"
+  "CMakeFiles/truediff_core.dir/EditBuffer.cpp.o.d"
+  "CMakeFiles/truediff_core.dir/SubtreeShare.cpp.o"
+  "CMakeFiles/truediff_core.dir/SubtreeShare.cpp.o.d"
+  "CMakeFiles/truediff_core.dir/TrueDiff.cpp.o"
+  "CMakeFiles/truediff_core.dir/TrueDiff.cpp.o.d"
+  "libtruediff_core.a"
+  "libtruediff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truediff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

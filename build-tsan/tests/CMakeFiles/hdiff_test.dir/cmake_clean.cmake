@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdiff_test.dir/hdiff_test.cpp.o"
+  "CMakeFiles/hdiff_test.dir/hdiff_test.cpp.o.d"
+  "hdiff_test"
+  "hdiff_test.pdb"
+  "hdiff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdiff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

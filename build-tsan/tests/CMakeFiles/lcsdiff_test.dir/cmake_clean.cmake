@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcsdiff_test.dir/lcsdiff_test.cpp.o"
+  "CMakeFiles/lcsdiff_test.dir/lcsdiff_test.cpp.o.d"
+  "lcsdiff_test"
+  "lcsdiff_test.pdb"
+  "lcsdiff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcsdiff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_edits_test.dir/list_edits_test.cpp.o"
+  "CMakeFiles/list_edits_test.dir/list_edits_test.cpp.o.d"
+  "list_edits_test"
+  "list_edits_test.pdb"
+  "list_edits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_edits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

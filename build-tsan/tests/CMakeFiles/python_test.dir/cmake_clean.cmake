@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/python_test.dir/python_test.cpp.o"
+  "CMakeFiles/python_test.dir/python_test.cpp.o.d"
+  "python_test"
+  "python_test.pdb"
+  "python_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/python_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truechange_test.dir/truechange_test.cpp.o"
+  "CMakeFiles/truechange_test.dir/truechange_test.cpp.o.d"
+  "truechange_test"
+  "truechange_test.pdb"
+  "truechange_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truechange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

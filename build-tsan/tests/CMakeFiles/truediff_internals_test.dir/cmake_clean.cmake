@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truediff_internals_test.dir/truediff_internals_test.cpp.o"
+  "CMakeFiles/truediff_internals_test.dir/truediff_internals_test.cpp.o.d"
+  "truediff_internals_test"
+  "truediff_internals_test.pdb"
+  "truediff_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truediff_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/truediff_test.dir/truediff_test.cpp.o"
+  "CMakeFiles/truediff_test.dir/truediff_test.cpp.o.d"
+  "truediff_test"
+  "truediff_test.pdb"
+  "truediff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/truediff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

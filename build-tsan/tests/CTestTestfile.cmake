@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/support_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/tree_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/truechange_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/truediff_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/truediff_property_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/gumtree_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/hdiff_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/lcsdiff_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/python_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/incremental_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/truechange_extra_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/json_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/truediff_internals_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/list_edits_test[1]_include.cmake")
+include("/root/repo/build-tsan/tests/service_test[1]_include.cmake")
