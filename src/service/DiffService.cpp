@@ -135,6 +135,8 @@ Response DiffService::execute(Operation &Op) {
                                              std::memory_order_relaxed);
             Metrics.NodesDiffed.fetch_add(R.NodesDiffed,
                                           std::memory_order_relaxed);
+            Metrics.NodesRehashed.fetch_add(R.NodesRehashed,
+                                            std::memory_order_relaxed);
           }
           std::string Payload =
               R.Ok ? serializeEditScript(Store.signatures(), R.Script) : "";
@@ -165,14 +167,17 @@ Response DiffService::execute(Operation &Op) {
 
 std::string DiffService::statsJson() const {
   StoreStats S = Store.stats();
-  char Buf[160];
+  char Buf[256];
   std::snprintf(
       Buf, sizeof(Buf),
       ",\"store\":{\"documents\":%llu,\"versions_retained\":%llu,"
-      "\"live_nodes\":%llu}}",
+      "\"live_nodes\":%llu,\"nodes_rehashed\":%llu,"
+      "\"digest_cache_saved_nodes\":%llu}}",
       static_cast<unsigned long long>(S.NumDocuments),
       static_cast<unsigned long long>(S.VersionsRetained),
-      static_cast<unsigned long long>(S.LiveNodes));
+      static_cast<unsigned long long>(S.LiveNodes),
+      static_cast<unsigned long long>(S.NodesRehashed),
+      static_cast<unsigned long long>(S.NodesDigestCacheSaved));
   std::string Json =
       Metrics.toJson(Queue.depth(), Queue.capacity(), NumWorkers);
   // Splice the store object into the metrics object.

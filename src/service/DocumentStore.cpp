@@ -87,10 +87,31 @@ StoreResult DocumentStore::submit(DocId Doc, const TreeBuilder &Build) {
   uint64_t SourceSize = D->Current->size();
   uint64_t TargetSize = B.Root->size();
 
-  TrueDiff Differ(*D->Ctx);
+  // Warm path: the stored tree's Step-1 digests are valid (populated at
+  // construction, maintained by every previous submit's dirty-path rehash
+  // and every rollback/compaction rebuild), so the diff consumes them
+  // as-is and afterwards rehashes only the root-to-edit paths it touched.
+  // Cold path: recompute the stored digests from scratch first and fully
+  // rehash the patched tree after, like a service that does not own its
+  // trees between requests.
+  TrueDiffOptions DiffOpts;
+  DiffOpts.IncrementalRehash = Cfg.PersistDigests;
+  uint64_t ColdRehash = 0;
+  if (!Cfg.PersistDigests) {
+    D->Current->refreshDerived(Sig);
+    ColdRehash = SourceSize;
+  }
+
+  TrueDiff Differ(*D->Ctx, DiffOpts);
   DiffResult Diff = Differ.compareTo(D->Current, B.Root);
   D->Current = Diff.Patched;
   ++D->Version;
+
+  uint64_t PatchedSize = D->Current->size();
+  R.NodesRehashed = ColdRehash + Diff.NodesRehashed;
+  D->NodesRehashed += R.NodesRehashed;
+  if (Cfg.PersistDigests)
+    D->NodesDigestCacheSaved += PatchedSize - Diff.NodesRehashed;
 
   VersionRecord Rec;
   Rec.Version = D->Version;
@@ -120,20 +141,28 @@ StoreResult DocumentStore::rollback(DocId Doc) {
   }
   std::lock_guard<std::mutex> Lock(D->Mu);
   if (D->History.empty()) {
-    R.Error = "no history to roll back";
+    // Distinguish "nothing ever to undo" from "the record fell off the
+    // bounded ring": rolling back past the ring's oldest retained version
+    // must yield this clean error, never a torn tree.
+    R.Error = D->Version == 0
+                  ? "no history to roll back"
+                  : "cannot roll back version " + std::to_string(D->Version) +
+                        ": its script was evicted from the history ring "
+                        "(capacity " + std::to_string(Cfg.HistoryCapacity) +
+                        ")";
     return R;
   }
-  VersionRecord Rec = std::move(D->History.back());
-  D->History.pop_back();
 
   // Lift into the standard semantics, undo, and rebuild with the same
-  // URIs so older ring entries remain applicable.
+  // URIs so older ring entries remain applicable. Nothing is committed --
+  // the record stays in the ring and the document keeps its tree -- until
+  // the restored tree exists; a failure at any step leaves the document
+  // exactly as it was.
+  const VersionRecord &Rec = D->History.back();
   MTree M = MTree::fromTree(Sig, D->Current);
   MTree::PatchResult P = M.patchChecked(Rec.Inverse);
   if (!P.Ok) {
-    // Cannot happen for scripts we recorded ourselves; fail loudly and
-    // leave the document at its current version (the record is consumed,
-    // matching what the tree now provably is not).
+    // Cannot happen for scripts we recorded ourselves; fail loudly.
     R.Error = "internal error: inverse script rejected: " + P.Error;
     return R;
   }
@@ -143,15 +172,21 @@ StoreResult DocumentStore::rollback(DocId Doc) {
     R.Error = "internal error: rolled-back tree is not closed";
     return R;
   }
+
+  // Commit point: consume the record and swap in the rebuilt tree, whose
+  // construction re-derived every digest (the cache "drop" of the
+  // populate/invalidate/drop lifecycle).
+  VersionRecord Taken = std::move(D->History.back());
+  D->History.pop_back();
   D->Ctx = std::move(FreshCtx);
   D->Current = Restored;
-  D->Version = Rec.Version - 1;
+  D->Version = Taken.Version - 1;
 
-  emit(Doc, D->Version, Rec.Inverse);
+  emit(Doc, D->Version, Taken.Inverse);
 
   R.Ok = true;
   R.Version = D->Version;
-  R.Script = std::move(Rec.Inverse);
+  R.Script = std::move(Taken.Inverse);
   R.TreeSize = D->Current->size();
   return R;
 }
@@ -170,6 +205,46 @@ DocumentSnapshot DocumentStore::snapshot(DocId Doc) const {
   S.Text = printSExpr(Sig, D->Current);
   S.UriText = printSExprWithUris(Sig, D->Current);
   return S;
+}
+
+namespace {
+
+/// Compares \p Stored's cached derived data against \p Fresh, a
+/// from-scratch rebuild of the same tree; returns the first divergence.
+std::optional<std::string> compareDerived(const Tree *Stored,
+                                          const Tree *Fresh) {
+  auto Complain = [&](const char *What) {
+    return "stale " + std::string(What) + " at uri " +
+           std::to_string(Stored->uri());
+  };
+  if (Stored->structureHash() != Fresh->structureHash())
+    return Complain("structure hash");
+  if (Stored->literalHash() != Fresh->literalHash())
+    return Complain("literal hash");
+  if (Stored->height() != Fresh->height())
+    return Complain("height");
+  if (Stored->size() != Fresh->size())
+    return Complain("size");
+  if (Stored->arity() != Fresh->arity())
+    return Complain("arity");
+  for (size_t I = 0, E = Stored->arity(); I != E; ++I)
+    if (auto Err = compareDerived(Stored->kid(I), Fresh->kid(I)))
+      return Err;
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<std::string> DocumentStore::checkDigests(DocId Doc) const {
+  std::shared_ptr<Document> D = find(Doc);
+  if (!D)
+    return "no such document";
+  std::lock_guard<std::mutex> Lock(D->Mu);
+  // deepCopy re-derives every digest bottom-up in a scratch arena; the
+  // stored tree must agree with it node for node.
+  TreeContext Scratch(Sig);
+  const Tree *Fresh = Scratch.deepCopy(D->Current);
+  return compareDerived(D->Current, Fresh);
 }
 
 bool DocumentStore::contains(DocId Doc) const { return find(Doc) != nullptr; }
@@ -197,6 +272,8 @@ StoreStats DocumentStore::stats() const {
       ++Out.NumDocuments;
       Out.VersionsRetained += D->History.size();
       Out.LiveNodes += D->Current->size();
+      Out.NodesRehashed += D->NodesRehashed;
+      Out.NodesDigestCacheSaved += D->NodesDigestCacheSaved;
     }
   }
   return Out;

@@ -26,6 +26,24 @@
 /// fresh context *preserving URIs*, so the remaining history ring stays
 /// meaningful for further rollbacks. The same rebuild doubles as arena
 /// compaction once a long-lived document's context accumulates garbage.
+/// Rollback commits nothing until the restored tree exists: if any step
+/// fails (e.g. the requested version's record was evicted from the ring),
+/// the document -- tree, context, history -- is left exactly as it was
+/// and a clean error is returned; a torn document is never observable.
+///
+/// Digest cache (truediff Step 1, paper Section 4.2): every stored tree
+/// carries its structural/literal SHA-256 digests, heights, and sizes in
+/// its nodes, so they persist across requests. The lifecycle is
+///   populate     at open/submit/rollback (tree construction hashes),
+///   invalidate   on submit along the root-to-edit paths the applied
+///                script touched (TrueDiff's dirty marks), rehashing only
+///                those paths, and
+///   drop         on rollback and arena compaction, whose URI-preserving
+///                rebuild re-derives every digest from scratch.
+/// A warm diff therefore skips rehashing the unchanged bulk of the stored
+/// tree. Config::PersistDigests turns the cache off, which recomputes the
+/// stored tree's digests from scratch on every diff (the cold path); cold
+/// and warm diffs produce byte-identical edit scripts.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,6 +57,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -73,6 +92,11 @@ struct StoreResult {
   uint64_t NodesDiffed = 0;
   /// Node count of the document's tree after the operation.
   uint64_t TreeSize = 0;
+  /// submit: nodes of the stored tree whose Step-1 digests were
+  /// recomputed serving this request -- only the touched root-to-edit
+  /// paths when digests are persisted (warm), the full source and patched
+  /// trees when not (cold).
+  uint64_t NodesRehashed = 0;
 };
 
 /// Read-only view of a document's current state.
@@ -93,6 +117,12 @@ struct StoreStats {
   uint64_t NumDocuments = 0;
   uint64_t VersionsRetained = 0;
   uint64_t LiveNodes = 0;
+  /// Total nodes rehashed serving submits (see StoreResult::NodesRehashed).
+  uint64_t NodesRehashed = 0;
+  /// Total stored-tree nodes whose persisted digests a warm submit reused
+  /// instead of rehashing: sum over submits of patched-tree size minus
+  /// rehashed paths. Zero when digests are not persisted.
+  uint64_t NodesDigestCacheSaved = 0;
 };
 
 class DocumentStore {
@@ -106,6 +136,13 @@ public:
     /// Compact a document's arena when it holds more than
     /// CompactionFactor * treeSize + 256 nodes. 0 disables compaction.
     size_t CompactionFactor = 8;
+    /// Keep each stored tree's Step-1 digests warm across requests and
+    /// rehash only the root-to-edit paths a submit touches. When false,
+    /// the stored tree's digests are recomputed from scratch before every
+    /// diff and the patched tree is fully rehashed after it (the cold
+    /// path a stateless diff service pays). Purely an optimisation: the
+    /// emitted edit scripts are byte-identical either way.
+    bool PersistDigests = true;
   };
 
   /// Observes every applied script: the initializing script on open, the
@@ -133,8 +170,19 @@ public:
   StoreResult submit(DocId Doc, const TreeBuilder &Build);
 
   /// Undoes the most recent submit by applying its recorded inverse.
-  /// Fails if the history ring is exhausted.
+  /// Fails with a clean error -- leaving the document untouched at its
+  /// current version -- if the history ring is exhausted, distinguishing
+  /// "already at the initial version" from "the record was evicted from
+  /// the bounded ring".
   StoreResult rollback(DocId Doc);
+
+  /// Verifies the digest-cache invariant for \p Doc: every node of the
+  /// stored tree must carry exactly the structural/literal hashes, height,
+  /// and size a from-scratch recomputation yields. Returns a description
+  /// of the first stale node, or std::nullopt if the cache is coherent.
+  /// O(tree) with full rehashing -- a test/debug facility, not a serving
+  /// path.
+  std::optional<std::string> checkDigests(DocId Doc) const;
 
   /// Current version and serialized tree of \p Doc.
   DocumentSnapshot snapshot(DocId Doc) const;
@@ -160,6 +208,9 @@ private:
     Tree *Current = nullptr;
     uint64_t Version = 0;
     std::deque<VersionRecord> History;
+    /// Digest-cache accounting across this document's submits.
+    uint64_t NodesRehashed = 0;
+    uint64_t NodesDigestCacheSaved = 0;
   };
 
   struct Shard {

@@ -100,12 +100,14 @@ std::string ServiceMetrics::toJson(size_t QueueDepth, size_t QueueCapacity,
   std::snprintf(
       Buf, sizeof(Buf),
       "\"rejected\":%llu,\"scripts_emitted\":%llu,\"edits_emitted\":%llu,"
-      "\"coalesced_edits\":%llu,\"nodes_diffed\":%llu,",
+      "\"coalesced_edits\":%llu,\"nodes_diffed\":%llu,"
+      "\"nodes_rehashed\":%llu,",
       static_cast<unsigned long long>(Rejected.load()),
       static_cast<unsigned long long>(ScriptsEmitted.load()),
       static_cast<unsigned long long>(EditsEmitted.load()),
       static_cast<unsigned long long>(CoalescedEdits.load()),
-      static_cast<unsigned long long>(NodesDiffed.load()));
+      static_cast<unsigned long long>(NodesDiffed.load()),
+      static_cast<unsigned long long>(NodesRehashed.load()));
   Out += Buf;
   Out += "\"queue_wait\":" + QueueWait.toJson() + ",\"ops\":{";
   for (unsigned I = 0; I != NumOpKinds; ++I) {

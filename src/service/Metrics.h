@@ -96,6 +96,11 @@ struct ServiceMetrics {
   std::atomic<uint64_t> CoalescedEdits{0};
   /// Total source+target nodes processed by submits (throughput basis).
   std::atomic<uint64_t> NodesDiffed{0};
+  /// Total stored-tree nodes rehashed serving submits: dirty paths only
+  /// when the store persists digests (warm), full trees when it does not
+  /// (cold). NodesDiffed - NodesRehashed approximates the hashing the
+  /// digest cache avoided.
+  std::atomic<uint64_t> NodesRehashed{0};
 
   /// Dumps everything as one JSON object. Queue depth and capacity are
   /// live gauges owned by the service, so the caller passes them in.

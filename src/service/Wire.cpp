@@ -10,11 +10,17 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 using namespace truediff;
 using namespace truediff::service;
 
 namespace {
+
+std::string toHexByte(unsigned char U) {
+  const char *Hex = "0123456789abcdef";
+  return {Hex[U >> 4], Hex[U & 0xf]};
+}
 
 std::string_view trimLeft(std::string_view S) {
   while (!S.empty() && (S.front() == ' ' || S.front() == '\t'))
@@ -39,7 +45,12 @@ bool parseDocId(std::string_view Tok, DocId &Out) {
   for (char C : Tok) {
     if (C < '0' || C > '9')
       return false;
-    Value = Value * 10 + static_cast<DocId>(C - '0');
+    DocId Digit = static_cast<DocId>(C - '0');
+    // Reject ids that overflow 64 bits instead of silently wrapping onto
+    // some other client's document.
+    if (Value > (std::numeric_limits<DocId>::max() - Digit) / 10)
+      return false;
+    Value = Value * 10 + Digit;
   }
   Out = Value;
   return true;
@@ -49,6 +60,28 @@ bool parseDocId(std::string_view Tok, DocId &Out) {
 
 WireCommand service::parseWireCommand(std::string_view Line) {
   WireCommand Cmd;
+  // Bound the frame before touching its contents: every later step is
+  // O(line), so the cap also bounds per-request parser work.
+  if (Line.size() > MaxWireLineBytes) {
+    Cmd.Error = "oversized frame: " + std::to_string(Line.size()) +
+                " bytes exceeds the limit of " +
+                std::to_string(MaxWireLineBytes);
+    return Cmd;
+  }
+  // Tolerate CRLF transports: one trailing '\r' is line framing, not
+  // payload.
+  if (!Line.empty() && Line.back() == '\r')
+    Line.remove_suffix(1);
+  // No control character survives into command or payload: interior
+  // '\r'/NUL/escape bytes are either framing bugs or probe traffic, and
+  // both deserve a protocol error instead of reaching a builder.
+  for (char C : Line) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if ((U < 0x20 && C != '\t') || U == 0x7f) {
+      Cmd.Error = "control character 0x" + toHexByte(U) + " in frame";
+      return Cmd;
+    }
+  }
   std::string_view Rest = Line;
   std::string_view Verb = nextToken(Rest);
   if (Verb.empty()) {

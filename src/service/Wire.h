@@ -44,6 +44,11 @@
 namespace truediff {
 namespace service {
 
+/// Upper bound on one protocol line. Longer frames are rejected with a
+/// protocol error before any parsing happens, so a hostile or broken
+/// client cannot feed unbounded input to a worker thread.
+inline constexpr size_t MaxWireLineBytes = 1 << 20;
+
 /// One parsed command line.
 struct WireCommand {
   enum class Kind {
@@ -65,7 +70,11 @@ struct WireCommand {
 };
 
 /// Parses one line of the protocol. Never throws; malformed input yields
-/// Kind::Invalid with an error message.
+/// Kind::Invalid with an error message. Hardened against hostile input:
+/// a single trailing "\r" is tolerated (CRLF transports), but lines over
+/// MaxWireLineBytes, embedded control characters (including NUL and
+/// interior "\r"), empty/whitespace-only frames, and document ids that
+/// would overflow 64 bits are all rejected with a protocol error.
 WireCommand parseWireCommand(std::string_view Line);
 
 /// Renders a service response in the framed wire format, including the

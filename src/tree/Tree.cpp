@@ -54,6 +54,18 @@ void Tree::refreshDerived(const SignatureTable &Sig) {
   for (Tree *Kid : Kids)
     Kid->refreshDerived(Sig);
   computeDerived(Sig);
+  DerivedDirty = false;
+}
+
+uint64_t Tree::rehashDirtyPaths(const SignatureTable &Sig) {
+  if (!DerivedDirty)
+    return 0;
+  uint64_t Rehashed = 1;
+  for (Tree *Kid : Kids)
+    Rehashed += Kid->rehashDirtyPaths(Sig);
+  computeDerived(Sig);
+  DerivedDirty = false;
+  return Rehashed;
 }
 
 void Tree::clearDiffState() {

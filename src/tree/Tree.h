@@ -139,9 +139,29 @@ public:
   void setMark(uint32_t M) { Mark = M; }
   /// @}
 
+  /// \name Derived-data dirtiness (the Step-1 digest cache)
+  ///
+  /// A node is *derived-dirty* when its cached hashes, height, or size may
+  /// be stale, or when some descendant's may be. TrueDiff marks the
+  /// root-to-edit paths it touches in Step 4; rehashDirtyPaths then
+  /// recomputes exactly those paths, so the unchanged bulk of a persisted
+  /// tree keeps its digests across diffing rounds (see
+  /// DocumentStore's digest cache).
+  /// @{
+  bool derivedDirty() const { return DerivedDirty; }
+  void markDerivedDirty() { DerivedDirty = true; }
+
+  /// Recomputes derived data along dirty paths only, clearing the flags;
+  /// clean subtrees are not even visited. Returns the number of nodes
+  /// rehashed. Requires the dirtiness invariant above (every node with a
+  /// stale descendant is itself marked), which TrueDiff maintains.
+  uint64_t rehashDirtyPaths(const SignatureTable &Sig);
+  /// @}
+
   /// Recomputes hashes, height, and size of this node and every
-  /// descendant. Called on the patched tree after diffing, because reused
-  /// nodes may have received new children or literals.
+  /// descendant (and clears derived-dirty flags). Called on the patched
+  /// tree after diffing, because reused nodes may have received new
+  /// children or literals.
   void refreshDerived(const SignatureTable &Sig);
 
   /// Clears share and assignment pointers in the whole tree.
@@ -168,6 +188,7 @@ private:
   SubtreeShare *Share = nullptr;
   Tree *Assigned = nullptr;
   bool Covered = false;
+  bool DerivedDirty = false;
   uint32_t Mark = 0;
 };
 

@@ -6,6 +6,8 @@
 
 #include "truechange/Edit.h"
 
+#include <unordered_set>
+
 using namespace truediff;
 
 const char *truediff::editKindName(EditKind Kind) {
@@ -118,6 +120,35 @@ std::string Edit::toString(const SignatureTable &Sig) const {
     break;
   }
   Out += ")";
+  return Out;
+}
+
+void Edit::appendTouchedUris(std::vector<URI> &Out) const {
+  switch (Kind) {
+  case EditKind::Detach:
+  case EditKind::Attach:
+    Out.push_back(Parent.Uri);
+    break;
+  case EditKind::Load:
+  case EditKind::Update:
+    Out.push_back(Node.Uri);
+    break;
+  case EditKind::Unload:
+    break;
+  }
+}
+
+std::vector<URI> EditScript::touchedUris() const {
+  std::vector<URI> Raw;
+  Raw.reserve(Edits.size());
+  for (const Edit &E : Edits)
+    E.appendTouchedUris(Raw);
+  std::vector<URI> Out;
+  Out.reserve(Raw.size());
+  std::unordered_set<URI> Seen;
+  for (URI U : Raw)
+    if (Seen.insert(U).second)
+      Out.push_back(U);
   return Out;
 }
 

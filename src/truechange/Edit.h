@@ -97,6 +97,14 @@ struct Edit {
   /// Renders the edit in the paper's notation, e.g.
   /// "detach(Sub_2, \"e1\", Add_1)".
   std::string toString(const SignatureTable &Sig) const;
+
+  /// Appends the URIs of nodes this edit mutates *in place* when applied:
+  /// the parent whose slot a Detach/Attach rewires, the node an Update
+  /// re-literals, the node a Load creates. Unload contributes nothing (the
+  /// node ceases to exist). These are the nodes whose cached derived data
+  /// (Step-1 digests) a digest cache must invalidate -- together with
+  /// their ancestors, which the script does not name.
+  void appendTouchedUris(std::vector<URI> &Out) const;
 };
 
 /// A sequence of edits.
@@ -119,6 +127,11 @@ public:
 
   /// One edit per line, in the paper's notation.
   std::string toString(const SignatureTable &Sig) const;
+
+  /// The deduplicated set of URIs the script's edits mutate in place (see
+  /// Edit::appendTouchedUris), in first-touched order. This is the
+  /// script's invalidation set for digest caches keyed by URI.
+  std::vector<URI> touchedUris() const;
 
 private:
   std::vector<Edit> Edits;

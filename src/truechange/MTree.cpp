@@ -195,7 +195,9 @@ MTree::PatchResult MTree::patch(const EditScript &Script) {
     if (!R.Ok)
       return R;
   }
-  return PatchResult();
+  PatchResult Done;
+  Done.TouchedUris = Script.touchedUris();
+  return Done;
 }
 
 MTree::PatchResult MTree::patchChecked(const EditScript &Script) {
@@ -207,7 +209,9 @@ MTree::PatchResult MTree::patchChecked(const EditScript &Script) {
     if (!R.Ok)
       return R;
   }
-  return PatchResult();
+  PatchResult Done;
+  Done.TouchedUris = Script.touchedUris();
+  return Done;
 }
 
 bool MTree::nodeEqualsTree(const MNode *N, const Tree *T) const {

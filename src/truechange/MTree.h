@@ -59,6 +59,12 @@ public:
     bool Ok = true;
     size_t ErrorIndex = 0;
     std::string Error;
+    /// On success (patch/patchChecked only): the deduplicated URIs whose
+    /// nodes the script mutated in place -- rewired parents, re-literaled
+    /// and loaded nodes (EditScript::touchedUris). Consumers maintaining
+    /// per-node caches over the tree invalidate exactly these entries
+    /// (plus their ancestors) instead of flushing.
+    std::vector<URI> TouchedUris;
   };
 
   /// The standard semantics t => t.patch(Delta): applies each edit with

@@ -208,6 +208,9 @@ std::vector<LitRef> TrueDiff::litRefs(TagId Tag,
 
 Tree *TrueDiff::updateLits(Tree *This, Tree *That, EditBuffer &Edits) {
   if (This->literalHash() != That->literalHash()) {
+    // Literals change somewhere in this subtree: the cached literal hashes
+    // along the descent become stale.
+    This->markDerivedDirty();
     if (This->lits() != That->lits()) {
       Edits.emit(Edit::update(NodeRef{This->tag(), This->uri()},
                               litRefs(This->tag(), This->lits()),
@@ -225,7 +228,10 @@ Tree *TrueDiff::updateLits(Tree *This, Tree *That, EditBuffer &Edits) {
 Tree *TrueDiff::computeEditsRec(Tree *This, Tree *That, EditBuffer &Edits) {
   if (This->tag() != That->tag())
     return nullptr;
-  // Reuse this node in place and continue the simultaneous traversal.
+  // Reuse this node in place and continue the simultaneous traversal. The
+  // node sits on a root-to-edit path (it may receive new kids or
+  // literals), so its cached derived data is invalidated.
+  This->markDerivedDirty();
   NodeRef Parent{This->tag(), This->uri()};
   const TagSignature &TagSig = Sig.signature(This->tag());
   for (size_t I = 0, E = This->arity(); I != E; ++I)
@@ -269,6 +275,14 @@ Tree *TrueDiff::loadUnassigned(Tree *That, EditBuffer &Edits) {
     NewKids.push_back(Kid);
   }
   Tree *NewNode = Ctx.make(That->tag(), std::move(NewKids), That->lits());
+  // make() hashed the fresh node from its kids' cached digests; if a kid
+  // is a reused tree with pending literal updates, those inputs were
+  // stale, so the node must be rehashed with them.
+  for (size_t I = 0, E = NewNode->arity(); I != E; ++I)
+    if (NewNode->kid(I)->derivedDirty()) {
+      NewNode->markDerivedDirty();
+      break;
+    }
   Edits.emit(Edit::load(NodeRef{NewNode->tag(), NewNode->uri()},
                         std::move(Refs),
                         litRefs(That->tag(), That->lits())));
@@ -340,8 +354,15 @@ DiffResult TrueDiff::compareTo(Tree *Source, Tree *Target) {
   Result.Patched = Patched;
 
   // Reused nodes received new kids and literals; refresh the caches so
-  // the patched tree is ready for the next diffing round.
-  Patched->refreshDerived(Sig);
+  // the patched tree is ready for the next diffing round. Incrementally,
+  // only the root-to-edit paths Step 4 marked dirty need rehashing; the
+  // resulting digests are identical to a full refresh either way.
+  if (Opts.IncrementalRehash)
+    Result.NodesRehashed = Patched->rehashDirtyPaths(Sig);
+  else {
+    Patched->refreshDerived(Sig);
+    Result.NodesRehashed = Patched->size();
+  }
   Patched->clearDiffState();
   Target->clearDiffState();
   return Result;

@@ -50,6 +50,15 @@ struct TrueDiffOptions {
   /// Traverse target subtrees highest-first (Section 4.3). When false, a
   /// FIFO breadth-first order is used instead.
   bool HeightPriority = true;
+
+  /// After Step 4, recompute the patched tree's derived data (Step-1
+  /// digests, heights, sizes) only along the root-to-edit paths the diff
+  /// touched, instead of rehashing the whole tree. Semantically invisible
+  /// -- the resulting digests are identical -- but it turns the per-diff
+  /// hashing cost from O(tree) into O(changed paths), which is what makes
+  /// a persisted, pre-hashed source tree "warm" (DocumentStore's digest
+  /// cache). When false, the paper-faithful full refresh runs instead.
+  bool IncrementalRehash = true;
 };
 
 /// Result of one diff: the edit script and the patched tree.
@@ -59,6 +68,11 @@ struct DiffResult {
   /// and reused source nodes only, with fresh derived data and cleared
   /// diffing state.
   Tree *Patched = nullptr;
+  /// Number of patched-tree nodes whose derived data was recomputed after
+  /// Step 4: the whole tree under full refresh, only the dirty paths under
+  /// IncrementalRehash. The difference to Patched->size() is what the
+  /// digest cache saved.
+  uint64_t NodesRehashed = 0;
 };
 
 /// One diffing session. The source and target tree must live in the same
@@ -71,7 +85,20 @@ public:
   /// Computes the difference between \p Source and \p Target.
   /// \p Source is consumed (its nodes move into the result); \p Target is
   /// left intact. Both trees' diffing state is cleared afterwards.
+  ///
+  /// \p Source must carry valid derived data (it does after construction,
+  /// refreshDerived, or a previous compareTo round -- trees are
+  /// "pre-hashed" by default in this representation).
   DiffResult compareTo(Tree *Source, Tree *Target);
+
+  /// Recomputes derived data along the dirty paths Step 4 marked in
+  /// \p Patched, clearing the marks; returns the number of nodes rehashed.
+  /// Exposed so callers that apply edits to typed trees outside compareTo
+  /// (and mark the touched nodes via Tree::markDerivedDirty) can restore
+  /// the digest-cache invariant without a full rehash.
+  static uint64_t rehashDirtyPaths(const SignatureTable &Sig, Tree *Patched) {
+    return Patched->rehashDirtyPaths(Sig);
+  }
 
 private:
   /// \name Step 2

@@ -20,18 +20,21 @@
 #include "service/Mirror.h"
 #include "service/Wire.h"
 
+#include "corpus/Mutator.h"
 #include "corpus/PyGen.h"
 #include "python/Python.h"
 #include "support/Rng.h"
 #include "tree/SExpr.h"
 #include "truechange/MTree.h"
 #include "truechange/Serialize.h"
+#include "truechange/TypeChecker.h"
 
 #include "TestLang.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <thread>
 
 using namespace truediff;
@@ -216,6 +219,43 @@ TEST(StoreConfigTest, HistoryRingIsBounded) {
   EXPECT_EQ(Store.snapshot(1).Text, "(b)");
 }
 
+TEST(StoreConfigTest, RollbackPastEvictedHistoryFailsCleanly) {
+  SignatureTable Sig = makeExpSignature();
+  DocumentStore::Config Cfg;
+  Cfg.HistoryCapacity = 2;
+  DocumentStore Store(Sig, Cfg);
+  ASSERT_TRUE(Store.open(1, makeSExprBuilder("(a)")).Ok);
+
+  // At version 0 there is nothing to undo; that is its own error, not the
+  // eviction one.
+  StoreResult R = Store.rollback(1);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("no history"), std::string::npos) << R.Error;
+
+  ASSERT_TRUE(Store.submit(1, makeSExprBuilder("(b)")).Ok);
+  ASSERT_TRUE(Store.submit(1, makeSExprBuilder("(c)")).Ok);
+  ASSERT_TRUE(Store.submit(1, makeSExprBuilder("(d)")).Ok); // evicts v1's record
+  ASSERT_TRUE(Store.rollback(1).Ok);                        // v3 -> v2
+  ASSERT_TRUE(Store.rollback(1).Ok);                        // v2 -> v1
+  DocumentSnapshot AtBoundary = Store.snapshot(1);
+
+  // v1's record was evicted from the ring: the rollback must fail with a
+  // clean protocol error naming the eviction, not hand back a torn tree.
+  R = Store.rollback(1);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("evicted from the history ring"), std::string::npos)
+      << R.Error;
+
+  // The failed rollback touched nothing: same version, same URIs, digests
+  // still clean, and the document keeps serving.
+  DocumentSnapshot After = Store.snapshot(1);
+  EXPECT_EQ(After.Version, AtBoundary.Version);
+  EXPECT_EQ(After.UriText, AtBoundary.UriText);
+  EXPECT_EQ(Store.checkDigests(1), std::nullopt);
+  ASSERT_TRUE(Store.submit(1, makeSExprBuilder("(Add (a) (b))")).Ok);
+  EXPECT_EQ(Store.snapshot(1).Text, "(Add (a) (b))");
+}
+
 TEST(StoreConfigTest, CompactionPreservesRollback) {
   SignatureTable Sig = makeExpSignature();
   DocumentStore::Config Cfg;
@@ -259,6 +299,105 @@ TEST_F(StoreTest, BuilderErrorsAreReported) {
   R = Store.submit(2, sexprBuilder("(Nope ("));
   EXPECT_FALSE(R.Ok);
   EXPECT_EQ(Store.snapshot(2).Version, 0u); // unchanged
+}
+
+//===----------------------------------------------------------------------===//
+// Warm-path digest cache
+//===----------------------------------------------------------------------===//
+
+/// Replays identical chains of document versions into a warm store (Step-1
+/// digests persisted across requests, the default) and a cold store (every
+/// request rehashes from scratch). The cache is purely an optimisation:
+/// the emitted scripts must be byte-identical, every script must
+/// type-check, and the warm store's cached digests must always equal a
+/// from-scratch recomputation.
+TEST(DigestCacheTest, WarmAndColdScriptsAreByteIdentical) {
+  constexpr unsigned NumChains = 25;
+  constexpr unsigned MutationsPerChain = 20; // 25 x 20 = 500 warm diffs
+
+  SignatureTable Sig = python::makePythonSignature();
+  LinearTypeChecker Checker(Sig);
+  uint64_t WarmRehashed = 0, ColdRehashed = 0;
+  for (unsigned Chain = 0; Chain != NumChains; ++Chain) {
+    // Generate the version texts once, outside either store.
+    TreeContext Scratch(Sig);
+    Rng R(Chain * 48271 + 11);
+    corpus::PyGenOptions GenOpts;
+    GenOpts.NumFunctions = 2;
+    GenOpts.NumClasses = 1;
+    GenOpts.MethodsPerClass = 2;
+    GenOpts.StmtsPerBody = 3;
+    const Tree *Module = corpus::generateModule(Scratch, R, GenOpts);
+    std::vector<std::string> Versions{printSExpr(Sig, Module)};
+    for (unsigned I = 0; I != MutationsPerChain; ++I) {
+      Module = corpus::mutateModule(Scratch, R, Module, {});
+      Versions.push_back(printSExpr(Sig, Module));
+    }
+
+    DocumentStore::Config ColdCfg;
+    ColdCfg.PersistDigests = false;
+    DocumentStore Warm(Sig), Cold(Sig, ColdCfg);
+    for (size_t V = 0; V != Versions.size(); ++V) {
+      TreeBuilder Build = makeSExprBuilder(Versions[V]);
+      StoreResult WR = V == 0 ? Warm.open(1, Build) : Warm.submit(1, Build);
+      StoreResult CR = V == 0 ? Cold.open(1, Build) : Cold.submit(1, Build);
+      ASSERT_TRUE(WR.Ok) << WR.Error;
+      ASSERT_TRUE(CR.Ok) << CR.Error;
+      ASSERT_EQ(serializeEditScript(Sig, WR.Script),
+                serializeEditScript(Sig, CR.Script))
+          << "chain " << Chain << " version " << V;
+      auto TC = V == 0 ? Checker.checkInitializing(WR.Script)
+                       : Checker.checkWellTyped(WR.Script);
+      ASSERT_TRUE(TC.Ok) << TC.Error;
+      ASSERT_EQ(Warm.checkDigests(1), std::nullopt)
+          << "chain " << Chain << " version " << V;
+    }
+    WarmRehashed += Warm.stats().NodesRehashed;
+    ColdRehashed += Cold.stats().NodesRehashed;
+    EXPECT_GT(Warm.stats().NodesDigestCacheSaved, 0u);
+  }
+  // Small mutations against ~100-node modules: the warm path must rehash
+  // far fewer nodes than the cold path over the whole corpus.
+  EXPECT_LT(WarmRehashed * 2, ColdRehashed)
+      << "warm " << WarmRehashed << " vs cold " << ColdRehashed;
+}
+
+TEST(DigestCacheTest, CacheSurvivesRollbackAndCompaction) {
+  // Rollback and history-ring compaction rebuild the document into a
+  // fresh context, dropping the cached digests. Later warm diffs must
+  // still emit scripts byte-identical to a cold store driven through the
+  // same sequence.
+  SignatureTable Sig = makeExpSignature();
+  DocumentStore::Config WarmCfg;
+  WarmCfg.CompactionFactor = 1; // compact aggressively
+  WarmCfg.HistoryCapacity = 64;
+  DocumentStore::Config ColdCfg = WarmCfg;
+  ColdCfg.PersistDigests = false;
+  DocumentStore Warm(Sig, WarmCfg), Cold(Sig, ColdCfg);
+
+  auto Step = [&](auto Op) {
+    StoreResult WR = Op(Warm), CR = Op(Cold);
+    ASSERT_TRUE(WR.Ok) << WR.Error;
+    ASSERT_TRUE(CR.Ok) << CR.Error;
+    EXPECT_EQ(serializeEditScript(Sig, WR.Script),
+              serializeEditScript(Sig, CR.Script));
+    ASSERT_EQ(Warm.checkDigests(1), std::nullopt);
+  };
+  Step([](DocumentStore &S) { return S.open(1, makeSExprBuilder("(Num 0)")); });
+  Rng R(4242);
+  uint64_t Undoable = 0;
+  for (int Round = 0; Round != 40; ++Round) {
+    if (Undoable != 0 && R.chance(25)) {
+      --Undoable;
+      Step([](DocumentStore &S) { return S.rollback(1); });
+    } else {
+      ++Undoable;
+      std::string Text = "(Add (Num " + std::to_string(R.range(0, 9)) +
+                         ") (Mul (Num " + std::to_string(R.range(0, 9)) +
+                         ") (Num " + std::to_string(R.range(0, 9)) + ")))";
+      Step([&](DocumentStore &S) { return S.submit(1, makeSExprBuilder(Text)); });
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -400,6 +539,64 @@ TEST(WireTest, ParsesCommands) {
   EXPECT_EQ(parseWireCommand("rollback 1 extra").K,
             WireCommand::Kind::Invalid);
   EXPECT_EQ(parseWireCommand("frobnicate 1").K, WireCommand::Kind::Invalid);
+}
+
+TEST(WireTest, ToleratesCrlfFraming) {
+  // One trailing '\r' is line framing from a CRLF transport, not payload.
+  WireCommand C = parseWireCommand("get 3\r");
+  EXPECT_EQ(C.K, WireCommand::Kind::Get);
+  EXPECT_EQ(C.Doc, 3u);
+  C = parseWireCommand("open 1 (a)\r");
+  EXPECT_EQ(C.K, WireCommand::Kind::Open);
+  EXPECT_EQ(C.Arg, "(a)");
+
+  // A bare "\r" or whitespace-only frame is an empty command.
+  EXPECT_EQ(parseWireCommand("\r").K, WireCommand::Kind::Invalid);
+  EXPECT_EQ(parseWireCommand("   \t ").K, WireCommand::Kind::Invalid);
+}
+
+TEST(WireTest, RejectsControlCharacters) {
+  // Interior control bytes never reach a tree builder: NUL, escape bytes
+  // and interior '\r' (frame smuggling) all fail with a protocol error.
+  WireCommand C = parseWireCommand(std::string_view("open 1 (a\x01)", 12));
+  EXPECT_EQ(C.K, WireCommand::Kind::Invalid);
+  EXPECT_NE(C.Error.find("control character 0x01"), std::string::npos)
+      << C.Error;
+
+  C = parseWireCommand(std::string_view("get\0 3", 6));
+  EXPECT_EQ(C.K, WireCommand::Kind::Invalid);
+  EXPECT_NE(C.Error.find("0x00"), std::string::npos) << C.Error;
+
+  C = parseWireCommand("submit 2 (a)\rrollback 2");
+  EXPECT_EQ(C.K, WireCommand::Kind::Invalid);
+  EXPECT_NE(C.Error.find("0x0d"), std::string::npos) << C.Error;
+}
+
+TEST(WireTest, BoundsFrameSize) {
+  // Oversized frames are rejected before any parsing work happens.
+  std::string Huge = "open 1 " + std::string(MaxWireLineBytes, 'x');
+  WireCommand C = parseWireCommand(Huge);
+  EXPECT_EQ(C.K, WireCommand::Kind::Invalid);
+  EXPECT_NE(C.Error.find("oversized frame"), std::string::npos) << C.Error;
+
+  // The largest legal frame still reaches the command parser (it fails
+  // later, in the s-expression parser, which is not the framing layer's
+  // business).
+  std::string MaxLegal = "open 1 ";
+  MaxLegal += std::string(MaxWireLineBytes - MaxLegal.size(), 'x');
+  EXPECT_EQ(parseWireCommand(MaxLegal).K, WireCommand::Kind::Open);
+}
+
+TEST(WireTest, RejectsOverflowingDocIds) {
+  // UINT64_MAX parses; anything bigger is rejected instead of silently
+  // wrapping onto another client's document.
+  WireCommand C = parseWireCommand("get 18446744073709551615");
+  EXPECT_EQ(C.K, WireCommand::Kind::Get);
+  EXPECT_EQ(C.Doc, std::numeric_limits<DocId>::max());
+  EXPECT_EQ(parseWireCommand("get 18446744073709551616").K,
+            WireCommand::Kind::Invalid);
+  EXPECT_EQ(parseWireCommand("get 99999999999999999999999").K,
+            WireCommand::Kind::Invalid);
 }
 
 TEST(WireTest, FormatsResponses) {

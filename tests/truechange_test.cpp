@@ -332,6 +332,45 @@ TEST_F(TruechangeTest, LoadWithMissingLiteralIsIllTyped) {
   EXPECT_FALSE(R.Ok);
 }
 
+TEST_F(TruechangeTest, TouchedUrisReportInPlaceMutations) {
+  // touchedUris names the nodes whose in-memory state a patch mutates --
+  // the set a digest cache must re-examine. Loads and updates touch the
+  // node itself, detach/attach touch the parent whose kid slot changes
+  // (the virtual root appears as NullURI), and unload touches nothing
+  // that still exists. Duplicates collapse to first-touched order.
+  std::vector<URI> D1 = delta1().touchedUris();
+  EXPECT_EQ(D1, (std::vector<URI>{1, 2, 3, NullURI}));
+
+  std::vector<URI> D2 = delta2().touchedUris();
+  EXPECT_EQ(D2, (std::vector<URI>{2}));
+
+  // Delta3 detaches from and reattaches to the root: NullURI appears
+  // once, followed by the freshly loaded Mul_4.
+  std::vector<URI> D3 = delta3().touchedUris();
+  EXPECT_EQ(D3, (std::vector<URI>{NullURI, 4}));
+
+  EXPECT_TRUE(EditScript().touchedUris().empty());
+}
+
+TEST_F(TruechangeTest, PatchResultCarriesTouchedUris) {
+  // A successful patch reports the same touched set the script declares;
+  // a failed patch reports nothing.
+  MTree T(Sig);
+  auto PR = T.patchChecked(delta1());
+  ASSERT_TRUE(PR.Ok);
+  EXPECT_EQ(PR.TouchedUris, delta1().touchedUris());
+
+  PR = T.patch(delta2());
+  ASSERT_TRUE(PR.Ok);
+  EXPECT_EQ(PR.TouchedUris, (std::vector<URI>{2}));
+
+  // Replaying delta2 fails compliance (old literal no longer matches);
+  // the failed patch must not claim to have touched anything.
+  PR = T.patchChecked(delta2());
+  ASSERT_FALSE(PR.Ok);
+  EXPECT_TRUE(PR.TouchedUris.empty());
+}
+
 TEST_F(TruechangeTest, TypeSafetyTheorem) {
   // Theorem 3.6 in action: a well-typed, compliant script patches
   // successfully, and the result is a well-formed tree.

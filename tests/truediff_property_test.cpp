@@ -155,6 +155,78 @@ TEST_P(TrueDiffPropertyTest, AblationsPreserveCorrectness) {
   }
 }
 
+/// Asserts that \p Stored carries exactly the derived data a from-scratch
+/// recomputation yields (structure/literal hash, height, size), node for
+/// node, and that no dirty marks are left behind.
+void expectDerivedFresh(const SignatureTable &Sig, Tree *Stored) {
+  TreeContext Scratch(Sig);
+  const Tree *Fresh = Scratch.deepCopy(Stored);
+  std::function<void(Tree *, const Tree *)> Walk = [&](Tree *A,
+                                                       const Tree *B) {
+    EXPECT_FALSE(A->derivedDirty()) << "dirty mark left at uri " << A->uri();
+    EXPECT_EQ(A->structureHash(), B->structureHash())
+        << "stale structure hash at uri " << A->uri();
+    EXPECT_EQ(A->literalHash(), B->literalHash())
+        << "stale literal hash at uri " << A->uri();
+    EXPECT_EQ(A->height(), B->height()) << "stale height at uri " << A->uri();
+    EXPECT_EQ(A->size(), B->size()) << "stale size at uri " << A->uri();
+    ASSERT_EQ(A->arity(), B->arity());
+    for (size_t I = 0, E = A->arity(); I != E; ++I)
+      Walk(A->kid(I), B->kid(I));
+  };
+  Walk(Stored, Fresh);
+}
+
+TEST_P(TrueDiffPropertyTest, IncrementalRehashMatchesFullRefresh) {
+  // Run the same diff twice -- once with the dirty-path rehash, once with
+  // the paper-faithful full refresh. The scripts must be byte-identical
+  // (the cache is an optimisation, never a semantic change) and the
+  // incremental patched tree's digests must equal a from-scratch
+  // recomputation, while rehashing no more nodes than the full refresh.
+  SignatureTable Sig = makeExpSignature();
+  std::array<std::string, 2> Scripts;
+  for (int Mode = 0; Mode != 2; ++Mode) {
+    TreeContext Ctx(Sig);
+    Rng R(GetParam() * 2654435761u + 17);
+    Tree *Source = randomExp(Ctx, R, 7);
+    Tree *Target = R.chance(70) ? mutateExp(Ctx, R, Source, 10)
+                                : randomExp(Ctx, R, 6);
+    uint64_t PatchedCap = Target->size();
+
+    TrueDiffOptions Opts;
+    Opts.IncrementalRehash = Mode == 0;
+    TrueDiff Diff(Ctx, Opts);
+    DiffResult Result = Diff.compareTo(Source, Target);
+    Scripts[Mode] = Result.Script.toString(Sig);
+
+    EXPECT_LE(Result.NodesRehashed, PatchedCap);
+    if (Opts.IncrementalRehash)
+      expectDerivedFresh(Sig, Result.Patched);
+    else
+      EXPECT_EQ(Result.NodesRehashed, Result.Patched->size());
+  }
+  EXPECT_EQ(Scripts[0], Scripts[1]);
+}
+
+TEST_P(TrueDiffPropertyTest, IncrementalRehashStaysFreshAcrossRounds) {
+  // The incremental contract across diffing rounds (Section 6): each
+  // round's patched tree is the next round's pre-hashed source, so stale
+  // digests would compound. After every round the stored tree must agree
+  // with a from-scratch rebuild.
+  SignatureTable Sig = makeExpSignature();
+  TreeContext Ctx(Sig);
+  Rng R(GetParam() * 7691 + 3);
+  Tree *Current = randomExp(Ctx, R, 6);
+  for (int Round = 0; Round != 8; ++Round) {
+    Tree *Target = mutateExp(Ctx, R, Current, 12);
+    TrueDiff Diff(Ctx);
+    DiffResult Result = Diff.compareTo(Current, Target);
+    ASSERT_TRUE(treeEqualsModuloUris(Result.Patched, Target));
+    expectDerivedFresh(Sig, Result.Patched);
+    Current = Result.Patched;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, TrueDiffPropertyTest,
                          ::testing::Range<uint64_t>(0, 60));
 
