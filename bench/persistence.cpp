@@ -1,0 +1,267 @@
+//===- bench/persistence.cpp - WAL append and recovery throughput ----------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures the durability subsystem on its two hot paths and writes
+/// BENCH_persistence.json:
+///
+///   1. WAL append throughput (scripts/s and MB/s) as the group-commit
+///      batch (Config::FsyncEvery) grows from 1 (every record fsynced
+///      before its commit is acknowledged) to 32. Records are real edit
+///      scripts from mutated Python modules, binary-encoded once up
+///      front, so the phase times framing + write + fsync policy and
+///      nothing else. Group commit is the point of the design: the
+///      bench FAILS (exit 1) unless batch >= 8 reaches at least 2x the
+///      fsync-per-record throughput.
+///
+///   2. Recovery replay speed (restored tree nodes/ms): a data
+///      directory is populated by live traffic (open + mutation chains
+///      across many documents), then recovered into a fresh store with
+///      every script re-validated by LinearTypeChecker and re-applied
+///      by MTree::patchChecked. The bench FAILS if the recovered state
+///      diverges from the state the live store held at shutdown
+///      (version or URI-annotated tree of any document) or any
+///      document's digests come back stale.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "corpus/Mutator.h"
+#include "corpus/PyGen.h"
+#include "persist/BinaryCodec.h"
+#include "persist/Persistence.h"
+#include "persist/Snapshot.h"
+#include "persist/Wal.h"
+#include "python/Python.h"
+#include "service/DocumentStore.h"
+#include "service/Wire.h"
+#include "support/Rng.h"
+#include "tree/SExpr.h"
+#include "truediff/TrueDiff.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <stdlib.h>
+#include <unistd.h>
+
+using namespace truediff;
+using namespace truediff::bench;
+using namespace truediff::persist;
+using namespace truediff::service;
+
+namespace {
+
+/// A scratch data directory under the working directory (same
+/// filesystem as the build tree, so fsync cost is the real disk's, not
+/// tmpfs's). Removed with its wal/snap contents on destruction.
+class BenchDir {
+public:
+  BenchDir() {
+    char Tmpl[] = "./persist-bench-XXXXXX";
+    const char *P = ::mkdtemp(Tmpl);
+    Dir = P ? P : "";
+  }
+  ~BenchDir() {
+    if (Dir.empty())
+      return;
+    for (const auto &[Index, Path] : listWalSegments(Dir))
+      ::unlink(Path.c_str());
+    for (const SnapshotFileName &F : listSnapshotFiles(Dir))
+      ::unlink(F.Path.c_str());
+    ::rmdir(Dir.c_str());
+  }
+  bool ok() const { return !Dir.empty(); }
+  const std::string &path() const { return Dir; }
+
+private:
+  std::string Dir;
+};
+
+/// Pre-encodes \p Count WAL records holding real mutation scripts.
+std::vector<WalRecord> buildRecordCorpus(const SignatureTable &Sig,
+                                         size_t Count) {
+  std::vector<WalRecord> Records;
+  Records.reserve(Count);
+  Rng R(4242);
+  TreeContext Ctx(Sig);
+  Tree *Current = corpus::generateModule(Ctx, R);
+  uint64_t Seq = 0;
+  while (Records.size() < Count) {
+    Tree *Next = corpus::mutateModule(Ctx, R, Current);
+    TrueDiff Differ(Ctx);
+    EditScript Script = Differ.compareTo(Current, Next).Script;
+    Current = Next;
+    if (Script.empty())
+      continue;
+    WalRecord Rec;
+    Rec.Kind = WalKind::Submit;
+    Rec.Doc = Records.size() % 16;
+    Rec.Seq = ++Seq;
+    Rec.Version = Seq;
+    Rec.Script = encodeEditScript(Sig, Script);
+    Records.push_back(std::move(Rec));
+  }
+  return Records;
+}
+
+struct AppendMeasurement {
+  double ScriptsPerSec = 0;
+  double MbPerSec = 0;
+};
+
+/// Appends the whole corpus to a fresh WAL with the given batch size;
+/// fastest of \p Runs.
+AppendMeasurement measureAppend(const std::vector<WalRecord> &Records,
+                                size_t FsyncEvery, unsigned Runs,
+                                double PayloadBytes) {
+  double BestMs = 1e300;
+  for (unsigned Run = 0; Run != Runs; ++Run) {
+    BenchDir Dir;
+    if (!Dir.ok())
+      return {};
+    WalWriter W(Dir.path(), {FsyncEvery, 64u << 20});
+    auto Start = Clock::now();
+    for (const WalRecord &Rec : Records)
+      W.append(Rec);
+    W.flush(); // count the tail sync against every policy equally
+    BestMs = std::min(BestMs, msSince(Start));
+  }
+  AppendMeasurement M;
+  M.ScriptsPerSec = static_cast<double>(Records.size()) / (BestMs / 1000.0);
+  M.MbPerSec = PayloadBytes / (1024.0 * 1024.0) / (BestMs / 1000.0);
+  return M;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::printf("persistence: WAL group-commit append throughput + recovery "
+              "replay speed\n");
+  SignatureTable Sig = python::makePythonSignature();
+
+  size_t NumRecords = 400;
+  if (Argc > 1)
+    NumRecords = static_cast<size_t>(std::atoll(Argv[1]));
+
+  JsonReport Report("persistence");
+
+  // Phase 1: append throughput vs group-commit batch size.
+  std::vector<WalRecord> Records = buildRecordCorpus(Sig, NumRecords);
+  double PayloadBytes = 0;
+  for (const WalRecord &Rec : Records)
+    PayloadBytes += static_cast<double>(Rec.Script.size());
+  std::printf("# %zu records, %.1f KiB of encoded scripts (mean %.0f B)\n",
+              Records.size(), PayloadBytes / 1024.0,
+              PayloadBytes / static_cast<double>(Records.size()));
+  Report.meta("records", static_cast<double>(Records.size()));
+  Report.meta("payload_bytes", PayloadBytes);
+
+  std::printf("%-14s %14s %12s %10s\n", "fsync_every", "scripts/s", "MB/s",
+              "speedup");
+  double Base = 0, BatchedBest = 0;
+  for (size_t FsyncEvery : {size_t(1), size_t(2), size_t(4), size_t(8),
+                            size_t(16), size_t(32)}) {
+    AppendMeasurement M = measureAppend(Records, FsyncEvery, 3, PayloadBytes);
+    if (FsyncEvery == 1)
+      Base = M.ScriptsPerSec;
+    if (FsyncEvery >= 8)
+      BatchedBest = std::max(BatchedBest, M.ScriptsPerSec);
+    std::printf("%-14zu %14.0f %12.2f %9.2fx\n", FsyncEvery, M.ScriptsPerSec,
+                M.MbPerSec, M.ScriptsPerSec / Base);
+    std::string Name = "wal_append_fsync_" + std::to_string(FsyncEvery);
+    Report.scalar(Name, "scripts_per_s", M.ScriptsPerSec);
+    Report.scalar(Name + "_mb", "mb_per_s", M.MbPerSec);
+  }
+  double GroupCommitSpeedup = BatchedBest / Base;
+  Report.scalar("group_commit_speedup", "ratio", GroupCommitSpeedup);
+  std::printf("# group commit (batch >= 8) over fsync-per-record: %.2fx\n",
+              GroupCommitSpeedup);
+
+  // Phase 2: recovery replay speed. Populate a data directory with live
+  // traffic, remember the shutdown state, recover into fresh stores.
+  BenchDir DataDir;
+  if (!DataDir.ok()) {
+    std::printf("# FAIL: cannot create scratch directory\n");
+    return 1;
+  }
+  size_t NumDocs = 24, CommitsPerDoc = 12;
+  std::map<DocId, std::pair<uint64_t, std::string>> Expected;
+  {
+    DocumentStore Store(Sig);
+    Persistence::Config PC;
+    PC.Dir = DataDir.path();
+    PC.FsyncEvery = 8;
+    PC.SnapshotEvery = 0; // pure WAL replay: the worst-case recovery
+    PC.BackgroundIntervalMs = 0;
+    Persistence P(Sig, PC);
+    P.attach(Store);
+    Rng R(777);
+    for (DocId Doc = 1; Doc <= NumDocs; ++Doc) {
+      Rng DocRng(R.next());
+      corpus::PyGenOptions GenOpts;
+      GenOpts.NumFunctions = 3;
+      GenOpts.NumClasses = 1;
+      // The mutation chain lives in a scratch context; each version
+      // travels into the store as text, like wire traffic would.
+      TreeContext Scratch(Sig);
+      Tree *Cur = corpus::generateModule(Scratch, DocRng, GenOpts);
+      Store.open(Doc, makeSExprBuilder(printSExpr(Sig, Cur)));
+      for (size_t I = 0; I != CommitsPerDoc; ++I) {
+        Cur = corpus::mutateModule(Scratch, DocRng, Cur);
+        Store.submit(Doc, makeSExprBuilder(printSExpr(Sig, Cur)));
+      }
+      DocumentSnapshot S = Store.snapshot(Doc);
+      Expected[Doc] = {S.Version, S.UriText};
+    }
+    P.flush();
+  }
+
+  RecoveryResult RR;
+  bool Diverged = false;
+  double BestMs = 1e300;
+  for (unsigned Run = 0; Run != 3; ++Run) {
+    DocumentStore Fresh(Sig);
+    auto Start = Clock::now();
+    RR = Persistence::recover(Sig, DataDir.path(), Fresh);
+    BestMs = std::min(BestMs, msSince(Start));
+    for (const auto &[Doc, VersionAndText] : Expected) {
+      DocumentSnapshot S = Fresh.snapshot(Doc);
+      if (!S.Ok || S.Version != VersionAndText.first ||
+          S.UriText != VersionAndText.second ||
+          Fresh.checkDigests(Doc).has_value()) {
+        Diverged = true;
+        std::printf("# FAIL: doc %llu diverged after recovery\n",
+                    static_cast<unsigned long long>(Doc));
+      }
+    }
+  }
+  double NodesPerMs = static_cast<double>(RR.NodesRestored) / BestMs;
+  std::printf("\n# recovery: %llu docs, %llu records (%llu edits), %llu "
+              "nodes restored in %.1f ms -> %.0f nodes/ms, state %s\n",
+              static_cast<unsigned long long>(RR.DocsRecovered),
+              static_cast<unsigned long long>(RR.RecordsReplayed),
+              static_cast<unsigned long long>(RR.EditsReplayed),
+              static_cast<unsigned long long>(RR.NodesRestored), BestMs,
+              NodesPerMs, Diverged ? "DIVERGED" : "exact");
+  Report.scalar("recovery_replay", "nodes_per_ms", NodesPerMs);
+  Report.scalar("recovery_edits", "edits", static_cast<double>(RR.EditsReplayed));
+  Report.meta("recovery_docs", static_cast<double>(RR.DocsRecovered));
+  Report.meta("recovery_records", static_cast<double>(RR.RecordsReplayed));
+  Report.meta("recovery_exact", Diverged ? "no" : "yes");
+  Report.write();
+
+  bool SpeedupOk = GroupCommitSpeedup >= 2.0;
+  if (!SpeedupOk)
+    std::printf("# FAIL: group commit (batch >= 8) must reach 2x "
+                "fsync-per-record append throughput, got %.2fx\n",
+                GroupCommitSpeedup);
+  if (Diverged)
+    std::printf("# FAIL: recovered state must equal the shutdown state\n");
+  return SpeedupOk && !Diverged ? 0 : 1;
+}

@@ -9,12 +9,12 @@
 /// textual wire protocol (service/Wire.h) on stdin/stdout:
 ///
 ///   $ diff_server json
-///   > open 1 (Obj (Member (Arr (Num) (Num)) "xs"))
-///   ok version=0 edits=7 coalesced=7 size=6
+///   > open 1 (JArray (ElemCons (JNumber 1.0) (ElemNil)))
+///   ok version=0 edits=5 coalesced=4 size=4
 ///   .
-///   > submit 1 (Obj (Member (Arr (Num) (Num) (Num)) "xs"))
-///   ok version=1 edits=4 coalesced=3 size=7
-///   load(Num_9, [], [])
+///   > submit 1 (JArray (ElemCons (JNumber 1.0) (ElemCons (JNumber 2.0) (ElemNil))))
+///   ok version=1 edits=5 coalesced=4 size=6
+///   load(ElemCons_9, [...], [])
 ///   ...
 ///   .
 ///
@@ -23,43 +23,125 @@
 /// holding the previous version can replay the patch locally -- the
 /// version-control/database deployment the paper motivates in Section 1.
 ///
+/// With --data-dir=<dir> the server is durable: committed operations are
+/// written to a write-ahead log in <dir>, documents are snapshotted in
+/// the background, and on startup the store is recovered from the
+/// directory's snapshots + WAL. The `save <doc>` verb forces a snapshot,
+/// `recover` reports what startup recovery found, and `stats` gains a
+/// "persist" section.
+///
 //===----------------------------------------------------------------------===//
 
 #include "json/Json.h"
+#include "persist/Persistence.h"
 #include "python/Python.h"
 #include "service/Wire.h"
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 using namespace truediff;
 using namespace truediff::service;
 
+namespace {
+
+std::string recoveryJson(const persist::RecoveryResult &R) {
+  auto N = [](uint64_t V) { return std::to_string(V); };
+  return "{\"docs_recovered\":" + N(R.DocsRecovered) +
+         ",\"docs_dropped\":" + N(R.DocsDropped) +
+         ",\"snapshots_loaded\":" + N(R.SnapshotsLoaded) +
+         ",\"snapshots_corrupt\":" + N(R.SnapshotsCorrupt) +
+         ",\"records_replayed\":" + N(R.RecordsReplayed) +
+         ",\"records_skipped\":" + N(R.RecordsSkipped) +
+         ",\"orphan_records\":" + N(R.OrphanRecords) +
+         ",\"invalid_records\":" + N(R.InvalidRecords) +
+         ",\"torn_bytes\":" + N(R.TornBytes) +
+         ",\"nodes_restored\":" + N(R.NodesRestored) +
+         ",\"edits_replayed\":" + N(R.EditsReplayed) +
+         ",\"max_seq\":" + N(R.MaxSeq) + "}";
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
-  std::string Lang = Argc > 1 ? Argv[1] : "json";
-  unsigned Workers = Argc > 2 ? static_cast<unsigned>(std::atoi(Argv[2])) : 0;
+  std::string Lang;
+  unsigned Workers = 0;
+  std::string DataDir;
+  size_t FsyncEvery = 8;
+  bool BadArgs = false;
+  for (int I = 1; I != Argc; ++I) {
+    std::string_view Arg(Argv[I]);
+    if (Arg.rfind("--data-dir=", 0) == 0)
+      DataDir = std::string(Arg.substr(strlen("--data-dir=")));
+    else if (Arg.rfind("--fsync-every=", 0) == 0)
+      FsyncEvery = static_cast<size_t>(
+          std::atoll(std::string(Arg.substr(strlen("--fsync-every="))).c_str()));
+    else if (Lang.empty() && !Arg.empty() && Arg[0] != '-')
+      Lang = std::string(Arg);
+    else if (!Arg.empty() && Arg[0] != '-')
+      Workers = static_cast<unsigned>(std::atoi(std::string(Arg).c_str()));
+    else
+      BadArgs = true;
+  }
+  if (Lang.empty())
+    Lang = "json";
 
   SignatureTable Sig;
-  if (Lang == "json") {
+  if (!BadArgs && Lang == "json") {
     Sig = json::makeJsonSignature();
-  } else if (Lang == "py") {
+  } else if (!BadArgs && Lang == "py") {
     Sig = python::makePythonSignature();
   } else {
-    std::fprintf(stderr, "usage: %s [json|py] [workers]\n", Argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [json|py] [workers] [--data-dir=<dir>] "
+                 "[--fsync-every=<n>]\n",
+                 Argv[0]);
     return 2;
   }
 
   DocumentStore Store(Sig);
+
+  std::unique_ptr<persist::Persistence> Persist;
+  if (!DataDir.empty()) {
+    persist::Persistence::Config PC;
+    PC.Dir = DataDir;
+    PC.FsyncEvery = FsyncEvery == 0 ? 1 : FsyncEvery;
+    try {
+      Persist = std::make_unique<persist::Persistence>(Sig, PC);
+    } catch (const std::exception &E) {
+      std::fprintf(stderr, "diff_server: cannot open data dir: %s\n", E.what());
+      return 1;
+    }
+    persist::RecoveryResult R = Persist->recoverAndAttach(Store);
+    std::fprintf(stderr,
+                 "diff_server: recovered %llu document(s) from %s "
+                 "(%llu snapshot(s), %llu record(s) replayed, %llu torn "
+                 "byte(s) discarded)\n",
+                 static_cast<unsigned long long>(R.DocsRecovered),
+                 DataDir.c_str(),
+                 static_cast<unsigned long long>(R.SnapshotsLoaded),
+                 static_cast<unsigned long long>(R.RecordsReplayed),
+                 static_cast<unsigned long long>(R.TornBytes));
+  }
+
   ServiceConfig Cfg;
   Cfg.Workers = Workers;
   DiffService Service(Store, Cfg);
+  if (Persist) {
+    persist::Persistence *P = Persist.get();
+    Service.setDrainHook([P] { P->flush(); });
+    Service.setStatsAugmenter(
+        [P] { return "\"persist\":" + P->statsJson(); });
+  }
 
   std::fprintf(stderr,
-               "diff_server: %s signature, %u workers; commands: open, "
-               "submit, rollback, get, stats, quit\n",
-               Lang.c_str(), Service.workers());
+               "diff_server: %s signature, %u workers%s; commands: open, "
+               "submit, rollback, get, save, recover, stats, quit\n",
+               Lang.c_str(), Service.workers(),
+               Persist ? ", durable" : "");
 
   std::string Line;
   while (std::getline(std::cin, Line)) {
@@ -79,6 +161,27 @@ int main(int Argc, char **Argv) {
       break;
     case WireCommand::Kind::Get:
       R = Service.getVersion(Cmd.Doc);
+      break;
+    case WireCommand::Kind::Save:
+      if (!Persist) {
+        R.Error = "persistence is disabled (run with --data-dir=<dir>)";
+      } else if (Persist->snapshotDocument(Cmd.Doc)) {
+        // Snapshots capture acknowledged state; flush so everything the
+        // client saw committed is also durable in the log.
+        Persist->flush();
+        R.Ok = true;
+        R.Payload = "snapshot written";
+      } else {
+        R.Error = "no such document";
+      }
+      break;
+    case WireCommand::Kind::Recover:
+      if (!Persist) {
+        R.Error = "persistence is disabled (run with --data-dir=<dir>)";
+      } else {
+        R.Ok = true;
+        R.Payload = recoveryJson(Persist->lastRecovery());
+      }
       break;
     case WireCommand::Kind::Stats:
       R = Service.stats();

@@ -1,0 +1,73 @@
+//===- persist/Crc32c.cpp - CRC-32C (Castagnoli) checksums -----------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/Crc32c.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+static_assert(std::endian::native == std::endian::little,
+              "the slice-by-8 word fold assumes a little-endian host");
+
+using namespace truediff;
+
+namespace {
+
+/// Eight 256-entry tables for slice-by-8: table K holds the CRC of a byte
+/// followed by K zero bytes, so eight input bytes fold in parallel.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> T;
+
+  Tables() {
+    constexpr uint32_t Poly = 0x82f63b78u; // reflected 0x1EDC6F41
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t Crc = I;
+      for (int Bit = 0; Bit != 8; ++Bit)
+        Crc = (Crc >> 1) ^ ((Crc & 1) ? Poly : 0);
+      T[0][I] = Crc;
+    }
+    for (uint32_t I = 0; I != 256; ++I)
+      for (size_t K = 1; K != 8; ++K)
+        T[K][I] = (T[K - 1][I] >> 8) ^ T[0][T[K - 1][I] & 0xff];
+  }
+};
+
+const Tables &tables() {
+  static const Tables Tab;
+  return Tab;
+}
+
+} // namespace
+
+uint32_t persist::crc32c(uint32_t Crc, const void *Data, size_t Size) {
+  const Tables &Tab = tables();
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  Crc = ~Crc;
+  while (Size != 0 && (reinterpret_cast<uintptr_t>(P) & 7) != 0) {
+    Crc = (Crc >> 8) ^ Tab.T[0][(Crc ^ *P++) & 0xff];
+    --Size;
+  }
+  while (Size >= 8) {
+    uint64_t Word;
+    std::memcpy(&Word, P, 8);
+    // Little-endian fold: low word mixes with the running CRC, high word
+    // enters through the zero-extended tables.
+    Crc ^= static_cast<uint32_t>(Word);
+    uint32_t Hi = static_cast<uint32_t>(Word >> 32);
+    Crc = Tab.T[7][Crc & 0xff] ^ Tab.T[6][(Crc >> 8) & 0xff] ^
+          Tab.T[5][(Crc >> 16) & 0xff] ^ Tab.T[4][Crc >> 24] ^
+          Tab.T[3][Hi & 0xff] ^ Tab.T[2][(Hi >> 8) & 0xff] ^
+          Tab.T[1][(Hi >> 16) & 0xff] ^ Tab.T[0][Hi >> 24];
+    P += 8;
+    Size -= 8;
+  }
+  while (Size != 0) {
+    Crc = (Crc >> 8) ^ Tab.T[0][(Crc ^ *P++) & 0xff];
+    --Size;
+  }
+  return ~Crc;
+}

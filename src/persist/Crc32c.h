@@ -1,0 +1,41 @@
+//===- persist/Crc32c.h - CRC-32C (Castagnoli) checksums --------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78), the
+/// checksum guarding every WAL record frame and snapshot payload. Chosen
+/// over plain CRC-32 for its strictly better error-detection properties
+/// and because it is the de-facto standard for storage framing (iSCSI,
+/// ext4, LevelDB, RocksDB). Software slice-by-8 implementation -- no ISA
+/// extensions required, ~1 byte/cycle, far faster than the disk it
+/// guards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_PERSIST_CRC32C_H
+#define TRUEDIFF_PERSIST_CRC32C_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace truediff {
+namespace persist {
+
+/// Extends \p Crc (a previous crc32c result, or 0 to start) over
+/// \p Size bytes at \p Data. The conventional pre/post inversion is
+/// handled internally, so calls chain: crc32c(crc32c(0, a), b) equals
+/// crc32c(0, ab).
+uint32_t crc32c(uint32_t Crc, const void *Data, size_t Size);
+
+inline uint32_t crc32c(std::string_view Bytes) {
+  return crc32c(0, Bytes.data(), Bytes.size());
+}
+
+} // namespace persist
+} // namespace truediff
+
+#endif // TRUEDIFF_PERSIST_CRC32C_H

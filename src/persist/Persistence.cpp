@@ -1,0 +1,523 @@
+//===- persist/Persistence.cpp - Durability for the document store ---------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/Persistence.h"
+
+#include "persist/BinaryCodec.h"
+#include "persist/Snapshot.h"
+#include "truechange/Inverse.h"
+#include "truechange/MTree.h"
+#include "truechange/TypeChecker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include <unistd.h>
+
+using namespace truediff;
+using namespace truediff::persist;
+using service::DocId;
+using service::DocumentStore;
+
+namespace {
+
+WalKind kindFor(DocumentStore::StoreOp Op) {
+  switch (Op) {
+  case DocumentStore::StoreOp::Open:
+    return WalKind::Open;
+  case DocumentStore::StoreOp::Submit:
+    return WalKind::Submit;
+  case DocumentStore::StoreOp::Rollback:
+    return WalKind::Rollback;
+  }
+  return WalKind::Submit;
+}
+
+} // namespace
+
+Persistence::Persistence(const SignatureTable &Sig, Config C)
+    : Sig(Sig), Cfg(C),
+      Wal(C.Dir, WalWriter::Config{C.FsyncEvery, C.SegmentBytes}) {}
+
+Persistence::~Persistence() {
+  {
+    std::lock_guard<std::mutex> Lock(BgMu);
+    StopBg = true;
+  }
+  BgCv.notify_all();
+  if (Background.joinable())
+    Background.join();
+  // The WalWriter destructor fsyncs the tail.
+}
+
+void Persistence::onScript(DocId Doc, uint64_t Version,
+                           DocumentStore::StoreOp Op,
+                           const EditScript &Script) {
+  WalRecord Rec;
+  Rec.Kind = kindFor(Op);
+  Rec.Doc = Doc;
+  Rec.Version = Version;
+  Rec.Script = encodeEditScript(Sig, Script);
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    Rec.Seq = ++NextSeq;
+    DocState &DS = DocStates[Doc];
+    DS.LastSeq = Rec.Seq;
+    ++DS.OpsSinceSnap;
+  }
+  // Listener invocations are serialized by the store's listener mutex,
+  // so sequence order equals append order.
+  Wal.append(Rec);
+}
+
+void Persistence::onErase(DocId Doc) {
+  WalRecord Rec;
+  Rec.Kind = WalKind::Erase;
+  Rec.Doc = Doc;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    Rec.Seq = ++NextSeq;
+    DocStates.erase(Doc);
+  }
+  Wal.append(Rec);
+
+  // Tombstone so compaction can drop the erase record and everything
+  // before it without old records resurrecting the document. Runs under
+  // the shard lock (erase listener contract), which also orders it
+  // before any re-open of the same id. Failure is tolerable: the erase
+  // record above is authoritative, the tombstone only unpins the log.
+  SnapshotData Tomb;
+  Tomb.Doc = Doc;
+  Tomb.Seq = Rec.Seq;
+  Tomb.Tombstone = true;
+  try {
+    writeSnapshotFile(Cfg.Dir, Tomb);
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ++Counters.TombstonesWritten;
+  } catch (const std::exception &) {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ++Counters.SnapshotFailures;
+    return;
+  }
+  // Older snapshots of the erased document are superseded; best effort.
+  for (const SnapshotFileName &F : listSnapshotFiles(Cfg.Dir))
+    if (F.Doc == Doc && F.Seq < Rec.Seq && ::unlink(F.Path.c_str()) == 0) {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      ++Counters.SnapshotsDeleted;
+    }
+}
+
+void Persistence::attach(DocumentStore &S) {
+  Store = &S;
+  S.addScriptListener([this](DocId Doc, uint64_t Version,
+                             DocumentStore::StoreOp Op,
+                             const EditScript &Script) {
+    onScript(Doc, Version, Op, Script);
+  });
+  S.addEraseListener([this](DocId Doc) { onErase(Doc); });
+  if (Cfg.BackgroundIntervalMs != 0 && !Background.joinable())
+    Background = std::thread([this] { backgroundLoop(); });
+}
+
+bool Persistence::snapshotDocument(DocId Doc) {
+  SnapshotData Snap;
+  bool Found =
+      Store != nullptr &&
+      Store->withDocument(
+          Doc, [&](const Tree *T, uint64_t Version,
+                   const std::vector<DocumentStore::HistoryEntry> &History) {
+            // The document lock is held: no new record for this document
+            // can be logged concurrently, so LastSeq is exactly the
+            // sequence number of the state being captured.
+            {
+              std::lock_guard<std::mutex> Lock(StateMu);
+              Snap.Seq = DocStates[Doc].LastSeq;
+            }
+            Snap.Doc = Doc;
+            Snap.Version = Version;
+            Snap.TreeBlob = encodeTree(Sig, T);
+            for (const DocumentStore::HistoryEntry &H : History)
+              Snap.History.emplace_back(H.Version,
+                                        encodeEditScript(Sig, *H.Script));
+          });
+  if (!Found)
+    return false;
+
+  try {
+    writeSnapshotFile(Cfg.Dir, Snap);
+  } catch (const std::exception &) {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ++Counters.SnapshotFailures;
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ++Counters.SnapshotsWritten;
+    auto It = DocStates.find(Doc);
+    if (It != DocStates.end()) {
+      if (It->second.SnapSeq < Snap.Seq)
+        It->second.SnapSeq = Snap.Seq;
+      It->second.OpsSinceSnap = 0;
+    }
+  }
+  // Superseded snapshots of this document are dead weight; best effort.
+  for (const SnapshotFileName &F : listSnapshotFiles(Cfg.Dir))
+    if (F.Doc == Doc && F.Seq < Snap.Seq && ::unlink(F.Path.c_str()) == 0) {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      ++Counters.SnapshotsDeleted;
+    }
+  return true;
+}
+
+size_t Persistence::snapshotDueDocuments() {
+  if (Cfg.SnapshotEvery == 0)
+    return 0;
+  std::vector<DocId> Due;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    for (const auto &[Doc, DS] : DocStates)
+      if (DS.OpsSinceSnap >= Cfg.SnapshotEvery)
+        Due.push_back(Doc);
+  }
+  size_t Written = 0;
+  for (DocId Doc : Due)
+    if (snapshotDocument(Doc))
+      ++Written;
+  return Written;
+}
+
+void Persistence::compact() {
+  // Coverage comes from valid snapshot *contents*, never file names.
+  std::unordered_map<uint64_t, uint64_t> BestSeq;
+  struct ValidFile {
+    std::string Path;
+    uint64_t Doc;
+    uint64_t Seq;
+  };
+  std::vector<ValidFile> Valid;
+  for (const SnapshotFileName &F : listSnapshotFiles(Cfg.Dir)) {
+    ReadSnapshotResult R = readSnapshotFile(F.Path);
+    if (!R.Ok)
+      continue; // corrupt files are recovery's diagnostic, not ours
+    Valid.push_back({F.Path, R.Snap.Doc, R.Snap.Seq});
+    uint64_t &Best = BestSeq[R.Snap.Doc];
+    Best = std::max(Best, R.Snap.Seq);
+  }
+
+  // Superseded snapshots first, so segment coverage below reflects what
+  // will remain on disk.
+  for (const ValidFile &F : Valid)
+    if (F.Seq < BestSeq[F.Doc] && ::unlink(F.Path.c_str()) == 0) {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      ++Counters.SnapshotsDeleted;
+    }
+
+  // A closed segment is dead iff every decodable record in it is covered
+  // by a snapshot. Torn tail bytes are dead by the recovery contract
+  // (recovery discards them too), so they do not pin a segment.
+  uint64_t Current = Wal.currentSegment();
+  for (const auto &[Index, Path] : listWalSegments(Cfg.Dir)) {
+    if (Index >= Current)
+      continue;
+    WalSegment Seg = readWalSegment(Index, Path);
+    if (!Seg.HeaderOk)
+      continue; // unreadable: keep for post-mortem, recovery skips it
+    bool Dead = true;
+    for (const WalRecord &Rec : Seg.Records) {
+      auto It = BestSeq.find(Rec.Doc);
+      if (It == BestSeq.end() || It->second < Rec.Seq) {
+        Dead = false;
+        break;
+      }
+    }
+    if (Dead && ::unlink(Path.c_str()) == 0) {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      ++Counters.SegmentsDeleted;
+    }
+  }
+  std::lock_guard<std::mutex> Lock(StateMu);
+  ++Counters.CompactionRuns;
+}
+
+void Persistence::flush() { Wal.flush(); }
+
+void Persistence::backgroundLoop() {
+  std::unique_lock<std::mutex> Lock(BgMu);
+  while (!StopBg) {
+    BgCv.wait_for(Lock, std::chrono::milliseconds(Cfg.BackgroundIntervalMs),
+                  [this] { return StopBg; });
+    if (StopBg)
+      break;
+    Lock.unlock();
+    // Bound the group-commit loss window in time, not just in records.
+    Wal.flush();
+    size_t Wrote = snapshotDueDocuments();
+    if (Wrote != 0 && Cfg.CompactAfterSnapshot)
+      compact();
+    Lock.lock();
+  }
+}
+
+Persistence::Stats Persistence::stats() const {
+  Stats Out;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    Out = Counters;
+  }
+  Out.Wal = Wal.stats();
+  Out.CurrentSegment = Wal.currentSegment();
+  return Out;
+}
+
+std::string Persistence::statsJson() const {
+  Stats S = stats();
+  auto N = [](uint64_t V) { return std::to_string(V); };
+  std::string Json = "{\"wal\":{\"records\":" + N(S.Wal.Records) +
+                     ",\"bytes\":" + N(S.Wal.Bytes) +
+                     ",\"fsyncs\":" + N(S.Wal.Fsyncs) +
+                     ",\"rotations\":" + N(S.Wal.Rotations) +
+                     ",\"segment\":" + N(S.CurrentSegment) + "}";
+  Json += ",\"snapshots\":{\"written\":" + N(S.SnapshotsWritten) +
+          ",\"tombstones\":" + N(S.TombstonesWritten) +
+          ",\"deleted\":" + N(S.SnapshotsDeleted) +
+          ",\"failures\":" + N(S.SnapshotFailures) + "}";
+  Json += ",\"compaction\":{\"runs\":" + N(S.CompactionRuns) +
+          ",\"segments_deleted\":" + N(S.SegmentsDeleted) + "}";
+  const RecoveryResult &R = LastRecovery;
+  Json += ",\"recovery\":{\"docs\":" + N(R.DocsRecovered) +
+          ",\"records_replayed\":" + N(R.RecordsReplayed) +
+          ",\"records_skipped\":" + N(R.RecordsSkipped) +
+          ",\"orphans\":" + N(R.OrphanRecords) +
+          ",\"torn_bytes\":" + N(R.TornBytes) +
+          ",\"snapshots_loaded\":" + N(R.SnapshotsLoaded) + "}";
+  Json += "}";
+  return Json;
+}
+
+RecoveryResult Persistence::recoverAndAttach(DocumentStore &S) {
+  RecoveryResult R = recover(Sig, Cfg.Dir, S);
+  LastRecovery = R;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    NextSeq = std::max(NextSeq, R.MaxSeq);
+    for (const RecoveryResult::RecoveredDoc &D : R.Docs) {
+      DocState &DS = DocStates[D.Doc];
+      DS.LastSeq = D.LastSeq;
+      DS.SnapSeq = D.SnapSeq;
+      DS.OpsSinceSnap = 0;
+    }
+  }
+  attach(S);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Recovery
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Replay-time state of one document.
+struct ReplayDoc {
+  std::unique_ptr<MTree> M;
+  uint64_t Version = 0;
+  uint64_t SnapSeq = 0;
+  uint64_t LastSeq = 0;
+  bool Live = false;
+  /// A record failed to decode or type-check: keep the current (still
+  /// consistent) state, apply nothing further.
+  bool Frozen = false;
+  /// A record tore the tree mid-apply: exclude the document entirely.
+  bool Dropped = false;
+  /// Forward scripts of the rollback ring, oldest first.
+  std::vector<std::pair<uint64_t, EditScript>> History;
+};
+
+} // namespace
+
+RecoveryResult Persistence::recover(const SignatureTable &Sig,
+                                    const std::string &Dir,
+                                    DocumentStore &Store) {
+  RecoveryResult R;
+  LinearTypeChecker Checker(Sig);
+  std::unordered_map<uint64_t, ReplayDoc> Docs;
+
+  // Phase 1: newest valid snapshot per document. Validity is decided by
+  // file contents (CRC + full decode); names only locate the files.
+  std::unordered_map<uint64_t, SnapshotData> BestSnap;
+  for (const SnapshotFileName &F : listSnapshotFiles(Dir)) {
+    ReadSnapshotResult Res = readSnapshotFile(F.Path);
+    if (!Res.Ok) {
+      ++R.SnapshotsCorrupt;
+      continue;
+    }
+    auto It = BestSnap.find(Res.Snap.Doc);
+    if (It == BestSnap.end() || It->second.Seq < Res.Snap.Seq)
+      BestSnap[Res.Snap.Doc] = std::move(Res.Snap);
+  }
+  for (auto &[Doc, Snap] : BestSnap) {
+    ++R.SnapshotsLoaded;
+    R.MaxSeq = std::max(R.MaxSeq, Snap.Seq);
+    ReplayDoc &D = Docs[Doc];
+    D.SnapSeq = D.LastSeq = Snap.Seq;
+    if (Snap.Tombstone)
+      continue; // D.Live stays false: erased as of Snap.Seq
+    TreeContext Ctx(Sig); // transient: MTree copies the structure out
+    DecodeTreeResult TreeRes = decodeTree(Sig, Ctx, Snap.TreeBlob);
+    if (!TreeRes.ok()) {
+      // CRC passed but the blob is undecodable: without the base state
+      // the log suffix is useless for this document.
+      ++R.SnapshotsCorrupt;
+      ++R.DocsDropped;
+      D.Dropped = true;
+      continue;
+    }
+    D.M = std::make_unique<MTree>(MTree::fromTree(Sig, TreeRes.Root));
+    D.Version = Snap.Version;
+    D.Live = true;
+    for (const auto &[Version, Blob] : Snap.History) {
+      DecodeScriptResult SR = decodeEditScript(Sig, Blob);
+      if (!SR.Ok) {
+        // History only bounds rollback depth; losing it is benign.
+        D.History.clear();
+        break;
+      }
+      D.History.emplace_back(Version, std::move(SR.Script));
+    }
+  }
+
+  // Phase 2: replay the WAL suffix in log order. Segment indices order
+  // segments; within a segment, append order holds. Torn tails were
+  // already cut by readWalSegment.
+  size_t HistoryCap = Store.config().HistoryCapacity;
+  for (const auto &[Index, Path] : listWalSegments(Dir)) {
+    WalSegment Seg = readWalSegment(Index, Path);
+    R.TornBytes += Seg.TornBytes;
+    if (!Seg.HeaderOk)
+      continue;
+    for (WalRecord &Rec : Seg.Records) {
+      R.MaxSeq = std::max(R.MaxSeq, Rec.Seq);
+      ReplayDoc &D = Docs[Rec.Doc];
+      if (Rec.Seq <= D.SnapSeq || D.Dropped || D.Frozen) {
+        ++R.RecordsSkipped;
+        continue;
+      }
+      D.LastSeq = Rec.Seq;
+
+      if (Rec.Kind == WalKind::Erase) {
+        if (!D.Live) {
+          ++R.OrphanRecords;
+          continue;
+        }
+        D.M.reset();
+        D.Live = false;
+        D.History.clear();
+        ++R.RecordsReplayed;
+        continue;
+      }
+
+      // Orphan classification precedes script decoding: a record that log
+      // order says cannot apply (open over a live document, submit or
+      // rollback after an erase) is the erase-overtakes-in-flight race
+      // artifact whatever its payload holds, and skipping it must not
+      // freeze the document.
+      if (Rec.Kind == WalKind::Open ? D.Live : !D.Live) {
+        ++R.OrphanRecords;
+        continue;
+      }
+
+      DecodeScriptResult SR = decodeEditScript(Sig, Rec.Script);
+      if (!SR.Ok) {
+        D.Frozen = true;
+        ++R.InvalidRecords;
+        continue;
+      }
+
+      if (Rec.Kind == WalKind::Open) {
+        if (!Checker.checkInitializing(SR.Script).Ok) {
+          D.Frozen = true;
+          ++R.InvalidRecords;
+          continue;
+        }
+        auto M = std::make_unique<MTree>(Sig);
+        MTree::PatchResult P = M->patchChecked(SR.Script);
+        if (!P.Ok) {
+          // The fresh MTree is discarded, so nothing tears; but the
+          // document cannot come into being.
+          D.Frozen = true;
+          ++R.InvalidRecords;
+          continue;
+        }
+        R.EditsReplayed += SR.Script.size();
+        D.M = std::move(M);
+        D.Live = true;
+        D.Version = 0;
+        D.History.clear();
+        ++R.RecordsReplayed;
+        continue;
+      }
+
+      // Submit or Rollback on an existing document.
+      if (!Checker.checkWellTyped(SR.Script).Ok) {
+        D.Frozen = true;
+        ++R.InvalidRecords;
+        continue;
+      }
+      MTree::PatchResult P = D.M->patchChecked(SR.Script);
+      if (!P.Ok) {
+        // patchChecked applies edit by edit; a mid-script failure leaves
+        // the tree torn, so the document is excluded rather than
+        // restored half-applied.
+        D.Dropped = true;
+        D.Live = false;
+        D.M.reset();
+        D.History.clear();
+        ++R.DocsDropped;
+        ++R.InvalidRecords;
+        continue;
+      }
+      R.EditsReplayed += SR.Script.size();
+      D.Version = Rec.Version;
+      if (Rec.Kind == WalKind::Submit) {
+        D.History.emplace_back(Rec.Version, std::move(SR.Script));
+        if (D.History.size() > HistoryCap)
+          D.History.erase(D.History.begin());
+      } else {
+        // Rollback consumed the ring's newest record.
+        if (!D.History.empty() && D.History.back().first == Rec.Version + 1)
+          D.History.pop_back();
+        else
+          D.History.clear(); // ring out of sync (capacity eviction): drop
+      }
+      ++R.RecordsReplayed;
+    }
+  }
+
+  // Phase 3: install the survivors.
+  for (auto &[Doc, D] : Docs) {
+    if (!D.Live || !D.M)
+      continue;
+    service::StoreResult Res = Store.restore(
+        Doc, D.Version,
+        [&](TreeContext &Ctx) {
+          service::BuildResult B;
+          B.Root = D.M->toTreePreservingUris(Ctx);
+          if (B.Root == nullptr)
+            B.Error = "recovered tree is not closed";
+          return B;
+        },
+        std::move(D.History));
+    if (!Res.Ok) {
+      ++R.DocsDropped;
+      continue;
+    }
+    ++R.DocsRecovered;
+    R.NodesRestored += Res.TreeSize;
+    R.Docs.push_back({Doc, D.LastSeq, D.SnapSeq, D.Version});
+  }
+  return R;
+}

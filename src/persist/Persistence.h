@@ -1,0 +1,238 @@
+//===- persist/Persistence.h - Durability for the document store -*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistence subsystem's front door: wires a DocumentStore to a
+/// write-ahead log (persist/Wal) and per-document snapshots
+/// (persist/Snapshot) so the store's state survives restarts and
+/// crashes.
+///
+/// Logging. Attached as a script listener, Persistence assigns every
+/// committed operation (open, submit, rollback, erase) a globally
+/// monotone sequence number and appends one binary WAL record for it.
+/// Listeners run under the store's listener mutex, so sequence order
+/// equals log order; per-document order additionally matches commit
+/// order because script listeners run under the document lock.
+///
+/// Snapshots. After Config::SnapshotEvery logged operations on a
+/// document, a background pass (or an explicit snapshotDocument call,
+/// the SAVE verb) captures the document's full tree -- URIs preserved,
+/// so logged scripts stay meaningful against it -- and its rollback
+/// history ring, stamped with the document's last logged sequence
+/// number. erase() writes a *tombstone* snapshot so compaction can drop
+/// the erase record without old records resurrecting the document.
+///
+/// Recovery. recover() loads the newest valid snapshot of each document,
+/// replays the WAL suffix (records with Seq greater than the snapshot's)
+/// through the standard semantics -- every script is validated with
+/// LinearTypeChecker and applied with MTree::patchChecked -- and
+/// installs the results via DocumentStore::restore. Torn log tails are
+/// CRC-detected and discarded; a record is either fully applied or not
+/// at all, so the recovered store always equals a committed prefix of
+/// the accepted operations. Orphan records (an erase can overtake an
+/// in-flight operation's log record) are skipped and counted.
+///
+/// Compaction. A WAL segment is dead once every record in it is covered
+/// by some durable snapshot (Seq <= the document's snapshot Seq);
+/// compact() deletes dead closed segments and superseded snapshot
+/// files. The active segment is never touched. Tombstones are kept
+/// conservatively: they are cheap, and proving them dead would require
+/// knowing the minimum sequence number still present in the log.
+///
+/// Durability contract. With Config::FsyncEvery = 1 every acknowledged
+/// commit survives power loss. With N > 1 (group commit) an fsync
+/// happens every N records and on flush/rotation/close, so power loss
+/// can drop at most the last N-1 acknowledged commits -- but a plain
+/// process crash (kill -9) loses nothing, because completed write(2)
+/// calls survive the process in page cache. The background pass also
+/// flushes every Config::BackgroundIntervalMs, bounding the loss window
+/// in time as well as in records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_PERSIST_PERSISTENCE_H
+#define TRUEDIFF_PERSIST_PERSISTENCE_H
+
+#include "persist/Wal.h"
+#include "service/DocumentStore.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace truediff {
+namespace persist {
+
+/// What recovery found and rebuilt; all counters are totals across the
+/// data directory.
+struct RecoveryResult {
+  /// Documents installed into the store.
+  uint64_t DocsRecovered = 0;
+  /// Documents whose replay failed mid-apply and were excluded rather
+  /// than restored torn. Always 0 unless the log was corrupted in a way
+  /// CRC framing cannot see.
+  uint64_t DocsDropped = 0;
+  /// Valid snapshots loaded (tombstones included).
+  uint64_t SnapshotsLoaded = 0;
+  /// Snapshot files that failed CRC/decoding and were ignored.
+  uint64_t SnapshotsCorrupt = 0;
+  /// WAL records applied during replay.
+  uint64_t RecordsReplayed = 0;
+  /// WAL records already covered by a snapshot (Seq <= snapshot Seq).
+  uint64_t RecordsSkipped = 0;
+  /// Records for documents that no longer exist at that point in the
+  /// log -- the erase-overtakes-in-flight-operation race.
+  uint64_t OrphanRecords = 0;
+  /// CRC-valid records whose script failed decoding or type checking;
+  /// the document is frozen at its last good state.
+  uint64_t InvalidRecords = 0;
+  /// Bytes discarded at segment tails (torn writes).
+  uint64_t TornBytes = 0;
+  /// Highest sequence number seen in any record or snapshot; the live
+  /// writer continues from here.
+  uint64_t MaxSeq = 0;
+  /// Total nodes of all restored trees.
+  uint64_t NodesRestored = 0;
+  /// Total edits of all replayed scripts.
+  uint64_t EditsReplayed = 0;
+
+  /// Per-document outcome, for seeding the live layer and for tests.
+  struct RecoveredDoc {
+    uint64_t Doc = 0;
+    uint64_t LastSeq = 0;
+    uint64_t SnapSeq = 0;
+    uint64_t Version = 0;
+  };
+  std::vector<RecoveredDoc> Docs;
+};
+
+/// Durable persistence for one DocumentStore. Construct (opens the WAL),
+/// then either recoverAndAttach() on a data directory that may hold
+/// prior state, or attach() on a store that is already authoritative.
+class Persistence {
+public:
+  struct Config {
+    /// Data directory; created if missing. Holds wal-<n>.log segments
+    /// and snap-<doc>-<seq>.snap snapshots.
+    std::string Dir;
+    /// Group-commit batch: fsync once per this many records (1 = every
+    /// record durable before its commit is acknowledged).
+    size_t FsyncEvery = 8;
+    /// WAL segment rotation threshold.
+    size_t SegmentBytes = 4u << 20;
+    /// Snapshot a document after this many logged operations on it.
+    /// 0 disables automatic snapshots (SAVE still works).
+    size_t SnapshotEvery = 64;
+    /// Run compaction after the background pass wrote snapshots.
+    bool CompactAfterSnapshot = true;
+    /// Background pass period (snapshots due documents, flushes the
+    /// WAL, compacts). 0 disables the background thread.
+    unsigned BackgroundIntervalMs = 200;
+  };
+
+  /// Live gauges, WAL counters included.
+  struct Stats {
+    WalWriter::Stats Wal;
+    uint64_t CurrentSegment = 0;
+    uint64_t SnapshotsWritten = 0;
+    uint64_t TombstonesWritten = 0;
+    uint64_t SnapshotsDeleted = 0;
+    uint64_t SnapshotFailures = 0;
+    uint64_t SegmentsDeleted = 0;
+    uint64_t CompactionRuns = 0;
+  };
+
+  /// Opens (creating if needed) the data directory and a fresh WAL
+  /// segment. Throws std::runtime_error on I/O failure.
+  Persistence(const SignatureTable &Sig, Config C);
+
+  /// Stops the background thread and fsyncs any unsynced WAL tail.
+  ~Persistence();
+
+  Persistence(const Persistence &) = delete;
+  Persistence &operator=(const Persistence &) = delete;
+
+  /// Rebuilds \p Store from \p Dir: newest valid snapshot per document
+  /// plus WAL replay with type checking. \p Store must be empty of the
+  /// recovered ids and must not be serving traffic. Standalone -- usable
+  /// without a Persistence instance (e.g. offline inspection).
+  static RecoveryResult recover(const SignatureTable &Sig,
+                                const std::string &Dir,
+                                service::DocumentStore &Store);
+
+  /// recover() into \p Store from this instance's directory, seed the
+  /// sequence counter past everything recovered, then attach().
+  RecoveryResult recoverAndAttach(service::DocumentStore &Store);
+
+  /// Registers the script and erase listeners on \p Store and starts the
+  /// background thread. Call before serving traffic; once attached, the
+  /// store must not outlive this object's traffic (listeners hold
+  /// `this`).
+  void attach(service::DocumentStore &Store);
+
+  /// Snapshots one document now (the SAVE verb). Returns false if the
+  /// document does not exist or the snapshot could not be written.
+  bool snapshotDocument(service::DocId Doc);
+
+  /// Snapshots every document that crossed Config::SnapshotEvery;
+  /// returns how many snapshots were written.
+  size_t snapshotDueDocuments();
+
+  /// Deletes dead closed WAL segments and superseded snapshot files.
+  void compact();
+
+  /// Fsyncs the WAL tail -- the graceful-drain barrier.
+  void flush();
+
+  Stats stats() const;
+
+  /// The Stats as a JSON object (no trailing newline), for splicing into
+  /// service stats output.
+  std::string statsJson() const;
+
+  /// Result of the recoverAndAttach() run, if any.
+  const RecoveryResult &lastRecovery() const { return LastRecovery; }
+
+  const Config &config() const { return Cfg; }
+
+private:
+  /// Per-document live bookkeeping. Guarded by StateMu.
+  struct DocState {
+    uint64_t LastSeq = 0;
+    uint64_t SnapSeq = 0;
+    uint64_t OpsSinceSnap = 0;
+  };
+
+  void onScript(service::DocId Doc, uint64_t Version,
+                service::DocumentStore::StoreOp Op, const EditScript &Script);
+  void onErase(service::DocId Doc);
+  void backgroundLoop();
+
+  const SignatureTable &Sig;
+  const Config Cfg;
+  WalWriter Wal;
+  service::DocumentStore *Store = nullptr;
+  RecoveryResult LastRecovery;
+
+  mutable std::mutex StateMu;
+  uint64_t NextSeq = 0;
+  std::unordered_map<uint64_t, DocState> DocStates;
+  Stats Counters; // non-WAL fields only; WAL fields live in the writer
+
+  std::thread Background;
+  std::mutex BgMu;
+  std::condition_variable BgCv;
+  bool StopBg = false;
+};
+
+} // namespace persist
+} // namespace truediff
+
+#endif // TRUEDIFF_PERSIST_PERSISTENCE_H

@@ -1,0 +1,59 @@
+//===- persist/Varint.h - LEB128 helpers shared by persist ------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LEB128 varint and zigzag primitives shared by the binary codec and
+/// the WAL record framing. Header-only; internal to src/persist.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_PERSIST_VARINT_H
+#define TRUEDIFF_PERSIST_VARINT_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace truediff {
+namespace persist {
+
+inline void putVarint(std::string &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<char>(V | 0x80));
+    V >>= 7;
+  }
+  Out.push_back(static_cast<char>(V));
+}
+
+/// Reads a varint at \p Pos, advancing it; std::nullopt on truncated or
+/// overlong input (more than ten bytes).
+inline std::optional<uint64_t> getVarint(std::string_view Bytes,
+                                         size_t &Pos) {
+  uint64_t V = 0;
+  for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+    if (Pos >= Bytes.size())
+      return std::nullopt;
+    uint8_t B = static_cast<uint8_t>(Bytes[Pos++]);
+    V |= static_cast<uint64_t>(B & 0x7f) << Shift;
+    if ((B & 0x80) == 0)
+      return V;
+  }
+  return std::nullopt;
+}
+
+inline uint64_t zigzag(int64_t V) {
+  return (static_cast<uint64_t>(V) << 1) ^ static_cast<uint64_t>(V >> 63);
+}
+
+inline int64_t unzigzag(uint64_t V) {
+  return static_cast<int64_t>((V >> 1) ^ (~(V & 1) + 1));
+}
+
+} // namespace persist
+} // namespace truediff
+
+#endif // TRUEDIFF_PERSIST_VARINT_H

@@ -29,6 +29,10 @@ void DiffService::shutdown() {
   Queue.close();
   for (std::thread &W : Workers)
     W.join();
+  // All accepted requests have executed; let durability catch up before
+  // the caller treats the drain as complete.
+  if (DrainHook)
+    DrainHook();
 }
 
 OpKind DiffService::kindOf(const Operation &Op) {
@@ -183,5 +187,12 @@ std::string DiffService::statsJson() const {
   // Splice the store object into the metrics object.
   Json.pop_back(); // trailing '}'
   Json += Buf;
+  if (StatsAugmenter) {
+    std::string Extra = StatsAugmenter();
+    if (!Extra.empty()) {
+      Json.pop_back(); // trailing '}'
+      Json += "," + Extra + "}";
+    }
+  }
   return Json;
 }

@@ -113,6 +113,18 @@ public:
   /// Idempotent; also run by the destructor.
   void shutdown();
 
+  /// Called once after shutdown() drained the queue -- the hook the
+  /// persistence layer flushes its WAL through, so every acknowledged
+  /// request is durable when shutdown returns. Set before traffic.
+  void setDrainHook(std::function<void()> Hook) { DrainHook = std::move(Hook); }
+
+  /// Extra top-level field(s) spliced into statsJson(), e.g.
+  /// `"persist":{...}`. Must return a complete `"key":value` fragment
+  /// without leading comma, or an empty string. Set before traffic.
+  void setStatsAugmenter(std::function<std::string()> Fn) {
+    StatsAugmenter = std::move(Fn);
+  }
+
   unsigned workers() const { return NumWorkers; }
   size_t queueDepth() const { return Queue.depth(); }
   const ServiceMetrics &metrics() const { return Metrics; }
@@ -140,6 +152,8 @@ private:
   ServiceMetrics Metrics;
   std::vector<std::thread> Workers;
   std::atomic<bool> Stopped{false};
+  std::function<void()> DrainHook;
+  std::function<std::string()> StatsAugmenter;
 };
 
 } // namespace service

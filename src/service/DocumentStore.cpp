@@ -26,6 +26,11 @@ void DocumentStore::addScriptListener(ScriptListener Listener) {
   Listeners.push_back(std::move(Listener));
 }
 
+void DocumentStore::addEraseListener(EraseListener Listener) {
+  std::lock_guard<std::mutex> Lock(ListenersMu);
+  EraseListeners.push_back(std::move(Listener));
+}
+
 std::shared_ptr<DocumentStore::Document> DocumentStore::find(DocId Doc) const {
   const Shard &S = shardFor(Doc);
   std::lock_guard<std::mutex> Lock(S.Mu);
@@ -33,11 +38,11 @@ std::shared_ptr<DocumentStore::Document> DocumentStore::find(DocId Doc) const {
   return It == S.Docs.end() ? nullptr : It->second;
 }
 
-void DocumentStore::emit(DocId Doc, uint64_t Version,
+void DocumentStore::emit(DocId Doc, uint64_t Version, StoreOp Op,
                          const EditScript &Script) const {
   std::lock_guard<std::mutex> Lock(ListenersMu);
   for (const ScriptListener &L : Listeners)
-    L(Doc, Version, Script);
+    L(Doc, Version, Op, Script);
 }
 
 StoreResult DocumentStore::open(DocId Doc, const TreeBuilder &Build) {
@@ -64,7 +69,7 @@ StoreResult DocumentStore::open(DocId Doc, const TreeBuilder &Build) {
     }
   }
   R.Script = buildInitializingScript(Sig, D->Current);
-  emit(Doc, 0, R.Script);
+  emit(Doc, 0, StoreOp::Open, R.Script);
   R.Ok = true;
   R.Version = 0;
   R.TreeSize = D->Current->size();
@@ -121,7 +126,7 @@ StoreResult DocumentStore::submit(DocId Doc, const TreeBuilder &Build) {
   if (D->History.size() > Cfg.HistoryCapacity)
     D->History.pop_front();
 
-  emit(Doc, D->Version, D->History.back().Script);
+  emit(Doc, D->Version, StoreOp::Submit, D->History.back().Script);
   maybeCompact(*D);
 
   R.Ok = true;
@@ -182,7 +187,7 @@ StoreResult DocumentStore::rollback(DocId Doc) {
   D->Current = Restored;
   D->Version = Taken.Version - 1;
 
-  emit(Doc, D->Version, Taken.Inverse);
+  emit(Doc, D->Version, StoreOp::Rollback, Taken.Inverse);
 
   R.Ok = true;
   R.Version = D->Version;
@@ -252,7 +257,69 @@ bool DocumentStore::contains(DocId Doc) const { return find(Doc) != nullptr; }
 bool DocumentStore::erase(DocId Doc) {
   Shard &S = shardFor(Doc);
   std::lock_guard<std::mutex> Lock(S.Mu);
-  return S.Docs.erase(Doc) != 0;
+  if (S.Docs.erase(Doc) == 0)
+    return false;
+  // Notify while still holding the shard lock: a racing re-open of the
+  // same id cannot publish (it needs this shard's lock) until the erase
+  // has been observed, so subscribers see erase-before-reopen in order.
+  std::lock_guard<std::mutex> LLock(ListenersMu);
+  for (const EraseListener &L : EraseListeners)
+    L(Doc);
+  return true;
+}
+
+bool DocumentStore::withDocument(
+    DocId Doc,
+    const std::function<void(const Tree *, uint64_t Version,
+                             const std::vector<HistoryEntry> &)> &Fn) const {
+  std::shared_ptr<Document> D = find(Doc);
+  if (!D)
+    return false;
+  std::lock_guard<std::mutex> Lock(D->Mu);
+  std::vector<HistoryEntry> History;
+  History.reserve(D->History.size());
+  for (const VersionRecord &Rec : D->History)
+    History.push_back({Rec.Version, &Rec.Script});
+  Fn(D->Current, D->Version, History);
+  return true;
+}
+
+StoreResult DocumentStore::restore(
+    DocId Doc, uint64_t Version, const TreeBuilder &Build,
+    std::vector<std::pair<uint64_t, EditScript>> History) {
+  StoreResult R;
+  auto D = std::make_shared<Document>();
+  D->Ctx = std::make_unique<TreeContext>(Sig);
+  BuildResult B = Build(*D->Ctx);
+  if (B.Root == nullptr) {
+    R.Error = B.Error.empty() ? "builder produced no tree" : B.Error;
+    return R;
+  }
+  D->Current = B.Root;
+  D->Version = Version;
+  if (History.size() > Cfg.HistoryCapacity)
+    History.erase(History.begin(),
+                  History.end() - static_cast<ptrdiff_t>(Cfg.HistoryCapacity));
+  for (auto &[V, Script] : History) {
+    VersionRecord Rec;
+    Rec.Version = V;
+    Rec.Inverse = invertScript(Script);
+    Rec.Script = std::move(Script);
+    D->History.push_back(std::move(Rec));
+  }
+
+  {
+    Shard &S = shardFor(Doc);
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    if (!S.Docs.emplace(Doc, D).second) {
+      R.Error = "document already exists";
+      return R;
+    }
+  }
+  R.Ok = true;
+  R.Version = Version;
+  R.TreeSize = D->Current->size();
+  return R;
 }
 
 StoreStats DocumentStore::stats() const {

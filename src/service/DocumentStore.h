@@ -145,13 +145,27 @@ public:
     bool PersistDigests = true;
   };
 
+  /// Which store operation a script listener is observing.
+  enum class StoreOp : uint8_t {
+    Open,     ///< initializing script, version 0
+    Submit,   ///< forward script
+    Rollback, ///< the applied inverse script
+  };
+
   /// Observes every applied script: the initializing script on open, the
   /// forward script on submit, the inverse script on rollback. Called
   /// under the document's lock, so per-document invocations are totally
   /// ordered; implementations must not call back into the store. Register
   /// all listeners before serving traffic.
-  using ScriptListener =
-      std::function<void(DocId, uint64_t Version, const EditScript &)>;
+  using ScriptListener = std::function<void(DocId, uint64_t Version, StoreOp,
+                                            const EditScript &)>;
+
+  /// Observes erase(). Called under the shard lock (erase never takes the
+  /// document lock), so an erase notification can overtake the script
+  /// notification of an in-flight operation on the same document;
+  /// consumers that order events must tolerate post-erase stragglers.
+  /// Must not call back into the store.
+  using EraseListener = std::function<void(DocId)>;
 
   explicit DocumentStore(const SignatureTable &Sig);
   DocumentStore(const SignatureTable &Sig, Config C);
@@ -160,6 +174,7 @@ public:
   const Config &config() const { return Cfg; }
 
   void addScriptListener(ScriptListener Listener);
+  void addEraseListener(EraseListener Listener);
 
   /// Creates document \p Doc at version 0 from \p Build; fails if it
   /// already exists. Emits the initializing script.
@@ -186,6 +201,33 @@ public:
 
   /// Current version and serialized tree of \p Doc.
   DocumentSnapshot snapshot(DocId Doc) const;
+
+  /// One retained history-ring entry, exposed to withDocument visitors.
+  /// The script pointer is valid only for the duration of the visit.
+  struct HistoryEntry {
+    uint64_t Version = 0;
+    const EditScript *Script = nullptr;
+  };
+
+  /// Runs \p Fn with \p Doc's live tree, version, and history ring
+  /// (oldest first) under the document's lock -- the hook the
+  /// persistence layer snapshots through, so the captured state is
+  /// consistent with the per-document script stream. \p Fn must not call
+  /// back into the store. Returns false if the document does not exist.
+  bool withDocument(
+      DocId Doc,
+      const std::function<void(const Tree *, uint64_t Version,
+                               const std::vector<HistoryEntry> &)> &Fn) const;
+
+  /// Installs a recovered document: \p Build produces the tree (URIs
+  /// preserved, as with MTree::toTreePreservingUris) in the document's
+  /// fresh context, \p History carries the forward scripts of the
+  /// retained ring (oldest first; inverses are recomputed, the ring is
+  /// truncated to Config::HistoryCapacity). Unlike open this emits
+  /// nothing to listeners -- recovery runs before traffic -- and leaves
+  /// the document at \p Version. Fails if the document already exists.
+  StoreResult restore(DocId Doc, uint64_t Version, const TreeBuilder &Build,
+                      std::vector<std::pair<uint64_t, EditScript>> History);
 
   bool contains(DocId Doc) const;
 
@@ -226,7 +268,8 @@ private:
   }
 
   std::shared_ptr<Document> find(DocId Doc) const;
-  void emit(DocId Doc, uint64_t Version, const EditScript &Script) const;
+  void emit(DocId Doc, uint64_t Version, StoreOp Op,
+            const EditScript &Script) const;
 
   /// Rebuilds \p D's tree into a fresh context, URIs preserved, if the
   /// arena has outgrown the live tree. Requires D.Mu held.
@@ -238,6 +281,7 @@ private:
 
   mutable std::mutex ListenersMu;
   std::vector<ScriptListener> Listeners;
+  std::vector<EraseListener> EraseListeners;
 };
 
 } // namespace service

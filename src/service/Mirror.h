@@ -37,10 +37,11 @@ public:
   /// Registers this mirror as a script listener on \p Store. The mirror
   /// must outlive the store's traffic. Call before serving requests.
   void attach(DocumentStore &Store) {
-    Store.addScriptListener(
-        [this](DocId Doc, uint64_t Version, const EditScript &Script) {
-          onScript(Doc, Version, Script);
-        });
+    Store.addScriptListener([this](DocId Doc, uint64_t Version,
+                                   DocumentStore::StoreOp,
+                                   const EditScript &Script) {
+      onScript(Doc, Version, Script);
+    });
   }
 
   /// Applies one script to \p Doc's database, creating it (from the empty

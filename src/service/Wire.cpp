@@ -118,6 +118,10 @@ WireCommand service::parseWireCommand(std::string_view Line) {
     NeedDoc(WireCommand::Kind::Rollback, /*WantsArg=*/false);
   else if (Verb == "get")
     NeedDoc(WireCommand::Kind::Get, /*WantsArg=*/false);
+  else if (Verb == "save")
+    NeedDoc(WireCommand::Kind::Save, /*WantsArg=*/false);
+  else if (Verb == "recover" && trimLeft(Rest).empty())
+    Cmd.K = WireCommand::Kind::Recover;
   else if (Verb == "stats" && trimLeft(Rest).empty())
     Cmd.K = WireCommand::Kind::Stats;
   else if ((Verb == "quit" || Verb == "exit") && trimLeft(Rest).empty())

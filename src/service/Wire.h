@@ -12,8 +12,13 @@
 ///   submit <doc-id> <s-expression>    diff a new version in
 ///   rollback <doc-id>                 undo the latest version
 ///   get <doc-id>                      current version + tree
+///   save <doc-id>                     force a durable snapshot now
+///   recover                           last recovery's summary as JSON
 ///   stats                             service metrics as JSON
 ///   quit                              close the session
+///
+/// save and recover require the server to run with persistence enabled
+/// (diff_server --data-dir); without it they answer with an error.
 ///
 /// Responses are framed by a terminating "." line:
 ///
@@ -56,6 +61,8 @@ struct WireCommand {
     Submit,
     Rollback,
     Get,
+    Save,
+    Recover,
     Stats,
     Quit,
     Invalid,

@@ -9,6 +9,7 @@
 #include "support/Sha256.h"
 
 #include <charconv>
+#include <cmath>
 
 using namespace truediff;
 
@@ -59,8 +60,15 @@ std::string Literal::toString() const {
   case LitKind::Int:
     return std::to_string(asInt());
   case LitKind::Float: {
+    double V = asFloat();
+    // Non-finite values get fixed spellings the parser knows; appending
+    // ".0" to to_chars's "inf"/"nan" would render them unparseable.
+    if (std::isinf(V))
+      return V < 0 ? "-inf" : "inf";
+    if (std::isnan(V))
+      return std::signbit(V) ? "-nan" : "nan";
     char Buf[64];
-    auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), asFloat(),
+    auto [End, Ec] = std::to_chars(Buf, Buf + sizeof(Buf), V,
                                    std::chars_format::general);
     (void)Ec;
     std::string S(Buf, End);

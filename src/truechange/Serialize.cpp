@@ -7,7 +7,9 @@
 #include "truechange/Serialize.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <optional>
 
 using namespace truediff;
@@ -193,13 +195,31 @@ private:
         return Literal(true);
       if (Word == "false")
         return Literal(false);
+      if (Word == "inf")
+        return Literal(std::numeric_limits<double>::infinity());
+      if (Word == "nan")
+        return Literal(std::numeric_limits<double>::quiet_NaN());
       fail("expected literal, got '" + Word + "'");
       return std::nullopt;
     }
     // Number: integer unless it contains '.', 'e', or 'E'.
     size_t Start = Pos;
-    if (C == '-' || C == '+')
+    if (C == '-' || C == '+') {
       ++Pos;
+      // Signed non-finite floats: "-inf", "-nan" (and "+" variants).
+      if (Pos < Text.size() &&
+          std::isalpha(static_cast<unsigned char>(Text[Pos]))) {
+        std::string Word = parseIdent();
+        double Sign = C == '-' ? -1.0 : 1.0;
+        if (Word == "inf")
+          return Literal(Sign * std::numeric_limits<double>::infinity());
+        if (Word == "nan")
+          return Literal(
+              std::copysign(std::numeric_limits<double>::quiet_NaN(), Sign));
+        fail("expected literal, got '" + std::string(1, C) + Word + "'");
+        return std::nullopt;
+      }
+    }
     bool IsFloat = false;
     while (Pos < Text.size() &&
            (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
@@ -209,11 +229,13 @@ private:
       IsFloat |= Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E';
       ++Pos;
     }
-    if (Pos == Start) {
+    std::string Num(Text.substr(Start, Pos - Start));
+    if (Num.find_first_of("0123456789") == std::string::npos) {
+      // Catches the empty case and a bare sign, which strtoll would
+      // silently read as 0.
       fail("expected literal");
       return std::nullopt;
     }
-    std::string Num(Text.substr(Start, Pos - Start));
     if (IsFloat)
       return Literal(std::strtod(Num.c_str(), nullptr));
     return Literal(static_cast<int64_t>(

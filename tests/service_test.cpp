@@ -145,8 +145,8 @@ TEST_F(StoreTest, ScriptStreamReconstructsDocument) {
   // state, which is what a remote truechange consumer relies on.
   MTree M(Sig);
   std::vector<EditScript> Stream;
-  Store.addScriptListener(
-      [&](DocId, uint64_t, const EditScript &S) { Stream.push_back(S); });
+  Store.addScriptListener([&](DocId, uint64_t, DocumentStore::StoreOp,
+                              const EditScript &S) { Stream.push_back(S); });
   ASSERT_TRUE(Store.open(1, sexprBuilder("(Sub (a) (b))")).Ok);
   ASSERT_TRUE(Store.submit(1, sexprBuilder("(Sub (Add (a) (b)) (b))")).Ok);
   ASSERT_EQ(Stream.size(), 2u);
