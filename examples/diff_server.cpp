@@ -27,8 +27,22 @@
 /// written to a write-ahead log in <dir>, documents are snapshotted in
 /// the background, and on startup the store is recovered from the
 /// directory's snapshots + WAL. The `save <doc>` verb forces a snapshot,
-/// `recover` reports what startup recovery found, and `stats` gains a
-/// "persist" section.
+/// `recover` reports what startup recovery found, `stats` gains a
+/// "persist" section, and `health` reports the persistence circuit
+/// breaker's state (degraded = WAL unavailable, serving in-memory only).
+///
+/// --deadline-ms=<n> bounds every submit: requests still queued at their
+/// deadline are shed with a retry-after hint, and a diff that would
+/// overrun the deadline is answered with the type-checked replace-root
+/// fallback script (marked `fallback=1` on the ok line).
+///
+/// SIGTERM/SIGINT trigger a graceful shutdown: the server stops reading,
+/// drains accepted requests, flushes the WAL, and exits. Exit codes:
+///   0  clean shutdown, everything acknowledged as durable is on disk
+///   1  startup failure (unusable data dir)
+///   2  usage error
+///   3  shutdown while persistence was degraded (WAL down; in-memory
+///      state may exceed what disk holds) -- suppressed by --degraded-ok
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +51,8 @@
 #include "python/Python.h"
 #include "service/Wire.h"
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -64,6 +80,23 @@ std::string recoveryJson(const persist::RecoveryResult &R) {
          ",\"max_seq\":" + N(R.MaxSeq) + "}";
 }
 
+volatile std::sig_atomic_t GotSignal = 0;
+
+extern "C" void onShutdownSignal(int Sig) { GotSignal = Sig; }
+
+/// Installs \p Handler for SIGTERM and SIGINT *without* SA_RESTART, so a
+/// blocking read on stdin returns with EINTR and the REPL loop observes
+/// the flag instead of sitting in read() until the next line arrives.
+void installSignalHandlers() {
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onShutdownSignal;
+  sigemptyset(&SA.sa_mask);
+  SA.sa_flags = 0; // no SA_RESTART: interrupt the blocking getline
+  sigaction(SIGTERM, &SA, nullptr);
+  sigaction(SIGINT, &SA, nullptr);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -71,6 +104,8 @@ int main(int Argc, char **Argv) {
   unsigned Workers = 0;
   std::string DataDir;
   size_t FsyncEvery = 8;
+  uint64_t DeadlineMs = 0;
+  bool DegradedOk = false;
   bool BadArgs = false;
   for (int I = 1; I != Argc; ++I) {
     std::string_view Arg(Argv[I]);
@@ -79,6 +114,11 @@ int main(int Argc, char **Argv) {
     else if (Arg.rfind("--fsync-every=", 0) == 0)
       FsyncEvery = static_cast<size_t>(
           std::atoll(std::string(Arg.substr(strlen("--fsync-every="))).c_str()));
+    else if (Arg.rfind("--deadline-ms=", 0) == 0)
+      DeadlineMs = static_cast<uint64_t>(
+          std::atoll(std::string(Arg.substr(strlen("--deadline-ms="))).c_str()));
+    else if (Arg == "--degraded-ok")
+      DegradedOk = true;
     else if (Lang.empty() && !Arg.empty() && Arg[0] != '-')
       Lang = std::string(Arg);
     else if (!Arg.empty() && Arg[0] != '-')
@@ -97,7 +137,7 @@ int main(int Argc, char **Argv) {
   } else {
     std::fprintf(stderr,
                  "usage: %s [json|py] [workers] [--data-dir=<dir>] "
-                 "[--fsync-every=<n>]\n",
+                 "[--fsync-every=<n>] [--deadline-ms=<n>] [--degraded-ok]\n",
                  Argv[0]);
     return 2;
   }
@@ -129,22 +169,36 @@ int main(int Argc, char **Argv) {
 
   ServiceConfig Cfg;
   Cfg.Workers = Workers;
+  Cfg.DefaultDeadlineMs = static_cast<unsigned>(DeadlineMs);
   DiffService Service(Store, Cfg);
   if (Persist) {
     persist::Persistence *P = Persist.get();
     Service.setDrainHook([P] { P->flush(); });
     Service.setStatsAugmenter(
         [P] { return "\"persist\":" + P->statsJson(); });
+    Service.setHealthSource([P] {
+      persist::Persistence::HealthInfo H = P->healthInfo();
+      HealthStatus S;
+      S.Degraded = H.Degraded;
+      S.BreakerTrips = H.BreakerTrips;
+      S.DegradedUs = H.DegradedUs;
+      return S;
+    });
   }
 
-  std::fprintf(stderr,
-               "diff_server: %s signature, %u workers%s; commands: open, "
-               "submit, rollback, get, save, recover, stats, quit\n",
-               Lang.c_str(), Service.workers(),
-               Persist ? ", durable" : "");
+  installSignalHandlers();
 
+  std::string DeadlineNote =
+      DeadlineMs != 0 ? ", deadline " + std::to_string(DeadlineMs) + "ms" : "";
+  std::fprintf(stderr,
+               "diff_server: %s signature, %u workers%s%s; commands: open, "
+               "submit, rollback, get, save, recover, stats, health, quit\n",
+               Lang.c_str(), Service.workers(), Persist ? ", durable" : "",
+               DeadlineNote.c_str());
+
+  bool Quit = false;
   std::string Line;
-  while (std::getline(std::cin, Line)) {
+  while (!Quit && GotSignal == 0 && std::getline(std::cin, Line)) {
     if (Line.empty())
       continue;
     WireCommand Cmd = parseWireCommand(Line);
@@ -154,7 +208,8 @@ int main(int Argc, char **Argv) {
       R = Service.open(Cmd.Doc, makeSExprBuilder(std::move(Cmd.Arg)));
       break;
     case WireCommand::Kind::Submit:
-      R = Service.submit(Cmd.Doc, makeSExprBuilder(std::move(Cmd.Arg)));
+      R = Service.submit(Cmd.Doc, makeSExprBuilder(std::move(Cmd.Arg)),
+                         DeadlineMs);
       break;
     case WireCommand::Kind::Rollback:
       R = Service.rollback(Cmd.Doc);
@@ -167,10 +222,16 @@ int main(int Argc, char **Argv) {
         R.Error = "persistence is disabled (run with --data-dir=<dir>)";
       } else if (Persist->snapshotDocument(Cmd.Doc)) {
         // Snapshots capture acknowledged state; flush so everything the
-        // client saw committed is also durable in the log.
-        Persist->flush();
-        R.Ok = true;
-        R.Payload = "snapshot written";
+        // client saw committed is also durable in the log. A failed
+        // flush means the breaker is (now) open -- say so rather than
+        // acknowledging durability we do not have.
+        if (Persist->flush()) {
+          R.Ok = true;
+          R.Payload = "snapshot written";
+        } else {
+          R.Error = "snapshot written but WAL flush failed; "
+                    "persistence is degraded";
+        }
       } else {
         R.Error = "no such document";
       }
@@ -186,9 +247,16 @@ int main(int Argc, char **Argv) {
     case WireCommand::Kind::Stats:
       R = Service.stats();
       break;
+    case WireCommand::Kind::Health:
+      // Served synchronously, bypassing the request queue: a saturated
+      // or wedged queue is exactly when a health probe must still
+      // answer.
+      R.Ok = true;
+      R.Payload = Service.healthJson();
+      break;
     case WireCommand::Kind::Quit:
-      Service.shutdown();
-      return 0;
+      Quit = true;
+      continue;
     case WireCommand::Kind::Invalid:
       R.Ok = false;
       R.Error = Cmd.Error;
@@ -197,6 +265,24 @@ int main(int Argc, char **Argv) {
     std::fputs(formatWireResponse(R).c_str(), stdout);
     std::fflush(stdout);
   }
+
+  if (GotSignal != 0)
+    std::fprintf(stderr,
+                 "diff_server: caught signal %d, draining and flushing\n",
+                 static_cast<int>(GotSignal));
+
+  // Graceful shutdown on every exit path (quit verb, EOF, SIGTERM/
+  // SIGINT): stop accepting, drain accepted requests, then the drain
+  // hook flushes the WAL so acknowledged-durable operations are on disk.
   Service.shutdown();
+
+  if (Persist && Persist->degraded()) {
+    std::fprintf(stderr,
+                 "diff_server: exiting while persistence is degraded; "
+                 "operations acknowledged as non-durable are NOT on disk%s\n",
+                 DegradedOk ? " (--degraded-ok)" : "");
+    if (!DegradedOk)
+      return 3;
+  }
   return 0;
 }

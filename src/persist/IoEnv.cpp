@@ -1,0 +1,187 @@
+//===- persist/IoEnv.cpp - Injectable I/O environment ----------------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "persist/IoEnv.h"
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace truediff;
+using namespace truediff::persist;
+
+int IoEnv::openFile(const char *Path, int Flags, mode_t Mode) {
+  return ::open(Path, Flags, Mode);
+}
+
+ssize_t IoEnv::writeSome(int Fd, const void *Buf, size_t Count) {
+  return ::write(Fd, Buf, Count);
+}
+
+int IoEnv::syncFd(int Fd) { return ::fsync(Fd); }
+
+int IoEnv::closeFd(int Fd) { return ::close(Fd); }
+
+int IoEnv::renameFile(const char *From, const char *To) {
+  return ::rename(From, To);
+}
+
+int IoEnv::unlinkFile(const char *Path) { return ::unlink(Path); }
+
+int IoEnv::makeDir(const char *Path, mode_t Mode) {
+  return ::mkdir(Path, Mode);
+}
+
+IoEnv &persist::realIoEnv() {
+  static IoEnv Env;
+  return Env;
+}
+
+//===----------------------------------------------------------------------===//
+// FaultyIoEnv
+//===----------------------------------------------------------------------===//
+
+FaultyIoEnv::FaultyIoEnv(FaultPlan P, IoEnv &Base)
+    : Base(Base), Plan(P), Schedule(P.Seed) {}
+
+bool FaultyIoEnv::roll(unsigned Permille, uint64_t &OpIndex) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  OpIndex = ++Stats.Ops;
+  if (Healed)
+    return false;
+  if (Plan.DieAfterOps != 0 && OpIndex > Plan.DieAfterOps)
+    return true; // dead disk: everything fails
+  if (Permille == 0)
+    return false;
+  return Schedule.below(1000) < Permille;
+}
+
+namespace {
+
+/// Deterministic latency from the op index, not a second PRNG stream:
+/// the fault schedule must not depend on whether latency is enabled.
+void maybeSleep(unsigned MaxLatencyUs, uint64_t OpIndex) {
+  if (MaxLatencyUs == 0)
+    return;
+  ::usleep(static_cast<useconds_t>((OpIndex * 2654435761u) % MaxLatencyUs));
+}
+
+} // namespace
+
+int FaultyIoEnv::openFile(const char *Path, int Flags, mode_t Mode) {
+  uint64_t Op;
+  bool Fail = roll(Plan.OpenErrorPermille, Op);
+  maybeSleep(Plan.MaxLatencyUs, Op);
+  if (Fail) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Stats.OpensFailed;
+    }
+    errno = ENOSPC;
+    return -1;
+  }
+  return Base.openFile(Path, Flags, Mode);
+}
+
+ssize_t FaultyIoEnv::writeSome(int Fd, const void *Buf, size_t Count) {
+  uint64_t Op;
+  bool Fail = roll(Plan.WriteErrorPermille, Op);
+  maybeSleep(Plan.MaxLatencyUs, Op);
+  if (Fail) {
+    bool Torn;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Stats.WritesFailed;
+      Torn = Count > 1 && Schedule.below(1000) < Plan.TornWritePermille;
+      if (Torn)
+        ++Stats.TornWrites;
+    }
+    if (Torn) {
+      // A torn write: a prefix lands on disk, the caller sees failure.
+      // This is what leaves a partial frame for recovery to cut.
+      size_t Prefix = 1 + (Op % (Count - 1));
+      ssize_t N = Base.writeSome(Fd, Buf, Prefix);
+      (void)N;
+    }
+    errno = Op % 2 == 0 ? ENOSPC : EIO;
+    return -1;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (!Healed && Count > 1 && Plan.ShortWritePermille != 0 &&
+        Schedule.below(1000) < Plan.ShortWritePermille) {
+      ++Stats.ShortWrites;
+      Count = 1 + (Op % (Count - 1));
+    }
+  }
+  return Base.writeSome(Fd, Buf, Count);
+}
+
+int FaultyIoEnv::syncFd(int Fd) {
+  uint64_t Op;
+  bool Fail = roll(Plan.FsyncErrorPermille, Op);
+  maybeSleep(Plan.MaxLatencyUs, Op);
+  if (Fail) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Stats.FsyncsFailed;
+    }
+    errno = EIO;
+    return -1;
+  }
+  return Base.syncFd(Fd);
+}
+
+int FaultyIoEnv::closeFd(int Fd) {
+  // close() never fails by schedule: a failing close would leak the
+  // descriptor in callers that (correctly) cannot retry it.
+  return Base.closeFd(Fd);
+}
+
+int FaultyIoEnv::renameFile(const char *From, const char *To) {
+  uint64_t Op;
+  bool Fail = roll(Plan.RenameErrorPermille, Op);
+  maybeSleep(Plan.MaxLatencyUs, Op);
+  if (Fail) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      ++Stats.RenamesFailed;
+    }
+    errno = EIO;
+    return -1;
+  }
+  return Base.renameFile(From, To);
+}
+
+int FaultyIoEnv::unlinkFile(const char *Path) {
+  // Unlink faults would only delay cleanup; not part of the schedule.
+  return Base.unlinkFile(Path);
+}
+
+int FaultyIoEnv::makeDir(const char *Path, mode_t Mode) {
+  return Base.makeDir(Path, Mode);
+}
+
+void FaultyIoEnv::heal() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Healed = true;
+}
+
+bool FaultyIoEnv::healed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Healed)
+    return true;
+  return Plan.WriteErrorPermille == 0 && Plan.FsyncErrorPermille == 0 &&
+         Plan.OpenErrorPermille == 0 && Plan.RenameErrorPermille == 0 &&
+         Plan.DieAfterOps == 0;
+}
+
+FaultyIoEnv::Counters FaultyIoEnv::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Stats;
+}

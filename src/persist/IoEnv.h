@@ -1,0 +1,147 @@
+//===- persist/IoEnv.h - Injectable I/O environment -------------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The I/O seam of the persistence subsystem. Every write-side syscall
+/// the WAL, snapshot writer, and compactor issue goes through an IoEnv,
+/// so tests can interpose a FaultyIoEnv that injects ENOSPC/EIO, short
+/// and torn writes, fsync failures, and latency on a deterministic
+/// seeded schedule -- the substrate of the chaos suite and the thing
+/// the circuit breaker (persist/Persistence.h) is tested against.
+///
+/// All methods follow POSIX conventions: they return the syscall's
+/// result and report failure as -1 with errno set, never by throwing.
+/// The read side (recovery, compaction scans) stays on real I/O: faults
+/// there are modelled by corrupting files, which persist_test already
+/// covers byte by byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_PERSIST_IOENV_H
+#define TRUEDIFF_PERSIST_IOENV_H
+
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <mutex>
+
+#include <sys/types.h>
+
+namespace truediff {
+namespace persist {
+
+/// Virtual dispatch over the write-side syscalls. The default
+/// implementation is the real thing; realIoEnv() returns a shared
+/// instance of it.
+class IoEnv {
+public:
+  virtual ~IoEnv() = default;
+
+  /// ::open. \p Mode is consulted only when \p Flags creates.
+  virtual int openFile(const char *Path, int Flags, mode_t Mode);
+
+  /// One ::write attempt; may write fewer than \p Count bytes. Callers
+  /// loop, as they must for real descriptors too.
+  virtual ssize_t writeSome(int Fd, const void *Buf, size_t Count);
+
+  /// ::fsync.
+  virtual int syncFd(int Fd);
+
+  /// ::close.
+  virtual int closeFd(int Fd);
+
+  /// ::rename.
+  virtual int renameFile(const char *From, const char *To);
+
+  /// ::unlink.
+  virtual int unlinkFile(const char *Path);
+
+  /// ::mkdir.
+  virtual int makeDir(const char *Path, mode_t Mode);
+};
+
+/// The shared pass-through environment; what a null IoEnv* means.
+IoEnv &realIoEnv();
+
+/// Deterministic fault injection over a real environment. Each faultable
+/// call first consults a seeded PRNG schedule; probabilities are in
+/// permille so schedules can be sparse. Thread-safe: the schedule is
+/// advanced under a mutex, so a fixed seed yields a fixed fault *count*
+/// even when the interleaving of callers varies.
+class FaultyIoEnv : public IoEnv {
+public:
+  struct FaultPlan {
+    uint64_t Seed = 1;
+    /// Probability (permille) that a write fails with ENOSPC or EIO.
+    unsigned WriteErrorPermille = 0;
+    /// Probability (permille) that a failing write first lands a prefix
+    /// of the buffer on disk -- a torn write: the caller sees failure,
+    /// the file holds a partial frame.
+    unsigned TornWritePermille = 500;
+    /// Probability (permille) of a benign short write (fewer bytes than
+    /// asked, no error) -- exercises callers' retry loops.
+    unsigned ShortWritePermille = 0;
+    /// Probability (permille) that fsync fails with EIO.
+    unsigned FsyncErrorPermille = 0;
+    /// Probability (permille) that open/creat fails with ENOSPC.
+    unsigned OpenErrorPermille = 0;
+    /// Probability (permille) that rename fails with EIO.
+    unsigned RenameErrorPermille = 0;
+    /// Injected latency: each faultable call sleeps a uniform random
+    /// duration up to this many microseconds. 0 disables.
+    unsigned MaxLatencyUs = 0;
+    /// After this many faultable calls the disk "dies": every subsequent
+    /// write/fsync/open/rename fails until heal(). 0 disables.
+    uint64_t DieAfterOps = 0;
+  };
+
+  struct Counters {
+    uint64_t Ops = 0;
+    uint64_t WritesFailed = 0;
+    uint64_t TornWrites = 0;
+    uint64_t ShortWrites = 0;
+    uint64_t FsyncsFailed = 0;
+    uint64_t OpensFailed = 0;
+    uint64_t RenamesFailed = 0;
+  };
+
+  explicit FaultyIoEnv(FaultPlan P, IoEnv &Base = realIoEnv());
+
+  int openFile(const char *Path, int Flags, mode_t Mode) override;
+  ssize_t writeSome(int Fd, const void *Buf, size_t Count) override;
+  int syncFd(int Fd) override;
+  int closeFd(int Fd) override;
+  int renameFile(const char *From, const char *To) override;
+  int unlinkFile(const char *Path) override;
+  int makeDir(const char *Path, mode_t Mode) override;
+
+  /// Stops all fault injection (the "faults cease" phase of a chaos
+  /// schedule); subsequent calls pass straight through.
+  void heal();
+
+  /// True once heal() ran or the plan injects nothing.
+  bool healed() const;
+
+  Counters counters() const;
+
+private:
+  /// Rolls the schedule for one faultable call. Returns true if a fault
+  /// with probability \p Permille fires (dead disk forces true).
+  bool roll(unsigned Permille, uint64_t &OpIndex);
+
+  IoEnv &Base;
+  const FaultPlan Plan;
+
+  mutable std::mutex Mu;
+  Rng Schedule;
+  Counters Stats;
+  bool Healed = false;
+};
+
+} // namespace persist
+} // namespace truediff
+
+#endif // TRUEDIFF_PERSIST_IOENV_H

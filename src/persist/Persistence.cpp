@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 
 #include <unistd.h>
@@ -40,8 +41,10 @@ WalKind kindFor(DocumentStore::StoreOp Op) {
 } // namespace
 
 Persistence::Persistence(const SignatureTable &Sig, Config C)
-    : Sig(Sig), Cfg(C),
-      Wal(C.Dir, WalWriter::Config{C.FsyncEvery, C.SegmentBytes}) {}
+    : Sig(Sig), Cfg(C), Io(C.Env != nullptr ? *C.Env : realIoEnv()),
+      Wal(C.Dir, WalWriter::Config{C.FsyncEvery, C.SegmentBytes}, C.Env) {
+  Brk.BackoffMs = std::max(1u, Cfg.BreakerBackoffMs);
+}
 
 Persistence::~Persistence() {
   {
@@ -54,6 +57,120 @@ Persistence::~Persistence() {
   // The WalWriter destructor fsyncs the tail.
 }
 
+//===----------------------------------------------------------------------===//
+// Circuit breaker
+//===----------------------------------------------------------------------===//
+
+void Persistence::scheduleProbeLocked() {
+  unsigned Jitter =
+      static_cast<unsigned>(JitterRng.below(Brk.BackoffMs / 2 + 1));
+  Brk.NextProbeAt = Clock::now() + std::chrono::milliseconds(
+                                       static_cast<uint64_t>(Brk.BackoffMs) +
+                                       Jitter);
+}
+
+void Persistence::noteIoSuccessLocked() {
+  Brk.ConsecutiveFailures = 0;
+  if (Brk.Open) {
+    Brk.Open = false;
+    DegradedUsTotal += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              Brk.OpenedAt)
+            .count());
+    Brk.BackoffMs = std::max(1u, Cfg.BreakerBackoffMs);
+  }
+}
+
+void Persistence::noteIoFailureLocked() {
+  ++Counters.WalAppendFailures;
+  if (Brk.Open) {
+    // A failed half-open probe: stay open, back off further.
+    ++Counters.ProbeFailures;
+    Brk.BackoffMs = static_cast<unsigned>(
+        std::min<uint64_t>(static_cast<uint64_t>(Brk.BackoffMs) * 2,
+                           std::max(1u, Cfg.BreakerBackoffMaxMs)));
+    scheduleProbeLocked();
+    return;
+  }
+  ++Brk.ConsecutiveFailures;
+  if (Cfg.BreakerThreshold != 0 &&
+      Brk.ConsecutiveFailures >= Cfg.BreakerThreshold) {
+    Brk.Open = true;
+    Brk.OpenedAt = Clock::now();
+    Brk.BackoffMs = std::max(1u, Cfg.BreakerBackoffMs);
+    ++Counters.BreakerTrips;
+    scheduleProbeLocked();
+  }
+}
+
+bool Persistence::logRecord(const WalRecord &Rec, bool &Durable) {
+  bool Probing = false;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    if (Brk.Open) {
+      // Half-open: one appender at a time may probe, and only once the
+      // backoff has elapsed; everyone else is shed immediately.
+      if (Brk.ProbeInFlight || Clock::now() < Brk.NextProbeAt)
+        return false;
+      Brk.ProbeInFlight = true;
+      Probing = true;
+    }
+  }
+  bool Ok = false;
+  try {
+    // A failed append poisons the segment (its tail may hold a torn
+    // frame); rotate to a clean one before trying again.
+    if (Wal.poisoned())
+      Wal.reopenFresh();
+    Durable = Wal.append(Rec);
+    Ok = true;
+  } catch (const std::exception &) {
+  }
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    if (Probing)
+      Brk.ProbeInFlight = false;
+    if (Ok)
+      noteIoSuccessLocked();
+    else
+      noteIoFailureLocked();
+  }
+  return Ok;
+}
+
+bool Persistence::probe() {
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    if (!Brk.Open)
+      return true;
+    if (Brk.ProbeInFlight || Clock::now() < Brk.NextProbeAt)
+      return false;
+    Brk.ProbeInFlight = true;
+  }
+  bool Ok = false;
+  try {
+    Wal.reopenFresh();
+    Ok = true;
+  } catch (const std::exception &) {
+  }
+  std::lock_guard<std::mutex> Lock(StateMu);
+  Brk.ProbeInFlight = false;
+  if (Ok)
+    noteIoSuccessLocked();
+  else
+    noteIoFailureLocked();
+  return !Brk.Open;
+}
+
+bool Persistence::degraded() const {
+  std::lock_guard<std::mutex> Lock(StateMu);
+  return Brk.Open;
+}
+
+//===----------------------------------------------------------------------===//
+// Store listeners
+//===----------------------------------------------------------------------===//
+
 void Persistence::onScript(DocId Doc, uint64_t Version,
                            DocumentStore::StoreOp Op,
                            const EditScript &Script) {
@@ -62,53 +179,162 @@ void Persistence::onScript(DocId Doc, uint64_t Version,
   Rec.Doc = Doc;
   Rec.Version = Version;
   Rec.Script = encodeEditScript(Sig, Script);
+  bool Skip = false;
   {
     std::lock_guard<std::mutex> Lock(StateMu);
     Rec.Seq = ++NextSeq;
     DocState &DS = DocStates[Doc];
     DS.LastSeq = Rec.Seq;
     ++DS.OpsSinceSnap;
+    // Log-chain gap: an earlier op on this document never reached the
+    // log, so a record appended now would replay against the wrong
+    // base. A pending erase tombstone is the same disease for a
+    // re-opened id: until the tombstone lands, replay resurrects the
+    // erased predecessor, and a record logged now would apply on top of
+    // it. Stay unlogged until a resync snapshot covers the gap.
+    Skip = DS.NeedsResync || PendingTombs.count(Doc) != 0;
   }
   // Listener invocations are serialized by the store's listener mutex,
   // so sequence order equals append order.
-  Wal.append(Rec);
+  bool Durable = false;
+  bool Logged = !Skip && logRecord(Rec, Durable);
+  if (!Logged) {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ++Counters.UnloggedOps;
+    auto It = DocStates.find(Doc);
+    if (It != DocStates.end()) {
+      It->second.NeedsResync = true;
+      ++It->second.UnloggedOps;
+    }
+  }
+  if (DurListener)
+    DurListener(Doc, Rec.Seq, Logged, Logged && Durable);
 }
 
 void Persistence::onErase(DocId Doc) {
   WalRecord Rec;
   Rec.Kind = WalKind::Erase;
   Rec.Doc = Doc;
+  bool Skip = false;
   {
     std::lock_guard<std::mutex> Lock(StateMu);
     Rec.Seq = ++NextSeq;
+    auto It = DocStates.find(Doc);
+    Skip = It != DocStates.end() && It->second.NeedsResync;
     DocStates.erase(Doc);
   }
-  Wal.append(Rec);
+  bool Durable = false;
+  bool Logged = !Skip && logRecord(Rec, Durable);
+  if (!Logged) {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    ++Counters.UnloggedOps;
+  }
 
   // Tombstone so compaction can drop the erase record and everything
   // before it without old records resurrecting the document. Runs under
   // the shard lock (erase listener contract), which also orders it
-  // before any re-open of the same id. Failure is tolerable: the erase
-  // record above is authoritative, the tombstone only unpins the log.
+  // before any re-open of the same id. When the erase record itself is
+  // unlogged, the tombstone is the *only* thing preventing recovery
+  // from resurrecting the document, so a failed write is queued for
+  // retry instead of shrugged off.
   SnapshotData Tomb;
   Tomb.Doc = Doc;
   Tomb.Seq = Rec.Seq;
   Tomb.Tombstone = true;
+  bool TombOk = false;
   try {
-    writeSnapshotFile(Cfg.Dir, Tomb);
+    writeSnapshotFile(Cfg.Dir, Tomb, &Io);
+    TombOk = true;
     std::lock_guard<std::mutex> Lock(StateMu);
     ++Counters.TombstonesWritten;
+    PendingTombs.erase(Doc);
   } catch (const std::exception &) {
     std::lock_guard<std::mutex> Lock(StateMu);
     ++Counters.SnapshotFailures;
-    return;
+    if (!Logged)
+      PendingTombs[Doc] = Rec.Seq;
   }
-  // Older snapshots of the erased document are superseded; best effort.
-  for (const SnapshotFileName &F : listSnapshotFiles(Cfg.Dir))
-    if (F.Doc == Doc && F.Seq < Rec.Seq && ::unlink(F.Path.c_str()) == 0) {
+  if (TombOk) {
+    // Older snapshots of the erased document are superseded; best
+    // effort.
+    for (const SnapshotFileName &F : listSnapshotFiles(Cfg.Dir))
+      if (F.Doc == Doc && F.Seq < Rec.Seq &&
+          Io.unlinkFile(F.Path.c_str()) == 0) {
+        std::lock_guard<std::mutex> Lock(StateMu);
+        ++Counters.SnapshotsDeleted;
+      }
+  }
+  if (DurListener)
+    DurListener(Doc, Rec.Seq, Logged || TombOk, (Logged && Durable) || TombOk);
+}
+
+void Persistence::writePendingTombstones() {
+  std::unordered_map<uint64_t, uint64_t> Pending;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    Pending = PendingTombs;
+  }
+  for (const auto &[Doc, Seq] : Pending) {
+    SnapshotData Tomb;
+    Tomb.Doc = Doc;
+    Tomb.Seq = Seq;
+    Tomb.Tombstone = true;
+    try {
+      writeSnapshotFile(Cfg.Dir, Tomb, &Io);
       std::lock_guard<std::mutex> Lock(StateMu);
-      ++Counters.SnapshotsDeleted;
+      ++Counters.TombstonesWritten;
+      PendingTombs.erase(Doc);
+    } catch (const std::exception &) {
+      std::lock_guard<std::mutex> Lock(StateMu);
+      ++Counters.SnapshotFailures;
     }
+  }
+}
+
+size_t Persistence::resyncDegraded() {
+  if (Store == nullptr)
+    return 0;
+  // Capture each marked document's unlogged count; the mark is cleared
+  // only if no further unlogged op raced the snapshot, so an op that
+  // commits between capture and clear keeps the document marked for the
+  // next pass.
+  std::vector<std::pair<DocId, uint64_t>> Need;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    for (const auto &[Doc, DS] : DocStates)
+      if (DS.NeedsResync)
+        Need.emplace_back(Doc, DS.UnloggedOps);
+  }
+  size_t Repaired = 0;
+  for (const auto &[Doc, UnloggedAtCapture] : Need) {
+    uint64_t SnapSeq = 0;
+    if (!snapshotDocument(Doc, &SnapSeq))
+      continue; // erased meanwhile, or the write failed: retry next pass
+    std::lock_guard<std::mutex> Lock(StateMu);
+    // A snapshot at SnapSeq only supersedes a pending erase tombstone it
+    // actually covers: an erase + re-open racing this pass leaves a
+    // tombstone *newer* than the state we captured, and dropping it
+    // would let recovery resurrect the erased predecessor underneath
+    // the re-opened document.
+    auto Pend = PendingTombs.find(Doc);
+    if (Pend != PendingTombs.end() && Pend->second <= SnapSeq)
+      PendingTombs.erase(Pend);
+    // Same incarnation test for the resync mark: clear it only if the
+    // snapshot reaches the document's current sequence number. The
+    // unlogged-op count alone is not enough -- an erase + re-open resets
+    // it, and the new incarnation can coincidentally match the captured
+    // count while the snapshot covers none of its operations.
+    auto It = DocStates.find(Doc);
+    if (It != DocStates.end() && It->second.NeedsResync &&
+        It->second.UnloggedOps == UnloggedAtCapture &&
+        It->second.LastSeq <= SnapSeq) {
+      It->second.NeedsResync = false;
+      It->second.UnloggedOps = 0;
+      ++Counters.ResyncSnapshots;
+      ++Repaired;
+    }
+  }
+  return Repaired;
 }
 
 void Persistence::attach(DocumentStore &S) {
@@ -123,7 +349,7 @@ void Persistence::attach(DocumentStore &S) {
     Background = std::thread([this] { backgroundLoop(); });
 }
 
-bool Persistence::snapshotDocument(DocId Doc) {
+bool Persistence::snapshotDocument(DocId Doc, uint64_t *CapturedSeq) {
   SnapshotData Snap;
   bool Found =
       Store != nullptr &&
@@ -148,7 +374,7 @@ bool Persistence::snapshotDocument(DocId Doc) {
     return false;
 
   try {
-    writeSnapshotFile(Cfg.Dir, Snap);
+    writeSnapshotFile(Cfg.Dir, Snap, &Io);
   } catch (const std::exception &) {
     std::lock_guard<std::mutex> Lock(StateMu);
     ++Counters.SnapshotFailures;
@@ -166,10 +392,13 @@ bool Persistence::snapshotDocument(DocId Doc) {
   }
   // Superseded snapshots of this document are dead weight; best effort.
   for (const SnapshotFileName &F : listSnapshotFiles(Cfg.Dir))
-    if (F.Doc == Doc && F.Seq < Snap.Seq && ::unlink(F.Path.c_str()) == 0) {
+    if (F.Doc == Doc && F.Seq < Snap.Seq &&
+        Io.unlinkFile(F.Path.c_str()) == 0) {
       std::lock_guard<std::mutex> Lock(StateMu);
       ++Counters.SnapshotsDeleted;
     }
+  if (CapturedSeq != nullptr)
+    *CapturedSeq = Snap.Seq;
   return true;
 }
 
@@ -211,7 +440,7 @@ void Persistence::compact() {
   // Superseded snapshots first, so segment coverage below reflects what
   // will remain on disk.
   for (const ValidFile &F : Valid)
-    if (F.Seq < BestSeq[F.Doc] && ::unlink(F.Path.c_str()) == 0) {
+    if (F.Seq < BestSeq[F.Doc] && Io.unlinkFile(F.Path.c_str()) == 0) {
       std::lock_guard<std::mutex> Lock(StateMu);
       ++Counters.SnapshotsDeleted;
     }
@@ -234,7 +463,7 @@ void Persistence::compact() {
         break;
       }
     }
-    if (Dead && ::unlink(Path.c_str()) == 0) {
+    if (Dead && Io.unlinkFile(Path.c_str()) == 0) {
       std::lock_guard<std::mutex> Lock(StateMu);
       ++Counters.SegmentsDeleted;
     }
@@ -243,7 +472,19 @@ void Persistence::compact() {
   ++Counters.CompactionRuns;
 }
 
-void Persistence::flush() { Wal.flush(); }
+bool Persistence::flush() {
+  try {
+    Wal.flush();
+    return true;
+  } catch (const std::exception &) {
+    // The tail's durability is unknown; nothing was acknowledged as
+    // durable on its strength, so the contract holds. Feed the breaker:
+    // a sick fsync is the same disease as a sick write.
+    std::lock_guard<std::mutex> Lock(StateMu);
+    noteIoFailureLocked();
+    return false;
+  }
+}
 
 void Persistence::backgroundLoop() {
   std::unique_lock<std::mutex> Lock(BgMu);
@@ -254,7 +495,14 @@ void Persistence::backgroundLoop() {
       break;
     Lock.unlock();
     // Bound the group-commit loss window in time, not just in records.
-    Wal.flush();
+    flush();
+    // Probe first so a breaker that just re-closed is resynced in the
+    // same pass; both are no-ops on a healthy service.
+    probe();
+    if (!degraded()) {
+      writePendingTombstones();
+      resyncDegraded();
+    }
     size_t Wrote = snapshotDueDocuments();
     if (Wrote != 0 && Cfg.CompactAfterSnapshot)
       compact();
@@ -267,10 +515,36 @@ Persistence::Stats Persistence::stats() const {
   {
     std::lock_guard<std::mutex> Lock(StateMu);
     Out = Counters;
+    Out.Degraded = Brk.Open;
+    Out.DegradedUs = DegradedUsTotal;
+    if (Brk.Open)
+      Out.DegradedUs += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                Brk.OpenedAt)
+              .count());
+    Out.PendingTombstones = PendingTombs.size();
+    for (const auto &[Doc, DS] : DocStates)
+      if (DS.NeedsResync)
+        ++Out.DocsNeedingResync;
   }
   Out.Wal = Wal.stats();
   Out.CurrentSegment = Wal.currentSegment();
   return Out;
+}
+
+Persistence::HealthInfo Persistence::healthInfo() const {
+  Stats S = stats();
+  HealthInfo H;
+  H.Degraded = S.Degraded;
+  H.BreakerTrips = S.BreakerTrips;
+  H.DegradedUs = S.DegradedUs;
+  H.UnloggedOps = S.UnloggedOps;
+  H.DocsNeedingResync = S.DocsNeedingResync;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    H.ConsecutiveFailures = Brk.ConsecutiveFailures;
+  }
+  return H;
 }
 
 std::string Persistence::statsJson() const {
@@ -287,6 +561,22 @@ std::string Persistence::statsJson() const {
           ",\"failures\":" + N(S.SnapshotFailures) + "}";
   Json += ",\"compaction\":{\"runs\":" + N(S.CompactionRuns) +
           ",\"segments_deleted\":" + N(S.SegmentsDeleted) + "}";
+  {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6f",
+                  static_cast<double>(S.DegradedUs) / 1e6);
+    Json += std::string(",\"breaker\":{\"degraded\":") +
+            (S.Degraded ? "true" : "false") +
+            ",\"trips\":" + N(S.BreakerTrips) +
+            ",\"append_failures\":" + N(S.WalAppendFailures) +
+            ",\"probe_failures\":" + N(S.ProbeFailures) +
+            ",\"unlogged_ops\":" + N(S.UnloggedOps) +
+            ",\"resync_snapshots\":" + N(S.ResyncSnapshots) +
+            ",\"pending_tombstones\":" + N(S.PendingTombstones) +
+            ",\"docs_needing_resync\":" + N(S.DocsNeedingResync) +
+            ",\"wal_reopens\":" + N(S.Wal.Reopens) +
+            ",\"degraded_seconds\":" + Buf + "}";
+  }
   const RecoveryResult &R = LastRecovery;
   Json += ",\"recovery\":{\"docs\":" + N(R.DocsRecovered) +
           ",\"records_replayed\":" + N(R.RecordsReplayed) +

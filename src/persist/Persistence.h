@@ -42,6 +42,22 @@
 /// conservatively: they are cheap, and proving them dead would require
 /// knowing the minimum sequence number still present in the log.
 ///
+/// Circuit breaker. WAL appends go through a breaker: after
+/// Config::BreakerThreshold consecutive I/O failures the breaker trips
+/// *open* and the service runs degraded -- commits are acknowledged
+/// in-memory only, counted as unlogged, and their documents are marked
+/// for resync. While open, a half-open probe (opening a fresh WAL
+/// segment) runs on an exponential-backoff-plus-jitter schedule; the
+/// first successful probe closes the breaker, after which the
+/// background pass writes a fresh snapshot for every marked document,
+/// repairing log coverage (a snapshot at the document's current
+/// sequence number makes the unlogged gap invisible to replay). A
+/// document with an unlogged operation is never logged past the gap:
+/// a later record would replay against the wrong base, so its ops stay
+/// unlogged until the resync snapshot lands. The durability listener
+/// reports, per operation, whether it was logged and whether an fsync
+/// covered it -- nothing is ever claimed durable that is not.
+///
 /// Durability contract. With Config::FsyncEvery = 1 every acknowledged
 /// commit survives power loss. With N > 1 (group commit) an fsync
 /// happens every N records and on flush/rotation/close, so power loss
@@ -56,11 +72,14 @@
 #ifndef TRUEDIFF_PERSIST_PERSISTENCE_H
 #define TRUEDIFF_PERSIST_PERSISTENCE_H
 
+#include "persist/IoEnv.h"
 #include "persist/Wal.h"
 #include "service/DocumentStore.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -133,8 +152,23 @@ public:
     /// Run compaction after the background pass wrote snapshots.
     bool CompactAfterSnapshot = true;
     /// Background pass period (snapshots due documents, flushes the
-    /// WAL, compacts). 0 disables the background thread.
+    /// WAL, probes/resyncs the breaker, compacts). 0 disables the
+    /// background thread.
     unsigned BackgroundIntervalMs = 200;
+    /// I/O seam for every write-side syscall (WAL, snapshots, deletes).
+    /// Null means real I/O; tests inject a FaultyIoEnv. Must outlive
+    /// this object.
+    IoEnv *Env = nullptr;
+    /// Consecutive WAL I/O failures before the breaker trips open
+    /// (degraded, in-memory-only mode). 0 disables tripping; failures
+    /// are still absorbed per operation.
+    size_t BreakerThreshold = 3;
+    /// Initial half-open probe backoff after a trip; doubled per failed
+    /// probe up to BreakerBackoffMaxMs, plus up to 50% deterministic
+    /// jitter so a fleet of recovering services does not thundering-herd
+    /// a shared disk.
+    unsigned BreakerBackoffMs = 100;
+    unsigned BreakerBackoffMaxMs = 5000;
   };
 
   /// Live gauges, WAL counters included.
@@ -147,7 +181,51 @@ public:
     uint64_t SnapshotFailures = 0;
     uint64_t SegmentsDeleted = 0;
     uint64_t CompactionRuns = 0;
+    /// \name Breaker
+    /// @{
+    /// WAL appends/fsyncs/reopens that failed.
+    uint64_t WalAppendFailures = 0;
+    /// Times the breaker tripped open.
+    uint64_t BreakerTrips = 0;
+    /// Half-open probes that failed (breaker stayed open).
+    uint64_t ProbeFailures = 0;
+    /// Operations acknowledged in-memory only (no WAL record).
+    uint64_t UnloggedOps = 0;
+    /// Fresh snapshots written to repair unlogged gaps.
+    uint64_t ResyncSnapshots = 0;
+    /// Erase tombstones still awaiting a successful write (gauge).
+    uint64_t PendingTombstones = 0;
+    /// Documents currently marked for resync (gauge).
+    uint64_t DocsNeedingResync = 0;
+    /// True while the breaker is open (gauge).
+    bool Degraded = false;
+    /// Cumulative microseconds spent degraded, current period included.
+    uint64_t DegradedUs = 0;
+    /// @}
   };
+
+  /// The health summary behind the wire protocol's `health` verb.
+  struct HealthInfo {
+    bool Degraded = false;
+    uint64_t BreakerTrips = 0;
+    uint64_t DegradedUs = 0;
+    uint64_t UnloggedOps = 0;
+    uint64_t DocsNeedingResync = 0;
+    uint64_t ConsecutiveFailures = 0;
+  };
+
+  /// Observes the durability outcome of every committed operation.
+  /// \p Logged: the record reached the WAL. \p Durable: an fsync
+  /// covering it returned before this call (FsyncEvery batch boundary;
+  /// for an erase, a durable tombstone also counts). Logged-but-not-
+  /// durable operations become durable at the next successful flush().
+  /// Unlogged operations (breaker open, or a log-chain gap on the
+  /// document) are in-memory only until a resync snapshot covers them.
+  /// Called under the store's listener ordering, so per-document calls
+  /// are in commit order. Set before traffic.
+  using DurabilityListener = std::function<void(service::DocId Doc,
+                                                uint64_t Seq, bool Logged,
+                                                bool Durable)>;
 
   /// Opens (creating if needed) the data directory and a fresh WAL
   /// segment. Throws std::runtime_error on I/O failure.
@@ -178,8 +256,13 @@ public:
   void attach(service::DocumentStore &Store);
 
   /// Snapshots one document now (the SAVE verb). Returns false if the
-  /// document does not exist or the snapshot could not be written.
-  bool snapshotDocument(service::DocId Doc);
+  /// document does not exist or the snapshot could not be written. On
+  /// success \p CapturedSeq (when non-null) receives the sequence number
+  /// the written snapshot covers -- callers deciding whether the
+  /// snapshot repaired a log-chain gap must compare it against the
+  /// document's current sequence, because an erase + re-open can slide a
+  /// new incarnation under a snapshot captured from the old one.
+  bool snapshotDocument(service::DocId Doc, uint64_t *CapturedSeq = nullptr);
 
   /// Snapshots every document that crossed Config::SnapshotEvery;
   /// returns how many snapshots were written.
@@ -188,8 +271,31 @@ public:
   /// Deletes dead closed WAL segments and superseded snapshot files.
   void compact();
 
-  /// Fsyncs the WAL tail -- the graceful-drain barrier.
-  void flush();
+  /// Fsyncs the WAL tail -- the graceful-drain barrier. Returns false
+  /// if the fsync failed (the tail's durability is unknown; the failure
+  /// feeds the breaker).
+  bool flush();
+
+  /// Runs the half-open probe if the breaker is open and its backoff
+  /// has elapsed: opens a fresh WAL segment, closing the breaker on
+  /// success. Returns true iff the breaker is closed after the call.
+  /// The background pass calls this; exposed for tests and drains.
+  bool probe();
+
+  /// Writes a fresh snapshot for every document marked by an unlogged
+  /// operation, clearing the mark when no further unlogged operation
+  /// raced the snapshot. Returns how many documents were repaired. The
+  /// background pass calls this once the breaker closes.
+  size_t resyncDegraded();
+
+  /// True while the breaker is open (commits are in-memory only).
+  bool degraded() const;
+
+  HealthInfo healthInfo() const;
+
+  void setDurabilityListener(DurabilityListener L) {
+    DurListener = std::move(L);
+  }
 
   Stats stats() const;
 
@@ -203,11 +309,31 @@ public:
   const Config &config() const { return Cfg; }
 
 private:
+  using Clock = std::chrono::steady_clock;
+
   /// Per-document live bookkeeping. Guarded by StateMu.
   struct DocState {
     uint64_t LastSeq = 0;
     uint64_t SnapSeq = 0;
     uint64_t OpsSinceSnap = 0;
+    /// Operations acknowledged without a WAL record since the last
+    /// covering snapshot; nonzero iff NeedsResync.
+    uint64_t UnloggedOps = 0;
+    /// The log has a gap for this document: do not log further records
+    /// (they would replay against the wrong base) until a fresh
+    /// snapshot covers the current state.
+    bool NeedsResync = false;
+  };
+
+  /// Breaker state. Guarded by StateMu.
+  struct BreakerState {
+    bool Open = false;
+    /// At most one probe at a time; guards the half-open window.
+    bool ProbeInFlight = false;
+    size_t ConsecutiveFailures = 0;
+    unsigned BackoffMs = 0;
+    Clock::time_point OpenedAt;
+    Clock::time_point NextProbeAt;
   };
 
   void onScript(service::DocId Doc, uint64_t Version,
@@ -215,16 +341,37 @@ private:
   void onErase(service::DocId Doc);
   void backgroundLoop();
 
+  /// Appends \p Rec through the breaker. Returns true if the record
+  /// reached the WAL; \p Durable reports whether an fsync covered it.
+  /// Never throws: failures feed the breaker instead.
+  bool logRecord(const WalRecord &Rec, bool &Durable);
+
+  /// Retries tombstones whose write failed during onErase.
+  void writePendingTombstones();
+
+  void noteIoSuccessLocked();
+  void noteIoFailureLocked();
+  void scheduleProbeLocked();
+
   const SignatureTable &Sig;
   const Config Cfg;
+  IoEnv &Io;
   WalWriter Wal;
   service::DocumentStore *Store = nullptr;
   RecoveryResult LastRecovery;
+  DurabilityListener DurListener;
 
   mutable std::mutex StateMu;
   uint64_t NextSeq = 0;
   std::unordered_map<uint64_t, DocState> DocStates;
   Stats Counters; // non-WAL fields only; WAL fields live in the writer
+  BreakerState Brk;
+  /// Microseconds of *closed* degraded periods; the current open period
+  /// is added on read.
+  uint64_t DegradedUsTotal = 0;
+  Rng JitterRng{0x62726b6aull};
+  /// Erase tombstones to retry: doc -> erase sequence number.
+  std::unordered_map<uint64_t, uint64_t> PendingTombs;
 
   std::thread Background;
   std::mutex BgMu;

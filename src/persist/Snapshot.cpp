@@ -62,7 +62,8 @@ void syncDir(const std::string &Dir) {
 } // namespace
 
 std::string persist::writeSnapshotFile(const std::string &Dir,
-                                       const SnapshotData &Snap) {
+                                       const SnapshotData &Snap, IoEnv *E) {
+  IoEnv &Env = E != nullptr ? *E : realIoEnv();
   std::string Payload;
   putVarint(Payload, Snap.Doc);
   putVarint(Payload, Snap.Seq);
@@ -84,37 +85,37 @@ std::string persist::writeSnapshotFile(const std::string &Dir,
 
   std::string Final = snapshotPath(Dir, Snap.Doc, Snap.Seq);
   std::string Temp = Final + ".tmp";
-  int Fd = ::open(Temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  int Fd = Env.openFile(Temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (Fd < 0)
     throwErrno("create " + Temp);
   const char *Data = File.data();
   size_t Size = File.size();
   while (Size != 0) {
-    ssize_t N = ::write(Fd, Data, Size);
+    ssize_t N = Env.writeSome(Fd, Data, Size);
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      int E = errno;
-      ::close(Fd);
-      ::unlink(Temp.c_str());
-      errno = E;
+      int Err = errno;
+      Env.closeFd(Fd);
+      Env.unlinkFile(Temp.c_str());
+      errno = Err;
       throwErrno("write " + Temp);
     }
     Data += N;
     Size -= static_cast<size_t>(N);
   }
-  if (::fsync(Fd) != 0) {
-    int E = errno;
-    ::close(Fd);
-    ::unlink(Temp.c_str());
-    errno = E;
+  if (Env.syncFd(Fd) != 0) {
+    int Err = errno;
+    Env.closeFd(Fd);
+    Env.unlinkFile(Temp.c_str());
+    errno = Err;
     throwErrno("fsync " + Temp);
   }
-  ::close(Fd);
-  if (::rename(Temp.c_str(), Final.c_str()) != 0) {
-    int E = errno;
-    ::unlink(Temp.c_str());
-    errno = E;
+  Env.closeFd(Fd);
+  if (Env.renameFile(Temp.c_str(), Final.c_str()) != 0) {
+    int Err = errno;
+    Env.unlinkFile(Temp.c_str());
+    errno = Err;
     throwErrno("rename " + Temp);
   }
   syncDir(Dir);

@@ -34,6 +34,8 @@
 #ifndef TRUEDIFF_PERSIST_SNAPSHOT_H
 #define TRUEDIFF_PERSIST_SNAPSHOT_H
 
+#include "persist/IoEnv.h"
+
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -62,9 +64,12 @@ struct SnapshotData {
 };
 
 /// Writes \p Snap atomically into \p Dir; returns the final path.
-/// Throws std::runtime_error on I/O failure.
-std::string writeSnapshotFile(const std::string &Dir,
-                              const SnapshotData &Snap);
+/// Throws std::runtime_error on I/O failure -- the temp file is cleaned
+/// up and the previous snapshot (if any) is untouched, so a failed
+/// write never degrades what recovery can see. \p Env is the I/O seam;
+/// null means real I/O.
+std::string writeSnapshotFile(const std::string &Dir, const SnapshotData &Snap,
+                              IoEnv *Env = nullptr);
 
 /// Result of reading one snapshot file.
 struct ReadSnapshotResult {

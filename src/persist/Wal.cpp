@@ -45,10 +45,10 @@ uint32_t getU32(const char *P) {
   throw std::runtime_error(What + ": " + std::strerror(errno));
 }
 
-void writeAll(int Fd, const char *Data, size_t Size,
+void writeAll(IoEnv &Env, int Fd, const char *Data, size_t Size,
               const std::string &What) {
   while (Size != 0) {
-    ssize_t N = ::write(Fd, Data, Size);
+    ssize_t N = Env.writeSome(Fd, Data, Size);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -126,9 +126,9 @@ const char *persist::walKindName(WalKind Kind) {
   return "<unknown>";
 }
 
-WalWriter::WalWriter(std::string Dir, Config C)
-    : Dir(std::move(Dir)), Cfg(C) {
-  if (::mkdir(this->Dir.c_str(), 0777) != 0 && errno != EEXIST)
+WalWriter::WalWriter(std::string Dir, Config C, IoEnv *E)
+    : Dir(std::move(Dir)), Cfg(C), Env(E != nullptr ? *E : realIoEnv()) {
+  if (Env.makeDir(this->Dir.c_str(), 0777) != 0 && errno != EEXIST)
     throwErrno("mkdir " + this->Dir);
   uint64_t Next = 1;
   for (const auto &[Index, Path] : listWalSegments(this->Dir))
@@ -139,36 +139,51 @@ WalWriter::WalWriter(std::string Dir, Config C)
 WalWriter::~WalWriter() {
   std::lock_guard<std::mutex> Lock(Mu);
   if (Fd >= 0) {
-    if (PendingRecords != 0)
-      syncLocked();
-    ::close(Fd);
+    if (PendingRecords != 0) {
+      try {
+        syncLocked();
+      } catch (const std::exception &) {
+        // Destructor must not throw; the unsynced tail was never
+        // acknowledged as durable, so losing it keeps the contract.
+      }
+    }
+    Env.closeFd(Fd);
     Fd = -1;
   }
 }
 
 void WalWriter::openSegment(uint64_t Index) {
   std::string Path = segmentPath(Dir, Index);
-  int NewFd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  int NewFd = Env.openFile(Path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
   if (NewFd < 0)
     throwErrno("create WAL segment " + Path);
   try {
-    writeAll(NewFd, SegmentHeader, sizeof(SegmentHeader), "write " + Path);
-    if (::fsync(NewFd) != 0)
+    writeAll(Env, NewFd, SegmentHeader, sizeof(SegmentHeader),
+             "write " + Path);
+    if (Env.syncFd(NewFd) != 0)
       throwErrno("fsync " + Path);
   } catch (...) {
-    ::close(NewFd);
+    Env.closeFd(NewFd);
+    Env.unlinkFile(Path.c_str());
     throw;
   }
   syncDir(Dir);
-  if (Fd >= 0)
-    ::close(Fd);
+  if (Fd >= 0) {
+    // Best-effort sync of the outgoing segment: complete frames in it
+    // stay recoverable even if the writer is abandoning a torn tail.
+    if (PendingRecords != 0 && Env.syncFd(Fd) == 0) {
+      PendingRecords = 0;
+      ++Counters.Fsyncs;
+    }
+    Env.closeFd(Fd);
+  }
   Fd = NewFd;
   SegmentIndex = Index;
   SegmentSize = sizeof(SegmentHeader);
 }
 
 void WalWriter::syncLocked() {
-  if (::fsync(Fd) != 0)
+  if (Env.syncFd(Fd) != 0)
     throwErrno("fsync WAL segment");
   PendingRecords = 0;
   ++Counters.Fsyncs;
@@ -186,29 +201,54 @@ bool WalWriter::append(const WalRecord &Rec) {
   std::lock_guard<std::mutex> Lock(Mu);
   if (Fd < 0)
     throw std::runtime_error("WAL writer is closed");
-  // Rotate before the write so a record never spans segments.
-  if (SegmentSize + Frame.size() > Cfg.SegmentBytes &&
-      SegmentSize > sizeof(SegmentHeader)) {
-    if (PendingRecords != 0)
+  if (Poisoned)
+    throw std::runtime_error(
+        "WAL segment poisoned by an earlier write failure; reopen required");
+  try {
+    // Rotate before the write so a record never spans segments.
+    if (SegmentSize + Frame.size() > Cfg.SegmentBytes &&
+        SegmentSize > sizeof(SegmentHeader)) {
+      if (PendingRecords != 0)
+        syncLocked();
+      openSegment(SegmentIndex + 1);
+      ++Counters.Rotations;
+    }
+    writeAll(Env, Fd, Frame.data(), Frame.size(), "append WAL record");
+    SegmentSize += Frame.size();
+    ++Counters.Records;
+    Counters.Bytes += Frame.size();
+    if (++PendingRecords >= std::max<size_t>(1, Cfg.FsyncEvery)) {
       syncLocked();
-    openSegment(SegmentIndex + 1);
-    ++Counters.Rotations;
+      return true;
+    }
+    return false;
+  } catch (...) {
+    // The segment tail may now hold a torn frame (or, after an fsync
+    // failure, pages in unknown state); anything appended behind it
+    // would be discarded by the reader. Fail fast until reopenFresh().
+    Poisoned = true;
+    throw;
   }
-  writeAll(Fd, Frame.data(), Frame.size(), "append WAL record");
-  SegmentSize += Frame.size();
-  ++Counters.Records;
-  Counters.Bytes += Frame.size();
-  if (++PendingRecords >= std::max<size_t>(1, Cfg.FsyncEvery)) {
-    syncLocked();
-    return true;
-  }
-  return false;
 }
 
 void WalWriter::flush() {
   std::lock_guard<std::mutex> Lock(Mu);
   if (Fd >= 0 && PendingRecords != 0)
     syncLocked();
+}
+
+void WalWriter::reopenFresh() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0)
+    throw std::runtime_error("WAL writer is closed");
+  openSegment(SegmentIndex + 1);
+  ++Counters.Reopens;
+  Poisoned = false;
+}
+
+bool WalWriter::poisoned() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Poisoned;
 }
 
 WalWriter::Stats WalWriter::stats() const {

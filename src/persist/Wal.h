@@ -40,6 +40,8 @@
 #ifndef TRUEDIFF_PERSIST_WAL_H
 #define TRUEDIFF_PERSIST_WAL_H
 
+#include "persist/IoEnv.h"
+
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -93,13 +95,16 @@ public:
     uint64_t Bytes = 0;
     uint64_t Fsyncs = 0;
     uint64_t Rotations = 0;
+    /// Fresh segments opened by reopenFresh() after a poisoned one.
+    uint64_t Reopens = 0;
   };
 
   /// Opens a new segment numbered one past the highest existing segment
   /// in \p Dir (existing segments are never appended to: their tails may
   /// be torn, and immutability is what makes compaction safe). Creates
   /// \p Dir if missing. Throws std::runtime_error on I/O failure.
-  WalWriter(std::string Dir, Config C);
+  /// \p Env is the I/O seam; null means real I/O.
+  WalWriter(std::string Dir, Config C, IoEnv *Env = nullptr);
   ~WalWriter();
 
   WalWriter(const WalWriter &) = delete;
@@ -109,11 +114,27 @@ public:
   /// (this append triggered the batch fsync), false if its durability
   /// is deferred to a later sync. Throws std::runtime_error if the
   /// write itself fails -- a lost write must fail the commit, not be
-  /// discovered at recovery.
+  /// discovered at recovery. A failed append *poisons* the writer: the
+  /// segment tail may hold a torn frame, and anything appended after it
+  /// would be discarded by the reader along with the tear, so further
+  /// appends fail fast until reopenFresh() rotates to a clean segment.
   bool append(const WalRecord &Rec);
 
-  /// Fsyncs any unsynced records; the graceful-drain barrier.
+  /// Fsyncs any unsynced records; the graceful-drain barrier. Works on
+  /// a poisoned writer too -- complete frames written before the tear
+  /// are still recoverable, and this makes them durable. Throws
+  /// std::runtime_error if the fsync fails.
   void flush();
+
+  /// Abandons a poisoned segment and opens a fresh one (the breaker's
+  /// half-open probe). The old segment's durable prefix remains valid
+  /// for recovery; its tail, if torn, is cut by the reader. Safe to call
+  /// on a healthy writer (plain rotation). Throws std::runtime_error if
+  /// the fresh segment cannot be created -- the probe failed.
+  void reopenFresh();
+
+  /// True after a failed append/fsync until reopenFresh() succeeds.
+  bool poisoned() const;
 
   Stats stats() const;
 
@@ -126,12 +147,14 @@ private:
 
   const std::string Dir;
   const Config Cfg;
+  IoEnv &Env;
 
   mutable std::mutex Mu;
   int Fd = -1;
   uint64_t SegmentIndex = 0;
   size_t SegmentSize = 0;
   size_t PendingRecords = 0;
+  bool Poisoned = false;
   Stats Counters;
 };
 

@@ -12,7 +12,7 @@ using namespace truediff;
 using namespace truediff::service;
 
 DiffService::DiffService(DocumentStore &Store, ServiceConfig C)
-    : Store(Store),
+    : Store(Store), Cfg(C),
       NumWorkers(C.Workers != 0 ? C.Workers
                                 : std::max(1u, std::thread::hardware_concurrency())),
       Queue(std::max<size_t>(1, C.QueueCapacity)) {
@@ -39,18 +39,35 @@ OpKind DiffService::kindOf(const Operation &Op) {
   return static_cast<OpKind>(Op.index());
 }
 
-std::future<Response> DiffService::enqueue(Operation Op, OpKind Kind) {
+uint64_t DiffService::retryAfterHintMs() const {
+  LatencyHistogram::Summary S =
+      Metrics.Ops[static_cast<unsigned>(OpKind::Submit)].Latency.summarize();
+  double PerRequestMs = S.Count != 0 ? S.MeanMs : 1.0;
+  double Hint = static_cast<double>(Queue.depth() + 1) * PerRequestMs;
+  return Hint < 1.0 ? 1 : static_cast<uint64_t>(Hint);
+}
+
+std::future<Response> DiffService::enqueue(Operation Op, OpKind Kind,
+                                           uint64_t DeadlineMs) {
+  if (DeadlineMs == 0)
+    DeadlineMs = Cfg.DefaultDeadlineMs;
   Request R;
   R.Op = std::move(Op);
   R.Enqueued = Clock::now();
+  if (DeadlineMs != 0)
+    R.Deadline = R.Enqueued + std::chrono::milliseconds(DeadlineMs);
   std::future<Response> Fut = R.Promise.get_future();
   if (!Queue.tryPush(std::move(R))) {
     Metrics.Rejected.fetch_add(1, std::memory_order_relaxed);
     Metrics.Ops[static_cast<unsigned>(Kind)].Failures.fetch_add(
         1, std::memory_order_relaxed);
     Response Rej;
-    Rej.Error = Stopped.load() ? "service is shut down"
-                               : "request queue full (backpressure)";
+    if (Stopped.load()) {
+      Rej.Error = "service is shut down";
+    } else {
+      Rej.Error = "request queue full (backpressure)";
+      Rej.RetryAfterMs = retryAfterHintMs();
+    }
     R.Promise.set_value(std::move(Rej));
   }
   return Fut;
@@ -61,6 +78,10 @@ std::future<Response> DiffService::openAsync(DocId Doc, TreeBuilder Build) {
 }
 std::future<Response> DiffService::submitAsync(DocId Doc, TreeBuilder Build) {
   return enqueue(SubmitOp{Doc, std::move(Build)}, OpKind::Submit);
+}
+std::future<Response> DiffService::submitAsync(DocId Doc, TreeBuilder Build,
+                                               uint64_t DeadlineMs) {
+  return enqueue(SubmitOp{Doc, std::move(Build)}, OpKind::Submit, DeadlineMs);
 }
 std::future<Response> DiffService::rollbackAsync(DocId Doc) {
   return enqueue(RollbackOp{Doc}, OpKind::Rollback);
@@ -77,6 +98,10 @@ Response DiffService::open(DocId Doc, TreeBuilder Build) {
 }
 Response DiffService::submit(DocId Doc, TreeBuilder Build) {
   return submitAsync(Doc, std::move(Build)).get();
+}
+Response DiffService::submit(DocId Doc, TreeBuilder Build,
+                             uint64_t DeadlineMs) {
+  return submitAsync(Doc, std::move(Build), DeadlineMs).get();
 }
 Response DiffService::rollback(DocId Doc) { return rollbackAsync(Doc).get(); }
 Response DiffService::getVersion(DocId Doc) {
@@ -96,7 +121,27 @@ void DiffService::workerLoop() {
     ServiceMetrics::PerOp &Op = Metrics.Ops[static_cast<unsigned>(Kind)];
     Op.Requests.fetch_add(1, std::memory_order_relaxed);
 
-    Response Resp = execute(R->Op);
+    // Admission control at dequeue: a request whose deadline already
+    // passed while it sat in the queue gets a fast rejection with a
+    // retry-after hint, not a slow answer nobody is waiting for.
+    if (Started > R->Deadline) {
+      Metrics.DeadlineExpired.fetch_add(1, std::memory_order_relaxed);
+      Op.Failures.fetch_add(1, std::memory_order_relaxed);
+      Response Shed;
+      Shed.Error = "deadline expired while queued";
+      Shed.RetryAfterMs = retryAfterHintMs();
+      R->Promise.set_value(std::move(Shed));
+      continue;
+    }
+
+    Response Resp;
+    try {
+      Resp = execute(R->Op, R->Deadline);
+    } catch (const std::exception &E) {
+      // A throwing operation must never break the caller's promise.
+      Resp = Response();
+      Resp.Error = std::string("internal error: ") + E.what();
+    }
 
     double ExecMs =
         std::chrono::duration<double, std::milli>(Clock::now() - Started)
@@ -123,14 +168,21 @@ Response fromStoreResult(StoreResult &&R) {
 
 } // namespace
 
-Response DiffService::execute(Operation &Op) {
+Response DiffService::execute(Operation &Op, Clock::time_point Deadline) {
   return std::visit(
       [&](auto &Req) -> Response {
         using T = std::decay_t<decltype(Req)>;
         if constexpr (std::is_same_v<T, OpenOp>) {
           return fromStoreResult(Store.open(Req.Doc, Req.Build));
         } else if constexpr (std::is_same_v<T, SubmitOp>) {
-          StoreResult R = Store.submit(Req.Doc, Req.Build);
+          SubmitOptions Opts;
+          if (Cfg.DeadlineFallback && Deadline != Clock::time_point::max())
+            Opts.UseFallback = [Deadline] {
+              return Clock::now() > Deadline;
+            };
+          StoreResult R = Store.submit(Req.Doc, Req.Build, Opts);
+          if (R.Ok && R.UsedFallback)
+            Metrics.FallbackScripts.fetch_add(1, std::memory_order_relaxed);
           if (R.Ok) {
             Metrics.ScriptsEmitted.fetch_add(1, std::memory_order_relaxed);
             Metrics.EditsEmitted.fetch_add(R.Script.size(),
@@ -144,8 +196,10 @@ Response DiffService::execute(Operation &Op) {
           }
           std::string Payload =
               R.Ok ? serializeEditScript(Store.signatures(), R.Script) : "";
+          bool Fallback = R.UsedFallback;
           Response Out = fromStoreResult(std::move(R));
           Out.Payload = std::move(Payload);
+          Out.Fallback = Fallback;
           return Out;
         } else if constexpr (std::is_same_v<T, RollbackOp>) {
           return fromStoreResult(Store.rollback(Req.Doc));
@@ -169,7 +223,35 @@ Response DiffService::execute(Operation &Op) {
       Op);
 }
 
+HealthStatus DiffService::health() const {
+  return HealthSource ? HealthSource() : HealthStatus();
+}
+
+void DiffService::refreshHealth() const {
+  if (!HealthSource)
+    return;
+  HealthStatus H = HealthSource();
+  Metrics.BreakerTrips.store(H.BreakerTrips, std::memory_order_relaxed);
+  Metrics.DegradedUs.store(H.DegradedUs, std::memory_order_relaxed);
+}
+
+std::string DiffService::healthJson() const {
+  HealthStatus H = health();
+  refreshHealth();
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"status\":\"%s\",\"degraded\":%s,\"breaker_trips\":%llu,"
+                "\"degraded_seconds\":%.6f,\"queue_depth\":%zu,"
+                "\"workers\":%u}",
+                H.Degraded ? "degraded" : "ok", H.Degraded ? "true" : "false",
+                static_cast<unsigned long long>(H.BreakerTrips),
+                static_cast<double>(H.DegradedUs) / 1e6, Queue.depth(),
+                NumWorkers);
+  return Buf;
+}
+
 std::string DiffService::statsJson() const {
+  refreshHealth();
   StoreStats S = Store.stats();
   char Buf[256];
   std::snprintf(

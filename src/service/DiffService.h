@@ -20,6 +20,14 @@
 /// stops accepting, workers drain every accepted request, then join, so
 /// no accepted request is ever dropped.
 ///
+/// Deadlines bound tail latency: a submit may carry a deadline; if it is
+/// still queued when the deadline passes it is shed with a retry-after
+/// hint, and if its diff would overrun the deadline the service answers
+/// with the type-checked replace-root fallback script instead (concise
+/// is the first thing degraded mode gives up -- type safety never is).
+/// healthJson() reports durability liveness without touching the request
+/// queue.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TRUEDIFF_SERVICE_DIFFSERVICE_H
@@ -50,6 +58,12 @@ struct Response {
   /// submit: the serialized edit script (truechange/Serialize);
   /// get_version: the document's s-expression; stats: JSON.
   std::string Payload;
+  /// submit: the script is the deadline fallback (replace-root), not a
+  /// minimal diff.
+  bool Fallback = false;
+  /// On rejection/shedding: hint for when a retry is likely to succeed,
+  /// derived from queue depth and observed submit latency. 0 = no hint.
+  uint64_t RetryAfterMs = 0;
 };
 
 /// \name Typed requests
@@ -79,6 +93,27 @@ struct ServiceConfig {
   unsigned Workers = 0;
   /// Bound of the request queue; requests beyond it are rejected.
   size_t QueueCapacity = 256;
+  /// Deadline applied to submits that do not carry their own, in
+  /// milliseconds from enqueue. 0 = no default deadline.
+  unsigned DefaultDeadlineMs = 0;
+  /// When a submit's diff would overrun its deadline, answer with the
+  /// type-checked replace-root fallback script instead of failing the
+  /// request (see SubmitOptions::UseFallback). When false an over-deadline
+  /// submit still runs the full diff; the deadline then only sheds
+  /// requests that expire while queued.
+  bool DeadlineFallback = true;
+};
+
+/// Liveness of the durability layer as seen by the service, polled from
+/// the health source (the persistence layer, when attached).
+struct HealthStatus {
+  /// True while the persistence circuit breaker is open: writes are
+  /// in-memory only and acknowledged as NOT durable.
+  bool Degraded = false;
+  uint64_t BreakerTrips = 0;
+  /// Cumulative microseconds spent degraded, including the current
+  /// period if degraded now.
+  uint64_t DegradedUs = 0;
 };
 
 class DiffService {
@@ -95,6 +130,14 @@ public:
   /// @{
   std::future<Response> openAsync(DocId Doc, TreeBuilder Build);
   std::future<Response> submitAsync(DocId Doc, TreeBuilder Build);
+  /// Submit with an explicit deadline, milliseconds from now. 0 falls
+  /// back to ServiceConfig::DefaultDeadlineMs. A request still queued at
+  /// its deadline is shed with a retry-after hint; a request whose build
+  /// finishes but whose diff would overrun it is answered with the
+  /// replace-root fallback script (Response::Fallback) when
+  /// ServiceConfig::DeadlineFallback is set.
+  std::future<Response> submitAsync(DocId Doc, TreeBuilder Build,
+                                    uint64_t DeadlineMs);
   std::future<Response> rollbackAsync(DocId Doc);
   std::future<Response> getVersionAsync(DocId Doc);
   std::future<Response> statsAsync();
@@ -104,6 +147,7 @@ public:
   /// @{
   Response open(DocId Doc, TreeBuilder Build);
   Response submit(DocId Doc, TreeBuilder Build);
+  Response submit(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs);
   Response rollback(DocId Doc);
   Response getVersion(DocId Doc);
   Response stats();
@@ -125,12 +169,29 @@ public:
     StatsAugmenter = std::move(Fn);
   }
 
+  /// Where healthJson()/statsJson() read durability liveness from --
+  /// typically [&P] { return HealthStatus from P.healthInfo(); }. Set
+  /// before traffic; absent means "never degraded".
+  void setHealthSource(std::function<HealthStatus()> Fn) {
+    HealthSource = std::move(Fn);
+  }
+
   unsigned workers() const { return NumWorkers; }
   size_t queueDepth() const { return Queue.depth(); }
   const ServiceMetrics &metrics() const { return Metrics; }
 
   /// The Stats payload: metrics, queue gauges, and store stats.
   std::string statsJson() const;
+
+  /// Small always-available liveness summary (the wire `health` verb):
+  /// degraded flag, breaker trips, degraded seconds, queue depth. Served
+  /// without going through the request queue, so it answers even when the
+  /// queue is saturated -- that is the moment health checks matter.
+  std::string healthJson() const;
+
+  /// Current health as polled from the health source (all-zero without
+  /// one).
+  HealthStatus health() const;
 
 private:
   using Clock = std::chrono::steady_clock;
@@ -139,14 +200,26 @@ private:
     Operation Op;
     std::promise<Response> Promise;
     Clock::time_point Enqueued;
+    /// Absolute deadline; max() = none.
+    Clock::time_point Deadline = Clock::time_point::max();
   };
 
-  std::future<Response> enqueue(Operation Op, OpKind Kind);
+  std::future<Response> enqueue(Operation Op, OpKind Kind,
+                                uint64_t DeadlineMs = 0);
   void workerLoop();
-  Response execute(Operation &Op);
+  Response execute(Operation &Op, Clock::time_point Deadline);
   static OpKind kindOf(const Operation &Op);
 
+  /// Retry-after hint in ms: (queue depth + 1) x mean submit latency,
+  /// floored at 1ms. Heuristic, not a promise.
+  uint64_t retryAfterHintMs() const;
+
+  /// Pulls HealthStatus from the source into the mirrored metrics
+  /// gauges.
+  void refreshHealth() const;
+
   DocumentStore &Store;
+  const ServiceConfig Cfg;
   const unsigned NumWorkers;
   BoundedQueue<Request> Queue;
   ServiceMetrics Metrics;
@@ -154,6 +227,7 @@ private:
   std::atomic<bool> Stopped{false};
   std::function<void()> DrainHook;
   std::function<std::string()> StatsAugmenter;
+  std::function<HealthStatus()> HealthSource;
 };
 
 } // namespace service

@@ -77,6 +77,11 @@ StoreResult DocumentStore::open(DocId Doc, const TreeBuilder &Build) {
 }
 
 StoreResult DocumentStore::submit(DocId Doc, const TreeBuilder &Build) {
+  return submit(Doc, Build, SubmitOptions());
+}
+
+StoreResult DocumentStore::submit(DocId Doc, const TreeBuilder &Build,
+                                  const SubmitOptions &Opts) {
   StoreResult R;
   std::shared_ptr<Document> D = find(Doc);
   if (!D) {
@@ -91,6 +96,47 @@ StoreResult DocumentStore::submit(DocId Doc, const TreeBuilder &Build) {
   }
   uint64_t SourceSize = D->Current->size();
   uint64_t TargetSize = B.Root->size();
+
+  if (Opts.UseFallback && Opts.UseFallback()) {
+    // Over budget: answer with the replace-root script instead of a
+    // minimal diff -- unload the stored tree, load and attach the
+    // target. The inverse of an initializing script unloads exactly
+    // what the script loaded, so the concatenation is well-typed by
+    // construction: the degraded path trades conciseness for latency,
+    // never type safety.
+    EditScript Unload =
+        invertScript(buildInitializingScript(Sig, D->Current));
+    EditScript Load = buildInitializingScript(Sig, B.Root);
+    std::vector<Edit> Edits;
+    Edits.reserve(Unload.size() + Load.size());
+    for (const Edit &E : Unload.edits())
+      Edits.push_back(E);
+    for (const Edit &E : Load.edits())
+      Edits.push_back(E);
+    EditScript Forward{std::move(Edits)};
+
+    D->Current = B.Root;
+    ++D->Version;
+
+    VersionRecord Rec;
+    Rec.Version = D->Version;
+    Rec.Inverse = invertScript(Forward);
+    Rec.Script = std::move(Forward);
+    D->History.push_back(std::move(Rec));
+    if (D->History.size() > Cfg.HistoryCapacity)
+      D->History.pop_front();
+
+    emit(Doc, D->Version, StoreOp::Submit, D->History.back().Script);
+    maybeCompact(*D);
+
+    R.Ok = true;
+    R.UsedFallback = true;
+    R.Version = D->Version;
+    R.Script = D->History.back().Script;
+    R.NodesDiffed = SourceSize + TargetSize;
+    R.TreeSize = D->Current->size();
+    return R;
+  }
 
   // Warm path: the stored tree's Step-1 digests are valid (populated at
   // construction, maintained by every previous submit's dirty-path rehash

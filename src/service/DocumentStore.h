@@ -97,6 +97,23 @@ struct StoreResult {
   /// paths when digests are persisted (warm), the full source and patched
   /// trees when not (cold).
   uint64_t NodesRehashed = 0;
+  /// submit: the emitted script is the replace-root fallback (see
+  /// SubmitOptions::UseFallback), not a minimal diff.
+  bool UsedFallback = false;
+};
+
+/// Per-call options for DocumentStore::submit.
+struct SubmitOptions {
+  /// Consulted once, after the builder produced the target tree (the
+  /// deadline check must account for build time) but before the diff
+  /// runs. Returning true skips the diff and commits the type-checked
+  /// replace-root script instead: invert(init(current)) ++ init(target)
+  /// -- unload the old tree, load and attach the new one. Well-typed by
+  /// construction (truechange Thm 3.8: the inverse of a well-typed
+  /// script is well-typed, and init scripts are the paper's Def 3.2),
+  /// so a degraded answer still upholds every script guarantee; it is
+  /// just not concise. Null means never.
+  std::function<bool()> UseFallback;
 };
 
 /// Read-only view of a document's current state.
@@ -183,6 +200,10 @@ public:
   /// Diffs the current version against the tree \p Build produces and
   /// advances the document to it. The result carries the edit script.
   StoreResult submit(DocId Doc, const TreeBuilder &Build);
+
+  /// submit() with per-call options (deadline fallback).
+  StoreResult submit(DocId Doc, const TreeBuilder &Build,
+                     const SubmitOptions &Opts);
 
   /// Undoes the most recent submit by applying its recorded inverse.
   /// Fails with a clean error -- leaving the document untouched at its

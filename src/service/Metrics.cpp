@@ -109,6 +109,15 @@ std::string ServiceMetrics::toJson(size_t QueueDepth, size_t QueueCapacity,
       static_cast<unsigned long long>(NodesDiffed.load()),
       static_cast<unsigned long long>(NodesRehashed.load()));
   Out += Buf;
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "\"deadline_expired\":%llu,\"fallback_scripts\":%llu,"
+      "\"breaker_trips\":%llu,\"degraded_seconds\":%.6f,",
+      static_cast<unsigned long long>(DeadlineExpired.load()),
+      static_cast<unsigned long long>(FallbackScripts.load()),
+      static_cast<unsigned long long>(BreakerTrips.load()),
+      static_cast<double>(DegradedUs.load()) / 1e6);
+  Out += Buf;
   Out += "\"queue_wait\":" + QueueWait.toJson() + ",\"ops\":{";
   for (unsigned I = 0; I != NumOpKinds; ++I) {
     if (I != 0)

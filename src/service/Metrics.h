@@ -102,6 +102,21 @@ struct ServiceMetrics {
   /// digest cache avoided.
   std::atomic<uint64_t> NodesRehashed{0};
 
+  /// Requests shed because their deadline had already expired when a
+  /// worker dequeued them (the response carries a retry-after hint).
+  std::atomic<uint64_t> DeadlineExpired{0};
+  /// Submits answered with the type-checked replace-root fallback script
+  /// because the diff would have blown the request's deadline.
+  std::atomic<uint64_t> FallbackScripts{0};
+
+  /// Persistence circuit-breaker gauges, mirrored from the health source
+  /// (see DiffService::setHealthSource) just before each JSON dump --
+  /// mutable because mirroring happens under const statsJson(). Zero when
+  /// the service runs without persistence.
+  mutable std::atomic<uint64_t> BreakerTrips{0};
+  /// Cumulative microseconds the persistence layer spent degraded.
+  mutable std::atomic<uint64_t> DegradedUs{0};
+
   /// Dumps everything as one JSON object. Queue depth and capacity are
   /// live gauges owned by the service, so the caller passes them in.
   std::string toJson(size_t QueueDepth, size_t QueueCapacity,

@@ -124,6 +124,8 @@ WireCommand service::parseWireCommand(std::string_view Line) {
     Cmd.K = WireCommand::Kind::Recover;
   else if (Verb == "stats" && trimLeft(Rest).empty())
     Cmd.K = WireCommand::Kind::Stats;
+  else if (Verb == "health" && trimLeft(Rest).empty())
+    Cmd.K = WireCommand::Kind::Health;
   else if ((Verb == "quit" || Verb == "exit") && trimLeft(Rest).empty())
     Cmd.K = WireCommand::Kind::Quit;
   else
@@ -134,13 +136,14 @@ WireCommand service::parseWireCommand(std::string_view Line) {
 std::string service::formatWireResponse(const Response &R) {
   std::string Out;
   if (R.Ok) {
-    char Buf[160];
+    char Buf[192];
     std::snprintf(Buf, sizeof(Buf),
-                  "ok version=%llu edits=%llu coalesced=%llu size=%llu\n",
+                  "ok version=%llu edits=%llu coalesced=%llu size=%llu%s\n",
                   static_cast<unsigned long long>(R.Version),
                   static_cast<unsigned long long>(R.EditCount),
                   static_cast<unsigned long long>(R.CoalescedSize),
-                  static_cast<unsigned long long>(R.TreeSize));
+                  static_cast<unsigned long long>(R.TreeSize),
+                  R.Fallback ? " fallback=1" : "");
     Out += Buf;
     if (!R.Payload.empty()) {
       Out += R.Payload;
@@ -148,7 +151,10 @@ std::string service::formatWireResponse(const Response &R) {
         Out += '\n';
     }
   } else {
-    Out += "err " + R.Error + "\n";
+    Out += "err " + R.Error;
+    if (R.RetryAfterMs != 0)
+      Out += " retry_after_ms=" + std::to_string(R.RetryAfterMs);
+    Out += "\n";
   }
   Out += ".\n";
   return Out;

@@ -15,6 +15,7 @@
 ///   save <doc-id>                     force a durable snapshot now
 ///   recover                           last recovery's summary as JSON
 ///   stats                             service metrics as JSON
+///   health                            durability liveness as JSON
 ///   quit                              close the session
 ///
 /// save and recover require the server to run with persistence enabled
@@ -30,6 +31,13 @@
 ///
 ///   err <message>
 ///   .
+///
+/// A submit answered with the deadline fallback script appends
+/// " fallback=1" to the ok line; a shed or backpressure-rejected request
+/// appends " retry_after_ms=<hint>" to the err line. Both markers are
+/// additive, so clients that ignore unknown trailing fields keep
+/// working. health answers even when the request queue is saturated --
+/// it is served without queueing.
 ///
 /// Trees travel as s-expressions (tree/SExpr), edit scripts in the
 /// truechange textual format (truechange/Serialize), so the protocol
@@ -64,6 +72,7 @@ struct WireCommand {
     Save,
     Recover,
     Stats,
+    Health,
     Quit,
     Invalid,
   };

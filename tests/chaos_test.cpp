@@ -1,0 +1,559 @@
+//===- tests/chaos_test.cpp - Fault-injection chaos suite ------------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-injection hammer for the persistence circuit breaker. A
+/// FaultyIoEnv drives seeded schedules of ENOSPC/EIO write failures,
+/// torn writes, benign short writes, fsync failures, failed renames, and
+/// whole-disk death through the WAL and snapshot writers while a
+/// mutation chain runs against the store. The invariants, per schedule:
+///
+///   * no operation acknowledged durable is ever lost -- recovery lands
+///     on a per-document committed prefix at or past every durable ack;
+///   * every logged script (minimal diffs and replace-root fallbacks
+///     alike) passes the LinearTypeChecker, verified both inline and by
+///     replay (InvalidRecords == 0);
+///   * the breaker provably re-closes once faults stop (the half-open
+///     probe succeeds), resync snapshots repair every unlogged gap, and
+///     a final recovery reproduces the live store exactly.
+///
+/// Seeds come from TestSeed.h: per-PR CI uses the fixed defaults, the
+/// nightly chaos job sets TRUEDIFF_TEST_SEED randomly and
+/// TRUEDIFF_CHAOS_ITERS high; every failure message carries the seed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "persist/IoEnv.h"
+#include "persist/Persistence.h"
+#include "persist/Snapshot.h"
+#include "persist/Wal.h"
+
+#include "service/DocumentStore.h"
+#include "service/Wire.h"
+#include "support/Rng.h"
+#include "tree/SExpr.h"
+#include "truechange/TypeChecker.h"
+
+#include "TestLang.h"
+#include "TestSeed.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <stdlib.h>
+#include <unistd.h>
+
+using namespace truediff;
+using namespace truediff::persist;
+using namespace truediff::service;
+using namespace truediff::testlang;
+
+namespace {
+
+class TempDir {
+public:
+  TempDir() {
+    std::string Tmpl = ::testing::TempDir() + "chaosXXXXXX";
+    std::vector<char> Buf(Tmpl.begin(), Tmpl.end());
+    Buf.push_back('\0');
+    const char *P = ::mkdtemp(Buf.data());
+    EXPECT_NE(P, nullptr);
+    Dir = P ? P : "";
+  }
+  ~TempDir() {
+    for (const auto &[Index, Path] : listWalSegments(Dir))
+      ::unlink(Path.c_str());
+    for (const SnapshotFileName &F : listSnapshotFiles(Dir))
+      ::unlink(F.Path.c_str());
+    ::rmdir(Dir.c_str());
+  }
+  const std::string &path() const { return Dir; }
+
+private:
+  std::string Dir;
+};
+
+std::string randomExpText(Rng &R, unsigned Depth) {
+  if (Depth == 0 || R.below(3) == 0) {
+    switch (R.below(3)) {
+    case 0:
+      return "(Num " + std::to_string(R.below(100)) + ")";
+    case 1:
+      return "(Var \"" + std::string(1, static_cast<char>('a' + R.below(26))) +
+             "\")";
+    default:
+      return R.below(2) != 0 ? "(a)" : "(b)";
+    }
+  }
+  static const char *Ops[] = {"Add", "Sub", "Mul"};
+  return std::string("(") + Ops[R.below(3)] + " " +
+         randomExpText(R, Depth - 1) + " " + randomExpText(R, Depth - 1) + ")";
+}
+
+/// One acknowledged operation in a document's history: its WAL sequence
+/// number, the durability the ack claimed, and the full document state
+/// right after it (nullopt = erased).
+struct AckedOp {
+  uint64_t Seq = 0;
+  bool Logged = false;
+  bool Durable = false;
+  std::optional<std::pair<uint64_t, std::string>> State; // (version, UriText)
+};
+
+/// Per-document acknowledged history for the committed-prefix check.
+using AckLog = std::map<DocId, std::vector<AckedOp>>;
+
+/// Highest sequence number the run acknowledged as durable for \p Doc.
+uint64_t maxDurableSeq(const AckLog &Log, DocId Doc) {
+  uint64_t Max = 0;
+  auto It = Log.find(Doc);
+  if (It == Log.end())
+    return 0;
+  for (const AckedOp &Op : It->second)
+    if (Op.Durable && Op.Seq > Max)
+      Max = Op.Seq;
+  return Max;
+}
+
+/// The committed-prefix property for one document: the recovered state
+/// must equal the state after SOME acknowledged operation whose sequence
+/// number is at or past every durable ack -- recovery may hold more than
+/// was promised, never less, and never a state that existed at no commit
+/// point.
+void expectCommittedPrefix(const AckLog &Log, DocId Doc,
+                           DocumentStore &Recovered) {
+  uint64_t NeedSeq = maxDurableSeq(Log, Doc);
+  DocumentSnapshot S = Recovered.snapshot(Doc);
+  std::optional<std::pair<uint64_t, std::string>> Got;
+  if (S.Ok)
+    Got = std::make_pair(S.Version, S.UriText);
+
+  auto It = Log.find(Doc);
+  if (It == Log.end()) {
+    // Never acknowledged anything for this id; it must not exist.
+    EXPECT_FALSE(S.Ok) << "doc " << Doc << " appeared from nowhere";
+    return;
+  }
+  // "State before the first op" is also a committed prefix (nothing
+  // durable yet means recovery may legitimately hold nothing).
+  if (!Got.has_value() && NeedSeq == 0)
+    return;
+  for (const AckedOp &Op : It->second)
+    if (Op.Seq >= NeedSeq && Op.State == Got)
+      return;
+  FAIL() << "doc " << Doc << ": recovered state "
+         << (Got ? Got->second : std::string("<absent>"))
+         << " matches no acknowledged state at seq >= " << NeedSeq
+         << " (durable acks must never be lost)";
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// WAL poisoning: the failure-atomicity unit of the breaker
+//===----------------------------------------------------------------------===//
+
+TEST(WalPoisonTest, FailedAppendPoisonsUntilReopenFresh) {
+  TempDir Dir;
+  // Faultable-call budget: ctor = open + header write + fsync (3), first
+  // append = write + fsync (FsyncEvery 1) -> dies on call 6, the second
+  // append's write.
+  FaultyIoEnv::FaultPlan Plan;
+  Plan.Seed = tests::testSeed(404);
+  Plan.DieAfterOps = 5;
+  FaultyIoEnv Io(Plan);
+
+  auto Rec = [](uint64_t Seq) {
+    WalRecord R;
+    R.Kind = WalKind::Submit;
+    R.Doc = 1;
+    R.Seq = Seq;
+    R.Version = Seq;
+    R.Script = "payload";
+    return R;
+  };
+
+  WalWriter W(Dir.path(), WalWriter::Config{1, 4u << 20}, &Io);
+  EXPECT_TRUE(W.append(Rec(1))); // durable: FsyncEvery=1
+  EXPECT_FALSE(W.poisoned());
+
+  EXPECT_THROW(W.append(Rec(2)), std::runtime_error);
+  EXPECT_TRUE(W.poisoned());
+  // Fail fast now: the segment tail may hold a torn frame, and a record
+  // appended behind it would be silently discarded by the reader.
+  EXPECT_THROW(W.append(Rec(3)), std::runtime_error);
+  // flush() has nothing pending (the failed record was never counted as
+  // logged) so it succeeds trivially -- but it must not clear the poison.
+  EXPECT_NO_THROW(W.flush());
+  EXPECT_TRUE(W.poisoned());
+
+  Io.heal();
+  W.reopenFresh(); // the half-open probe action
+  EXPECT_FALSE(W.poisoned());
+  EXPECT_TRUE(W.append(Rec(3)));
+  EXPECT_EQ(W.stats().Reopens, 1u);
+
+  // The durable prefix of the poisoned segment and the fresh segment
+  // both recover; the failed record 2 (never acknowledged) is gone.
+  std::vector<uint64_t> Seqs;
+  for (const auto &[Index, Path] : listWalSegments(Dir.path()))
+    for (const WalRecord &R : readWalSegment(Index, Path).Records)
+      Seqs.push_back(R.Seq);
+  EXPECT_EQ(Seqs, (std::vector<uint64_t>{1, 3}));
+}
+
+//===----------------------------------------------------------------------===//
+// Dead disk: deterministic trip, degraded serving, probe, resync
+//===----------------------------------------------------------------------===//
+
+TEST(BreakerTest, DeadDiskTripsBreakerThenRecoversExactly) {
+  SignatureTable Sig = makeExpSignature();
+  TempDir Dir;
+  uint64_t Seed = tests::testSeed(9001);
+  SEED_TRACE(Seed);
+
+  FaultyIoEnv::FaultPlan Plan;
+  Plan.Seed = Seed;
+  Plan.DieAfterOps = 8; // survives startup + both opens, then dies
+  FaultyIoEnv Io(Plan);
+
+  Persistence::Config PC;
+  PC.Dir = Dir.path();
+  PC.FsyncEvery = 1;
+  PC.SnapshotEvery = 0;
+  PC.BackgroundIntervalMs = 0; // drive probe/resync by hand
+  PC.Env = &Io;
+  PC.BreakerThreshold = 2;
+  PC.BreakerBackoffMs = 1;
+  PC.BreakerBackoffMaxMs = 4;
+
+  DocumentStore Store(Sig);
+  Persistence P(Sig, PC);
+  P.attach(Store);
+
+  AckLog Log;
+  P.setDurabilityListener([&](DocId Doc, uint64_t Seq, bool Logged,
+                              bool Durable) {
+    Log[Doc].push_back({Seq, Logged, Durable, std::nullopt});
+  });
+  auto Commit = [&](DocId Doc, const StoreResult &R) {
+    ASSERT_TRUE(R.Ok) << R.Error;
+    DocumentSnapshot S = Store.snapshot(Doc);
+    if (S.Ok)
+      Log[Doc].back().State = std::make_pair(S.Version, S.UriText);
+  };
+
+  Commit(1, Store.open(1, makeSExprBuilder("(a)")));
+  Commit(2, Store.open(2, makeSExprBuilder("(b)")));
+  ASSERT_TRUE(Log[1].back().Durable); // disk alive, FsyncEvery=1
+  ASSERT_TRUE(Log[2].back().Durable);
+
+  // Hammer submits until the dead disk trips the breaker; every commit
+  // must still be acknowledged (in-memory), just not as durable. Two
+  // documents alternate because a document whose append failed stops
+  // attempting (it needs a resync first) -- consecutive failures accrue
+  // across the documents that still try.
+  Rng R(Seed);
+  int UntilTrip = 0;
+  while (!P.degraded()) {
+    ASSERT_LT(UntilTrip, 50) << "breaker never tripped on a dead disk";
+    DocId Doc = 1 + static_cast<DocId>(UntilTrip++ % 2);
+    Commit(Doc, Store.submit(Doc, makeSExprBuilder(randomExpText(R, 2))));
+  }
+  uint64_t VersionAtTrip = Store.snapshot(1).Version;
+
+  // Degraded mode: serving continues, acks are explicit about the lie
+  // they are not telling.
+  Commit(1, Store.submit(1, makeSExprBuilder("(Add (a) (b))")));
+  EXPECT_FALSE(Log[1].back().Logged);
+  EXPECT_FALSE(Log[1].back().Durable);
+  EXPECT_GT(Store.snapshot(1).Version, VersionAtTrip);
+
+  Persistence::HealthInfo H = P.healthInfo();
+  EXPECT_TRUE(H.Degraded);
+  EXPECT_EQ(H.BreakerTrips, 1u);
+  EXPECT_GT(H.UnloggedOps, 0u);
+  EXPECT_NE(P.statsJson().find("\"degraded\":true"), std::string::npos);
+  // flush() with nothing pending succeeds trivially, but a flush must
+  // never close the breaker -- only a successful append/probe proves the
+  // disk writes again.
+  P.flush();
+  EXPECT_TRUE(P.degraded());
+  EXPECT_FALSE(P.probe()); // faults persist: probe cannot close it
+
+  // Faults cease. The half-open probe must re-close the breaker within
+  // the backoff schedule (1..4ms plus jitter).
+  Io.heal();
+  for (int Tries = 0; P.degraded(); ++Tries) {
+    ASSERT_LT(Tries, 4000) << "breaker never re-closed after heal()";
+    P.probe();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_FALSE(P.healthInfo().Degraded);
+  EXPECT_GT(P.healthInfo().DegradedUs, 0u);
+  EXPECT_NE(P.statsJson().find("\"degraded\":false"), std::string::npos);
+
+  // Resync repairs the unlogged gap with a fresh snapshot; from here the
+  // log chain is whole again.
+  EXPECT_GE(P.resyncDegraded(), 1u);
+  EXPECT_EQ(P.stats().DocsNeedingResync, 0u);
+  Commit(1, Store.submit(1, makeSExprBuilder("(Mul (a) (b))")));
+  EXPECT_TRUE(Log[1].back().Logged);
+  EXPECT_TRUE(P.flush());
+
+  // Recovery now reproduces the live store exactly -- including the
+  // operations that were acknowledged while degraded, because the
+  // resync snapshots carried them.
+  DocumentStore Fresh(Sig);
+  RecoveryResult RR = Persistence::recover(Sig, Dir.path(), Fresh);
+  EXPECT_EQ(RR.DocsDropped, 0u);
+  EXPECT_EQ(RR.InvalidRecords, 0u);
+  for (DocId Doc : {DocId(1), DocId(2)}) {
+    DocumentSnapshot Live = Store.snapshot(Doc);
+    DocumentSnapshot Rec = Fresh.snapshot(Doc);
+    ASSERT_TRUE(Rec.Ok) << "doc " << Doc;
+    EXPECT_EQ(Rec.Version, Live.Version) << "doc " << Doc;
+    EXPECT_EQ(Rec.UriText, Live.UriText) << "doc " << Doc;
+    EXPECT_EQ(Fresh.checkDigests(Doc), std::nullopt);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The chaos property: randomized fault schedules, mixed mutation chains
+//===----------------------------------------------------------------------===//
+
+TEST(ChaosTest, DurableAcksSurviveEverySeededFaultSchedule) {
+  SignatureTable Sig = makeExpSignature();
+  LinearTypeChecker Checker(Sig);
+  const uint64_t BaseSeed = tests::testSeed(20260806);
+  const uint64_t Iters = tests::testIters("TRUEDIFF_CHAOS_ITERS", 10);
+
+  for (uint64_t Iter = 0; Iter != Iters; ++Iter) {
+    const uint64_t Seed = BaseSeed + Iter * 0x9e3779b97f4a7c15ull;
+    SEED_TRACE(BaseSeed);
+    SCOPED_TRACE("iteration " + std::to_string(Iter));
+    TempDir Dir;
+    Rng R(Seed);
+
+    FaultyIoEnv::FaultPlan Plan;
+    Plan.Seed = Seed ^ 0xc6a4a7935bd1e995ull;
+    Plan.WriteErrorPermille = 30 + static_cast<unsigned>(R.below(250));
+    Plan.FsyncErrorPermille = static_cast<unsigned>(R.below(200));
+    Plan.ShortWritePermille = 150;
+    Plan.OpenErrorPermille = static_cast<unsigned>(R.below(120));
+    Plan.RenameErrorPermille = static_cast<unsigned>(R.below(200));
+    // Every few schedules, the disk dies outright mid-chain.
+    if (R.chance(25))
+      Plan.DieAfterOps = 20 + R.below(60);
+    FaultyIoEnv Io(Plan);
+
+    Persistence::Config PC;
+    PC.Dir = Dir.path();
+    PC.FsyncEvery = 1 + R.below(4);
+    PC.SnapshotEvery = 3;
+    PC.BackgroundIntervalMs = 1; // hammer probe/resync/tombstone retry
+    PC.Env = &Io;
+    PC.BreakerThreshold = 1 + R.below(3);
+    PC.BreakerBackoffMs = 1;
+    PC.BreakerBackoffMaxMs = 4;
+
+    DocumentStore Store(Sig);
+    // Startup may hit an injected open failure; that must surface as the
+    // constructor's clean error. Retry -- the schedule advances.
+    std::unique_ptr<Persistence> P;
+    for (int Tries = 0; P == nullptr && Tries != 64; ++Tries) {
+      try {
+        P = std::make_unique<Persistence>(Sig, PC);
+      } catch (const std::exception &) {
+      }
+    }
+    ASSERT_NE(P, nullptr);
+    P->attach(Store);
+
+    AckLog Log;
+    P->setDurabilityListener([&](DocId Doc, uint64_t Seq, bool Logged,
+                                 bool Durable) {
+      Log[Doc].push_back({Seq, Logged, Durable, std::nullopt});
+    });
+    // Every emitted script -- minimal diff, fallback, init, inverse --
+    // must pass the linear type checker even while the disk burns.
+    Store.addScriptListener([&](DocId, uint64_t, DocumentStore::StoreOp Op,
+                                const EditScript &S) {
+      TypeCheckResult TC = Op == DocumentStore::StoreOp::Open
+                               ? Checker.checkInitializing(S)
+                               : Checker.checkWellTyped(S);
+      EXPECT_TRUE(TC.Ok) << TC.Error;
+    });
+
+    auto Record = [&](DocId Doc, const StoreResult &SR) {
+      if (!SR.Ok)
+        return;
+      ASSERT_FALSE(Log[Doc].empty());
+      DocumentSnapshot S = Store.snapshot(Doc);
+      if (S.Ok)
+        Log[Doc].back().State = std::make_pair(S.Version, S.UriText);
+    };
+    auto PromoteFlushed = [&] {
+      // A successful flush makes every previously-logged record durable:
+      // from here those acks are load-bearing.
+      if (!P->flush())
+        return;
+      for (auto &[Doc, Ops] : Log)
+        for (AckedOp &Op : Ops)
+          if (Op.Logged)
+            Op.Durable = true;
+    };
+
+    Record(1, Store.open(1, makeSExprBuilder(randomExpText(R, 3))));
+    Record(2, Store.open(2, makeSExprBuilder(randomExpText(R, 3))));
+
+    const unsigned NumOps = 28;
+    for (unsigned I = 0; I != NumOps; ++I) {
+      DocId Doc = 1 + R.below(2);
+      switch (R.below(10)) {
+      case 0:
+        Record(Doc, Store.rollback(Doc)); // may fail at v0; fine
+        break;
+      case 1: { // erase + note the absence (tombstone path)
+        if (Store.contains(2) && R.chance(60)) {
+          Store.erase(2);
+          ASSERT_FALSE(Log[2].empty());
+          Log[2].back().State = std::nullopt;
+        }
+        break;
+      }
+      case 2: // reopen after erase
+        if (!Store.contains(2))
+          Record(2, Store.open(2, makeSExprBuilder(randomExpText(R, 3))));
+        break;
+      case 3: { // deadline fallback: replace-root instead of a diff
+        if (Store.contains(Doc)) {
+          SubmitOptions Opts;
+          Opts.UseFallback = [] { return true; };
+          StoreResult SR = Store.submit(
+              Doc, makeSExprBuilder(randomExpText(R, 3)), Opts);
+          if (SR.Ok) {
+            EXPECT_TRUE(SR.UsedFallback);
+          }
+          Record(Doc, SR);
+        }
+        break;
+      }
+      case 4:
+        PromoteFlushed();
+        break;
+      case 5:
+        if (Store.contains(Doc) && P->snapshotDocument(Doc))
+          PromoteFlushed(); // SAVE semantics: snapshot then flush
+        break;
+      default:
+        if (Store.contains(Doc))
+          Record(Doc, Store.submit(
+                          Doc, makeSExprBuilder(randomExpText(R, 1 + R.below(3)))));
+        break;
+      }
+    }
+
+    // Phase 2: faults cease. The breaker must re-close, pending
+    // tombstones and resync snapshots must land (the 1ms background
+    // pass drives probe + repair), and a flush must succeed.
+    Io.heal();
+    auto HealedBy = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(10);
+    for (;;) {
+      Persistence::Stats St = P->stats();
+      if (!St.Degraded && St.PendingTombstones == 0 &&
+          St.DocsNeedingResync == 0)
+        break;
+      ASSERT_LT(std::chrono::steady_clock::now(), HealedBy)
+          << "breaker/resync never converged after heal: degraded="
+          << St.Degraded << " pending_tombs=" << St.PendingTombstones
+          << " needs_resync=" << St.DocsNeedingResync;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(P->flush());
+    PromoteFlushed();
+
+    // One more fully-durable commit per live doc proves the log chain
+    // is whole again after the repair.
+    for (DocId Doc : {DocId(1), DocId(2)})
+      if (Store.contains(Doc))
+        Record(Doc, Store.submit(Doc, makeSExprBuilder("(Num 7)")));
+    PromoteFlushed();
+
+    std::map<DocId, std::pair<uint64_t, std::string>> Final;
+    for (DocId Doc : {DocId(1), DocId(2)}) {
+      DocumentSnapshot S = Store.snapshot(Doc);
+      if (S.Ok)
+        Final[Doc] = {S.Version, S.UriText};
+    }
+    uint64_t Trips = P->stats().BreakerTrips;
+    std::string FinalStats = P->statsJson();
+    P.reset(); // clean teardown (final fsync is healed)
+
+    // Recovery from the survived directory: per-document committed
+    // prefix covering every durable ack...
+    DocumentStore Fresh(Sig);
+    RecoveryResult RR = Persistence::recover(Sig, Dir.path(), Fresh);
+    if (RR.DocsDropped != 0 || RR.InvalidRecords != 0) {
+      // Dump the surviving directory so a failure is diagnosable from
+      // the log alone (the temp dir is gone by the time anyone looks).
+      std::string Dump = "on-disk state:\n";
+      for (const SnapshotFileName &F : listSnapshotFiles(Dir.path())) {
+        ReadSnapshotResult SR = readSnapshotFile(F.Path);
+        if (!SR.Ok) {
+          Dump += "  snapshot " + F.Path + " CORRUPT\n";
+          continue;
+        }
+        Dump += "  snapshot doc=" + std::to_string(SR.Snap.Doc) +
+                " seq=" + std::to_string(SR.Snap.Seq) +
+                (SR.Snap.Tombstone ? " tombstone" : "") + "\n";
+      }
+      for (const auto &[Index, Path] : listWalSegments(Dir.path()))
+        for (const WalRecord &Rec : readWalSegment(Index, Path).Records)
+          Dump += "  wal seg=" + std::to_string(Index) +
+                  " doc=" + std::to_string(Rec.Doc) +
+                  " seq=" + std::to_string(Rec.Seq) +
+                  " kind=" + std::to_string(static_cast<int>(Rec.Kind)) +
+                  "\n";
+      for (const auto &[Doc, Ops] : Log) {
+        Dump += "  acks doc=" + std::to_string(Doc) + ":";
+        for (const AckedOp &Op : Ops)
+          Dump += " " + std::to_string(Op.Seq) +
+                  (Op.State ? "" : "(erase)") + (Op.Durable ? "D" : "") +
+                  (Op.Logged ? "L" : "");
+        Dump += "\n";
+      }
+      ADD_FAILURE() << Dump << "  stats: " << FinalStats;
+    }
+    EXPECT_EQ(RR.DocsDropped, 0u) << "replay must never drop a document";
+    EXPECT_EQ(RR.InvalidRecords, 0u)
+        << "every logged script must decode and type-check";
+    for (DocId Doc : {DocId(1), DocId(2)})
+      expectCommittedPrefix(Log, Doc, Fresh);
+
+    // ...and because phase 2 repaired everything, recovery is exact.
+    for (DocId Doc : {DocId(1), DocId(2)}) {
+      auto It = Final.find(Doc);
+      DocumentSnapshot S = Fresh.snapshot(Doc);
+      if (It == Final.end()) {
+        EXPECT_FALSE(S.Ok) << "doc " << Doc << " should be gone";
+        continue;
+      }
+      ASSERT_TRUE(S.Ok) << "doc " << Doc << " lost after repair";
+      EXPECT_EQ(S.Version, It->second.first);
+      EXPECT_EQ(S.UriText, It->second.second);
+      EXPECT_EQ(Fresh.checkDigests(Doc), std::nullopt);
+    }
+    (void)Trips;
+  }
+}

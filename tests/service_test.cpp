@@ -30,6 +30,7 @@
 #include "truechange/TypeChecker.h"
 
 #include "TestLang.h"
+#include "TestSeed.h"
 
 #include <gtest/gtest.h>
 
@@ -317,11 +318,13 @@ TEST(DigestCacheTest, WarmAndColdScriptsAreByteIdentical) {
 
   SignatureTable Sig = python::makePythonSignature();
   LinearTypeChecker Checker(Sig);
+  uint64_t Seed = tests::testSeed(11);
+  SEED_TRACE(Seed);
   uint64_t WarmRehashed = 0, ColdRehashed = 0;
   for (unsigned Chain = 0; Chain != NumChains; ++Chain) {
     // Generate the version texts once, outside either store.
     TreeContext Scratch(Sig);
-    Rng R(Chain * 48271 + 11);
+    Rng R(Chain * 48271 + Seed);
     corpus::PyGenOptions GenOpts;
     GenOpts.NumFunctions = 2;
     GenOpts.NumClasses = 1;
@@ -384,7 +387,9 @@ TEST(DigestCacheTest, CacheSurvivesRollbackAndCompaction) {
     ASSERT_EQ(Warm.checkDigests(1), std::nullopt);
   };
   Step([](DocumentStore &S) { return S.open(1, makeSExprBuilder("(Num 0)")); });
-  Rng R(4242);
+  uint64_t Seed = tests::testSeed(4242);
+  SEED_TRACE(Seed);
+  Rng R(Seed);
   uint64_t Undoable = 0;
   for (int Round = 0; Round != 40; ++Round) {
     if (Undoable != 0 && R.chance(25)) {
@@ -513,6 +518,173 @@ TEST(DiffServiceTest, GracefulShutdownDrainsAcceptedWork) {
 }
 
 //===----------------------------------------------------------------------===//
+// Deadlines, fallback scripts, and the shutdown race
+//===----------------------------------------------------------------------===//
+
+TEST_F(StoreTest, FallbackScriptIsWellTypedAndReconstructs) {
+  // The degraded answer must uphold every script guarantee: applying the
+  // emitted stream (init + fallback) onto an empty MTree with full
+  // compliance checking reconstructs the target, and the recorded
+  // inverse still rolls the document back exactly.
+  MTree M(Sig);
+  std::vector<EditScript> Stream;
+  Store.addScriptListener([&](DocId, uint64_t, DocumentStore::StoreOp,
+                              const EditScript &S) { Stream.push_back(S); });
+  ASSERT_TRUE(Store.open(1, sexprBuilder("(Sub (Add (a) (b)) (b))")).Ok);
+  DocumentSnapshot V0 = Store.snapshot(1);
+
+  SubmitOptions Opts;
+  Opts.UseFallback = [] { return true; };
+  StoreResult R =
+      Store.submit(1, sexprBuilder("(Mul (Num 1) (Num 2))"), Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.UsedFallback);
+  EXPECT_EQ(R.Version, 1u);
+  EXPECT_FALSE(R.Script.empty());
+
+  ASSERT_EQ(Stream.size(), 2u);
+  for (const EditScript &S : Stream)
+    ASSERT_TRUE(M.patchChecked(S).Ok);
+  TreeContext Out(Sig);
+  ParseResult Want = parseSExpr(Out, "(Mul (Num 1) (Num 2))");
+  ASSERT_TRUE(Want.ok());
+  EXPECT_TRUE(M.equalsTree(Want.Root));
+
+  // The stored tree's digest cache stayed coherent through the
+  // replace-root path, and rollback undoes it URI-exactly.
+  EXPECT_EQ(Store.checkDigests(1), std::nullopt);
+  ASSERT_TRUE(Store.rollback(1).Ok);
+  DocumentSnapshot S = Store.snapshot(1);
+  EXPECT_EQ(S.Text, V0.Text);
+  EXPECT_EQ(S.UriText, V0.UriText);
+  EXPECT_EQ(Store.checkDigests(1), std::nullopt);
+}
+
+TEST(DiffServiceTest, ExpiredQueuedRequestsAreShedWithRetryHint) {
+  SignatureTable Sig = makeExpSignature();
+  DocumentStore Store(Sig);
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueCapacity = 8;
+  DiffService Service(Store, Cfg);
+  ASSERT_TRUE(Service.open(1, makeSExprBuilder("(a)")).Ok);
+
+  // Park the single worker in a builder, then queue a submit whose 1ms
+  // deadline expires while it waits.
+  std::promise<void> GateP;
+  std::shared_future<void> Gate(GateP.get_future());
+  auto Slow = [Gate](TreeContext &Ctx) -> BuildResult {
+    Gate.wait();
+    return BuildResult{Ctx.make("b", {}, {}), ""};
+  };
+  std::future<Response> F1 = Service.submitAsync(1, Slow);
+  while (Service.queueDepth() != 0)
+    std::this_thread::yield();
+  std::future<Response> F2 =
+      Service.submitAsync(1, makeSExprBuilder("(c)"), /*DeadlineMs=*/1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  GateP.set_value();
+
+  EXPECT_TRUE(F1.get().Ok);
+  Response R2 = F2.get();
+  EXPECT_FALSE(R2.Ok);
+  EXPECT_NE(R2.Error.find("deadline expired"), std::string::npos) << R2.Error;
+  EXPECT_GE(R2.RetryAfterMs, 1u);
+  EXPECT_EQ(Service.metrics().DeadlineExpired.load(), 1u);
+  // The shed request never executed: only the gated submit advanced the
+  // document.
+  EXPECT_EQ(Store.snapshot(1).Version, 1u);
+  // The wire rendering carries the hint.
+  std::string Wire = formatWireResponse(R2);
+  EXPECT_NE(Wire.find(" retry_after_ms="), std::string::npos) << Wire;
+}
+
+TEST(DiffServiceTest, OverDeadlineDiffAnswersWithFallbackScript) {
+  SignatureTable Sig = makeExpSignature();
+  DocumentStore Store(Sig);
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  DiffService Service(Store, Cfg);
+  ASSERT_TRUE(Service.open(1, makeSExprBuilder("(Add (Num 1) (Num 2))")).Ok);
+
+  // The build itself overruns the 5ms deadline, so the post-build check
+  // must choose the replace-root fallback instead of diffing.
+  auto SlowBuild = [](TreeContext &Ctx) -> BuildResult {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    return makeSExprBuilder("(Mul (c) (d))")(Ctx);
+  };
+  uint64_t FallbacksBefore = Service.metrics().FallbackScripts.load();
+  Response R = Service.submit(1, SlowBuild, /*DeadlineMs=*/5);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.Fallback);
+  EXPECT_EQ(R.Version, 1u);
+  EXPECT_FALSE(R.Payload.empty());
+  EXPECT_EQ(Service.metrics().FallbackScripts.load(), FallbacksBefore + 1);
+  EXPECT_EQ(Store.snapshot(1).Text, "(Mul (c) (d))");
+  // The ok line is marked so clients know the script is not minimal.
+  std::string Wire = formatWireResponse(R);
+  EXPECT_NE(Wire.find(" fallback=1"), std::string::npos) << Wire;
+
+  // Without a deadline the same service still serves minimal diffs.
+  Response R2 = Service.submit(1, makeSExprBuilder("(Mul (c) (c))"));
+  ASSERT_TRUE(R2.Ok);
+  EXPECT_FALSE(R2.Fallback);
+}
+
+TEST(ConcurrentServiceTest, ShutdownRaceNeverBreaksPromises) {
+  // Requests racing shutdown() must each get exactly one of: a real
+  // response (drained) or a rejection -- never a broken std::promise.
+  SignatureTable Sig = makeExpSignature();
+  uint64_t Seed = tests::testSeed(77);
+  SEED_TRACE(Seed);
+  constexpr int Rounds = 12;
+  constexpr int Producers = 4;
+  constexpr int PerProducer = 24;
+  Rng Pacing(Seed);
+  for (int Round = 0; Round != Rounds; ++Round) {
+    DocumentStore Store(Sig);
+    ServiceConfig Cfg;
+    Cfg.Workers = 2;
+    Cfg.QueueCapacity = 4; // small: exercise full-queue and closed paths
+    DiffService Service(Store, Cfg);
+    ASSERT_TRUE(Service.open(1, makeSExprBuilder("(a)")).Ok);
+
+    std::vector<std::vector<std::future<Response>>> Futures(Producers);
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != Producers; ++T)
+      Threads.emplace_back([&, T] {
+        for (int I = 0; I != PerProducer; ++I)
+          Futures[T].push_back(
+              Service.submitAsync(1, makeSExprBuilder("(b)")));
+      });
+
+    // Close somewhere inside the producers' submission window.
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(Pacing.below(1500)));
+    Service.shutdown();
+    for (std::thread &T : Threads)
+      T.join();
+
+    uint64_t Accepted = 0;
+    for (auto &PerThread : Futures)
+      for (std::future<Response> &F : PerThread) {
+        ASSERT_TRUE(F.valid());
+        try {
+          Response R = F.get(); // must never throw broken_promise
+          if (R.Ok)
+            ++Accepted;
+          else
+            EXPECT_FALSE(R.Error.empty());
+        } catch (const std::future_error &E) {
+          FAIL() << "broken promise in round " << Round << ": " << E.what();
+        }
+      }
+    // Every accepted request really executed before the workers joined.
+    EXPECT_EQ(Store.snapshot(1).Version, Accepted);
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Wire protocol
 //===----------------------------------------------------------------------===//
 
@@ -530,6 +702,9 @@ TEST(WireTest, ParsesCommands) {
   EXPECT_EQ(C.K, WireCommand::Kind::Get);
   C = parseWireCommand("stats");
   EXPECT_EQ(C.K, WireCommand::Kind::Stats);
+  C = parseWireCommand("health");
+  EXPECT_EQ(C.K, WireCommand::Kind::Health);
+  EXPECT_EQ(parseWireCommand("health extra").K, WireCommand::Kind::Invalid);
   C = parseWireCommand("quit");
   EXPECT_EQ(C.K, WireCommand::Kind::Quit);
 
@@ -641,8 +816,31 @@ TEST(MetricsTest, JsonDumpHasAllSections) {
   for (const char *Key :
        {"\"workers\":4", "\"queue\":{\"depth\":3,\"capacity\":256}",
         "\"open\"", "\"submit\"", "\"rollback\"", "\"get_version\"",
-        "\"stats\"", "\"queue_wait\"", "\"requests\":7"})
+        "\"stats\"", "\"queue_wait\"", "\"requests\":7",
+        "\"deadline_expired\":0", "\"fallback_scripts\":0",
+        "\"breaker_trips\":0", "\"degraded_seconds\":0.000000"})
     EXPECT_NE(J.find(Key), std::string::npos) << Key;
+}
+
+TEST(MetricsTest, RobustnessCountersAreMonotone) {
+  // The counters the failure-mode matrix (DESIGN.md Section 10) leans on
+  // must exist and only ever grow as events accumulate.
+  ServiceMetrics M;
+  auto Dump = [&] { return M.toJson(0, 8, 1); };
+  std::string Before = Dump();
+  EXPECT_NE(Before.find("\"deadline_expired\":0"), std::string::npos);
+  M.DeadlineExpired.fetch_add(1);
+  M.FallbackScripts.fetch_add(2);
+  M.BreakerTrips.store(1);
+  M.DegradedUs.store(1500000); // 1.5s degraded
+  std::string After = Dump();
+  EXPECT_NE(After.find("\"deadline_expired\":1"), std::string::npos) << After;
+  EXPECT_NE(After.find("\"fallback_scripts\":2"), std::string::npos) << After;
+  EXPECT_NE(After.find("\"breaker_trips\":1"), std::string::npos) << After;
+  EXPECT_NE(After.find("\"degraded_seconds\":1.500000"), std::string::npos)
+      << After;
+  M.DeadlineExpired.fetch_add(1);
+  EXPECT_NE(Dump().find("\"deadline_expired\":2"), std::string::npos);
 }
 
 //===----------------------------------------------------------------------===//
