@@ -36,6 +36,16 @@
 /// overrun the deadline is answered with the type-checked replace-root
 /// fallback script (marked `fallback=1` on the ok line).
 ///
+/// Overload protection flags:
+///   --max-nodes=<n>      reject trees over n nodes while parsing
+///   --max-depth=<n>      reject trees nested deeper than n
+///   --mem-budget-mb=<n>  process-wide tree-memory budget; open/submit
+///                        is rejected once the budget is exhausted
+///   --shed-target-ms=<n> shed a document's newest queued requests once
+///                        its queue sojourn stays above n milliseconds
+/// All default to 0 (unlimited/disabled). Rejections carry typed errors
+/// and, where a retry can help, a per-document retry_after_ms hint.
+///
 /// SIGTERM/SIGINT trigger a graceful shutdown: the server stops reading,
 /// drains accepted requests, flushes the WAL, and exits. Exit codes:
 ///   0  clean shutdown, everything acknowledged as durable is on disk
@@ -105,18 +115,32 @@ int main(int Argc, char **Argv) {
   std::string DataDir;
   size_t FsyncEvery = 8;
   uint64_t DeadlineMs = 0;
+  uint64_t MaxNodes = 0;
+  uint64_t MaxDepth = 0;
+  uint64_t MemBudgetMb = 0;
+  uint64_t ShedTargetMs = 0;
   bool DegradedOk = false;
   bool BadArgs = false;
+  auto NumArg = [](std::string_view Arg, const char *Flag) {
+    return static_cast<uint64_t>(
+        std::atoll(std::string(Arg.substr(strlen(Flag))).c_str()));
+  };
   for (int I = 1; I != Argc; ++I) {
     std::string_view Arg(Argv[I]);
     if (Arg.rfind("--data-dir=", 0) == 0)
       DataDir = std::string(Arg.substr(strlen("--data-dir=")));
     else if (Arg.rfind("--fsync-every=", 0) == 0)
-      FsyncEvery = static_cast<size_t>(
-          std::atoll(std::string(Arg.substr(strlen("--fsync-every="))).c_str()));
+      FsyncEvery = static_cast<size_t>(NumArg(Arg, "--fsync-every="));
     else if (Arg.rfind("--deadline-ms=", 0) == 0)
-      DeadlineMs = static_cast<uint64_t>(
-          std::atoll(std::string(Arg.substr(strlen("--deadline-ms="))).c_str()));
+      DeadlineMs = NumArg(Arg, "--deadline-ms=");
+    else if (Arg.rfind("--max-nodes=", 0) == 0)
+      MaxNodes = NumArg(Arg, "--max-nodes=");
+    else if (Arg.rfind("--max-depth=", 0) == 0)
+      MaxDepth = NumArg(Arg, "--max-depth=");
+    else if (Arg.rfind("--mem-budget-mb=", 0) == 0)
+      MemBudgetMb = NumArg(Arg, "--mem-budget-mb=");
+    else if (Arg.rfind("--shed-target-ms=", 0) == 0)
+      ShedTargetMs = NumArg(Arg, "--shed-target-ms=");
     else if (Arg == "--degraded-ok")
       DegradedOk = true;
     else if (Lang.empty() && !Arg.empty() && Arg[0] != '-')
@@ -137,12 +161,25 @@ int main(int Argc, char **Argv) {
   } else {
     std::fprintf(stderr,
                  "usage: %s [json|py] [workers] [--data-dir=<dir>] "
-                 "[--fsync-every=<n>] [--deadline-ms=<n>] [--degraded-ok]\n",
+                 "[--fsync-every=<n>] [--deadline-ms=<n>] [--max-nodes=<n>] "
+                 "[--max-depth=<n>] [--mem-budget-mb=<n>] "
+                 "[--shed-target-ms=<n>] [--degraded-ok]\n",
                  Argv[0]);
     return 2;
   }
 
-  DocumentStore Store(Sig);
+  // Admission caps: hostile or runaway inputs are rejected while
+  // parsing (depth/node caps) or up front (memory budget), with typed
+  // errors, instead of taking the process down.
+  ParseLimits Limits;
+  Limits.MaxNodes = static_cast<uint32_t>(MaxNodes);
+  Limits.MaxDepth = static_cast<uint32_t>(MaxDepth);
+  MemoryBudget Budget(static_cast<size_t>(MemBudgetMb) << 20);
+
+  DocumentStore::Config StoreCfg;
+  if (MemBudgetMb != 0)
+    StoreCfg.MemBudget = &Budget;
+  DocumentStore Store(Sig, StoreCfg);
 
   std::unique_ptr<persist::Persistence> Persist;
   if (!DataDir.empty()) {
@@ -170,6 +207,9 @@ int main(int Argc, char **Argv) {
   ServiceConfig Cfg;
   Cfg.Workers = Workers;
   Cfg.DefaultDeadlineMs = static_cast<unsigned>(DeadlineMs);
+  Cfg.ShedTargetMs = static_cast<unsigned>(ShedTargetMs);
+  if (MemBudgetMb != 0)
+    Cfg.MemBudget = &Budget;
   DiffService Service(Store, Cfg);
   if (Persist) {
     persist::Persistence *P = Persist.get();
@@ -205,10 +245,10 @@ int main(int Argc, char **Argv) {
     Response R;
     switch (Cmd.K) {
     case WireCommand::Kind::Open:
-      R = Service.open(Cmd.Doc, makeSExprBuilder(std::move(Cmd.Arg)));
+      R = Service.open(Cmd.Doc, makeSExprBuilder(std::move(Cmd.Arg), Limits));
       break;
     case WireCommand::Kind::Submit:
-      R = Service.submit(Cmd.Doc, makeSExprBuilder(std::move(Cmd.Arg)),
+      R = Service.submit(Cmd.Doc, makeSExprBuilder(std::move(Cmd.Arg), Limits),
                          DeadlineMs);
       break;
     case WireCommand::Kind::Rollback:
@@ -260,9 +300,10 @@ int main(int Argc, char **Argv) {
     case WireCommand::Kind::Invalid:
       R.Ok = false;
       R.Error = Cmd.Error;
+      R.Code = Cmd.Code;
       break;
     }
-    std::fputs(formatWireResponse(R).c_str(), stdout);
+    std::fputs(formatWireResponse(R, Cmd.K).c_str(), stdout);
     std::fflush(stdout);
   }
 

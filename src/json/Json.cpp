@@ -37,8 +37,9 @@ namespace {
 
 class JsonParser {
 public:
-  JsonParser(TreeContext &Ctx, std::string_view Text)
-      : Ctx(Ctx), Text(Text) {}
+  JsonParser(TreeContext &Ctx, std::string_view Text,
+             const ParseLimits &Limits)
+      : Ctx(Ctx), Text(Text), Limits(Limits), BaseNodes(Ctx.numNodes()) {}
 
   Tree *run() {
     Tree *V = parseValue();
@@ -53,6 +54,7 @@ public:
   }
 
   const std::string &error() const { return Err; }
+  ParseFail failKind() const { return Err.empty() ? ParseFail::None : Fail; }
 
 private:
   void skipSpace() {
@@ -62,8 +64,17 @@ private:
   }
 
   void fail(const std::string &Message) {
-    if (Err.empty())
+    if (Err.empty()) {
+      Fail = ParseFail::Syntax;
       Err = Message + " at offset " + std::to_string(Pos);
+    }
+  }
+
+  void failTyped(ParseFail Kind, const std::string &Message) {
+    if (Err.empty()) {
+      Fail = Kind;
+      Err = Message;
+    }
   }
 
   bool expect(char C) {
@@ -176,6 +187,31 @@ private:
   }
 
   Tree *parseValue() {
+    // Admission caps fire on the way down, so hostile deeply-nested input
+    // unwinds after MaxDepth parser frames instead of smashing the stack.
+    ++Depth;
+    if (Limits.MaxDepth != 0 && Depth > Limits.MaxDepth) {
+      failTyped(ParseFail::TooDeep, "input nesting exceeds the depth cap of " +
+                                        std::to_string(Limits.MaxDepth));
+      return nullptr;
+    }
+    if (Limits.MaxNodes != 0 && Ctx.numNodes() - BaseNodes > Limits.MaxNodes) {
+      failTyped(ParseFail::TooLarge, "input exceeds the node cap of " +
+                                         std::to_string(Limits.MaxNodes) +
+                                         " nodes");
+      return nullptr;
+    }
+    if (Ctx.overBudget()) {
+      failTyped(ParseFail::OverBudget,
+                "memory budget exhausted while parsing input");
+      return nullptr;
+    }
+    Tree *V = parseValueBody();
+    --Depth;
+    return V;
+  }
+
+  Tree *parseValueBody() {
     skipSpace();
     if (Pos >= Text.size()) {
       fail("expected value");
@@ -259,8 +295,12 @@ private:
 
   TreeContext &Ctx;
   std::string_view Text;
+  ParseLimits Limits;
+  size_t BaseNodes = 0;
+  uint32_t Depth = 0;
   size_t Pos = 0;
   std::string Err;
+  ParseFail Fail = ParseFail::None;
 };
 
 void escapeJsonString(const std::string &In, std::string &Out) {
@@ -356,12 +396,15 @@ void printRec(const SignatureTable &Sig, const Tree *T, std::string &Out,
 } // namespace
 
 JsonParseResult truediff::json::parseJson(TreeContext &Ctx,
-                                          std::string_view Text) {
-  JsonParser P(Ctx, Text);
+                                          std::string_view Text,
+                                          const ParseLimits &Limits) {
+  JsonParser P(Ctx, Text, Limits);
   JsonParseResult R;
   R.Value = P.run();
-  if (R.Value == nullptr)
+  if (R.Value == nullptr) {
     R.Error = P.error().empty() ? "parse error" : P.error();
+    R.Fail = P.failKind();
+  }
   return R;
 }
 

@@ -35,14 +35,19 @@ SignatureTable makeJsonSignature();
 struct JsonParseResult {
   Tree *Value = nullptr;
   std::string Error;
+  ParseFail Fail = ParseFail::None;
 
   bool ok() const { return Value != nullptr; }
 };
 
 /// Parses a JSON document into a typed tree; the context's signature
 /// must be makeJsonSignature(). Numbers are stored as doubles (JSON has
-/// one number type); object member order is preserved.
-JsonParseResult parseJson(TreeContext &Ctx, std::string_view Text);
+/// one number type); object member order is preserved. \p Limits caps
+/// the value nesting depth (bounding parser recursion against hostile
+/// input) and the node count of one parse; if \p Ctx has a memory budget
+/// attached, the parse aborts once it is exhausted.
+JsonParseResult parseJson(TreeContext &Ctx, std::string_view Text,
+                          const ParseLimits &Limits = {});
 
 /// Renders the tree as compact JSON (round-trips through parseJson).
 std::string unparseJson(const SignatureTable &Sig, const Tree *Value);

@@ -94,13 +94,34 @@ void Persistence::noteIoFailureLocked() {
   }
   ++Brk.ConsecutiveFailures;
   if (Cfg.BreakerThreshold != 0 &&
-      Brk.ConsecutiveFailures >= Cfg.BreakerThreshold) {
-    Brk.Open = true;
-    Brk.OpenedAt = Clock::now();
-    Brk.BackoffMs = std::max(1u, Cfg.BreakerBackoffMs);
-    ++Counters.BreakerTrips;
-    scheduleProbeLocked();
+      Brk.ConsecutiveFailures >= Cfg.BreakerThreshold)
+    tripLocked();
+}
+
+void Persistence::tripLocked() {
+  Brk.Open = true;
+  Brk.OpenedAt = Clock::now();
+  Brk.BackoffMs = std::max(1u, Cfg.BreakerBackoffMs);
+  ++Counters.BreakerTrips;
+  scheduleProbeLocked();
+}
+
+void Persistence::noteSnapshotIoLocked(bool Ok) {
+  if (Ok) {
+    // Healthy snapshot I/O is evidence the disk works, but only a
+    // successful WAL probe closes an open breaker: the WAL is what the
+    // durability contract rides on.
+    if (!Brk.Open)
+      Brk.ConsecutiveFailures = 0;
+    return;
   }
+  ++Counters.SnapshotFailures;
+  if (Brk.Open)
+    return; // see the header: never starve the probe schedule
+  ++Brk.ConsecutiveFailures;
+  if (Cfg.BreakerThreshold != 0 &&
+      Brk.ConsecutiveFailures >= Cfg.BreakerThreshold)
+    tripLocked();
 }
 
 bool Persistence::logRecord(const WalRecord &Rec, bool &Durable) {
@@ -247,10 +268,11 @@ void Persistence::onErase(DocId Doc) {
     TombOk = true;
     std::lock_guard<std::mutex> Lock(StateMu);
     ++Counters.TombstonesWritten;
+    noteSnapshotIoLocked(true);
     PendingTombs.erase(Doc);
   } catch (const std::exception &) {
     std::lock_guard<std::mutex> Lock(StateMu);
-    ++Counters.SnapshotFailures;
+    noteSnapshotIoLocked(false);
     if (!Logged)
       PendingTombs[Doc] = Rec.Seq;
   }
@@ -283,10 +305,11 @@ void Persistence::writePendingTombstones() {
       writeSnapshotFile(Cfg.Dir, Tomb, &Io);
       std::lock_guard<std::mutex> Lock(StateMu);
       ++Counters.TombstonesWritten;
+      noteSnapshotIoLocked(true);
       PendingTombs.erase(Doc);
     } catch (const std::exception &) {
       std::lock_guard<std::mutex> Lock(StateMu);
-      ++Counters.SnapshotFailures;
+      noteSnapshotIoLocked(false);
     }
   }
 }
@@ -377,12 +400,13 @@ bool Persistence::snapshotDocument(DocId Doc, uint64_t *CapturedSeq) {
     writeSnapshotFile(Cfg.Dir, Snap, &Io);
   } catch (const std::exception &) {
     std::lock_guard<std::mutex> Lock(StateMu);
-    ++Counters.SnapshotFailures;
+    noteSnapshotIoLocked(false);
     return false;
   }
   {
     std::lock_guard<std::mutex> Lock(StateMu);
     ++Counters.SnapshotsWritten;
+    noteSnapshotIoLocked(true);
     auto It = DocStates.find(Doc);
     if (It != DocStates.end()) {
       if (It->second.SnapSeq < Snap.Seq)

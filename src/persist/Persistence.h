@@ -42,8 +42,10 @@
 /// conservatively: they are cheap, and proving them dead would require
 /// knowing the minimum sequence number still present in the log.
 ///
-/// Circuit breaker. WAL appends go through a breaker: after
-/// Config::BreakerThreshold consecutive I/O failures the breaker trips
+/// Circuit breaker. All write-side I/O feeds one breaker: WAL appends,
+/// fsyncs, and snapshot/tombstone writes share a consecutive-failure
+/// count (one disk, one disease), and after Config::BreakerThreshold
+/// consecutive failures the breaker trips
 /// *open* and the service runs degraded -- commits are acknowledged
 /// in-memory only, counted as unlogged, and their documents are marked
 /// for resync. While open, a half-open probe (opening a fresh WAL
@@ -351,6 +353,17 @@ private:
 
   void noteIoSuccessLocked();
   void noteIoFailureLocked();
+  /// Snapshot/tombstone write outcomes feed the same breaker as WAL
+  /// appends (one disk, one disease), with two asymmetries: a snapshot
+  /// success never closes an open breaker (only a successful WAL probe
+  /// proves the log is writable again), and a snapshot failure while the
+  /// breaker is open does not touch the probe schedule (background
+  /// snapshot retries fail continuously while degraded; feeding them
+  /// into the backoff would push the probe out forever).
+  void noteSnapshotIoLocked(bool Ok);
+  /// Opens the breaker: stamps the trip, resets backoff, schedules the
+  /// first half-open probe.
+  void tripLocked();
   void scheduleProbeLocked();
 
   const SignatureTable &Sig;

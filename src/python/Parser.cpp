@@ -20,8 +20,9 @@ namespace {
 /// message retained.
 class Parser {
 public:
-  Parser(TreeContext &Ctx, std::vector<Tok> Tokens)
-      : Ctx(Ctx), Sig(Ctx.signatures()), Toks(std::move(Tokens)) {}
+  Parser(TreeContext &Ctx, std::vector<Tok> Tokens, const ParseLimits &Limits)
+      : Ctx(Ctx), Sig(Ctx.signatures()), Toks(std::move(Tokens)),
+        Limits(Limits), BaseNodes(Ctx.numNodes()) {}
 
   Tree *parseModule() {
     if (!Toks.empty() && Toks.back().Kind == TokKind::Error) {
@@ -39,6 +40,7 @@ public:
   }
 
   const std::string &error() const { return Err; }
+  ParseFail failKind() const { return Err.empty() ? ParseFail::None : Fail; }
 
 private:
   //===--------------------------------------------------------------===//
@@ -72,9 +74,44 @@ private:
   }
 
   std::nullptr_t fail(const std::string &Message) {
-    if (Err.empty())
+    if (Err.empty()) {
+      Fail = ParseFail::Syntax;
       Err = Message + " at line " + std::to_string(cur().Line);
+    }
     return nullptr;
+  }
+
+  std::nullptr_t failTyped(ParseFail Kind, const std::string &Message) {
+    if (Err.empty()) {
+      Fail = Kind;
+      Err = Message;
+    }
+    return nullptr;
+  }
+
+  /// Admission caps, polled at every statement/expression nesting level.
+  /// The depth check fires on the way down, so hostile deeply-nested
+  /// input unwinds after MaxDepth parser frames; the node check bounds
+  /// how much arena a single parse can allocate before being abandoned.
+  bool enterNested() {
+    ++Depth;
+    if (Limits.MaxDepth != 0 && Depth > Limits.MaxDepth) {
+      failTyped(ParseFail::TooDeep, "input nesting exceeds the depth cap of " +
+                                        std::to_string(Limits.MaxDepth));
+      return false;
+    }
+    if (Limits.MaxNodes != 0 && Ctx.numNodes() - BaseNodes > Limits.MaxNodes) {
+      failTyped(ParseFail::TooLarge, "input exceeds the node cap of " +
+                                         std::to_string(Limits.MaxNodes) +
+                                         " nodes");
+      return false;
+    }
+    if (Ctx.overBudget()) {
+      failTyped(ParseFail::OverBudget,
+                "memory budget exhausted while parsing input");
+      return false;
+    }
+    return true;
   }
 
   bool expectOp(std::string_view O) {
@@ -128,6 +165,14 @@ private:
   //===--------------------------------------------------------------===//
 
   Tree *parseStmt() {
+    if (!enterNested())
+      return nullptr;
+    Tree *S = parseStmtBody();
+    --Depth;
+    return S;
+  }
+
+  Tree *parseStmtBody() {
     if (atKw("def"))
       return parseFuncDef();
     if (atKw("class"))
@@ -402,7 +447,13 @@ private:
     return Ctx.make("TupleExpr", {exprList(Elts)}, {});
   }
 
-  Tree *parseExpr() { return parseOr(); }
+  Tree *parseExpr() {
+    if (!enterNested())
+      return nullptr;
+    Tree *E = parseOr();
+    --Depth;
+    return E;
+  }
 
   Tree *parseOr() {
     Tree *L = parseAnd();
@@ -640,18 +691,25 @@ private:
   TreeContext &Ctx;
   const SignatureTable &Sig;
   std::vector<Tok> Toks;
+  ParseLimits Limits;
+  size_t BaseNodes = 0;
+  uint32_t Depth = 0;
   size_t Pos = 0;
   std::string Err;
+  ParseFail Fail = ParseFail::None;
 };
 
 } // namespace
 
 PyParseResult truediff::python::parsePython(TreeContext &Ctx,
-                                            std::string_view Source) {
-  Parser P(Ctx, lexPython(Source));
+                                            std::string_view Source,
+                                            const ParseLimits &Limits) {
+  Parser P(Ctx, lexPython(Source), Limits);
   PyParseResult R;
   R.Module = P.parseModule();
-  if (R.Module == nullptr)
+  if (R.Module == nullptr) {
     R.Error = P.error().empty() ? "parse error" : P.error();
+    R.Fail = P.failKind();
+  }
   return R;
 }

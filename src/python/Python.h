@@ -27,13 +27,18 @@ namespace python {
 struct PyParseResult {
   Tree *Module = nullptr;
   std::string Error;
+  ParseFail Fail = ParseFail::None;
 
   bool ok() const { return Module != nullptr; }
 };
 
 /// Parses \p Source into a Module tree in \p Ctx; the context's signature
-/// must be makePythonSignature().
-PyParseResult parsePython(TreeContext &Ctx, std::string_view Source);
+/// must be makePythonSignature(). \p Limits caps the grammar nesting
+/// depth (which bounds parser recursion against hostile deeply-nested
+/// input) and the number of nodes one parse may allocate; if \p Ctx has a
+/// memory budget attached, the parse aborts once it is exhausted.
+PyParseResult parsePython(TreeContext &Ctx, std::string_view Source,
+                          const ParseLimits &Limits = {});
 
 /// Renders a Module tree as source text. Output is canonical (4-space
 /// indent, conservative parentheses) and reparses to an equal tree.

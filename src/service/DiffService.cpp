@@ -11,11 +11,19 @@
 using namespace truediff;
 using namespace truediff::service;
 
+/// DRR quantum, in the queue's cost unit (microseconds of expected
+/// service time): every active document may consume up to 1ms of worker
+/// time per scheduling turn. Costs are clamped to 64 quanta by the queue,
+/// so the granularity only affects how finely expensive documents are
+/// deprioritised, not whether they are served.
+static constexpr uint64_t QuantumUs = 1000;
+
 DiffService::DiffService(DocumentStore &Store, ServiceConfig C)
     : Store(Store), Cfg(C),
       NumWorkers(C.Workers != 0 ? C.Workers
                                 : std::max(1u, std::thread::hardware_concurrency())),
-      Queue(std::max<size_t>(1, C.QueueCapacity)) {
+      Queue(std::max<size_t>(1, C.QueueCapacity), C.PerDocQueueCapacity,
+            QuantumUs) {
   Workers.reserve(NumWorkers);
   for (unsigned I = 0; I != NumWorkers; ++I)
     Workers.emplace_back([this] { workerLoop(); });
@@ -39,11 +47,56 @@ OpKind DiffService::kindOf(const Operation &Op) {
   return static_cast<OpKind>(Op.index());
 }
 
-uint64_t DiffService::retryAfterHintMs() const {
-  LatencyHistogram::Summary S =
-      Metrics.Ops[static_cast<unsigned>(OpKind::Submit)].Latency.summarize();
-  double PerRequestMs = S.Count != 0 ? S.MeanMs : 1.0;
-  double Hint = static_cast<double>(Queue.depth() + 1) * PerRequestMs;
+uint64_t DiffService::keyOf(const Operation &Op) {
+  return std::visit(
+      [](const auto &Req) -> uint64_t {
+        using T = std::decay_t<decltype(Req)>;
+        if constexpr (std::is_same_v<T, StatsOp>)
+          return StatsKey;
+        else
+          return Req.Doc;
+      },
+      Op);
+}
+
+uint64_t DiffService::costOf(uint64_t Key) const {
+  double EwmaMs = 0;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    auto It = DocStates.find(Key);
+    if (It != DocStates.end())
+      EwmaMs = It->second.EwmaServiceMs;
+  }
+  if (EwmaMs <= 0)
+    return QuantumUs; // unseen document: one quantum, plain round-robin
+  double Us = EwmaMs * 1000.0;
+  return Us < 1.0 ? 1 : static_cast<uint64_t>(Us); // FairQueue clamps high
+}
+
+void DiffService::noteServiceTime(uint64_t Key, double Ms) {
+  if (Key == StatsKey)
+    return;
+  std::lock_guard<std::mutex> Lock(StateMu);
+  DocState &DS = DocStates[Key];
+  DS.EwmaServiceMs =
+      DS.EwmaServiceMs <= 0 ? Ms : 0.8 * DS.EwmaServiceMs + 0.2 * Ms;
+}
+
+uint64_t DiffService::retryAfterHintMs(uint64_t Key) const {
+  double PerRequestMs = 0;
+  if (Key != StatsKey) {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    auto It = DocStates.find(Key);
+    if (It != DocStates.end())
+      PerRequestMs = It->second.EwmaServiceMs;
+  }
+  if (PerRequestMs <= 0) {
+    LatencyHistogram::Summary S =
+        Metrics.Ops[static_cast<unsigned>(OpKind::Submit)].Latency.summarize();
+    PerRequestMs = S.Count != 0 ? S.MeanMs : 1.0;
+  }
+  size_t Depth = Key == StatsKey ? Queue.depth() : Queue.depthOf(Key);
+  double Hint = static_cast<double>(Depth + 1) * PerRequestMs;
   return Hint < 1.0 ? 1 : static_cast<uint64_t>(Hint);
 }
 
@@ -51,22 +104,55 @@ std::future<Response> DiffService::enqueue(Operation Op, OpKind Kind,
                                            uint64_t DeadlineMs) {
   if (DeadlineMs == 0)
     DeadlineMs = Cfg.DefaultDeadlineMs;
+  uint64_t Key = keyOf(Op);
   Request R;
   R.Op = std::move(Op);
   R.Enqueued = Clock::now();
   if (DeadlineMs != 0)
     R.Deadline = R.Enqueued + std::chrono::milliseconds(DeadlineMs);
   std::future<Response> Fut = R.Promise.get_future();
-  if (!Queue.tryPush(std::move(R))) {
+
+  // Resource admission, up front: a request that would parse new trees
+  // into an exhausted memory budget is refused before it queues, so the
+  // budget bounds the process instead of the OOM killer. Reads and
+  // rollbacks still pass -- they allocate at most what existing trees
+  // already pay for.
+  if (Cfg.MemBudget != nullptr && Cfg.MemBudget->over() &&
+      (Kind == OpKind::Open || Kind == OpKind::Submit)) {
+    Metrics.BudgetRejected.fetch_add(1, std::memory_order_relaxed);
+    Metrics.Ops[static_cast<unsigned>(Kind)].Failures.fetch_add(
+        1, std::memory_order_relaxed);
+    Response Rej;
+    Rej.Code = ErrCode::MemoryBudget;
+    Rej.Error = "memory budget exhausted (" +
+                std::to_string(Cfg.MemBudget->used()) + " of " +
+                std::to_string(Cfg.MemBudget->limit()) + " bytes in use)";
+    Rej.RetryAfterMs = retryAfterHintMs(Key);
+    R.Promise.set_value(std::move(Rej));
+    return Fut;
+  }
+
+  PushResult P = Queue.tryPush(Key, std::move(R), costOf(Key));
+  if (P != PushResult::Ok) {
     Metrics.Rejected.fetch_add(1, std::memory_order_relaxed);
     Metrics.Ops[static_cast<unsigned>(Kind)].Failures.fetch_add(
         1, std::memory_order_relaxed);
     Response Rej;
-    if (Stopped.load()) {
+    switch (P) {
+    case PushResult::Closed:
       Rej.Error = "service is shut down";
-    } else {
+      Rej.Code = ErrCode::Shutdown;
+      break;
+    case PushResult::KeyFull:
+      Rej.Error = "document queue full (backpressure)";
+      Rej.Code = ErrCode::Backpressure;
+      Rej.RetryAfterMs = retryAfterHintMs(Key);
+      break;
+    default:
       Rej.Error = "request queue full (backpressure)";
-      Rej.RetryAfterMs = retryAfterHintMs();
+      Rej.Code = ErrCode::Backpressure;
+      Rej.RetryAfterMs = retryAfterHintMs(StatsKey);
+      break;
     }
     R.Promise.set_value(std::move(Rej));
   }
@@ -109,6 +195,53 @@ Response DiffService::getVersion(DocId Doc) {
 }
 Response DiffService::stats() { return statsAsync().get(); }
 
+void DiffService::maybeShed(uint64_t Key, double SojournMs,
+                            Clock::time_point Now) {
+  if (Cfg.ShedTargetMs == 0 || Key == StatsKey)
+    return;
+  double EwmaMs;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    DocState &DS = DocStates[Key];
+    if (SojournMs <= static_cast<double>(Cfg.ShedTargetMs)) {
+      DS.AboveSince = Clock::time_point::min();
+      return;
+    }
+    if (DS.AboveSince == Clock::time_point::min()) {
+      // First above-target dequeue: start the interval clock, tolerate
+      // the burst.
+      DS.AboveSince = Now;
+      return;
+    }
+    if (Now - DS.AboveSince < std::chrono::milliseconds(Cfg.ShedIntervalMs))
+      return;
+    EwmaMs = DS.EwmaServiceMs;
+  }
+  if (EwmaMs <= 0)
+    EwmaMs = 1.0;
+
+  // Standing queue: shed this document's newest requests until its
+  // estimated backlog drains within the target. Newest-first because the
+  // requests near the head have almost been served -- their latency is
+  // sunk cost -- while fresh arrivals are the ones a client should back
+  // off on.
+  while (static_cast<double>(Queue.depthOf(Key)) * EwmaMs >
+         static_cast<double>(Cfg.ShedTargetMs)) {
+    std::optional<Request> Victim = Queue.shedNewest(Key);
+    if (!Victim)
+      break;
+    Metrics.Shed.fetch_add(1, std::memory_order_relaxed);
+    Metrics.Ops[static_cast<unsigned>(kindOf(Victim->Op))].Failures.fetch_add(
+        1, std::memory_order_relaxed);
+    Response Shed;
+    Shed.Code = ErrCode::Shed;
+    Shed.Error = "shed: queue sojourn exceeded the " +
+                 std::to_string(Cfg.ShedTargetMs) + "ms target";
+    Shed.RetryAfterMs = retryAfterHintMs(Key);
+    Victim->Promise.set_value(std::move(Shed));
+  }
+}
+
 void DiffService::workerLoop() {
   while (std::optional<Request> R = Queue.pop()) {
     auto Started = Clock::now();
@@ -118,8 +251,15 @@ void DiffService::workerLoop() {
     Metrics.QueueWait.record(WaitMs);
 
     OpKind Kind = kindOf(R->Op);
+    uint64_t Key = keyOf(R->Op);
     ServiceMetrics::PerOp &Op = Metrics.Ops[static_cast<unsigned>(Kind)];
     Op.Requests.fetch_add(1, std::memory_order_relaxed);
+
+    // CoDel-style overload control: this request is served either way
+    // (its wait is sunk cost), but a sustained above-target sojourn says
+    // the document's backlog outruns its service rate, so the newest
+    // queued requests of the same document are shed now.
+    maybeShed(Key, WaitMs, Started);
 
     // Admission control at dequeue: a request whose deadline already
     // passed while it sat in the queue gets a fast rejection with a
@@ -129,7 +269,8 @@ void DiffService::workerLoop() {
       Op.Failures.fetch_add(1, std::memory_order_relaxed);
       Response Shed;
       Shed.Error = "deadline expired while queued";
-      Shed.RetryAfterMs = retryAfterHintMs();
+      Shed.Code = ErrCode::DeadlineExpired;
+      Shed.RetryAfterMs = retryAfterHintMs(Key);
       R->Promise.set_value(std::move(Shed));
       continue;
     }
@@ -147,6 +288,7 @@ void DiffService::workerLoop() {
         std::chrono::duration<double, std::milli>(Clock::now() - Started)
             .count();
     Op.Latency.record(ExecMs);
+    noteServiceTime(Key, ExecMs);
     if (!Resp.Ok)
       Op.Failures.fetch_add(1, std::memory_order_relaxed);
     R->Promise.set_value(std::move(Resp));
@@ -158,6 +300,7 @@ namespace {
 Response fromStoreResult(StoreResult &&R) {
   Response Out;
   Out.Ok = R.Ok;
+  Out.Code = R.Code;
   Out.Error = std::move(R.Error);
   Out.Version = R.Version;
   Out.EditCount = R.Script.size();
@@ -168,12 +311,30 @@ Response fromStoreResult(StoreResult &&R) {
 
 } // namespace
 
+void DiffService::noteAdmission(const Response &R) {
+  if (R.Ok)
+    return;
+  switch (R.Code) {
+  case ErrCode::TreeTooDeep:
+  case ErrCode::TreeTooLarge:
+    Metrics.AdmissionRejected.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case ErrCode::MemoryBudget:
+    Metrics.BudgetRejected.fetch_add(1, std::memory_order_relaxed);
+    break;
+  default:
+    break;
+  }
+}
+
 Response DiffService::execute(Operation &Op, Clock::time_point Deadline) {
   return std::visit(
       [&](auto &Req) -> Response {
         using T = std::decay_t<decltype(Req)>;
         if constexpr (std::is_same_v<T, OpenOp>) {
-          return fromStoreResult(Store.open(Req.Doc, Req.Build));
+          Response Out = fromStoreResult(Store.open(Req.Doc, Req.Build));
+          noteAdmission(Out);
+          return Out;
         } else if constexpr (std::is_same_v<T, SubmitOp>) {
           SubmitOptions Opts;
           if (Cfg.DeadlineFallback && Deadline != Clock::time_point::max())
@@ -200,6 +361,7 @@ Response DiffService::execute(Operation &Op, Clock::time_point Deadline) {
           Response Out = fromStoreResult(std::move(R));
           Out.Payload = std::move(Payload);
           Out.Fallback = Fallback;
+          noteAdmission(Out);
           return Out;
         } else if constexpr (std::is_same_v<T, RollbackOp>) {
           return fromStoreResult(Store.rollback(Req.Doc));
@@ -252,6 +414,12 @@ std::string DiffService::healthJson() const {
 
 std::string DiffService::statsJson() const {
   refreshHealth();
+  if (Cfg.MemBudget != nullptr) {
+    Metrics.MemUsedBytes.store(Cfg.MemBudget->used(),
+                               std::memory_order_relaxed);
+    Metrics.MemBudgetBytes.store(Cfg.MemBudget->limit(),
+                                 std::memory_order_relaxed);
+  }
   StoreStats S = Store.stats();
   char Buf[256];
   std::snprintf(
@@ -264,8 +432,8 @@ std::string DiffService::statsJson() const {
       static_cast<unsigned long long>(S.LiveNodes),
       static_cast<unsigned long long>(S.NodesRehashed),
       static_cast<unsigned long long>(S.NodesDigestCacheSaved));
-  std::string Json =
-      Metrics.toJson(Queue.depth(), Queue.capacity(), NumWorkers);
+  std::string Json = Metrics.toJson(Queue.depth(), Queue.capacity(),
+                                    NumWorkers, Queue.activeKeys());
   // Splice the store object into the metrics object.
   Json.pop_back(); // trailing '}'
   Json += Buf;

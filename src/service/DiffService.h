@@ -5,8 +5,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A fixed pool of worker threads consuming a bounded MPMC queue of typed
-/// requests against a DocumentStore:
+/// A fixed pool of worker threads consuming a fair-share bounded queue of
+/// typed requests against a DocumentStore:
 ///
 ///   Submit    diff a new version in, returns the serialized edit script
 ///   Open      create a document
@@ -14,11 +14,32 @@
 ///   GetVersion current version + serialized tree
 ///   Stats     metrics and store gauges as JSON
 ///
-/// Backpressure is explicit: when the queue is full (or the service is
-/// shut down) a request is rejected immediately with an error response
-/// rather than blocking the client. shutdown() is graceful: the queue
-/// stops accepting, workers drain every accepted request, then join, so
-/// no accepted request is ever dropped.
+/// Overload protection happens in three layers on the admission path:
+///
+///  1. Fair scheduling: requests queue per document and workers drain the
+///     sub-queues by deficit round-robin weighted by each document's
+///     observed service time (FairQueue), so one hot or hostile document
+///     cannot monopolise the workers. An optional per-document capacity
+///     makes a flooding tenant hit its own wall long before the shared
+///     one.
+///  2. Adaptive shedding: when a document's requests keep dequeuing with
+///     a queue sojourn above ServiceConfig::ShedTargetMs (CoDel-style:
+///     sustained for ShedIntervalMs, not a one-off spike), the newest
+///     queued requests of that document are shed until its estimated
+///     backlog fits the target again. Shed responses carry a
+///     per-document retry_after_ms derived from that document's queue
+///     depth and observed service time.
+///  3. Resource admission: when ServiceConfig::MemBudget is exhausted,
+///     new open/submit requests are rejected up front with a typed error
+///     (ErrCode::MemoryBudget) instead of parsing into an OOM kill;
+///     parse-time depth/node caps reject hostile inputs mid-parse (see
+///     ParseLimits) and surface as ErrCode::TreeTooDeep/TreeTooLarge.
+///
+/// Backpressure is explicit: when the queue (shared or per-document) is
+/// full, or the service is shut down, a request is rejected immediately
+/// with an error response rather than blocking the client. shutdown() is
+/// graceful: the queue stops accepting, workers drain every accepted
+/// request, then join, so no accepted request is ever dropped.
 ///
 /// Deadlines bound tail latency: a submit may carry a deadline; if it is
 /// still queued when the deadline passes it is shed with a retry-after
@@ -33,14 +54,16 @@
 #ifndef TRUEDIFF_SERVICE_DIFFSERVICE_H
 #define TRUEDIFF_SERVICE_DIFFSERVICE_H
 
-#include "service/BoundedQueue.h"
 #include "service/DocumentStore.h"
+#include "service/FairQueue.h"
 #include "service/Metrics.h"
 
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -62,8 +85,11 @@ struct Response {
   /// minimal diff.
   bool Fallback = false;
   /// On rejection/shedding: hint for when a retry is likely to succeed,
-  /// derived from queue depth and observed submit latency. 0 = no hint.
+  /// derived from the *document's* queue depth and observed service time
+  /// (global gauges for document-less requests). 0 = no hint.
   uint64_t RetryAfterMs = 0;
+  /// Typed cause when !Ok (ErrCode::None if unclassified).
+  ErrCode Code = ErrCode::None;
 };
 
 /// \name Typed requests
@@ -102,6 +128,26 @@ struct ServiceConfig {
   /// submit still runs the full diff; the deadline then only sheds
   /// requests that expire while queued.
   bool DeadlineFallback = true;
+  /// Bound on any single document's backlog inside the shared queue, so
+  /// a flooding tenant gets per-document backpressure while others still
+  /// enqueue. 0 = no per-document bound (only QueueCapacity applies).
+  size_t PerDocQueueCapacity = 0;
+  /// Shed target for queue sojourn, in milliseconds: once requests of a
+  /// document keep dequeuing after waiting longer than this (sustained
+  /// for ShedIntervalMs), the document's newest queued requests are shed
+  /// until its estimated backlog (depth x observed service time) fits
+  /// the target again. 0 disables sojourn shedding.
+  unsigned ShedTargetMs = 0;
+  /// How long a document's sojourn must stay above ShedTargetMs before
+  /// shedding starts (CoDel's interval: tolerate bursts, act on standing
+  /// queues).
+  unsigned ShedIntervalMs = 100;
+  /// Process-wide tree-memory budget. When exhausted, open/submit
+  /// requests are rejected at enqueue with ErrCode::MemoryBudget. Give
+  /// the same budget to DocumentStore::Config::MemBudget so the arenas
+  /// actually account against it. Null = unlimited. Must outlive the
+  /// service.
+  MemoryBudget *MemBudget = nullptr;
 };
 
 /// Liveness of the durability layer as seen by the service, polled from
@@ -204,15 +250,48 @@ private:
     Clock::time_point Deadline = Clock::time_point::max();
   };
 
+  /// Scheduling key for document-less requests (stats). Documents with
+  /// the same numeric id would share its sub-queue, which is harmless:
+  /// fairness and hints degrade to "shared with stats", never break.
+  static constexpr uint64_t StatsKey = ~uint64_t(0);
+
+  /// Fair-scheduling and shedding state per document, updated by the
+  /// workers under StateMu.
+  struct DocState {
+    /// EWMA of observed service time, milliseconds (0 = no sample yet).
+    /// Feeds the DRR cost of queued requests and the retry-after hints.
+    double EwmaServiceMs = 0;
+    /// When this document's dequeue sojourn first exceeded the shed
+    /// target; min() = currently below target.
+    Clock::time_point AboveSince = Clock::time_point::min();
+  };
+
   std::future<Response> enqueue(Operation Op, OpKind Kind,
                                 uint64_t DeadlineMs = 0);
   void workerLoop();
   Response execute(Operation &Op, Clock::time_point Deadline);
   static OpKind kindOf(const Operation &Op);
+  static uint64_t keyOf(const Operation &Op);
 
-  /// Retry-after hint in ms: (queue depth + 1) x mean submit latency,
-  /// floored at 1ms. Heuristic, not a promise.
-  uint64_t retryAfterHintMs() const;
+  /// Expected service cost of one request of \p Key in microseconds (the
+  /// DRR cost unit), from the document's service-time EWMA.
+  uint64_t costOf(uint64_t Key) const;
+  /// Folds an observed service time into \p Key's EWMA.
+  void noteServiceTime(uint64_t Key, double Ms);
+  /// CoDel-style control, run at each dequeue: tracks how long \p Key's
+  /// sojourn has been above the shed target and sheds its newest queued
+  /// requests once the interval is exceeded.
+  void maybeShed(uint64_t Key, double SojournMs, Clock::time_point Now);
+
+  /// Bumps the admission/budget rejection counters for a failed store
+  /// response carrying a resource-cap ErrCode.
+  void noteAdmission(const Response &R);
+
+  /// Retry-after hint in ms for requests of \p Key: (the document's
+  /// queue depth + 1) x its observed service time, falling back to the
+  /// global submit mean for unseen documents, floored at 1ms. Heuristic,
+  /// not a promise.
+  uint64_t retryAfterHintMs(uint64_t Key) const;
 
   /// Pulls HealthStatus from the source into the mirrored metrics
   /// gauges.
@@ -221,13 +300,16 @@ private:
   DocumentStore &Store;
   const ServiceConfig Cfg;
   const unsigned NumWorkers;
-  BoundedQueue<Request> Queue;
+  FairQueue<Request> Queue;
   ServiceMetrics Metrics;
   std::vector<std::thread> Workers;
   std::atomic<bool> Stopped{false};
   std::function<void()> DrainHook;
   std::function<std::string()> StatsAugmenter;
   std::function<HealthStatus()> HealthSource;
+
+  mutable std::mutex StateMu;
+  std::unordered_map<uint64_t, DocState> DocStates;
 };
 
 } // namespace service

@@ -15,6 +15,38 @@
 using namespace truediff;
 using namespace truediff::service;
 
+const char *truediff::service::errCodeName(ErrCode C) {
+  switch (C) {
+  case ErrCode::None:
+    return "none";
+  case ErrCode::NoSuchDocument:
+    return "no_such_document";
+  case ErrCode::DocumentExists:
+    return "document_exists";
+  case ErrCode::BuildFailed:
+    return "build_failed";
+  case ErrCode::TreeTooDeep:
+    return "tree_too_deep";
+  case ErrCode::TreeTooLarge:
+    return "tree_too_large";
+  case ErrCode::MemoryBudget:
+    return "memory_budget";
+  case ErrCode::FrameTooLarge:
+    return "frame_too_large";
+  case ErrCode::Backpressure:
+    return "backpressure";
+  case ErrCode::Shed:
+    return "shed";
+  case ErrCode::DeadlineExpired:
+    return "deadline_expired";
+  case ErrCode::Shutdown:
+    return "shutdown";
+  case ErrCode::HistoryExhausted:
+    return "history_exhausted";
+  }
+  return "unknown";
+}
+
 DocumentStore::DocumentStore(const SignatureTable &Sig)
     : DocumentStore(Sig, Config()) {}
 
@@ -49,9 +81,11 @@ StoreResult DocumentStore::open(DocId Doc, const TreeBuilder &Build) {
   StoreResult R;
   auto D = std::make_shared<Document>();
   D->Ctx = std::make_unique<TreeContext>(Sig);
+  D->Ctx->attachBudget(Cfg.MemBudget);
   BuildResult B = Build(*D->Ctx);
   if (B.Root == nullptr) {
     R.Error = B.Error.empty() ? "builder produced no tree" : B.Error;
+    R.Code = B.Code != ErrCode::None ? B.Code : ErrCode::BuildFailed;
     return R;
   }
   D->Current = B.Root;
@@ -65,6 +99,7 @@ StoreResult DocumentStore::open(DocId Doc, const TreeBuilder &Build) {
     std::lock_guard<std::mutex> Lock(S.Mu);
     if (!S.Docs.emplace(Doc, D).second) {
       R.Error = "document already exists";
+      R.Code = ErrCode::DocumentExists;
       return R;
     }
   }
@@ -86,12 +121,14 @@ StoreResult DocumentStore::submit(DocId Doc, const TreeBuilder &Build,
   std::shared_ptr<Document> D = find(Doc);
   if (!D) {
     R.Error = "no such document";
+    R.Code = ErrCode::NoSuchDocument;
     return R;
   }
   std::lock_guard<std::mutex> Lock(D->Mu);
   BuildResult B = Build(*D->Ctx);
   if (B.Root == nullptr) {
     R.Error = B.Error.empty() ? "builder produced no tree" : B.Error;
+    R.Code = B.Code != ErrCode::None ? B.Code : ErrCode::BuildFailed;
     return R;
   }
   uint64_t SourceSize = D->Current->size();
@@ -188,6 +225,7 @@ StoreResult DocumentStore::rollback(DocId Doc) {
   std::shared_ptr<Document> D = find(Doc);
   if (!D) {
     R.Error = "no such document";
+    R.Code = ErrCode::NoSuchDocument;
     return R;
   }
   std::lock_guard<std::mutex> Lock(D->Mu);
@@ -201,6 +239,7 @@ StoreResult DocumentStore::rollback(DocId Doc) {
                         ": its script was evicted from the history ring "
                         "(capacity " + std::to_string(Cfg.HistoryCapacity) +
                         ")";
+    R.Code = ErrCode::HistoryExhausted;
     return R;
   }
 
@@ -217,7 +256,11 @@ StoreResult DocumentStore::rollback(DocId Doc) {
     R.Error = "internal error: inverse script rejected: " + P.Error;
     return R;
   }
+  // Rollback rebuilds an existing tree, so it proceeds even when the
+  // budget is tight: its peak charge is bounded by the tree we already
+  // hold, and the old arena's (larger) charge is released right after.
   auto FreshCtx = std::make_unique<TreeContext>(Sig);
+  FreshCtx->attachBudget(Cfg.MemBudget);
   Tree *Restored = M.toTreePreservingUris(*FreshCtx);
   if (Restored == nullptr) {
     R.Error = "internal error: rolled-back tree is not closed";
@@ -336,9 +379,11 @@ StoreResult DocumentStore::restore(
   StoreResult R;
   auto D = std::make_shared<Document>();
   D->Ctx = std::make_unique<TreeContext>(Sig);
+  D->Ctx->attachBudget(Cfg.MemBudget);
   BuildResult B = Build(*D->Ctx);
   if (B.Root == nullptr) {
     R.Error = B.Error.empty() ? "builder produced no tree" : B.Error;
+    R.Code = B.Code != ErrCode::None ? B.Code : ErrCode::BuildFailed;
     return R;
   }
   D->Current = B.Root;
@@ -359,6 +404,7 @@ StoreResult DocumentStore::restore(
     std::lock_guard<std::mutex> Lock(S.Mu);
     if (!S.Docs.emplace(Doc, D).second) {
       R.Error = "document already exists";
+      R.Code = ErrCode::DocumentExists;
       return R;
     }
   }
@@ -399,6 +445,7 @@ void DocumentStore::maybeCompact(Document &D) const {
     return;
   MTree M = MTree::fromTree(Sig, D.Current);
   auto FreshCtx = std::make_unique<TreeContext>(Sig);
+  FreshCtx->attachBudget(Cfg.MemBudget);
   Tree *Fresh = M.toTreePreservingUris(*FreshCtx);
   if (Fresh == nullptr)
     return; // live trees are always closed; keep the old arena if not

@@ -68,10 +68,51 @@ namespace service {
 /// Identifies one live document in the store.
 using DocId = uint64_t;
 
-/// What a TreeBuilder produced: a tree, or an error message.
+/// Typed cause of a failed service or store operation. The wire protocol
+/// keeps its human-readable `err <message>` lines; the code travels on
+/// the API result so clients, the shedding logic, and tests can switch
+/// on the cause without string matching.
+enum class ErrCode : uint8_t {
+  None = 0,         ///< no error, or an unclassified failure
+  NoSuchDocument,   ///< the document does not exist
+  DocumentExists,   ///< open() of an existing document
+  BuildFailed,      ///< builder failed for a non-admission reason (syntax)
+  TreeTooDeep,      ///< parse-time depth cap exceeded (ParseFail::TooDeep)
+  TreeTooLarge,     ///< parse-time node cap exceeded (ParseFail::TooLarge)
+  MemoryBudget,     ///< process-wide memory budget exhausted
+  FrameTooLarge,    ///< wire frame exceeded the byte cap
+  Backpressure,     ///< global or per-document queue full
+  Shed,             ///< shed by sojourn-time overload control
+  DeadlineExpired,  ///< deadline passed while queued
+  Shutdown,         ///< service is shut down
+  HistoryExhausted, ///< rollback past the retained history ring
+};
+
+/// Short stable name for \p C (for logs and stats).
+const char *errCodeName(ErrCode C);
+
+/// Maps a parser's typed failure to the store/service error code.
+inline ErrCode errCodeForParseFail(ParseFail F) {
+  switch (F) {
+  case ParseFail::TooDeep:
+    return ErrCode::TreeTooDeep;
+  case ParseFail::TooLarge:
+    return ErrCode::TreeTooLarge;
+  case ParseFail::OverBudget:
+    return ErrCode::MemoryBudget;
+  case ParseFail::None:
+  case ParseFail::Syntax:
+    break;
+  }
+  return ErrCode::BuildFailed;
+}
+
+/// What a TreeBuilder produced: a tree, or an error message with a typed
+/// cause (admission rejections vs. plain build failures).
 struct BuildResult {
   Tree *Root = nullptr;
   std::string Error;
+  ErrCode Code = ErrCode::None;
 };
 
 /// Builds a version of a document inside the document's own context.
@@ -83,6 +124,8 @@ using TreeBuilder = std::function<BuildResult(TreeContext &)>;
 struct StoreResult {
   bool Ok = false;
   std::string Error;
+  /// Typed cause when !Ok (ErrCode::None if unclassified).
+  ErrCode Code = ErrCode::None;
   /// Version after the operation (0 = freshly opened).
   uint64_t Version = 0;
   /// open: the initializing script; submit: the forward script;
@@ -160,6 +203,12 @@ public:
     /// path a stateless diff service pays). Purely an optimisation: the
     /// emitted edit scripts are byte-identical either way.
     bool PersistDigests = true;
+    /// Process-wide memory budget every document context accounts
+    /// against (open, restore, rollback and compaction rebuilds).
+    /// Builders running in those contexts observe it via
+    /// TreeContext::overBudget(). Null = unlimited. Must outlive the
+    /// store.
+    MemoryBudget *MemBudget = nullptr;
   };
 
   /// Which store operation a script listener is observing.

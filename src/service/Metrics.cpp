@@ -90,12 +90,13 @@ std::string LatencyHistogram::toJson() const {
 }
 
 std::string ServiceMetrics::toJson(size_t QueueDepth, size_t QueueCapacity,
-                                   unsigned Workers) const {
+                                   unsigned Workers, size_t DocQueues) const {
   std::string Out = "{";
-  char Buf[256];
+  char Buf[320];
   std::snprintf(Buf, sizeof(Buf),
-                "\"workers\":%u,\"queue\":{\"depth\":%zu,\"capacity\":%zu},",
-                Workers, QueueDepth, QueueCapacity);
+                "\"workers\":%u,\"queue\":{\"depth\":%zu,\"capacity\":%zu,"
+                "\"doc_queues\":%zu},",
+                Workers, QueueDepth, QueueCapacity, DocQueues);
   Out += Buf;
   std::snprintf(
       Buf, sizeof(Buf),
@@ -112,9 +113,16 @@ std::string ServiceMetrics::toJson(size_t QueueDepth, size_t QueueCapacity,
   std::snprintf(
       Buf, sizeof(Buf),
       "\"deadline_expired\":%llu,\"fallback_scripts\":%llu,"
+      "\"shed\":%llu,\"admission_rejected\":%llu,\"budget_rejected\":%llu,"
+      "\"mem_used_bytes\":%llu,\"mem_budget_bytes\":%llu,"
       "\"breaker_trips\":%llu,\"degraded_seconds\":%.6f,",
       static_cast<unsigned long long>(DeadlineExpired.load()),
       static_cast<unsigned long long>(FallbackScripts.load()),
+      static_cast<unsigned long long>(Shed.load()),
+      static_cast<unsigned long long>(AdmissionRejected.load()),
+      static_cast<unsigned long long>(BudgetRejected.load()),
+      static_cast<unsigned long long>(MemUsedBytes.load()),
+      static_cast<unsigned long long>(MemBudgetBytes.load()),
       static_cast<unsigned long long>(BreakerTrips.load()),
       static_cast<double>(DegradedUs.load()) / 1e6);
   Out += Buf;

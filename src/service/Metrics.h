@@ -105,6 +105,17 @@ struct ServiceMetrics {
   /// Requests shed because their deadline had already expired when a
   /// worker dequeued them (the response carries a retry-after hint).
   std::atomic<uint64_t> DeadlineExpired{0};
+  /// Requests shed by the sojourn-time overload control: their document's
+  /// queue wait stayed above the shed target, so the newest queued
+  /// requests were answered with a per-document retry-after hint instead
+  /// of being served.
+  std::atomic<uint64_t> Shed{0};
+  /// Requests rejected by parse-time admission caps (tree depth or node
+  /// count).
+  std::atomic<uint64_t> AdmissionRejected{0};
+  /// Requests rejected because the process-wide memory budget was
+  /// exhausted (up front at enqueue, or mid-parse).
+  std::atomic<uint64_t> BudgetRejected{0};
   /// Submits answered with the type-checked replace-root fallback script
   /// because the diff would have blown the request's deadline.
   std::atomic<uint64_t> FallbackScripts{0};
@@ -117,10 +128,17 @@ struct ServiceMetrics {
   /// Cumulative microseconds the persistence layer spent degraded.
   mutable std::atomic<uint64_t> DegradedUs{0};
 
-  /// Dumps everything as one JSON object. Queue depth and capacity are
-  /// live gauges owned by the service, so the caller passes them in.
+  /// Memory-budget gauges, mirrored from the budget just before each JSON
+  /// dump (mutable for the same reason as the breaker gauges). Zero when
+  /// the service runs without a budget.
+  mutable std::atomic<uint64_t> MemUsedBytes{0};
+  mutable std::atomic<uint64_t> MemBudgetBytes{0};
+
+  /// Dumps everything as one JSON object. Queue depth/capacity and the
+  /// number of per-document sub-queues are live gauges owned by the
+  /// service, so the caller passes them in.
   std::string toJson(size_t QueueDepth, size_t QueueCapacity,
-                     unsigned Workers) const;
+                     unsigned Workers, size_t DocQueues = 0) const;
 };
 
 } // namespace service

@@ -58,14 +58,15 @@ bool parseDocId(std::string_view Tok, DocId &Out) {
 
 } // namespace
 
-WireCommand service::parseWireCommand(std::string_view Line) {
+WireCommand service::parseWireCommand(std::string_view Line,
+                                      size_t MaxFrameBytes) {
   WireCommand Cmd;
   // Bound the frame before touching its contents: every later step is
   // O(line), so the cap also bounds per-request parser work.
-  if (Line.size() > MaxWireLineBytes) {
+  if (Line.size() > MaxFrameBytes) {
     Cmd.Error = "oversized frame: " + std::to_string(Line.size()) +
-                " bytes exceeds the limit of " +
-                std::to_string(MaxWireLineBytes);
+                " bytes exceeds the limit of " + std::to_string(MaxFrameBytes);
+    Cmd.Code = ErrCode::FrameTooLarge;
     return Cmd;
   }
   // Tolerate CRLF transports: one trailing '\r' is line framing, not
@@ -152,6 +153,8 @@ std::string service::formatWireResponse(const Response &R) {
     }
   } else {
     Out += "err " + R.Error;
+    if (R.Code != ErrCode::None)
+      Out += std::string(" code=") + errCodeName(R.Code);
     if (R.RetryAfterMs != 0)
       Out += " retry_after_ms=" + std::to_string(R.RetryAfterMs);
     Out += "\n";
@@ -160,11 +163,32 @@ std::string service::formatWireResponse(const Response &R) {
   return Out;
 }
 
+std::string service::formatWireResponse(const Response &R,
+                                        WireCommand::Kind K) {
+  switch (K) {
+  case WireCommand::Kind::Health:
+  case WireCommand::Kind::Stats:
+  case WireCommand::Kind::Recover:
+  case WireCommand::Kind::Quit:
+  case WireCommand::Kind::Invalid: {
+    Response Stripped = R;
+    Stripped.RetryAfterMs = 0;
+    return formatWireResponse(Stripped);
+  }
+  default:
+    return formatWireResponse(R);
+  }
+}
+
 TreeBuilder service::makeSExprBuilder(std::string Text) {
-  return [Text = std::move(Text)](TreeContext &Ctx) -> BuildResult {
-    ParseResult P = parseSExpr(Ctx, Text);
+  return makeSExprBuilder(std::move(Text), ParseLimits());
+}
+
+TreeBuilder service::makeSExprBuilder(std::string Text, ParseLimits Limits) {
+  return [Text = std::move(Text), Limits](TreeContext &Ctx) -> BuildResult {
+    ParseResult P = parseSExpr(Ctx, Text, Limits);
     if (!P.ok())
-      return BuildResult{nullptr, P.Error};
+      return BuildResult{nullptr, P.Error, errCodeForParseFail(P.Fail)};
     return BuildResult{P.Root, ""};
   };
 }

@@ -33,10 +33,11 @@
 ///   .
 ///
 /// A submit answered with the deadline fallback script appends
-/// " fallback=1" to the ok line; a shed or backpressure-rejected request
-/// appends " retry_after_ms=<hint>" to the err line. Both markers are
-/// additive, so clients that ignore unknown trailing fields keep
-/// working. health answers even when the request queue is saturated --
+/// " fallback=1" to the ok line. Failures with a typed error class
+/// append " code=<name>" (errCodeName) to the err line, and a shed or
+/// backpressure-rejected request additionally appends
+/// " retry_after_ms=<hint>". All markers are additive, so clients that
+/// ignore unknown trailing fields keep working. health answers even when the request queue is saturated --
 /// it is served without queueing.
 ///
 /// Trees travel as s-expressions (tree/SExpr), edit scripts in the
@@ -83,23 +84,41 @@ struct WireCommand {
   std::string Arg;
   /// Kind::Invalid: what went wrong.
   std::string Error;
+  /// Kind::Invalid: typed cause (ErrCode::FrameTooLarge for oversized
+  /// frames, ErrCode::None for plain protocol errors).
+  ErrCode Code = ErrCode::None;
 };
 
 /// Parses one line of the protocol. Never throws; malformed input yields
 /// Kind::Invalid with an error message. Hardened against hostile input:
 /// a single trailing "\r" is tolerated (CRLF transports), but lines over
-/// MaxWireLineBytes, embedded control characters (including NUL and
-/// interior "\r"), empty/whitespace-only frames, and document ids that
-/// would overflow 64 bits are all rejected with a protocol error.
-WireCommand parseWireCommand(std::string_view Line);
+/// \p MaxFrameBytes (default MaxWireLineBytes), embedded control
+/// characters (including NUL and interior "\r"), empty/whitespace-only
+/// frames, and document ids that would overflow 64 bits are all rejected
+/// with a protocol error.
+WireCommand parseWireCommand(std::string_view Line,
+                             size_t MaxFrameBytes = MaxWireLineBytes);
 
 /// Renders a service response in the framed wire format, including the
-/// trailing "." line.
+/// trailing "." line. Error responses carry " retry_after_ms=<hint>"
+/// when the service supplied one.
 std::string formatWireResponse(const Response &R);
+
+/// Verb-aware variant: retry_after_ms hints are only meaningful on
+/// retryable data verbs (open/submit/rollback/get/save). On the others
+/// -- health, stats, recover, quit, and malformed frames -- a hint would
+/// tell the client to back off and retry a request that load shedding
+/// never rejects (or that retrying cannot fix), so it is dropped.
+std::string formatWireResponse(const Response &R, WireCommand::Kind K);
 
 /// A TreeBuilder that parses \p Text as an s-expression inside the
 /// document's context -- the builder the wire front end submits.
 TreeBuilder makeSExprBuilder(std::string Text);
+
+/// As above, but parsing under resource-admission caps: depth/node-count
+/// violations and memory-budget exhaustion fail the build with the
+/// matching typed ErrCode (see errCodeForParseFail).
+TreeBuilder makeSExprBuilder(std::string Text, ParseLimits Limits);
 
 } // namespace service
 } // namespace truediff

@@ -1,0 +1,85 @@
+//===- tree/Limits.h - Resource admission limits ----------------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource-admission primitives shared by the parsers and the service
+/// layer: parse-time caps on tree depth and node count, a typed reason for
+/// why a parse was refused, and a process-wide memory budget that
+/// TreeContext arenas account against.
+///
+/// The paper's complexity guarantee (Thm 4.1: linear-time diffing) only
+/// holds for inputs we accept; these types are how the server decides what
+/// to accept. Rejection happens *during* parsing -- a hostile input is
+/// abandoned as soon as it crosses a cap, long before it can exhaust the
+/// C++ stack (depth) or physical memory (nodes / budget).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_TREE_LIMITS_H
+#define TRUEDIFF_TREE_LIMITS_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace truediff {
+
+/// Caps enforced while parsing external input into trees. A zero field
+/// means "unlimited". Depth is the parser's nesting depth, which bounds
+/// both the resulting tree's height and the parser's own recursion (the
+/// depth check fires on the way *down*, so a million-paren input costs at
+/// most MaxDepth stack frames).
+struct ParseLimits {
+  uint32_t MaxNodes = 0; ///< max tree nodes allocated by one parse
+  uint32_t MaxDepth = 0; ///< max nesting depth of the input
+};
+
+/// Why a parse failed, for typed error propagation. Everything except
+/// Syntax is an admission decision: the input may even be well-formed, we
+/// just refuse to materialise it.
+enum class ParseFail : uint8_t {
+  None = 0,   ///< no failure
+  Syntax,     ///< malformed input
+  TooDeep,    ///< nesting exceeds ParseLimits::MaxDepth
+  TooLarge,   ///< node count exceeds ParseLimits::MaxNodes
+  OverBudget, ///< process-wide MemoryBudget exhausted
+};
+
+/// A process-wide cap on tree-arena memory, shared by every TreeContext
+/// the server creates. Charging is non-blocking and never fails -- the
+/// budget can overshoot by one node -- but parsers poll over() at each
+/// allocation and abandon the parse once the budget is exhausted, so the
+/// overshoot is bounded by a single cooperative check interval rather
+/// than by the size of a hostile input.
+///
+/// A limit of zero means "unlimited": accounting still happens (used() is
+/// an honest gauge) but over() never fires.
+class MemoryBudget {
+public:
+  explicit MemoryBudget(size_t LimitBytes = 0) : Limit(LimitBytes) {}
+
+  MemoryBudget(const MemoryBudget &) = delete;
+  MemoryBudget &operator=(const MemoryBudget &) = delete;
+
+  size_t limit() const { return Limit; }
+  size_t used() const { return Used.load(std::memory_order_relaxed); }
+  bool over() const { return Limit != 0 && used() >= Limit; }
+
+  void charge(size_t Bytes) {
+    Used.fetch_add(Bytes, std::memory_order_relaxed);
+  }
+  void release(size_t Bytes) {
+    Used.fetch_sub(Bytes, std::memory_order_relaxed);
+  }
+
+private:
+  const size_t Limit;
+  std::atomic<size_t> Used{0};
+};
+
+} // namespace truediff
+
+#endif // TRUEDIFF_TREE_LIMITS_H

@@ -17,8 +17,9 @@ namespace {
 /// unwind through nullptr returns.
 class SExprParser {
 public:
-  SExprParser(TreeContext &Ctx, std::string_view Text)
-      : Ctx(Ctx), Sig(Ctx.signatures()), Text(Text) {}
+  SExprParser(TreeContext &Ctx, std::string_view Text,
+              const ParseLimits &Limits)
+      : Ctx(Ctx), Sig(Ctx.signatures()), Text(Text), Limits(Limits) {}
 
   Tree *parse() {
     Tree *T = parseTree();
@@ -33,6 +34,7 @@ public:
   }
 
   const std::string &error() const { return Err; }
+  ParseFail failKind() const { return Err.empty() ? ParseFail::None : Fail; }
 
 private:
   void skipSpace() {
@@ -51,8 +53,17 @@ private:
   }
 
   void fail(const std::string &Message) {
-    if (Err.empty())
+    if (Err.empty()) {
+      Fail = ParseFail::Syntax;
       Err = Message + " at offset " + std::to_string(Pos);
+    }
+  }
+
+  void failTyped(ParseFail Kind, const std::string &Message) {
+    if (Err.empty()) {
+      Fail = Kind;
+      Err = Message;
+    }
   }
 
   bool expect(char C) {
@@ -149,6 +160,20 @@ private:
   }
 
   Tree *parseTree() {
+    // Admission caps fire on the way down: a million-paren hostile input
+    // unwinds after MaxDepth stack frames instead of smashing the stack.
+    ++Depth;
+    if (Limits.MaxDepth != 0 && Depth > Limits.MaxDepth) {
+      failTyped(ParseFail::TooDeep, "input nesting exceeds the depth cap of " +
+                                        std::to_string(Limits.MaxDepth));
+      return nullptr;
+    }
+    Tree *T = parseTreeBody();
+    --Depth;
+    return T;
+  }
+
+  Tree *parseTreeBody() {
     if (!expect('('))
       return nullptr;
     std::string_view TagName = parseSymbol();
@@ -186,14 +211,30 @@ private:
 
     if (!expect(')'))
       return nullptr;
+    if (Limits.MaxNodes != 0 && NodesMade >= Limits.MaxNodes) {
+      failTyped(ParseFail::TooLarge, "input exceeds the node cap of " +
+                                         std::to_string(Limits.MaxNodes) +
+                                         " nodes");
+      return nullptr;
+    }
+    if (Ctx.overBudget()) {
+      failTyped(ParseFail::OverBudget,
+                "memory budget exhausted while parsing input");
+      return nullptr;
+    }
+    ++NodesMade;
     return Ctx.make(Tag, std::move(Kids), std::move(Lits));
   }
 
   TreeContext &Ctx;
   const SignatureTable &Sig;
   std::string_view Text;
+  ParseLimits Limits;
   size_t Pos = 0;
+  uint32_t Depth = 0;
+  uint32_t NodesMade = 0;
   std::string Err;
+  ParseFail Fail = ParseFail::None;
 };
 
 void printRec(const SignatureTable &Sig, const Tree *T, bool WithUris,
@@ -220,12 +261,15 @@ void printRec(const SignatureTable &Sig, const Tree *T, bool WithUris,
 
 } // namespace
 
-ParseResult truediff::parseSExpr(TreeContext &Ctx, std::string_view Text) {
-  SExprParser Parser(Ctx, Text);
+ParseResult truediff::parseSExpr(TreeContext &Ctx, std::string_view Text,
+                                 const ParseLimits &Limits) {
+  SExprParser Parser(Ctx, Text, Limits);
   ParseResult Result;
   Result.Root = Parser.parse();
-  if (Result.Root == nullptr)
+  if (Result.Root == nullptr) {
     Result.Error = Parser.error();
+    Result.Fail = Parser.failKind();
+  }
   return Result;
 }
 

@@ -27,16 +27,23 @@
 
 namespace truediff {
 
-/// Result of parsing: the tree, or an error message with position info.
+/// Result of parsing: the tree, or an error message with position info
+/// plus a typed failure reason (admission caps vs. plain syntax errors).
 struct ParseResult {
   Tree *Root = nullptr;
   std::string Error;
+  ParseFail Fail = ParseFail::None;
 
   bool ok() const { return Root != nullptr; }
 };
 
-/// Parses \p Text into a tree allocated in \p Ctx.
-ParseResult parseSExpr(TreeContext &Ctx, std::string_view Text);
+/// Parses \p Text into a tree allocated in \p Ctx. \p Limits caps the
+/// nesting depth and node count of the input; the depth check fires on
+/// the way down, so hostile deep inputs cannot exhaust the parser's
+/// stack. If \p Ctx has a memory budget attached, the parse also aborts
+/// with ParseFail::OverBudget once the budget is exhausted.
+ParseResult parseSExpr(TreeContext &Ctx, std::string_view Text,
+                       const ParseLimits &Limits = {});
 
 /// Prints \p T as a single-line s-expression.
 std::string printSExpr(const SignatureTable &Sig, const Tree *T);

@@ -119,6 +119,26 @@ Tree *TreeContext::makeWithUri(TagId Tag, URI Uri, std::vector<Tree *> Kids,
   return adoptWithUri(Tag, Uri, std::move(Kids), std::move(Lits));
 }
 
+/// Estimate of a node's heap footprint for memory-budget accounting: the
+/// node itself, its kid-pointer and literal arrays, and the heap payload
+/// of string literals. An estimate is enough -- the budget guards against
+/// order-of-magnitude blowups, not byte-exact ceilings.
+static size_t approxNodeBytes(const Tree &N) {
+  size_t Bytes = sizeof(Tree) + N.arity() * sizeof(Tree *) +
+                 N.numLits() * sizeof(Literal);
+  for (size_t I = 0, E = N.numLits(); I != E; ++I) {
+    const Literal &L = N.lit(I);
+    if (L.kind() == LitKind::String)
+      Bytes += L.asString().capacity();
+  }
+  return Bytes;
+}
+
+TreeContext::~TreeContext() {
+  if (Budget != nullptr)
+    Budget->release(BytesCharged);
+}
+
 Tree *TreeContext::adoptWithUri(TagId Tag, URI Uri, std::vector<Tree *> Kids,
                                 std::vector<Literal> Lits) {
   assertMatchesSignature(Sig, Tag, Kids, Lits);
@@ -131,6 +151,13 @@ Tree *TreeContext::adoptWithUri(TagId Tag, URI Uri, std::vector<Tree *> Kids,
   Node->Lits = std::move(Lits);
   Node->computeDerived(Sig);
   NextUri = std::max(NextUri, Uri + 1);
+  if (Budget != nullptr) {
+    // All make/makeWithUri variants funnel through here, so this is the
+    // single accounting point for the arena.
+    size_t Bytes = approxNodeBytes(*Node);
+    Budget->charge(Bytes);
+    BytesCharged += Bytes;
+  }
   return Node;
 }
 

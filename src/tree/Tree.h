@@ -26,6 +26,7 @@
 #include "support/Digest.h"
 #include "support/Literal.h"
 #include "tree/Ids.h"
+#include "tree/Limits.h"
 #include "tree/Signature.h"
 
 #include <deque>
@@ -199,9 +200,30 @@ private:
 class TreeContext {
 public:
   explicit TreeContext(const SignatureTable &Sig) : Sig(Sig) {}
+  ~TreeContext();
 
   TreeContext(const TreeContext &) = delete;
   TreeContext &operator=(const TreeContext &) = delete;
+
+  /// \name Memory-budget accounting
+  ///
+  /// When a budget is attached, every node allocation charges an estimate
+  /// of its heap footprint against it, and the whole charge is released
+  /// when the context is destroyed. Attach before allocating any nodes;
+  /// nodes made earlier are not accounted retroactively.
+  /// @{
+  void attachBudget(MemoryBudget *B) { Budget = B; }
+  MemoryBudget *budget() const { return Budget; }
+
+  /// True when an attached budget is exhausted. Parsers poll this at each
+  /// allocation and abandon the parse with ParseFail::OverBudget, so a
+  /// request that would blow the budget is refused instead of OOM-killing
+  /// the process.
+  bool overBudget() const { return Budget != nullptr && Budget->over(); }
+
+  /// Bytes this context has charged against its budget so far.
+  size_t bytesCharged() const { return BytesCharged; }
+  /// @}
 
   const SignatureTable &signatures() const { return Sig; }
 
@@ -248,6 +270,8 @@ private:
   const SignatureTable &Sig;
   std::deque<Tree> Nodes;
   URI NextUri = 1;
+  MemoryBudget *Budget = nullptr;
+  size_t BytesCharged = 0;
 };
 
 /// True iff \p A and \p B have identical shapes, tags, and literals,

@@ -42,10 +42,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -313,6 +316,166 @@ TEST(BreakerTest, DeadDiskTripsBreakerThenRecoversExactly) {
   // Recovery now reproduces the live store exactly -- including the
   // operations that were acknowledged while degraded, because the
   // resync snapshots carried them.
+  DocumentStore Fresh(Sig);
+  RecoveryResult RR = Persistence::recover(Sig, Dir.path(), Fresh);
+  EXPECT_EQ(RR.DocsDropped, 0u);
+  EXPECT_EQ(RR.InvalidRecords, 0u);
+  for (DocId Doc : {DocId(1), DocId(2)}) {
+    DocumentSnapshot Live = Store.snapshot(Doc);
+    DocumentSnapshot Rec = Fresh.snapshot(Doc);
+    ASSERT_TRUE(Rec.Ok) << "doc " << Doc;
+    EXPECT_EQ(Rec.Version, Live.Version) << "doc " << Doc;
+    EXPECT_EQ(Rec.UriText, Live.UriText) << "doc " << Doc;
+    EXPECT_EQ(Fresh.checkDigests(Doc), std::nullopt);
+  }
+}
+
+namespace {
+
+/// Fails opens of snapshot files (and only those) while armed, passing
+/// everything else through to the real environment. Models a disk whose
+/// WAL region writes fine while snapshot writes hit a bad sector -- the
+/// breaker is shared across both writers, so snapshot-only failures
+/// must trip it just like append failures do.
+class SnapFailEnv : public IoEnv {
+public:
+  std::atomic<bool> FailSnapshots{false};
+
+  int openFile(const char *Path, int Flags, mode_t Mode) override {
+    if (FailSnapshots.load() &&
+        std::string_view(Path).find("snap-") != std::string_view::npos) {
+      errno = EIO;
+      return -1;
+    }
+    return realIoEnv().openFile(Path, Flags, Mode);
+  }
+};
+
+} // namespace
+
+TEST(BreakerTest, SnapshotFailuresTripTheSharedBreaker) {
+  SignatureTable Sig = makeExpSignature();
+  TempDir Dir;
+  SnapFailEnv Env;
+
+  Persistence::Config PC;
+  PC.Dir = Dir.path();
+  PC.FsyncEvery = 1;
+  PC.SnapshotEvery = 0;        // snapshots by hand only
+  PC.BackgroundIntervalMs = 0; // drive the probe by hand
+  PC.Env = &Env;
+  PC.BreakerThreshold = 2;
+  PC.BreakerBackoffMs = 1;
+  PC.BreakerBackoffMaxMs = 4;
+
+  DocumentStore Store(Sig);
+  Persistence P(Sig, PC);
+  P.attach(Store);
+
+  ASSERT_TRUE(Store.open(1, makeSExprBuilder("(Add (a) (b))")).Ok);
+  ASSERT_TRUE(Store.submit(1, makeSExprBuilder("(Mul (a) (b))")).Ok);
+  ASSERT_FALSE(P.degraded());
+
+  // Two failed snapshot writes reach BreakerThreshold even though every
+  // WAL append succeeded: one disk, one disease, one failure count.
+  Env.FailSnapshots = true;
+  EXPECT_FALSE(P.snapshotDocument(1));
+  EXPECT_FALSE(P.degraded()); // one failure, threshold is two
+  EXPECT_FALSE(P.snapshotDocument(1));
+  EXPECT_TRUE(P.degraded());
+
+  Persistence::Stats St = P.stats();
+  EXPECT_EQ(St.SnapshotFailures, 2u);
+  EXPECT_EQ(St.WalAppendFailures, 0u);
+  EXPECT_EQ(St.BreakerTrips, 1u);
+
+  // Failures while the breaker is already open count in the stats but
+  // must not touch the probe schedule: the probe loop below still
+  // re-closes the breaker on its own backoff once the disk heals.
+  EXPECT_FALSE(P.snapshotDocument(1));
+  EXPECT_EQ(P.stats().SnapshotFailures, 3u);
+  EXPECT_EQ(P.stats().BreakerTrips, 1u);
+
+  Env.FailSnapshots = false;
+  for (int Tries = 0; P.degraded(); ++Tries) {
+    ASSERT_LT(Tries, 4000) << "breaker never re-closed after heal";
+    P.probe();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Closed again: snapshots work, and the consecutive-failure count
+  // restarted from zero -- a single new failure must not re-trip.
+  EXPECT_TRUE(P.snapshotDocument(1));
+  Env.FailSnapshots = true;
+  EXPECT_FALSE(P.snapshotDocument(1));
+  EXPECT_FALSE(P.degraded());
+  Env.FailSnapshots = false;
+  EXPECT_TRUE(P.snapshotDocument(1));
+  EXPECT_FALSE(P.degraded());
+  EXPECT_EQ(P.stats().BreakerTrips, 1u);
+}
+
+TEST(BreakerTest, SlowDiskDoesNotTripTheBreaker) {
+  SignatureTable Sig = makeExpSignature();
+  TempDir Dir;
+  uint64_t Seed = tests::testSeed(7321);
+  SEED_TRACE(Seed);
+
+  // Latency only: every faultable call dawdles up to 1.5ms but always
+  // succeeds. A slow disk is not a dead disk -- the breaker counts
+  // failures, not sojourn time, so it must stay closed throughout.
+  FaultyIoEnv::FaultPlan Plan;
+  Plan.Seed = Seed;
+  Plan.MaxLatencyUs = 1500;
+  Plan.TornWritePermille = 0;
+  FaultyIoEnv Io(Plan);
+
+  Persistence::Config PC;
+  PC.Dir = Dir.path();
+  PC.FsyncEvery = 1;
+  PC.SnapshotEvery = 0;
+  PC.BackgroundIntervalMs = 0;
+  PC.Env = &Io;
+  PC.BreakerThreshold = 2;
+
+  DocumentStore Store(Sig);
+  {
+    Persistence P(Sig, PC);
+    P.attach(Store);
+
+    unsigned Acks = 0, Durable = 0;
+    P.setDurabilityListener(
+        [&](DocId, uint64_t, bool Logged, bool Dur) {
+          ++Acks;
+          Durable += Dur ? 1 : 0;
+          EXPECT_TRUE(Logged);
+        });
+
+    Rng R(Seed);
+    ASSERT_TRUE(Store.open(1, makeSExprBuilder("(a)")).Ok);
+    ASSERT_TRUE(Store.open(2, makeSExprBuilder("(b)")).Ok);
+    for (int I = 0; I < 24; ++I) {
+      DocId Doc = 1 + static_cast<DocId>(I % 2);
+      StoreResult SR =
+          Store.submit(Doc, makeSExprBuilder(randomExpText(R, 3)));
+      ASSERT_TRUE(SR.Ok) << SR.Error;
+    }
+    EXPECT_EQ(Acks, 26u);
+    EXPECT_EQ(Durable, Acks); // FsyncEvery=1 and nothing ever failed
+
+    // Snapshot writes ride the same slow disk and still land.
+    EXPECT_TRUE(P.snapshotDocument(1));
+    EXPECT_TRUE(P.snapshotDocument(2));
+
+    Persistence::Stats St = P.stats();
+    EXPECT_FALSE(St.Degraded);
+    EXPECT_EQ(St.BreakerTrips, 0u);
+    EXPECT_EQ(St.WalAppendFailures, 0u);
+    EXPECT_EQ(St.SnapshotFailures, 0u);
+    EXPECT_EQ(St.SnapshotsWritten, 2u);
+    EXPECT_TRUE(P.flush());
+  } // dtor: final flush + close, all on the slow-but-healthy disk
+
   DocumentStore Fresh(Sig);
   RecoveryResult RR = Persistence::recover(Sig, Dir.path(), Fresh);
   EXPECT_EQ(RR.DocsDropped, 0u);

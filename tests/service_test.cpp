@@ -814,10 +814,13 @@ TEST(MetricsTest, JsonDumpHasAllSections) {
   M.QueueWait.record(0.5);
   std::string J = M.toJson(3, 256, 4);
   for (const char *Key :
-       {"\"workers\":4", "\"queue\":{\"depth\":3,\"capacity\":256}",
+       {"\"workers\":4",
+        "\"queue\":{\"depth\":3,\"capacity\":256,\"doc_queues\":0}",
         "\"open\"", "\"submit\"", "\"rollback\"", "\"get_version\"",
         "\"stats\"", "\"queue_wait\"", "\"requests\":7",
         "\"deadline_expired\":0", "\"fallback_scripts\":0",
+        "\"shed\":0", "\"admission_rejected\":0", "\"budget_rejected\":0",
+        "\"mem_used_bytes\":0", "\"mem_budget_bytes\":0",
         "\"breaker_trips\":0", "\"degraded_seconds\":0.000000"})
     EXPECT_NE(J.find(Key), std::string::npos) << Key;
 }
