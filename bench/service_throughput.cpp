@@ -35,13 +35,22 @@
 
 #include "BenchUtil.h"
 
+#include "net/NetServer.h"
+#include "net/ServiceHandler.h"
 #include "python/Python.h"
+#include "replica/Follower.h"
+#include "replica/Leader.h"
+#include "replica/ReplicationLog.h"
 #include "service/DiffService.h"
 #include "truechange/Serialize.h"
 
 #include <algorithm>
+#include <arpa/inet.h>
 #include <future>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <thread>
+#include <unistd.h>
 
 using namespace truediff;
 using namespace truediff::bench;
@@ -166,6 +175,71 @@ ReplayResult replayStore(const SignatureTable &Sig,
     Out.Scripts.push_back(serializeEditScript(Sig, S));
   return Out;
 }
+
+/// Closed-loop textual "get" requests over one real TCP connection;
+/// returns completed reads until \p StopFlag is set. Each response is a
+/// framed block terminated by a "." line.
+uint64_t readLoop(uint16_t Port, const std::atomic<bool> &StopFlag) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return 0;
+  sockaddr_in A{};
+  A.sin_family = AF_INET;
+  A.sin_port = htons(Port);
+  A.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&A), sizeof(A)) != 0) {
+    ::close(Fd);
+    return 0;
+  }
+  const std::string Cmd = "get 1\n";
+  std::string Buf;
+  char Tmp[4096];
+  uint64_t Done = 0;
+  while (!StopFlag.load(std::memory_order_relaxed)) {
+    if (::send(Fd, Cmd.data(), Cmd.size(), MSG_NOSIGNAL) !=
+        static_cast<ssize_t>(Cmd.size()))
+      break;
+    for (;;) {
+      // A response block ends with a lone "." line; the status line
+      // always precedes it, so "\n.\n" is the frame boundary.
+      size_t End = Buf.find("\n.\n");
+      if (End != std::string::npos) {
+        Buf.erase(0, End + 3);
+        break;
+      }
+      ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+      if (N <= 0) {
+        ::close(Fd);
+        return Done;
+      }
+      Buf.append(Tmp, static_cast<size_t>(N));
+    }
+    ++Done;
+  }
+  ::close(Fd);
+  return Done;
+}
+
+/// One follower replica: its loop, the replica, and a TCP read endpoint.
+struct BenchFollower {
+  net::EventLoop Loop;
+  std::unique_ptr<replica::Follower> F;
+  std::unique_ptr<replica::ReplicaReadHandler> H;
+  std::unique_ptr<net::NetServer> Read;
+
+  explicit BenchFollower(const SignatureTable &Sig) {
+    Loop.start();
+    F = std::make_unique<replica::Follower>(Loop, Sig);
+    H = std::make_unique<replica::ReplicaReadHandler>(*F);
+    Read = std::make_unique<net::NetServer>(Loop, Sig, *H,
+                                            net::NetServer::Config());
+    Read->start();
+  }
+  ~BenchFollower() {
+    F->disconnect();
+    Loop.stop();
+  }
+};
 
 } // namespace
 
@@ -444,6 +518,139 @@ int main(int Argc, char **Argv) {
                 static_cast<double>(HotBack));
   Report.scalar("overload_cold_p99", "ms", ColdP99);
   Report.meta("overload_ok", OverloadOk ? "yes" : "no");
+
+  // Phase 5: replication over real sockets. For 0/1/2 follower replicas,
+  // closed-loop textual reads run against every read endpoint (the
+  // leader's own TCP front end, plus one per follower) and aggregate
+  // read goodput is reported -- the scaling axis replicas exist for.
+  // Then a submit flood drives the leader while follower lag
+  // (leader seq minus applied seq) is sampled, and the drain time from
+  // end-of-flood to full catch-up is measured. Throughput numbers are
+  // reported, not gated (CI runners may be single-core); the gate is
+  // byte-for-byte convergence after the flood.
+  std::printf("\n%-10s %14s %12s\n", "replicas", "reads/ms", "readers");
+  bool ReplConverged = true;
+  double MaxLagRecords = 0, DrainMs = 0, CatchupMs = 0;
+  for (unsigned NumReplicas = 0; NumReplicas <= 2; ++NumReplicas) {
+    DocumentStore Store(Sig);
+    replica::ReplicationLog Log(Store);
+    net::EventLoop LeaderLoop;
+    replica::Leader Lead(LeaderLoop, Log, replica::Leader::Config());
+    Log.attach();
+    bool Up = Lead.start();
+    ServiceConfig RSC;
+    RSC.Workers = 2;
+    DiffService Service(Store, RSC);
+    net::ServiceHandler Handler(Service);
+    net::NetServer Front(LeaderLoop, Sig, Handler, net::NetServer::Config());
+    Up = Up && Front.start();
+    LeaderLoop.start();
+    if (!Up) {
+      std::printf("# replication endpoints failed to start\n");
+      ReplConverged = false;
+      break;
+    }
+    Service.open(1, pythonBuilder(&HotA));
+
+    std::vector<std::unique_ptr<BenchFollower>> Replicas;
+    std::vector<uint16_t> ReadPorts{Front.port()};
+    for (unsigned R = 0; R != NumReplicas; ++R) {
+      auto F = std::make_unique<BenchFollower>(Sig);
+      if (!F->F->connectTo("127.0.0.1", Lead.port())) {
+        ReplConverged = false;
+        continue;
+      }
+      ReadPorts.push_back(F->Read->port());
+      Replicas.push_back(std::move(F));
+    }
+
+    // Read goodput: two closed-loop readers per endpoint.
+    std::atomic<bool> StopReads{false};
+    std::vector<std::future<uint64_t>> Readers;
+    for (uint16_t Port : ReadPorts)
+      for (int R = 0; R != 2; ++R)
+        Readers.push_back(std::async(std::launch::async,
+                                     [Port, &StopReads] {
+                                       return readLoop(Port, StopReads);
+                                     }));
+    auto R0 = Clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    StopReads.store(true);
+    uint64_t Reads = 0;
+    for (std::future<uint64_t> &F : Readers)
+      Reads += F.get();
+    double ReadsPerMs = static_cast<double>(Reads) / msSince(R0);
+    std::printf("%-10u %14.1f %12zu\n", NumReplicas, ReadsPerMs,
+                ReadPorts.size() * 2);
+    Report.scalar("read_goodput_replicas_" + std::to_string(NumReplicas),
+                  "reads_per_ms", ReadsPerMs);
+
+    if (NumReplicas == 2) {
+      // Replication lag under a submit flood on the leader.
+      std::atomic<bool> FloodDone{false};
+      std::thread Sampler([&] {
+        while (!FloodDone.load()) {
+          uint64_t Seq = Log.currentSeq();
+          for (auto &F : Replicas) {
+            double Lag = static_cast<double>(Seq) -
+                         static_cast<double>(F->F->lastSeq());
+            MaxLagRecords = std::max(MaxLagRecords, Lag);
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+      const int FloodOps = 150;
+      for (int I = 0; I != FloodOps; ++I)
+        Service.submit(1, pythonBuilder(I % 2 != 0 ? &HotB : &HotA));
+      auto F0 = Clock::now();
+      FloodDone.store(true);
+      Sampler.join();
+      uint64_t Target = Log.currentSeq();
+      auto CaughtUp = [&] {
+        for (auto &F : Replicas)
+          if (!F->F->caughtUp() || F->F->lastSeq() != Target)
+            return false;
+        return true;
+      };
+      while (!CaughtUp() && msSince(F0) < 30000)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      DrainMs = msSince(F0);
+
+      // Catch-up time: a fresh follower joining after the flood.
+      auto Late = std::make_unique<BenchFollower>(Sig);
+      auto C0 = Clock::now();
+      bool LateUp = Late->F->connectTo("127.0.0.1", Lead.port());
+      while (LateUp &&
+             !(Late->F->caughtUp() && Late->F->lastSeq() == Target) &&
+             msSince(C0) < 30000)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      CatchupMs = msSince(C0);
+      if (LateUp)
+        Replicas.push_back(std::move(Late));
+      else
+        ReplConverged = false;
+
+      // The gate: every replica byte-identical to the leader.
+      DocumentSnapshot Snap = Store.snapshot(1);
+      for (auto &F : Replicas) {
+        replica::Follower::ReadResult RR = F->F->read(1);
+        if (!Snap.Ok || !RR.Ok || RR.UriText != Snap.UriText)
+          ReplConverged = false;
+      }
+      std::printf("# lag: max %.0f records behind, drain %.1f ms, "
+                  "fresh catch-up %.1f ms, converged: %s\n",
+                  MaxLagRecords, DrainMs, CatchupMs,
+                  ReplConverged ? "yes" : "NO");
+    }
+    Service.shutdown();
+    Replicas.clear(); // followers first, then the leader's loop
+    LeaderLoop.stop(); // before NetServer/Leader are destroyed
+  }
+
+  Report.scalar("replication_max_lag", "records", MaxLagRecords);
+  Report.scalar("replication_drain", "ms", DrainMs);
+  Report.scalar("replication_catchup", "ms", CatchupMs);
+  Report.meta("replication_converged", ReplConverged ? "yes" : "no");
   Report.write();
 
   std::printf("\n# aggregate nodes/ms %s monotonically (within 10%% noise) "

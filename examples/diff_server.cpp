@@ -46,10 +46,24 @@
 /// All default to 0 (unlimited/disabled). Rejections carry typed errors
 /// and, where a retry can help, a per-document retry_after_ms hint.
 ///
+/// Network modes (the stdin REPL is the default front end):
+///   --listen=<port>       serve the protocol over TCP instead of stdin:
+///                         a non-blocking epoll loop multiplexes textual
+///                         lines and binary frames (net/Frame.h) on one
+///                         port, with per-connection idle timeouts
+///                         (--idle-timeout-ms, default 60000)
+///   --repl-listen=<port>  additionally act as replication leader:
+///                         committed edit scripts stream to follower
+///                         replicas connecting here (--epoch fences a
+///                         replaced leader)
+///   --follow=<host:port>  run as a follower replica of that leader and
+///                         serve read-only traffic on --listen (writes
+///                         answer code=not_leader)
+///
 /// SIGTERM/SIGINT trigger a graceful shutdown: the server stops reading,
 /// drains accepted requests, flushes the WAL, and exits. Exit codes:
 ///   0  clean shutdown, everything acknowledged as durable is on disk
-///   1  startup failure (unusable data dir)
+///   1  startup failure (unusable data dir, bind or connect failure)
 ///   2  usage error
 ///   3  shutdown while persistence was degraded (WAL down; in-memory
 ///      state may exceed what disk holds) -- suppressed by --degraded-ok
@@ -57,9 +71,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "json/Json.h"
+#include "net/ServiceHandler.h"
 #include "persist/Persistence.h"
 #include "python/Python.h"
+#include "replica/Follower.h"
+#include "replica/Leader.h"
 #include "service/Wire.h"
+
+#include <unistd.h>
 
 #include <cerrno>
 #include <csignal>
@@ -121,6 +140,14 @@ int main(int Argc, char **Argv) {
   uint64_t ShedTargetMs = 0;
   bool DegradedOk = false;
   bool BadArgs = false;
+  bool Listen = false;
+  uint64_t ListenPort = 0;
+  bool ReplListen = false;
+  uint64_t ReplPort = 0;
+  std::string FollowHost;
+  uint64_t FollowPort = 0;
+  uint64_t Epoch = 1;
+  uint64_t IdleTimeoutMs = 60000;
   auto NumArg = [](std::string_view Arg, const char *Flag) {
     return static_cast<uint64_t>(
         std::atoll(std::string(Arg.substr(strlen(Flag))).c_str()));
@@ -143,6 +170,26 @@ int main(int Argc, char **Argv) {
       ShedTargetMs = NumArg(Arg, "--shed-target-ms=");
     else if (Arg == "--degraded-ok")
       DegradedOk = true;
+    else if (Arg.rfind("--listen=", 0) == 0) {
+      Listen = true;
+      ListenPort = NumArg(Arg, "--listen=");
+    } else if (Arg.rfind("--repl-listen=", 0) == 0) {
+      ReplListen = true;
+      ReplPort = NumArg(Arg, "--repl-listen=");
+    } else if (Arg.rfind("--follow=", 0) == 0) {
+      std::string HostPort(Arg.substr(strlen("--follow=")));
+      size_t Colon = HostPort.rfind(':');
+      if (Colon == std::string::npos) {
+        BadArgs = true;
+      } else {
+        FollowHost = HostPort.substr(0, Colon);
+        FollowPort = static_cast<uint64_t>(
+            std::atoll(HostPort.substr(Colon + 1).c_str()));
+      }
+    } else if (Arg.rfind("--epoch=", 0) == 0)
+      Epoch = NumArg(Arg, "--epoch=");
+    else if (Arg.rfind("--idle-timeout-ms=", 0) == 0)
+      IdleTimeoutMs = NumArg(Arg, "--idle-timeout-ms=");
     else if (Lang.empty() && !Arg.empty() && Arg[0] != '-')
       Lang = std::string(Arg);
     else if (!Arg.empty() && Arg[0] != '-')
@@ -163,9 +210,52 @@ int main(int Argc, char **Argv) {
                  "usage: %s [json|py] [workers] [--data-dir=<dir>] "
                  "[--fsync-every=<n>] [--deadline-ms=<n>] [--max-nodes=<n>] "
                  "[--max-depth=<n>] [--mem-budget-mb=<n>] "
-                 "[--shed-target-ms=<n>] [--degraded-ok]\n",
+                 "[--shed-target-ms=<n>] [--degraded-ok] [--listen=<port>] "
+                 "[--repl-listen=<port>] [--follow=<host:port>] "
+                 "[--epoch=<n>] [--idle-timeout-ms=<n>]\n",
                  Argv[0]);
     return 2;
+  }
+
+  installSignalHandlers();
+
+  // Follower mode: replicate from the leader, serve read-only traffic.
+  // The store/service machinery below is the leader's write path and is
+  // not needed here.
+  if (!FollowHost.empty()) {
+    net::EventLoop Loop;
+    Loop.start();
+    replica::Follower F(Loop, Sig);
+    std::string Err;
+    if (!F.connectTo(FollowHost, static_cast<uint16_t>(FollowPort), &Err)) {
+      std::fprintf(stderr, "diff_server: cannot follow %s:%llu: %s\n",
+                   FollowHost.c_str(),
+                   static_cast<unsigned long long>(FollowPort), Err.c_str());
+      Loop.stop();
+      return 1;
+    }
+    replica::ReplicaReadHandler Handler(F);
+    net::NetServer::Config SC;
+    SC.Port = static_cast<uint16_t>(ListenPort);
+    SC.IdleTimeoutMs = static_cast<unsigned>(IdleTimeoutMs);
+    net::NetServer Srv(Loop, Sig, Handler, SC);
+    if (!Srv.start(&Err)) {
+      std::fprintf(stderr, "diff_server: cannot listen: %s\n", Err.c_str());
+      Loop.stop();
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "diff_server: follower of %s:%llu, read-only %s protocol "
+                 "on port %u\n",
+                 FollowHost.c_str(),
+                 static_cast<unsigned long long>(FollowPort), Lang.c_str(),
+                 Srv.port());
+    while (GotSignal == 0)
+      pause();
+    std::fprintf(stderr, "diff_server: caught signal %d, shutting down\n",
+                 static_cast<int>(GotSignal));
+    Loop.stop();
+    return 0;
   }
 
   // Admission caps: hostile or runaway inputs are rejected while
@@ -226,7 +316,67 @@ int main(int Argc, char **Argv) {
     });
   }
 
-  installSignalHandlers();
+  // Network front end and/or replication leader share one event loop.
+  std::unique_ptr<net::EventLoop> Loop;
+  std::unique_ptr<replica::ReplicationLog> Log;
+  std::unique_ptr<replica::Leader> Lead;
+  std::unique_ptr<net::ServiceHandler> Handler;
+  std::unique_ptr<net::NetServer> Srv;
+  if (Listen || ReplListen)
+    Loop = std::make_unique<net::EventLoop>();
+  if (ReplListen) {
+    Log = std::make_unique<replica::ReplicationLog>(Store);
+    Log->attach();
+    replica::Leader::Config LC;
+    LC.Port = static_cast<uint16_t>(ReplPort);
+    LC.Epoch = Epoch;
+    Lead = std::make_unique<replica::Leader>(*Loop, *Log, LC);
+    std::string Err;
+    if (!Lead->start(&Err)) {
+      std::fprintf(stderr, "diff_server: cannot listen for replicas: %s\n",
+                   Err.c_str());
+      return 1;
+    }
+  }
+  if (Listen) {
+    net::ServiceHandler::Config HC;
+    HC.Limits = Limits;
+    HC.SubmitDeadlineMs = DeadlineMs;
+    if (Persist) {
+      persist::Persistence *P = Persist.get();
+      HC.OnSave = [P](DocId Doc) {
+        Response R;
+        if (!P->snapshotDocument(Doc))
+          R.Error = "no such document";
+        else if (!P->flush())
+          R.Error = "snapshot written but WAL flush failed; "
+                    "persistence is degraded";
+        else {
+          R.Ok = true;
+          R.Payload = "snapshot written";
+        }
+        return R;
+      };
+      HC.OnRecover = [P] {
+        Response R;
+        R.Ok = true;
+        R.Payload = recoveryJson(P->lastRecovery());
+        return R;
+      };
+    }
+    Handler = std::make_unique<net::ServiceHandler>(Service, HC);
+    net::NetServer::Config SC;
+    SC.Port = static_cast<uint16_t>(ListenPort);
+    SC.IdleTimeoutMs = static_cast<unsigned>(IdleTimeoutMs);
+    Srv = std::make_unique<net::NetServer>(*Loop, Sig, *Handler, SC);
+    std::string Err;
+    if (!Srv->start(&Err)) {
+      std::fprintf(stderr, "diff_server: cannot listen: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+  if (Loop)
+    Loop->start();
 
   std::string DeadlineNote =
       DeadlineMs != 0 ? ", deadline " + std::to_string(DeadlineMs) + "ms" : "";
@@ -235,6 +385,34 @@ int main(int Argc, char **Argv) {
                "submit, rollback, get, save, recover, stats, health, quit\n",
                Lang.c_str(), Service.workers(), Persist ? ", durable" : "",
                DeadlineNote.c_str());
+  if (Srv)
+    std::fprintf(stderr, "diff_server: serving TCP on port %u\n", Srv->port());
+  if (Lead)
+    std::fprintf(stderr,
+                 "diff_server: replication leader (epoch %llu) on port %u\n",
+                 static_cast<unsigned long long>(Epoch), Lead->port());
+
+  if (Listen) {
+    // TCP mode: the event loop serves; this thread just waits for a
+    // shutdown signal.
+    while (GotSignal == 0)
+      pause();
+    std::fprintf(stderr,
+                 "diff_server: caught signal %d, draining and flushing\n",
+                 static_cast<int>(GotSignal));
+    Loop->stop();
+    Service.shutdown();
+    if (Persist && Persist->degraded()) {
+      std::fprintf(stderr,
+                   "diff_server: exiting while persistence is degraded; "
+                   "operations acknowledged as non-durable are NOT on "
+                   "disk%s\n",
+                   DegradedOk ? " (--degraded-ok)" : "");
+      if (!DegradedOk)
+        return 3;
+    }
+    return 0;
+  }
 
   bool Quit = false;
   std::string Line;
@@ -315,6 +493,8 @@ int main(int Argc, char **Argv) {
   // Graceful shutdown on every exit path (quit verb, EOF, SIGTERM/
   // SIGINT): stop accepting, drain accepted requests, then the drain
   // hook flushes the WAL so acknowledged-durable operations are on disk.
+  if (Loop)
+    Loop->stop(); // REPL mode can still carry a replication leader
   Service.shutdown();
 
   if (Persist && Persist->degraded()) {

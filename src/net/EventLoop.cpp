@@ -1,0 +1,400 @@
+//===- net/EventLoop.cpp - Non-blocking epoll event loop -------------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/EventLoop.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace truediff;
+using namespace truediff::net;
+
+namespace {
+
+/// How often the idle scan runs and the longest the loop sleeps without
+/// checking for timeouts; coarse on purpose -- idle timeouts are a
+/// resource-reclamation bound, not a latency contract.
+constexpr std::chrono::milliseconds TickInterval{100};
+
+bool setNonBlocking(int Fd) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Conn
+//===----------------------------------------------------------------------===//
+
+void Conn::send(std::string_view Bytes) {
+  if (Closing)
+    return;
+  Out.append(Bytes.data(), Bytes.size());
+  if (!flushSome()) {
+    closeNow();
+    return;
+  }
+  updateEpollInterest();
+}
+
+bool Conn::flushSome() {
+  while (OutPos < Out.size()) {
+    ssize_t N = ::send(Fd, Out.data() + OutPos, Out.size() - OutPos,
+                       MSG_NOSIGNAL);
+    if (N > 0) {
+      OutPos += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  if (OutPos == Out.size()) {
+    Out.clear();
+    OutPos = 0;
+    if (CloseWhenFlushed)
+      closeNow();
+  } else if (OutPos > (1u << 20)) {
+    // Reclaim the flushed prefix once it is large; amortised O(1).
+    Out.erase(0, OutPos);
+    OutPos = 0;
+  }
+  return true;
+}
+
+void Conn::updateEpollInterest() {
+  bool Want = OutPos < Out.size();
+  if (Want == WantWrite || Closing)
+    return;
+  if (Loop.epollMod(this, Want))
+    WantWrite = Want;
+}
+
+void Conn::closeAfterFlush() {
+  if (Closing)
+    return;
+  if (pendingOut() == 0) {
+    closeNow();
+    return;
+  }
+  CloseWhenFlushed = true;
+}
+
+void Conn::closeNow() {
+  if (Closing)
+    return;
+  Closing = true;
+  Loop.scheduleDestroy(this);
+}
+
+void Conn::handleReadable() {
+  char Buf[65536];
+  bool Got = false;
+  bool Eof = false;
+  while (!Closing) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      In.append(Buf, static_cast<size_t>(N));
+      Got = true;
+      continue;
+    }
+    if (N == 0) {
+      Eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    if (errno == EINTR)
+      continue;
+    Eof = true;
+    break;
+  }
+  if (Got) {
+    LastActivity = Clock::now();
+    if (H_.OnData)
+      H_.OnData(*this);
+  }
+  if (Eof)
+    closeNow();
+}
+
+void Conn::handleWritable() {
+  if (Closing)
+    return;
+  if (!flushSome()) {
+    closeNow();
+    return;
+  }
+  updateEpollInterest();
+}
+
+//===----------------------------------------------------------------------===//
+// EventLoop
+//===----------------------------------------------------------------------===//
+
+EventLoop::EventLoop() {
+  EpollFd = epoll_create1(EPOLL_CLOEXEC);
+  WakeFd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.fd = WakeFd;
+  epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &Ev);
+  LastIdleScan = std::chrono::steady_clock::now();
+}
+
+EventLoop::~EventLoop() {
+  stop();
+  for (auto &[Fd, L] : Listeners)
+    ::close(Fd);
+  Listeners.clear();
+  // Conns not torn down by a run() (loop never started, or adopted after
+  // stop) still own their fds.
+  for (auto &[Fd, C] : Conns)
+    ::close(Fd);
+  Conns.clear();
+  if (WakeFd >= 0)
+    ::close(WakeFd);
+  if (EpollFd >= 0)
+    ::close(EpollFd);
+}
+
+void EventLoop::wake() {
+  uint64_t One = 1;
+  [[maybe_unused]] ssize_t N = ::write(WakeFd, &One, sizeof(One));
+}
+
+void EventLoop::post(std::function<void()> Fn) {
+  if (Stopped.load()) // discarded by contract
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(TasksMu);
+    Tasks.push_back(std::move(Fn));
+  }
+  wake();
+}
+
+void EventLoop::drainTasks() {
+  std::vector<std::function<void()>> Batch;
+  {
+    std::lock_guard<std::mutex> Lock(TasksMu);
+    Batch.swap(Tasks);
+  }
+  for (auto &Fn : Batch)
+    Fn();
+}
+
+uint16_t EventLoop::listen(uint16_t Port, AcceptHandler OnAccept,
+                           std::string *Err) {
+  auto Fail = [&](const char *What) -> uint16_t {
+    if (Err != nullptr)
+      *Err = std::string(What) + ": " + std::strerror(errno);
+    return 0;
+  };
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return Fail("socket");
+  int One = 1;
+  setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return Fail("bind");
+  }
+  if (::listen(Fd, 128) != 0) {
+    ::close(Fd);
+    return Fail("listen");
+  }
+  socklen_t Len = sizeof(Addr);
+  if (getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0) {
+    ::close(Fd);
+    return Fail("getsockname");
+  }
+  uint16_t Bound = ntohs(Addr.sin_port);
+
+  Listener L;
+  L.Fd = Fd;
+  L.OnAccept = std::move(OnAccept);
+  if (Running.load() && !onLoopThread()) {
+    // The listener map belongs to the loop thread; hand the registration
+    // over. The socket already accepts (kernel backlog), so no
+    // connection is lost in the window.
+    post([this, L = std::move(L)]() mutable { registerListener(std::move(L)); });
+  } else {
+    registerListener(std::move(L));
+  }
+  return Bound;
+}
+
+void EventLoop::registerListener(Listener L) {
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.fd = L.Fd;
+  epoll_ctl(EpollFd, EPOLL_CTL_ADD, L.Fd, &Ev);
+  Listeners.emplace(L.Fd, std::move(L));
+}
+
+Conn *EventLoop::adopt(int Fd, Conn::Handlers H) {
+  if (!setNonBlocking(Fd)) {
+    ::close(Fd);
+    return nullptr;
+  }
+  int One = 1;
+  setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  auto C = std::unique_ptr<Conn>(new Conn(*this, Fd, NextConnId++));
+  C->setHandlers(std::move(H));
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.fd = Fd;
+  if (epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) != 0) {
+    ::close(Fd);
+    return nullptr;
+  }
+  Conn *Raw = C.get();
+  Conns.emplace(Fd, std::move(C));
+  ConnCount.fetch_add(1);
+  return Raw;
+}
+
+bool EventLoop::epollMod(Conn *C, bool WantWrite) {
+  epoll_event Ev{};
+  Ev.events = EPOLLIN | (WantWrite ? EPOLLOUT : 0u);
+  Ev.data.fd = C->fd();
+  return epoll_ctl(EpollFd, EPOLL_CTL_MOD, C->fd(), &Ev) == 0;
+}
+
+void EventLoop::acceptReady(Listener &L) {
+  while (true) {
+    int Fd = ::accept4(L.Fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // EAGAIN or transient accept error: wait for the next event
+    }
+    Conn *C = adopt(Fd, Conn::Handlers{});
+    if (C != nullptr && L.OnAccept)
+      L.OnAccept(*C);
+  }
+}
+
+void EventLoop::scheduleDestroy(Conn *C) {
+  // Stop watching immediately so an already-polled event batch is the
+  // only way this conn is touched again before teardown.
+  epoll_ctl(EpollFd, EPOLL_CTL_DEL, C->fd(), nullptr);
+  Dead.push_back(C);
+}
+
+void EventLoop::destroyPending() {
+  while (!Dead.empty()) {
+    Conn *C = Dead.back();
+    Dead.pop_back();
+    auto It = Conns.find(C->fd());
+    if (It == Conns.end() || It->second.get() != C)
+      continue;
+    std::unique_ptr<Conn> Owned = std::move(It->second);
+    Conns.erase(It);
+    ConnCount.fetch_sub(1);
+    if (Owned->H_.OnClose)
+      Owned->H_.OnClose(*Owned);
+    ::close(Owned->fd());
+  }
+}
+
+void EventLoop::scanIdle() {
+  auto Now = std::chrono::steady_clock::now();
+  if (Now - LastIdleScan < TickInterval)
+    return;
+  LastIdleScan = Now;
+  for (auto &[Fd, C] : Conns) {
+    if (C->Closing || C->IdleTimeout.count() == 0)
+      continue;
+    if (Now - C->LastActivity > C->IdleTimeout)
+      C->closeNow();
+  }
+}
+
+void EventLoop::run() {
+  Running.store(true);
+  LoopThreadId.store(std::this_thread::get_id());
+  epoll_event Events[64];
+  while (!Stopped.load()) {
+    int N = epoll_wait(EpollFd, Events, 64,
+                       static_cast<int>(TickInterval.count()));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    for (int I = 0; I != N; ++I) {
+      int Fd = Events[I].data.fd;
+      uint32_t Ev = Events[I].events;
+      if (Fd == WakeFd) {
+        uint64_t Junk;
+        while (::read(WakeFd, &Junk, sizeof(Junk)) > 0) {
+        }
+        continue;
+      }
+      auto LIt = Listeners.find(Fd);
+      if (LIt != Listeners.end()) {
+        acceptReady(LIt->second);
+        continue;
+      }
+      auto CIt = Conns.find(Fd);
+      if (CIt == Conns.end())
+        continue;
+      Conn *C = CIt->second.get();
+      if ((Ev & (EPOLLERR | EPOLLHUP)) != 0) {
+        // Flush what the socket still accepts (EPOLLHUP with pending
+        // input is handled by the read below returning EOF).
+        C->closeNow();
+        continue;
+      }
+      if ((Ev & EPOLLIN) != 0)
+        C->handleReadable();
+      if ((Ev & EPOLLOUT) != 0 && !C->closing())
+        C->handleWritable();
+    }
+    drainTasks();
+    destroyPending();
+    scanIdle();
+  }
+  // Teardown on the loop thread: every conn observes OnClose.
+  for (auto &[Fd, C] : Conns)
+    if (!C->Closing)
+      C->closeNow();
+  drainTasks();
+  destroyPending();
+  Running.store(false);
+  LoopThreadId.store(std::thread::id());
+}
+
+void EventLoop::start() {
+  Thread = std::thread([this] { run(); });
+}
+
+void EventLoop::stop() {
+  if (Stopped.exchange(true)) {
+    if (Thread.joinable())
+      Thread.join();
+    return;
+  }
+  wake();
+  if (Thread.joinable())
+    Thread.join();
+}

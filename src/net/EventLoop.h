@@ -1,0 +1,198 @@
+//===- net/EventLoop.h - Non-blocking epoll event loop ----------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single-threaded, non-blocking epoll event loop: listeners accept
+/// connections, connections buffer reads and writes, and per-connection
+/// idle timeouts are enforced by a coarse periodic scan. One loop thread
+/// owns every Conn; cross-thread work enters through post(), which wakes
+/// the loop via an eventfd. This single-owner discipline is what makes
+/// the protocol state machines above it (NetServer, the replication
+/// leader and follower) race-free without per-connection locks.
+///
+/// Lifetime: a Conn is owned by its loop and destroyed after its OnClose
+/// handler ran; handlers must not retain the pointer past that. closeNow
+/// defers the actual teardown to the end of the current dispatch turn,
+/// so a handler may close its own connection and return normally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_NET_EVENTLOOP_H
+#define TRUEDIFF_NET_EVENTLOOP_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace truediff {
+namespace net {
+
+class EventLoop;
+
+/// One established connection. All methods run on the loop thread
+/// (handlers are invoked there); other threads reach a Conn only through
+/// EventLoop::post.
+class Conn {
+public:
+  struct Handlers {
+    /// New bytes were appended to in(); consume from the front. Invoked
+    /// once per readable event, after the socket was drained.
+    std::function<void(Conn &)> OnData;
+    /// The connection is gone (peer EOF, error, idle timeout, closeNow).
+    /// The Conn is destroyed after this returns.
+    std::function<void(Conn &)> OnClose;
+  };
+
+  uint64_t id() const { return Id; }
+  int fd() const { return Fd; }
+  bool closing() const { return Closing; }
+
+  /// The read buffer; handlers erase what they consumed from the front.
+  std::string &in() { return In; }
+
+  /// Bytes queued but not yet accepted by the kernel.
+  size_t pendingOut() const { return Out.size() - OutPos; }
+
+  /// Queues \p Bytes for writing, flushing as much as the socket accepts
+  /// immediately and arming EPOLLOUT for the rest.
+  void send(std::string_view Bytes);
+
+  /// Closes after the pending output drains (or immediately if none).
+  void closeAfterFlush();
+
+  /// Tears the connection down at the end of the current dispatch turn;
+  /// pending output is dropped. OnClose fires exactly once.
+  void closeNow();
+
+  /// Idle timeout: the connection is closed when no bytes were received
+  /// for this long. Zero (the default) disables the timeout -- the mode
+  /// for replication links, which are idle between writes by design.
+  void setIdleTimeout(std::chrono::milliseconds T) { IdleTimeout = T; }
+
+  void setHandlers(Handlers H) { H_ = std::move(H); }
+
+private:
+  friend class EventLoop;
+  using Clock = std::chrono::steady_clock;
+
+  Conn(EventLoop &Loop, int Fd, uint64_t Id)
+      : Loop(Loop), Fd(Fd), Id(Id), LastActivity(Clock::now()) {}
+
+  void handleReadable();
+  void handleWritable();
+  bool flushSome(); ///< returns false on fatal write error
+  void updateEpollInterest();
+
+  EventLoop &Loop;
+  int Fd;
+  uint64_t Id;
+  Handlers H_;
+  std::string In;
+  std::string Out;
+  size_t OutPos = 0;
+  bool WantWrite = false;
+  bool Closing = false;
+  bool CloseWhenFlushed = false;
+  std::chrono::milliseconds IdleTimeout{0};
+  Clock::time_point LastActivity;
+};
+
+/// The loop: owns the epoll instance, the listeners, and every Conn.
+class EventLoop {
+public:
+  /// Invoked on the loop thread for each accepted connection, to install
+  /// handlers and per-connection settings.
+  using AcceptHandler = std::function<void(Conn &)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop &) = delete;
+  EventLoop &operator=(const EventLoop &) = delete;
+
+  /// Binds a listening socket on \p Port (0 = ephemeral) and accepts
+  /// connections into the loop. Returns the bound port, or 0 with \p Err
+  /// set. Callable from any thread; registration with a running loop is
+  /// deferred to the loop thread.
+  uint16_t listen(uint16_t Port, AcceptHandler OnAccept,
+                  std::string *Err = nullptr);
+
+  /// Adopts an already-connected socket (e.g. from a blocking connect)
+  /// into the loop. Must run on the loop thread (post() a task that
+  /// calls it). The loop owns the fd from here on.
+  Conn *adopt(int Fd, Conn::Handlers H);
+
+  /// Runs the loop on the calling thread until stop().
+  void run();
+
+  /// Runs the loop on an internal thread.
+  void start();
+
+  /// Stops the loop and joins the internal thread if start() was used.
+  /// Every open connection is closed (OnClose fires). Idempotent;
+  /// callable from any thread except the loop thread itself.
+  void stop();
+
+  /// Requests \p Fn to run on the loop thread. Thread-safe. Tasks posted
+  /// after stop() are discarded.
+  void post(std::function<void()> Fn);
+
+  bool onLoopThread() const {
+    return std::this_thread::get_id() == LoopThreadId.load();
+  }
+
+  /// Live connection gauge (listeners excluded).
+  size_t numConns() const { return ConnCount.load(); }
+
+private:
+  friend class Conn;
+
+  struct Listener {
+    int Fd = -1;
+    AcceptHandler OnAccept;
+  };
+
+  void wake();
+  void drainTasks();
+  void acceptReady(Listener &L);
+  void registerListener(Listener L);
+  void scheduleDestroy(Conn *C);
+  void destroyPending();
+  void scanIdle();
+  void closeConn(Conn *C);
+  bool epollMod(Conn *C, bool WantWrite);
+
+  int EpollFd = -1;
+  int WakeFd = -1;
+  std::atomic<bool> Stopped{false};
+  std::atomic<bool> Running{false};
+  std::atomic<std::thread::id> LoopThreadId{};
+  std::thread Thread;
+
+  std::mutex TasksMu;
+  std::vector<std::function<void()>> Tasks;
+
+  // Loop-thread state.
+  std::unordered_map<int, Listener> Listeners;
+  std::unordered_map<int, std::unique_ptr<Conn>> Conns;
+  std::vector<Conn *> Dead;
+  uint64_t NextConnId = 1;
+  std::chrono::steady_clock::time_point LastIdleScan;
+  std::atomic<size_t> ConnCount{0};
+};
+
+} // namespace net
+} // namespace truediff
+
+#endif // TRUEDIFF_NET_EVENTLOOP_H

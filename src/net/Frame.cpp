@@ -1,0 +1,100 @@
+//===- net/Frame.cpp - Length-prefixed binary framing ----------------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Frame.h"
+
+#include "persist/Varint.h"
+
+using namespace truediff;
+using namespace truediff::net;
+using truediff::persist::getVarint;
+using truediff::persist::putVarint;
+
+void net::appendFrame(std::string &Out, uint8_t Magic, uint8_t Type,
+                      std::string_view Payload) {
+  Out.push_back(static_cast<char>(Magic));
+  Out.push_back(static_cast<char>(Type));
+  uint32_t Len = static_cast<uint32_t>(Payload.size());
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>(Len >> (8 * I)));
+  Out.append(Payload.data(), Payload.size());
+}
+
+FramePeek net::peekFrame(std::string_view In, size_t MaxPayload,
+                         FrameHeader &H) {
+  if (In.size() < FrameHeaderBytes)
+    return FramePeek::NeedMore;
+  H.Magic = static_cast<uint8_t>(In[0]);
+  H.Type = static_cast<uint8_t>(In[1]);
+  H.Len = 0;
+  for (int I = 0; I != 4; ++I)
+    H.Len |= static_cast<uint32_t>(static_cast<uint8_t>(In[2 + I]))
+             << (8 * I);
+  if (H.Len > MaxPayload)
+    return FramePeek::TooLarge;
+  if (In.size() < FrameHeaderBytes + H.Len)
+    return FramePeek::NeedMore;
+  return FramePeek::Ok;
+}
+
+std::string net::encodeBinResponse(const service::Response &R,
+                                   std::string_view Blob) {
+  std::string Payload;
+  if (R.Ok) {
+    putVarint(Payload, R.Version);
+    putVarint(Payload, R.EditCount);
+    putVarint(Payload, R.CoalescedSize);
+    putVarint(Payload, R.TreeSize);
+    Payload.push_back(static_cast<char>(R.Fallback ? 1 : 0));
+    putVarint(Payload, Blob.size());
+    Payload.append(Blob.data(), Blob.size());
+  } else {
+    Payload.push_back(static_cast<char>(R.Code));
+    putVarint(Payload, R.RetryAfterMs);
+    Payload += R.Error;
+  }
+  std::string Out;
+  appendFrame(Out, ClientRespMagic, R.Ok ? 0 : 1, Payload);
+  return Out;
+}
+
+bool net::decodeBinResponse(uint8_t Status, std::string_view Payload,
+                            BinResponse &Out) {
+  size_t Pos = 0;
+  if (Status == 0) {
+    Out.Ok = true;
+    auto Version = getVarint(Payload, Pos);
+    auto Edits = getVarint(Payload, Pos);
+    auto Coalesced = getVarint(Payload, Pos);
+    auto TreeSize = getVarint(Payload, Pos);
+    if (!Version || !Edits || !Coalesced || !TreeSize ||
+        Pos >= Payload.size())
+      return false;
+    uint8_t Flags = static_cast<uint8_t>(Payload[Pos++]);
+    auto BlobLen = getVarint(Payload, Pos);
+    if (!BlobLen || *BlobLen > Payload.size() - Pos)
+      return false;
+    Out.Version = *Version;
+    Out.EditCount = *Edits;
+    Out.CoalescedSize = *Coalesced;
+    Out.TreeSize = *TreeSize;
+    Out.Fallback = (Flags & 1) != 0;
+    Out.Blob = std::string(Payload.substr(Pos, *BlobLen));
+    return Pos + *BlobLen == Payload.size();
+  }
+  if (Status != 1)
+    return false;
+  Out.Ok = false;
+  if (Payload.empty())
+    return false;
+  Out.Code = static_cast<service::ErrCode>(Payload[Pos++]);
+  auto Retry = getVarint(Payload, Pos);
+  if (!Retry)
+    return false;
+  Out.RetryAfterMs = *Retry;
+  Out.Error = std::string(Payload.substr(Pos));
+  return true;
+}

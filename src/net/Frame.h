@@ -1,0 +1,130 @@
+//===- net/Frame.h - Length-prefixed binary framing -------------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The length-prefixed binary frame shared by the client protocol and
+/// the replication stream. Every frame is
+///
+///   u8 magic | u8 type | u32le payload-length | payload
+///
+/// with three magics: 0xB1 client request, 0xB2 client response, 0xB3
+/// replication. The first byte of a connection's next message selects
+/// the protocol -- 0xB1/0xB3 enters the binary parser, anything else is
+/// a textual line (service/Wire.h) terminated by '\n' -- so one port
+/// serves both client protocols frame by frame.
+///
+/// Client request payloads (tree blobs are persist/BinaryCodec
+/// encodeTree; all integers LEB128 varints):
+///
+///   Open, Submit    varint doc-id, then the tree blob
+///   Rollback, Get   varint doc-id
+///   Stats, Health,
+///   Quit            empty
+///
+/// Client responses echo no verb; the frame type is the status (0 = ok,
+/// 1 = err). Ok payloads carry varints version, edit count, coalesced
+/// size, tree size, one flags byte (bit 0 = deadline fallback), then a
+/// varint-length-prefixed blob: the binary edit script for submit, the
+/// s-expression text for get, JSON for stats/health, empty otherwise.
+/// Err payloads carry one ErrCode byte, a varint retry_after_ms hint,
+/// and the message text.
+///
+/// Decoders are total: a malformed payload in a well-formed frame yields
+/// a typed error (ErrCode::MalformedFrame) and the connection lives on;
+/// only frames whose claimed length exceeds the configured cap kill the
+/// connection, because the stream position after them is untrustworthy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_NET_FRAME_H
+#define TRUEDIFF_NET_FRAME_H
+
+#include "service/DiffService.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace truediff {
+namespace net {
+
+inline constexpr uint8_t ClientReqMagic = 0xB1;
+inline constexpr uint8_t ClientRespMagic = 0xB2;
+inline constexpr uint8_t ReplMagic = 0xB3;
+
+inline constexpr size_t FrameHeaderBytes = 6;
+
+/// Default cap on one binary frame's payload.
+inline constexpr size_t MaxBinaryFrameBytes = 16u << 20;
+
+/// Client request verbs (frame type under ClientReqMagic).
+enum class BinVerb : uint8_t {
+  Open = 1,
+  Submit = 2,
+  Rollback = 3,
+  Get = 4,
+  Stats = 5,
+  Health = 6,
+  Quit = 7,
+};
+
+/// Replication frame types (frame type under ReplMagic).
+enum class ReplFrame : uint8_t {
+  FollowerHello = 1, ///< varint last-seq, varint max-epoch-seen
+  LeaderHello = 2,   ///< varint epoch, varint current-seq
+  Record = 3,        ///< one replication-log record
+  DocSnapshot = 4,   ///< full document state for catch-up / resync
+  CatchupDone = 5,   ///< varint seq: initial dump complete up to seq
+  ResyncReq = 6,     ///< varint doc-id: follower requests a fresh snapshot
+};
+
+struct FrameHeader {
+  uint8_t Magic = 0;
+  uint8_t Type = 0;
+  uint32_t Len = 0;
+};
+
+enum class FramePeek {
+  NeedMore, ///< fewer bytes than one full frame
+  Ok,       ///< header parsed; payload available
+  TooLarge, ///< claimed length exceeds the cap: kill the connection
+};
+
+/// Appends one frame to \p Out.
+void appendFrame(std::string &Out, uint8_t Magic, uint8_t Type,
+                 std::string_view Payload);
+
+/// Inspects the frame at the front of \p In (caller checked the magic).
+FramePeek peekFrame(std::string_view In, size_t MaxPayload, FrameHeader &H);
+
+/// Decoded client response, for clients and tests.
+struct BinResponse {
+  bool Ok = false;
+  service::ErrCode Code = service::ErrCode::None;
+  uint64_t RetryAfterMs = 0;
+  std::string Error;
+  uint64_t Version = 0;
+  uint64_t EditCount = 0;
+  uint64_t CoalescedSize = 0;
+  uint64_t TreeSize = 0;
+  bool Fallback = false;
+  std::string Blob;
+};
+
+/// Renders a service response as one client response frame. \p Blob is
+/// the verb-specific payload blob (binary script, s-expression, JSON).
+std::string encodeBinResponse(const service::Response &R,
+                              std::string_view Blob);
+
+/// Parses a client response frame's payload (\p Status is the frame
+/// type). Returns false on malformed input.
+bool decodeBinResponse(uint8_t Status, std::string_view Payload,
+                       BinResponse &Out);
+
+} // namespace net
+} // namespace truediff
+
+#endif // TRUEDIFF_NET_FRAME_H

@@ -1,0 +1,276 @@
+//===- net/NetServer.cpp - TCP front end for the diff service --------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/NetServer.h"
+
+#include "persist/BinaryCodec.h"
+#include "persist/Varint.h"
+
+using namespace truediff;
+using namespace truediff::net;
+using namespace truediff::service;
+using truediff::persist::getVarint;
+
+NetServer::NetServer(EventLoop &Loop, const SignatureTable &Sig,
+                     RequestHandler &Handler)
+    : NetServer(Loop, Sig, Handler, Config()) {}
+
+NetServer::NetServer(EventLoop &Loop, const SignatureTable &Sig,
+                     RequestHandler &Handler, Config C)
+    : Loop(Loop), Sig(Sig), Handler(Handler), Cfg(C) {}
+
+NetServer::~NetServer() = default;
+
+bool NetServer::start(std::string *Err) {
+  uint16_t Port = Loop.listen(
+      Cfg.Port,
+      [this](Conn &C) {
+        C.setIdleTimeout(std::chrono::milliseconds(Cfg.IdleTimeoutMs));
+        States.emplace(C.id(), ConnState{});
+        LiveConns.emplace(C.id(), &C);
+        Conn::Handlers H;
+        H.OnData = [this](Conn &C) { onData(C); };
+        H.OnClose = [this](Conn &C) {
+          States.erase(C.id());
+          LiveConns.erase(C.id());
+        };
+        C.setHandlers(std::move(H));
+      },
+      Err);
+  if (Port == 0)
+    return false;
+  BoundPort = Port;
+  return true;
+}
+
+void NetServer::onData(Conn &C) {
+  while (parseOne(C)) {
+  }
+}
+
+std::string NetServer::render(const Response &R, bool Binary,
+                              WireCommand::Kind K) const {
+  if (!Binary)
+    return formatWireResponse(R, K);
+  std::string Blob;
+  if (R.Ok && K == WireCommand::Kind::Submit)
+    Blob = persist::encodeEditScript(Sig, R.Script);
+  else if (R.Ok)
+    Blob = R.Payload;
+  return encodeBinResponse(R, Blob);
+}
+
+void NetServer::deliver(uint64_t ConnId, size_t SlotIdx, std::string Bytes) {
+  auto SIt = States.find(ConnId);
+  if (SIt == States.end())
+    return; // connection died before its response was ready
+  ConnState &S = SIt->second;
+  if (SlotIdx < S.NextToSend || SlotIdx - S.NextToSend >= S.Slots.size())
+    return;
+  Slot &Sl = S.Slots[SlotIdx - S.NextToSend];
+  Sl.Ready = true;
+  Sl.Bytes = std::move(Bytes);
+  auto CIt = LiveConns.find(ConnId);
+  if (CIt != LiveConns.end())
+    flushReady(*CIt->second, S);
+}
+
+void NetServer::flushReady(Conn &C, ConnState &S) {
+  while (!S.Slots.empty() && S.Slots.front().Ready) {
+    Slot Sl = std::move(S.Slots.front());
+    S.Slots.pop_front();
+    ++S.NextToSend;
+    C.send(Sl.Bytes);
+    if (Sl.CloseAfter) {
+      C.closeAfterFlush();
+      return;
+    }
+  }
+  if (S.Draining && S.Slots.empty())
+    C.closeAfterFlush();
+}
+
+void NetServer::dispatch(Conn &C, NetRequest Req, WireCommand::Kind K,
+                         bool CloseAfter) {
+  ConnState &S = States[C.id()];
+  size_t SlotIdx = S.NextToSend + S.Slots.size();
+  Slot Sl;
+  Sl.CloseAfter = CloseAfter;
+  S.Slots.push_back(std::move(Sl));
+  uint64_t ConnId = C.id();
+  bool Binary = Req.Binary;
+  Handler.handle(std::move(Req),
+                 [this, ConnId, SlotIdx, Binary, K](Response R) {
+                   // Rendering happens on the completing thread (a
+                   // service worker, usually), keeping string work off
+                   // the loop; the loop only splices bytes into slots.
+                   std::string Bytes = render(R, Binary, K);
+                   Loop.post([this, ConnId, SlotIdx,
+                              Bytes = std::move(Bytes)]() mutable {
+                     deliver(ConnId, SlotIdx, std::move(Bytes));
+                   });
+                 });
+}
+
+void NetServer::immediateError(Conn &C, bool Binary, WireCommand::Kind K,
+                               ErrCode Code, const std::string &Message) {
+  Response R;
+  R.Ok = false;
+  R.Code = Code;
+  R.Error = Message;
+  ConnState &S = States[C.id()];
+  size_t SlotIdx = S.NextToSend + S.Slots.size();
+  S.Slots.push_back(Slot{});
+  deliver(C.id(), SlotIdx, render(R, Binary, K));
+}
+
+void NetServer::protocolError(Conn &C, bool Binary, ErrCode Code,
+                              const std::string &Message) {
+  Response R;
+  R.Ok = false;
+  R.Code = Code;
+  R.Error = Message;
+  C.send(render(R, Binary, WireCommand::Kind::Invalid));
+  C.closeAfterFlush();
+}
+
+bool NetServer::parseOne(Conn &C) {
+  if (C.closing())
+    return false;
+  std::string &In = C.in();
+  if (In.empty())
+    return false;
+  uint8_t First = static_cast<uint8_t>(In[0]);
+
+  if (First == ClientReqMagic || First == ReplMagic) {
+    FrameHeader H;
+    switch (peekFrame(In, Cfg.MaxFrameBytes, H)) {
+    case FramePeek::NeedMore:
+      return false;
+    case FramePeek::TooLarge:
+      protocolError(C, true, ErrCode::FrameTooLarge,
+                    "frame exceeds " + std::to_string(Cfg.MaxFrameBytes) +
+                        " bytes");
+      return false;
+    case FramePeek::Ok:
+      break;
+    }
+    if (First == ReplMagic) {
+      // Replication frames belong on the replication port; answering
+      // them here would make a confused follower believe it has a
+      // leader.
+      protocolError(C, true, ErrCode::MalformedFrame,
+                    "replication frame on the client port");
+      return false;
+    }
+    std::string Payload(In.substr(FrameHeaderBytes, H.Len));
+    In.erase(0, FrameHeaderBytes + H.Len);
+
+    NetRequest Req;
+    Req.Binary = true;
+    size_t Pos = 0;
+    auto NeedDoc = [&]() -> bool {
+      auto Doc = getVarint(Payload, Pos);
+      if (!Doc)
+        return false;
+      Req.Cmd.Doc = *Doc;
+      return true;
+    };
+    switch (static_cast<BinVerb>(H.Type)) {
+    case BinVerb::Open:
+    case BinVerb::Submit:
+      Req.Cmd.K = H.Type == static_cast<uint8_t>(BinVerb::Open)
+                      ? WireCommand::Kind::Open
+                      : WireCommand::Kind::Submit;
+      if (!NeedDoc()) {
+        immediateError(C, true, Req.Cmd.K, ErrCode::MalformedFrame,
+                       "truncated doc id");
+        return true;
+      }
+      Req.Blob = Payload.substr(Pos);
+      break;
+    case BinVerb::Rollback:
+    case BinVerb::Get:
+      Req.Cmd.K = H.Type == static_cast<uint8_t>(BinVerb::Rollback)
+                      ? WireCommand::Kind::Rollback
+                      : WireCommand::Kind::Get;
+      if (!NeedDoc() || Pos != Payload.size()) {
+        immediateError(C, true, Req.Cmd.K, ErrCode::MalformedFrame,
+                       "malformed doc id payload");
+        return true;
+      }
+      break;
+    case BinVerb::Stats:
+    case BinVerb::Health:
+      Req.Cmd.K = H.Type == static_cast<uint8_t>(BinVerb::Stats)
+                      ? WireCommand::Kind::Stats
+                      : WireCommand::Kind::Health;
+      if (!Payload.empty()) {
+        immediateError(C, true, Req.Cmd.K, ErrCode::MalformedFrame,
+                       "unexpected payload");
+        return true;
+      }
+      break;
+    case BinVerb::Quit: {
+      // Acknowledge, then close once everything queued before the quit
+      // has been answered.
+      ConnState &S = States[C.id()];
+      S.Draining = true;
+      Response Ok;
+      Ok.Ok = true;
+      size_t SlotIdx = S.NextToSend + S.Slots.size();
+      Slot Sl;
+      Sl.CloseAfter = true;
+      S.Slots.push_back(std::move(Sl));
+      deliver(C.id(), SlotIdx, render(Ok, true, WireCommand::Kind::Quit));
+      return true;
+    }
+    default:
+      immediateError(C, true, WireCommand::Kind::Invalid,
+                     ErrCode::MalformedFrame,
+                     "unknown verb " + std::to_string(H.Type));
+      return true;
+    }
+    WireCommand::Kind K = Req.Cmd.K;
+    dispatch(C, std::move(Req), K, false);
+    return true;
+  }
+
+  // Textual path: one '\n'-terminated line.
+  size_t Eol = In.find('\n');
+  if (Eol == std::string::npos) {
+    if (In.size() > Cfg.MaxLineBytes)
+      protocolError(C, false, ErrCode::FrameTooLarge,
+                    "line exceeds " + std::to_string(Cfg.MaxLineBytes) +
+                        " bytes");
+    return false;
+  }
+  std::string Line = In.substr(0, Eol);
+  In.erase(0, Eol + 1);
+  if (Line.empty() || Line == "\r")
+    return true;
+
+  WireCommand Cmd = parseWireCommand(Line, Cfg.MaxLineBytes);
+  if (Cmd.K == WireCommand::Kind::Invalid) {
+    immediateError(C, false, WireCommand::Kind::Invalid,
+                   Cmd.Code, Cmd.Error);
+    return true;
+  }
+  if (Cmd.K == WireCommand::Kind::Quit) {
+    // Matches the REPL: quit produces no response. Close once earlier
+    // pipelined requests have flushed.
+    ConnState &S = States[C.id()];
+    S.Draining = true;
+    if (S.Slots.empty())
+      C.closeAfterFlush();
+    return true;
+  }
+  NetRequest Req;
+  Req.Cmd = std::move(Cmd);
+  WireCommand::Kind K = Req.Cmd.K;
+  dispatch(C, std::move(Req), K, false);
+  return true;
+}

@@ -1,0 +1,131 @@
+//===- net/NetServer.h - TCP front end for the diff service -----*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serves the textual wire protocol (service/Wire.h) and the binary
+/// frame protocol (net/Frame.h) over TCP, multiplexed per message by the
+/// first byte. Requests are handed to a RequestHandler, which completes
+/// them asynchronously from any thread; the server keeps per-connection
+/// response slots so pipelined requests are answered in arrival order no
+/// matter which worker finishes first.
+///
+/// Robustness contract (the fuzz tests pin it down):
+///   - an oversized frame or line gets a typed FrameTooLarge error and
+///     the connection is closed (the stream position is untrustworthy),
+///   - a malformed payload inside a well-formed frame gets a typed
+///     MalformedFrame error and the connection lives on,
+///   - nothing a client sends crashes the loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_NET_NETSERVER_H
+#define TRUEDIFF_NET_NETSERVER_H
+
+#include "net/EventLoop.h"
+#include "net/Frame.h"
+#include "service/Wire.h"
+
+#include <deque>
+#include <memory>
+
+namespace truediff {
+namespace net {
+
+/// One parsed request, textual or binary.
+struct NetRequest {
+  bool Binary = false;
+  /// Parsed command. For binary frames, K/Doc are mapped from the verb
+  /// and the payload's doc-id varint.
+  service::WireCommand Cmd;
+  /// Binary open/submit: the encodeTree blob.
+  std::string Blob;
+};
+
+/// Completes NetServer requests. handle() runs on the loop thread and
+/// must not block; \p Done may be invoked from any thread, exactly once.
+class RequestHandler {
+public:
+  virtual ~RequestHandler() = default;
+  virtual void handle(NetRequest Req,
+                      std::function<void(service::Response)> Done) = 0;
+};
+
+class NetServer {
+public:
+  struct Config {
+    uint16_t Port = 0; ///< 0 = ephemeral; see port()
+    /// Cap on one textual protocol line.
+    size_t MaxLineBytes = service::MaxWireLineBytes;
+    /// Cap on one binary frame payload.
+    size_t MaxFrameBytes = MaxBinaryFrameBytes;
+    /// Per-connection idle timeout; 0 disables.
+    unsigned IdleTimeoutMs = 60000;
+  };
+
+  /// The server registers its listener on \p Loop; \p Sig is needed to
+  /// encode binary script payloads. Call start() before Loop runs or
+  /// while it runs; responses are posted back to the loop, so the loop
+  /// must outlive the server's traffic.
+  NetServer(EventLoop &Loop, const SignatureTable &Sig,
+            RequestHandler &Handler);
+  NetServer(EventLoop &Loop, const SignatureTable &Sig,
+            RequestHandler &Handler, Config C);
+  ~NetServer();
+
+  /// Binds and registers the listener. Returns false with \p Err on
+  /// bind failure. The bound port is port() afterwards.
+  bool start(std::string *Err = nullptr);
+
+  uint16_t port() const { return BoundPort; }
+  size_t numConns() const { return Loop.numConns(); }
+
+private:
+  /// A response slot: pipelined requests answer in order, so completions
+  /// park here until every earlier slot is rendered.
+  struct Slot {
+    bool Ready = false;
+    bool CloseAfter = false;
+    std::string Bytes;
+  };
+
+  struct ConnState {
+    std::deque<Slot> Slots;
+    size_t NextToSend = 0; ///< index into Slots of the next unsent slot
+    bool Draining = false; ///< quit seen: close once slots flush
+  };
+
+  void onData(Conn &C);
+  /// Parses one message off the front of \p C's buffer. Returns false
+  /// when more bytes are needed (or the conn is closing).
+  bool parseOne(Conn &C);
+  void dispatch(Conn &C, NetRequest Req, service::WireCommand::Kind K,
+                bool CloseAfter);
+  /// Fails the connection with a rendered protocol error and closes it.
+  void protocolError(Conn &C, bool Binary, service::ErrCode Code,
+                     const std::string &Message);
+  /// Answers a malformed-but-framed request without killing the conn.
+  void immediateError(Conn &C, bool Binary, service::WireCommand::Kind K,
+                      service::ErrCode Code, const std::string &Message);
+  std::string render(const service::Response &R, bool Binary,
+                     service::WireCommand::Kind K) const;
+  void deliver(uint64_t ConnId, size_t SlotIdx, std::string Bytes);
+  void flushReady(Conn &C, ConnState &S);
+
+  EventLoop &Loop;
+  const SignatureTable &Sig;
+  RequestHandler &Handler;
+  const Config Cfg;
+  uint16_t BoundPort = 0;
+  /// Loop-thread state: conn id -> parser/slot state. Conn ids never
+  /// recycle, so a late completion for a dead conn simply misses.
+  std::unordered_map<uint64_t, ConnState> States;
+  std::unordered_map<uint64_t, Conn *> LiveConns;
+};
+
+} // namespace net
+} // namespace truediff
+
+#endif // TRUEDIFF_NET_NETSERVER_H

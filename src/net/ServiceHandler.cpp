@@ -1,0 +1,104 @@
+//===- net/ServiceHandler.cpp - NetServer -> DiffService bridge ------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/ServiceHandler.h"
+
+#include "persist/BinaryCodec.h"
+
+using namespace truediff;
+using namespace truediff::net;
+using namespace truediff::service;
+
+namespace {
+
+/// Builds a client-supplied binary tree blob inside the document's
+/// context. Fresh URIs: the decoder validates the encoded ones but
+/// allocates every node via TreeContext::make. Structural caps live in
+/// the codec (depth/symbol/list bounds); the memory budget is enforced
+/// by the context's arena like any other build.
+TreeBuilder makeBlobBuilder(std::string Blob) {
+  return [Blob = std::move(Blob)](TreeContext &Ctx) -> BuildResult {
+    BuildResult Out;
+    persist::DecodeTreeResult R =
+        persist::decodeTree(Ctx.signatures(), Ctx, Blob,
+                            /*PreserveUris=*/false);
+    if (!R.ok()) {
+      Out.Error = R.Error.empty() ? "malformed tree blob" : R.Error;
+      Out.Code = ErrCode::MalformedFrame;
+      return Out;
+    }
+    Out.Root = R.Root;
+    return Out;
+  };
+}
+
+Response errorResponse(std::string Message) {
+  Response R;
+  R.Ok = false;
+  R.Error = std::move(Message);
+  return R;
+}
+
+} // namespace
+
+ServiceHandler::ServiceHandler(service::DiffService &Svc)
+    : ServiceHandler(Svc, Config()) {}
+
+void ServiceHandler::handle(NetRequest Req,
+                            std::function<void(service::Response)> Done) {
+  const WireCommand &Cmd = Req.Cmd;
+  switch (Cmd.K) {
+  case WireCommand::Kind::Open: {
+    size_t Bytes = Req.Binary ? Req.Blob.size() : Cmd.Arg.size();
+    TreeBuilder Build = Req.Binary
+                            ? makeBlobBuilder(std::move(Req.Blob))
+                            : makeSExprBuilder(Cmd.Arg, Cfg.Limits);
+    Svc.openCb(Cmd.Doc, std::move(Build), Bytes, std::move(Done));
+    return;
+  }
+  case WireCommand::Kind::Submit: {
+    size_t Bytes = Req.Binary ? Req.Blob.size() : Cmd.Arg.size();
+    TreeBuilder Build = Req.Binary
+                            ? makeBlobBuilder(std::move(Req.Blob))
+                            : makeSExprBuilder(Cmd.Arg, Cfg.Limits);
+    Svc.submitCb(Cmd.Doc, std::move(Build), Cfg.SubmitDeadlineMs, Bytes,
+                 /*RawScript=*/Req.Binary, std::move(Done));
+    return;
+  }
+  case WireCommand::Kind::Rollback:
+    Svc.rollbackCb(Cmd.Doc, std::move(Done));
+    return;
+  case WireCommand::Kind::Get:
+    Svc.getVersionCb(Cmd.Doc, std::move(Done));
+    return;
+  case WireCommand::Kind::Stats:
+    Svc.statsCb(std::move(Done));
+    return;
+  case WireCommand::Kind::Health: {
+    // Inline, queue-free: health must answer while the queue is full.
+    Response R;
+    R.Ok = true;
+    R.Payload = Svc.healthJson();
+    Done(std::move(R));
+    return;
+  }
+  case WireCommand::Kind::Save:
+    Done(Cfg.OnSave ? Cfg.OnSave(Cmd.Doc)
+                    : errorResponse("persistence is disabled"));
+    return;
+  case WireCommand::Kind::Recover:
+    Done(Cfg.OnRecover ? Cfg.OnRecover()
+                       : errorResponse("persistence is disabled"));
+    return;
+  case WireCommand::Kind::Quit:
+  case WireCommand::Kind::Invalid:
+    // The server answers these itself; getting here is a wiring bug,
+    // but a typed error beats a dropped slot.
+    Done(errorResponse("unroutable request"));
+    return;
+  }
+  Done(errorResponse("unroutable request"));
+}

@@ -391,7 +391,8 @@ constexpr unsigned MaxTreeDepth = 8192;
 /// sorts its slot sorts, and URIs must be unique within the blob.
 Tree *decodeTreeNode(BinReader &R, const SignatureTable &Sig,
                      TreeContext &Ctx, const std::vector<Symbol> &Table,
-                     std::unordered_set<URI> &SeenUris, unsigned Depth) {
+                     std::unordered_set<URI> &SeenUris, unsigned Depth,
+                     bool PreserveUris) {
   if (Depth > MaxTreeDepth) {
     R.fail("tree too deep");
     return nullptr;
@@ -418,7 +419,8 @@ Tree *decodeTreeNode(BinReader &R, const SignatureTable &Sig,
   std::vector<Tree *> Kids;
   Kids.reserve(NumKids);
   for (uint64_t I = 0; I != NumKids; ++I) {
-    Tree *Kid = decodeTreeNode(R, Sig, Ctx, Table, SeenUris, Depth + 1);
+    Tree *Kid =
+        decodeTreeNode(R, Sig, Ctx, Table, SeenUris, Depth + 1, PreserveUris);
     if (Kid == nullptr)
       return nullptr;
     if (!Sig.isSubsort(Sig.signature(Kid->tag()).Result,
@@ -446,7 +448,9 @@ Tree *decodeTreeNode(BinReader &R, const SignatureTable &Sig,
     }
     Lits.push_back(std::move(L));
   }
-  return Ctx.adoptWithUri(Tag, Uri, std::move(Kids), std::move(Lits));
+  return PreserveUris ? Ctx.adoptWithUri(Tag, Uri, std::move(Kids),
+                                         std::move(Lits))
+                      : Ctx.make(Tag, std::move(Kids), std::move(Lits));
 }
 
 } // namespace
@@ -461,13 +465,19 @@ std::string persist::encodeTree(const SignatureTable &Sig, const Tree *T) {
 DecodeTreeResult persist::decodeTree(const SignatureTable &Sig,
                                      TreeContext &Ctx,
                                      std::string_view Blob) {
+  return decodeTree(Sig, Ctx, Blob, /*PreserveUris=*/true);
+}
+
+DecodeTreeResult persist::decodeTree(const SignatureTable &Sig,
+                                     TreeContext &Ctx, std::string_view Blob,
+                                     bool PreserveUris) {
   DecodeTreeResult Result;
   BinReader R(Blob);
   std::vector<Symbol> Table;
   if (!readSymbolTable(R, Sig, Table, Result.Error))
     return Result;
   std::unordered_set<URI> SeenUris;
-  Tree *Root = decodeTreeNode(R, Sig, Ctx, Table, SeenUris, 0);
+  Tree *Root = decodeTreeNode(R, Sig, Ctx, Table, SeenUris, 0, PreserveUris);
   if (Root == nullptr || !R.ok()) {
     Result.Error = R.ok() ? "invalid tree blob" : R.error();
     return Result;

@@ -1,0 +1,175 @@
+//===- replica/Follower.h - Follower replica ---------------------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A follower replica: connects to a leader, catches up (tail replay or
+/// snapshot transfer), then applies the live record stream. Every script
+/// is re-verified on arrival -- LinearTypeChecker (Definitions 3.1/3.2)
+/// plus MTree::patchChecked compliance -- so a follower only ever holds
+/// state a well-typed, compliant script sequence produces; replication
+/// cannot smuggle in a state the type system would reject.
+///
+/// Consistency machinery:
+///   - a global, gap-free seq: a gap after catch-up means lost records,
+///     triggering a fresh handshake on the same link;
+///   - per-document seq/version/incarnation checks: a mismatch (evicted
+///     history, erase/reopen races) triggers a per-document ResyncReq
+///     answered with a snapshot;
+///   - epoch fencing: a leader announcing an epoch below the highest
+///     this follower has ever seen is stale and is rejected.
+///
+/// Reads materialise the document's MTree into a typed tree (URIs
+/// preserved) and render both s-expression forms plus a SHA-256 digest
+/// of the URI form -- the byte-identical convergence check the tests
+/// assert against the leader.
+///
+/// Threading: records apply on the event-loop thread; reads and stats
+/// come from any thread under the state mutex. connectTo() blocks the
+/// calling thread until the handshake completes (never call it from the
+/// loop thread).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_REPLICA_FOLLOWER_H
+#define TRUEDIFF_REPLICA_FOLLOWER_H
+
+#include "net/EventLoop.h"
+#include "net/NetServer.h"
+#include "replica/Protocol.h"
+#include "truechange/MTree.h"
+
+#include <condition_variable>
+#include <mutex>
+
+namespace truediff {
+namespace replica {
+
+class Follower {
+public:
+  struct Config {
+    /// Fencing floor: leaders announcing an epoch below this are
+    /// rejected. Updated as leaders are accepted.
+    uint64_t MaxEpochSeen = 0;
+    unsigned HandshakeTimeoutMs = 5000;
+    size_t MaxFrameBytes = net::MaxBinaryFrameBytes;
+  };
+
+  Follower(net::EventLoop &Loop, const SignatureTable &Sig, Config C);
+  Follower(net::EventLoop &Loop, const SignatureTable &Sig);
+  ~Follower();
+
+  /// Connects to a leader and blocks until the handshake completes (the
+  /// LeaderHello was accepted), the leader was rejected as stale, or the
+  /// timeout expired. The loop must already be running; must not be
+  /// called from the loop thread. Reconnecting after a disconnect keeps
+  /// the applied state and catches up from lastSeq().
+  bool connectTo(const std::string &Host, uint16_t Port,
+                 std::string *Err = nullptr);
+
+  /// Drops the leader link (no-op if not connected). The applied state
+  /// stays readable.
+  void disconnect();
+
+  bool connected() const;
+  /// True once the current link delivered its CatchupDone.
+  bool caughtUp() const;
+  uint64_t lastSeq() const;
+
+  struct ReadResult {
+    bool Ok = false;
+    std::string Error;
+    uint64_t Version = 0;
+    uint64_t TreeSize = 0;
+    std::string Text;      ///< plain s-expression
+    std::string UriText;   ///< s-expression with URI subscripts
+    std::string DigestHex; ///< SHA-256 of UriText: the convergence probe
+  };
+  ReadResult read(uint64_t Doc) const;
+  bool contains(uint64_t Doc) const;
+
+  struct Stats {
+    uint64_t LastSeq = 0;
+    uint64_t Epoch = 0;
+    uint64_t MaxEpochSeen = 0;
+    uint64_t Docs = 0;
+    uint64_t RecordsApplied = 0;
+    uint64_t SnapshotsInstalled = 0;
+    uint64_t ResyncsRequested = 0;
+    uint64_t GapRehellos = 0;
+    uint64_t StaleLeaderRejects = 0;
+    uint64_t OrphanRecords = 0;
+    uint64_t DupRecords = 0;
+  };
+  Stats stats() const;
+  std::string statsJson() const;
+
+  /// Test hook: corrupts \p Doc's applied version so the next record for
+  /// it fails the version check and triggers a ResyncReq.
+  void injectGapForTest(uint64_t Doc);
+
+private:
+  struct ReplicaDoc {
+    std::unique_ptr<MTree> T;
+    uint64_t Version = 0;
+    uint64_t Incarnation = 0;
+    /// Global seq of the newest record reflected in T.
+    uint64_t DocSeq = 0;
+    /// A ResyncReq is in flight; records are ignored until the snapshot
+    /// lands.
+    bool Resyncing = false;
+    /// Handshake generation that last refreshed this doc; snapshot-mode
+    /// catch-up prunes docs the dump did not refresh.
+    uint64_t RefreshGen = 0;
+  };
+
+  enum class Handshake { Idle, Pending, Accepted, Stale, Failed };
+
+  void onData(net::Conn &C);
+  bool parseOne(net::Conn &C);
+  void onLeaderHello(net::Conn &C, const LeaderHello &LH);
+  void onRecord(net::Conn &C, const RecordMsg &R);
+  void onSnapshot(const DocSnapshotMsg &S);
+  void onCatchupDone(const CatchupDoneMsg &D);
+  void applyDocRecord(net::Conn &C, const RecordMsg &R);
+  void requestResync(net::Conn &C, uint64_t Doc);
+  void failHandshake(Handshake Result);
+
+  net::EventLoop &Loop;
+  const SignatureTable &Sig;
+  const Config Cfg;
+
+  mutable std::mutex Mu;
+  std::condition_variable HandshakeCv;
+  Handshake HsState = Handshake::Idle;
+  net::Conn *Link = nullptr; ///< loop-thread use only
+  bool IsConnected = false;
+  bool CatchupSeen = false;
+  uint64_t HelloGen = 0;
+  uint64_t LastSeq = 0;
+  uint64_t Epoch = 0;
+  uint64_t MaxEpochSeen = 0;
+  std::unordered_map<uint64_t, ReplicaDoc> Docs;
+  Stats Counters;
+};
+
+/// Serves the follower's state through a NetServer: get/stats/health
+/// work, every write answers ErrCode::NotLeader. This is the follower's
+/// read endpoint -- clients point reads here and writes at the leader.
+class ReplicaReadHandler : public net::RequestHandler {
+public:
+  explicit ReplicaReadHandler(Follower &F) : F(F) {}
+
+  void handle(net::NetRequest Req,
+              std::function<void(service::Response)> Done) override;
+
+private:
+  Follower &F;
+};
+
+} // namespace replica
+} // namespace truediff
+
+#endif // TRUEDIFF_REPLICA_FOLLOWER_H

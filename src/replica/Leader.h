@@ -1,0 +1,91 @@
+//===- replica/Leader.h - Replication leader endpoint -----------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serves the replication stream to follower replicas: on FollowerHello
+/// the leader answers LeaderHello (carrying its epoch, so a follower can
+/// fence a stale leader), catches the follower up -- tail replay when
+/// the log's ring still covers its last seq, per-document snapshot
+/// transfer otherwise -- ends the dump with CatchupDone, and from then
+/// on fans out every committed record live. ResyncReq answers with a
+/// fresh snapshot of one document (tombstone if it is gone).
+///
+/// Correctness of the catch-up/live seam: the handshake runs as one
+/// uninterrupted task on the loop thread with a cutoff seq read at its
+/// start. Any record committed after the cutoff is posted to the loop
+/// *after* its commit, hence dispatched after the handshake task, when
+/// the connection is already marked live -- so nothing between the
+/// cutoff and the present can be lost, and anything delivered twice
+/// (snapshots may embed post-cutoff records) is deduplicated by the
+/// follower's seq checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_REPLICA_LEADER_H
+#define TRUEDIFF_REPLICA_LEADER_H
+
+#include "net/EventLoop.h"
+#include "replica/ReplicationLog.h"
+
+#include <atomic>
+
+namespace truediff {
+namespace replica {
+
+class Leader {
+public:
+  struct Config {
+    uint16_t Port = 0; ///< 0 = ephemeral
+    /// Leadership epoch announced to followers. A follower that has seen
+    /// a higher epoch refuses this leader (stale-leader fencing).
+    uint64_t Epoch = 1;
+    /// Cap on one replication frame from a follower.
+    size_t MaxFrameBytes = net::MaxBinaryFrameBytes;
+  };
+
+  /// Takes over \p Log's OnRecord subscription. attach() the log before
+  /// start(); the loop must outlive the leader's traffic.
+  Leader(net::EventLoop &Loop, ReplicationLog &Log, Config C);
+
+  bool start(std::string *Err = nullptr);
+  uint16_t port() const { return BoundPort; }
+
+  struct Stats {
+    uint64_t Followers = 0;     ///< currently connected, past handshake
+    uint64_t SnapshotsSent = 0; ///< catch-up + resync snapshots
+    uint64_t TailRecords = 0;   ///< records replayed from the tail ring
+    uint64_t ResyncsServed = 0;
+  };
+  Stats stats() const;
+
+private:
+  struct FollowerConn {
+    bool Live = false; ///< handshake done; receives the live fanout
+  };
+
+  void onData(net::Conn &C);
+  bool parseOne(net::Conn &C);
+  void handshake(net::Conn &C, const FollowerHello &Hello);
+  void broadcast(const RecordMsg &R);
+
+  net::EventLoop &Loop;
+  ReplicationLog &Log;
+  const Config Cfg;
+  uint16_t BoundPort = 0;
+  /// Loop-thread state.
+  std::unordered_map<uint64_t, net::Conn *> Followers;
+  std::unordered_map<uint64_t, FollowerConn> States;
+
+  std::atomic<uint64_t> NumLive{0};
+  std::atomic<uint64_t> SnapshotsSent{0};
+  std::atomic<uint64_t> TailRecords{0};
+  std::atomic<uint64_t> ResyncsServed{0};
+};
+
+} // namespace replica
+} // namespace truediff
+
+#endif // TRUEDIFF_REPLICA_LEADER_H

@@ -1,0 +1,118 @@
+//===- replica/Protocol.h - Replication frame payloads ----------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Payload codecs for the replication stream (net/Frame.h, ReplMagic).
+/// All integers are LEB128 varints; blobs are length-prefixed.
+///
+///   FollowerHello   last-seq, max-epoch-seen
+///   LeaderHello     epoch, current-seq
+///   Record          seq, doc, incarnation, op byte, version, script blob
+///                   (persist/BinaryCodec encodeEditScript; empty for
+///                   erase)
+///   DocSnapshot     doc, incarnation, version, seq, flags byte (bit 0 =
+///                   tombstone), tree blob (encodeTree, URIs preserved)
+///   CatchupDone     seq: the initial dump covers everything up to here
+///   ResyncReq       doc
+///
+/// Decoders are total and strict: trailing bytes or truncated varints
+/// fail the decode. A follower treats any undecodable frame from its
+/// leader as a broken link and reconnects; a leader drops the follower.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_REPLICA_PROTOCOL_H
+#define TRUEDIFF_REPLICA_PROTOCOL_H
+
+#include "net/Frame.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace truediff {
+namespace replica {
+
+/// Replicated store operation, the StoreOp values plus erase (which the
+/// store reports through a separate listener).
+enum class ReplOp : uint8_t {
+  Open = 0,
+  Submit = 1,
+  Rollback = 2,
+  Erase = 3,
+};
+
+struct FollowerHello {
+  uint64_t LastSeq = 0;
+  uint64_t MaxEpochSeen = 0;
+};
+
+struct LeaderHello {
+  uint64_t Epoch = 0;
+  uint64_t CurrentSeq = 0;
+};
+
+/// One replication-log record. Rollback records carry the *applied
+/// inverse* script, so a follower only ever patches forward.
+struct RecordMsg {
+  uint64_t Seq = 0;
+  uint64_t Doc = 0;
+  /// Bumped each time the doc id is (re-)opened; fences records of a
+  /// prior life of the same id.
+  uint64_t Incarnation = 0;
+  ReplOp Op = ReplOp::Open;
+  /// Document version after the operation.
+  uint64_t Version = 0;
+  /// encodeEditScript blob; empty for Erase.
+  std::string Blob;
+};
+
+struct DocSnapshotMsg {
+  uint64_t Doc = 0;
+  uint64_t Incarnation = 0;
+  uint64_t Version = 0;
+  /// Global seq of the doc's latest record folded into this snapshot;
+  /// records at or below it are already reflected.
+  uint64_t Seq = 0;
+  /// The document no longer exists; Blob is empty.
+  bool Tombstone = false;
+  /// encodeTree blob, URIs preserved (empty for tombstones).
+  std::string Blob;
+};
+
+struct CatchupDoneMsg {
+  uint64_t Seq = 0;
+  /// The dump was a snapshot transfer (full state): any document the
+  /// follower holds that no snapshot refreshed is stale -- its erase
+  /// record may have been evicted from the tail ring -- and must be
+  /// dropped. False = tail replay, which is incremental and complete.
+  bool SnapshotMode = false;
+};
+
+struct ResyncReqMsg {
+  uint64_t Doc = 0;
+};
+
+/// Each encoder renders a complete wire frame (header included).
+std::string encodeFollowerHello(const FollowerHello &M);
+std::string encodeLeaderHello(const LeaderHello &M);
+std::string encodeRecord(const RecordMsg &M);
+std::string encodeDocSnapshot(const DocSnapshotMsg &M);
+std::string encodeCatchupDone(const CatchupDoneMsg &M);
+std::string encodeResyncReq(const ResyncReqMsg &M);
+
+/// Each decoder parses one frame's payload; false on malformed input.
+bool decodeFollowerHello(std::string_view Payload, FollowerHello &Out);
+bool decodeLeaderHello(std::string_view Payload, LeaderHello &Out);
+bool decodeRecord(std::string_view Payload, RecordMsg &Out);
+bool decodeDocSnapshot(std::string_view Payload, DocSnapshotMsg &Out);
+bool decodeCatchupDone(std::string_view Payload, CatchupDoneMsg &Out);
+bool decodeResyncReq(std::string_view Payload, ResyncReqMsg &Out);
+
+} // namespace replica
+} // namespace truediff
+
+#endif // TRUEDIFF_REPLICA_PROTOCOL_H

@@ -1,0 +1,109 @@
+//===- replica/ReplicationLog.h - Leader-side script stream -----*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a DocumentStore's committed-script stream into a replication
+/// log: every open/submit/rollback/erase becomes a Record with a global,
+/// gap-free sequence number and per-document incarnation metadata. The
+/// paper's edit scripts are the replication unit -- a follower applies
+/// exactly the scripts the leader committed, type-checked again on
+/// arrival, so replication inherits every script guarantee instead of
+/// shipping opaque state.
+///
+/// A bounded tail ring retains the newest records for cheap catch-up
+/// (WAL-tail analogue): a follower whose last seq is still covered
+/// replays the tail; anyone older gets per-document snapshots.
+///
+/// Rollback records carry the *applied inverse* script (what the store's
+/// listener observes), so followers only ever patch forward.
+///
+/// Ordering: the store invokes script listeners under the document lock
+/// and the log assigns seqs under its own lock, so record order is the
+/// commit order. The single OnRecord subscriber is invoked under the log
+/// lock -- it must be cheap (the leader just posts to its event loop)
+/// and must not call back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_REPLICA_REPLICATIONLOG_H
+#define TRUEDIFF_REPLICA_REPLICATIONLOG_H
+
+#include "replica/Protocol.h"
+#include "service/DocumentStore.h"
+
+#include <deque>
+#include <mutex>
+
+namespace truediff {
+namespace replica {
+
+class ReplicationLog {
+public:
+  struct Config {
+    /// Records retained for tail-replay catch-up; older followers fall
+    /// back to snapshot transfer.
+    size_t TailCapacity = 1024;
+  };
+
+  explicit ReplicationLog(service::DocumentStore &Store);
+  ReplicationLog(service::DocumentStore &Store, Config C);
+
+  /// Registers the store listeners. Call once, before traffic.
+  void attach();
+
+  /// Single live-fanout subscriber, invoked under the log lock in seq
+  /// order. Set before attach().
+  void setOnRecord(std::function<void(const RecordMsg &)> Fn) {
+    OnRecord = std::move(Fn);
+  }
+
+  /// Highest assigned seq (0 = nothing committed yet).
+  uint64_t currentSeq() const;
+
+  /// Seq of the oldest record still in the tail ring (0 = ring empty).
+  uint64_t firstTailSeq() const;
+
+  /// Appends every retained record with seq > \p AfterSeq to \p Out.
+  /// Returns true iff the ring covers the request -- i.e. nothing
+  /// between \p AfterSeq and the present has been evicted -- so the
+  /// records form a gap-free continuation.
+  bool tailSince(uint64_t AfterSeq, std::vector<RecordMsg> &Out) const;
+
+  /// Document ids currently live in the log's metadata.
+  std::vector<uint64_t> liveDocs() const;
+
+  /// Renders a catch-up snapshot of \p Doc: the current tree (URIs
+  /// preserved) plus the incarnation/version/seq metadata its record
+  /// stream continues from. A dead or unknown document yields a
+  /// tombstone. Consistent by construction: the tree and the metadata
+  /// are captured under the document's lock, which the script listener
+  /// also holds.
+  DocSnapshotMsg snapshotDoc(uint64_t Doc) const;
+
+private:
+  struct DocMeta {
+    uint64_t Incarnation = 0;
+    uint64_t Version = 0;
+    uint64_t LastSeq = 0;
+    bool Live = false;
+  };
+
+  void commit(uint64_t Doc, ReplOp Op, uint64_t Version, std::string Blob);
+
+  service::DocumentStore &Store;
+  const Config Cfg;
+  std::function<void(const RecordMsg &)> OnRecord;
+
+  mutable std::mutex Mu;
+  uint64_t Seq = 0;
+  std::unordered_map<uint64_t, DocMeta> Docs;
+  std::deque<RecordMsg> Tail;
+};
+
+} // namespace replica
+} // namespace truediff
+
+#endif // TRUEDIFF_REPLICA_REPLICATIONLOG_H

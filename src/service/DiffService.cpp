@@ -59,13 +59,30 @@ uint64_t DiffService::keyOf(const Operation &Op) {
       Op);
 }
 
-uint64_t DiffService::costOf(uint64_t Key) const {
+uint64_t DiffService::costOf(uint64_t Key, size_t PayloadBytes) const {
   double EwmaMs = 0;
+  double DocRate = 0;
+  double GlobalRate = 0;
   {
     std::lock_guard<std::mutex> Lock(StateMu);
     auto It = DocStates.find(Key);
-    if (It != DocStates.end())
+    if (It != DocStates.end()) {
       EwmaMs = It->second.EwmaServiceMs;
+      DocRate = It->second.EwmaUsPerByte;
+    }
+    GlobalRate = GlobalUsPerByte;
+  }
+  // Per-request pricing: when the transport reports the payload size at
+  // enqueue, charge this request its own expected cost -- a 100-byte
+  // tweak and a megabyte rewrite of the same document no longer cost the
+  // scheduler the same. A document on first sight is priced by the
+  // global per-byte rate instead of a flat quantum guess.
+  if (PayloadBytes != 0) {
+    double Rate = DocRate > 0 ? DocRate : GlobalRate;
+    if (Rate > 0) {
+      double Us = static_cast<double>(PayloadBytes) * Rate;
+      return Us < 1.0 ? 1 : static_cast<uint64_t>(Us); // FairQueue clamps
+    }
   }
   if (EwmaMs <= 0)
     return QuantumUs; // unseen document: one quantum, plain round-robin
@@ -73,13 +90,40 @@ uint64_t DiffService::costOf(uint64_t Key) const {
   return Us < 1.0 ? 1 : static_cast<uint64_t>(Us); // FairQueue clamps high
 }
 
-void DiffService::noteServiceTime(uint64_t Key, double Ms) {
+void DiffService::noteServiceTime(uint64_t Key, double Ms,
+                                  size_t PayloadBytes) {
   if (Key == StatsKey)
     return;
   std::lock_guard<std::mutex> Lock(StateMu);
   DocState &DS = DocStates[Key];
   DS.EwmaServiceMs =
       DS.EwmaServiceMs <= 0 ? Ms : 0.8 * DS.EwmaServiceMs + 0.2 * Ms;
+  if (PayloadBytes != 0) {
+    double Rate = Ms * 1000.0 / static_cast<double>(PayloadBytes);
+    DS.EwmaUsPerByte =
+        DS.EwmaUsPerByte <= 0 ? Rate : 0.8 * DS.EwmaUsPerByte + 0.2 * Rate;
+    GlobalUsPerByte =
+        GlobalUsPerByte <= 0 ? Rate : 0.8 * GlobalUsPerByte + 0.2 * Rate;
+  }
+}
+
+bool DiffService::shouldShedAtArrival(uint64_t Key, OpKind Kind) const {
+  if (Cfg.ShedTargetMs == 0 || Key == StatsKey ||
+      (Kind != OpKind::Open && Kind != OpKind::Submit))
+    return false;
+  double EwmaMs = 0;
+  {
+    std::lock_guard<std::mutex> Lock(StateMu);
+    auto It = DocStates.find(Key);
+    if (It != DocStates.end())
+      EwmaMs = It->second.EwmaServiceMs;
+  }
+  // No sample yet: admit. The dequeue-side CoDel control still protects
+  // against a document whose very first burst overwhelms the workers.
+  if (EwmaMs <= 0)
+    return false;
+  return static_cast<double>(Queue.depthOf(Key)) * EwmaMs >
+         static_cast<double>(Cfg.ShedTargetMs);
 }
 
 uint64_t DiffService::retryAfterHintMs(uint64_t Key) const {
@@ -101,16 +145,22 @@ uint64_t DiffService::retryAfterHintMs(uint64_t Key) const {
 }
 
 std::future<Response> DiffService::enqueue(Operation Op, OpKind Kind,
-                                           uint64_t DeadlineMs) {
+                                           uint64_t DeadlineMs,
+                                           size_t PayloadBytes,
+                                           ResponseCallback Done) {
   if (DeadlineMs == 0)
     DeadlineMs = Cfg.DefaultDeadlineMs;
   uint64_t Key = keyOf(Op);
   Request R;
   R.Op = std::move(Op);
+  R.Done = std::move(Done);
   R.Enqueued = Clock::now();
   if (DeadlineMs != 0)
     R.Deadline = R.Enqueued + std::chrono::milliseconds(DeadlineMs);
-  std::future<Response> Fut = R.Promise.get_future();
+  R.PayloadBytes = PayloadBytes;
+  std::future<Response> Fut;
+  if (!R.Done)
+    Fut = R.Promise.get_future();
 
   // Resource admission, up front: a request that would parse new trees
   // into an exhausted memory budget is refused before it queues, so the
@@ -128,11 +178,29 @@ std::future<Response> DiffService::enqueue(Operation Op, OpKind Kind,
                 std::to_string(Cfg.MemBudget->used()) + " of " +
                 std::to_string(Cfg.MemBudget->limit()) + " bytes in use)";
     Rej.RetryAfterMs = retryAfterHintMs(Key);
-    R.Promise.set_value(std::move(Rej));
+    fulfill(R, std::move(Rej));
     return Fut;
   }
 
-  PushResult P = Queue.tryPush(Key, std::move(R), costOf(Key));
+  // Arrival shedding: when the document's estimated backlog already
+  // exceeds the sojourn target, this request would only be shed at
+  // dequeue after holding a queue slot the whole time -- reject it now,
+  // with the same typed error and retry hint the dequeue path produces.
+  if (shouldShedAtArrival(Key, Kind)) {
+    Metrics.Shed.fetch_add(1, std::memory_order_relaxed);
+    Metrics.ArrivalShed.fetch_add(1, std::memory_order_relaxed);
+    Metrics.Ops[static_cast<unsigned>(Kind)].Failures.fetch_add(
+        1, std::memory_order_relaxed);
+    Response Rej;
+    Rej.Code = ErrCode::Shed;
+    Rej.Error = "shed at arrival: estimated backlog exceeds the " +
+                std::to_string(Cfg.ShedTargetMs) + "ms target";
+    Rej.RetryAfterMs = retryAfterHintMs(Key);
+    fulfill(R, std::move(Rej));
+    return Fut;
+  }
+
+  PushResult P = Queue.tryPush(Key, std::move(R), costOf(Key, PayloadBytes));
   if (P != PushResult::Ok) {
     Metrics.Rejected.fetch_add(1, std::memory_order_relaxed);
     Metrics.Ops[static_cast<unsigned>(Kind)].Failures.fetch_add(
@@ -154,9 +222,30 @@ std::future<Response> DiffService::enqueue(Operation Op, OpKind Kind,
       Rej.RetryAfterMs = retryAfterHintMs(StatsKey);
       break;
     }
-    R.Promise.set_value(std::move(Rej));
+    fulfill(R, std::move(Rej));
   }
   return Fut;
+}
+
+void DiffService::openCb(DocId Doc, TreeBuilder Build, size_t PayloadBytes,
+                         ResponseCallback Done) {
+  enqueue(OpenOp{Doc, std::move(Build)}, OpKind::Open, 0, PayloadBytes,
+          std::move(Done));
+}
+void DiffService::submitCb(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs,
+                           size_t PayloadBytes, bool RawScript,
+                           ResponseCallback Done) {
+  enqueue(SubmitOp{Doc, std::move(Build), RawScript}, OpKind::Submit,
+          DeadlineMs, PayloadBytes, std::move(Done));
+}
+void DiffService::rollbackCb(DocId Doc, ResponseCallback Done) {
+  enqueue(RollbackOp{Doc}, OpKind::Rollback, 0, 0, std::move(Done));
+}
+void DiffService::getVersionCb(DocId Doc, ResponseCallback Done) {
+  enqueue(GetVersionOp{Doc}, OpKind::GetVersion, 0, 0, std::move(Done));
+}
+void DiffService::statsCb(ResponseCallback Done) {
+  enqueue(StatsOp{}, OpKind::Stats, 0, 0, std::move(Done));
 }
 
 std::future<Response> DiffService::openAsync(DocId Doc, TreeBuilder Build) {
@@ -238,7 +327,7 @@ void DiffService::maybeShed(uint64_t Key, double SojournMs,
     Shed.Error = "shed: queue sojourn exceeded the " +
                  std::to_string(Cfg.ShedTargetMs) + "ms target";
     Shed.RetryAfterMs = retryAfterHintMs(Key);
-    Victim->Promise.set_value(std::move(Shed));
+    fulfill(*Victim, std::move(Shed));
   }
 }
 
@@ -271,7 +360,7 @@ void DiffService::workerLoop() {
       Shed.Error = "deadline expired while queued";
       Shed.Code = ErrCode::DeadlineExpired;
       Shed.RetryAfterMs = retryAfterHintMs(Key);
-      R->Promise.set_value(std::move(Shed));
+      fulfill(*R, std::move(Shed));
       continue;
     }
 
@@ -288,10 +377,10 @@ void DiffService::workerLoop() {
         std::chrono::duration<double, std::milli>(Clock::now() - Started)
             .count();
     Op.Latency.record(ExecMs);
-    noteServiceTime(Key, ExecMs);
+    noteServiceTime(Key, ExecMs, R->PayloadBytes);
     if (!Resp.Ok)
       Op.Failures.fetch_add(1, std::memory_order_relaxed);
-    R->Promise.set_value(std::move(Resp));
+    fulfill(*R, std::move(Resp));
   }
 }
 
@@ -355,11 +444,20 @@ Response DiffService::execute(Operation &Op, Clock::time_point Deadline) {
             Metrics.NodesRehashed.fetch_add(R.NodesRehashed,
                                             std::memory_order_relaxed);
           }
+          // The binary front end re-encodes the script itself; rendering
+          // the textual form too would double the serialization cost of
+          // every replicated write.
           std::string Payload =
-              R.Ok ? serializeEditScript(Store.signatures(), R.Script) : "";
+              R.Ok && !Req.RawScript
+                  ? serializeEditScript(Store.signatures(), R.Script)
+                  : "";
           bool Fallback = R.UsedFallback;
+          // fromStoreResult reads Script.size() for the edit counters, so
+          // the raw script may only be moved out afterwards.
           Response Out = fromStoreResult(std::move(R));
           Out.Payload = std::move(Payload);
+          if (Out.Ok && Req.RawScript)
+            Out.Script = std::move(R.Script);
           Out.Fallback = Fallback;
           noteAdmission(Out);
           return Out;
@@ -369,6 +467,8 @@ Response DiffService::execute(Operation &Op, Clock::time_point Deadline) {
           DocumentSnapshot S = Store.snapshot(Req.Doc);
           Response Out;
           Out.Ok = S.Ok;
+          // snapshot()'s only failure mode is an absent document.
+          Out.Code = S.Ok ? ErrCode::None : ErrCode::NoSuchDocument;
           Out.Error = std::move(S.Error);
           Out.Version = S.Version;
           Out.TreeSize = S.TreeSize;

@@ -90,7 +90,17 @@ struct Response {
   uint64_t RetryAfterMs = 0;
   /// Typed cause when !Ok (ErrCode::None if unclassified).
   ErrCode Code = ErrCode::None;
+  /// submit with SubmitOp::RawScript: the edit script itself, so a
+  /// binary front end can encode it without re-parsing Payload (which is
+  /// left empty in that mode).
+  EditScript Script;
 };
+
+/// Completion of one request, invoked exactly once from a worker thread
+/// (or inline from the enqueueing thread on rejection). The callback
+/// alternative to the future-based API, for event-driven callers that
+/// must not block.
+using ResponseCallback = std::function<void(Response)>;
 
 /// \name Typed requests
 /// @{
@@ -101,6 +111,9 @@ struct OpenOp {
 struct SubmitOp {
   DocId Doc = 0;
   TreeBuilder Build;
+  /// Skip the textual script serialization and hand the EditScript to
+  /// Response::Script instead -- the binary protocol's mode.
+  bool RawScript = false;
 };
 struct RollbackOp {
   DocId Doc = 0;
@@ -189,6 +202,23 @@ public:
   std::future<Response> statsAsync();
   /// @}
 
+  /// \name Callback API
+  /// The event-loop front end's entry points: \p Done fires exactly once,
+  /// from a worker thread on completion or inline on rejection, so the
+  /// caller never blocks on a future. \p PayloadBytes is the wire size of
+  /// the request's tree payload when the transport knows it (0 = unknown);
+  /// it prices the request in the DRR scheduler, replacing the flat
+  /// one-quantum guess for documents without a service-time sample.
+  /// @{
+  void openCb(DocId Doc, TreeBuilder Build, size_t PayloadBytes,
+              ResponseCallback Done);
+  void submitCb(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs,
+                size_t PayloadBytes, bool RawScript, ResponseCallback Done);
+  void rollbackCb(DocId Doc, ResponseCallback Done);
+  void getVersionCb(DocId Doc, ResponseCallback Done);
+  void statsCb(ResponseCallback Done);
+  /// @}
+
   /// \name Blocking convenience wrappers
   /// @{
   Response open(DocId Doc, TreeBuilder Build);
@@ -245,10 +275,25 @@ private:
   struct Request {
     Operation Op;
     std::promise<Response> Promise;
+    /// When set, completion goes through the callback and Promise is
+    /// never touched.
+    ResponseCallback Done;
     Clock::time_point Enqueued;
     /// Absolute deadline; max() = none.
     Clock::time_point Deadline = Clock::time_point::max();
+    /// Wire payload size at enqueue (0 = unknown); prices the request in
+    /// the DRR scheduler and feeds the per-byte cost model.
+    size_t PayloadBytes = 0;
   };
+
+  /// Resolves \p R with \p Resp through whichever completion channel the
+  /// request carries.
+  static void fulfill(Request &R, Response &&Resp) {
+    if (R.Done)
+      R.Done(std::move(Resp));
+    else
+      R.Promise.set_value(std::move(Resp));
+  }
 
   /// Scheduling key for document-less requests (stats). Documents with
   /// the same numeric id would share its sub-queue, which is harmless:
@@ -261,23 +306,40 @@ private:
     /// EWMA of observed service time, milliseconds (0 = no sample yet).
     /// Feeds the DRR cost of queued requests and the retry-after hints.
     double EwmaServiceMs = 0;
+    /// EWMA of observed service time per payload byte, microseconds
+    /// (0 = no sample with a known payload yet). Prices individual
+    /// requests by size instead of charging every request of a document
+    /// the same.
+    double EwmaUsPerByte = 0;
     /// When this document's dequeue sojourn first exceeded the shed
     /// target; min() = currently below target.
     Clock::time_point AboveSince = Clock::time_point::min();
   };
 
   std::future<Response> enqueue(Operation Op, OpKind Kind,
-                                uint64_t DeadlineMs = 0);
+                                uint64_t DeadlineMs = 0,
+                                size_t PayloadBytes = 0,
+                                ResponseCallback Done = nullptr);
   void workerLoop();
   Response execute(Operation &Op, Clock::time_point Deadline);
   static OpKind kindOf(const Operation &Op);
   static uint64_t keyOf(const Operation &Op);
 
   /// Expected service cost of one request of \p Key in microseconds (the
-  /// DRR cost unit), from the document's service-time EWMA.
-  uint64_t costOf(uint64_t Key) const;
-  /// Folds an observed service time into \p Key's EWMA.
-  void noteServiceTime(uint64_t Key, double Ms);
+  /// DRR cost unit). With a known \p PayloadBytes the request is priced
+  /// individually: payload size times the document's (or, for a document
+  /// on first sight, the global) observed per-byte service rate. Without
+  /// one it falls back to the document's service-time EWMA, then to one
+  /// quantum (plain round-robin).
+  uint64_t costOf(uint64_t Key, size_t PayloadBytes) const;
+  /// Folds an observed service time (and, when \p PayloadBytes is known,
+  /// the implied per-byte rate) into \p Key's and the global EWMAs.
+  void noteServiceTime(uint64_t Key, double Ms, size_t PayloadBytes);
+  /// Arrival-time admission: true if \p Key's estimated backlog (queue
+  /// depth x observed service time) already exceeds the shed target, so
+  /// a new open/submit should be rejected now instead of shedding it at
+  /// dequeue after it burned a queue slot.
+  bool shouldShedAtArrival(uint64_t Key, OpKind Kind) const;
   /// CoDel-style control, run at each dequeue: tracks how long \p Key's
   /// sojourn has been above the shed target and sheds its newest queued
   /// requests once the interval is exceeded.
@@ -310,6 +372,9 @@ private:
 
   mutable std::mutex StateMu;
   std::unordered_map<uint64_t, DocState> DocStates;
+  /// Cross-document EWMA of service time per payload byte (microseconds);
+  /// the cost model for documents the service has never executed for.
+  double GlobalUsPerByte = 0;
 };
 
 } // namespace service

@@ -43,6 +43,10 @@ const char *truediff::service::errCodeName(ErrCode C) {
     return "shutdown";
   case ErrCode::HistoryExhausted:
     return "history_exhausted";
+  case ErrCode::MalformedFrame:
+    return "malformed_frame";
+  case ErrCode::NotLeader:
+    return "not_leader";
   }
   return "unknown";
 }

@@ -86,6 +86,8 @@ enum class ErrCode : uint8_t {
   DeadlineExpired,  ///< deadline passed while queued
   Shutdown,         ///< service is shut down
   HistoryExhausted, ///< rollback past the retained history ring
+  MalformedFrame,   ///< binary wire frame or payload failed to decode
+  NotLeader,        ///< write sent to a read-only follower replica
 };
 
 /// Short stable name for \p C (for logs and stats).

@@ -92,7 +92,7 @@ std::string LatencyHistogram::toJson() const {
 std::string ServiceMetrics::toJson(size_t QueueDepth, size_t QueueCapacity,
                                    unsigned Workers, size_t DocQueues) const {
   std::string Out = "{";
-  char Buf[320];
+  char Buf[384];
   std::snprintf(Buf, sizeof(Buf),
                 "\"workers\":%u,\"queue\":{\"depth\":%zu,\"capacity\":%zu,"
                 "\"doc_queues\":%zu},",
@@ -113,12 +113,14 @@ std::string ServiceMetrics::toJson(size_t QueueDepth, size_t QueueCapacity,
   std::snprintf(
       Buf, sizeof(Buf),
       "\"deadline_expired\":%llu,\"fallback_scripts\":%llu,"
-      "\"shed\":%llu,\"admission_rejected\":%llu,\"budget_rejected\":%llu,"
+      "\"shed\":%llu,\"shed_at_arrival\":%llu,"
+      "\"admission_rejected\":%llu,\"budget_rejected\":%llu,"
       "\"mem_used_bytes\":%llu,\"mem_budget_bytes\":%llu,"
       "\"breaker_trips\":%llu,\"degraded_seconds\":%.6f,",
       static_cast<unsigned long long>(DeadlineExpired.load()),
       static_cast<unsigned long long>(FallbackScripts.load()),
       static_cast<unsigned long long>(Shed.load()),
+      static_cast<unsigned long long>(ArrivalShed.load()),
       static_cast<unsigned long long>(AdmissionRejected.load()),
       static_cast<unsigned long long>(BudgetRejected.load()),
       static_cast<unsigned long long>(MemUsedBytes.load()),

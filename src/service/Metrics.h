@@ -110,6 +110,10 @@ struct ServiceMetrics {
   /// requests were answered with a per-document retry-after hint instead
   /// of being served.
   std::atomic<uint64_t> Shed{0};
+  /// Subset of Shed rejected at enqueue: the document's estimated backlog
+  /// (queue depth x observed service time) already exceeded the shed
+  /// target when the request arrived, so it never occupied a queue slot.
+  std::atomic<uint64_t> ArrivalShed{0};
   /// Requests rejected by parse-time admission caps (tree depth or node
   /// count).
   std::atomic<uint64_t> AdmissionRejected{0};

@@ -1,0 +1,673 @@
+//===- tests/net_test.cpp - TCP front end tests ----------------------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the net layer: the epoll event loop serving the textual
+/// wire protocol and the length-prefixed binary protocol on one port.
+/// Covers round trips on both protocols, 64+ concurrent connections,
+/// pipelined requests answered in arrival order, split writes, the
+/// robustness contract (oversized frames kill the connection with a
+/// typed FrameTooLarge, malformed payloads answer MalformedFrame and the
+/// connection lives on), a seeded fuzz hammer that must never crash the
+/// loop, and per-connection idle timeouts. The CI runs this binary under
+/// ThreadSanitizer, so the loop-thread/worker-thread handoff is also
+/// race-checked here.
+///
+//===----------------------------------------------------------------------===//
+
+#include "net/EventLoop.h"
+#include "net/Frame.h"
+#include "net/NetServer.h"
+#include "net/ServiceHandler.h"
+#include "persist/BinaryCodec.h"
+#include "persist/Varint.h"
+#include "service/DiffService.h"
+#include "service/DocumentStore.h"
+#include "support/Rng.h"
+#include "tree/SExpr.h"
+
+#include "TestLang.h"
+#include "TestSeed.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <chrono>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace truediff;
+using namespace truediff::testlang;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Harness: a full service stack behind a NetServer on an ephemeral port.
+//===----------------------------------------------------------------------===//
+
+struct ServerHarness {
+  SignatureTable Sig;
+  service::DocumentStore Store;
+  std::unique_ptr<service::DiffService> Svc;
+  std::unique_ptr<net::ServiceHandler> Handler;
+  net::EventLoop Loop;
+  std::unique_ptr<net::NetServer> Srv;
+  bool Started = false;
+
+  explicit ServerHarness(net::NetServer::Config C = net::NetServer::Config())
+      : Sig(makeExpSignature()), Store(Sig) {
+    service::ServiceConfig SC;
+    SC.Workers = 2;
+    Svc = std::make_unique<service::DiffService>(Store, SC);
+    Handler = std::make_unique<net::ServiceHandler>(*Svc);
+    Srv = std::make_unique<net::NetServer>(Loop, Sig, *Handler, C);
+    std::string Err;
+    Started = Srv->start(&Err);
+    EXPECT_TRUE(Started) << Err;
+    Loop.start();
+  }
+
+  ~ServerHarness() {
+    Loop.stop();
+    Svc->shutdown();
+  }
+
+  uint16_t port() const { return Srv->port(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Blocking test client with poll-based timeouts.
+//===----------------------------------------------------------------------===//
+
+class TcpClient {
+public:
+  TcpClient() = default;
+  ~TcpClient() { closeFd(); }
+  TcpClient(const TcpClient &) = delete;
+  TcpClient &operator=(const TcpClient &) = delete;
+
+  bool connect(uint16_t Port) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return false;
+    sockaddr_in A{};
+    A.sin_family = AF_INET;
+    A.sin_port = htons(Port);
+    A.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&A), sizeof(A)) != 0) {
+      closeFd();
+      return false;
+    }
+    return true;
+  }
+
+  void closeFd() {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = -1;
+  }
+
+  bool sendAll(std::string_view Bytes) {
+    while (!Bytes.empty()) {
+      ssize_t N = ::send(Fd, Bytes.data(), Bytes.size(), MSG_NOSIGNAL);
+      if (N <= 0)
+        return false;
+      Bytes.remove_prefix(static_cast<size_t>(N));
+    }
+    return true;
+  }
+
+  /// One recv() guarded by poll(); false on timeout, error, or EOF (EOF
+  /// additionally sets SawEof).
+  bool fill(int TimeoutMs) {
+    pollfd P{Fd, POLLIN, 0};
+    int R = ::poll(&P, 1, TimeoutMs);
+    if (R <= 0)
+      return false;
+    char Tmp[4096];
+    ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+    if (N < 0)
+      return false;
+    if (N == 0) {
+      SawEof = true;
+      return false;
+    }
+    Buf.append(Tmp, static_cast<size_t>(N));
+    return true;
+  }
+
+  bool readLine(std::string &Line, int TimeoutMs = 10000) {
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(TimeoutMs);
+    for (;;) {
+      size_t NL = Buf.find('\n');
+      if (NL != std::string::npos) {
+        Line = Buf.substr(0, NL);
+        Buf.erase(0, NL + 1);
+        return true;
+      }
+      int Left = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              Deadline - std::chrono::steady_clock::now())
+              .count());
+      if (Left <= 0 || !fill(Left))
+        return false;
+    }
+  }
+
+  /// Reads one framed textual response: every line up to (excluding) the
+  /// terminating "." line.
+  bool readTextResponse(std::vector<std::string> &Lines,
+                        int TimeoutMs = 10000) {
+    Lines.clear();
+    std::string Line;
+    for (;;) {
+      if (!readLine(Line, TimeoutMs))
+        return false;
+      if (Line == ".")
+        return true;
+      Lines.push_back(Line);
+    }
+  }
+
+  /// Reads one binary frame (any magic).
+  bool readFrame(net::FrameHeader &H, std::string &Payload,
+                 int TimeoutMs = 10000) {
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(TimeoutMs);
+    for (;;) {
+      net::FramePeek P = net::peekFrame(Buf, net::MaxBinaryFrameBytes, H);
+      if (P == net::FramePeek::Ok) {
+        Payload = Buf.substr(net::FrameHeaderBytes, H.Len);
+        Buf.erase(0, net::FrameHeaderBytes + H.Len);
+        return true;
+      }
+      if (P == net::FramePeek::TooLarge)
+        return false;
+      int Left = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              Deadline - std::chrono::steady_clock::now())
+              .count());
+      if (Left <= 0 || !fill(Left))
+        return false;
+    }
+  }
+
+  /// Reads one binary client response frame into \p R.
+  bool readBinResponse(net::BinResponse &R, int TimeoutMs = 10000) {
+    net::FrameHeader H;
+    std::string Payload;
+    if (!readFrame(H, Payload, TimeoutMs))
+      return false;
+    if (H.Magic != net::ClientRespMagic)
+      return false;
+    return net::decodeBinResponse(H.Type, Payload, R);
+  }
+
+  /// True once the peer closed the connection (drains pending bytes).
+  bool waitEof(int TimeoutMs = 10000) {
+    auto Deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(TimeoutMs);
+    while (!SawEof) {
+      int Left = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              Deadline - std::chrono::steady_clock::now())
+              .count());
+      if (Left <= 0)
+        return false;
+      if (!fill(Left) && !SawEof)
+        return false;
+    }
+    return true;
+  }
+
+  std::string &buf() { return Buf; }
+  bool sawEof() const { return SawEof; }
+
+private:
+  int Fd = -1;
+  std::string Buf;
+  bool SawEof = false;
+};
+
+/// Builds one binary client request frame.
+std::string binRequest(net::BinVerb Verb, std::string_view Payload) {
+  std::string Out;
+  net::appendFrame(Out, net::ClientReqMagic, static_cast<uint8_t>(Verb),
+                   Payload);
+  return Out;
+}
+
+std::string docPayload(uint64_t Doc, std::string_view Blob = {}) {
+  std::string P;
+  persist::putVarint(P, Doc);
+  P.append(Blob);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Textual protocol
+//===----------------------------------------------------------------------===//
+
+TEST(NetServerTextual, RoundTrip) {
+  ServerHarness H;
+  ASSERT_TRUE(H.Started);
+  TcpClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+
+  std::vector<std::string> Lines;
+  ASSERT_TRUE(C.sendAll("open 1 (Add (a) (b))\n"));
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  ASSERT_FALSE(Lines.empty());
+  EXPECT_EQ(Lines[0].rfind("ok version=0", 0), 0u) << Lines[0];
+
+  ASSERT_TRUE(C.sendAll("submit 1 (Add (b) (a))\n"));
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  ASSERT_FALSE(Lines.empty());
+  EXPECT_EQ(Lines[0].rfind("ok version=1", 0), 0u) << Lines[0];
+
+  ASSERT_TRUE(C.sendAll("get 1\n"));
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  ASSERT_GE(Lines.size(), 2u);
+  EXPECT_EQ(Lines[0].rfind("ok version=1", 0), 0u) << Lines[0];
+  EXPECT_EQ(Lines[1], "(Add (b) (a))");
+
+  ASSERT_TRUE(C.sendAll("rollback 1\n"));
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  ASSERT_FALSE(Lines.empty());
+  EXPECT_EQ(Lines[0].rfind("ok version=0", 0), 0u) << Lines[0];
+
+  ASSERT_TRUE(C.sendAll("stats\n"));
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  ASSERT_GE(Lines.size(), 2u);
+  EXPECT_EQ(Lines[0].rfind("ok", 0), 0u);
+  EXPECT_NE(Lines[1].find("\"documents\""), std::string::npos);
+
+  ASSERT_TRUE(C.sendAll("health\n"));
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  ASSERT_GE(Lines.size(), 2u);
+  EXPECT_EQ(Lines[0].rfind("ok", 0), 0u);
+
+  // Errors are typed and the connection survives them.
+  ASSERT_TRUE(C.sendAll("get 999\n"));
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  ASSERT_FALSE(Lines.empty());
+  EXPECT_EQ(Lines[0].rfind("err ", 0), 0u);
+  EXPECT_NE(Lines[0].find("code=no_such_document"), std::string::npos)
+      << Lines[0];
+
+  ASSERT_TRUE(C.sendAll("bogus-verb 1\n"));
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  ASSERT_FALSE(Lines.empty());
+  EXPECT_EQ(Lines[0].rfind("err ", 0), 0u);
+
+  // quit closes the connection without a response.
+  ASSERT_TRUE(C.sendAll("quit\n"));
+  EXPECT_TRUE(C.waitEof());
+}
+
+TEST(NetServerTextual, PipelinedRequestsAnswerInOrder) {
+  ServerHarness H;
+  ASSERT_TRUE(H.Started);
+  TcpClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+
+  // One write carrying the whole session: responses must come back in
+  // arrival order even though workers may finish out of order.
+  ASSERT_TRUE(C.sendAll("open 7 (a)\n"
+                        "submit 7 (b)\n"
+                        "submit 7 (c)\n"
+                        "get 7\n"));
+  std::vector<std::string> Lines;
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  EXPECT_EQ(Lines[0].rfind("ok version=0", 0), 0u) << Lines[0];
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  EXPECT_EQ(Lines[0].rfind("ok version=1", 0), 0u) << Lines[0];
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  EXPECT_EQ(Lines[0].rfind("ok version=2", 0), 0u) << Lines[0];
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  ASSERT_GE(Lines.size(), 2u);
+  EXPECT_EQ(Lines[0].rfind("ok version=2", 0), 0u) << Lines[0];
+  EXPECT_EQ(Lines[1], "(c)");
+}
+
+TEST(NetServerTextual, SplitWritesReassemble) {
+  ServerHarness H;
+  ASSERT_TRUE(H.Started);
+  TcpClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+
+  // Dribble one command a few bytes at a time across separate packets.
+  const std::string Cmd = "open 3 (Add (Num 1) (Num 2))\n";
+  for (size_t I = 0; I < Cmd.size(); I += 5) {
+    ASSERT_TRUE(C.sendAll(std::string_view(Cmd).substr(I, 5)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  std::vector<std::string> Lines;
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  ASSERT_FALSE(Lines.empty());
+  EXPECT_EQ(Lines[0].rfind("ok version=0", 0), 0u) << Lines[0];
+}
+
+TEST(NetServerTextual, OversizedLineKillsConnection) {
+  net::NetServer::Config C;
+  C.MaxLineBytes = 256;
+  ServerHarness H(C);
+  ASSERT_TRUE(H.Started);
+  TcpClient Cl;
+  ASSERT_TRUE(Cl.connect(H.port()));
+
+  // No newline within the cap: the stream cannot be resynchronised.
+  std::string Long(1024, 'x');
+  ASSERT_TRUE(Cl.sendAll(Long));
+  std::vector<std::string> Lines;
+  ASSERT_TRUE(Cl.readTextResponse(Lines));
+  ASSERT_FALSE(Lines.empty());
+  EXPECT_EQ(Lines[0].rfind("err ", 0), 0u);
+  EXPECT_NE(Lines[0].find("code=frame_too_large"), std::string::npos)
+      << Lines[0];
+  EXPECT_TRUE(Cl.waitEof());
+}
+
+TEST(NetServerTextual, SixtyFourConcurrentConnections) {
+  ServerHarness H;
+  ASSERT_TRUE(H.Started);
+
+  constexpr size_t N = 64;
+  std::vector<std::unique_ptr<TcpClient>> Clients;
+  for (size_t I = 0; I != N; ++I) {
+    auto C = std::make_unique<TcpClient>();
+    ASSERT_TRUE(C->connect(H.port())) << "conn " << I;
+    Clients.push_back(std::move(C));
+  }
+
+  // All 64 sockets are open at once; the server must hold them all.
+  auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (H.Srv->numConns() < N &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GE(H.Srv->numConns(), N);
+
+  // Fire a write on every connection before reading any response, so
+  // the requests genuinely overlap.
+  for (size_t I = 0; I != N; ++I) {
+    std::string Cmd = "open " + std::to_string(I + 1) + " (Add (a) (b))\n";
+    ASSERT_TRUE(Clients[I]->sendAll(Cmd));
+  }
+  for (size_t I = 0; I != N; ++I) {
+    std::vector<std::string> Lines;
+    ASSERT_TRUE(Clients[I]->readTextResponse(Lines)) << "conn " << I;
+    ASSERT_FALSE(Lines.empty());
+    EXPECT_EQ(Lines[0].rfind("ok version=0", 0), 0u)
+        << "conn " << I << ": " << Lines[0];
+  }
+  for (size_t I = 0; I != N; ++I) {
+    std::string Cmd = "submit " + std::to_string(I + 1) + " (Add (b) (a))\n";
+    ASSERT_TRUE(Clients[I]->sendAll(Cmd));
+  }
+  for (size_t I = 0; I != N; ++I) {
+    std::vector<std::string> Lines;
+    ASSERT_TRUE(Clients[I]->readTextResponse(Lines)) << "conn " << I;
+    ASSERT_FALSE(Lines.empty());
+    EXPECT_EQ(Lines[0].rfind("ok version=1", 0), 0u)
+        << "conn " << I << ": " << Lines[0];
+  }
+
+  // Every document really landed in the store.
+  for (size_t I = 0; I != N; ++I) {
+    service::DocumentSnapshot S = H.Store.snapshot(I + 1);
+    ASSERT_TRUE(S.Ok) << "doc " << I + 1;
+    EXPECT_EQ(S.Version, 1u);
+    EXPECT_EQ(S.Text, "(Add (b) (a))");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Binary protocol
+//===----------------------------------------------------------------------===//
+
+TEST(NetServerBinary, RoundTrip) {
+  ServerHarness H;
+  ASSERT_TRUE(H.Started);
+  TcpClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+
+  // Client-side trees, encoded with the persist codec.
+  TreeContext Ctx(H.Sig);
+  ParseResult V1 = parseSExpr(Ctx, "(Add (Num 1) (Num 2))");
+  ParseResult V2 = parseSExpr(Ctx, "(Add (Num 1) (Mul (Num 2) (Num 3)))");
+  ASSERT_TRUE(V1.ok() && V2.ok());
+  std::string Blob1 = persist::encodeTree(H.Sig, V1.Root);
+  std::string Blob2 = persist::encodeTree(H.Sig, V2.Root);
+
+  ASSERT_TRUE(C.sendAll(binRequest(net::BinVerb::Open, docPayload(5, Blob1))));
+  net::BinResponse R;
+  ASSERT_TRUE(C.readBinResponse(R));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Version, 0u);
+
+  ASSERT_TRUE(
+      C.sendAll(binRequest(net::BinVerb::Submit, docPayload(5, Blob2))));
+  ASSERT_TRUE(C.readBinResponse(R));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Version, 1u);
+  EXPECT_GT(R.EditCount, 0u);
+
+  // The submit response blob is the binary edit script.
+  persist::DecodeScriptResult DS = persist::decodeEditScript(H.Sig, R.Blob);
+  ASSERT_TRUE(DS.Ok) << DS.Error;
+  EXPECT_EQ(DS.Script.size(), R.EditCount);
+
+  ASSERT_TRUE(C.sendAll(binRequest(net::BinVerb::Get, docPayload(5))));
+  ASSERT_TRUE(C.readBinResponse(R));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Version, 1u);
+  EXPECT_EQ(R.Blob, printSExpr(H.Sig, V2.Root));
+
+  ASSERT_TRUE(C.sendAll(binRequest(net::BinVerb::Rollback, docPayload(5))));
+  ASSERT_TRUE(C.readBinResponse(R));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Version, 0u);
+
+  ASSERT_TRUE(C.sendAll(binRequest(net::BinVerb::Stats, {})));
+  ASSERT_TRUE(C.readBinResponse(R));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_NE(R.Blob.find("\"documents\""), std::string::npos);
+
+  ASSERT_TRUE(C.sendAll(binRequest(net::BinVerb::Health, {})));
+  ASSERT_TRUE(C.readBinResponse(R));
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  // Binary quit answers ok, then the server closes.
+  ASSERT_TRUE(C.sendAll(binRequest(net::BinVerb::Quit, {})));
+  ASSERT_TRUE(C.readBinResponse(R));
+  EXPECT_TRUE(R.Ok);
+  EXPECT_TRUE(C.waitEof());
+}
+
+TEST(NetServerBinary, MixedProtocolsOnOneConnection) {
+  ServerHarness H;
+  ASSERT_TRUE(H.Started);
+  TcpClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+
+  // Textual open, binary get, textual get: the first byte of each
+  // message selects the parser.
+  ASSERT_TRUE(C.sendAll("open 9 (Add (a) (b))\n"));
+  std::vector<std::string> Lines;
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  EXPECT_EQ(Lines[0].rfind("ok version=0", 0), 0u) << Lines[0];
+
+  ASSERT_TRUE(C.sendAll(binRequest(net::BinVerb::Get, docPayload(9))));
+  net::BinResponse R;
+  ASSERT_TRUE(C.readBinResponse(R));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Blob, "(Add (a) (b))");
+
+  ASSERT_TRUE(C.sendAll("get 9\n"));
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  ASSERT_GE(Lines.size(), 2u);
+  EXPECT_EQ(Lines[1], "(Add (a) (b))");
+}
+
+TEST(NetServerBinary, OversizedFrameKillsConnection) {
+  net::NetServer::Config Cfg;
+  Cfg.MaxFrameBytes = 1024;
+  ServerHarness H(Cfg);
+  ASSERT_TRUE(H.Started);
+  TcpClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+
+  // A header claiming a payload over the cap: typed error, then close,
+  // because the stream position after it is untrustworthy.
+  std::string Hdr;
+  Hdr.push_back(static_cast<char>(net::ClientReqMagic));
+  Hdr.push_back(static_cast<char>(net::BinVerb::Open));
+  uint32_t Len = 1u << 20;
+  Hdr.append(reinterpret_cast<const char *>(&Len), 4);
+  ASSERT_TRUE(C.sendAll(Hdr));
+
+  net::BinResponse R;
+  ASSERT_TRUE(C.readBinResponse(R));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, service::ErrCode::FrameTooLarge) << R.Error;
+  EXPECT_TRUE(C.waitEof());
+}
+
+TEST(NetServerBinary, MalformedPayloadKeepsConnectionAlive) {
+  ServerHarness H;
+  ASSERT_TRUE(H.Started);
+  TcpClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+
+  // Well-formed frame, garbage tree blob: typed MalformedFrame, and the
+  // connection must survive.
+  std::string Garbage = docPayload(11, "\xff\xfe\xfd not a tree blob");
+  ASSERT_TRUE(C.sendAll(binRequest(net::BinVerb::Open, Garbage)));
+  net::BinResponse R;
+  ASSERT_TRUE(C.readBinResponse(R));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, service::ErrCode::MalformedFrame) << R.Error;
+
+  // Trailing junk after a Get's doc id is also malformed, not fatal.
+  ASSERT_TRUE(
+      C.sendAll(binRequest(net::BinVerb::Get, docPayload(11, "junk"))));
+  ASSERT_TRUE(C.readBinResponse(R));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, service::ErrCode::MalformedFrame) << R.Error;
+
+  // Unknown verb: same contract.
+  ASSERT_TRUE(C.sendAll(binRequest(static_cast<net::BinVerb>(99), {})));
+  ASSERT_TRUE(C.readBinResponse(R));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, service::ErrCode::MalformedFrame) << R.Error;
+
+  // The connection still serves real requests.
+  ASSERT_TRUE(C.sendAll(binRequest(net::BinVerb::Health, {})));
+  ASSERT_TRUE(C.readBinResponse(R));
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(NetServerBinary, ReplicationMagicRejectedOnClientPort) {
+  ServerHarness H;
+  ASSERT_TRUE(H.Started);
+  TcpClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+
+  std::string F;
+  net::appendFrame(F, net::ReplMagic, 1, "hello");
+  ASSERT_TRUE(C.sendAll(F));
+  net::BinResponse R;
+  ASSERT_TRUE(C.readBinResponse(R));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, service::ErrCode::MalformedFrame) << R.Error;
+  EXPECT_TRUE(C.waitEof());
+}
+
+//===----------------------------------------------------------------------===//
+// Fuzz: nothing a client sends crashes the loop.
+//===----------------------------------------------------------------------===//
+
+TEST(NetServerFuzz, RandomBytesNeverCrashTheLoop) {
+  uint64_t Seed = tests::testSeed(0xfeedbeef);
+  SEED_TRACE(Seed);
+  Rng R(Seed);
+
+  net::NetServer::Config Cfg;
+  Cfg.MaxLineBytes = 4096;
+  Cfg.MaxFrameBytes = 4096;
+  ServerHarness H(Cfg);
+  ASSERT_TRUE(H.Started);
+
+  uint64_t Iters = tests::testIters("TRUEDIFF_CHAOS_ITERS", 60);
+  for (uint64_t I = 0; I != Iters; ++I) {
+    TcpClient C;
+    ASSERT_TRUE(C.connect(H.port()));
+    std::string Bytes;
+    size_t Len = 1 + R.below(512);
+    // Bias toward the binary magics so frame parsing gets exercised,
+    // including truncated headers and wild lengths.
+    switch (R.below(4)) {
+    case 0:
+      Bytes.push_back(static_cast<char>(net::ClientReqMagic));
+      break;
+    case 1:
+      Bytes.push_back(static_cast<char>(net::ReplMagic));
+      break;
+    default:
+      break;
+    }
+    while (Bytes.size() < Len)
+      Bytes.push_back(static_cast<char>(R.below(256)));
+    if (R.chance(50))
+      Bytes.push_back('\n');
+    ASSERT_TRUE(C.sendAll(Bytes));
+    // Half the time, read whatever comes back; the other half, just
+    // slam the connection shut mid-response.
+    if (R.chance(50))
+      C.fill(20);
+  }
+
+  // The loop survived: a fresh connection still gets answers.
+  TcpClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  ASSERT_TRUE(C.sendAll("health\n"));
+  std::vector<std::string> Lines;
+  ASSERT_TRUE(C.readTextResponse(Lines));
+  ASSERT_FALSE(Lines.empty());
+  EXPECT_EQ(Lines[0].rfind("ok", 0), 0u) << Lines[0];
+}
+
+//===----------------------------------------------------------------------===//
+// Idle timeout
+//===----------------------------------------------------------------------===//
+
+TEST(NetServerTimeout, IdleConnectionsAreReaped) {
+  net::NetServer::Config Cfg;
+  Cfg.IdleTimeoutMs = 100;
+  ServerHarness H(Cfg);
+  ASSERT_TRUE(H.Started);
+
+  TcpClient C;
+  ASSERT_TRUE(C.connect(H.port()));
+  // Never send a byte: the coarse idle scan must close us.
+  EXPECT_TRUE(C.waitEof(10000));
+
+  // An active connection with traffic inside the window survives and
+  // still answers.
+  TcpClient C2;
+  ASSERT_TRUE(C2.connect(H.port()));
+  std::vector<std::string> Lines;
+  ASSERT_TRUE(C2.sendAll("health\n"));
+  ASSERT_TRUE(C2.readTextResponse(Lines));
+  EXPECT_EQ(Lines[0].rfind("ok", 0), 0u) << Lines[0];
+}
+
+} // namespace

@@ -1,0 +1,491 @@
+//===- tests/replica_test.cpp - Edit-script replication tests --------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the replication layer: a leader shipping the committed
+/// edit-script stream to follower replicas over loopback TCP. The core
+/// assertion is byte-for-byte convergence -- after hundreds of seeded
+/// mutations (submits, rollbacks, erases, re-opens) every follower's
+/// materialised document equals the leader's URI-preserving rendering
+/// exactly, digest included. Also covered: catch-up via tail replay and
+/// via snapshot transfer (including pruning of documents erased while
+/// the follower was away), gap-triggered per-document resync,
+/// stale-leader epoch fencing, and a follower killed mid-stream that
+/// reconnects and converges again.
+///
+//===----------------------------------------------------------------------===//
+
+#include "replica/Follower.h"
+#include "replica/Leader.h"
+#include "replica/ReplicationLog.h"
+
+#include "corpus/JsonGen.h"
+#include "json/Json.h"
+#include "persist/BinaryCodec.h"
+#include "service/DocumentStore.h"
+#include "support/Rng.h"
+#include "support/Sha256.h"
+
+#include "TestSeed.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace truediff;
+
+namespace {
+
+bool waitUntil(const std::function<bool()> &Pred, int TimeoutMs = 30000) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  while (std::chrono::steady_clock::now() < Deadline) {
+    if (Pred())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return Pred();
+}
+
+/// A TreeBuilder that decodes a binary tree blob with fresh URIs -- the
+/// same builder the binary front end uses, so the replicated scripts are
+/// exactly what a real client submission produces.
+service::TreeBuilder blobBuilder(const SignatureTable &Sig, std::string Blob) {
+  return [&Sig, Blob = std::move(Blob)](
+             TreeContext &Ctx) -> service::BuildResult {
+    persist::DecodeTreeResult D =
+        persist::decodeTree(Sig, Ctx, Blob, /*PreserveUris=*/false);
+    if (!D.ok())
+      return {nullptr, D.Error, service::ErrCode::MalformedFrame};
+    return {D.Root, "", service::ErrCode::None};
+  };
+}
+
+/// A leader node: store + replication log + leader endpoint on its own
+/// event loop, listening on an ephemeral loopback port.
+struct LeaderNode {
+  const SignatureTable &Sig;
+  service::DocumentStore Store;
+  replica::ReplicationLog Log;
+  net::EventLoop Loop;
+  std::unique_ptr<replica::Leader> Lead;
+  bool Started = false;
+
+  LeaderNode(const SignatureTable &Sig, uint64_t Epoch = 1,
+             size_t TailCapacity = 1024)
+      : Sig(Sig), Store(Sig),
+        Log(Store, replica::ReplicationLog::Config{TailCapacity}) {
+    replica::Leader::Config C;
+    C.Epoch = Epoch;
+    Lead = std::make_unique<replica::Leader>(Loop, Log, C);
+    Log.attach();
+    std::string Err;
+    Started = Lead->start(&Err);
+    EXPECT_TRUE(Started) << Err;
+    Loop.start();
+  }
+
+  ~LeaderNode() { Loop.stop(); }
+
+  uint16_t port() const { return Lead->port(); }
+};
+
+/// A follower node: the replica plus the loop it applies records on.
+struct FollowerNode {
+  net::EventLoop Loop;
+  std::unique_ptr<replica::Follower> F;
+
+  explicit FollowerNode(const SignatureTable &Sig,
+                        replica::Follower::Config C = {}) {
+    Loop.start();
+    F = std::make_unique<replica::Follower>(Loop, Sig, C);
+  }
+
+  // Stop the loop first: the follower's teardown then has nothing left
+  // to race with.
+  ~FollowerNode() {
+    F->disconnect();
+    Loop.stop();
+  }
+
+  bool connect(LeaderNode &L, std::string *Err = nullptr) {
+    return F->connectTo("127.0.0.1", L.port(), Err);
+  }
+};
+
+/// Drives seeded mutations against the leader's store: opens, submits
+/// (JSON edits from the corpus mutator), rollbacks, erases, re-opens.
+/// Keeps a client-side model tree per document to mutate from, exactly
+/// like a real editing client would.
+class WorkloadDriver {
+public:
+  WorkloadDriver(LeaderNode &L, uint64_t Seed, uint64_t NumDocs = 8)
+      : L(L), Ctx(L.Sig), R(Seed), NumDocs(NumDocs) {}
+
+  void step() {
+    uint64_t Doc = 1 + R.below(NumDocs);
+    auto It = Model.find(Doc);
+    if (It == Model.end()) {
+      openDoc(Doc);
+      return;
+    }
+    unsigned Dice = static_cast<unsigned>(R.below(100));
+    if (Dice < 70) {
+      submitDoc(Doc);
+    } else if (Dice < 85) {
+      // Rollback; may fail cleanly at version 0 or past the ring.
+      L.Store.rollback(Doc);
+    } else {
+      ASSERT_TRUE(L.Store.erase(Doc));
+      Model.erase(Doc);
+    }
+  }
+
+  void openDoc(uint64_t Doc) {
+    corpus::JsonGenOptions Opts;
+    Opts.MaxDepth = 3;
+    Opts.MaxFanout = 4;
+    Tree *T = corpus::generateJson(Ctx, R, Opts);
+    ASSERT_NE(T, nullptr);
+    service::StoreResult SR =
+        L.Store.open(Doc, blobBuilder(L.Sig, persist::encodeTree(L.Sig, T)));
+    ASSERT_TRUE(SR.Ok) << SR.Error;
+    Model[Doc] = T;
+  }
+
+  void submitDoc(uint64_t Doc) {
+    Tree *Next = corpus::mutateJson(Ctx, R, Model[Doc]);
+    ASSERT_NE(Next, nullptr);
+    service::StoreResult SR = L.Store.submit(
+        Doc, blobBuilder(L.Sig, persist::encodeTree(L.Sig, Next)));
+    ASSERT_TRUE(SR.Ok) << SR.Error;
+    Model[Doc] = Next;
+  }
+
+  uint64_t numDocs() const { return NumDocs; }
+
+private:
+  LeaderNode &L;
+  TreeContext Ctx;
+  Rng R;
+  uint64_t NumDocs;
+  std::unordered_map<uint64_t, Tree *> Model;
+};
+
+/// Byte-for-byte convergence: every document live on the leader reads
+/// identically (URI-preserving text and SHA-256 digest) on the
+/// follower, and every erased document is absent there.
+::testing::AssertionResult converged(LeaderNode &L, replica::Follower &F,
+                                     uint64_t NumDocs) {
+  for (uint64_t Doc = 1; Doc <= NumDocs; ++Doc) {
+    service::DocumentSnapshot S = L.Store.snapshot(Doc);
+    if (!S.Ok) {
+      if (F.contains(Doc))
+        return ::testing::AssertionFailure()
+               << "doc " << Doc << " erased on the leader but present on "
+               << "the follower";
+      continue;
+    }
+    replica::Follower::ReadResult RR = F.read(Doc);
+    if (!RR.Ok)
+      return ::testing::AssertionFailure()
+             << "doc " << Doc << " unreadable on the follower: " << RR.Error;
+    if (RR.Version != S.Version)
+      return ::testing::AssertionFailure()
+             << "doc " << Doc << " version " << RR.Version << " != leader "
+             << S.Version;
+    if (RR.UriText != S.UriText)
+      return ::testing::AssertionFailure()
+             << "doc " << Doc << " diverged:\n  leader:   " << S.UriText
+             << "\n  follower: " << RR.UriText;
+    if (RR.DigestHex != Sha256::hash(S.UriText).toHex())
+      return ::testing::AssertionFailure()
+             << "doc " << Doc << " digest mismatch";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+bool caughtUpWith(LeaderNode &L, replica::Follower &F) {
+  return F.caughtUp() && F.lastSeq() == L.Log.currentSeq();
+}
+
+//===----------------------------------------------------------------------===//
+// Convergence under a long seeded mutation stream
+//===----------------------------------------------------------------------===//
+
+TEST(Replication, FiveHundredMutationsConvergeOnTwoFollowers) {
+  uint64_t Seed = tests::testSeed(0x5eed0001);
+  SEED_TRACE(Seed);
+
+  SignatureTable Sig = json::makeJsonSignature();
+  LeaderNode L(Sig);
+  ASSERT_TRUE(L.Started);
+  FollowerNode F1(Sig), F2(Sig);
+  ASSERT_TRUE(F1.connect(L));
+  ASSERT_TRUE(F2.connect(L));
+
+  WorkloadDriver Driver(L, Seed);
+  uint64_t Steps = tests::testIters("TRUEDIFF_REPL_STEPS", 500);
+  for (uint64_t I = 0; I != Steps; ++I) {
+    Driver.step();
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+
+  ASSERT_TRUE(waitUntil([&] { return caughtUpWith(L, *F1.F); }));
+  ASSERT_TRUE(waitUntil([&] { return caughtUpWith(L, *F2.F); }));
+  EXPECT_TRUE(converged(L, *F1.F, Driver.numDocs()));
+  EXPECT_TRUE(converged(L, *F2.F, Driver.numDocs()));
+
+  // A live stream with no losses needs no repair machinery.
+  replica::Follower::Stats S1 = F1.F->stats();
+  EXPECT_GT(S1.RecordsApplied, 0u);
+  EXPECT_EQ(S1.GapRehellos, 0u);
+  EXPECT_EQ(S1.StaleLeaderRejects, 0u);
+
+  replica::Leader::Stats LS = L.Lead->stats();
+  EXPECT_EQ(LS.Followers, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Catch-up: tail replay and snapshot transfer
+//===----------------------------------------------------------------------===//
+
+TEST(Replication, CatchUpByTailReplay) {
+  uint64_t Seed = tests::testSeed(0x5eed0002);
+  SEED_TRACE(Seed);
+
+  SignatureTable Sig = json::makeJsonSignature();
+  LeaderNode L(Sig); // default ring: plenty of room for the whole stream
+  ASSERT_TRUE(L.Started);
+
+  WorkloadDriver Driver(L, Seed, 4);
+  for (int I = 0; I != 30; ++I) {
+    Driver.step();
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+
+  // Connecting after the fact: everything is still in the ring, so the
+  // catch-up must be pure tail replay -- no snapshots.
+  FollowerNode F(Sig);
+  ASSERT_TRUE(F.connect(L));
+  ASSERT_TRUE(waitUntil([&] { return caughtUpWith(L, *F.F); }));
+  EXPECT_TRUE(converged(L, *F.F, Driver.numDocs()));
+  EXPECT_EQ(F.F->stats().SnapshotsInstalled, 0u);
+  EXPECT_GE(L.Lead->stats().TailRecords, F.F->stats().RecordsApplied);
+
+  // Disconnect, mutate some more, reconnect: the delta is still ring-
+  // covered, so again tail replay only.
+  F.F->disconnect();
+  ASSERT_TRUE(waitUntil([&] { return !F.F->connected(); }));
+  for (int I = 0; I != 20; ++I) {
+    Driver.step();
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  ASSERT_TRUE(F.connect(L));
+  ASSERT_TRUE(waitUntil([&] { return caughtUpWith(L, *F.F); }));
+  EXPECT_TRUE(converged(L, *F.F, Driver.numDocs()));
+  EXPECT_EQ(F.F->stats().SnapshotsInstalled, 0u);
+}
+
+TEST(Replication, CatchUpBySnapshotTransfer) {
+  uint64_t Seed = tests::testSeed(0x5eed0003);
+  SEED_TRACE(Seed);
+
+  SignatureTable Sig = json::makeJsonSignature();
+  // A tiny tail ring: anything but the most recent history forces the
+  // snapshot path.
+  LeaderNode L(Sig, /*Epoch=*/1, /*TailCapacity=*/8);
+  ASSERT_TRUE(L.Started);
+
+  WorkloadDriver Driver(L, Seed, 4);
+  for (int I = 0; I != 40; ++I) {
+    Driver.step();
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  ASSERT_GT(L.Log.firstTailSeq(), 1u) << "stream too short to evict the ring";
+
+  FollowerNode F(Sig);
+  ASSERT_TRUE(F.connect(L));
+  ASSERT_TRUE(waitUntil([&] { return caughtUpWith(L, *F.F); }));
+  EXPECT_TRUE(converged(L, *F.F, Driver.numDocs()));
+  EXPECT_GT(F.F->stats().SnapshotsInstalled, 0u);
+  EXPECT_GT(L.Lead->stats().SnapshotsSent, 0u);
+}
+
+TEST(Replication, SnapshotCatchUpPrunesDocsErasedWhileAway) {
+  uint64_t Seed = tests::testSeed(0x5eed0004);
+  SEED_TRACE(Seed);
+
+  SignatureTable Sig = json::makeJsonSignature();
+  LeaderNode L(Sig, /*Epoch=*/1, /*TailCapacity=*/8);
+  ASSERT_TRUE(L.Started);
+
+  WorkloadDriver Driver(L, Seed, 4);
+  Driver.openDoc(1);
+  Driver.openDoc(2);
+  Driver.openDoc(3);
+  if (::testing::Test::HasFatalFailure())
+    return;
+
+  FollowerNode F(Sig);
+  ASSERT_TRUE(F.connect(L));
+  ASSERT_TRUE(waitUntil([&] { return caughtUpWith(L, *F.F); }));
+  ASSERT_TRUE(F.F->contains(2));
+
+  // While the follower is away, doc 2 dies and enough traffic flows
+  // that its erase record is evicted from the ring: only the snapshot
+  // dump's pruning rule can tell the follower.
+  F.F->disconnect();
+  ASSERT_TRUE(waitUntil([&] { return !F.F->connected(); }));
+  ASSERT_TRUE(L.Store.erase(2));
+  for (int I = 0; I != 12; ++I) {
+    Driver.submitDoc(1);
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  ASSERT_TRUE(waitUntil(
+      [&] { return L.Log.firstTailSeq() > L.Log.currentSeq() - 12; }));
+
+  ASSERT_TRUE(F.connect(L));
+  ASSERT_TRUE(waitUntil([&] { return caughtUpWith(L, *F.F); }));
+  EXPECT_FALSE(F.F->contains(2));
+  EXPECT_TRUE(converged(L, *F.F, Driver.numDocs()));
+  EXPECT_GT(F.F->stats().SnapshotsInstalled, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Repair: gap-triggered resync
+//===----------------------------------------------------------------------===//
+
+TEST(Replication, VersionGapTriggersResync) {
+  uint64_t Seed = tests::testSeed(0x5eed0005);
+  SEED_TRACE(Seed);
+
+  SignatureTable Sig = json::makeJsonSignature();
+  LeaderNode L(Sig);
+  ASSERT_TRUE(L.Started);
+
+  WorkloadDriver Driver(L, Seed, 2);
+  Driver.openDoc(1);
+  if (::testing::Test::HasFatalFailure())
+    return;
+
+  FollowerNode F(Sig);
+  ASSERT_TRUE(F.connect(L));
+  ASSERT_TRUE(waitUntil([&] { return caughtUpWith(L, *F.F); }));
+
+  // Corrupt the follower's applied version: the next record for doc 1
+  // fails the per-document continuity check and must trigger a
+  // ResyncReq, answered with a fresh snapshot.
+  F.F->injectGapForTest(1);
+  Driver.submitDoc(1);
+  if (::testing::Test::HasFatalFailure())
+    return;
+
+  ASSERT_TRUE(waitUntil([&] {
+    return F.F->stats().ResyncsRequested > 0 &&
+           F.F->stats().SnapshotsInstalled > 0;
+  }));
+  ASSERT_TRUE(waitUntil([&] {
+    return caughtUpWith(L, *F.F) && converged(L, *F.F, Driver.numDocs());
+  }));
+  EXPECT_GE(L.Lead->stats().ResyncsServed, 1u);
+
+  // The repaired replica keeps tracking the live stream.
+  Driver.submitDoc(1);
+  if (::testing::Test::HasFatalFailure())
+    return;
+  ASSERT_TRUE(waitUntil([&] { return caughtUpWith(L, *F.F); }));
+  EXPECT_TRUE(converged(L, *F.F, Driver.numDocs()));
+}
+
+//===----------------------------------------------------------------------===//
+// Failover: stale-leader epoch fencing
+//===----------------------------------------------------------------------===//
+
+TEST(Replication, StaleLeaderIsFencedByEpoch) {
+  uint64_t Seed = tests::testSeed(0x5eed0006);
+  SEED_TRACE(Seed);
+
+  SignatureTable Sig = json::makeJsonSignature();
+  LeaderNode Current(Sig, /*Epoch=*/5);
+  LeaderNode Stale(Sig, /*Epoch=*/3);
+  ASSERT_TRUE(Current.Started && Stale.Started);
+
+  WorkloadDriver Driver(Current, Seed, 2);
+  Driver.openDoc(1);
+  if (::testing::Test::HasFatalFailure())
+    return;
+
+  FollowerNode F(Sig);
+  ASSERT_TRUE(F.connect(Current));
+  ASSERT_TRUE(waitUntil([&] { return caughtUpWith(Current, *F.F); }));
+  EXPECT_EQ(F.F->stats().MaxEpochSeen, 5u);
+
+  // A leader announcing an epoch below the fencing floor is rejected;
+  // the handshake fails and the applied state stays readable.
+  F.F->disconnect();
+  ASSERT_TRUE(waitUntil([&] { return !F.F->connected(); }));
+  std::string Err;
+  EXPECT_FALSE(F.connect(Stale, &Err));
+  EXPECT_NE(Err.find("stale leader"), std::string::npos) << Err;
+  EXPECT_GE(F.F->stats().StaleLeaderRejects, 1u);
+  EXPECT_EQ(F.F->stats().MaxEpochSeen, 5u);
+  EXPECT_TRUE(F.F->read(1).Ok);
+
+  // Reconnecting to the real leader still works.
+  ASSERT_TRUE(F.connect(Current));
+  ASSERT_TRUE(waitUntil([&] { return caughtUpWith(Current, *F.F); }));
+  EXPECT_TRUE(converged(Current, *F.F, Driver.numDocs()));
+}
+
+//===----------------------------------------------------------------------===//
+// A follower killed mid-stream reconnects and converges
+//===----------------------------------------------------------------------===//
+
+TEST(Replication, FollowerKilledMidStreamRecovers) {
+  uint64_t Seed = tests::testSeed(0x5eed0007);
+  SEED_TRACE(Seed);
+
+  SignatureTable Sig = json::makeJsonSignature();
+  LeaderNode L(Sig);
+  ASSERT_TRUE(L.Started);
+  FollowerNode F(Sig);
+  ASSERT_TRUE(F.connect(L));
+
+  WorkloadDriver Driver(L, Seed, 4);
+  for (int I = 0; I != 60; ++I) {
+    Driver.step();
+    if (::testing::Test::HasFatalFailure())
+      return;
+    // Yank the link mid-stream, while records are still in flight.
+    if (I == 30)
+      F.F->disconnect();
+  }
+  ASSERT_TRUE(waitUntil([&] { return !F.F->connected(); }));
+
+  // The reconnect handshake catches up from lastSeq() -- tail replay
+  // here -- and the replica converges on the full stream.
+  ASSERT_TRUE(F.connect(L));
+  ASSERT_TRUE(waitUntil([&] { return caughtUpWith(L, *F.F); }));
+  EXPECT_TRUE(converged(L, *F.F, Driver.numDocs()));
+
+  // And it keeps applying live records afterwards.
+  for (int I = 0; I != 10; ++I) {
+    Driver.step();
+    if (::testing::Test::HasFatalFailure())
+      return;
+  }
+  ASSERT_TRUE(waitUntil([&] { return caughtUpWith(L, *F.F); }));
+  EXPECT_TRUE(converged(L, *F.F, Driver.numDocs()));
+}
+
+} // namespace
