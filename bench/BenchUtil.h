@@ -17,8 +17,10 @@
 #include "corpus/Corpus.h"
 #include "support/Stats.h"
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 #include <vector>
@@ -44,6 +46,22 @@ inline double fastestMs(unsigned Runs, const std::function<void()> &Fn) {
   return Best;
 }
 
+/// Parses a positive integer CLI argument. Unlike std::atoi, garbage,
+/// trailing junk, negative values, and out-of-range inputs fail loudly
+/// instead of silently becoming 0 (which turns a bench into a no-op).
+inline unsigned parseCountArg(const char *Arg, const char *What) {
+  errno = 0;
+  char *End = nullptr;
+  long Value = std::strtol(Arg, &End, 10);
+  if (End == Arg || *End != '\0' || errno == ERANGE || Value <= 0 ||
+      Value > 0x7FFFFFFFL) {
+    std::fprintf(stderr, "error: invalid %s '%s' (expected a positive integer)\n",
+                 What, Arg);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(Value);
+}
+
 /// Builds the default evaluation corpus. NumPairs scales run time;
 /// overridable via argv[1].
 inline std::vector<corpus::CommitPair> defaultCorpus(int Argc, char **Argv,
@@ -51,7 +69,7 @@ inline std::vector<corpus::CommitPair> defaultCorpus(int Argc, char **Argv,
   corpus::CorpusOptions Opts;
   Opts.NumPairs = NumPairs;
   if (Argc > 1)
-    Opts.NumPairs = static_cast<unsigned>(std::atoi(Argv[1]));
+    Opts.NumPairs = parseCountArg(Argv[1], "pair count");
   std::printf("# corpus: %u commit pairs (seed %llu)\n", Opts.NumPairs,
               static_cast<unsigned long long>(Opts.Seed));
   return corpus::buildCommitCorpus(Opts);

@@ -32,7 +32,7 @@ int main(int Argc, char **Argv) {
 
   unsigned NumCommits = 60;
   if (Argc > 1)
-    NumCommits = static_cast<unsigned>(std::atoi(Argv[1]));
+    NumCommits = parseCountArg(Argv[1], "commit count");
 
   // One large file with a long history.
   SignatureTable Sig = python::makePythonSignature();

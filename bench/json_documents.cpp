@@ -30,7 +30,7 @@ int main(int Argc, char **Argv) {
               "(extension E12)\n");
   unsigned NumPairs = 200;
   if (Argc > 1)
-    NumPairs = static_cast<unsigned>(std::atoi(Argv[1]));
+    NumPairs = parseCountArg(Argv[1], "pair count");
   std::printf("# %u document pairs (seed 7)\n", NumPairs);
 
   SignatureTable Sig = json::makeJsonSignature();

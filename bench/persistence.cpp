@@ -147,7 +147,7 @@ int main(int Argc, char **Argv) {
 
   size_t NumRecords = 400;
   if (Argc > 1)
-    NumRecords = static_cast<size_t>(std::atoll(Argv[1]));
+    NumRecords = parseCountArg(Argv[1], "record count");
 
   JsonReport Report("persistence");
 

@@ -30,7 +30,7 @@ int main(int Argc, char **Argv) {
 
   uint64_t MaxSize = 300000;
   if (Argc > 1)
-    MaxSize = static_cast<uint64_t>(std::atoll(Argv[1]));
+    MaxSize = parseCountArg(Argv[1], "max tree size");
 
   std::printf("%10s %14s %14s %14s %16s\n", "nodes", "truediff(ms)",
               "us/node", "gumtree(ms)", "hdiff(ms)");

@@ -46,6 +46,16 @@
 /// All default to 0 (unlimited/disabled). Rejections carry typed errors
 /// and, where a retry can help, a per-document retry_after_ms hint.
 ///
+/// Digest policy flags:
+///   --digest=sha256|fast  Step-1 subtree hashing policy. The default
+///                         sha256 is collision resistant; fast (Fast128,
+///                         seeded per process via TRUEDIFF_DIGEST_SEED)
+///                         trades that for ~an order of magnitude less
+///                         hashing cost. Edit scripts are identical
+///                         either way.
+///   --step1-workers=<n>   hash cold trees on a pool of n threads
+///                         (0/1 = serial, the default)
+///
 /// Network modes (the stdin REPL is the default front end):
 ///   --listen=<port>       serve the protocol over TCP instead of stdin:
 ///                         a non-blocking epoll loop multiplexes textual
@@ -77,15 +87,18 @@
 #include "replica/Follower.h"
 #include "replica/Leader.h"
 #include "service/Wire.h"
+#include "support/TreeHash.h"
 
 #include <unistd.h>
 
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 using namespace truediff;
@@ -148,9 +161,19 @@ int main(int Argc, char **Argv) {
   uint64_t FollowPort = 0;
   uint64_t Epoch = 1;
   uint64_t IdleTimeoutMs = 60000;
-  auto NumArg = [](std::string_view Arg, const char *Flag) {
-    return static_cast<uint64_t>(
-        std::atoll(std::string(Arg.substr(strlen(Flag))).c_str()));
+  DigestPolicy Digest = DigestPolicy::Sha256;
+  uint64_t Step1Workers = 0;
+  // Parses the numeric tail of --flag=<n>. Garbage, trailing junk, and
+  // out-of-range values set BadArgs (-> usage + exit 2) instead of
+  // silently becoming 0 the way atoll would.
+  auto NumArg = [&BadArgs](std::string_view Arg, const char *Flag) {
+    std::string Tail(Arg.substr(strlen(Flag)));
+    errno = 0;
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Tail.c_str(), &End, 10);
+    if (Tail.empty() || *End != '\0' || errno == ERANGE)
+      BadArgs = true;
+    return static_cast<uint64_t>(V);
   };
   for (int I = 1; I != Argc; ++I) {
     std::string_view Arg(Argv[I]);
@@ -190,10 +213,19 @@ int main(int Argc, char **Argv) {
       Epoch = NumArg(Arg, "--epoch=");
     else if (Arg.rfind("--idle-timeout-ms=", 0) == 0)
       IdleTimeoutMs = NumArg(Arg, "--idle-timeout-ms=");
+    else if (Arg.rfind("--digest=", 0) == 0) {
+      std::optional<DigestPolicy> P =
+          parseDigestPolicy(Arg.substr(strlen("--digest=")));
+      if (P)
+        Digest = *P;
+      else
+        BadArgs = true;
+    } else if (Arg.rfind("--step1-workers=", 0) == 0)
+      Step1Workers = NumArg(Arg, "--step1-workers=");
     else if (Lang.empty() && !Arg.empty() && Arg[0] != '-')
       Lang = std::string(Arg);
     else if (!Arg.empty() && Arg[0] != '-')
-      Workers = static_cast<unsigned>(std::atoi(std::string(Arg).c_str()));
+      Workers = static_cast<unsigned>(NumArg(Arg, ""));
     else
       BadArgs = true;
   }
@@ -212,7 +244,8 @@ int main(int Argc, char **Argv) {
                  "[--max-depth=<n>] [--mem-budget-mb=<n>] "
                  "[--shed-target-ms=<n>] [--degraded-ok] [--listen=<port>] "
                  "[--repl-listen=<port>] [--follow=<host:port>] "
-                 "[--epoch=<n>] [--idle-timeout-ms=<n>]\n",
+                 "[--epoch=<n>] [--idle-timeout-ms=<n>] "
+                 "[--digest=sha256|fast] [--step1-workers=<n>]\n",
                  Argv[0]);
     return 2;
   }
@@ -269,6 +302,8 @@ int main(int Argc, char **Argv) {
   DocumentStore::Config StoreCfg;
   if (MemBudgetMb != 0)
     StoreCfg.MemBudget = &Budget;
+  StoreCfg.Digest = Digest;
+  StoreCfg.Step1Workers = static_cast<unsigned>(Step1Workers);
   DocumentStore Store(Sig, StoreCfg);
 
   std::unique_ptr<persist::Persistence> Persist;
@@ -380,11 +415,15 @@ int main(int Argc, char **Argv) {
 
   std::string DeadlineNote =
       DeadlineMs != 0 ? ", deadline " + std::to_string(DeadlineMs) + "ms" : "";
+  std::string DigestNote = std::string(", ") + digestPolicyName(Digest) +
+                           " digests";
+  if (Step1Workers > 1)
+    DigestNote += ", " + std::to_string(Step1Workers) + " step-1 workers";
   std::fprintf(stderr,
-               "diff_server: %s signature, %u workers%s%s; commands: open, "
+               "diff_server: %s signature, %u workers%s%s%s; commands: open, "
                "submit, rollback, get, save, recover, stats, health, quit\n",
                Lang.c_str(), Service.workers(), Persist ? ", durable" : "",
-               DeadlineNote.c_str());
+               DigestNote.c_str(), DeadlineNote.c_str());
   if (Srv)
     std::fprintf(stderr, "diff_server: serving TCP on port %u\n", Srv->port());
   if (Lead)

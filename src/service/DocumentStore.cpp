@@ -55,7 +55,10 @@ DocumentStore::DocumentStore(const SignatureTable &Sig)
     : DocumentStore(Sig, Config()) {}
 
 DocumentStore::DocumentStore(const SignatureTable &Sig, Config C)
-    : Sig(Sig), Cfg(C), Shards(std::max<size_t>(1, C.NumShards)) {}
+    : Sig(Sig), Cfg(C), Shards(std::max<size_t>(1, C.NumShards)) {
+  if (Cfg.Step1Workers > 1)
+    Pool = std::make_unique<WorkerPool>(Cfg.Step1Workers);
+}
 
 void DocumentStore::addScriptListener(ScriptListener Listener) {
   std::lock_guard<std::mutex> Lock(ListenersMu);
@@ -84,7 +87,7 @@ void DocumentStore::emit(DocId Doc, uint64_t Version, StoreOp Op,
 StoreResult DocumentStore::open(DocId Doc, const TreeBuilder &Build) {
   StoreResult R;
   auto D = std::make_shared<Document>();
-  D->Ctx = std::make_unique<TreeContext>(Sig);
+  D->Ctx = std::make_unique<TreeContext>(Sig, Cfg.Digest);
   D->Ctx->attachBudget(Cfg.MemBudget);
   BuildResult B = Build(*D->Ctx);
   if (B.Root == nullptr) {
@@ -188,9 +191,13 @@ StoreResult DocumentStore::submit(DocId Doc, const TreeBuilder &Build,
   // trees between requests.
   TrueDiffOptions DiffOpts;
   DiffOpts.IncrementalRehash = Cfg.PersistDigests;
+  DiffOpts.Step1Pool = Pool.get();
   uint64_t ColdRehash = 0;
   if (!Cfg.PersistDigests) {
-    D->Current->refreshDerived(Sig);
+    if (Pool != nullptr)
+      D->Current->refreshDerivedParallel(Sig, Cfg.Digest, *Pool);
+    else
+      D->Current->refreshDerived(Sig, Cfg.Digest);
     ColdRehash = SourceSize;
   }
 
@@ -263,7 +270,7 @@ StoreResult DocumentStore::rollback(DocId Doc) {
   // Rollback rebuilds an existing tree, so it proceeds even when the
   // budget is tight: its peak charge is bounded by the tree we already
   // hold, and the old arena's (larger) charge is released right after.
-  auto FreshCtx = std::make_unique<TreeContext>(Sig);
+  auto FreshCtx = std::make_unique<TreeContext>(Sig, Cfg.Digest);
   FreshCtx->attachBudget(Cfg.MemBudget);
   Tree *Restored = M.toTreePreservingUris(*FreshCtx);
   if (Restored == nullptr) {
@@ -338,9 +345,10 @@ std::optional<std::string> DocumentStore::checkDigests(DocId Doc) const {
   if (!D)
     return "no such document";
   std::lock_guard<std::mutex> Lock(D->Mu);
-  // deepCopy re-derives every digest bottom-up in a scratch arena; the
-  // stored tree must agree with it node for node.
-  TreeContext Scratch(Sig);
+  // deepCopy re-derives every digest bottom-up in a scratch arena (with
+  // the store's digest policy); the stored tree must agree with it node
+  // for node.
+  TreeContext Scratch(Sig, Cfg.Digest);
   const Tree *Fresh = Scratch.deepCopy(D->Current);
   return compareDerived(D->Current, Fresh);
 }
@@ -382,7 +390,7 @@ StoreResult DocumentStore::restore(
     std::vector<std::pair<uint64_t, EditScript>> History) {
   StoreResult R;
   auto D = std::make_shared<Document>();
-  D->Ctx = std::make_unique<TreeContext>(Sig);
+  D->Ctx = std::make_unique<TreeContext>(Sig, Cfg.Digest);
   D->Ctx->attachBudget(Cfg.MemBudget);
   BuildResult B = Build(*D->Ctx);
   if (B.Root == nullptr) {
@@ -448,7 +456,7 @@ void DocumentStore::maybeCompact(Document &D) const {
   if (D.Ctx->numNodes() <= Cfg.CompactionFactor * D.Current->size() + 256)
     return;
   MTree M = MTree::fromTree(Sig, D.Current);
-  auto FreshCtx = std::make_unique<TreeContext>(Sig);
+  auto FreshCtx = std::make_unique<TreeContext>(Sig, Cfg.Digest);
   FreshCtx->attachBudget(Cfg.MemBudget);
   Tree *Fresh = M.toTreePreservingUris(*FreshCtx);
   if (Fresh == nullptr)

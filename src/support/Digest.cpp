@@ -6,7 +6,11 @@
 
 #include "support/Digest.h"
 
+#include "support/TreeHash.h"
+
 using namespace truediff;
+
+uint64_t truediff::digestTableSeed() { return processDigestSeed(); }
 
 std::string Digest::toHex() const {
   static const char Hex[] = "0123456789abcdef";

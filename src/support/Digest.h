@@ -33,11 +33,13 @@ public:
 
   const std::array<uint8_t, NumBytes> &bytes() const { return Bytes; }
 
-  /// The first eight bytes interpreted as a machine word; used as the
-  /// bucket key for hash tables (the full digest is compared on collision).
-  uint64_t prefixWord() const {
+  /// The first eight bytes interpreted as a machine word.
+  uint64_t prefixWord() const { return word(0); }
+
+  /// Eight-byte word \p I (0..3) of the digest, little-endian.
+  uint64_t word(size_t I) const {
     uint64_t W;
-    std::memcpy(&W, Bytes.data(), sizeof(W));
+    std::memcpy(&W, Bytes.data() + I * sizeof(W), sizeof(W));
     return W;
   }
 
@@ -54,10 +56,24 @@ private:
   std::array<uint8_t, NumBytes> Bytes;
 };
 
-/// Hash functor so Digest can key std::unordered_map.
+/// The per-process random seed DigestHash folds into every table hash.
+/// With a non-cryptographic digest policy the digest bytes themselves are
+/// attacker-influenceable, so exposing them directly as the bucket key
+/// would allow flooding one hash bucket; the seed (plus a strong finisher)
+/// makes bucket placement unpredictable. Defined in Digest.cpp; see also
+/// processDigestSeed() in TreeHash.h, which this reuses.
+uint64_t digestTableSeed();
+
+/// Hash functor so Digest can key std::unordered_map. Mixes the first two
+/// digest words with the per-process seed through a splitmix64-style
+/// finisher, rather than exposing the raw prefix as the bucket key.
 struct DigestHash {
   size_t operator()(const Digest &D) const {
-    return static_cast<size_t>(D.prefixWord());
+    uint64_t X = D.word(0) ^ digestTableSeed();
+    X += D.word(1) * 0x9E3779B97F4A7C15ULL;
+    X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<size_t>(X ^ (X >> 31));
   }
 };
 

@@ -6,8 +6,6 @@
 
 #include "support/Literal.h"
 
-#include "support/Sha256.h"
-
 #include <charconv>
 #include <cmath>
 
@@ -25,34 +23,6 @@ const char *truediff::litKindName(LitKind Kind) {
     return "String";
   }
   return "<unknown>";
-}
-
-void Literal::addToHash(Sha256 &Hasher) const {
-  uint8_t KindByte = static_cast<uint8_t>(kind());
-  Hasher.update(&KindByte, 1);
-  switch (kind()) {
-  case LitKind::Int:
-    Hasher.updateU64(static_cast<uint64_t>(asInt()));
-    break;
-  case LitKind::Float: {
-    double V = asFloat();
-    uint64_t Bits;
-    static_assert(sizeof(Bits) == sizeof(V));
-    std::memcpy(&Bits, &V, sizeof(Bits));
-    Hasher.updateU64(Bits);
-    break;
-  }
-  case LitKind::Bool: {
-    uint8_t B = asBool() ? 1 : 0;
-    Hasher.update(&B, 1);
-    break;
-  }
-  case LitKind::String:
-    // Length prefix prevents ambiguity between adjacent strings.
-    Hasher.updateU64(asString().size());
-    Hasher.update(asString());
-    break;
-  }
 }
 
 std::string Literal::toString() const {

@@ -15,12 +15,11 @@
 #define TRUEDIFF_SUPPORT_LITERAL_H
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <variant>
 
 namespace truediff {
-
-class Sha256;
 
 /// Base types of literals, mirroring the paper's base types B in tag
 /// signatures.
@@ -66,7 +65,35 @@ public:
   bool operator!=(const Literal &O) const { return Value != O.Value; }
 
   /// Feeds a canonical encoding (kind byte + payload) into \p Hasher.
-  void addToHash(Sha256 &Hasher) const;
+  /// Templated over the hasher so both digest policies (Sha256, Fast128)
+  /// share one encoding; see TreeHash.h.
+  template <typename HasherT> void addToHash(HasherT &Hasher) const {
+    uint8_t KindByte = static_cast<uint8_t>(kind());
+    Hasher.update(&KindByte, 1);
+    switch (kind()) {
+    case LitKind::Int:
+      Hasher.updateU64(static_cast<uint64_t>(asInt()));
+      break;
+    case LitKind::Float: {
+      double V = asFloat();
+      uint64_t Bits;
+      static_assert(sizeof(Bits) == sizeof(V));
+      std::memcpy(&Bits, &V, sizeof(Bits));
+      Hasher.updateU64(Bits);
+      break;
+    }
+    case LitKind::Bool: {
+      uint8_t B = asBool() ? 1 : 0;
+      Hasher.update(&B, 1);
+      break;
+    }
+    case LitKind::String:
+      // Length prefix prevents ambiguity between adjacent strings.
+      Hasher.updateU64(asString().size());
+      Hasher.update(asString());
+      break;
+    }
+  }
 
   /// Renders the literal the way it appears in s-expressions and edit
   /// script dumps; strings are quoted and escaped.

@@ -1,0 +1,50 @@
+//===- support/TreeHash.cpp - Pluggable subtree digest policies ------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TreeHash.h"
+
+#include <cstdlib>
+#include <random>
+
+using namespace truediff;
+
+const char *truediff::digestPolicyName(DigestPolicy Policy) {
+  switch (Policy) {
+  case DigestPolicy::Sha256:
+    return "sha256";
+  case DigestPolicy::Fast128:
+    return "fast";
+  }
+  return "<unknown>";
+}
+
+std::optional<DigestPolicy> truediff::parseDigestPolicy(std::string_view Name) {
+  if (Name == "sha256" || Name == "sha")
+    return DigestPolicy::Sha256;
+  if (Name == "fast" || Name == "fast128")
+    return DigestPolicy::Fast128;
+  return std::nullopt;
+}
+
+static uint64_t drawProcessSeed() {
+  if (const char *Env = std::getenv("TRUEDIFF_DIGEST_SEED")) {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Env, &End, 0);
+    if (End != Env && *End == '\0')
+      return static_cast<uint64_t>(V);
+  }
+  std::random_device Rd;
+  uint64_t Hi = Rd();
+  uint64_t Lo = Rd();
+  // random_device may be 32-bit; combine two draws and stir so a weak
+  // implementation still yields a full-width seed.
+  return fast128_detail::splitmix64((Hi << 32) ^ Lo);
+}
+
+uint64_t truediff::processDigestSeed() {
+  static const uint64_t Seed = drawProcessSeed();
+  return Seed;
+}

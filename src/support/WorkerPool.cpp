@@ -1,0 +1,80 @@
+//===- support/WorkerPool.cpp - Small blocking worker pool -----------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/WorkerPool.h"
+
+using namespace truediff;
+
+WorkerPool::WorkerPool(unsigned Threads) {
+  for (unsigned I = 1; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+bool WorkerPool::popAndRun() {
+  std::function<void()> Task;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Pending.empty())
+      return false;
+    Task = std::move(Pending.back());
+    Pending.pop_back();
+    ++Running;
+  }
+  Task();
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    --Running;
+    if (Running == 0 && Pending.empty())
+      BatchDone.notify_all();
+  }
+  return true;
+}
+
+void WorkerPool::workerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WorkReady.wait(Lock,
+                     [this] { return ShuttingDown || !Pending.empty(); });
+      if (ShuttingDown && Pending.empty())
+        return;
+    }
+    while (popAndRun())
+      ;
+  }
+}
+
+void WorkerPool::run(std::vector<std::function<void()>> Tasks) {
+  if (Tasks.empty())
+    return;
+  if (Workers.empty()) {
+    for (auto &Task : Tasks)
+      Task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (auto &Task : Tasks)
+      Pending.push_back(std::move(Task));
+  }
+  WorkReady.notify_all();
+  // The caller works the batch too, then blocks until in-flight tasks
+  // drain.
+  while (popAndRun())
+    ;
+  std::unique_lock<std::mutex> Lock(Mu);
+  BatchDone.wait(Lock, [this] { return Running == 0 && Pending.empty(); });
+}

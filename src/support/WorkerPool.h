@@ -1,0 +1,65 @@
+//===- support/WorkerPool.h - Small blocking worker pool --------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size worker pool for fork-join parallelism, used to
+/// parallelize Step-1 subtree hashing (Tree::refreshDerivedParallel). The
+/// pool is deliberately minimal: run() takes a batch of independent tasks,
+/// the calling thread works alongside the workers, and run() returns only
+/// when every task has finished -- no futures, no work stealing, no
+/// cross-batch state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_SUPPORT_WORKERPOOL_H
+#define TRUEDIFF_SUPPORT_WORKERPOOL_H
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace truediff {
+
+/// Fork-join pool with \p Threads-1 background workers (the caller of
+/// run() is the remaining worker). A pool with Threads <= 1 spawns no
+/// threads and run() executes tasks inline, so callers need no special
+/// single-core path.
+class WorkerPool {
+public:
+  explicit WorkerPool(unsigned Threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// Total workers including the caller of run().
+  unsigned numWorkers() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Runs every task in \p Tasks and returns when all have completed.
+  /// Tasks must be independent; exceptions escaping a task terminate the
+  /// process (tasks hash trees -- they have no recoverable failures).
+  void run(std::vector<std::function<void()>> Tasks);
+
+private:
+  void workerLoop();
+  bool popAndRun();
+
+  std::vector<std::thread> Workers;
+  std::mutex Mu;
+  std::condition_variable WorkReady;
+  std::condition_variable BatchDone;
+  std::vector<std::function<void()>> Pending;
+  size_t Running = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace truediff
+
+#endif // TRUEDIFF_SUPPORT_WORKERPOOL_H

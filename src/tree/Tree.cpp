@@ -7,39 +7,160 @@
 #include "tree/Tree.h"
 
 #include "support/Sha256.h"
+#include "support/TreeHash.h"
+#include "support/WorkerPool.h"
 
 #include <algorithm>
 #include <cassert>
 
 using namespace truediff;
 
-void Tree::computeDerived(const SignatureTable &Sig) {
-  // Kid digests contribute their first 16 bytes only. This keeps the
-  // common binary-node input within one SHA-256 block (a 2x speedup on
-  // Step 1) while retaining cryptographic collision resistance: a
-  // collision would still require a 2^64 birthday attack on truncated
-  // SHA-256, which the paper's "hash equality is tree equality" reading
-  // already accepts.
-  constexpr size_t KidDigestBytes = 16;
+/// Kid digests contribute their first 16 bytes only. This keeps the
+/// common binary-node input within one SHA-256 block (a 2x speedup on
+/// Step 1) while retaining cryptographic collision resistance: a
+/// collision would still require a 2^64 birthday attack on truncated
+/// SHA-256, which the paper's "hash equality is tree equality" reading
+/// already accepts. The Fast128 policy emits 16-byte digests natively, so
+/// both policies feed exactly KidDigestBytes per kid.
+static constexpr size_t KidDigestBytes = 16;
 
+namespace {
+
+/// The node-digest computation, shared by both digest policies.
+template <typename HasherT>
+void hashNode(TagId Tag, const std::vector<Tree *> &Kids,
+              const std::vector<Literal> &Lits, Digest &StructOut,
+              Digest &LitOut) {
   // Structure hash: tag + arity + kid structure hashes (Section 4.1).
-  Sha256 StructHasher;
+  HasherT StructHasher;
   StructHasher.updateU32(Tag);
   StructHasher.updateU32(static_cast<uint32_t>(Kids.size()));
   for (const Tree *Kid : Kids) {
     assert(Kid != nullptr && "derived data requires complete trees");
-    StructHasher.update(Kid->StructHash.bytes().data(), KidDigestBytes);
+    StructHasher.update(Kid->structureHash().bytes().data(), KidDigestBytes);
   }
-  StructHash = StructHasher.finish();
+  StructOut = StructHasher.finish();
 
   // Literal hash: own literals + kid literal hashes, tag NOT included.
-  Sha256 LitHasher;
+  HasherT LitHasher;
   LitHasher.updateU32(static_cast<uint32_t>(Lits.size()));
   for (const Literal &L : Lits)
     L.addToHash(LitHasher);
   for (const Tree *Kid : Kids)
-    LitHasher.update(Kid->LitHash.bytes().data(), KidDigestBytes);
-  LitHash = LitHasher.finish();
+    LitHasher.update(Kid->literalHash().bytes().data(), KidDigestBytes);
+  LitOut = LitHasher.finish();
+}
+
+//===----------------------------------------------------------------------===//
+// Fast-policy node digests
+//===----------------------------------------------------------------------===//
+
+/// Two-lane mum-chain accumulator for the fast digest policy. The generic
+/// hashNode<Fast128> path pays a buffer memcpy per update call and a block
+/// compress per finish, which dominates Step 1 on typical nodes whose whole
+/// input is a few dozen bytes; this folds the same fields directly into the
+/// chain. Values differ from streaming Fast128 output, which is fine: fast
+/// digests are per-process and never persisted or shipped (TreeHash.h), and
+/// every rehash in a process funnels through computeDerived, so digest
+/// equality still means subtree equality.
+struct FastAcc {
+  uint64_t A, B;
+  uint64_t N = 0;
+
+  FastAcc(uint64_t SeedA, uint64_t SeedB) : A(SeedA), B(SeedB) {}
+
+  /// Chains one 16-byte unit; order-sensitive (A feeds B, N rotates the
+  /// secret schedule and armours the unit count).
+  void fold(uint64_t W0, uint64_t W1) {
+    using namespace fast128_detail;
+    A = mum(A ^ W0, Secret[N & 3] ^ W1);
+    B = mum(B ^ W1, A ^ Secret[(N + 1) & 3]);
+    ++N;
+  }
+
+  /// Folds an arbitrary byte range in 16-byte units, zero-padding the tail
+  /// (callers fold the length separately, so padded tails stay distinct).
+  void foldBytes(const void *Data, size_t Size) {
+    using fast128_detail::read64;
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    while (Size >= 16) {
+      fold(read64(P), read64(P + 8));
+      P += 16;
+      Size -= 16;
+    }
+    if (Size != 0) {
+      uint8_t Tail[16] = {};
+      std::memcpy(Tail, P, Size);
+      fold(read64(Tail), read64(Tail + 8));
+    }
+  }
+
+  Digest finish() const {
+    using namespace fast128_detail;
+    uint64_t H0 = mum(A ^ N, Secret[0] ^ B);
+    uint64_t H1 = splitmix64(H0 ^ B);
+    std::array<uint8_t, Digest::NumBytes> Bytes{};
+    std::memcpy(Bytes.data(), &H0, sizeof(H0));
+    std::memcpy(Bytes.data() + sizeof(H0), &H1, sizeof(H1));
+    return Digest(Bytes);
+  }
+};
+
+/// The Fast128-policy analogue of hashNode: same fields in the same roles
+/// (structure hash never sees literals), both digests built in a single
+/// pass over the kids so each kid's digest cache lines are touched once.
+void hashNodeFast(TagId Tag, const std::vector<Tree *> &Kids,
+                  const std::vector<Literal> &Lits, Digest &StructOut,
+                  Digest &LitOut) {
+  const std::array<uint64_t, 4> &Seeds = fast128SeededLanes();
+  FastAcc S(Seeds[0], Seeds[1]);
+  FastAcc L(Seeds[2], Seeds[3]);
+  S.fold(Tag, Kids.size());
+  L.fold(Lits.size(), 0x4C495453ULL /* "LITS" */);
+  for (const Literal &Lit : Lits) {
+    switch (Lit.kind()) {
+    case LitKind::Int:
+      L.fold(static_cast<uint64_t>(LitKind::Int),
+             static_cast<uint64_t>(Lit.asInt()));
+      break;
+    case LitKind::Float: {
+      double V = Lit.asFloat();
+      uint64_t Bits;
+      std::memcpy(&Bits, &V, sizeof(Bits));
+      L.fold(static_cast<uint64_t>(LitKind::Float), Bits);
+      break;
+    }
+    case LitKind::Bool:
+      L.fold(static_cast<uint64_t>(LitKind::Bool), Lit.asBool() ? 1 : 0);
+      break;
+    case LitKind::String: {
+      const std::string &Str = Lit.asString();
+      L.fold(static_cast<uint64_t>(LitKind::String), Str.size());
+      L.foldBytes(Str.data(), Str.size());
+      break;
+    }
+    }
+  }
+  for (const Tree *Kid : Kids) {
+    assert(Kid != nullptr && "derived data requires complete trees");
+    S.fold(Kid->structureHash().word(0), Kid->structureHash().word(1));
+    L.fold(Kid->literalHash().word(0), Kid->literalHash().word(1));
+  }
+  StructOut = S.finish();
+  LitOut = L.finish();
+}
+
+} // namespace
+
+void Tree::computeDerived(const SignatureTable &Sig, DigestPolicy Policy) {
+  switch (Policy) {
+  case DigestPolicy::Sha256:
+    hashNode<Sha256>(Tag, Kids, Lits, StructHash, LitHash);
+    break;
+  case DigestPolicy::Fast128:
+    hashNodeFast(Tag, Kids, Lits, StructHash, LitHash);
+    break;
+  }
 
   Height = 1;
   Size = 1;
@@ -50,22 +171,95 @@ void Tree::computeDerived(const SignatureTable &Sig) {
   (void)Sig;
 }
 
-void Tree::refreshDerived(const SignatureTable &Sig) {
-  for (Tree *Kid : Kids)
-    Kid->refreshDerived(Sig);
-  computeDerived(Sig);
-  DerivedDirty = false;
+namespace {
+
+/// Post-order frame: NextKid counts how many kids have been pushed so far.
+struct PostorderFrame {
+  Tree *Node;
+  size_t NextKid;
+};
+
+} // namespace
+
+void Tree::refreshDerived(const SignatureTable &Sig, DigestPolicy Policy) {
+  // Iterative post-order: kids are fully recomputed before their parent.
+  // Explicit stack so a depth-MaxDepth chain cannot overflow the call
+  // stack.
+  std::vector<PostorderFrame> Stack;
+  Stack.push_back({this, 0});
+  while (!Stack.empty()) {
+    PostorderFrame &Top = Stack.back();
+    if (Top.NextKid < Top.Node->Kids.size()) {
+      Tree *Kid = Top.Node->Kids[Top.NextKid++];
+      Stack.push_back({Kid, 0});
+      continue;
+    }
+    Top.Node->computeDerived(Sig, Policy);
+    Top.Node->DerivedDirty = false;
+    Stack.pop_back();
+  }
 }
 
-uint64_t Tree::rehashDirtyPaths(const SignatureTable &Sig) {
+uint64_t Tree::rehashDirtyPaths(const SignatureTable &Sig,
+                                DigestPolicy Policy) {
   if (!DerivedDirty)
     return 0;
-  uint64_t Rehashed = 1;
-  for (Tree *Kid : Kids)
-    Rehashed += Kid->rehashDirtyPaths(Sig);
-  computeDerived(Sig);
-  DerivedDirty = false;
+  uint64_t Rehashed = 0;
+  std::vector<PostorderFrame> Stack;
+  Stack.push_back({this, 0});
+  while (!Stack.empty()) {
+    PostorderFrame &Top = Stack.back();
+    if (Top.NextKid < Top.Node->Kids.size()) {
+      Tree *Kid = Top.Node->Kids[Top.NextKid++];
+      // Clean subtrees keep their digests: the dirtiness invariant says
+      // every node with a stale descendant is itself marked.
+      if (Kid->DerivedDirty)
+        Stack.push_back({Kid, 0});
+      continue;
+    }
+    Top.Node->computeDerived(Sig, Policy);
+    Top.Node->DerivedDirty = false;
+    ++Rehashed;
+    Stack.pop_back();
+  }
   return Rehashed;
+}
+
+void Tree::refreshDerivedParallel(const SignatureTable &Sig,
+                                  DigestPolicy Policy, WorkerPool &Pool) {
+  if (Pool.numWorkers() <= 1) {
+    refreshDerived(Sig, Policy);
+    return;
+  }
+
+  // Partition the tree into chunk roots of at most Grain nodes (using the
+  // possibly stale cached sizes -- staleness only skews load balance, not
+  // correctness: every node ends up either below exactly one chunk root or
+  // on the spine above all of them). Spine nodes are collected preorder so
+  // the reversed vector recomputes kids before parents.
+  const uint64_t Grain =
+      std::max<uint64_t>(2048, Size / (uint64_t(Pool.numWorkers()) * 8));
+  std::vector<Tree *> Spine;
+  std::vector<Tree *> ChunkRoots;
+  foreachTreePruned([&](Tree *T) {
+    if (T->Size <= Grain || T->Kids.empty()) {
+      ChunkRoots.push_back(T);
+      return false; // chunk subtrees are handled by the pool tasks
+    }
+    Spine.push_back(T);
+    return true;
+  });
+
+  std::vector<std::function<void()>> Tasks;
+  Tasks.reserve(ChunkRoots.size());
+  for (Tree *Root : ChunkRoots)
+    Tasks.push_back([Root, &Sig, Policy] { Root->refreshDerived(Sig, Policy); });
+  Pool.run(std::move(Tasks));
+
+  for (size_t I = Spine.size(); I != 0; --I) {
+    Spine[I - 1]->computeDerived(Sig, Policy);
+    Spine[I - 1]->DerivedDirty = false;
+  }
 }
 
 void Tree::clearDiffState() {
@@ -73,6 +267,7 @@ void Tree::clearDiffState() {
     T->Share = nullptr;
     T->Assigned = nullptr;
     T->Covered = false;
+    T->ShareAvailable = false;
     T->Mark = 0;
   });
 }
@@ -149,7 +344,7 @@ Tree *TreeContext::adoptWithUri(TagId Tag, URI Uri, std::vector<Tree *> Kids,
   Node->Uri = Uri;
   Node->Kids = std::move(Kids);
   Node->Lits = std::move(Lits);
-  Node->computeDerived(Sig);
+  Node->computeDerived(Sig, Policy);
   NextUri = std::max(NextUri, Uri + 1);
   if (Budget != nullptr) {
     // All make/makeWithUri variants funnel through here, so this is the
@@ -162,11 +357,35 @@ Tree *TreeContext::adoptWithUri(TagId Tag, URI Uri, std::vector<Tree *> Kids,
 }
 
 Tree *TreeContext::deepCopy(const Tree *T) {
-  std::vector<Tree *> Kids;
-  Kids.reserve(T->arity());
-  for (size_t I = 0, E = T->arity(); I != E; ++I)
-    Kids.push_back(deepCopy(T->kid(I)));
-  return make(T->tag(), std::move(Kids), T->lits());
+  // Iterative post-order with POD frames and one shared results stack:
+  // when a frame completes, its kids' copies are the top arity() entries
+  // of Done (in order). This is the hot path of every diff invocation
+  // (source trees are consumed), so no per-frame vector allocations.
+  // Stack-safe on chains as deep as admission allows.
+  struct CopyFrame {
+    const Tree *Src;
+    size_t NextKid;
+  };
+  std::vector<CopyFrame> Stack;
+  std::vector<Tree *> Done;
+  Stack.reserve(std::min<uint64_t>(T->height(), 4096));
+  Done.reserve(64);
+  Stack.push_back({T, 0});
+  while (!Stack.empty()) {
+    CopyFrame &Top = Stack.back();
+    if (Top.NextKid < Top.Src->arity()) {
+      Stack.push_back({Top.Src->kid(Top.NextKid++), 0});
+      continue;
+    }
+    const Tree *Src = Top.Src;
+    Stack.pop_back();
+    size_t Arity = Src->arity();
+    std::vector<Tree *> Kids(Done.end() - Arity, Done.end());
+    Done.resize(Done.size() - Arity);
+    Done.push_back(
+        adoptWithUri(Src->tag(), NextUri, std::move(Kids), Src->lits()));
+  }
+  return Done.front();
 }
 
 std::optional<std::string> TreeContext::validate(const Tree *T) const {

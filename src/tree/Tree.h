@@ -25,6 +25,7 @@
 
 #include "support/Digest.h"
 #include "support/Literal.h"
+#include "support/TreeHash.h"
 #include "tree/Ids.h"
 #include "tree/Limits.h"
 #include "tree/Signature.h"
@@ -39,6 +40,42 @@ namespace truediff {
 
 class SubtreeShare;
 class TreeContext;
+class WorkerPool;
+
+namespace detail {
+
+/// Small-buffer LIFO work stack for the hot-path traversals: the first 64
+/// entries live in the object (on the caller's stack), deeper traversals
+/// spill to the heap. Pop order is proper LIFO across the spill boundary
+/// because entries only spill while the small buffer is full.
+template <typename T> class TraversalStack {
+public:
+  void push(T V) {
+    if (N < SmallSize)
+      Small[N++] = V;
+    else
+      Spill.push_back(V);
+  }
+
+  T pop() {
+    if (!Spill.empty()) {
+      T V = Spill.back();
+      Spill.pop_back();
+      return V;
+    }
+    return Small[--N];
+  }
+
+  bool empty() const { return N == 0 && Spill.empty(); }
+
+private:
+  static constexpr size_t SmallSize = 64;
+  T Small[SmallSize];
+  size_t N = 0;
+  std::vector<T> Spill;
+};
+
+} // namespace detail
 
 /// A mutable typed tree node. Children and literals are stored in the
 /// order fixed by the tag's signature, so link lookups are array accesses.
@@ -92,6 +129,13 @@ public:
   SubtreeShare *share() const { return Share; }
   void setShare(SubtreeShare *S) { Share = S; }
 
+  /// True while this node is registered as an available resource in its
+  /// share. Stored in the node rather than a per-share hash set so that
+  /// availability checks on the Step-3 hot path are one flag load instead
+  /// of a hash lookup (see SubtreeShare).
+  bool shareAvailable() const { return ShareAvailable; }
+  void setShareAvailable(bool A) { ShareAvailable = A; }
+
   Tree *assigned() const { return Assigned; }
 
   /// True if an ancestor of this (target) node was acquired as a whole in
@@ -118,19 +162,38 @@ public:
   /// @{
 
   /// Applies \p Fn to this node and every descendant, pre-order. Inlined
-  /// template: these traversals sit on truediff's hot path.
+  /// template: these traversals sit on truediff's hot path. Iterative with
+  /// an explicit stack -- a depth-MaxDepth chain that admission accepted
+  /// must not overflow the call stack.
   template <typename Fn> void foreachTree(Fn &&F) {
-    F(this);
-    for (Tree *Kid : Kids)
-      if (Kid != nullptr)
-        Kid->foreachTree(F);
+    detail::TraversalStack<Tree *> Stack;
+    Stack.push(this);
+    drainPreorder(Stack, F);
   }
 
   /// Applies \p Fn to every proper descendant, pre-order.
   template <typename Fn> void foreachSubtree(Fn &&F) {
-    for (Tree *Kid : Kids)
-      if (Kid != nullptr)
-        Kid->foreachTree(F);
+    detail::TraversalStack<Tree *> Stack;
+    for (size_t I = Kids.size(); I != 0; --I)
+      if (Kids[I - 1] != nullptr)
+        Stack.push(Kids[I - 1]);
+    drainPreorder(Stack, F);
+  }
+
+  /// Pre-order traversal with pruning: \p Fn returns true to descend into
+  /// a node's kids, false to skip the subtree. Used by the parallel
+  /// refresh to split off chunk roots.
+  template <typename Fn> void foreachTreePruned(Fn &&F) {
+    detail::TraversalStack<Tree *> Stack;
+    Stack.push(this);
+    while (!Stack.empty()) {
+      Tree *T = Stack.pop();
+      if (!F(T))
+        continue;
+      for (size_t I = T->Kids.size(); I != 0; --I)
+        if (T->Kids[I - 1] != nullptr)
+          Stack.push(T->Kids[I - 1]);
+    }
   }
   /// @}
 
@@ -156,14 +219,23 @@ public:
   /// clean subtrees are not even visited. Returns the number of nodes
   /// rehashed. Requires the dirtiness invariant above (every node with a
   /// stale descendant is itself marked), which TrueDiff maintains.
-  uint64_t rehashDirtyPaths(const SignatureTable &Sig);
+  /// \p Policy must be the digest policy of the owning context.
+  uint64_t rehashDirtyPaths(const SignatureTable &Sig, DigestPolicy Policy);
   /// @}
 
   /// Recomputes hashes, height, and size of this node and every
   /// descendant (and clears derived-dirty flags). Called on the patched
   /// tree after diffing, because reused nodes may have received new
-  /// children or literals.
-  void refreshDerived(const SignatureTable &Sig);
+  /// children or literals. \p Policy must be the digest policy of the
+  /// owning context.
+  void refreshDerived(const SignatureTable &Sig, DigestPolicy Policy);
+
+  /// refreshDerived with Step-1 hashing fanned out over \p Pool: the tree
+  /// is partitioned into subtree chunks hashed in parallel, then the spine
+  /// above the chunks is recomputed serially (kids before parents).
+  /// Produces exactly the digests of the serial refresh.
+  void refreshDerivedParallel(const SignatureTable &Sig, DigestPolicy Policy,
+                              WorkerPool &Pool);
 
   /// Clears share and assignment pointers in the whole tree.
   void clearDiffState();
@@ -173,8 +245,20 @@ private:
 
   Tree() = default;
 
+  /// Pops and visits nodes preorder until \p Stack drains.
+  template <typename Fn>
+  static void drainPreorder(detail::TraversalStack<Tree *> &Stack, Fn &&F) {
+    while (!Stack.empty()) {
+      Tree *T = Stack.pop();
+      F(T);
+      for (size_t I = T->Kids.size(); I != 0; --I)
+        if (T->Kids[I - 1] != nullptr)
+          Stack.push(T->Kids[I - 1]);
+    }
+  }
+
   /// Recomputes this node's caches from its (already consistent) kids.
-  void computeDerived(const SignatureTable &Sig);
+  void computeDerived(const SignatureTable &Sig, DigestPolicy Policy);
 
   TagId Tag = InvalidSymbol;
   URI Uri = NullURI;
@@ -190,6 +274,7 @@ private:
   Tree *Assigned = nullptr;
   bool Covered = false;
   bool DerivedDirty = false;
+  bool ShareAvailable = false;
   uint32_t Mark = 0;
 };
 
@@ -199,7 +284,13 @@ private:
 /// requirement).
 class TreeContext {
 public:
-  explicit TreeContext(const SignatureTable &Sig) : Sig(Sig) {}
+  /// \p Policy selects the hash computing node digests (TreeHash.h).
+  /// SHA-256 is the default; Fast128 trades adversarial collision
+  /// resistance for diff throughput and must not be used where digests
+  /// are compared across processes (replication verification).
+  explicit TreeContext(const SignatureTable &Sig,
+                       DigestPolicy Policy = DigestPolicy::Sha256)
+      : Sig(Sig), Policy(Policy) {}
   ~TreeContext();
 
   TreeContext(const TreeContext &) = delete;
@@ -226,6 +317,11 @@ public:
   /// @}
 
   const SignatureTable &signatures() const { return Sig; }
+
+  /// The digest policy every node of this arena is hashed with. Trees of
+  /// one diff live in one context, so source and target digests are
+  /// always comparable.
+  DigestPolicy digestPolicy() const { return Policy; }
 
   /// Creates a node with the given tag, children, and literals, assigning
   /// a fresh URI and computing all derived data. Asserts that children and
@@ -268,6 +364,7 @@ public:
 
 private:
   const SignatureTable &Sig;
+  DigestPolicy Policy = DigestPolicy::Sha256;
   std::deque<Tree> Nodes;
   URI NextUri = 1;
   MemoryBudget *Budget = nullptr;

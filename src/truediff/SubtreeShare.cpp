@@ -11,7 +11,7 @@ using namespace truediff;
 Tree *SubtreeShare::takeAny() {
   while (Head < Order.size()) {
     Tree *T = Order[Head];
-    if (Available.count(T->uri()))
+    if (T->shareAvailable())
       return T;
     ++Head; // consumed elsewhere; skip for good
   }
@@ -21,7 +21,7 @@ Tree *SubtreeShare::takeAny() {
 void SubtreeShare::buildPreferredIndex() {
   for (size_t I = Head, E = Order.size(); I != E; ++I) {
     Tree *T = Order[I];
-    if (Available.count(T->uri()))
+    if (T->shareAvailable())
       Preferred[T->literalHash()].Trees.push_back(T);
   }
   PreferredBuilt = true;
@@ -36,7 +36,7 @@ Tree *SubtreeShare::takePreferred(const Digest &LitHash) {
   PrefList &List = It->second;
   while (List.Head < List.Trees.size()) {
     Tree *T = List.Trees[List.Head];
-    if (Available.count(T->uri()))
+    if (T->shareAvailable())
       return T;
     ++List.Head;
   }
@@ -46,11 +46,13 @@ Tree *SubtreeShare::takePreferred(const Digest &LitHash) {
 SubtreeShare *SubtreeRegistry::assignShare(Tree *T) {
   if (T->share() != nullptr)
     return T->share();
-  std::unique_ptr<SubtreeShare> &Slot = Shares[T->structureHash()];
-  if (!Slot)
-    Slot = std::make_unique<SubtreeShare>();
-  T->setShare(Slot.get());
-  return Slot.get();
+  SubtreeShare *&Slot = Shares[T->structureHash()];
+  if (Slot == nullptr) {
+    Arena.emplace_back();
+    Slot = &Arena.back();
+  }
+  T->setShare(Slot);
+  return Slot;
 }
 
 SubtreeShare *SubtreeRegistry::assignShareAndRegisterTree(Tree *T) {

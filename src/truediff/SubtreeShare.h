@@ -19,33 +19,34 @@
 #include "support/Digest.h"
 #include "tree/Tree.h"
 
-#include <memory>
+#include <deque>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace truediff {
 
 /// The share of one structural-equivalence class of subtrees.
 ///
-/// Availability is tracked with a registration-order list plus a live set;
-/// deregistered entries are skipped lazily, which keeps registration,
-/// deregistration, and selection amortized constant time (required for the
-/// linear-time bound of Theorem 4.1) and makes "take any" deterministic
-/// (earliest registered wins).
+/// Availability is tracked with a registration-order list plus a per-node
+/// flag (Tree::shareAvailable); deregistered entries are skipped lazily,
+/// which keeps registration, deregistration, and selection amortized
+/// constant time (required for the linear-time bound of Theorem 4.1) and
+/// makes "take any" deterministic (earliest registered wins). The flag
+/// lives in the node rather than a per-share URI hash set so the Step-3
+/// scan is a linear walk over Order with one flag load per entry.
 class SubtreeShare {
 public:
   /// Makes \p T available for reuse. Called for source subtrees in Step 2.
   void registerAvailableTree(Tree *T) {
     Order.push_back(T);
-    Available.insert(T->uri());
+    T->setShareAvailable(true);
   }
 
-  /// Removes \p Uri from the available set (the tree was consumed as part
+  /// Removes \p T from the available set (the tree was consumed as part
   /// of an acquired subtree). No-op if not available.
-  void deregisterAvailableTree(URI Uri) { Available.erase(Uri); }
+  void deregisterAvailableTree(Tree *T) { T->setShareAvailable(false); }
 
-  bool isAvailable(URI Uri) const { return Available.count(Uri) != 0; }
+  bool isAvailable(const Tree *T) const { return T->shareAvailable(); }
 
   /// Returns the earliest-registered available tree, or nullptr.
   Tree *takeAny();
@@ -69,15 +70,21 @@ private:
 
   std::vector<Tree *> Order;
   size_t Head = 0;
-  std::unordered_set<URI> Available;
   std::unordered_map<Digest, PrefList, DigestHash> Preferred;
   bool PreferredBuilt = false;
 };
 
 /// Interns subtree shares by structure hash: two subtrees receive the same
-/// share iff they are structurally equivalent (Section 4.2).
+/// share iff they are structurally equivalent (Section 4.2). Shares live
+/// in a deque arena owned by the registry, so creating one is a bump
+/// allocation instead of a heap round trip per equivalence class.
 class SubtreeRegistry {
 public:
+  /// Pre-sizes the intern table for about \p NumTrees registered nodes,
+  /// so Step 2 never rehashes the table mid-flight. An upper bound is
+  /// fine; compareTo passes the combined source+target node count.
+  void reserve(size_t NumTrees) { Shares.reserve(NumTrees); }
+
   /// Returns the share for \p T's structure hash, creating it on first
   /// use, and stores it in the node. Idempotent.
   SubtreeShare *assignShare(Tree *T);
@@ -89,8 +96,8 @@ public:
   size_t numShares() const { return Shares.size(); }
 
 private:
-  std::unordered_map<Digest, std::unique_ptr<SubtreeShare>, DigestHash>
-      Shares;
+  std::unordered_map<Digest, SubtreeShare *, DigestHash> Shares;
+  std::deque<SubtreeShare> Arena;
 };
 
 } // namespace truediff

@@ -79,10 +79,10 @@ void TrueDiff::takeTree(Tree *Source, Tree *That) {
   // The acquired tree is consumed as a whole: none of its subtrees may be
   // reused elsewhere, and preemptive assignments of smaller subtrees are
   // undone -- we prioritize reusing the larger tree (Section 4.3).
-  Source->share()->deregisterAvailableTree(Source->uri());
+  Source->share()->deregisterAvailableTree(Source);
   Source->foreachSubtree([&](Tree *Subtree) {
     if (Subtree->share() != nullptr)
-      Subtree->share()->deregisterAvailableTree(Subtree->uri());
+      Subtree->share()->deregisterAvailableTree(Subtree);
     if (Subtree->assigned() != nullptr) {
       Tree *ThatNode = Subtree->assigned();
       Subtree->unassignTree();
@@ -317,6 +317,10 @@ DiffResult TrueDiff::compareTo(Tree *Source, Tree *Target) {
 
   // Fresh session state (Step 1 hashes are cached in the nodes already).
   Registry = SubtreeRegistry();
+  // Size the intern table up-front: at most one share per registered node,
+  // so the combined node count bounds the bucket demand and Step 2 never
+  // rehashes the table mid-flight.
+  Registry.reserve(static_cast<size_t>(Source->size() + Target->size()));
   assert(Queue.empty());
 
   assignShares(Source, Target);  // Step 2
@@ -358,9 +362,13 @@ DiffResult TrueDiff::compareTo(Tree *Source, Tree *Target) {
   // only the root-to-edit paths Step 4 marked dirty need rehashing; the
   // resulting digests are identical to a full refresh either way.
   if (Opts.IncrementalRehash)
-    Result.NodesRehashed = Patched->rehashDirtyPaths(Sig);
+    Result.NodesRehashed = Patched->rehashDirtyPaths(Sig, Ctx.digestPolicy());
   else {
-    Patched->refreshDerived(Sig);
+    if (Opts.Step1Pool != nullptr)
+      Patched->refreshDerivedParallel(Sig, Ctx.digestPolicy(),
+                                      *Opts.Step1Pool);
+    else
+      Patched->refreshDerived(Sig, Ctx.digestPolicy());
     Result.NodesRehashed = Patched->size();
   }
   Patched->clearDiffState();

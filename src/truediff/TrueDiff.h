@@ -31,6 +31,7 @@
 #ifndef TRUEDIFF_TRUEDIFF_TRUEDIFF_H
 #define TRUEDIFF_TRUEDIFF_TRUEDIFF_H
 
+#include "support/WorkerPool.h"
 #include "tree/Tree.h"
 #include "truechange/Edit.h"
 #include "truediff/EditBuffer.h"
@@ -59,6 +60,14 @@ struct TrueDiffOptions {
   /// a persisted, pre-hashed source tree "warm" (DocumentStore's digest
   /// cache). When false, the paper-faithful full refresh runs instead.
   bool IncrementalRehash = true;
+
+  /// Optional worker pool for Step-1 hashing. Only consulted on the
+  /// full-refresh path (IncrementalRehash = false): the whole-tree rehash
+  /// after Step 4 is fanned out via Tree::refreshDerivedParallel. The
+  /// incremental path rehashes only the touched root-to-edit paths, which
+  /// are too small to be worth distributing. The pool must outlive the
+  /// TrueDiff session; nullptr keeps everything on the calling thread.
+  WorkerPool *Step1Pool = nullptr;
 };
 
 /// Result of one diff: the edit script and the patched tree.
@@ -95,9 +104,11 @@ public:
   /// \p Patched, clearing the marks; returns the number of nodes rehashed.
   /// Exposed so callers that apply edits to typed trees outside compareTo
   /// (and mark the touched nodes via Tree::markDerivedDirty) can restore
-  /// the digest-cache invariant without a full rehash.
-  static uint64_t rehashDirtyPaths(const SignatureTable &Sig, Tree *Patched) {
-    return Patched->rehashDirtyPaths(Sig);
+  /// the digest-cache invariant without a full rehash. \p Policy must
+  /// match the digest policy of the context owning \p Patched.
+  static uint64_t rehashDirtyPaths(const SignatureTable &Sig, Tree *Patched,
+                                   DigestPolicy Policy = DigestPolicy::Sha256) {
+    return Patched->rehashDirtyPaths(Sig, Policy);
   }
 
 private:

@@ -1,0 +1,80 @@
+//===- tests/deep_tree_test.cpp - Deep-chain traversal regression ----------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regression test for the recursive-traversal stack overflow: a
+/// pathologically deep (but admission-legal) unary chain used to crash
+/// foreachTree/refreshDerived/clearDiffState/deepCopy once it exceeded
+/// the thread stack. All of these are now iterative with explicit work
+/// stacks; this test drives each of them over a ~300k-deep chain and is
+/// meant to run under ASan, whose instrumented frames blow the stack far
+/// earlier than production builds would.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/WorkerPool.h"
+#include "tree/Tree.h"
+
+#include "TestLang.h"
+
+#include <gtest/gtest.h>
+
+using namespace truediff;
+using namespace truediff::testlang;
+
+namespace {
+
+constexpr uint64_t ChainDepth = 300000;
+
+/// Builds Call("f", Call("f", ... Num(0))) iteratively, ChainDepth Calls.
+Tree *deepChain(TreeContext &Ctx) {
+  Tree *T = num(Ctx, 0);
+  for (uint64_t I = 0; I != ChainDepth; ++I)
+    T = call(Ctx, "f", T);
+  return T;
+}
+
+TEST(DeepTreeTest, TraversalsSurviveDeepChains) {
+  SignatureTable Sig = makeExpSignature();
+  TreeContext Ctx(Sig);
+  Tree *T = deepChain(Ctx);
+
+  uint64_t All = 0, Proper = 0;
+  T->foreachTree([&](Tree *) { ++All; });
+  T->foreachSubtree([&](Tree *) { ++Proper; });
+  EXPECT_EQ(All, ChainDepth + 1);
+  EXPECT_EQ(Proper, ChainDepth);
+
+  T->refreshDerived(Sig, Ctx.digestPolicy());
+  EXPECT_EQ(T->size(), ChainDepth + 1);
+  EXPECT_EQ(T->height(), ChainDepth + 1);
+
+  // Dirty-path rehash down the full chain: worst case, every node dirty.
+  T->foreachTree([](Tree *N) { N->markDerivedDirty(); });
+  EXPECT_EQ(T->rehashDirtyPaths(Sig, Ctx.digestPolicy()), ChainDepth + 1);
+  T->foreachTree([&](Tree *N) { EXPECT_FALSE(N->derivedDirty()); });
+
+  T->clearDiffState();
+
+  // Parallel refresh degenerates to mostly-spine work on a chain but must
+  // stay stack-safe too.
+  WorkerPool Pool(2);
+  Digest SerialHash = T->structureHash();
+  T->refreshDerivedParallel(Sig, Ctx.digestPolicy(), Pool);
+  EXPECT_EQ(T->structureHash(), SerialHash);
+}
+
+TEST(DeepTreeTest, DeepCopySurvivesDeepChains) {
+  SignatureTable Sig = makeExpSignature();
+  TreeContext Ctx(Sig);
+  Tree *T = deepChain(Ctx);
+  Tree *Copy = Ctx.deepCopy(T);
+  EXPECT_TRUE(Copy->equalsModuloUris(*T));
+  EXPECT_NE(Copy->uri(), T->uri());
+  EXPECT_EQ(Copy->size(), ChainDepth + 1);
+}
+
+} // namespace

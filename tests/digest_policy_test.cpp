@@ -1,0 +1,274 @@
+//===- tests/digest_policy_test.cpp - Digest policy seam tests -------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the pluggable Step-1 digest policy (support/TreeHash.h):
+///   - Fast128 is deterministic, streaming-consistent, and length-armoured;
+///   - DigestHash spreads attacker-shaped digests that share a prefix
+///     (the bucket-flooding regression: the old functor exposed the raw
+///     digest prefix as the bucket key);
+///   - the central property: fast-hash and SHA-256 policies produce
+///     byte-identical edit scripts and identical touched-URI sets over
+///     hundreds of seeded mutation chains, cold and warm, with every
+///     script passing the linear type checker;
+///   - refreshDerivedParallel produces exactly the serial digests.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+#include "support/TreeHash.h"
+#include "support/WorkerPool.h"
+#include "truechange/Serialize.h"
+#include "truechange/TypeChecker.h"
+#include "truediff/TrueDiff.h"
+
+#include "TestLang.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <unordered_set>
+
+using namespace truediff;
+using namespace truediff::testlang;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Fast128 hasher
+//===----------------------------------------------------------------------===//
+
+TEST(Fast128Test, DeterministicAndOneShotMatchesStreaming) {
+  std::vector<uint8_t> Data(1000);
+  for (size_t I = 0; I != Data.size(); ++I)
+    Data[I] = static_cast<uint8_t>(I * 31 + 7);
+
+  Digest OneShot = Fast128::hash(Data.data(), Data.size());
+  EXPECT_EQ(OneShot, Fast128::hash(Data.data(), Data.size()));
+
+  // Streaming in awkward chunk sizes (straddling the 64-byte block
+  // boundary) must agree with the one-shot hash.
+  Rng R(42);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    Fast128 H;
+    size_t Off = 0;
+    while (Off < Data.size()) {
+      size_t Chunk = std::min<size_t>(1 + R.below(130), Data.size() - Off);
+      H.update(Data.data() + Off, Chunk);
+      Off += Chunk;
+    }
+    EXPECT_EQ(H.finish(), OneShot) << "trial " << Trial;
+  }
+}
+
+TEST(Fast128Test, DistinctInputsAndLengthArmouring) {
+  // Zero-padded tails must not collide with shorter all-zero inputs: the
+  // finalizer folds in the total length.
+  std::array<uint8_t, 128> Zeros{};
+  std::unordered_set<std::string> Seen;
+  for (size_t Len = 0; Len <= Zeros.size(); ++Len)
+    EXPECT_TRUE(Seen.insert(Fast128::hash(Zeros.data(), Len).toHex()).second)
+        << "collision among zero inputs at length " << Len;
+
+  EXPECT_NE(Fast128::hash("abc", 3), Fast128::hash("abd", 3));
+
+  // The 128-bit digest lives in bytes [0,16); the rest stays zero so kid
+  // digest truncation (Tree.cpp's KidDigestBytes) loses nothing.
+  Digest D = Fast128::hash("hello", 5);
+  for (size_t I = 16; I != Digest::NumBytes; ++I)
+    EXPECT_EQ(D.bytes()[I], 0u);
+  EXPECT_NE(D.word(0) | D.word(1), 0u);
+}
+
+TEST(Fast128Test, ProcessSeedIsStable) {
+  EXPECT_EQ(processDigestSeed(), processDigestSeed());
+  EXPECT_EQ(digestTableSeed(), processDigestSeed());
+}
+
+//===----------------------------------------------------------------------===//
+// DigestHash bucket flooding
+//===----------------------------------------------------------------------===//
+
+TEST(DigestHashTest, SpreadsDigestsSharingAPrefix) {
+  // Regression: DigestHash used to return the raw 8-byte digest prefix,
+  // so digests crafted to share a prefix all landed in one bucket. With
+  // the seeded finisher, 4096 digests with an identical word(0) must
+  // produce (essentially) 4096 distinct table hashes.
+  DigestHash H;
+  std::unordered_set<size_t> Hashes;
+  for (uint64_t I = 0; I != 4096; ++I) {
+    std::array<uint8_t, Digest::NumBytes> B{};
+    // Same first word for all; the counter only in the second word.
+    std::memset(B.data(), 0xAB, 8);
+    std::memcpy(B.data() + 8, &I, sizeof(I));
+    Hashes.insert(H(Digest(B)));
+  }
+  EXPECT_GE(Hashes.size(), 4090u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-policy property: identical scripts, cold and warm
+//===----------------------------------------------------------------------===//
+
+Tree *randomExp(TreeContext &Ctx, Rng &R, int MaxDepth) {
+  static const char *Vars[] = {"x", "y", "z", "acc", "tmp"};
+  static const char *Funcs[] = {"f", "g", "len", "sqrt"};
+  if (MaxDepth <= 1 || R.chance(25)) {
+    switch (R.below(3)) {
+    case 0:
+      return num(Ctx, R.range(0, 9));
+    case 1:
+      return var(Ctx, Vars[R.below(5)]);
+    default:
+      return leaf(Ctx, (const char *[]){"a", "b", "c", "d"}[R.below(4)]);
+    }
+  }
+  switch (R.below(4)) {
+  case 0:
+    return add(Ctx, randomExp(Ctx, R, MaxDepth - 1),
+               randomExp(Ctx, R, MaxDepth - 1));
+  case 1:
+    return sub(Ctx, randomExp(Ctx, R, MaxDepth - 1),
+               randomExp(Ctx, R, MaxDepth - 1));
+  case 2:
+    return mul(Ctx, randomExp(Ctx, R, MaxDepth - 1),
+               randomExp(Ctx, R, MaxDepth - 1));
+  default:
+    return call(Ctx, Funcs[R.below(4)], randomExp(Ctx, R, MaxDepth - 1));
+  }
+}
+
+Tree *mutateExp(TreeContext &Ctx, Rng &R, const Tree *T, unsigned Percent) {
+  if (R.chance(Percent))
+    return randomExp(Ctx, R, 3);
+  std::vector<Tree *> Kids;
+  for (size_t I = 0, E = T->arity(); I != E; ++I)
+    Kids.push_back(mutateExp(Ctx, R, T->kid(I), Percent));
+  if (Kids.size() == 2 && R.chance(Percent))
+    std::swap(Kids[0], Kids[1]);
+  std::vector<Literal> Lits = T->lits();
+  if (!Lits.empty() && R.chance(Percent) && Lits[0].kind() == LitKind::Int)
+    Lits[0] = Literal(R.range(0, 9));
+  return Ctx.make(T->tag(), std::move(Kids), std::move(Lits));
+}
+
+TEST(DigestPolicyProperty, ScriptsIdenticalAcrossPoliciesColdAndWarm) {
+  // The digest policy selects how subtree equivalence is *computed*, never
+  // what it *is*: over 500 seeded mutation chains, replayed under every
+  // (policy x rehash-mode) combination in a fresh context with an
+  // identical allocation sequence, the serialized scripts and touched-URI
+  // sets must agree byte for byte, and every script must type-check.
+  SignatureTable Sig = makeExpSignature();
+  LinearTypeChecker Checker(Sig);
+  constexpr int NumChains = 500;
+  constexpr int Rounds = 3;
+  const std::array<std::pair<DigestPolicy, bool>, 4> Combos = {{
+      {DigestPolicy::Sha256, /*IncrementalRehash=*/false}, // cold
+      {DigestPolicy::Sha256, /*IncrementalRehash=*/true},  // warm
+      {DigestPolicy::Fast128, /*IncrementalRehash=*/false},
+      {DigestPolicy::Fast128, /*IncrementalRehash=*/true},
+  }};
+
+  for (uint64_t Seed = 0; Seed != NumChains; ++Seed) {
+    std::array<std::vector<std::string>, 4> Scripts;
+    std::array<std::vector<std::vector<URI>>, 4> Touched;
+    for (size_t C = 0; C != Combos.size(); ++C) {
+      TreeContext Ctx(Sig, Combos[C].first);
+      Rng R(Seed * 1000003 + 1);
+      Tree *Current = randomExp(Ctx, R, 5);
+      TrueDiffOptions Opts;
+      Opts.IncrementalRehash = Combos[C].second;
+      for (int Round = 0; Round != Rounds; ++Round) {
+        Tree *Target = mutateExp(Ctx, R, Current, 15);
+        TrueDiff Diff(Ctx, Opts);
+        DiffResult Res = Diff.compareTo(Current, Target);
+        auto TC = Checker.checkWellTyped(Res.Script);
+        ASSERT_TRUE(TC.Ok) << "seed " << Seed << " combo " << C << " round "
+                           << Round << ": " << TC.Error;
+        Scripts[C].push_back(serializeEditScript(Sig, Res.Script));
+        Touched[C].push_back(Res.Script.touchedUris());
+        Current = Res.Patched;
+      }
+    }
+    for (size_t C = 1; C != Combos.size(); ++C) {
+      ASSERT_EQ(Scripts[C], Scripts[0]) << "seed " << Seed << " combo " << C;
+      ASSERT_EQ(Touched[C], Touched[0]) << "seed " << Seed << " combo " << C;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel Step-1 refresh
+//===----------------------------------------------------------------------===//
+
+/// Builds a full binary Add tree with \p Leaves Num leaves, bottom-up (no
+/// recursion), so the parallel refresh actually gets chunks to fan out.
+Tree *bigBalancedTree(TreeContext &Ctx, int Leaves) {
+  std::vector<Tree *> Level;
+  for (int I = 0; I != Leaves; ++I)
+    Level.push_back(num(Ctx, I % 10));
+  while (Level.size() > 1) {
+    std::vector<Tree *> Next;
+    for (size_t I = 0; I + 1 < Level.size(); I += 2)
+      Next.push_back(add(Ctx, Level[I], Level[I + 1]));
+    if (Level.size() % 2 != 0)
+      Next.push_back(Level.back());
+    Level = std::move(Next);
+  }
+  return Level.front();
+}
+
+TEST(DigestPolicyTest, ParallelRefreshMatchesSerialDigests) {
+  SignatureTable Sig = makeExpSignature();
+  for (DigestPolicy Policy : {DigestPolicy::Sha256, DigestPolicy::Fast128}) {
+    TreeContext SerialCtx(Sig, Policy);
+    TreeContext ParCtx(Sig, Policy);
+    Tree *Serial = bigBalancedTree(SerialCtx, 8192);
+    Tree *Par = bigBalancedTree(ParCtx, 8192);
+
+    Serial->refreshDerived(Sig, Policy);
+    WorkerPool Pool(4);
+    Par->refreshDerivedParallel(Sig, Policy, Pool);
+
+    // Node-for-node agreement, iteratively (the trees are big).
+    std::vector<std::pair<Tree *, Tree *>> Stack{{Serial, Par}};
+    while (!Stack.empty()) {
+      auto [A, B] = Stack.back();
+      Stack.pop_back();
+      ASSERT_EQ(A->structureHash(), B->structureHash());
+      ASSERT_EQ(A->literalHash(), B->literalHash());
+      ASSERT_EQ(A->height(), B->height());
+      ASSERT_EQ(A->size(), B->size());
+      ASSERT_EQ(A->arity(), B->arity());
+      for (size_t I = 0, E = A->arity(); I != E; ++I)
+        Stack.push_back({A->kid(I), B->kid(I)});
+    }
+  }
+}
+
+TEST(DigestPolicyTest, PooledStep1OptionKeepsScriptsIdentical) {
+  // TrueDiffOptions::Step1Pool only changes how the full refresh is
+  // scheduled; diff output must be unchanged.
+  SignatureTable Sig = makeExpSignature();
+  std::array<std::string, 2> Out;
+  WorkerPool Pool(3);
+  for (int Mode = 0; Mode != 2; ++Mode) {
+    TreeContext Ctx(Sig, DigestPolicy::Fast128);
+    Rng R(77);
+    Tree *Source = randomExp(Ctx, R, 7);
+    Tree *Target = mutateExp(Ctx, R, Source, 12);
+    TrueDiffOptions Opts;
+    Opts.IncrementalRehash = false; // force the full-refresh path
+    if (Mode == 1)
+      Opts.Step1Pool = &Pool;
+    TrueDiff Diff(Ctx, Opts);
+    DiffResult Res = Diff.compareTo(Source, Target);
+    Out[Mode] = serializeEditScript(Sig, Res.Script);
+  }
+  EXPECT_EQ(Out[0], Out[1]);
+}
+
+} // namespace

@@ -127,7 +127,7 @@ TEST_F(TreeTest, RefreshDerivedAfterMutation) {
   ASSERT_EQ(A->structureHash(), B->structureHash());
   // Mutate A's kid and refresh: hashes must diverge (different shape).
   A->setKid(1, sub(Ctx, num(Ctx, 3), num(Ctx, 4)));
-  A->refreshDerived(Sig);
+  A->refreshDerived(Sig, Ctx.digestPolicy());
   EXPECT_NE(A->structureHash(), B->structureHash());
   EXPECT_EQ(A->size(), 5u);
   EXPECT_EQ(A->height(), 3u);

@@ -42,9 +42,9 @@ TEST_F(InternalsTest, TakeAnyIsRegistrationOrdered) {
   Share.registerAvailableTree(A);
   Share.registerAvailableTree(B);
   EXPECT_EQ(Share.takeAny(), A);
-  Share.deregisterAvailableTree(A->uri());
+  Share.deregisterAvailableTree(A);
   EXPECT_EQ(Share.takeAny(), B);
-  Share.deregisterAvailableTree(B->uri());
+  Share.deregisterAvailableTree(B);
   EXPECT_EQ(Share.takeAny(), nullptr);
 }
 
@@ -54,8 +54,8 @@ TEST_F(InternalsTest, TakeAnySkipsDeregisteredLazily) {
   Tree *B = num(Ctx, 2);
   Share.registerAvailableTree(A);
   Share.registerAvailableTree(B);
-  Share.deregisterAvailableTree(A->uri());
-  EXPECT_FALSE(Share.isAvailable(A->uri()));
+  Share.deregisterAvailableTree(A);
+  EXPECT_FALSE(Share.isAvailable(A));
   EXPECT_EQ(Share.takeAny(), B);
 }
 
@@ -79,7 +79,7 @@ TEST_F(InternalsTest, TakePreferredSkipsConsumedCandidates) {
   Share.registerAvailableTree(B);
   // Build the index first, then consume A through another path.
   EXPECT_EQ(Share.takePreferred(A->literalHash()), A);
-  Share.deregisterAvailableTree(A->uri());
+  Share.deregisterAvailableTree(A);
   EXPECT_EQ(Share.takePreferred(A->literalHash()), B);
 }
 
@@ -112,7 +112,7 @@ TEST_F(InternalsTest, AssignShareAndRegisterMakesAvailable) {
   SubtreeRegistry Registry;
   Tree *A = num(Ctx, 3);
   SubtreeShare *Share = Registry.assignShareAndRegisterTree(A);
-  EXPECT_TRUE(Share->isAvailable(A->uri()));
+  EXPECT_TRUE(Share->isAvailable(A));
   EXPECT_EQ(Share->takeAny(), A);
 }
 
