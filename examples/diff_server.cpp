@@ -23,6 +23,13 @@
 /// holding the previous version can replay the patch locally -- the
 /// version-control/database deployment the paper motivates in Section 1.
 ///
+/// open/submit accept an optional `author=<name>` token after the doc
+/// id; the blame subsystem attributes every touched node to it. `blame
+/// <doc>` renders the live tree with per-node intro/last attribution,
+/// `blame <doc> <uri>` answers for one node from the provenance index
+/// (one hash probe, no history replay), and `history <doc> <uri>` lists
+/// the retained revisions that touched the node, newest first.
+///
 /// With --data-dir=<dir> the server is durable: committed operations are
 /// written to a write-ahead log in <dir>, documents are snapshotted in
 /// the background, and on startup the store is recovered from the
@@ -80,6 +87,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "blame/Provenance.h"
+#include "blame/Render.h"
 #include "json/Json.h"
 #include "net/ServiceHandler.h"
 #include "persist/Persistence.h"
@@ -306,6 +315,13 @@ int main(int Argc, char **Argv) {
   StoreCfg.Step1Workers = static_cast<unsigned>(Step1Workers);
   DocumentStore Store(Sig, StoreCfg);
 
+  // Per-node attribution, folded incrementally from the script stream.
+  // Recovery rebuilds it from snapshots + WAL before traffic starts.
+  blame::ProvenanceIndex::Config ProvCfg;
+  if (MemBudgetMb != 0)
+    ProvCfg.MemBudget = &Budget;
+  blame::ProvenanceIndex Prov(ProvCfg);
+
   std::unique_ptr<persist::Persistence> Persist;
   if (!DataDir.empty()) {
     persist::Persistence::Config PC;
@@ -317,7 +333,9 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "diff_server: cannot open data dir: %s\n", E.what());
       return 1;
     }
-    persist::RecoveryResult R = Persist->recoverAndAttach(Store);
+    Persist->setProvenanceSource(
+        [&Prov](DocId Doc) { return Prov.snapshotDoc(Doc); });
+    persist::RecoveryResult R = Persist->recoverAndAttach(Store, &Prov);
     std::fprintf(stderr,
                  "diff_server: recovered %llu document(s) from %s "
                  "(%llu snapshot(s), %llu record(s) replayed, %llu torn "
@@ -336,11 +354,18 @@ int main(int Argc, char **Argv) {
   if (MemBudgetMb != 0)
     Cfg.MemBudget = &Budget;
   DiffService Service(Store, Cfg);
+  // Subscribe the index to the live script stream (recovery above used
+  // the WAL instead; restore() emits nothing, so nothing double-folds),
+  // and serve blame/history through the service queue.
+  Prov.attach(Store);
+  blame::wireBlameHandlers(Service, Store, Prov);
   if (Persist) {
     persist::Persistence *P = Persist.get();
     Service.setDrainHook([P] { P->flush(); });
-    Service.setStatsAugmenter(
-        [P] { return "\"persist\":" + P->statsJson(); });
+    Service.setStatsAugmenter([P, &Prov] {
+      return "\"persist\":" + P->statsJson() + "," +
+             Prov.statsJsonFragment();
+    });
     Service.setHealthSource([P] {
       persist::Persistence::HealthInfo H = P->healthInfo();
       HealthStatus S;
@@ -349,6 +374,8 @@ int main(int Argc, char **Argv) {
       S.DegradedUs = H.DegradedUs;
       return S;
     });
+  } else {
+    Service.setStatsAugmenter([&Prov] { return Prov.statsJsonFragment(); });
   }
 
   // Network front end and/or replication leader share one event loop.
@@ -361,6 +388,8 @@ int main(int Argc, char **Argv) {
     Loop = std::make_unique<net::EventLoop>();
   if (ReplListen) {
     Log = std::make_unique<replica::ReplicationLog>(Store);
+    Log->setProvenanceSource(
+        [&Prov](uint64_t Doc) { return Prov.snapshotDoc(Doc); });
     Log->attach();
     replica::Leader::Config LC;
     LC.Port = static_cast<uint16_t>(ReplPort);
@@ -421,7 +450,8 @@ int main(int Argc, char **Argv) {
     DigestNote += ", " + std::to_string(Step1Workers) + " step-1 workers";
   std::fprintf(stderr,
                "diff_server: %s signature, %u workers%s%s%s; commands: open, "
-               "submit, rollback, get, save, recover, stats, health, quit\n",
+               "submit, rollback, get, blame, history, save, recover, stats, "
+               "health, quit\n",
                Lang.c_str(), Service.workers(), Persist ? ", durable" : "",
                DigestNote.c_str(), DeadlineNote.c_str());
   if (Srv)
@@ -462,17 +492,24 @@ int main(int Argc, char **Argv) {
     Response R;
     switch (Cmd.K) {
     case WireCommand::Kind::Open:
-      R = Service.open(Cmd.Doc, makeSExprBuilder(std::move(Cmd.Arg), Limits));
+      R = Service.open(Cmd.Doc, makeSExprBuilder(std::move(Cmd.Arg), Limits),
+                       std::move(Cmd.Author));
       break;
     case WireCommand::Kind::Submit:
       R = Service.submit(Cmd.Doc, makeSExprBuilder(std::move(Cmd.Arg), Limits),
-                         DeadlineMs);
+                         DeadlineMs, std::move(Cmd.Author));
       break;
     case WireCommand::Kind::Rollback:
       R = Service.rollback(Cmd.Doc);
       break;
     case WireCommand::Kind::Get:
       R = Service.getVersion(Cmd.Doc);
+      break;
+    case WireCommand::Kind::Blame:
+      R = Service.blame(Cmd.Doc, Cmd.HasUri, Cmd.Uri);
+      break;
+    case WireCommand::Kind::History:
+      R = Service.history(Cmd.Doc, Cmd.Uri);
       break;
     case WireCommand::Kind::Save:
       if (!Persist) {

@@ -7,15 +7,21 @@
 /// \file
 /// The CI replication smoke: brings up a leader and two follower
 /// replicas over loopback TCP in one process, drives a seeded workload
-/// of opens, submits, rollbacks, and erases through the leader, reads
-/// every document back over the followers' TCP read endpoints, and
-/// asserts byte-for-byte convergence (URI-preserving rendering and
-/// SHA-256 digest). Exits 0 on convergence, 1 on any divergence.
+/// of authored opens, submits, rollbacks, and erases through the
+/// leader, reads every document back over the followers' TCP read
+/// endpoints, and asserts byte-for-byte convergence (URI-preserving
+/// rendering and SHA-256 digest). The same check covers attribution:
+/// each live document's `blame` and `history` responses must be
+/// byte-identical between the leader's provenance index and each
+/// follower's, which is maintained independently from the record
+/// stream. Exits 0 on convergence, 1 on any divergence.
 ///
 ///   replication_smoke [steps] [seed]
 ///
 //===----------------------------------------------------------------------===//
 
+#include "blame/Provenance.h"
+#include "blame/Render.h"
 #include "corpus/JsonGen.h"
 #include "json/Json.h"
 #include "net/NetServer.h"
@@ -65,7 +71,7 @@ bool waitUntil(const std::function<bool()> &Pred, int TimeoutMs = 30000) {
 }
 
 bool checkFollower(const char *Name, service::DocumentStore &Store,
-                   replica::Follower &F) {
+                   const blame::ProvenanceIndex &Prov, replica::Follower &F) {
   bool Ok = true;
   uint64_t Live = 0;
   for (uint64_t Doc = 1; Doc <= NumDocs; ++Doc) {
@@ -94,10 +100,48 @@ bool checkFollower(const char *Name, service::DocumentStore &Store,
                    static_cast<unsigned long long>(S.Version));
       Ok = false;
     }
+
+    // Attribution convergence: the follower's provenance index is built
+    // independently from the record stream, yet its blame and history
+    // responses must match the leader's byte for byte.
+    service::Response LB = blame::blameResponse(Store, Prov, Doc, false, NullURI);
+    service::Response FB = F.blameRead(Doc, false, NullURI);
+    if (LB.Code != FB.Code || LB.Payload != FB.Payload ||
+        LB.Error != FB.Error) {
+      std::fprintf(stderr,
+                   "FAIL %s: doc %llu blame diverged\n  leader: %s%s\n  "
+                   "follower: %s%s\n",
+                   Name, static_cast<unsigned long long>(Doc),
+                   LB.Payload.c_str(), LB.Error.c_str(), FB.Payload.c_str(),
+                   FB.Error.c_str());
+      Ok = false;
+    }
+    // The root's URI leads the leader's blame tree as `<tag>#<uri> ...`.
+    URI HistUri = NullURI;
+    size_t Hash = LB.Payload.find('#');
+    if (LB.Code == service::ErrCode::None && Hash != std::string::npos)
+      HistUri = std::strtoull(LB.Payload.c_str() + Hash + 1, nullptr, 10);
+    if (HistUri != NullURI) {
+      service::Response LH = blame::historyResponse(Store, Prov, Doc, HistUri);
+      service::Response FH = F.historyRead(Doc, HistUri);
+      if (LH.Code != FH.Code || LH.Payload != FH.Payload ||
+          LH.Error != FH.Error) {
+        std::fprintf(stderr,
+                     "FAIL %s: doc %llu history(#%llu) diverged\n  leader: "
+                     "%s%s\n  follower: %s%s\n",
+                     Name, static_cast<unsigned long long>(Doc),
+                     static_cast<unsigned long long>(HistUri),
+                     LH.Payload.c_str(), LH.Error.c_str(), FH.Payload.c_str(),
+                     FH.Error.c_str());
+        Ok = false;
+      }
+    }
   }
   if (Ok)
-    std::fprintf(stderr, "%s: %llu live documents byte-identical\n", Name,
-                 static_cast<unsigned long long>(Live));
+    std::fprintf(stderr,
+                 "%s: %llu live documents byte-identical (trees, blame, "
+                 "history)\n",
+                 Name, static_cast<unsigned long long>(Live));
   return Ok;
 }
 
@@ -143,9 +187,13 @@ int main(int Argc, char **Argv) {
 
   SignatureTable Sig = json::makeJsonSignature();
 
-  // Leader: store + replication log + TCP endpoint.
+  // Leader: store + provenance index + replication log + TCP endpoint.
   service::DocumentStore Store(Sig);
+  blame::ProvenanceIndex Prov;
+  Prov.attach(Store);
   replica::ReplicationLog Log(Store);
+  Log.setProvenanceSource(
+      [&Prov](service::DocId Doc) { return Prov.snapshotDoc(Doc); });
   net::EventLoop LeaderLoop;
   replica::Leader::Config LC;
   LC.Epoch = 1;
@@ -176,7 +224,9 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  // Seeded workload through the leader: open/submit/rollback/erase.
+  // Seeded workload through the leader: authored open/submit plus
+  // rollback/erase, so blame responses carry real attribution.
+  static const char *const Authors[] = {"ada", "grace", "barbara", "edsger"};
   Rng R(Seed);
   TreeContext Ctx(Sig);
   std::unordered_map<uint64_t, Tree *> Model;
@@ -185,11 +235,12 @@ int main(int Argc, char **Argv) {
   Opts.MaxFanout = 4;
   for (uint64_t I = 0; I != Steps; ++I) {
     uint64_t Doc = 1 + R.below(NumDocs);
+    const char *Author = Authors[R.below(4)];
     auto It = Model.find(Doc);
     if (It == Model.end()) {
       Tree *T = corpus::generateJson(Ctx, R, Opts);
-      service::StoreResult SR =
-          Store.open(Doc, blobBuilder(Sig, persist::encodeTree(Sig, T)));
+      service::StoreResult SR = Store.open(
+          Doc, blobBuilder(Sig, persist::encodeTree(Sig, T)), Author);
       if (!SR.Ok) {
         std::fprintf(stderr, "open failed: %s\n", SR.Error.c_str());
         return 1;
@@ -200,8 +251,10 @@ int main(int Argc, char **Argv) {
     unsigned Dice = static_cast<unsigned>(R.below(100));
     if (Dice < 70) {
       Tree *Next = corpus::mutateJson(Ctx, R, It->second);
-      service::StoreResult SR =
-          Store.submit(Doc, blobBuilder(Sig, persist::encodeTree(Sig, Next)));
+      service::SubmitOptions SubOpts;
+      SubOpts.Author = Author;
+      service::StoreResult SR = Store.submit(
+          Doc, blobBuilder(Sig, persist::encodeTree(Sig, Next)), SubOpts);
       if (!SR.Ok) {
         std::fprintf(stderr, "submit failed: %s\n", SR.Error.c_str());
         return 1;
@@ -228,8 +281,8 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  bool Ok = checkFollower("follower-1", Store, F1) &&
-            checkFollower("follower-2", Store, F2);
+  bool Ok = checkFollower("follower-1", Store, Prov, F1) &&
+            checkFollower("follower-2", Store, Prov, F2);
 
   // Prove the TCP read endpoints answer (any live doc; doc ids start
   // at 1 and something is live after a seeded run of this length).

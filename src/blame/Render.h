@@ -1,0 +1,89 @@
+//===- blame/Render.h - blame / history query rendering ---------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders blame and history answers from the ProvenanceIndex into wire
+/// responses, shared by the leader (serving from the DocumentStore) and
+/// follower replicas (serving from their materialized trees and bounded
+/// record rings). The text is deterministic: a leader and a caught-up
+/// follower render byte-identical blame output for the same document,
+/// which the replication smoke test asserts.
+///
+/// `blame <doc>` renders the live tree pre-order, one line per node:
+///
+///   <indent><tag>#<uri> intro=v<V>:<author|-> last=v<V>:<author|-> <op>
+///
+/// `blame <doc> <uri>` is the single-node line, served from the index
+/// alone -- one hash probe, no tree walk, no history replay.
+///
+/// `history <doc> <uri>` lists the retained revisions that touched the
+/// node, newest first, from the script history ring. The ring is
+/// bounded, so answers degrade *explicitly*: a partially covered chain
+/// carries a trailing `evicted ...` marker, and a node whose retained
+/// chain is entirely gone yields ErrCode::HistoryExhausted -- never a
+/// silently wrong attribution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_BLAME_RENDER_H
+#define TRUEDIFF_BLAME_RENDER_H
+
+#include "blame/Provenance.h"
+#include "service/DiffService.h"
+
+namespace truediff {
+namespace blame {
+
+/// One retained revision of a document's history ring, for history
+/// rendering. Leaders build these from DocumentStore::HistoryEntry,
+/// followers from their replicated record rings.
+struct HistoryRef {
+  uint64_t Version = 0;
+  std::string_view Author;
+  const EditScript *Script = nullptr;
+};
+
+/// Renders the annotated pre-order tree for `blame <doc>` (the DocView
+/// must belong to \p Doc's index and the tree to the same version).
+std::string renderBlameTree(const SignatureTable &Sig, const Tree *Root,
+                            const ProvenanceIndex::DocView &View);
+
+/// Serves `blame <doc> [uri]` against a live tree. \p Root may be null
+/// only when \p HasUri (single-node blame needs no tree).
+service::Response blameTreeResponse(const SignatureTable &Sig,
+                                    const Tree *Root,
+                                    const ProvenanceIndex &Idx,
+                                    service::DocId Doc, bool HasUri, URI Uri);
+
+/// Serves `history <doc> <uri>` from the index plus the retained ring
+/// (\p Ring oldest first).
+service::Response historyResponse(const ProvenanceIndex &Idx,
+                                  service::DocId Doc, URI Uri,
+                                  const std::vector<HistoryRef> &Ring);
+
+/// Leader-side `blame <doc> [uri]`: walks the store's live tree under
+/// the document lock.
+service::Response blameResponse(const service::DocumentStore &Store,
+                                const ProvenanceIndex &Idx,
+                                service::DocId Doc, bool HasUri, URI Uri);
+
+/// Leader-side `history <doc> <uri>`: reads the store's history ring
+/// under the document lock.
+service::Response historyResponse(const service::DocumentStore &Store,
+                                  const ProvenanceIndex &Idx,
+                                  service::DocId Doc, URI Uri);
+
+/// Wires `blame`/`history` service operations to \p Store + \p Idx; the
+/// server binary calls this once after constructing the service. Both
+/// must outlive \p Svc.
+void wireBlameHandlers(service::DiffService &Svc,
+                       const service::DocumentStore &Store,
+                       const ProvenanceIndex &Idx);
+
+} // namespace blame
+} // namespace truediff
+
+#endif // TRUEDIFF_BLAME_RENDER_H

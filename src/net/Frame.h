@@ -19,8 +19,12 @@
 /// Client request payloads (tree blobs are persist/BinaryCodec
 /// encodeTree; all integers LEB128 varints):
 ///
-///   Open, Submit    varint doc-id, then the tree blob
+///   Open, Submit    varint doc-id, varint author-length + author bytes
+///                   (0 = unattributed), then the tree blob
 ///   Rollback, Get   varint doc-id
+///   Blame           varint doc-id, optionally varint node uri (absent =
+///                   annotate the whole tree)
+///   History         varint doc-id, varint node uri
 ///   Stats, Health,
 ///   Quit            empty
 ///
@@ -69,6 +73,8 @@ enum class BinVerb : uint8_t {
   Stats = 5,
   Health = 6,
   Quit = 7,
+  Blame = 8,
+  History = 9,
 };
 
 /// Replication frame types (frame type under ReplMagic).

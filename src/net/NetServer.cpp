@@ -190,6 +190,16 @@ bool NetServer::parseOne(Conn &C) {
                        "truncated doc id");
         return true;
       }
+      {
+        auto AuthorLen = getVarint(Payload, Pos);
+        if (!AuthorLen || *AuthorLen > Payload.size() - Pos) {
+          immediateError(C, true, Req.Cmd.K, ErrCode::MalformedFrame,
+                         "truncated author field");
+          return true;
+        }
+        Req.Cmd.Author = Payload.substr(Pos, *AuthorLen);
+        Pos += *AuthorLen;
+      }
       Req.Blob = Payload.substr(Pos);
       break;
     case BinVerb::Rollback:
@@ -203,6 +213,41 @@ bool NetServer::parseOne(Conn &C) {
         return true;
       }
       break;
+    case BinVerb::Blame:
+      Req.Cmd.K = WireCommand::Kind::Blame;
+      if (!NeedDoc()) {
+        immediateError(C, true, Req.Cmd.K, ErrCode::MalformedFrame,
+                       "truncated doc id");
+        return true;
+      }
+      if (Pos != Payload.size()) {
+        auto Uri = getVarint(Payload, Pos);
+        if (!Uri || Pos != Payload.size()) {
+          immediateError(C, true, Req.Cmd.K, ErrCode::MalformedFrame,
+                         "malformed blame payload");
+          return true;
+        }
+        Req.Cmd.Uri = *Uri;
+        Req.Cmd.HasUri = true;
+      }
+      break;
+    case BinVerb::History: {
+      Req.Cmd.K = WireCommand::Kind::History;
+      if (!NeedDoc()) {
+        immediateError(C, true, Req.Cmd.K, ErrCode::MalformedFrame,
+                       "truncated doc id");
+        return true;
+      }
+      auto Uri = getVarint(Payload, Pos);
+      if (!Uri || Pos != Payload.size()) {
+        immediateError(C, true, Req.Cmd.K, ErrCode::MalformedFrame,
+                       "malformed history payload");
+        return true;
+      }
+      Req.Cmd.Uri = *Uri;
+      Req.Cmd.HasUri = true;
+      break;
+    }
     case BinVerb::Stats:
     case BinVerb::Health:
       Req.Cmd.K = H.Type == static_cast<uint8_t>(BinVerb::Stats)

@@ -56,7 +56,8 @@ void ServiceHandler::handle(NetRequest Req,
     TreeBuilder Build = Req.Binary
                             ? makeBlobBuilder(std::move(Req.Blob))
                             : makeSExprBuilder(Cmd.Arg, Cfg.Limits);
-    Svc.openCb(Cmd.Doc, std::move(Build), Bytes, std::move(Done));
+    Svc.openCb(Cmd.Doc, std::move(Build), Bytes, std::move(Req.Cmd.Author),
+               std::move(Done));
     return;
   }
   case WireCommand::Kind::Submit: {
@@ -65,7 +66,8 @@ void ServiceHandler::handle(NetRequest Req,
                             ? makeBlobBuilder(std::move(Req.Blob))
                             : makeSExprBuilder(Cmd.Arg, Cfg.Limits);
     Svc.submitCb(Cmd.Doc, std::move(Build), Cfg.SubmitDeadlineMs, Bytes,
-                 /*RawScript=*/Req.Binary, std::move(Done));
+                 /*RawScript=*/Req.Binary, std::move(Req.Cmd.Author),
+                 std::move(Done));
     return;
   }
   case WireCommand::Kind::Rollback:
@@ -73,6 +75,12 @@ void ServiceHandler::handle(NetRequest Req,
     return;
   case WireCommand::Kind::Get:
     Svc.getVersionCb(Cmd.Doc, std::move(Done));
+    return;
+  case WireCommand::Kind::Blame:
+    Svc.blameCb(Cmd.Doc, Cmd.HasUri, Cmd.Uri, std::move(Done));
+    return;
+  case WireCommand::Kind::History:
+    Svc.historyCb(Cmd.Doc, Cmd.Uri, std::move(Done));
     return;
   case WireCommand::Kind::Stats:
     Svc.statsCb(std::move(Done));

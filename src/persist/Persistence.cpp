@@ -6,6 +6,7 @@
 
 #include "persist/Persistence.h"
 
+#include "blame/Provenance.h"
 #include "persist/BinaryCodec.h"
 #include "persist/Snapshot.h"
 #include "truechange/Inverse.h"
@@ -193,13 +194,14 @@ bool Persistence::degraded() const {
 //===----------------------------------------------------------------------===//
 
 void Persistence::onScript(DocId Doc, uint64_t Version,
-                           DocumentStore::StoreOp Op,
-                           const EditScript &Script) {
+                           DocumentStore::StoreOp Op, const EditScript &Script,
+                           const DocumentStore::ScriptInfo &Info) {
   WalRecord Rec;
   Rec.Kind = kindFor(Op);
   Rec.Doc = Doc;
   Rec.Version = Version;
   Rec.Script = encodeEditScript(Sig, Script);
+  Rec.Author = std::string(Info.Author);
   bool Skip = false;
   {
     std::lock_guard<std::mutex> Lock(StateMu);
@@ -364,8 +366,9 @@ void Persistence::attach(DocumentStore &S) {
   Store = &S;
   S.addScriptListener([this](DocId Doc, uint64_t Version,
                              DocumentStore::StoreOp Op,
-                             const EditScript &Script) {
-    onScript(Doc, Version, Op, Script);
+                             const EditScript &Script,
+                             const DocumentStore::ScriptInfo &Info) {
+    onScript(Doc, Version, Op, Script, Info);
   });
   S.addEraseListener([this](DocId Doc) { onErase(Doc); });
   if (Cfg.BackgroundIntervalMs != 0 && !Background.joinable())
@@ -374,6 +377,11 @@ void Persistence::attach(DocumentStore &S) {
 
 bool Persistence::snapshotDocument(DocId Doc, uint64_t *CapturedSeq) {
   SnapshotData Snap;
+  // The open author is immutable for a document incarnation, so it is
+  // safe to read before taking the document lock (openAuthor takes its
+  // own locks; calling it inside withDocument would deadlock).
+  if (Store != nullptr)
+    Snap.OpenAuthor = Store->openAuthor(Doc);
   bool Found =
       Store != nullptr &&
       Store->withDocument(
@@ -389,9 +397,16 @@ bool Persistence::snapshotDocument(DocId Doc, uint64_t *CapturedSeq) {
             Snap.Doc = Doc;
             Snap.Version = Version;
             Snap.TreeBlob = encodeTree(Sig, T);
-            for (const DocumentStore::HistoryEntry &H : History)
+            for (const DocumentStore::HistoryEntry &H : History) {
               Snap.History.emplace_back(H.Version,
                                         encodeEditScript(Sig, *H.Script));
+              Snap.HistoryAuthors.push_back(
+                  H.Author != nullptr ? *H.Author : std::string());
+            }
+            // The index listener updates under this same document lock,
+            // so the provenance blob matches the tree exactly.
+            if (ProvSource)
+              Snap.ProvBlob = ProvSource(Doc);
           });
   if (!Found)
     return false;
@@ -612,8 +627,9 @@ std::string Persistence::statsJson() const {
   return Json;
 }
 
-RecoveryResult Persistence::recoverAndAttach(DocumentStore &S) {
-  RecoveryResult R = recover(Sig, Cfg.Dir, S);
+RecoveryResult Persistence::recoverAndAttach(DocumentStore &S,
+                                             blame::ProvenanceIndex *Prov) {
+  RecoveryResult R = recover(Sig, Cfg.Dir, S, Prov);
   LastRecovery = R;
   {
     std::lock_guard<std::mutex> Lock(StateMu);
@@ -647,18 +663,23 @@ struct ReplayDoc {
   bool Frozen = false;
   /// A record tore the tree mid-apply: exclude the document entirely.
   bool Dropped = false;
-  /// Forward scripts of the rollback ring, oldest first.
-  std::vector<std::pair<uint64_t, EditScript>> History;
+  /// Forward scripts of the rollback ring (with authors), oldest first.
+  std::vector<DocumentStore::RestoreEntry> History;
+  /// Author of version 0, from the snapshot or a replayed open record.
+  std::string OpenAuthor;
 };
 
 } // namespace
 
 RecoveryResult Persistence::recover(const SignatureTable &Sig,
                                     const std::string &Dir,
-                                    DocumentStore &Store) {
+                                    DocumentStore &Store,
+                                    blame::ProvenanceIndex *Prov) {
   RecoveryResult R;
   LinearTypeChecker Checker(Sig);
   std::unordered_map<uint64_t, ReplayDoc> Docs;
+  if (Prov != nullptr)
+    Prov->clear();
 
   // Phase 1: newest valid snapshot per document. Validity is decided by
   // file contents (CRC + full decode); names only locate the files.
@@ -693,14 +714,23 @@ RecoveryResult Persistence::recover(const SignatureTable &Sig,
     D.M = std::make_unique<MTree>(MTree::fromTree(Sig, TreeRes.Root));
     D.Version = Snap.Version;
     D.Live = true;
-    for (const auto &[Version, Blob] : Snap.History) {
-      DecodeScriptResult SR = decodeEditScript(Sig, Blob);
+    D.OpenAuthor = Snap.OpenAuthor;
+    if (Prov != nullptr && !Snap.ProvBlob.empty() &&
+        !Prov->installSnapshot(Doc, Snap.ProvBlob))
+      Prov->eraseDoc(Doc); // malformed blob: degrade to unattributed
+    for (size_t I = 0; I != Snap.History.size(); ++I) {
+      DecodeScriptResult SR = decodeEditScript(Sig, Snap.History[I].second);
       if (!SR.Ok) {
         // History only bounds rollback depth; losing it is benign.
         D.History.clear();
         break;
       }
-      D.History.emplace_back(Version, std::move(SR.Script));
+      DocumentStore::RestoreEntry E;
+      E.Version = Snap.History[I].first;
+      E.Script = std::move(SR.Script);
+      if (I < Snap.HistoryAuthors.size())
+        E.Author = Snap.HistoryAuthors[I];
+      D.History.push_back(std::move(E));
     }
   }
 
@@ -730,6 +760,8 @@ RecoveryResult Persistence::recover(const SignatureTable &Sig,
         D.M.reset();
         D.Live = false;
         D.History.clear();
+        if (Prov != nullptr)
+          Prov->eraseDoc(Rec.Doc);
         ++R.RecordsReplayed;
         continue;
       }
@@ -771,6 +803,10 @@ RecoveryResult Persistence::recover(const SignatureTable &Sig,
         D.Live = true;
         D.Version = 0;
         D.History.clear();
+        D.OpenAuthor = Rec.Author;
+        if (Prov != nullptr)
+          Prov->apply(Rec.Doc, Rec.Version, DocumentStore::StoreOp::Open,
+                      Rec.Author, SR.Script);
         ++R.RecordsReplayed;
         continue;
       }
@@ -790,19 +826,31 @@ RecoveryResult Persistence::recover(const SignatureTable &Sig,
         D.Live = false;
         D.M.reset();
         D.History.clear();
+        if (Prov != nullptr)
+          Prov->eraseDoc(Rec.Doc);
         ++R.DocsDropped;
         ++R.InvalidRecords;
         continue;
       }
       R.EditsReplayed += SR.Script.size();
       D.Version = Rec.Version;
+      if (Prov != nullptr)
+        Prov->apply(Rec.Doc, Rec.Version,
+                    Rec.Kind == WalKind::Submit
+                        ? DocumentStore::StoreOp::Submit
+                        : DocumentStore::StoreOp::Rollback,
+                    Rec.Author, SR.Script);
       if (Rec.Kind == WalKind::Submit) {
-        D.History.emplace_back(Rec.Version, std::move(SR.Script));
+        DocumentStore::RestoreEntry E;
+        E.Version = Rec.Version;
+        E.Script = std::move(SR.Script);
+        E.Author = std::move(Rec.Author);
+        D.History.push_back(std::move(E));
         if (D.History.size() > HistoryCap)
           D.History.erase(D.History.begin());
       } else {
         // Rollback consumed the ring's newest record.
-        if (!D.History.empty() && D.History.back().first == Rec.Version + 1)
+        if (!D.History.empty() && D.History.back().Version == Rec.Version + 1)
           D.History.pop_back();
         else
           D.History.clear(); // ring out of sync (capacity eviction): drop
@@ -824,8 +872,10 @@ RecoveryResult Persistence::recover(const SignatureTable &Sig,
             B.Error = "recovered tree is not closed";
           return B;
         },
-        std::move(D.History));
+        std::move(D.History), D.OpenAuthor);
     if (!Res.Ok) {
+      if (Prov != nullptr)
+        Prov->eraseDoc(Doc);
       ++R.DocsDropped;
       continue;
     }

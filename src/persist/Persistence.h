@@ -89,6 +89,11 @@
 #include <vector>
 
 namespace truediff {
+
+namespace blame {
+class ProvenanceIndex;
+} // namespace blame
+
 namespace persist {
 
 /// What recovery found and rebuilt; all counters are totals across the
@@ -243,13 +248,21 @@ public:
   /// plus WAL replay with type checking. \p Store must be empty of the
   /// recovered ids and must not be serving traffic. Standalone -- usable
   /// without a Persistence instance (e.g. offline inspection).
+  ///
+  /// When \p Prov is non-null it is rebuilt alongside the trees: the
+  /// snapshot's provenance blob seeds each document's index and the
+  /// replayed WAL suffix is folded on top -- the same incremental step
+  /// the live listener runs, so the recovered index equals the one a
+  /// never-crashed process would hold. \p Prov is cleared first.
   static RecoveryResult recover(const SignatureTable &Sig,
                                 const std::string &Dir,
-                                service::DocumentStore &Store);
+                                service::DocumentStore &Store,
+                                blame::ProvenanceIndex *Prov = nullptr);
 
   /// recover() into \p Store from this instance's directory, seed the
   /// sequence counter past everything recovered, then attach().
-  RecoveryResult recoverAndAttach(service::DocumentStore &Store);
+  RecoveryResult recoverAndAttach(service::DocumentStore &Store,
+                                  blame::ProvenanceIndex *Prov = nullptr);
 
   /// Registers the script and erase listeners on \p Store and starts the
   /// background thread. Call before serving traffic; once attached, the
@@ -299,6 +312,15 @@ public:
     DurListener = std::move(L);
   }
 
+  /// Source of a document's canonical provenance blob (the blame
+  /// index's snapshotDoc), captured inside snapshotDocument()'s
+  /// document-lock section so tree and provenance are one consistent
+  /// cut. Set before traffic; absent means snapshots carry an empty
+  /// provenance blob.
+  void setProvenanceSource(std::function<std::string(service::DocId)> Fn) {
+    ProvSource = std::move(Fn);
+  }
+
   Stats stats() const;
 
   /// The Stats as a JSON object (no trailing newline), for splicing into
@@ -339,7 +361,8 @@ private:
   };
 
   void onScript(service::DocId Doc, uint64_t Version,
-                service::DocumentStore::StoreOp Op, const EditScript &Script);
+                service::DocumentStore::StoreOp Op, const EditScript &Script,
+                const service::DocumentStore::ScriptInfo &Info);
   void onErase(service::DocId Doc);
   void backgroundLoop();
 
@@ -373,6 +396,7 @@ private:
   service::DocumentStore *Store = nullptr;
   RecoveryResult LastRecovery;
   DurabilityListener DurListener;
+  std::function<std::string(service::DocId)> ProvSource;
 
   mutable std::mutex StateMu;
   uint64_t NextSeq = 0;

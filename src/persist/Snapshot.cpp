@@ -77,6 +77,16 @@ std::string persist::writeSnapshotFile(const std::string &Dir,
     putVarint(Payload, Blob.size());
     Payload += Blob;
   }
+  putVarint(Payload, Snap.ProvBlob.size());
+  Payload += Snap.ProvBlob;
+  putVarint(Payload, Snap.OpenAuthor.size());
+  Payload += Snap.OpenAuthor;
+  for (size_t I = 0; I != Snap.History.size(); ++I) {
+    std::string_view Author =
+        I < Snap.HistoryAuthors.size() ? Snap.HistoryAuthors[I] : "";
+    putVarint(Payload, Author.size());
+    Payload += Author;
+  }
 
   std::string File(FileMagic, sizeof(FileMagic));
   putU32(File, static_cast<uint32_t>(Payload.size()));
@@ -189,9 +199,36 @@ ReadSnapshotResult persist::readSnapshotFile(const std::string &Path) {
         *V, std::string(Payload.substr(Pos, *BlobLen)));
     Pos += *BlobLen;
   }
+  // Optional blame extension (pre-blame snapshots end here).
   if (Pos != Payload.size()) {
-    Result.Error = "trailing bytes in snapshot";
-    return Result;
+    auto ProvLen = getVarint(Payload, Pos);
+    if (!ProvLen || *ProvLen > Payload.size() - Pos) {
+      Result.Error = "truncated snapshot provenance";
+      return Result;
+    }
+    Result.Snap.ProvBlob = std::string(Payload.substr(Pos, *ProvLen));
+    Pos += *ProvLen;
+    auto OpenLen = getVarint(Payload, Pos);
+    if (!OpenLen || *OpenLen > Payload.size() - Pos) {
+      Result.Error = "truncated snapshot open author";
+      return Result;
+    }
+    Result.Snap.OpenAuthor = std::string(Payload.substr(Pos, *OpenLen));
+    Pos += *OpenLen;
+    for (uint64_t I = 0; I != *Count; ++I) {
+      auto AuthorLen = getVarint(Payload, Pos);
+      if (!AuthorLen || *AuthorLen > Payload.size() - Pos) {
+        Result.Error = "truncated snapshot history authors";
+        return Result;
+      }
+      Result.Snap.HistoryAuthors.emplace_back(
+          Payload.substr(Pos, *AuthorLen));
+      Pos += *AuthorLen;
+    }
+    if (Pos != Payload.size()) {
+      Result.Error = "trailing bytes in snapshot";
+      return Result;
+    }
   }
   Result.Ok = true;
   return Result;

@@ -20,8 +20,18 @@
 ///               varint(|tree blob|) tree-blob
 ///               varint(history count)
 ///               { varint(version) varint(|script blob|) script-blob }*
+///               [ blame-ext ]
+///   blame-ext ::= varint(|prov blob|) prov-blob
+///                 varint(|open author|) open-author
+///                 { varint(|author|) author }*   (one per history entry)
 ///   flags   ::= 0 (normal) | 1 (tombstone: document erased; tree blob
 ///               and history are empty)
+///
+/// The blame extension is optional on read (snapshots written before
+/// the blame subsystem omit it; they restore as unattributed with an
+/// empty provenance index) and always written. The prov blob is the
+/// ProvenanceIndex's canonical per-document serialization, captured
+/// under the same document lock as the tree, so the two always agree.
 ///
 /// File names are `snap-<doc>-<seq>.snap`; the header is authoritative,
 /// the name only drives cleanup ordering. Higher Seq supersedes lower.
@@ -61,6 +71,14 @@ struct SnapshotData {
   /// The history ring: (version, encodeEditScript blob of the forward
   /// script), oldest first. Inverses are recomputed on recovery.
   std::vector<std::pair<uint64_t, std::string>> History;
+  /// Authors of the history ring entries, parallel to History; empty
+  /// when the snapshot predates the blame subsystem (unattributed).
+  std::vector<std::string> HistoryAuthors;
+  /// Author recorded for the document's open; empty = unattributed.
+  std::string OpenAuthor;
+  /// Canonical ProvenanceIndex blob for the document; empty when the
+  /// snapshot predates the blame subsystem.
+  std::string ProvBlob;
 };
 
 /// Writes \p Snap atomically into \p Dir; returns the final path.

@@ -84,6 +84,8 @@ std::string encodeRecordPayload(const WalRecord &Rec) {
   putVarint(Payload, Rec.Version);
   putVarint(Payload, Rec.Script.size());
   Payload += Rec.Script;
+  putVarint(Payload, Rec.Author.size());
+  Payload += Rec.Author;
   return Payload;
 }
 
@@ -101,12 +103,21 @@ bool decodeRecordPayload(std::string_view Payload, WalRecord &Out) {
   auto ScriptLen = getVarint(Payload, Pos);
   if (!Doc || !Seq || !Version || !ScriptLen)
     return false;
-  if (*ScriptLen != Payload.size() - Pos)
+  if (*ScriptLen > Payload.size() - Pos)
     return false;
   Out.Doc = *Doc;
   Out.Seq = *Seq;
   Out.Version = *Version;
-  Out.Script = std::string(Payload.substr(Pos));
+  Out.Script = std::string(Payload.substr(Pos, *ScriptLen));
+  Pos += *ScriptLen;
+  // Optional trailing author (pre-blame records omit it).
+  Out.Author.clear();
+  if (Pos != Payload.size()) {
+    auto AuthorLen = getVarint(Payload, Pos);
+    if (!AuthorLen || *AuthorLen != Payload.size() - Pos)
+      return false;
+    Out.Author = std::string(Payload.substr(Pos));
+  }
   return true;
 }
 

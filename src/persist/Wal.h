@@ -19,6 +19,12 @@
 ///                 payload
 ///   payload   ::= u8(kind) varint(doc) varint(seq) varint(version)
 ///                 varint(|script blob|) script-blob
+///                 [ varint(|author|) author ]
+///
+/// The trailing author field is optional on read (records written
+/// before the blame subsystem omit it; they decode as unattributed) and
+/// always written. For rollback records it carries the *target*
+/// version's author, matching the store's attribution rule.
 ///
 /// The CRC covers only the payload; the magic and length words are
 /// implicitly validated by the CRC check on the bytes they frame. A
@@ -75,6 +81,9 @@ struct WalRecord {
   uint64_t Version = 0;
   /// Binary edit script (persist/BinaryCodec); empty for Erase.
   std::string Script;
+  /// Attribution of the operation; empty = unattributed. For Rollback
+  /// this is the target version's author (see file comment).
+  std::string Author;
 };
 
 /// Appends records to segment files in a directory. Thread-safe; every

@@ -6,6 +6,7 @@
 
 #include "replica/Follower.h"
 
+#include "blame/Render.h"
 #include "persist/BinaryCodec.h"
 #include "support/Sha256.h"
 #include "tree/SExpr.h"
@@ -259,6 +260,7 @@ void Follower::applyDocRecord(Conn &C, const RecordMsg &R) {
       return;
     }
     Docs.erase(It);
+    Prov.eraseDoc(R.Doc);
     ++Counters.RecordsApplied;
     return;
   }
@@ -286,6 +288,9 @@ void Follower::applyDocRecord(Conn &C, const RecordMsg &R) {
     RD.DocSeq = R.Seq;
     RD.Resyncing = false;
     RD.RefreshGen = HelloGen;
+    RD.Ring.clear();
+    Prov.apply(R.Doc, R.Version, service::DocumentStore::StoreOp::Open,
+               R.Author, D.Script);
     ++Counters.RecordsApplied;
     return;
   }
@@ -326,6 +331,29 @@ void Follower::applyDocRecord(Conn &C, const RecordMsg &R) {
   D.Version = R.Version;
   D.DocSeq = R.Seq;
   D.RefreshGen = HelloGen;
+  // Fold the applied record into the provenance index and the retained
+  // ring -- only after the patch succeeded, so attribution never gets
+  // ahead of the tree.
+  if (R.Op == ReplOp::Submit) {
+    Prov.apply(R.Doc, R.Version, service::DocumentStore::StoreOp::Submit,
+               R.Author, Dec.Script);
+    HistoryRec H;
+    H.Version = R.Version;
+    H.Author = R.Author;
+    H.Script = std::move(Dec.Script);
+    D.Ring.push_back(std::move(H));
+    if (D.Ring.size() > HistoryCap)
+      D.Ring.pop_front();
+  } else {
+    Prov.apply(R.Doc, R.Version, service::DocumentStore::StoreOp::Rollback,
+               R.Author, Dec.Script);
+    // Rollback undoes the newest retained submit, exactly as the
+    // leader's store pops its ring.
+    if (!D.Ring.empty() && D.Ring.back().Version == R.Version + 1)
+      D.Ring.pop_back();
+    else
+      D.Ring.clear();
+  }
   ++Counters.RecordsApplied;
 }
 
@@ -334,8 +362,10 @@ void Follower::onSnapshot(const DocSnapshotMsg &S) {
   auto It = Docs.find(S.Doc);
 
   if (S.Tombstone) {
-    if (It != Docs.end() && S.Seq >= It->second.DocSeq)
+    if (It != Docs.end() && S.Seq >= It->second.DocSeq) {
       Docs.erase(It);
+      Prov.eraseDoc(S.Doc);
+    }
     ++Counters.SnapshotsInstalled;
     return;
   }
@@ -359,6 +389,12 @@ void Follower::onSnapshot(const DocSnapshotMsg &S) {
   RD.DocSeq = S.Seq;
   RD.Resyncing = false;
   RD.RefreshGen = HelloGen;
+  // State transfer replaces the record chain: history before it is gone
+  // (and degrades explicitly on queries), the provenance index comes
+  // from the snapshot's canonical blob.
+  RD.Ring.clear();
+  if (S.ProvBlob.empty() || !Prov.installSnapshot(S.Doc, S.ProvBlob))
+    Prov.eraseDoc(S.Doc);
   ++Counters.SnapshotsInstalled;
 }
 
@@ -369,8 +405,14 @@ void Follower::onCatchupDone(const CatchupDoneMsg &D) {
   if (D.SnapshotMode) {
     // Full state transfer: anything the dump did not refresh was erased
     // while we were away (its erase record may be long evicted).
-    for (auto It = Docs.begin(); It != Docs.end();)
-      It = It->second.RefreshGen == HelloGen ? std::next(It) : Docs.erase(It);
+    for (auto It = Docs.begin(); It != Docs.end();) {
+      if (It->second.RefreshGen == HelloGen) {
+        ++It;
+      } else {
+        Prov.eraseDoc(It->first);
+        It = Docs.erase(It);
+      }
+    }
   }
   CatchupSeen = true;
 }
@@ -414,6 +456,50 @@ Follower::ReadResult Follower::read(uint64_t Doc) const {
 bool Follower::contains(uint64_t Doc) const {
   std::lock_guard<std::mutex> Lock(Mu);
   return Docs.count(Doc) != 0;
+}
+
+service::Response Follower::blameRead(uint64_t Doc, bool HasUri,
+                                      URI Uri) const {
+  // Single-node blame never needs the tree.
+  if (HasUri)
+    return blame::blameTreeResponse(Sig, nullptr, Prov, Doc, true, Uri);
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Docs.find(Doc);
+  if (It == Docs.end()) {
+    service::Response R;
+    R.Code = service::ErrCode::NoSuchDocument;
+    R.Error = "no document " + std::to_string(Doc);
+    return R;
+  }
+  TreeContext Tmp(Sig);
+  Tree *T = It->second.T->toTreePreservingUris(Tmp);
+  if (T == nullptr) {
+    service::Response R;
+    R.Error = "document is not well-formed";
+    return R;
+  }
+  return blame::blameTreeResponse(Sig, T, Prov, Doc, false, Uri);
+}
+
+service::Response Follower::historyRead(uint64_t Doc, URI Uri) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Docs.find(Doc);
+  if (It == Docs.end()) {
+    service::Response R;
+    R.Code = service::ErrCode::NoSuchDocument;
+    R.Error = "no document " + std::to_string(Doc);
+    return R;
+  }
+  std::vector<blame::HistoryRef> Ring;
+  Ring.reserve(It->second.Ring.size());
+  for (const HistoryRec &H : It->second.Ring) {
+    blame::HistoryRef Ref;
+    Ref.Version = H.Version;
+    Ref.Author = H.Author;
+    Ref.Script = &H.Script;
+    Ring.push_back(Ref);
+  }
+  return blame::historyResponse(Prov, Doc, Uri, Ring);
 }
 
 Follower::Stats Follower::stats() const {
@@ -481,6 +567,12 @@ void ReplicaReadHandler::handle(net::NetRequest Req,
     R.Payload = std::move(RR.Text);
     break;
   }
+  case WireCommand::Kind::Blame:
+    R = F.blameRead(Req.Cmd.Doc, Req.Cmd.HasUri, Req.Cmd.Uri);
+    break;
+  case WireCommand::Kind::History:
+    R = F.historyRead(Req.Cmd.Doc, Req.Cmd.Uri);
+    break;
   case WireCommand::Kind::Stats:
     R.Ok = true;
     R.Payload = F.statsJson();

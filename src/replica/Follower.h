@@ -36,12 +36,14 @@
 #ifndef TRUEDIFF_REPLICA_FOLLOWER_H
 #define TRUEDIFF_REPLICA_FOLLOWER_H
 
+#include "blame/Provenance.h"
 #include "net/EventLoop.h"
 #include "net/NetServer.h"
 #include "replica/Protocol.h"
 #include "truechange/MTree.h"
 
 #include <condition_variable>
+#include <deque>
 #include <mutex>
 
 namespace truediff {
@@ -90,6 +92,14 @@ public:
   ReadResult read(uint64_t Doc) const;
   bool contains(uint64_t Doc) const;
 
+  /// Blame/history reads served from the follower's own provenance
+  /// index, maintained from the record stream (and installed from
+  /// snapshot transfers), so attribution answers do not need the leader.
+  /// Rendering is shared with the leader (blame/Render.h), so a
+  /// caught-up follower answers byte-identically.
+  service::Response blameRead(uint64_t Doc, bool HasUri, URI Uri) const;
+  service::Response historyRead(uint64_t Doc, URI Uri) const;
+
   struct Stats {
     uint64_t LastSeq = 0;
     uint64_t Epoch = 0;
@@ -111,6 +121,20 @@ public:
   void injectGapForTest(uint64_t Doc);
 
 private:
+  /// One retained submit record, for history rendering; mirrors the
+  /// leader's history ring (same capacity), so both sides list the same
+  /// retained revisions.
+  struct HistoryRec {
+    uint64_t Version = 0;
+    std::string Author;
+    EditScript Script;
+  };
+
+  /// Bound of the per-document record ring; matches the store's default
+  /// HistoryCapacity so leader and follower history degrade at the same
+  /// boundary.
+  static constexpr size_t HistoryCap = 32;
+
   struct ReplicaDoc {
     std::unique_ptr<MTree> T;
     uint64_t Version = 0;
@@ -123,6 +147,10 @@ private:
     /// Handshake generation that last refreshed this doc; snapshot-mode
     /// catch-up prunes docs the dump did not refresh.
     uint64_t RefreshGen = 0;
+    /// Retained submit records, oldest first. Cleared on snapshot
+    /// install (history before a state transfer degrades explicitly,
+    /// never silently misattributes).
+    std::deque<HistoryRec> Ring;
   };
 
   enum class Handshake { Idle, Pending, Accepted, Stale, Failed };
@@ -153,6 +181,9 @@ private:
   uint64_t MaxEpochSeen = 0;
   std::unordered_map<uint64_t, ReplicaDoc> Docs;
   Stats Counters;
+  /// Per-node attribution, folded from the same records the trees are
+  /// built from (and installed from snapshot transfers).
+  blame::ProvenanceIndex Prov;
 };
 
 /// Serves the follower's state through a NetServer: get/stats/health

@@ -49,6 +49,8 @@ std::string replica::encodeRecord(const RecordMsg &M) {
   putVarint(P, M.Version);
   putVarint(P, M.Blob.size());
   P += M.Blob;
+  putVarint(P, M.Author.size());
+  P += M.Author;
   return frame(ReplFrame::Record, P);
 }
 
@@ -61,6 +63,8 @@ std::string replica::encodeDocSnapshot(const DocSnapshotMsg &M) {
   P.push_back(static_cast<char>(M.Tombstone ? 1 : 0));
   putVarint(P, M.Blob.size());
   P += M.Blob;
+  putVarint(P, M.ProvBlob.size());
+  P += M.ProvBlob;
   return frame(ReplFrame::DocSnapshot, P);
 }
 
@@ -112,14 +116,23 @@ bool replica::decodeRecord(std::string_view Payload, RecordMsg &Out) {
     return false;
   auto Version = getVarint(Payload, Pos);
   auto BlobLen = getVarint(Payload, Pos);
-  if (!Version || !BlobLen || *BlobLen != Payload.size() - Pos)
+  if (!Version || !BlobLen || *BlobLen > Payload.size() - Pos)
     return false;
   Out.Seq = *Seq;
   Out.Doc = *Doc;
   Out.Incarnation = *Inc;
   Out.Op = static_cast<ReplOp>(Op);
   Out.Version = *Version;
-  Out.Blob = std::string(Payload.substr(Pos));
+  Out.Blob = std::string(Payload.substr(Pos, *BlobLen));
+  Pos += *BlobLen;
+  // Optional trailing author (pre-blame peers omit it).
+  Out.Author.clear();
+  if (Pos != Payload.size()) {
+    auto AuthorLen = getVarint(Payload, Pos);
+    if (!AuthorLen || *AuthorLen != Payload.size() - Pos)
+      return false;
+    Out.Author = std::string(Payload.substr(Pos));
+  }
   return true;
 }
 
@@ -134,14 +147,23 @@ bool replica::decodeDocSnapshot(std::string_view Payload,
     return false;
   uint8_t Flags = static_cast<uint8_t>(Payload[Pos++]);
   auto BlobLen = getVarint(Payload, Pos);
-  if (!BlobLen || *BlobLen != Payload.size() - Pos)
+  if (!BlobLen || *BlobLen > Payload.size() - Pos)
     return false;
   Out.Doc = *Doc;
   Out.Incarnation = *Inc;
   Out.Version = *Version;
   Out.Seq = *Seq;
   Out.Tombstone = (Flags & 1) != 0;
-  Out.Blob = std::string(Payload.substr(Pos));
+  Out.Blob = std::string(Payload.substr(Pos, *BlobLen));
+  Pos += *BlobLen;
+  // Optional trailing provenance blob (pre-blame peers omit it).
+  Out.ProvBlob.clear();
+  if (Pos != Payload.size()) {
+    auto ProvLen = getVarint(Payload, Pos);
+    if (!ProvLen || *ProvLen != Payload.size() - Pos)
+      return false;
+    Out.ProvBlob = std::string(Payload.substr(Pos));
+  }
   return true;
 }
 

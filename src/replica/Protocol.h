@@ -12,9 +12,15 @@
 ///   LeaderHello     epoch, current-seq
 ///   Record          seq, doc, incarnation, op byte, version, script blob
 ///                   (persist/BinaryCodec encodeEditScript; empty for
-///                   erase)
+///                   erase), author string (length-prefixed; the target
+///                   version's author for rollback)
 ///   DocSnapshot     doc, incarnation, version, seq, flags byte (bit 0 =
-///                   tombstone), tree blob (encodeTree, URIs preserved)
+///                   tombstone), tree blob (encodeTree, URIs preserved),
+///                   provenance blob (blame ProvenanceIndex::snapshotDoc)
+///
+/// The author and provenance fields are optional-trailing: decoders
+/// accept their absence (empty author / empty provenance), so pre-blame
+/// peers interoperate.
 ///   CatchupDone     seq: the initial dump covers everything up to here
 ///   ResyncReq       doc
 ///
@@ -68,6 +74,10 @@ struct RecordMsg {
   uint64_t Version = 0;
   /// encodeEditScript blob; empty for Erase.
   std::string Blob;
+  /// Attribution of the produced version (rollback: the target version's
+  /// author); empty = unattributed. Feeds the follower's provenance
+  /// index so blame reads answer identically on either side.
+  std::string Author;
 };
 
 struct DocSnapshotMsg {
@@ -81,6 +91,10 @@ struct DocSnapshotMsg {
   bool Tombstone = false;
   /// encodeTree blob, URIs preserved (empty for tombstones).
   std::string Blob;
+  /// Canonical provenance blob of the same document state (blame
+  /// ProvenanceIndex::snapshotDoc; empty for tombstones or pre-blame
+  /// leaders), installed into the follower's index with the tree.
+  std::string ProvBlob;
 };
 
 struct CatchupDoneMsg {

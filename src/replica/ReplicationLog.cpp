@@ -21,7 +21,8 @@ ReplicationLog::ReplicationLog(DocumentStore &Store, Config C)
 void ReplicationLog::attach() {
   Store.addScriptListener([this](service::DocId Doc, uint64_t Version,
                                  DocumentStore::StoreOp Op,
-                                 const EditScript &Script) {
+                                 const EditScript &Script,
+                                 const DocumentStore::ScriptInfo &Info) {
     ReplOp R;
     switch (Op) {
     case DocumentStore::StoreOp::Open:
@@ -37,15 +38,16 @@ void ReplicationLog::attach() {
       return;
     }
     commit(Doc, R, Version,
-           persist::encodeEditScript(Store.signatures(), Script));
+           persist::encodeEditScript(Store.signatures(), Script),
+           std::string(Info.Author));
   });
   Store.addEraseListener([this](service::DocId Doc) {
-    commit(Doc, ReplOp::Erase, 0, std::string());
+    commit(Doc, ReplOp::Erase, 0, std::string(), std::string());
   });
 }
 
 void ReplicationLog::commit(uint64_t Doc, ReplOp Op, uint64_t Version,
-                            std::string Blob) {
+                            std::string Blob, std::string Author) {
   std::lock_guard<std::mutex> Lock(Mu);
   RecordMsg R;
   R.Seq = ++Seq;
@@ -53,6 +55,7 @@ void ReplicationLog::commit(uint64_t Doc, ReplOp Op, uint64_t Version,
   R.Op = Op;
   R.Version = Version;
   R.Blob = std::move(Blob);
+  R.Author = std::move(Author);
   DocMeta &M = Docs[Doc];
   if (Op == ReplOp::Open) {
     ++M.Incarnation;
@@ -112,6 +115,10 @@ DocSnapshotMsg ReplicationLog::snapshotDoc(uint64_t Doc) const {
         // metadata) cannot advance while we are here, so blob and meta
         // are one consistent cut.
         Snap.Blob = persist::encodeTree(Store.signatures(), T);
+        // The index listener updates under this same document lock, so
+        // the provenance blob matches the tree exactly.
+        if (ProvSource)
+          Snap.ProvBlob = ProvSource(Doc);
         Snap.Version = Version;
         std::lock_guard<std::mutex> Lock(Mu);
         auto It = Docs.find(Doc);

@@ -60,6 +60,14 @@ public:
     OnRecord = std::move(Fn);
   }
 
+  /// Source of a document's canonical provenance blob (the blame index's
+  /// snapshotDoc), captured inside snapshotDoc()'s document-lock section
+  /// so tree and provenance are one consistent cut. Set before traffic;
+  /// absent means snapshots carry no provenance.
+  void setProvenanceSource(std::function<std::string(uint64_t)> Fn) {
+    ProvSource = std::move(Fn);
+  }
+
   /// Highest assigned seq (0 = nothing committed yet).
   uint64_t currentSeq() const;
 
@@ -91,11 +99,13 @@ private:
     bool Live = false;
   };
 
-  void commit(uint64_t Doc, ReplOp Op, uint64_t Version, std::string Blob);
+  void commit(uint64_t Doc, ReplOp Op, uint64_t Version, std::string Blob,
+              std::string Author);
 
   service::DocumentStore &Store;
   const Config Cfg;
   std::function<void(const RecordMsg &)> OnRecord;
+  std::function<std::string(uint64_t)> ProvSource;
 
   mutable std::mutex Mu;
   uint64_t Seq = 0;

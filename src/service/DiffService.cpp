@@ -229,14 +229,24 @@ std::future<Response> DiffService::enqueue(Operation Op, OpKind Kind,
 
 void DiffService::openCb(DocId Doc, TreeBuilder Build, size_t PayloadBytes,
                          ResponseCallback Done) {
-  enqueue(OpenOp{Doc, std::move(Build)}, OpKind::Open, 0, PayloadBytes,
-          std::move(Done));
+  openCb(Doc, std::move(Build), PayloadBytes, std::string(), std::move(Done));
+}
+void DiffService::openCb(DocId Doc, TreeBuilder Build, size_t PayloadBytes,
+                         std::string Author, ResponseCallback Done) {
+  enqueue(OpenOp{Doc, std::move(Build), std::move(Author)}, OpKind::Open, 0,
+          PayloadBytes, std::move(Done));
 }
 void DiffService::submitCb(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs,
                            size_t PayloadBytes, bool RawScript,
                            ResponseCallback Done) {
-  enqueue(SubmitOp{Doc, std::move(Build), RawScript}, OpKind::Submit,
-          DeadlineMs, PayloadBytes, std::move(Done));
+  submitCb(Doc, std::move(Build), DeadlineMs, PayloadBytes, RawScript,
+           std::string(), std::move(Done));
+}
+void DiffService::submitCb(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs,
+                           size_t PayloadBytes, bool RawScript,
+                           std::string Author, ResponseCallback Done) {
+  enqueue(SubmitOp{Doc, std::move(Build), RawScript, std::move(Author)},
+          OpKind::Submit, DeadlineMs, PayloadBytes, std::move(Done));
 }
 void DiffService::rollbackCb(DocId Doc, ResponseCallback Done) {
   enqueue(RollbackOp{Doc}, OpKind::Rollback, 0, 0, std::move(Done));
@@ -247,16 +257,39 @@ void DiffService::getVersionCb(DocId Doc, ResponseCallback Done) {
 void DiffService::statsCb(ResponseCallback Done) {
   enqueue(StatsOp{}, OpKind::Stats, 0, 0, std::move(Done));
 }
+void DiffService::blameCb(DocId Doc, bool HasUri, URI Uri,
+                          ResponseCallback Done) {
+  enqueue(BlameOp{Doc, HasUri, Uri}, OpKind::Blame, 0, 0, std::move(Done));
+}
+void DiffService::historyCb(DocId Doc, URI Uri, ResponseCallback Done) {
+  enqueue(HistoryOp{Doc, Uri}, OpKind::History, 0, 0, std::move(Done));
+}
 
 std::future<Response> DiffService::openAsync(DocId Doc, TreeBuilder Build) {
   return enqueue(OpenOp{Doc, std::move(Build)}, OpKind::Open);
+}
+std::future<Response> DiffService::openAsync(DocId Doc, TreeBuilder Build,
+                                             std::string Author) {
+  return enqueue(OpenOp{Doc, std::move(Build), std::move(Author)},
+                 OpKind::Open);
 }
 std::future<Response> DiffService::submitAsync(DocId Doc, TreeBuilder Build) {
   return enqueue(SubmitOp{Doc, std::move(Build)}, OpKind::Submit);
 }
 std::future<Response> DiffService::submitAsync(DocId Doc, TreeBuilder Build,
+                                               std::string Author) {
+  return enqueue(SubmitOp{Doc, std::move(Build), false, std::move(Author)},
+                 OpKind::Submit);
+}
+std::future<Response> DiffService::submitAsync(DocId Doc, TreeBuilder Build,
                                                uint64_t DeadlineMs) {
   return enqueue(SubmitOp{Doc, std::move(Build)}, OpKind::Submit, DeadlineMs);
+}
+std::future<Response> DiffService::submitAsync(DocId Doc, TreeBuilder Build,
+                                               uint64_t DeadlineMs,
+                                               std::string Author) {
+  return enqueue(SubmitOp{Doc, std::move(Build), false, std::move(Author)},
+                 OpKind::Submit, DeadlineMs);
 }
 std::future<Response> DiffService::rollbackAsync(DocId Doc) {
   return enqueue(RollbackOp{Doc}, OpKind::Rollback);
@@ -267,9 +300,19 @@ std::future<Response> DiffService::getVersionAsync(DocId Doc) {
 std::future<Response> DiffService::statsAsync() {
   return enqueue(StatsOp{}, OpKind::Stats);
 }
+std::future<Response> DiffService::blameAsync(DocId Doc, bool HasUri,
+                                              URI Uri) {
+  return enqueue(BlameOp{Doc, HasUri, Uri}, OpKind::Blame);
+}
+std::future<Response> DiffService::historyAsync(DocId Doc, URI Uri) {
+  return enqueue(HistoryOp{Doc, Uri}, OpKind::History);
+}
 
 Response DiffService::open(DocId Doc, TreeBuilder Build) {
   return openAsync(Doc, std::move(Build)).get();
+}
+Response DiffService::open(DocId Doc, TreeBuilder Build, std::string Author) {
+  return openAsync(Doc, std::move(Build), std::move(Author)).get();
 }
 Response DiffService::submit(DocId Doc, TreeBuilder Build) {
   return submitAsync(Doc, std::move(Build)).get();
@@ -278,11 +321,26 @@ Response DiffService::submit(DocId Doc, TreeBuilder Build,
                              uint64_t DeadlineMs) {
   return submitAsync(Doc, std::move(Build), DeadlineMs).get();
 }
+Response DiffService::submit(DocId Doc, TreeBuilder Build,
+                             std::string Author) {
+  return submitAsync(Doc, std::move(Build), std::move(Author)).get();
+}
+Response DiffService::submit(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs,
+                             std::string Author) {
+  return submitAsync(Doc, std::move(Build), DeadlineMs, std::move(Author))
+      .get();
+}
 Response DiffService::rollback(DocId Doc) { return rollbackAsync(Doc).get(); }
 Response DiffService::getVersion(DocId Doc) {
   return getVersionAsync(Doc).get();
 }
 Response DiffService::stats() { return statsAsync().get(); }
+Response DiffService::blame(DocId Doc, bool HasUri, URI Uri) {
+  return blameAsync(Doc, HasUri, Uri).get();
+}
+Response DiffService::history(DocId Doc, URI Uri) {
+  return historyAsync(Doc, Uri).get();
+}
 
 void DiffService::maybeShed(uint64_t Key, double SojournMs,
                             Clock::time_point Now) {
@@ -421,11 +479,13 @@ Response DiffService::execute(Operation &Op, Clock::time_point Deadline) {
       [&](auto &Req) -> Response {
         using T = std::decay_t<decltype(Req)>;
         if constexpr (std::is_same_v<T, OpenOp>) {
-          Response Out = fromStoreResult(Store.open(Req.Doc, Req.Build));
+          Response Out = fromStoreResult(
+              Store.open(Req.Doc, Req.Build, std::move(Req.Author)));
           noteAdmission(Out);
           return Out;
         } else if constexpr (std::is_same_v<T, SubmitOp>) {
           SubmitOptions Opts;
+          Opts.Author = std::move(Req.Author);
           if (Cfg.DeadlineFallback && Deadline != Clock::time_point::max())
             Opts.UseFallback = [Deadline] {
               return Clock::now() > Deadline;
@@ -474,6 +534,22 @@ Response DiffService::execute(Operation &Op, Clock::time_point Deadline) {
           Out.TreeSize = S.TreeSize;
           Out.Payload = std::move(S.Text);
           return Out;
+        } else if constexpr (std::is_same_v<T, BlameOp>) {
+          if (!BlameFn) {
+            Response Out;
+            Out.Code = ErrCode::BuildFailed;
+            Out.Error = "blame is not enabled on this server";
+            return Out;
+          }
+          return BlameFn(Req.Doc, Req.HasUri, Req.Uri);
+        } else if constexpr (std::is_same_v<T, HistoryOp>) {
+          if (!HistoryFn) {
+            Response Out;
+            Out.Code = ErrCode::BuildFailed;
+            Out.Error = "history is not enabled on this server";
+            return Out;
+          }
+          return HistoryFn(Req.Doc, Req.Uri);
         } else {
           static_assert(std::is_same_v<T, StatsOp>);
           Response Out;

@@ -107,6 +107,8 @@ using ResponseCallback = std::function<void(Response)>;
 struct OpenOp {
   DocId Doc = 0;
   TreeBuilder Build;
+  /// Attribution of version 0 (empty = unattributed).
+  std::string Author;
 };
 struct SubmitOp {
   DocId Doc = 0;
@@ -114,6 +116,8 @@ struct SubmitOp {
   /// Skip the textual script serialization and hand the EditScript to
   /// Response::Script instead -- the binary protocol's mode.
   bool RawScript = false;
+  /// Attribution of the submitted revision (empty = unattributed).
+  std::string Author;
 };
 struct RollbackOp {
   DocId Doc = 0;
@@ -122,9 +126,19 @@ struct GetVersionOp {
   DocId Doc = 0;
 };
 struct StatsOp {};
+struct BlameOp {
+  DocId Doc = 0;
+  /// False: annotate the whole live tree; true: the single node \p Uri.
+  bool HasUri = false;
+  URI Uri = NullURI;
+};
+struct HistoryOp {
+  DocId Doc = 0;
+  URI Uri = NullURI;
+};
 
-using Operation =
-    std::variant<OpenOp, SubmitOp, RollbackOp, GetVersionOp, StatsOp>;
+using Operation = std::variant<OpenOp, SubmitOp, RollbackOp, GetVersionOp,
+                               StatsOp, BlameOp, HistoryOp>;
 /// @}
 
 struct ServiceConfig {
@@ -188,7 +202,11 @@ public:
   /// yields an already-resolved error response.
   /// @{
   std::future<Response> openAsync(DocId Doc, TreeBuilder Build);
+  std::future<Response> openAsync(DocId Doc, TreeBuilder Build,
+                                  std::string Author);
   std::future<Response> submitAsync(DocId Doc, TreeBuilder Build);
+  std::future<Response> submitAsync(DocId Doc, TreeBuilder Build,
+                                    std::string Author);
   /// Submit with an explicit deadline, milliseconds from now. 0 falls
   /// back to ServiceConfig::DefaultDeadlineMs. A request still queued at
   /// its deadline is shed with a retry-after hint; a request whose build
@@ -197,9 +215,15 @@ public:
   /// ServiceConfig::DeadlineFallback is set.
   std::future<Response> submitAsync(DocId Doc, TreeBuilder Build,
                                     uint64_t DeadlineMs);
+  std::future<Response> submitAsync(DocId Doc, TreeBuilder Build,
+                                    uint64_t DeadlineMs, std::string Author);
   std::future<Response> rollbackAsync(DocId Doc);
   std::future<Response> getVersionAsync(DocId Doc);
   std::future<Response> statsAsync();
+  /// Blame/history reads; answered by the handlers wired up with
+  /// setBlameHandler/setHistoryHandler (a typed error without them).
+  std::future<Response> blameAsync(DocId Doc, bool HasUri, URI Uri);
+  std::future<Response> historyAsync(DocId Doc, URI Uri);
   /// @}
 
   /// \name Callback API
@@ -212,21 +236,34 @@ public:
   /// @{
   void openCb(DocId Doc, TreeBuilder Build, size_t PayloadBytes,
               ResponseCallback Done);
+  void openCb(DocId Doc, TreeBuilder Build, size_t PayloadBytes,
+              std::string Author, ResponseCallback Done);
   void submitCb(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs,
                 size_t PayloadBytes, bool RawScript, ResponseCallback Done);
+  void submitCb(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs,
+                size_t PayloadBytes, bool RawScript, std::string Author,
+                ResponseCallback Done);
   void rollbackCb(DocId Doc, ResponseCallback Done);
   void getVersionCb(DocId Doc, ResponseCallback Done);
   void statsCb(ResponseCallback Done);
+  void blameCb(DocId Doc, bool HasUri, URI Uri, ResponseCallback Done);
+  void historyCb(DocId Doc, URI Uri, ResponseCallback Done);
   /// @}
 
   /// \name Blocking convenience wrappers
   /// @{
   Response open(DocId Doc, TreeBuilder Build);
+  Response open(DocId Doc, TreeBuilder Build, std::string Author);
   Response submit(DocId Doc, TreeBuilder Build);
   Response submit(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs);
+  Response submit(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs,
+                  std::string Author);
+  Response submit(DocId Doc, TreeBuilder Build, std::string Author);
   Response rollback(DocId Doc);
   Response getVersion(DocId Doc);
   Response stats();
+  Response blame(DocId Doc, bool HasUri, URI Uri);
+  Response history(DocId Doc, URI Uri);
   /// @}
 
   /// Stops accepting requests, drains the queue, joins the workers.
@@ -251,6 +288,16 @@ public:
   void setHealthSource(std::function<HealthStatus()> Fn) {
     HealthSource = std::move(Fn);
   }
+
+  /// Serves blame/history operations. The service itself is
+  /// blame-agnostic: the server binary wires these to the provenance
+  /// index (see blame/Render.h wireBlameHandlers). Executed on worker
+  /// threads like any other read; must be thread-safe. Set before
+  /// traffic; without a handler the verbs answer a typed error.
+  using BlameHandler = std::function<Response(DocId, bool HasUri, URI Uri)>;
+  using HistoryHandler = std::function<Response(DocId, URI Uri)>;
+  void setBlameHandler(BlameHandler Fn) { BlameFn = std::move(Fn); }
+  void setHistoryHandler(HistoryHandler Fn) { HistoryFn = std::move(Fn); }
 
   unsigned workers() const { return NumWorkers; }
   size_t queueDepth() const { return Queue.depth(); }
@@ -369,6 +416,8 @@ private:
   std::function<void()> DrainHook;
   std::function<std::string()> StatsAugmenter;
   std::function<HealthStatus()> HealthSource;
+  BlameHandler BlameFn;
+  HistoryHandler HistoryFn;
 
   mutable std::mutex StateMu;
   std::unordered_map<uint64_t, DocState> DocStates;

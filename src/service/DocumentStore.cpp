@@ -47,6 +47,8 @@ const char *truediff::service::errCodeName(ErrCode C) {
     return "malformed_frame";
   case ErrCode::NotLeader:
     return "not_leader";
+  case ErrCode::NoSuchNode:
+    return "no_such_node";
   }
   return "unknown";
 }
@@ -78,13 +80,17 @@ std::shared_ptr<DocumentStore::Document> DocumentStore::find(DocId Doc) const {
 }
 
 void DocumentStore::emit(DocId Doc, uint64_t Version, StoreOp Op,
-                         const EditScript &Script) const {
+                         const EditScript &Script,
+                         std::string_view Author) const {
+  ScriptInfo Info;
+  Info.Author = Author;
   std::lock_guard<std::mutex> Lock(ListenersMu);
   for (const ScriptListener &L : Listeners)
-    L(Doc, Version, Op, Script);
+    L(Doc, Version, Op, Script, Info);
 }
 
-StoreResult DocumentStore::open(DocId Doc, const TreeBuilder &Build) {
+StoreResult DocumentStore::open(DocId Doc, const TreeBuilder &Build,
+                                std::string Author) {
   StoreResult R;
   auto D = std::make_shared<Document>();
   D->Ctx = std::make_unique<TreeContext>(Sig, Cfg.Digest);
@@ -97,6 +103,7 @@ StoreResult DocumentStore::open(DocId Doc, const TreeBuilder &Build) {
   }
   D->Current = B.Root;
   D->Version = 0;
+  D->OpenAuthor = std::move(Author);
 
   // Hold the (still private) document lock across publication so that a
   // racing submit on the same id observes the initializing script first.
@@ -111,7 +118,7 @@ StoreResult DocumentStore::open(DocId Doc, const TreeBuilder &Build) {
     }
   }
   R.Script = buildInitializingScript(Sig, D->Current);
-  emit(Doc, 0, StoreOp::Open, R.Script);
+  emit(Doc, 0, StoreOp::Open, R.Script, D->OpenAuthor);
   R.Ok = true;
   R.Version = 0;
   R.TreeSize = D->Current->size();
@@ -166,11 +173,13 @@ StoreResult DocumentStore::submit(DocId Doc, const TreeBuilder &Build,
     Rec.Version = D->Version;
     Rec.Inverse = invertScript(Forward);
     Rec.Script = std::move(Forward);
+    Rec.Author = Opts.Author;
     D->History.push_back(std::move(Rec));
     if (D->History.size() > Cfg.HistoryCapacity)
       D->History.pop_front();
 
-    emit(Doc, D->Version, StoreOp::Submit, D->History.back().Script);
+    emit(Doc, D->Version, StoreOp::Submit, D->History.back().Script,
+         D->History.back().Author);
     maybeCompact(*D);
 
     R.Ok = true;
@@ -216,11 +225,13 @@ StoreResult DocumentStore::submit(DocId Doc, const TreeBuilder &Build,
   Rec.Version = D->Version;
   Rec.Inverse = invertScript(Diff.Script);
   Rec.Script = std::move(Diff.Script);
+  Rec.Author = Opts.Author;
   D->History.push_back(std::move(Rec));
   if (D->History.size() > Cfg.HistoryCapacity)
     D->History.pop_front();
 
-  emit(Doc, D->Version, StoreOp::Submit, D->History.back().Script);
+  emit(Doc, D->Version, StoreOp::Submit, D->History.back().Script,
+       D->History.back().Author);
   maybeCompact(*D);
 
   R.Ok = true;
@@ -287,7 +298,16 @@ StoreResult DocumentStore::rollback(DocId Doc) {
   D->Current = Restored;
   D->Version = Taken.Version - 1;
 
-  emit(Doc, D->Version, StoreOp::Rollback, Taken.Inverse);
+  // Rollback's provenance attributes to the *target* version's author:
+  // the rollback restores that author's work. Version 0 is the open's
+  // author; otherwise the ring's new top is the target version's record
+  // -- unless it was evicted, in which case attribution is unknown.
+  std::string_view TargetAuthor;
+  if (D->Version == 0)
+    TargetAuthor = D->OpenAuthor;
+  else if (!D->History.empty() && D->History.back().Version == D->Version)
+    TargetAuthor = D->History.back().Author;
+  emit(Doc, D->Version, StoreOp::Rollback, Taken.Inverse, TargetAuthor);
 
   R.Ok = true;
   R.Version = D->Version;
@@ -380,14 +400,23 @@ bool DocumentStore::withDocument(
   std::vector<HistoryEntry> History;
   History.reserve(D->History.size());
   for (const VersionRecord &Rec : D->History)
-    History.push_back({Rec.Version, &Rec.Script});
+    History.push_back({Rec.Version, &Rec.Script, &Rec.Author});
   Fn(D->Current, D->Version, History);
   return true;
 }
 
-StoreResult DocumentStore::restore(
-    DocId Doc, uint64_t Version, const TreeBuilder &Build,
-    std::vector<std::pair<uint64_t, EditScript>> History) {
+std::string DocumentStore::openAuthor(DocId Doc) const {
+  std::shared_ptr<Document> D = find(Doc);
+  if (!D)
+    return std::string();
+  std::lock_guard<std::mutex> Lock(D->Mu);
+  return D->OpenAuthor;
+}
+
+StoreResult DocumentStore::restore(DocId Doc, uint64_t Version,
+                                   const TreeBuilder &Build,
+                                   std::vector<RestoreEntry> History,
+                                   std::string OpenAuthor) {
   StoreResult R;
   auto D = std::make_shared<Document>();
   D->Ctx = std::make_unique<TreeContext>(Sig, Cfg.Digest);
@@ -400,14 +429,16 @@ StoreResult DocumentStore::restore(
   }
   D->Current = B.Root;
   D->Version = Version;
+  D->OpenAuthor = std::move(OpenAuthor);
   if (History.size() > Cfg.HistoryCapacity)
     History.erase(History.begin(),
                   History.end() - static_cast<ptrdiff_t>(Cfg.HistoryCapacity));
-  for (auto &[V, Script] : History) {
+  for (RestoreEntry &E : History) {
     VersionRecord Rec;
-    Rec.Version = V;
-    Rec.Inverse = invertScript(Script);
-    Rec.Script = std::move(Script);
+    Rec.Version = E.Version;
+    Rec.Inverse = invertScript(E.Script);
+    Rec.Script = std::move(E.Script);
+    Rec.Author = std::move(E.Author);
     D->History.push_back(std::move(Rec));
   }
 

@@ -60,6 +60,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -89,6 +90,7 @@ enum class ErrCode : uint8_t {
   HistoryExhausted, ///< rollback past the retained history ring
   MalformedFrame,   ///< binary wire frame or payload failed to decode
   NotLeader,        ///< write sent to a read-only follower replica
+  NoSuchNode,       ///< blame/history query for a URI with no live node
 };
 
 /// Short stable name for \p C (for logs and stats).
@@ -160,6 +162,11 @@ struct SubmitOptions {
   /// so a degraded answer still upholds every script guarantee; it is
   /// just not concise. Null means never.
   std::function<bool()> UseFallback;
+  /// Who authored the submitted revision; recorded on the version's
+  /// history-ring entry and handed to script listeners, so provenance
+  /// consumers (src/blame) can attribute the nodes the script touches.
+  /// Empty = unattributed.
+  std::string Author;
 };
 
 /// Read-only view of a document's current state.
@@ -233,13 +240,26 @@ public:
     Rollback, ///< the applied inverse script
   };
 
+  /// Out-of-band context delivered with every script notification.
+  struct ScriptInfo {
+    /// Attribution of the version the script produced. Open/Submit: the
+    /// request's author. Rollback: the author of the *target* version
+    /// (the one the document rolled back to), never the rollback
+    /// request itself -- rollback restores someone else's work, and
+    /// provenance must say whose. Empty when unattributed, or when the
+    /// target version's record was already evicted from the ring.
+    /// Points into store-owned memory; valid only during the call.
+    std::string_view Author;
+  };
+
   /// Observes every applied script: the initializing script on open, the
   /// forward script on submit, the inverse script on rollback. Called
   /// under the document's lock, so per-document invocations are totally
   /// ordered; implementations must not call back into the store. Register
   /// all listeners before serving traffic.
   using ScriptListener = std::function<void(DocId, uint64_t Version, StoreOp,
-                                            const EditScript &)>;
+                                            const EditScript &,
+                                            const ScriptInfo &)>;
 
   /// Observes erase(). Called under the shard lock (erase never takes the
   /// document lock), so an erase notification can overtake the script
@@ -258,8 +278,10 @@ public:
   void addEraseListener(EraseListener Listener);
 
   /// Creates document \p Doc at version 0 from \p Build; fails if it
-  /// already exists. Emits the initializing script.
-  StoreResult open(DocId Doc, const TreeBuilder &Build);
+  /// already exists. Emits the initializing script. \p Author attributes
+  /// version 0 (empty = unattributed).
+  StoreResult open(DocId Doc, const TreeBuilder &Build,
+                   std::string Author = std::string());
 
   /// Diffs the current version against the tree \p Build produces and
   /// advances the document to it. The result carries the edit script.
@@ -288,10 +310,13 @@ public:
   DocumentSnapshot snapshot(DocId Doc) const;
 
   /// One retained history-ring entry, exposed to withDocument visitors.
-  /// The script pointer is valid only for the duration of the visit.
+  /// The script and author pointers are valid only for the duration of
+  /// the visit.
   struct HistoryEntry {
     uint64_t Version = 0;
     const EditScript *Script = nullptr;
+    /// Author of this version (empty = unattributed).
+    const std::string *Author = nullptr;
   };
 
   /// Runs \p Fn with \p Doc's live tree, version, and history ring
@@ -304,15 +329,28 @@ public:
       const std::function<void(const Tree *, uint64_t Version,
                                const std::vector<HistoryEntry> &)> &Fn) const;
 
+  /// Author of version 0, as recorded at open (or restore). Empty when
+  /// the document is absent or version 0 was unattributed.
+  std::string openAuthor(DocId Doc) const;
+
+  /// One history-ring entry handed to restore(), oldest first.
+  struct RestoreEntry {
+    uint64_t Version = 0;
+    EditScript Script;
+    std::string Author;
+  };
+
   /// Installs a recovered document: \p Build produces the tree (URIs
   /// preserved, as with MTree::toTreePreservingUris) in the document's
   /// fresh context, \p History carries the forward scripts of the
   /// retained ring (oldest first; inverses are recomputed, the ring is
   /// truncated to Config::HistoryCapacity). Unlike open this emits
   /// nothing to listeners -- recovery runs before traffic -- and leaves
-  /// the document at \p Version. Fails if the document already exists.
+  /// the document at \p Version with version 0 attributed to
+  /// \p OpenAuthor. Fails if the document already exists.
   StoreResult restore(DocId Doc, uint64_t Version, const TreeBuilder &Build,
-                      std::vector<std::pair<uint64_t, EditScript>> History);
+                      std::vector<RestoreEntry> History,
+                      std::string OpenAuthor = std::string());
 
   bool contains(DocId Doc) const;
 
@@ -327,6 +365,8 @@ private:
     uint64_t Version = 0;
     EditScript Script;
     EditScript Inverse;
+    /// Who authored this version (empty = unattributed).
+    std::string Author;
   };
 
   struct Document {
@@ -335,6 +375,9 @@ private:
     Tree *Current = nullptr;
     uint64_t Version = 0;
     std::deque<VersionRecord> History;
+    /// Author of version 0 (open/restore); rollback to the initial
+    /// version re-attributes to this.
+    std::string OpenAuthor;
     /// Digest-cache accounting across this document's submits.
     uint64_t NodesRehashed = 0;
     uint64_t NodesDigestCacheSaved = 0;
@@ -353,8 +396,8 @@ private:
   }
 
   std::shared_ptr<Document> find(DocId Doc) const;
-  void emit(DocId Doc, uint64_t Version, StoreOp Op,
-            const EditScript &Script) const;
+  void emit(DocId Doc, uint64_t Version, StoreOp Op, const EditScript &Script,
+            std::string_view Author) const;
 
   /// Rebuilds \p D's tree into a fresh context, URIs preserved, if the
   /// arena has outgrown the live tree. Requires D.Mu held.

@@ -25,6 +25,10 @@ const char *service::opKindName(OpKind Kind) {
     return "get_version";
   case OpKind::Stats:
     return "stats";
+  case OpKind::Blame:
+    return "blame";
+  case OpKind::History:
+    return "history";
   }
   return "?";
 }

@@ -32,9 +32,11 @@ enum class OpKind : unsigned {
   Rollback,
   GetVersion,
   Stats,
+  Blame,
+  History,
 };
 
-inline constexpr unsigned NumOpKinds = 5;
+inline constexpr unsigned NumOpKinds = 7;
 
 /// Returns "open", "submit", ...
 const char *opKindName(OpKind Kind);

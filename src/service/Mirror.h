@@ -39,7 +39,8 @@ public:
   void attach(DocumentStore &Store) {
     Store.addScriptListener([this](DocId Doc, uint64_t Version,
                                    DocumentStore::StoreOp,
-                                   const EditScript &Script) {
+                                   const EditScript &Script,
+                                   const DocumentStore::ScriptInfo &) {
       onScript(Doc, Version, Script);
     });
   }

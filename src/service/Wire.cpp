@@ -99,6 +99,15 @@ WireCommand service::parseWireCommand(std::string_view Line,
     }
     Rest = trimLeft(Rest);
     if (WantsArg) {
+      // Optional attribution token between the id and the payload. The
+      // payload is an s-expression and always starts with '(', so the
+      // "author=" prefix cannot be tree text.
+      constexpr std::string_view AuthorKey = "author=";
+      if (Rest.substr(0, AuthorKey.size()) == AuthorKey) {
+        std::string_view Tok = nextToken(Rest);
+        Cmd.Author = std::string(Tok.substr(AuthorKey.size()));
+        Rest = trimLeft(Rest);
+      }
       if (Rest.empty()) {
         Cmd.Error = "expected s-expression after document id";
         return;
@@ -111,6 +120,39 @@ WireCommand service::parseWireCommand(std::string_view Line,
     Cmd.K = K;
   };
 
+  // blame: optional node uri; history: required node uri.
+  auto NeedDocUri = [&](WireCommand::Kind K, bool UriRequired) {
+    std::string_view IdTok = nextToken(Rest);
+    if (!parseDocId(IdTok, Cmd.Doc)) {
+      Cmd.Error = "expected numeric document id after '" + std::string(Verb) +
+                  "'";
+      return;
+    }
+    Rest = trimLeft(Rest);
+    if (Rest.empty()) {
+      if (UriRequired) {
+        Cmd.Error = "expected node uri after document id";
+        return;
+      }
+      Cmd.K = K;
+      return;
+    }
+    std::string_view UriTok = nextToken(Rest);
+    if (!UriTok.empty() && UriTok.front() == '#')
+      UriTok.remove_prefix(1);
+    if (!parseDocId(UriTok, Cmd.Uri)) {
+      Cmd.Error = "expected numeric node uri, got '" + std::string(UriTok) +
+                  "'";
+      return;
+    }
+    if (!trimLeft(Rest).empty()) {
+      Cmd.Error = "unexpected trailing input: " + std::string(trimLeft(Rest));
+      return;
+    }
+    Cmd.HasUri = true;
+    Cmd.K = K;
+  };
+
   if (Verb == "open")
     NeedDoc(WireCommand::Kind::Open, /*WantsArg=*/true);
   else if (Verb == "submit")
@@ -119,6 +161,10 @@ WireCommand service::parseWireCommand(std::string_view Line,
     NeedDoc(WireCommand::Kind::Rollback, /*WantsArg=*/false);
   else if (Verb == "get")
     NeedDoc(WireCommand::Kind::Get, /*WantsArg=*/false);
+  else if (Verb == "blame")
+    NeedDocUri(WireCommand::Kind::Blame, /*UriRequired=*/false);
+  else if (Verb == "history")
+    NeedDocUri(WireCommand::Kind::History, /*UriRequired=*/true);
   else if (Verb == "save")
     NeedDoc(WireCommand::Kind::Save, /*WantsArg=*/false);
   else if (Verb == "recover" && trimLeft(Rest).empty())

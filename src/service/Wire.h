@@ -8,15 +8,20 @@
 /// The line-oriented wire protocol the diff server speaks. Commands, one
 /// per line:
 ///
-///   open <doc-id> <s-expression>      create a document
-///   submit <doc-id> <s-expression>    diff a new version in
+///   open <doc-id> [author=<name>] <s-expression>    create a document
+///   submit <doc-id> [author=<name>] <s-expression>  diff a new version in
 ///   rollback <doc-id>                 undo the latest version
 ///   get <doc-id>                      current version + tree
+///   blame <doc-id> [<uri>]            per-node attribution (tree or node)
+///   history <doc-id> <uri>            retained revision chain of one node
 ///   save <doc-id>                     force a durable snapshot now
 ///   recover                           last recovery's summary as JSON
 ///   stats                             service metrics as JSON
 ///   health                            durability liveness as JSON
 ///   quit                              close the session
+///
+/// The optional author token attributes the produced version; it feeds
+/// the blame subsystem (src/blame) that the blame/history verbs query.
 ///
 /// save and recover require the server to run with persistence enabled
 /// (diff_server --data-dir); without it they answer with an error.
@@ -70,6 +75,8 @@ struct WireCommand {
     Submit,
     Rollback,
     Get,
+    Blame,
+    History,
     Save,
     Recover,
     Stats,
@@ -82,6 +89,12 @@ struct WireCommand {
   DocId Doc = 0;
   /// open/submit: the s-expression text.
   std::string Arg;
+  /// open/submit: the author= token, empty when absent.
+  std::string Author;
+  /// blame/history: the queried node URI (blame: only when HasUri).
+  URI Uri = NullURI;
+  /// blame: a uri operand was present (whole-tree blame otherwise).
+  bool HasUri = false;
   /// Kind::Invalid: what went wrong.
   std::string Error;
   /// Kind::Invalid: typed cause (ErrCode::FrameTooLarge for oversized

@@ -550,7 +550,8 @@ TEST(ChaosTest, DurableAcksSurviveEverySeededFaultSchedule) {
     // Every emitted script -- minimal diff, fallback, init, inverse --
     // must pass the linear type checker even while the disk burns.
     Store.addScriptListener([&](DocId, uint64_t, DocumentStore::StoreOp Op,
-                                const EditScript &S) {
+                                const EditScript &S,
+                                const DocumentStore::ScriptInfo &) {
       TypeCheckResult TC = Op == DocumentStore::StoreOp::Open
                                ? Checker.checkInitializing(S)
                                : Checker.checkWellTyped(S);

@@ -251,6 +251,17 @@ std::string docPayload(uint64_t Doc, std::string_view Blob = {}) {
   return P;
 }
 
+/// Open/Submit payload: doc id, author TLV, then the tree blob.
+std::string openPayload(uint64_t Doc, std::string_view Blob,
+                        std::string_view Author = {}) {
+  std::string P;
+  persist::putVarint(P, Doc);
+  persist::putVarint(P, Author.size());
+  P.append(Author);
+  P.append(Blob);
+  return P;
+}
+
 //===----------------------------------------------------------------------===//
 // Textual protocol
 //===----------------------------------------------------------------------===//
@@ -447,14 +458,14 @@ TEST(NetServerBinary, RoundTrip) {
   std::string Blob1 = persist::encodeTree(H.Sig, V1.Root);
   std::string Blob2 = persist::encodeTree(H.Sig, V2.Root);
 
-  ASSERT_TRUE(C.sendAll(binRequest(net::BinVerb::Open, docPayload(5, Blob1))));
+  ASSERT_TRUE(C.sendAll(binRequest(net::BinVerb::Open, openPayload(5, Blob1, "ada"))));
   net::BinResponse R;
   ASSERT_TRUE(C.readBinResponse(R));
   ASSERT_TRUE(R.Ok) << R.Error;
   EXPECT_EQ(R.Version, 0u);
 
   ASSERT_TRUE(
-      C.sendAll(binRequest(net::BinVerb::Submit, docPayload(5, Blob2))));
+      C.sendAll(binRequest(net::BinVerb::Submit, openPayload(5, Blob2, "grace"))));
   ASSERT_TRUE(C.readBinResponse(R));
   ASSERT_TRUE(R.Ok) << R.Error;
   EXPECT_EQ(R.Version, 1u);
@@ -549,7 +560,7 @@ TEST(NetServerBinary, MalformedPayloadKeepsConnectionAlive) {
 
   // Well-formed frame, garbage tree blob: typed MalformedFrame, and the
   // connection must survive.
-  std::string Garbage = docPayload(11, "\xff\xfe\xfd not a tree blob");
+  std::string Garbage = openPayload(11, "\xff\xfe\xfd not a tree blob");
   ASSERT_TRUE(C.sendAll(binRequest(net::BinVerb::Open, Garbage)));
   net::BinResponse R;
   ASSERT_TRUE(C.readBinResponse(R));

@@ -454,7 +454,8 @@ TEST(OverloadTest, EveryRejectionClassLeavesTheStoreByteIdentical) {
   LinearTypeChecker Checker(Sig);
   std::mutex ScriptMu;
   Store.addScriptListener([&](DocId, uint64_t, DocumentStore::StoreOp Op,
-                              const EditScript &S) {
+                              const EditScript &S,
+                              const DocumentStore::ScriptInfo &) {
     std::lock_guard<std::mutex> Lock(ScriptMu);
     TypeCheckResult TC = Op == DocumentStore::StoreOp::Open
                              ? Checker.checkInitializing(S)

@@ -147,7 +147,10 @@ TEST_F(StoreTest, ScriptStreamReconstructsDocument) {
   MTree M(Sig);
   std::vector<EditScript> Stream;
   Store.addScriptListener([&](DocId, uint64_t, DocumentStore::StoreOp,
-                              const EditScript &S) { Stream.push_back(S); });
+                              const EditScript &S,
+                              const DocumentStore::ScriptInfo &) {
+    Stream.push_back(S);
+  });
   ASSERT_TRUE(Store.open(1, sexprBuilder("(Sub (a) (b))")).Ok);
   ASSERT_TRUE(Store.submit(1, sexprBuilder("(Sub (Add (a) (b)) (b))")).Ok);
   ASSERT_EQ(Stream.size(), 2u);
@@ -529,7 +532,10 @@ TEST_F(StoreTest, FallbackScriptIsWellTypedAndReconstructs) {
   MTree M(Sig);
   std::vector<EditScript> Stream;
   Store.addScriptListener([&](DocId, uint64_t, DocumentStore::StoreOp,
-                              const EditScript &S) { Stream.push_back(S); });
+                              const EditScript &S,
+                              const DocumentStore::ScriptInfo &) {
+    Stream.push_back(S);
+  });
   ASSERT_TRUE(Store.open(1, sexprBuilder("(Sub (Add (a) (b)) (b))")).Ok);
   DocumentSnapshot V0 = Store.snapshot(1);
 
