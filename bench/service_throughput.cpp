@@ -24,20 +24,30 @@
 /// semantic change -- and the warm path must be at least 2x the cold
 /// path in nodes/ms.
 ///
-/// A final overload phase measures the protection added by fair
-/// scheduling and sojourn shedding: a hot tenant offers 4x the measured
+/// An overload phase measures the protection added by fair scheduling
+/// and sojourn shedding: a hot tenant offers 4x the measured
 /// single-tenant capacity open-loop while a cold tenant trickles, and
 /// the run fails unless goodput stays within 20% of capacity, the cold
 /// tenant is fully served with bounded p99 latency, and every shed or
 /// backpressure response carries a per-document retry_after_ms hint.
 ///
+/// A final failover phase kills the leader mid-load over real sockets,
+/// promotes its follower, and reports time-to-first-successful-write
+/// and the read-goodput dip while a resilient client rides through the
+/// takeover; the gate is convergence (durable prefix preserved,
+/// byte-identical replication from the new leader), not wall-clock.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
+#include "client/Client.h"
+#include "json/Json.h"
 #include "net/NetServer.h"
+#include "net/Role.h"
 #include "net/ServiceHandler.h"
 #include "python/Python.h"
+#include "replica/Failover.h"
 #include "replica/Follower.h"
 #include "replica/Leader.h"
 #include "replica/ReplicationLog.h"
@@ -46,6 +56,7 @@
 
 #include <algorithm>
 #include <arpa/inet.h>
+#include <atomic>
 #include <future>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -242,6 +253,85 @@ struct BenchFollower {
     Loop.stop();
   }
 };
+
+/// A follower that can be promoted to leader mid-run: one loop, one
+/// role-routed client port (follower reads before promotion, the full
+/// leader protocol after), and the leader stack built by promote().
+struct PromotableReplica {
+  const SignatureTable &Sig;
+  net::EventLoop Loop;
+  net::RoleState Role;
+
+  std::unique_ptr<replica::Follower> F;
+  std::unique_ptr<replica::ReplicaReadHandler> Reader;
+  std::unique_ptr<replica::FailoverHandler> Router;
+  std::unique_ptr<net::NetServer> ClientSrv;
+  bool Started = false;
+
+  std::unique_ptr<DocumentStore> Store;
+  std::unique_ptr<replica::ReplicationLog> Log;
+  std::unique_ptr<replica::Leader> Lead;
+  std::unique_ptr<DiffService> Svc;
+  std::unique_ptr<net::ServiceHandler> Writer;
+
+  explicit PromotableReplica(const SignatureTable &Sig) : Sig(Sig) {
+    F = std::make_unique<replica::Follower>(Loop, Sig);
+    replica::ReplicaReadHandler::Config RC;
+    RC.Role = &Role;
+    Reader = std::make_unique<replica::ReplicaReadHandler>(*F, RC);
+    Router = std::make_unique<replica::FailoverHandler>(Role, *Reader);
+    ClientSrv = std::make_unique<net::NetServer>(Loop, Sig, *Router);
+    Started = ClientSrv->start();
+    Loop.start();
+  }
+
+  ~PromotableReplica() {
+    F->disconnect();
+    Loop.stop();
+    if (Svc)
+      Svc->shutdown();
+  }
+
+  bool promote(uint64_t NewEpoch) {
+    auto NewStore = std::make_unique<DocumentStore>(Sig);
+    auto NewLog = std::make_unique<replica::ReplicationLog>(*NewStore);
+    replica::PromotionResult PR = replica::promoteFollower(
+        *F, *NewStore, /*Prov=*/nullptr, *NewLog, NewEpoch);
+    if (!PR.Ok) {
+      std::printf("# promotion failed: %s\n", PR.Error.c_str());
+      return false;
+    }
+    Store = std::move(NewStore);
+    Log = std::move(NewLog);
+    replica::Leader::Config LC;
+    LC.Epoch = NewEpoch;
+    LC.OnFenced = [this](uint64_t) { Role.demote(std::string()); };
+    Lead = std::make_unique<replica::Leader>(Loop, *Log, LC);
+    if (!Lead->start())
+      return false;
+    ServiceConfig SC;
+    SC.Workers = 2;
+    Svc = std::make_unique<DiffService>(*Store, SC);
+    net::ServiceHandler::Config WC;
+    WC.Role = &Role;
+    Writer = std::make_unique<net::ServiceHandler>(*Svc, WC);
+    Router->setWriter(Writer.get());
+    Role.promote(NewEpoch);
+    return true;
+  }
+};
+
+/// A JSON array s-expression of \p Len numbers whose head is \p Tweak:
+/// successive versions differ in one leaf, the steady-write shape.
+std::string jsonArrayExpr(unsigned Tweak, unsigned Len = 12) {
+  std::string S = "(JArray ";
+  for (unsigned I = 0; I != Len; ++I)
+    S += "(ElemCons (JNumber " + std::to_string(I == 0 ? Tweak : I) + ".0) ";
+  S += "(ElemNil)";
+  S.append(Len, ')');
+  S += ")";
+  return S;
+}
 
 } // namespace
 
@@ -683,6 +773,234 @@ int main(int Argc, char **Argv) {
   Report.scalar("replication_drain", "ms", DrainMs);
   Report.scalar("replication_catchup", "ms", CatchupMs);
   Report.meta("replication_converged", ReplConverged ? "yes" : "no");
+
+  // Phase 6: failover. A resilient client writes through a leader while
+  // closed-loop reads run against its follower's port; mid-load the
+  // leader is killed outright (loop stopped, service down) and the
+  // follower is promoted. Reported: time from the kill to the client's
+  // first acknowledged write on the new leader, and read goodput before,
+  // during, and after the takeover (the dip). The gate is convergence,
+  // not wall-clock: every write replicated before the kill survives
+  // promotion, the client's final acked version equals the promoted
+  // store's, and a fresh follower syncing from the new leader is
+  // byte-identical.
+  SignatureTable JSig = json::makeJsonSignature();
+  double FirstWriteMs = -1, SteadyReadsPerMs = 0, DipReadsPerMs = 0,
+         PostReadsPerMs = 0;
+  uint64_t UnreplicatedAtKill = 0, FailoverResyncs = 0;
+  bool FailoverOk = false;
+  {
+    auto AStore = std::make_unique<DocumentStore>(JSig);
+    auto ALog = std::make_unique<replica::ReplicationLog>(*AStore);
+    auto ALoop = std::make_unique<net::EventLoop>();
+    replica::Leader::Config ALC;
+    ALC.Epoch = 1;
+    auto ALead = std::make_unique<replica::Leader>(*ALoop, *ALog, ALC);
+    ALog->attach();
+    bool Up = ALead->start();
+    ServiceConfig FSC;
+    FSC.Workers = 2;
+    auto ASvc = std::make_unique<DiffService>(*AStore, FSC);
+    auto AHandler = std::make_unique<net::ServiceHandler>(*ASvc);
+    auto AFront = std::make_unique<net::NetServer>(*ALoop, JSig,
+                                                  *AHandler,
+                                                  net::NetServer::Config());
+    Up = Up && AFront->start();
+    ALoop->start();
+
+    PromotableReplica B(JSig);
+    Up = Up && B.Started && B.F->connectTo("127.0.0.1", ALead->port());
+
+    const std::string AAddr = "127.0.0.1:" + std::to_string(AFront->port());
+    const std::string BAddr =
+        "127.0.0.1:" + std::to_string(B.ClientSrv->port());
+
+    std::atomic<bool> StopWrites{false}, StopReads{false};
+    std::atomic<bool> LeaderKilled{false};
+    std::atomic<uint64_t> LastAcked{0}, FinalVersion{0}, WriteErrors{0},
+        Resyncs{0};
+    std::atomic<double> FirstOkAfterKill{-1};
+    auto T0 = Clock::now();
+    Clock::time_point KillAt; // written before LeaderKilled flips
+
+    std::thread WriterThread([&] {
+      client::ResilientClient::Config CC;
+      CC.Endpoints = {AAddr, BAddr};
+      CC.RequestTimeoutMs = 150;
+      CC.MaxAttempts = 30;
+      CC.BackoffBaseMs = 2;
+      CC.BackoffCapMs = 40;
+      CC.JitterSeed = 0x5eed;
+      client::ResilientClient RC(CC);
+      if (!RC.open(1, jsonArrayExpr(0)).Ok) {
+        WriteErrors.fetch_add(1);
+        return;
+      }
+      for (unsigned I = 1; !StopWrites.load(); ++I) {
+        client::ResilientClient::Result R = RC.submit(1, jsonArrayExpr(I));
+        if (R.Ok) {
+          LastAcked.store(R.Version);
+          if (LeaderKilled.load() && FirstOkAfterKill.load() < 0)
+            FirstOkAfterKill.store(msSince(KillAt));
+        } else if (R.Code == "cas_mismatch") {
+          // The acked-but-unreplicated suffix died with the old leader;
+          // resync the version cache and keep writing.
+          RC.forgetVersion(1);
+          Resyncs.fetch_add(1);
+        } else {
+          WriteErrors.fetch_add(1);
+        }
+      }
+      client::ResilientClient::Result Fin = RC.get(1);
+      if (Fin.Ok)
+        FinalVersion.store(Fin.Version);
+    });
+
+    // Closed-loop ok-reads against the follower's port, bucketed so the
+    // takeover dip is visible at 25ms resolution.
+    const double BucketMs = 25;
+    std::vector<uint64_t> Buckets(64, 0);
+    std::thread ReaderThread([&] {
+      uint16_t Port = B.ClientSrv->port();
+      while (!StopReads.load()) {
+        int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (Fd < 0)
+          return;
+        sockaddr_in SA{};
+        SA.sin_family = AF_INET;
+        SA.sin_port = htons(Port);
+        SA.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        if (::connect(Fd, reinterpret_cast<sockaddr *>(&SA), sizeof(SA)) !=
+            0) {
+          ::close(Fd);
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;
+        }
+        const std::string Cmd = "get 1\n";
+        std::string Buf;
+        char Tmp[4096];
+        bool Alive = true;
+        while (Alive && !StopReads.load()) {
+          if (::send(Fd, Cmd.data(), Cmd.size(), MSG_NOSIGNAL) !=
+              static_cast<ssize_t>(Cmd.size()))
+            break;
+          for (;;) {
+            size_t End = Buf.find("\n.\n");
+            if (End != std::string::npos) {
+              if (Buf.compare(0, 3, "ok ") == 0) {
+                size_t Idx = static_cast<size_t>(msSince(T0) / BucketMs);
+                ++Buckets[std::min(Idx, Buckets.size() - 1)];
+              }
+              Buf.erase(0, End + 3);
+              break;
+            }
+            ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
+            if (N <= 0) {
+              Alive = false;
+              break;
+            }
+            Buf.append(Tmp, static_cast<size_t>(N));
+          }
+        }
+        ::close(Fd);
+      }
+    });
+
+    // Steady state, then the kill: stop the leader's loop (every socket
+    // dies) and its service. The follower's applied version at this
+    // instant is the durable floor promotion must preserve.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    uint64_t DurableVersion = B.F->read(1).Version;
+    uint64_t AckedAtKill = LastAcked.load();
+    KillAt = Clock::now();
+    double KillMs = msSince(T0);
+    ALoop->stop();
+    ASvc->shutdown();
+    LeaderKilled.store(true);
+
+    // Operator reaction delay, then promote the follower in place.
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    bool Promoted = B.promote(2);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    StopWrites.store(true);
+    WriterThread.join();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    StopReads.store(true);
+    ReaderThread.join();
+    double EndMs = msSince(T0);
+
+    FirstWriteMs = FirstOkAfterKill.load();
+    FailoverResyncs = Resyncs.load();
+    UnreplicatedAtKill =
+        AckedAtKill > DurableVersion ? AckedAtKill - DurableVersion : 0;
+
+    // Bucket arithmetic: steady excludes the warmup bucket, the dip
+    // window covers 200ms from the kill, post is everything after it up
+    // to the last complete bucket.
+    size_t KillBucket = static_cast<size_t>(KillMs / BucketMs);
+    size_t LastBucket = std::min(
+        static_cast<size_t>(EndMs / BucketMs), Buckets.size() - 1);
+    size_t DipEnd = std::min(KillBucket + 8, LastBucket);
+    auto MeanPerMs = [&](size_t Lo, size_t Hi) { // [Lo, Hi)
+      if (Hi <= Lo)
+        return 0.0;
+      uint64_t Sum = 0;
+      for (size_t I = Lo; I != Hi; ++I)
+        Sum += Buckets[I];
+      return static_cast<double>(Sum) /
+             (static_cast<double>(Hi - Lo) * BucketMs);
+    };
+    SteadyReadsPerMs = MeanPerMs(1, KillBucket);
+    DipReadsPerMs = SteadyReadsPerMs;
+    for (size_t I = KillBucket; I < DipEnd; ++I)
+      DipReadsPerMs = std::min(
+          DipReadsPerMs, static_cast<double>(Buckets[I]) / BucketMs);
+    PostReadsPerMs = MeanPerMs(DipEnd, LastBucket);
+
+    // Convergence: the promoted store kept every durable write, agrees
+    // with the client's final acked version, and replicates
+    // byte-identically to a fresh follower.
+    bool Converged = false;
+    if (Promoted) {
+      DocumentSnapshot Snap = B.Store->snapshot(1);
+      BenchFollower Late(JSig);
+      bool LateUp = Late.F->connectTo("127.0.0.1", B.Lead->port());
+      auto L0 = Clock::now();
+      while (LateUp &&
+             !(Late.F->caughtUp() &&
+               Late.F->lastSeq() == B.Log->currentSeq()) &&
+             msSince(L0) < 15000)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      replica::Follower::ReadResult RR = Late.F->read(1);
+      Converged = Snap.Ok && RR.Ok && RR.UriText == Snap.UriText &&
+                  Snap.Version >= DurableVersion &&
+                  Snap.Version == FinalVersion.load();
+    }
+    FailoverOk = Up && Promoted && Converged && FirstWriteMs >= 0 &&
+                 WriteErrors.load() == 0;
+
+    std::printf("\n%-10s %14s %12s %12s %12s\n", "failover", "1st write ms",
+                "steady r/ms", "dip r/ms", "post r/ms");
+    std::printf("%-10s %14.1f %12.1f %12.1f %12.1f\n", "kill+promote",
+                FirstWriteMs, SteadyReadsPerMs, DipReadsPerMs,
+                PostReadsPerMs);
+    std::printf("# acked-unreplicated at kill: %llu, cas resyncs: %llu, "
+                "converged: %s\n",
+                static_cast<unsigned long long>(UnreplicatedAtKill),
+                static_cast<unsigned long long>(FailoverResyncs),
+                FailoverOk ? "yes" : "NO");
+  }
+
+  Report.scalar("failover_first_write", "ms", FirstWriteMs);
+  Report.scalar("failover_reads_steady", "reads_per_ms", SteadyReadsPerMs);
+  Report.scalar("failover_reads_dip", "reads_per_ms", DipReadsPerMs);
+  Report.scalar("failover_reads_post", "reads_per_ms", PostReadsPerMs);
+  Report.scalar("failover_unreplicated_at_kill", "writes",
+                static_cast<double>(UnreplicatedAtKill));
+  Report.scalar("failover_cas_resyncs", "writes",
+                static_cast<double>(FailoverResyncs));
+  Report.meta("failover_ok", FailoverOk ? "yes" : "no");
   Report.write();
 
   std::printf("\n# aggregate nodes/ms %s monotonically (within 10%% noise) "
@@ -703,5 +1021,12 @@ int main(int Argc, char **Argv) {
     std::printf("# FAIL: under 4x overload, goodput must stay within 20%% "
                 "of capacity, the cold tenant must be fully served with "
                 "bounded p99, and every shed carries a retry hint\n");
-  return Monotone && CacheOk && PolicyOk && FallbackOk && OverloadOk ? 0 : 1;
+  if (!FailoverOk)
+    std::printf("# FAIL: after killing the leader mid-load, the promoted "
+                "follower must serve the client's writes and converge "
+                "byte-identically with no durable write lost\n");
+  return Monotone && CacheOk && PolicyOk && FallbackOk && OverloadOk &&
+                 FailoverOk
+             ? 0
+             : 1;
 }

@@ -75,7 +75,18 @@
 ///                         replaced leader)
 ///   --follow=<host:port>  run as a follower replica of that leader and
 ///                         serve read-only traffic on --listen (writes
-///                         answer code=not_leader)
+///                         answer code=not_leader with a leader address
+///                         hint and retry_after_ms)
+///
+/// Failover: `promote <epoch>` on a follower runs the fence/export/
+/// install state machine -- the follower stops accepting the old
+/// leader's stream, installs its applied committed prefix into a fresh
+/// writable store, and starts serving the full leader protocol on the
+/// same port (replication endpoint per --repl-listen). A leader that
+/// sees a follower hello carrying a higher epoch self-fences: it demotes
+/// to read-only and answers writes with code=not_leader. `demote
+/// [<host:port>]` does the same by hand and records where clients should
+/// be redirected. Demoted ex-leaders rejoin by restarting as followers.
 ///
 /// SIGTERM/SIGINT trigger a graceful shutdown: the server stops reading,
 /// drains accepted requests, flushes the WAL, and exits. Exit codes:
@@ -90,11 +101,14 @@
 #include "blame/Provenance.h"
 #include "blame/Render.h"
 #include "json/Json.h"
+#include "net/Role.h"
 #include "net/ServiceHandler.h"
 #include "persist/Persistence.h"
 #include "python/Python.h"
+#include "replica/Failover.h"
 #include "replica/Follower.h"
 #include "replica/Leader.h"
+#include "replica/ReplicationLog.h"
 #include "service/Wire.h"
 #include "support/TreeHash.h"
 
@@ -261,9 +275,13 @@ int main(int Argc, char **Argv) {
 
   installSignalHandlers();
 
-  // Follower mode: replicate from the leader, serve read-only traffic.
-  // The store/service machinery below is the leader's write path and is
-  // not needed here.
+  // Follower mode: replicate from the leader, serve read-only traffic,
+  // and stand by for promotion. The `promote <epoch>` admin verb runs
+  // the failover state machine (replica/Failover.h): fence the old
+  // leader's stream, install the applied committed prefix into a fresh
+  // writable store, start serving the leader wire protocol on the same
+  // client port, and open a replication endpoint for the other replicas
+  // (--repl-listen picks its port; default ephemeral).
   if (!FollowHost.empty()) {
     net::EventLoop Loop;
     Loop.start();
@@ -276,11 +294,107 @@ int main(int Argc, char **Argv) {
       Loop.stop();
       return 1;
     }
-    replica::ReplicaReadHandler Handler(F);
+
+    net::RoleState Role; // follower: writes answer code=not_leader
+    blame::ProvenanceIndex Prov;
+    std::unique_ptr<DocumentStore> PStore;
+    std::unique_ptr<replica::ReplicationLog> PLog;
+    std::unique_ptr<replica::Leader> PLead;
+    std::unique_ptr<DiffService> PSvc;
+    std::unique_ptr<net::ServiceHandler> PWriter;
+    std::unique_ptr<replica::FailoverHandler> Router;
+
+    // Runs on the loop thread from the admin verb. Order matters: the
+    // role flips to Leader only after the whole write stack is built, so
+    // a request routed to the writer always finds one.
+    auto Promote = [&](uint64_t NewEpoch) -> Response {
+      Response R;
+      if (Role.writable()) {
+        R.Error = "already the leader";
+        return R;
+      }
+      if (PLead) {
+        R.Error = "demoted ex-leader: restart as a fresh follower to rejoin";
+        return R;
+      }
+      auto NewStore = std::make_unique<DocumentStore>(Sig);
+      auto NewLog = std::make_unique<replica::ReplicationLog>(*NewStore);
+      NewLog->setProvenanceSource(
+          [&Prov](DocId Doc) { return Prov.snapshotDoc(Doc); });
+      replica::PromotionResult PR =
+          replica::promoteFollower(F, *NewStore, &Prov, *NewLog, NewEpoch);
+      if (!PR.Ok) {
+        R.Error = PR.Error;
+        return R;
+      }
+      PStore = std::move(NewStore);
+      PLog = std::move(NewLog);
+      replica::Leader::Config LC;
+      LC.Port = static_cast<uint16_t>(ReplPort);
+      LC.Epoch = NewEpoch;
+      LC.OnFenced = [&Role](uint64_t) { Role.demote(std::string()); };
+      PLead = std::make_unique<replica::Leader>(Loop, *PLog, LC);
+      std::string LeadErr;
+      if (!PLead->start(&LeadErr)) {
+        R.Error = "promotion failed to open the replication endpoint: " +
+                  LeadErr;
+        return R;
+      }
+      ServiceConfig SvcCfg;
+      SvcCfg.Workers = Workers;
+      SvcCfg.DefaultDeadlineMs = static_cast<unsigned>(DeadlineMs);
+      PSvc = std::make_unique<DiffService>(*PStore, SvcCfg);
+      Prov.attach(*PStore); // promotion restores emit nothing; live
+                            // submits fold from here on
+      blame::wireBlameHandlers(*PSvc, *PStore, Prov);
+      replica::Leader *LeadPtr = PLead.get();
+      PSvc->setStatsAugmenter(
+          [LeadPtr] { return "\"replica\":" + LeadPtr->replicaJson(); });
+      net::ServiceHandler::Config WC;
+      WC.Limits.MaxNodes = static_cast<uint32_t>(MaxNodes);
+      WC.Limits.MaxDepth = static_cast<uint32_t>(MaxDepth);
+      WC.SubmitDeadlineMs = DeadlineMs;
+      WC.Role = &Role;
+      WC.OnDemote = [&Role](std::string Addr) {
+        Role.demote(std::move(Addr));
+        Response D;
+        D.Ok = true;
+        D.Payload = "demoted";
+        return D;
+      };
+      PWriter = std::make_unique<net::ServiceHandler>(*PSvc, WC);
+      Router->setWriter(PWriter.get());
+      Role.promote(NewEpoch);
+      std::fprintf(stderr,
+                   "diff_server: promoted to leader (epoch %llu): %llu "
+                   "document(s) at seq %llu, replication on port %u\n",
+                   static_cast<unsigned long long>(NewEpoch),
+                   static_cast<unsigned long long>(PR.Docs),
+                   static_cast<unsigned long long>(PR.LastSeq), PLead->port());
+      R.Ok = true;
+      R.Version = PR.Docs;
+      R.Payload = "promoted to epoch " + std::to_string(NewEpoch) + " (" +
+                  std::to_string(PR.Docs) + " docs, seq " +
+                  std::to_string(PR.LastSeq) + ")";
+      return R;
+    };
+
+    replica::ReplicaReadHandler::Config RC;
+    RC.Role = &Role;
+    RC.OnPromote = Promote;
+    RC.OnDemote = [&Role](std::string Addr) {
+      Role.demote(std::move(Addr));
+      Response R;
+      R.Ok = true;
+      R.Payload = "demoted";
+      return R;
+    };
+    replica::ReplicaReadHandler Reader(F, RC);
+    Router = std::make_unique<replica::FailoverHandler>(Role, Reader);
     net::NetServer::Config SC;
     SC.Port = static_cast<uint16_t>(ListenPort);
     SC.IdleTimeoutMs = static_cast<unsigned>(IdleTimeoutMs);
-    net::NetServer Srv(Loop, Sig, Handler, SC);
+    net::NetServer Srv(Loop, Sig, *Router, SC);
     if (!Srv.start(&Err)) {
       std::fprintf(stderr, "diff_server: cannot listen: %s\n", Err.c_str());
       Loop.stop();
@@ -288,7 +402,7 @@ int main(int Argc, char **Argv) {
     }
     std::fprintf(stderr,
                  "diff_server: follower of %s:%llu, read-only %s protocol "
-                 "on port %u\n",
+                 "on port %u (promote <epoch> to take over)\n",
                  FollowHost.c_str(),
                  static_cast<unsigned long long>(FollowPort), Lang.c_str(),
                  Srv.port());
@@ -296,7 +410,10 @@ int main(int Argc, char **Argv) {
       pause();
     std::fprintf(stderr, "diff_server: caught signal %d, shutting down\n",
                  static_cast<int>(GotSignal));
+    F.disconnect();
     Loop.stop();
+    if (PSvc)
+      PSvc->shutdown();
     return 0;
   }
 
@@ -354,17 +471,33 @@ int main(int Argc, char **Argv) {
   if (MemBudgetMb != 0)
     Cfg.MemBudget = &Budget;
   DiffService Service(Store, Cfg);
+
+  // Network front end and/or replication leader share one event loop.
+  // The role state gates writes once this leader is fenced or demoted;
+  // the stats augmenter reads Lead through the pointer, so it must be
+  // declared before the augmenters are installed.
+  net::RoleState Role(net::RoleState::Role::Leader, Epoch);
+  std::unique_ptr<net::EventLoop> Loop;
+  std::unique_ptr<replica::ReplicationLog> Log;
+  std::unique_ptr<replica::Leader> Lead;
+  std::unique_ptr<net::ServiceHandler> Handler;
+  std::unique_ptr<net::NetServer> Srv;
+
   // Subscribe the index to the live script stream (recovery above used
   // the WAL instead; restore() emits nothing, so nothing double-folds),
   // and serve blame/history through the service queue.
   Prov.attach(Store);
   blame::wireBlameHandlers(Service, Store, Prov);
+  auto ReplicaFragment = [&Lead]() -> std::string {
+    // Lead is fixed before the loop starts serving; no race with stats.
+    return Lead ? ",\"replica\":" + Lead->replicaJson() : std::string();
+  };
   if (Persist) {
     persist::Persistence *P = Persist.get();
     Service.setDrainHook([P] { P->flush(); });
-    Service.setStatsAugmenter([P, &Prov] {
+    Service.setStatsAugmenter([P, &Prov, ReplicaFragment] {
       return "\"persist\":" + P->statsJson() + "," +
-             Prov.statsJsonFragment();
+             Prov.statsJsonFragment() + ReplicaFragment();
     });
     Service.setHealthSource([P] {
       persist::Persistence::HealthInfo H = P->healthInfo();
@@ -375,15 +508,11 @@ int main(int Argc, char **Argv) {
       return S;
     });
   } else {
-    Service.setStatsAugmenter([&Prov] { return Prov.statsJsonFragment(); });
+    Service.setStatsAugmenter([&Prov, ReplicaFragment] {
+      return Prov.statsJsonFragment() + ReplicaFragment();
+    });
   }
 
-  // Network front end and/or replication leader share one event loop.
-  std::unique_ptr<net::EventLoop> Loop;
-  std::unique_ptr<replica::ReplicationLog> Log;
-  std::unique_ptr<replica::Leader> Lead;
-  std::unique_ptr<net::ServiceHandler> Handler;
-  std::unique_ptr<net::NetServer> Srv;
   if (Listen || ReplListen)
     Loop = std::make_unique<net::EventLoop>();
   if (ReplListen) {
@@ -394,6 +523,14 @@ int main(int Argc, char **Argv) {
     replica::Leader::Config LC;
     LC.Port = static_cast<uint16_t>(ReplPort);
     LC.Epoch = Epoch;
+    // Self-fence: a follower hello reporting a higher epoch means a
+    // promotion happened elsewhere -- stop accepting writes immediately.
+    LC.OnFenced = [&Role](uint64_t Reported) {
+      Role.demote(std::string());
+      std::fprintf(stderr,
+                   "diff_server: fenced by epoch %llu, demoted to read-only\n",
+                   static_cast<unsigned long long>(Reported));
+    };
     Lead = std::make_unique<replica::Leader>(*Loop, *Log, LC);
     std::string Err;
     if (!Lead->start(&Err)) {
@@ -406,6 +543,21 @@ int main(int Argc, char **Argv) {
     net::ServiceHandler::Config HC;
     HC.Limits = Limits;
     HC.SubmitDeadlineMs = DeadlineMs;
+    HC.Role = &Role;
+    HC.OnPromote = [&Role](uint64_t) {
+      Response R;
+      R.Error = Role.writable()
+                    ? "already the leader"
+                    : "demoted ex-leader: restart as a follower to rejoin";
+      return R;
+    };
+    HC.OnDemote = [&Role](std::string Addr) {
+      Role.demote(std::move(Addr));
+      Response R;
+      R.Ok = true;
+      R.Payload = "demoted";
+      return R;
+    };
     if (Persist) {
       persist::Persistence *P = Persist.get();
       HC.OnSave = [P](DocId Doc) {
@@ -451,7 +603,7 @@ int main(int Argc, char **Argv) {
   std::fprintf(stderr,
                "diff_server: %s signature, %u workers%s%s%s; commands: open, "
                "submit, rollback, get, blame, history, save, recover, stats, "
-               "health, quit\n",
+               "health, promote, demote, quit\n",
                Lang.c_str(), Service.workers(), Persist ? ", durable" : "",
                DigestNote.c_str(), DeadlineNote.c_str());
   if (Srv)
@@ -547,6 +699,18 @@ int main(int Argc, char **Argv) {
       // answer.
       R.Ok = true;
       R.Payload = Service.healthJson();
+      break;
+    case WireCommand::Kind::Promote:
+      R.Error = Role.writable()
+                    ? "already the leader"
+                    : "demoted ex-leader: restart as a follower to rejoin";
+      break;
+    case WireCommand::Kind::Demote:
+      // Flips the role (fencing the TCP write path if one is listening)
+      // and records where clients should be pointed.
+      Role.demote(std::move(Cmd.Arg));
+      R.Ok = true;
+      R.Payload = "demoted";
       break;
     case WireCommand::Kind::Quit:
       Quit = true;

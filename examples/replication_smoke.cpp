@@ -22,6 +22,7 @@
 
 #include "blame/Provenance.h"
 #include "blame/Render.h"
+#include "client/Client.h"
 #include "corpus/JsonGen.h"
 #include "json/Json.h"
 #include "net/NetServer.h"
@@ -87,17 +88,31 @@ bool checkFollower(const char *Name, service::DocumentStore &Store,
     ++Live;
     replica::Follower::ReadResult R = F.read(Doc);
     if (!R.Ok) {
-      std::fprintf(stderr, "FAIL %s: doc %llu unreadable: %s\n", Name,
-                   static_cast<unsigned long long>(Doc), R.Error.c_str());
+      std::fprintf(stderr,
+                   "FAIL %s: doc %llu unreadable: %s (caught_up=%d "
+                   "last_applied_seq=%llu)\n",
+                   Name, static_cast<unsigned long long>(Doc), R.Error.c_str(),
+                   F.caughtUp() ? 1 : 0,
+                   static_cast<unsigned long long>(F.lastSeq()));
       Ok = false;
       continue;
     }
     if (R.Version != S.Version || R.UriText != S.UriText ||
         R.DigestHex != Sha256::hash(S.UriText).toHex()) {
-      std::fprintf(stderr, "FAIL %s: doc %llu diverged (v%llu vs v%llu)\n",
+      // Dump everything a divergence post-mortem needs: both digests,
+      // both versions, and how far into the record stream the follower
+      // got, so "stale" and "corrupt" are distinguishable from the log.
+      std::fprintf(stderr,
+                   "FAIL %s: doc %llu diverged\n"
+                   "  leader:   v%llu digest %s\n"
+                   "  follower: v%llu digest %s (caught_up=%d "
+                   "last_applied_seq=%llu)\n",
                    Name, static_cast<unsigned long long>(Doc),
+                   static_cast<unsigned long long>(S.Version),
+                   Sha256::hash(S.UriText).toHex().c_str(),
                    static_cast<unsigned long long>(R.Version),
-                   static_cast<unsigned long long>(S.Version));
+                   R.DigestHex.c_str(), F.caughtUp() ? 1 : 0,
+                   static_cast<unsigned long long>(F.lastSeq()));
       Ok = false;
     }
 
@@ -145,38 +160,27 @@ bool checkFollower(const char *Name, service::DocumentStore &Store,
   return Ok;
 }
 
-/// One textual read over the follower's TCP endpoint, to prove the read
-/// path works end to end (connect, get, parse the framed response).
+/// Reads over the follower's TCP endpoint through the resilient client,
+/// proving the read path (connect, framed get, stats with the replica
+/// section) works end to end with the library real deployments use.
 bool tcpReadWorks(uint16_t Port, uint64_t Doc) {
-  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (Fd < 0)
-    return false;
-  sockaddr_in A{};
-  A.sin_family = AF_INET;
-  A.sin_port = htons(Port);
-  A.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&A), sizeof(A)) != 0) {
-    ::close(Fd);
-    return false;
-  }
-  std::string Cmd = "get " + std::to_string(Doc) + "\n";
-  if (::send(Fd, Cmd.data(), Cmd.size(), MSG_NOSIGNAL) !=
-      static_cast<ssize_t>(Cmd.size())) {
-    ::close(Fd);
+  client::ResilientClient::Config CC;
+  CC.Endpoints = {"127.0.0.1:" + std::to_string(Port)};
+  CC.RequestTimeoutMs = 5000;
+  client::ResilientClient C(CC);
+  client::ResilientClient::Result G = C.get(Doc);
+  if (!G.Ok) {
+    std::fprintf(stderr, "follower get over TCP failed: %s\n",
+                 G.Error.c_str());
     return false;
   }
-  std::string Buf;
-  char Tmp[4096];
-  while (Buf.find("\n.\n") == std::string::npos) {
-    ssize_t N = ::recv(Fd, Tmp, sizeof(Tmp), 0);
-    if (N <= 0) {
-      ::close(Fd);
-      return false;
-    }
-    Buf.append(Tmp, static_cast<size_t>(N));
+  client::ResilientClient::Result S = C.stats();
+  if (!S.Ok || S.Payload.find("\"role\":\"follower\"") == std::string::npos) {
+    std::fprintf(stderr, "follower stats over TCP missing replica role: %s\n",
+                 S.Ok ? S.Payload.c_str() : S.Error.c_str());
+    return false;
   }
-  ::close(Fd);
-  return Buf.rfind("ok ", 0) == 0 || Buf.rfind("err ", 0) == 0;
+  return true;
 }
 
 } // namespace

@@ -6,6 +6,8 @@
 
 #include "net/EventLoop.h"
 
+#include "net/NetEnv.h"
+
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
@@ -51,8 +53,11 @@ void Conn::send(std::string_view Bytes) {
 
 bool Conn::flushSome() {
   while (OutPos < Out.size()) {
-    ssize_t N = ::send(Fd, Out.data() + OutPos, Out.size() - OutPos,
-                       MSG_NOSIGNAL);
+    ssize_t N = Loop.Env != nullptr
+                    ? Loop.Env->sendBytes(Fd, Out.data() + OutPos,
+                                          Out.size() - OutPos)
+                    : ::send(Fd, Out.data() + OutPos, Out.size() - OutPos,
+                             MSG_NOSIGNAL);
     if (N > 0) {
       OutPos += static_cast<size_t>(N);
       continue;
@@ -106,7 +111,8 @@ void Conn::handleReadable() {
   bool Got = false;
   bool Eof = false;
   while (!Closing) {
-    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    ssize_t N = Loop.Env != nullptr ? Loop.Env->recvBytes(Fd, Buf, sizeof(Buf))
+                                    : ::recv(Fd, Buf, sizeof(Buf), 0);
     if (N > 0) {
       In.append(Buf, static_cast<size_t>(N));
       Got = true;
@@ -146,7 +152,9 @@ void Conn::handleWritable() {
 // EventLoop
 //===----------------------------------------------------------------------===//
 
-EventLoop::EventLoop() {
+EventLoop::EventLoop() : EventLoop(nullptr) {}
+
+EventLoop::EventLoop(NetEnv *Env) : Env(Env) {
   EpollFd = epoll_create1(EPOLL_CLOEXEC);
   WakeFd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   epoll_event Ev{};
@@ -163,8 +171,11 @@ EventLoop::~EventLoop() {
   Listeners.clear();
   // Conns not torn down by a run() (loop never started, or adopted after
   // stop) still own their fds.
-  for (auto &[Fd, C] : Conns)
+  for (auto &[Fd, C] : Conns) {
+    if (Env != nullptr)
+      Env->onClose(Fd);
     ::close(Fd);
+  }
   Conns.clear();
   if (WakeFd >= 0)
     ::close(WakeFd);
@@ -269,6 +280,8 @@ Conn *EventLoop::adopt(int Fd, Conn::Handlers H) {
   Conn *Raw = C.get();
   Conns.emplace(Fd, std::move(C));
   ConnCount.fetch_add(1);
+  if (Env != nullptr)
+    Env->onOpen(Fd);
   return Raw;
 }
 
@@ -312,8 +325,24 @@ void EventLoop::destroyPending() {
     ConnCount.fetch_sub(1);
     if (Owned->H_.OnClose)
       Owned->H_.OnClose(*Owned);
+    if (Env != nullptr)
+      Env->onClose(Owned->fd());
     ::close(Owned->fd());
   }
+}
+
+void EventLoop::tickEnv() {
+  if (Env == nullptr)
+    return;
+  EnvKills.clear();
+  Env->tick(EnvKills);
+  for (int Fd : EnvKills) {
+    auto It = Conns.find(Fd);
+    if (It != Conns.end() && !It->second->Closing)
+      It->second->closeNow();
+  }
+  if (!EnvKills.empty())
+    destroyPending();
 }
 
 void EventLoop::scanIdle() {
@@ -333,9 +362,12 @@ void EventLoop::run() {
   Running.store(true);
   LoopThreadId.store(std::this_thread::get_id());
   epoll_event Events[64];
+  // With an env attached its delay queues need frequent service; the
+  // plain loop only ever wakes for sockets and the coarse idle tick.
+  const int WaitMs =
+      Env != nullptr ? 5 : static_cast<int>(TickInterval.count());
   while (!Stopped.load()) {
-    int N = epoll_wait(EpollFd, Events, 64,
-                       static_cast<int>(TickInterval.count()));
+    int N = epoll_wait(EpollFd, Events, 64, WaitMs);
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -373,6 +405,7 @@ void EventLoop::run() {
     drainTasks();
     destroyPending();
     scanIdle();
+    tickEnv();
   }
   // Teardown on the loop thread: every conn observes OnClose.
   for (auto &[Fd, C] : Conns)
@@ -385,6 +418,10 @@ void EventLoop::run() {
 }
 
 void EventLoop::start() {
+  // Mark the loop as running before the thread exists: a listen() that
+  // lands between here and run()'s first iteration must take the
+  // deferred-registration path, not mutate loop-thread state directly.
+  Running.store(true);
   Thread = std::thread([this] { run(); });
 }
 

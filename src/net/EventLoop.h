@@ -39,6 +39,7 @@ namespace truediff {
 namespace net {
 
 class EventLoop;
+class NetEnv;
 
 /// One established connection. All methods run on the loop thread
 /// (handlers are invoked there); other threads reach a Conn only through
@@ -116,6 +117,10 @@ public:
   using AcceptHandler = std::function<void(Conn &)>;
 
   EventLoop();
+  /// Routes every send/recv of every Conn through \p Env (fault
+  /// injection; see net/NetEnv.h). Null behaves like the default
+  /// constructor. \p Env must outlive the loop.
+  explicit EventLoop(NetEnv *Env);
   ~EventLoop();
 
   EventLoop(const EventLoop &) = delete;
@@ -165,6 +170,9 @@ private:
 
   void wake();
   void drainTasks();
+  /// Runs the env's per-iteration tick and closes the connections it
+  /// decided to kill. No-op without an env.
+  void tickEnv();
   void acceptReady(Listener &L);
   void registerListener(Listener L);
   void scheduleDestroy(Conn *C);
@@ -173,6 +181,7 @@ private:
   void closeConn(Conn *C);
   bool epollMod(Conn *C, bool WantWrite);
 
+  NetEnv *Env = nullptr;
   int EpollFd = -1;
   int WakeFd = -1;
   std::atomic<bool> Stopped{false};
@@ -188,6 +197,7 @@ private:
   std::unordered_map<int, std::unique_ptr<Conn>> Conns;
   std::vector<Conn *> Dead;
   uint64_t NextConnId = 1;
+  std::vector<int> EnvKills; ///< scratch for tickEnv
   std::chrono::steady_clock::time_point LastIdleScan;
   std::atomic<size_t> ConnCount{0};
 };

@@ -54,7 +54,15 @@ std::string net::encodeBinResponse(const service::Response &R,
   } else {
     Payload.push_back(static_cast<char>(R.Code));
     putVarint(Payload, R.RetryAfterMs);
+    putVarint(Payload, R.Version);
+    putVarint(Payload, R.Error.size());
     Payload += R.Error;
+    // Optional trailing redirect hint, same shape as the author /
+    // provenance tails in replica/Protocol: absent entirely when empty.
+    if (R.Code == service::ErrCode::NotLeader && !R.LeaderAddr.empty()) {
+      putVarint(Payload, R.LeaderAddr.size());
+      Payload += R.LeaderAddr;
+    }
   }
   std::string Out;
   appendFrame(Out, ClientRespMagic, R.Ok ? 0 : 1, Payload);
@@ -92,9 +100,21 @@ bool net::decodeBinResponse(uint8_t Status, std::string_view Payload,
     return false;
   Out.Code = static_cast<service::ErrCode>(Payload[Pos++]);
   auto Retry = getVarint(Payload, Pos);
-  if (!Retry)
+  auto Version = getVarint(Payload, Pos);
+  auto MsgLen = getVarint(Payload, Pos);
+  if (!Retry || !Version || !MsgLen || *MsgLen > Payload.size() - Pos)
     return false;
   Out.RetryAfterMs = *Retry;
-  Out.Error = std::string(Payload.substr(Pos));
+  Out.Version = *Version;
+  Out.Error = std::string(Payload.substr(Pos, *MsgLen));
+  Pos += *MsgLen;
+  if (Pos == Payload.size())
+    return true;
+  // Optional trailing leader address: when present it must account for
+  // exactly the remaining bytes, so trailing garbage stays detectable.
+  auto AddrLen = getVarint(Payload, Pos);
+  if (!AddrLen || *AddrLen != Payload.size() - Pos)
+    return false;
+  Out.LeaderAddr = std::string(Payload.substr(Pos, *AddrLen));
   return true;
 }

@@ -33,8 +33,11 @@
 /// size, tree size, one flags byte (bit 0 = deadline fallback), then a
 /// varint-length-prefixed blob: the binary edit script for submit, the
 /// s-expression text for get, JSON for stats/health, empty otherwise.
-/// Err payloads carry one ErrCode byte, a varint retry_after_ms hint,
-/// and the message text.
+/// Err payloads carry one ErrCode byte, a varint retry_after_ms hint, a
+/// varint current document version (meaningful for cas_mismatch, 0
+/// otherwise), a varint-length-prefixed message, and optionally a
+/// varint-length-prefixed leader address ("host:port", the redirect hint
+/// on not_leader) that must consume the payload's remainder.
 ///
 /// Decoders are total: a malformed payload in a well-formed frame yields
 /// a typed error (ErrCode::MalformedFrame) and the connection lives on;
@@ -85,6 +88,7 @@ enum class ReplFrame : uint8_t {
   DocSnapshot = 4,   ///< full document state for catch-up / resync
   CatchupDone = 5,   ///< varint seq: initial dump complete up to seq
   ResyncReq = 6,     ///< varint doc-id: follower requests a fresh snapshot
+  Ack = 7,           ///< varint seq: follower durably applied up to seq
 };
 
 struct FrameHeader {
@@ -112,6 +116,9 @@ struct BinResponse {
   service::ErrCode Code = service::ErrCode::None;
   uint64_t RetryAfterMs = 0;
   std::string Error;
+  /// Err with Code == NotLeader: where the leader answers writes
+  /// (empty = unknown).
+  std::string LeaderAddr;
   uint64_t Version = 0;
   uint64_t EditCount = 0;
   uint64_t CoalescedSize = 0;

@@ -1,0 +1,215 @@
+//===- net/NetEnv.cpp - Socket I/O seam with fault injection ---------------===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/NetEnv.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+
+using namespace truediff;
+using namespace truediff::net;
+
+namespace {
+
+ssize_t rawSend(int Fd, const char *Data, size_t Len) {
+  return ::send(Fd, Data, Len, MSG_NOSIGNAL);
+}
+
+/// Uniform double in [0, 1) from one 64-bit draw -- engine-portable,
+/// unlike std::uniform_real_distribution.
+double unitDraw(std::mt19937_64 &Rng) {
+  return static_cast<double>(Rng() >> 11) /
+         static_cast<double>(uint64_t(1) << 53);
+}
+
+/// splitmix64 finalizer: decorrelates seed ^ ordinal streams.
+uint64_t mix(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ull;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+NetEnv::~NetEnv() = default;
+
+ssize_t NetEnv::sendBytes(int Fd, const char *Data, size_t Len) {
+  return rawSend(Fd, Data, Len);
+}
+
+ssize_t NetEnv::recvBytes(int Fd, char *Buf, size_t Len) {
+  return ::recv(Fd, Buf, Len, 0);
+}
+
+void NetEnv::onOpen(int) {}
+void NetEnv::onClose(int) {}
+void NetEnv::tick(std::vector<int> &) {}
+
+//===----------------------------------------------------------------------===//
+// FaultyNetEnv
+//===----------------------------------------------------------------------===//
+
+size_t FaultyNetEnv::passBudget(FdState &S, size_t Len) {
+  if (!S.HasKillBudget)
+    return Len;
+  if (S.KillBudget == 0) {
+    S.Killed = true;
+    return 0;
+  }
+  size_t Allowed = std::min(Len, S.KillBudget);
+  S.KillBudget -= Allowed;
+  return Allowed;
+}
+
+void FaultyNetEnv::onOpen(int Fd) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  FdState S;
+  S.Rng.seed(mix(Cfg.Seed ^ mix(NextConnOrdinal++)));
+  if (Cfg.KillProb > 0 && unitDraw(S.Rng) < Cfg.KillProb) {
+    S.HasKillBudget = true;
+    S.KillBudget = 1 + S.Rng() % std::max<size_t>(1, Cfg.KillAfterMax);
+  }
+  Fds[Fd] = std::move(S); // fd numbers recycle: always reset
+}
+
+void FaultyNetEnv::onClose(int Fd) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Fds.erase(Fd); // in-flight delayed bytes die with the connection
+}
+
+ssize_t FaultyNetEnv::sendBytes(int Fd, const char *Data, size_t Len) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Fds.find(Fd);
+  if (It == Fds.end() || Len == 0)
+    return rawSend(Fd, Data, Len);
+  FdState &S = It->second;
+  if (S.Killed) {
+    errno = ECONNRESET;
+    return -1;
+  }
+
+  bool Held = AllPartitioned || S.Partitioned;
+  bool Delayed = !Held && Cfg.DelayProb > 0 && unitDraw(S.Rng) < Cfg.DelayProb;
+  // Anything already queued must drain first or bytes would reorder.
+  if (Held || Delayed || !S.Queue.empty()) {
+    Pending P;
+    P.Bytes.assign(Data, Len);
+    P.Due = Clock::now();
+    if (Delayed)
+      P.Due += std::chrono::milliseconds(
+          1 + S.Rng() % std::max<unsigned>(1, Cfg.MaxDelayMs));
+    S.Queue.push_back(std::move(P));
+    if (Held)
+      ++Counters.HeldSends;
+    if (Delayed)
+      ++Counters.DelayedSends;
+    return static_cast<ssize_t>(Len); // accepted; the env owns them now
+  }
+
+  size_t Want = Len;
+  if (Cfg.ShortWriteProb > 0 && Len > 1 &&
+      unitDraw(S.Rng) < Cfg.ShortWriteProb) {
+    Want = 1 + S.Rng() % (Len - 1);
+    ++Counters.ShortWrites;
+  }
+  Want = passBudget(S, Want);
+  if (Want == 0) {
+    ++Counters.Kills;
+    errno = ECONNRESET;
+    return -1;
+  }
+  ssize_t N = rawSend(Fd, Data, Want);
+  if (N < 0 && S.HasKillBudget)
+    S.KillBudget += Want; // nothing left the process; refund the budget
+  else if (N >= 0 && S.HasKillBudget)
+    S.KillBudget += Want - static_cast<size_t>(N);
+  return N;
+}
+
+ssize_t FaultyNetEnv::recvBytes(int Fd, char *Buf, size_t Len) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Fds.find(Fd);
+    if (It != Fds.end() && It->second.Killed) {
+      errno = ECONNRESET;
+      return -1;
+    }
+  }
+  return ::recv(Fd, Buf, Len, 0);
+}
+
+void FaultyNetEnv::tick(std::vector<int> &Kill) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (AllPartitioned)
+    return;
+  Clock::time_point Now = Clock::now();
+  for (auto &[Fd, S] : Fds) {
+    if (S.Killed || S.Partitioned)
+      continue;
+    while (!S.Queue.empty()) {
+      Pending &P = S.Queue.front();
+      if (P.Due > Now)
+        break;
+      size_t Left = P.Bytes.size() - P.Pos;
+      size_t Want = passBudget(S, Left);
+      if (Want == 0) {
+        // Budget exhausted on held bytes: the connection dies with its
+        // queue, exactly like a crash dropping an un-flushed buffer.
+        ++Counters.Kills;
+        S.Queue.clear();
+        Kill.push_back(Fd);
+        break;
+      }
+      ssize_t N = rawSend(Fd, P.Bytes.data() + P.Pos, Want);
+      if (N < 0) {
+        if (S.HasKillBudget)
+          S.KillBudget += Want;
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+          break; // socket full; retry next tick
+        // Fatal socket error on a deferred flush: the conn may never
+        // write again on its own, so surface the death via the kill
+        // list.
+        S.Killed = true;
+        S.Queue.clear();
+        Kill.push_back(Fd);
+        break;
+      }
+      if (S.HasKillBudget)
+        S.KillBudget += Want - static_cast<size_t>(N);
+      P.Pos += static_cast<size_t>(N);
+      if (P.Pos < P.Bytes.size())
+        break; // partial: keep the remainder in order
+      S.Queue.pop_front();
+    }
+  }
+}
+
+void FaultyNetEnv::setPartitioned(bool On) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  AllPartitioned = On;
+}
+
+void FaultyNetEnv::setPartitioned(int Fd, bool On) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Fds.find(Fd);
+  if (It != Fds.end())
+    It->second.Partitioned = On;
+}
+
+void FaultyNetEnv::killAfter(int Fd, size_t Bytes) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Fds.find(Fd);
+  if (It == Fds.end())
+    return;
+  It->second.HasKillBudget = true;
+  It->second.KillBudget = Bytes;
+}
+
+FaultyNetEnv::Stats FaultyNetEnv::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Counters;
+}

@@ -1,0 +1,154 @@
+//===- net/NetEnv.h - Socket I/O seam with fault injection ------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The socket I/O seam the event loop routes every send/recv through --
+/// the network analogue of persist/IoEnv. The default NetEnv is a plain
+/// pass-through to ::send/::recv; FaultyNetEnv injects seeded, per-
+/// connection fault schedules so every network failure mode the failover
+/// layer must survive is reproducible from a seed:
+///
+///   short writes     a send accepts only a prefix (the kernel's
+///                    partial-write path, exercised on demand),
+///   latency          accepted bytes are held in an internal queue and
+///                    released to the real socket after a delay,
+///   partitions       accepted bytes are held until the partition heals
+///                    (per-fd or whole-env; one-way partitions fall out
+///                    of giving each endpoint's loop its own env),
+///   kills            the connection errors after a byte budget, exactly
+///                    like a peer reset mid-stream.
+///
+/// Every fault is injected on the send side: bytes are delayed or
+/// withheld, never reordered or corrupted, because TCP does not corrupt
+/// or reorder either -- it delivers a prefix. A killed or closed
+/// connection drops whatever the env still held for it, which is the
+/// prefix-loss a real crash produces.
+///
+/// Threading: sendBytes/recvBytes/onOpen/onClose/tick run on the owning
+/// loop thread; the fault dials (setPartitioned, ...) may be flipped
+/// from any thread. FaultyNetEnv locks internally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_NET_NETENV_H
+#define TRUEDIFF_NET_NETENV_H
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <random>
+#include <string>
+#include <sys/types.h>
+#include <unordered_map>
+#include <vector>
+
+namespace truediff {
+namespace net {
+
+/// The seam. Same contract as ::send/::recv: bytes accepted (>= 1), or
+/// -1 with errno set (EAGAIN means "try again later", anything else is
+/// fatal to the connection).
+class NetEnv {
+public:
+  virtual ~NetEnv();
+
+  virtual ssize_t sendBytes(int Fd, const char *Data, size_t Len);
+  virtual ssize_t recvBytes(int Fd, char *Buf, size_t Len);
+
+  /// A connection entered / left the loop (adopt / teardown). Per-fd
+  /// fault state must reset here: the kernel recycles fd numbers.
+  virtual void onOpen(int Fd);
+  virtual void onClose(int Fd);
+
+  /// Invoked once per loop iteration on the loop thread. Releases
+  /// delayed bytes whose deadline passed and appends the fds of
+  /// connections the env decided to kill to \p Kill.
+  virtual void tick(std::vector<int> &Kill);
+};
+
+/// Deterministic, seeded fault injection (see file comment). Each
+/// connection draws its schedule from Seed and its adoption ordinal, so
+/// a run is reproducible even though fd numbers are not.
+class FaultyNetEnv : public NetEnv {
+public:
+  struct Config {
+    uint64_t Seed = 1;
+    /// Probability one send call accepts only a random non-empty prefix.
+    double ShortWriteProb = 0;
+    /// Probability one send call's bytes are delayed; the delay is
+    /// uniform in [1, MaxDelayMs].
+    double DelayProb = 0;
+    unsigned MaxDelayMs = 20;
+    /// Probability, drawn once per connection at adoption, that the
+    /// connection dies after a uniform byte budget in [1, KillAfterMax].
+    double KillProb = 0;
+    size_t KillAfterMax = 4096;
+  };
+
+  FaultyNetEnv() = default;
+  explicit FaultyNetEnv(Config C) : Cfg(C) {}
+
+  ssize_t sendBytes(int Fd, const char *Data, size_t Len) override;
+  ssize_t recvBytes(int Fd, char *Buf, size_t Len) override;
+  void onOpen(int Fd) override;
+  void onClose(int Fd) override;
+  void tick(std::vector<int> &Kill) override;
+
+  /// Holds every send of every connection until healed -- the whole-env
+  /// partition switch. Queued bytes flush (in order) on the next tick
+  /// after healing.
+  void setPartitioned(bool On);
+  /// Partitions one connection's outbound direction.
+  void setPartitioned(int Fd, bool On);
+
+  /// Arms a kill after \p Bytes more outbound bytes on \p Fd (0 = on the
+  /// very next send). Overrides any seeded budget.
+  void killAfter(int Fd, size_t Bytes);
+
+  struct Stats {
+    uint64_t ShortWrites = 0;
+    uint64_t DelayedSends = 0;
+    uint64_t HeldSends = 0; ///< sends absorbed while partitioned
+    uint64_t Kills = 0;
+  };
+  Stats stats() const;
+
+private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    std::string Bytes;
+    size_t Pos = 0;
+    Clock::time_point Due;
+  };
+
+  struct FdState {
+    std::mt19937_64 Rng;
+    std::deque<Pending> Queue;
+    bool Partitioned = false;
+    bool Killed = false;
+    bool HasKillBudget = false;
+    size_t KillBudget = 0; ///< outbound bytes until the kill fires
+  };
+
+  /// Consumes up to \p Len bytes of \p Fd's kill budget; returns how
+  /// many bytes may still pass, flipping Killed when the budget is gone.
+  /// Requires Mu held.
+  size_t passBudget(FdState &S, size_t Len);
+
+  const Config Cfg;
+  mutable std::mutex Mu;
+  std::unordered_map<int, FdState> Fds;
+  uint64_t NextConnOrdinal = 0;
+  bool AllPartitioned = false;
+  Stats Counters;
+};
+
+} // namespace net
+} // namespace truediff
+
+#endif // TRUEDIFF_NET_NETENV_H

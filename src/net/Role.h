@@ -1,0 +1,121 @@
+//===- net/Role.h - Replica role seam for the front end ---------*- C++-*-===//
+//
+// Part of truediff-cpp. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thread-safe role gate the request front end consults before
+/// admitting a write: a node is the leader (writes apply), a follower
+/// (writes answer not_leader with a redirect hint), or a demoted
+/// ex-leader (fenced; same answer). Failover flips the role -- promote()
+/// on the winning follower, demote() on the fenced leader -- and the
+/// front end picks the change up on the next request; there is no
+/// request-path locking beyond one mutex-protected snapshot.
+///
+/// The role state deliberately knows nothing about replication: it is a
+/// label plus routing hints. The machinery that makes a promotion true
+/// (state export, log seeding, epoch fencing) lives in replica/Failover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TRUEDIFF_NET_ROLE_H
+#define TRUEDIFF_NET_ROLE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace truediff {
+namespace net {
+
+class RoleState {
+public:
+  enum class Role : uint8_t {
+    Leader,   ///< writes apply here
+    Follower, ///< read replica; writes redirect to the leader
+    Demoted,  ///< fenced ex-leader; writes redirect to the new leader
+  };
+
+  /// One consistent snapshot of the role.
+  struct View {
+    Role R = Role::Follower;
+    uint64_t Epoch = 0;
+    /// Where writes go when R != Leader ("host:port"; empty = unknown).
+    std::string LeaderAddr;
+    /// Backoff hint attached to not_leader answers, so a redirected
+    /// client paces its retry instead of hammering a cluster mid-failover.
+    uint64_t RetryAfterMs = 50;
+  };
+
+  RoleState() = default;
+  RoleState(Role R, uint64_t Epoch) {
+    V.R = R;
+    V.Epoch = Epoch;
+  }
+
+  bool writable() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return V.R == Role::Leader;
+  }
+
+  View view() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return V;
+  }
+
+  /// This node won a failover: serve writes under \p NewEpoch.
+  void promote(uint64_t NewEpoch) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    V.R = Role::Leader;
+    if (NewEpoch > V.Epoch)
+      V.Epoch = NewEpoch;
+    V.LeaderAddr.clear();
+  }
+
+  /// This node lost leadership (or learned of a higher epoch): stop
+  /// serving writes and point clients at \p LeaderAddr (empty = unknown).
+  void demote(std::string LeaderAddr) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (V.R == Role::Leader)
+      V.R = Role::Demoted;
+    V.LeaderAddr = std::move(LeaderAddr);
+  }
+
+  void setLeaderAddr(std::string Addr) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    V.LeaderAddr = std::move(Addr);
+  }
+
+  void setRetryAfterMs(uint64_t Ms) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    V.RetryAfterMs = Ms;
+  }
+
+  void noteEpoch(uint64_t Epoch) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Epoch > V.Epoch)
+      V.Epoch = Epoch;
+  }
+
+private:
+  mutable std::mutex Mu;
+  View V;
+};
+
+inline const char *roleName(RoleState::Role R) {
+  switch (R) {
+  case RoleState::Role::Leader:
+    return "leader";
+  case RoleState::Role::Follower:
+    return "follower";
+  case RoleState::Role::Demoted:
+    return "demoted";
+  }
+  return "unknown";
+}
+
+} // namespace net
+} // namespace truediff
+
+#endif // TRUEDIFF_NET_ROLE_H

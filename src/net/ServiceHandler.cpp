@@ -50,6 +50,32 @@ ServiceHandler::ServiceHandler(service::DiffService &Svc)
 void ServiceHandler::handle(NetRequest Req,
                             std::function<void(service::Response)> Done) {
   const WireCommand &Cmd = Req.Cmd;
+  // Role gate: a non-leader never lets a write reach the service. The
+  // answer carries where the leader is plus a pacing hint, so a resilient
+  // client redirects instead of spinning.
+  if (Cfg.Role != nullptr) {
+    switch (Cmd.K) {
+    case WireCommand::Kind::Open:
+    case WireCommand::Kind::Submit:
+    case WireCommand::Kind::Rollback:
+    case WireCommand::Kind::Save: {
+      RoleState::View V = Cfg.Role->view();
+      if (V.R != RoleState::Role::Leader) {
+        Response R;
+        R.Error = std::string("not the leader (role: ") + roleName(V.R) +
+                  "); writes go to the leader";
+        R.Code = ErrCode::NotLeader;
+        R.LeaderAddr = V.LeaderAddr;
+        R.RetryAfterMs = V.RetryAfterMs;
+        Done(std::move(R));
+        return;
+      }
+      break;
+    }
+    default:
+      break;
+    }
+  }
   switch (Cmd.K) {
   case WireCommand::Kind::Open: {
     size_t Bytes = Req.Binary ? Req.Blob.size() : Cmd.Arg.size();
@@ -67,7 +93,7 @@ void ServiceHandler::handle(NetRequest Req,
                             : makeSExprBuilder(Cmd.Arg, Cfg.Limits);
     Svc.submitCb(Cmd.Doc, std::move(Build), Cfg.SubmitDeadlineMs, Bytes,
                  /*RawScript=*/Req.Binary, std::move(Req.Cmd.Author),
-                 std::move(Done));
+                 Cmd.Expect, std::move(Done));
     return;
   }
   case WireCommand::Kind::Rollback:
@@ -100,6 +126,14 @@ void ServiceHandler::handle(NetRequest Req,
   case WireCommand::Kind::Recover:
     Done(Cfg.OnRecover ? Cfg.OnRecover()
                        : errorResponse("persistence is disabled"));
+    return;
+  case WireCommand::Kind::Promote:
+    Done(Cfg.OnPromote ? Cfg.OnPromote(Cmd.Expect.value_or(0))
+                       : errorResponse("role management is disabled"));
+    return;
+  case WireCommand::Kind::Demote:
+    Done(Cfg.OnDemote ? Cfg.OnDemote(Cmd.Arg)
+                      : errorResponse("role management is disabled"));
     return;
   case WireCommand::Kind::Quit:
   case WireCommand::Kind::Invalid:

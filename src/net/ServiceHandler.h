@@ -23,6 +23,7 @@
 #define TRUEDIFF_NET_SERVICEHANDLER_H
 
 #include "net/NetServer.h"
+#include "net/Role.h"
 #include "tree/Limits.h"
 
 namespace truediff {
@@ -42,6 +43,18 @@ public:
     std::function<service::Response(service::DocId)> OnSave;
     /// recover: last recovery summary. Unset = error, as above.
     std::function<service::Response()> OnRecover;
+    /// Role gate: when set, writes (open/submit/rollback/save) are only
+    /// admitted while the role is Leader; otherwise they answer
+    /// ErrCode::NotLeader carrying the view's leader address and
+    /// retry_after_ms hint. Null = always writable (single-node server).
+    /// Must outlive the handler.
+    RoleState *Role = nullptr;
+    /// promote <epoch>: the failover hook that makes this node the
+    /// leader. Unset = "role management is disabled" error.
+    std::function<service::Response(uint64_t NewEpoch)> OnPromote;
+    /// demote [<host:port>]: stop accepting writes, pointing clients at
+    /// the given leader. Unset = error, as above.
+    std::function<service::Response(std::string LeaderAddr)> OnDemote;
   };
 
   explicit ServiceHandler(service::DiffService &Svc);

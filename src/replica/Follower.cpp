@@ -64,6 +64,7 @@ bool Follower::connectTo(const std::string &Host, uint16_t Port,
     std::unique_lock<std::mutex> Lock(Mu);
     HsState = Handshake::Pending;
     CatchupSeen = false;
+    LastAckSent = 0;
     ++HelloGen;
     FollowerHello FH;
     FH.LastSeq = LastSeq;
@@ -146,6 +147,15 @@ uint64_t Follower::lastSeq() const {
 
 void Follower::onData(Conn &C) {
   while (parseOne(C)) {
+  }
+  // Ack once per drained batch, not per record: the leader only needs
+  // the high-water mark, and batching keeps the ack stream O(wakeups).
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!C.closing() && CatchupSeen && LastSeq > LastAckSent) {
+    AckMsg M;
+    M.Seq = LastSeq;
+    C.send(encodeAck(M));
+    LastAckSent = LastSeq;
   }
 }
 
@@ -289,6 +299,7 @@ void Follower::applyDocRecord(Conn &C, const RecordMsg &R) {
     RD.Resyncing = false;
     RD.RefreshGen = HelloGen;
     RD.Ring.clear();
+    RD.OpenAuthor = R.Author;
     Prov.apply(R.Doc, R.Version, service::DocumentStore::StoreOp::Open,
                R.Author, D.Script);
     ++Counters.RecordsApplied;
@@ -393,6 +404,7 @@ void Follower::onSnapshot(const DocSnapshotMsg &S) {
   // (and degrades explicitly on queries), the provenance index comes
   // from the snapshot's canonical blob.
   RD.Ring.clear();
+  RD.OpenAuthor.clear();
   if (S.ProvBlob.empty() || !Prov.installSnapshot(S.Doc, S.ProvBlob))
     Prov.eraseDoc(S.Doc);
   ++Counters.SnapshotsInstalled;
@@ -544,6 +556,47 @@ void Follower::injectGapForTest(uint64_t Doc) {
     It->second.Version += 1000;
 }
 
+void Follower::prepareForPromotion(uint64_t NewEpoch) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (NewEpoch > MaxEpochSeen)
+      MaxEpochSeen = NewEpoch;
+  }
+  disconnect();
+}
+
+Follower::Export Follower::exportForPromotion() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Export Out;
+  Out.LastSeq = LastSeq;
+  Out.MaxEpochSeen = MaxEpochSeen;
+  Out.Docs.reserve(Docs.size());
+  for (const auto &[Doc, RD] : Docs) {
+    ExportedDoc E;
+    E.Doc = Doc;
+    E.Incarnation = RD.Incarnation;
+    E.Version = RD.Version;
+    E.DocSeq = RD.DocSeq;
+    E.OpenAuthor = RD.OpenAuthor;
+    TreeContext Tmp(Sig);
+    Tree *T = RD.T->toTreePreservingUris(Tmp);
+    if (T == nullptr)
+      continue; // cannot happen for applied state; skip defensively
+    E.TreeBlob = persist::encodeTree(Sig, T);
+    E.ProvBlob = Prov.snapshotDoc(Doc);
+    E.History.reserve(RD.Ring.size());
+    for (const HistoryRec &H : RD.Ring) {
+      service::DocumentStore::RestoreEntry R;
+      R.Version = H.Version;
+      R.Script = H.Script;
+      R.Author = H.Author;
+      E.History.push_back(std::move(R));
+    }
+    Out.Docs.push_back(std::move(E));
+  }
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // ReplicaReadHandler
 //===----------------------------------------------------------------------===//
@@ -589,6 +642,20 @@ void ReplicaReadHandler::handle(net::NetRequest Req,
     R.Payload = Buf;
     break;
   }
+  case WireCommand::Kind::Promote:
+    if (Cfg.OnPromote) {
+      Done(Cfg.OnPromote(Req.Cmd.Expect.value_or(0)));
+      return;
+    }
+    R.Error = "role management is disabled";
+    break;
+  case WireCommand::Kind::Demote:
+    if (Cfg.OnDemote) {
+      Done(Cfg.OnDemote(Req.Cmd.Arg));
+      return;
+    }
+    R.Error = "role management is disabled";
+    break;
   case WireCommand::Kind::Open:
   case WireCommand::Kind::Submit:
   case WireCommand::Kind::Rollback:
@@ -596,6 +663,11 @@ void ReplicaReadHandler::handle(net::NetRequest Req,
   case WireCommand::Kind::Recover:
     R.Error = "read-only follower replica; send writes to the leader";
     R.Code = ErrCode::NotLeader;
+    if (Cfg.Role != nullptr) {
+      net::RoleState::View V = Cfg.Role->view();
+      R.LeaderAddr = V.LeaderAddr;
+      R.RetryAfterMs = V.RetryAfterMs;
+    }
     break;
   default:
     R.Error = "unroutable request";

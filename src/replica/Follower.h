@@ -39,7 +39,9 @@
 #include "blame/Provenance.h"
 #include "net/EventLoop.h"
 #include "net/NetServer.h"
+#include "net/Role.h"
 #include "replica/Protocol.h"
+#include "service/DocumentStore.h"
 #include "truechange/MTree.h"
 
 #include <condition_variable>
@@ -120,6 +122,45 @@ public:
   /// it fails the version check and triggers a ResyncReq.
   void injectGapForTest(uint64_t Doc);
 
+  /// First half of a promotion (see replica/Failover.h): drops the
+  /// leader link and raises the fencing floor to \p NewEpoch, so no
+  /// leader of an older epoch can ever be accepted again -- the old
+  /// leader is fenced from this node the instant promotion begins.
+  void prepareForPromotion(uint64_t NewEpoch);
+
+  /// One document of the applied state, packaged for installation into a
+  /// leader-side DocumentStore.
+  struct ExportedDoc {
+    uint64_t Doc = 0;
+    uint64_t Incarnation = 0;
+    uint64_t Version = 0;
+    uint64_t DocSeq = 0;
+    /// Attribution of version 0 (empty after a snapshot install, which
+    /// does not carry it -- acceptable, blame still answers from the
+    /// provenance blob).
+    std::string OpenAuthor;
+    /// encodeTree blob, URIs preserved: the state the store restores.
+    std::string TreeBlob;
+    /// Canonical provenance blob (ProvenanceIndex::snapshotDoc).
+    std::string ProvBlob;
+    /// Retained submit history (oldest first), so the promoted leader
+    /// can still roll back and answer history queries.
+    std::vector<service::DocumentStore::RestoreEntry> History;
+  };
+
+  struct Export {
+    uint64_t LastSeq = 0;
+    uint64_t MaxEpochSeen = 0;
+    std::vector<ExportedDoc> Docs;
+  };
+
+  /// Second half of a promotion: one consistent cut of the applied state
+  /// -- every document is the product of the committed record prefix up
+  /// to LastSeq (taken under the state mutex, so no record can land
+  /// mid-export). The follower keeps serving reads from its own state
+  /// afterwards; the export is a copy.
+  Export exportForPromotion() const;
+
 private:
   /// One retained submit record, for history rendering; mirrors the
   /// leader's history ring (same capacity), so both sides list the same
@@ -151,6 +192,9 @@ private:
     /// install (history before a state transfer degrades explicitly,
     /// never silently misattributes).
     std::deque<HistoryRec> Ring;
+    /// Author of version 0, from the Open record (empty when the doc
+    /// arrived by snapshot, which does not carry it).
+    std::string OpenAuthor;
   };
 
   enum class Handshake { Idle, Pending, Accepted, Stale, Failed };
@@ -177,6 +221,9 @@ private:
   bool CatchupSeen = false;
   uint64_t HelloGen = 0;
   uint64_t LastSeq = 0;
+  /// Highest seq acked to the current leader; acks fire when a data
+  /// batch advanced LastSeq past this.
+  uint64_t LastAckSent = 0;
   uint64_t Epoch = 0;
   uint64_t MaxEpochSeen = 0;
   std::unordered_map<uint64_t, ReplicaDoc> Docs;
@@ -187,17 +234,32 @@ private:
 };
 
 /// Serves the follower's state through a NetServer: get/stats/health
-/// work, every write answers ErrCode::NotLeader. This is the follower's
-/// read endpoint -- clients point reads here and writes at the leader.
+/// work, every write answers ErrCode::NotLeader -- carrying the leader's
+/// address and a retry hint when a RoleState is wired in. This is the
+/// follower's read endpoint -- clients point reads here and writes at
+/// the leader -- and also the follower's admin endpoint: the promote
+/// hook, when set, turns this node into the leader (replica/Failover).
 class ReplicaReadHandler : public net::RequestHandler {
 public:
+  struct Config {
+    /// Source of the leader address / retry hint attached to not_leader
+    /// answers. Null = bare not_leader. Must outlive the handler.
+    net::RoleState *Role = nullptr;
+    /// promote <epoch>: run the failover machinery. Unset = error.
+    std::function<service::Response(uint64_t NewEpoch)> OnPromote;
+    /// demote [<host:port>]: update the redirect hint. Unset = error.
+    std::function<service::Response(std::string LeaderAddr)> OnDemote;
+  };
+
   explicit ReplicaReadHandler(Follower &F) : F(F) {}
+  ReplicaReadHandler(Follower &F, Config C) : F(F), Cfg(std::move(C)) {}
 
   void handle(net::NetRequest Req,
               std::function<void(service::Response)> Done) override;
 
 private:
   Follower &F;
+  const Config Cfg;
 };
 
 } // namespace replica

@@ -6,6 +6,8 @@
 
 #include "replica/Leader.h"
 
+#include <cstdio>
+
 using namespace truediff;
 using namespace truediff::net;
 using namespace truediff::replica;
@@ -35,6 +37,8 @@ bool Leader::start(std::string *Err) {
             NumLive.fetch_sub(1);
           States.erase(C.id());
           Followers.erase(C.id());
+          std::lock_guard<std::mutex> Lock(AckMu);
+          AckedSeqs.erase(C.id());
         };
         C.setHandlers(std::move(H));
       },
@@ -94,6 +98,18 @@ bool Leader::parseOne(Conn &C) {
     ResyncsServed.fetch_add(1);
     return true;
   }
+  case ReplFrame::Ack: {
+    AckMsg M;
+    if (!decodeAck(Payload, M)) {
+      C.closeNow();
+      return false;
+    }
+    std::lock_guard<std::mutex> Lock(AckMu);
+    uint64_t &Acked = AckedSeqs[C.id()];
+    if (M.Seq > Acked)
+      Acked = M.Seq;
+    return true;
+  }
   default:
     // A follower has no business sending anything else.
     C.closeNow();
@@ -102,6 +118,24 @@ bool Leader::parseOne(Conn &C) {
 }
 
 void Leader::handshake(Conn &C, const FollowerHello &Hello) {
+  // Self-fencing: a follower that has seen a higher epoch proves some
+  // other node was promoted past us. Serving it would fork the history;
+  // instead report staleness (so the wiring can demote this node's role)
+  // and drop the link -- but announce our stale epoch first, so the
+  // follower observes a typed stale-leader rejection rather than a
+  // bare connection loss.
+  if (Hello.MaxEpochSeen > Cfg.Epoch) {
+    FencedHellos.fetch_add(1);
+    if (Cfg.OnFenced)
+      Cfg.OnFenced(Hello.MaxEpochSeen);
+    LeaderHello LH;
+    LH.Epoch = Cfg.Epoch;
+    LH.CurrentSeq = Log.currentSeq();
+    C.send(encodeLeaderHello(LH));
+    C.closeAfterFlush();
+    return;
+  }
+
   // Cutoff read before any catch-up work: every record committed after
   // it reaches this connection through the live fanout (see header).
   uint64_t Cutoff = Log.currentSeq();
@@ -139,6 +173,12 @@ void Leader::handshake(Conn &C, const FollowerHello &Hello) {
     S.Live = true;
     NumLive.fetch_add(1);
   }
+  // Until the first Ack arrives, the hello's last seq is the best known
+  // applied watermark.
+  std::lock_guard<std::mutex> Lock(AckMu);
+  uint64_t &Acked = AckedSeqs[C.id()];
+  if (Hello.LastSeq > Acked)
+    Acked = Hello.LastSeq;
 }
 
 void Leader::broadcast(const RecordMsg &R) {
@@ -156,5 +196,43 @@ Leader::Stats Leader::stats() const {
   S.SnapshotsSent = SnapshotsSent.load();
   S.TailRecords = TailRecords.load();
   S.ResyncsServed = ResyncsServed.load();
+  S.FencedHellos = FencedHellos.load();
   return S;
+}
+
+std::vector<Leader::FollowerLag> Leader::followerLags() const {
+  uint64_t Seq = Log.currentSeq();
+  std::vector<FollowerLag> Out;
+  std::lock_guard<std::mutex> Lock(AckMu);
+  Out.reserve(AckedSeqs.size());
+  for (const auto &[Id, Acked] : AckedSeqs) {
+    FollowerLag L;
+    L.ConnId = Id;
+    L.AckedSeq = Acked;
+    L.Lag = Seq > Acked ? Seq - Acked : 0;
+    Out.push_back(L);
+  }
+  return Out;
+}
+
+std::string Leader::replicaJson() const {
+  std::vector<FollowerLag> Lags = followerLags();
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"role\":\"leader\",\"epoch\":%llu,\"last_seq\":%llu,"
+                "\"followers\":[",
+                static_cast<unsigned long long>(Cfg.Epoch),
+                static_cast<unsigned long long>(Log.currentSeq()));
+  std::string Out = Buf;
+  for (size_t I = 0; I != Lags.size(); ++I) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s{\"conn\":%llu,\"acked_seq\":%llu,\"lag\":%llu}",
+                  I == 0 ? "" : ",",
+                  static_cast<unsigned long long>(Lags[I].ConnId),
+                  static_cast<unsigned long long>(Lags[I].AckedSeq),
+                  static_cast<unsigned long long>(Lags[I].Lag));
+    Out += Buf;
+  }
+  Out += "]}";
+  return Out;
 }

@@ -31,6 +31,7 @@
 #include "replica/ReplicationLog.h"
 
 #include <atomic>
+#include <mutex>
 
 namespace truediff {
 namespace replica {
@@ -44,6 +45,12 @@ public:
     uint64_t Epoch = 1;
     /// Cap on one replication frame from a follower.
     size_t MaxFrameBytes = net::MaxBinaryFrameBytes;
+    /// A follower's hello reported a max-epoch-seen above ours: some
+    /// other node was promoted, so this leader is stale. Invoked on the
+    /// loop thread with the reported epoch (the connection is dropped
+    /// either way); wire it to demote the local role so the front end
+    /// starts fencing writes. Null = just drop the connection.
+    std::function<void(uint64_t ReportedEpoch)> OnFenced;
   };
 
   /// Takes over \p Log's OnRecord subscription. attach() the log before
@@ -52,14 +59,30 @@ public:
 
   bool start(std::string *Err = nullptr);
   uint16_t port() const { return BoundPort; }
+  uint64_t epoch() const { return Cfg.Epoch; }
 
   struct Stats {
     uint64_t Followers = 0;     ///< currently connected, past handshake
     uint64_t SnapshotsSent = 0; ///< catch-up + resync snapshots
     uint64_t TailRecords = 0;   ///< records replayed from the tail ring
     uint64_t ResyncsServed = 0;
+    uint64_t FencedHellos = 0;  ///< hellos that reported a higher epoch
   };
   Stats stats() const;
+
+  /// One live follower's applied watermark, from its Ack stream.
+  struct FollowerLag {
+    uint64_t ConnId = 0;
+    uint64_t AckedSeq = 0;
+    uint64_t Lag = 0; ///< log currentSeq - AckedSeq at sampling time
+  };
+  /// Snapshot of every live follower's lag; any thread.
+  std::vector<FollowerLag> followerLags() const;
+
+  /// The "replica" stats fragment for this node: role, epoch, the log's
+  /// current seq, and per-follower acked seq / lag. A complete JSON
+  /// object, embeddable as the "replica" member of the service's stats.
+  std::string replicaJson() const;
 
 private:
   struct FollowerConn {
@@ -83,6 +106,12 @@ private:
   std::atomic<uint64_t> SnapshotsSent{0};
   std::atomic<uint64_t> TailRecords{0};
   std::atomic<uint64_t> ResyncsServed{0};
+  std::atomic<uint64_t> FencedHellos{0};
+
+  /// Applied watermark per live follower conn id, written on the loop
+  /// thread (Ack frames, handshakes, closes), read from stats threads.
+  mutable std::mutex AckMu;
+  std::unordered_map<uint64_t, uint64_t> AckedSeqs;
 };
 
 } // namespace replica

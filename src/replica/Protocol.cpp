@@ -81,6 +81,12 @@ std::string replica::encodeResyncReq(const ResyncReqMsg &M) {
   return frame(ReplFrame::ResyncReq, P);
 }
 
+std::string replica::encodeAck(const AckMsg &M) {
+  std::string P;
+  putVarint(P, M.Seq);
+  return frame(ReplFrame::Ack, P);
+}
+
 bool replica::decodeFollowerHello(std::string_view Payload,
                                   FollowerHello &Out) {
   size_t Pos = 0;
@@ -184,5 +190,14 @@ bool replica::decodeResyncReq(std::string_view Payload, ResyncReqMsg &Out) {
   if (!Doc || Pos != Payload.size())
     return false;
   Out.Doc = *Doc;
+  return true;
+}
+
+bool replica::decodeAck(std::string_view Payload, AckMsg &Out) {
+  size_t Pos = 0;
+  auto Seq = getVarint(Payload, Pos);
+  if (!Seq || Pos != Payload.size())
+    return false;
+  Out.Seq = *Seq;
   return true;
 }

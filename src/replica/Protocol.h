@@ -23,6 +23,9 @@
 /// peers interoperate.
 ///   CatchupDone     seq: the initial dump covers everything up to here
 ///   ResyncReq       doc
+///   Ack             seq: the follower applied everything up to here --
+///                   the leader's durability watermark (per-follower lag
+///                   in stats, and what failover treats as durable)
 ///
 /// Decoders are total and strict: trailing bytes or truncated varints
 /// fail the decode. A follower treats any undecodable frame from its
@@ -110,6 +113,12 @@ struct ResyncReqMsg {
   uint64_t Doc = 0;
 };
 
+/// Follower -> leader applied watermark, sent after every batch that
+/// advances the applied seq.
+struct AckMsg {
+  uint64_t Seq = 0;
+};
+
 /// Each encoder renders a complete wire frame (header included).
 std::string encodeFollowerHello(const FollowerHello &M);
 std::string encodeLeaderHello(const LeaderHello &M);
@@ -117,6 +126,7 @@ std::string encodeRecord(const RecordMsg &M);
 std::string encodeDocSnapshot(const DocSnapshotMsg &M);
 std::string encodeCatchupDone(const CatchupDoneMsg &M);
 std::string encodeResyncReq(const ResyncReqMsg &M);
+std::string encodeAck(const AckMsg &M);
 
 /// Each decoder parses one frame's payload; false on malformed input.
 bool decodeFollowerHello(std::string_view Payload, FollowerHello &Out);
@@ -125,6 +135,7 @@ bool decodeRecord(std::string_view Payload, RecordMsg &Out);
 bool decodeDocSnapshot(std::string_view Payload, DocSnapshotMsg &Out);
 bool decodeCatchupDone(std::string_view Payload, CatchupDoneMsg &Out);
 bool decodeResyncReq(std::string_view Payload, ResyncReqMsg &Out);
+bool decodeAck(std::string_view Payload, AckMsg &Out);
 
 } // namespace replica
 } // namespace truediff

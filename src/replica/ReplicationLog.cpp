@@ -46,6 +46,20 @@ void ReplicationLog::attach() {
   });
 }
 
+void ReplicationLog::seed(uint64_t BaseSeq,
+                          const std::vector<SeedDoc> &SeedDocs) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Seq < BaseSeq)
+    Seq = BaseSeq;
+  for (const SeedDoc &S : SeedDocs) {
+    DocMeta &M = Docs[S.Doc];
+    M.Incarnation = S.Incarnation;
+    M.Version = S.Version;
+    M.LastSeq = S.LastSeq;
+    M.Live = true;
+  }
+}
+
 void ReplicationLog::commit(uint64_t Doc, ReplOp Op, uint64_t Version,
                             std::string Blob, std::string Author) {
   std::lock_guard<std::mutex> Lock(Mu);
@@ -86,6 +100,8 @@ uint64_t ReplicationLog::firstTailSeq() const {
 bool ReplicationLog::tailSince(uint64_t AfterSeq,
                                std::vector<RecordMsg> &Out) const {
   std::lock_guard<std::mutex> Lock(Mu);
+  if (AfterSeq > Seq)
+    return false; // a diverged peer claims a future seq: full transfer
   if (!Tail.empty() && Tail.front().Seq > AfterSeq + 1)
     return false; // the continuation was evicted
   if (Tail.empty() && Seq > AfterSeq)

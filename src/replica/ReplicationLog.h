@@ -54,6 +54,24 @@ public:
   /// Registers the store listeners. Call once, before traffic.
   void attach();
 
+  /// Pre-loads the log's position after a follower promotion: the
+  /// global seq continues from \p BaseSeq and each document's
+  /// incarnation/version/seq metadata continues the chain the promoted
+  /// state was applied from, so followers reconnecting at or behind
+  /// \p BaseSeq accept the new leader's records as a seamless
+  /// continuation. The tail ring stays empty -- anyone behind BaseSeq
+  /// falls back to snapshot transfer, which is exactly right because the
+  /// records between their position and BaseSeq were committed by the
+  /// previous leader and are not replayable here. Call before attach()
+  /// and before traffic, on a log that has never committed.
+  struct SeedDoc {
+    uint64_t Doc = 0;
+    uint64_t Incarnation = 0;
+    uint64_t Version = 0;
+    uint64_t LastSeq = 0;
+  };
+  void seed(uint64_t BaseSeq, const std::vector<SeedDoc> &SeedDocs);
+
   /// Single live-fanout subscriber, invoked under the log lock in seq
   /// order. Set before attach().
   void setOnRecord(std::function<void(const RecordMsg &)> Fn) {

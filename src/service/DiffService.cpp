@@ -245,7 +245,15 @@ void DiffService::submitCb(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs,
 void DiffService::submitCb(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs,
                            size_t PayloadBytes, bool RawScript,
                            std::string Author, ResponseCallback Done) {
-  enqueue(SubmitOp{Doc, std::move(Build), RawScript, std::move(Author)},
+  submitCb(Doc, std::move(Build), DeadlineMs, PayloadBytes, RawScript,
+           std::move(Author), std::nullopt, std::move(Done));
+}
+void DiffService::submitCb(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs,
+                           size_t PayloadBytes, bool RawScript,
+                           std::string Author, std::optional<uint64_t> Expect,
+                           ResponseCallback Done) {
+  enqueue(SubmitOp{Doc, std::move(Build), RawScript, std::move(Author),
+                   Expect},
           OpKind::Submit, DeadlineMs, PayloadBytes, std::move(Done));
 }
 void DiffService::rollbackCb(DocId Doc, ResponseCallback Done) {
@@ -486,6 +494,7 @@ Response DiffService::execute(Operation &Op, Clock::time_point Deadline) {
         } else if constexpr (std::is_same_v<T, SubmitOp>) {
           SubmitOptions Opts;
           Opts.Author = std::move(Req.Author);
+          Opts.ExpectedVersion = Req.ExpectedVersion;
           if (Cfg.DeadlineFallback && Deadline != Clock::time_point::max())
             Opts.UseFallback = [Deadline] {
               return Clock::now() > Deadline;

@@ -62,6 +62,7 @@
 #include <chrono>
 #include <future>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <variant>
@@ -90,6 +91,11 @@ struct Response {
   uint64_t RetryAfterMs = 0;
   /// Typed cause when !Ok (ErrCode::None if unclassified).
   ErrCode Code = ErrCode::None;
+  /// ErrCode::NotLeader: where the current leader answers writes
+  /// ("host:port"), so clients follow the redirect instead of spinning.
+  /// Attached by the role-aware front end (net/ServiceHandler), not the
+  /// service itself. Empty = no hint.
+  std::string LeaderAddr;
   /// submit with SubmitOp::RawScript: the edit script itself, so a
   /// binary front end can encode it without re-parsing Payload (which is
   /// left empty in that mode).
@@ -118,6 +124,8 @@ struct SubmitOp {
   bool RawScript = false;
   /// Attribution of the submitted revision (empty = unattributed).
   std::string Author;
+  /// Version-CAS guard (see SubmitOptions::ExpectedVersion).
+  std::optional<uint64_t> ExpectedVersion;
 };
 struct RollbackOp {
   DocId Doc = 0;
@@ -243,6 +251,12 @@ public:
   void submitCb(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs,
                 size_t PayloadBytes, bool RawScript, std::string Author,
                 ResponseCallback Done);
+  /// As above with a version-CAS guard: the submit only applies when the
+  /// document is exactly at \p Expect (ErrCode::CasMismatch with the
+  /// current version otherwise).
+  void submitCb(DocId Doc, TreeBuilder Build, uint64_t DeadlineMs,
+                size_t PayloadBytes, bool RawScript, std::string Author,
+                std::optional<uint64_t> Expect, ResponseCallback Done);
   void rollbackCb(DocId Doc, ResponseCallback Done);
   void getVersionCb(DocId Doc, ResponseCallback Done);
   void statsCb(ResponseCallback Done);

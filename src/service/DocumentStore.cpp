@@ -49,6 +49,8 @@ const char *truediff::service::errCodeName(ErrCode C) {
     return "not_leader";
   case ErrCode::NoSuchNode:
     return "no_such_node";
+  case ErrCode::CasMismatch:
+    return "cas_mismatch";
   }
   return "unknown";
 }
@@ -139,6 +141,19 @@ StoreResult DocumentStore::submit(DocId Doc, const TreeBuilder &Build,
     return R;
   }
   std::lock_guard<std::mutex> Lock(D->Mu);
+  if (Opts.ExpectedVersion && *Opts.ExpectedVersion != D->Version) {
+    // Checked before the builder runs: a failed guard must not pay for a
+    // parse, and must report where the document actually is so the
+    // client can tell "my retry already applied" from "someone else
+    // wrote".
+    R.Error = "version mismatch: document is at version " +
+              std::to_string(D->Version) + ", expected " +
+              std::to_string(*Opts.ExpectedVersion);
+    R.Code = ErrCode::CasMismatch;
+    R.Version = D->Version;
+    R.TreeSize = D->Current->size();
+    return R;
+  }
   BuildResult B = Build(*D->Ctx);
   if (B.Root == nullptr) {
     R.Error = B.Error.empty() ? "builder produced no tree" : B.Error;

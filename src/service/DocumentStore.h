@@ -91,6 +91,7 @@ enum class ErrCode : uint8_t {
   MalformedFrame,   ///< binary wire frame or payload failed to decode
   NotLeader,        ///< write sent to a read-only follower replica
   NoSuchNode,       ///< blame/history query for a URI with no live node
+  CasMismatch,      ///< submit's expected version != the current version
 };
 
 /// Short stable name for \p C (for logs and stats).
@@ -167,6 +168,15 @@ struct SubmitOptions {
   /// consumers (src/blame) can attribute the nodes the script touches.
   /// Empty = unattributed.
   std::string Author;
+  /// Optimistic-concurrency guard: when set, the submit only applies if
+  /// the document's current version equals this, failing with
+  /// ErrCode::CasMismatch (and the current version in
+  /// StoreResult::Version) otherwise. A client that retries a timed-out
+  /// submit with the same expected version can never apply it twice --
+  /// the second application sees a bumped version and fails the guard --
+  /// which is what makes at-least-once network retries exactly-once at
+  /// the store.
+  std::optional<uint64_t> ExpectedVersion;
 };
 
 /// Read-only view of a document's current state.

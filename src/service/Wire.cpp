@@ -99,14 +99,28 @@ WireCommand service::parseWireCommand(std::string_view Line,
     }
     Rest = trimLeft(Rest);
     if (WantsArg) {
-      // Optional attribution token between the id and the payload. The
-      // payload is an s-expression and always starts with '(', so the
-      // "author=" prefix cannot be tree text.
+      // Optional key=value tokens between the id and the payload, in any
+      // order. The payload is an s-expression and always starts with
+      // '(', so the key prefixes cannot be tree text.
       constexpr std::string_view AuthorKey = "author=";
-      if (Rest.substr(0, AuthorKey.size()) == AuthorKey) {
-        std::string_view Tok = nextToken(Rest);
-        Cmd.Author = std::string(Tok.substr(AuthorKey.size()));
-        Rest = trimLeft(Rest);
+      constexpr std::string_view ExpectKey = "expect=";
+      for (;;) {
+        if (Rest.substr(0, AuthorKey.size()) == AuthorKey) {
+          std::string_view Tok = nextToken(Rest);
+          Cmd.Author = std::string(Tok.substr(AuthorKey.size()));
+          Rest = trimLeft(Rest);
+        } else if (Rest.substr(0, ExpectKey.size()) == ExpectKey) {
+          std::string_view Tok = nextToken(Rest);
+          uint64_t Expect = 0;
+          if (!parseDocId(Tok.substr(ExpectKey.size()), Expect)) {
+            Cmd.Error = "expected numeric version after 'expect='";
+            return;
+          }
+          Cmd.Expect = Expect;
+          Rest = trimLeft(Rest);
+        } else {
+          break;
+        }
       }
       if (Rest.empty()) {
         Cmd.Error = "expected s-expression after document id";
@@ -167,7 +181,34 @@ WireCommand service::parseWireCommand(std::string_view Line,
     NeedDocUri(WireCommand::Kind::History, /*UriRequired=*/true);
   else if (Verb == "save")
     NeedDoc(WireCommand::Kind::Save, /*WantsArg=*/false);
-  else if (Verb == "recover" && trimLeft(Rest).empty())
+  else if (Verb == "promote") {
+    // The epoch operand is mandatory: an accidental bare "promote" must
+    // not silently pick an epoch and split the cluster's brain.
+    std::string_view EpochTok = nextToken(Rest);
+    uint64_t Epoch = 0;
+    if (!parseDocId(EpochTok, Epoch) || Epoch == 0)
+      Cmd.Error = "expected positive epoch after 'promote'";
+    else if (!trimLeft(Rest).empty())
+      Cmd.Error = "unexpected trailing input: " + std::string(trimLeft(Rest));
+    else {
+      Cmd.Expect = Epoch;
+      Cmd.K = WireCommand::Kind::Promote;
+    }
+  } else if (Verb == "demote") {
+    // Optional operand: where writes should go now (the new leader's
+    // host:port), echoed back to fenced clients as a redirect hint.
+    Rest = trimLeft(Rest);
+    if (!Rest.empty()) {
+      std::string_view Addr = nextToken(Rest);
+      if (!trimLeft(Rest).empty()) {
+        Cmd.Error =
+            "unexpected trailing input: " + std::string(trimLeft(Rest));
+        return Cmd;
+      }
+      Cmd.Arg = std::string(Addr);
+    }
+    Cmd.K = WireCommand::Kind::Demote;
+  } else if (Verb == "recover" && trimLeft(Rest).empty())
     Cmd.K = WireCommand::Kind::Recover;
   else if (Verb == "stats" && trimLeft(Rest).empty())
     Cmd.K = WireCommand::Kind::Stats;
@@ -203,6 +244,14 @@ std::string service::formatWireResponse(const Response &R) {
       Out += std::string(" code=") + errCodeName(R.Code);
     if (R.RetryAfterMs != 0)
       Out += " retry_after_ms=" + std::to_string(R.RetryAfterMs);
+    // Redirect hint: which replica answers writes now.
+    if (R.Code == ErrCode::NotLeader && !R.LeaderAddr.empty())
+      Out += " leader=" + R.LeaderAddr;
+    // CAS miss: the version the document is actually at, so a retrying
+    // client can tell "my earlier attempt applied" from "someone else
+    // wrote" without a round trip.
+    if (R.Code == ErrCode::CasMismatch)
+      Out += " version=" + std::to_string(R.Version);
     Out += "\n";
   }
   Out += ".\n";
@@ -215,6 +264,8 @@ std::string service::formatWireResponse(const Response &R,
   case WireCommand::Kind::Health:
   case WireCommand::Kind::Stats:
   case WireCommand::Kind::Recover:
+  case WireCommand::Kind::Promote:
+  case WireCommand::Kind::Demote:
   case WireCommand::Kind::Quit:
   case WireCommand::Kind::Invalid: {
     Response Stripped = R;

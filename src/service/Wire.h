@@ -9,7 +9,8 @@
 /// per line:
 ///
 ///   open <doc-id> [author=<name>] <s-expression>    create a document
-///   submit <doc-id> [author=<name>] <s-expression>  diff a new version in
+///   submit <doc-id> [author=<name>] [expect=<v>] <s-expression>
+///                                     diff a new version in
 ///   rollback <doc-id>                 undo the latest version
 ///   get <doc-id>                      current version + tree
 ///   blame <doc-id> [<uri>]            per-node attribution (tree or node)
@@ -18,10 +19,22 @@
 ///   recover                           last recovery's summary as JSON
 ///   stats                             service metrics as JSON
 ///   health                            durability liveness as JSON
+///   promote <epoch>                   replica admin: become the leader
+///   demote [<host:port>]              replica admin: stop accepting writes
 ///   quit                              close the session
 ///
 /// The optional author token attributes the produced version; it feeds
 /// the blame subsystem (src/blame) that the blame/history verbs query.
+/// The optional expect token is a version-CAS guard: the submit only
+/// applies when the document is exactly at that version, failing with
+/// code=cas_mismatch (and the current version) otherwise -- the building
+/// block that makes client retries exactly-once.
+///
+/// promote/demote drive leader failover on replica deployments; servers
+/// without a role seam answer them with an error. A write sent to a
+/// non-leader fails with code=not_leader and, when the replica knows
+/// where the leader is, " leader=<host:port>" plus a retry_after_ms
+/// backoff hint.
 ///
 /// save and recover require the server to run with persistence enabled
 /// (diff_server --data-dir); without it they answer with an error.
@@ -41,7 +54,9 @@
 /// " fallback=1" to the ok line. Failures with a typed error class
 /// append " code=<name>" (errCodeName) to the err line, and a shed or
 /// backpressure-rejected request additionally appends
-/// " retry_after_ms=<hint>". All markers are additive, so clients that
+/// " retry_after_ms=<hint>". code=not_leader errors may carry
+/// " leader=<host:port>", code=cas_mismatch errors carry
+/// " version=<current>". All markers are additive, so clients that
 /// ignore unknown trailing fields keep working. health answers even when the request queue is saturated --
 /// it is served without queueing.
 ///
@@ -81,6 +96,8 @@ struct WireCommand {
     Recover,
     Stats,
     Health,
+    Promote,
+    Demote,
     Quit,
     Invalid,
   };
@@ -91,6 +108,9 @@ struct WireCommand {
   std::string Arg;
   /// open/submit: the author= token, empty when absent.
   std::string Author;
+  /// submit: the expect= version-CAS token. promote: the new epoch.
+  /// demote: unused.
+  std::optional<uint64_t> Expect;
   /// blame/history: the queried node URI (blame: only when HasUri).
   URI Uri = NullURI;
   /// blame: a uri operand was present (whole-tree blame otherwise).

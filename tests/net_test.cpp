@@ -18,6 +18,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "client/Client.h"
 #include "net/EventLoop.h"
 #include "net/Frame.h"
 #include "net/NetServer.h"
@@ -26,6 +27,7 @@
 #include "persist/Varint.h"
 #include "service/DiffService.h"
 #include "service/DocumentStore.h"
+#include "service/Wire.h"
 #include "support/Rng.h"
 #include "tree/SExpr.h"
 
@@ -438,6 +440,53 @@ TEST(NetServerTextual, SixtyFourConcurrentConnections) {
     EXPECT_EQ(S.Version, 1u);
     EXPECT_EQ(S.Text, "(Add (b) (a))");
   }
+}
+
+TEST(NetServerTextual, ResilientClientRoundTripAndCas) {
+  ServerHarness H;
+  ASSERT_TRUE(H.Started);
+
+  client::ResilientClient::Config CC;
+  CC.Endpoints = {"127.0.0.1:" + std::to_string(H.port())};
+  client::ResilientClient RC(CC);
+
+  // Against a healthy server every request lands on the first attempt.
+  client::ResilientClient::Result R = RC.open(1, "(Add (a) (b))", "ada");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Attempts, 1u);
+  for (unsigned I = 0; I != 3; ++I) {
+    R = RC.submit(1, I % 2 == 0 ? "(Add (b) (a))" : "(Add (a) (b))");
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Version, I + 1);
+    EXPECT_EQ(R.Attempts, 1u);
+    EXPECT_FALSE(R.Deduped);
+  }
+  R = RC.get(1);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Version, 3u);
+  EXPECT_NE(R.Payload.find("(Add (b) (a))"), std::string::npos);
+  EXPECT_TRUE(RC.stats().Ok);
+  EXPECT_TRUE(RC.health().Ok);
+
+  // The CAS guard that makes retries exactly-once also fences a second
+  // writer. Two out-of-band bumps, so the mismatch cannot be mistaken
+  // for the client's own retried write (that ambiguity only exists at
+  // version == expect+1, the dedup case).
+  ASSERT_TRUE(H.Svc->submit(1, service::makeSExprBuilder("(Mul (a) (Num 7))"))
+                  .Ok);
+  ASSERT_TRUE(H.Svc->submit(1, service::makeSExprBuilder("(Mul (a) (Num 8))"))
+                  .Ok);
+  R = RC.submit(1, "(Add (b) (a))");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, "cas_mismatch");
+  EXPECT_FALSE(R.Deduped);
+
+  // forgetVersion resyncs through a get and writing resumes.
+  RC.forgetVersion(1);
+  R = RC.submit(1, "(Add (b) (a))");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Version, 6u);
+  EXPECT_EQ(RC.clientStats().CasDedups, 0u);
 }
 
 //===----------------------------------------------------------------------===//
