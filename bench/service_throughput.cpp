@@ -31,21 +31,31 @@
 /// tenant is fully served with bounded p99 latency, and every shed or
 /// backpressure response carries a per-document retry_after_ms hint.
 ///
-/// A final failover phase kills the leader mid-load over real sockets,
+/// A failover phase kills the leader mid-load over real sockets,
 /// promotes its follower, and reports time-to-first-successful-write
 /// and the read-goodput dip while a resilient client rides through the
 /// takeover; the gate is convergence (durable prefix preserved,
 /// byte-identical replication from the new leader), not wall-clock.
+///
+/// A final integrity phase measures the background scrubber's serving
+/// cost: the same closed-loop workload with the scrubber off and on,
+/// gated at a 5% goodput penalty and zero findings on the clean run,
+/// plus time-to-detect and time-to-repair for an injected in-memory
+/// corruption (restored to byte identity from snapshot+WAL).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
 #include "client/Client.h"
+#include "integrity/Scrubber.h"
 #include "json/Json.h"
 #include "net/NetServer.h"
 #include "net/Role.h"
 #include "net/ServiceHandler.h"
+#include "persist/Persistence.h"
+#include "persist/Snapshot.h"
+#include "persist/Wal.h"
 #include "python/Python.h"
 #include "replica/Failover.h"
 #include "replica/Follower.h"
@@ -58,7 +68,9 @@
 #include <arpa/inet.h>
 #include <atomic>
 #include <future>
+#include <mutex>
 #include <netinet/in.h>
+#include <stdlib.h>
 #include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
@@ -83,6 +95,31 @@ TreeBuilder pythonBuilder(const std::string *Source) {
     return BuildResult{P.Module, ""};
   };
 }
+
+/// A scratch data directory for the integrity phase, removed with its
+/// wal/snap contents on destruction (same idiom as bench/persistence).
+class ScratchDir {
+public:
+  ScratchDir() {
+    char Tmpl[] = "./integrity-bench-XXXXXX";
+    const char *P = ::mkdtemp(Tmpl);
+    Dir = P ? P : "";
+  }
+  ~ScratchDir() {
+    if (Dir.empty())
+      return;
+    for (const auto &[Index, Path] : persist::listWalSegments(Dir))
+      ::unlink(Path.c_str());
+    for (const persist::SnapshotFileName &F : persist::listSnapshotFiles(Dir))
+      ::unlink(F.Path.c_str());
+    ::rmdir(Dir.c_str());
+  }
+  bool ok() const { return !Dir.empty(); }
+  const std::string &path() const { return Dir; }
+
+private:
+  std::string Dir;
+};
 
 /// Runs the whole workload against a fresh store+service with \p Workers
 /// workers; returns {nodesDiffed, wallMs}.
@@ -1001,6 +1038,174 @@ int main(int Argc, char **Argv) {
   Report.scalar("failover_cas_resyncs", "writes",
                 static_cast<double>(FailoverResyncs));
   Report.meta("failover_ok", FailoverOk ? "yes" : "no");
+
+  // Phase 7: integrity. The scrubber's value proposition is
+  // "continuous verification at a bounded serving cost", so the same
+  // closed-loop multi-client workload is measured with the background
+  // scrubber off and then on (digest recomputation plus disk CRC walks
+  // against a live persistence instance), interleaved best-of-2 rounds
+  // to cancel machine drift, and the run fails if verification costs
+  // more than 5% goodput. The scrub-on rounds double as the
+  // false-positive gate: a clean workload must scrub to zero findings.
+  // Then one document's digest cache is corrupted in place and the
+  // phase reports how long the running scrubber takes to detect
+  // (quarantine) and repair it back to byte identity from snapshot+WAL.
+  double ScrubOffPerMs = 0, ScrubOnPerMs = 0;
+  double ScrubOffP99 = 0, ScrubOnP99 = 0;
+  double DetectMs = -1, RepairMs = -1;
+  bool ScrubClean = false, ScrubRepaired = false;
+  uint64_t ScrubCycles = 0;
+  {
+    const std::string IntA = MakePy(5000), IntB = MakePy(6000);
+    const unsigned IntClients = 4;
+    const size_t IntDocs = 8; // per-client document striping below
+    ServiceConfig IntCfg;
+    IntCfg.Workers = 4;
+    IntCfg.QueueCapacity = 256;
+
+    ScratchDir Dir;
+    DocumentStore Store(Sig);
+    persist::Persistence::Config PC;
+    PC.Dir = Dir.path();
+    PC.FsyncEvery = 32;
+    PC.SegmentBytes = 256 * 1024; // rotate: closed segments to CRC-walk
+    PC.SnapshotEvery = 0;         // no background pass: the scrubber is
+    PC.BackgroundIntervalMs = 0;  // the only thread touching old files
+    persist::Persistence Persist(Sig, PC);
+    if (Dir.ok())
+      Persist.attach(Store);
+    DiffService Service(Store, IntCfg);
+
+    bool Opened = Dir.ok();
+    for (size_t D = 1; Opened && D <= IntDocs; ++D)
+      Opened = Service.open(static_cast<DocId>(D), pythonBuilder(&IntA)).Ok;
+    for (int I = 0; Opened && I < 40; ++I) // warm parser, EWMA, WAL
+      Service.submit(static_cast<DocId>(1 + (I % IntDocs)),
+                     pythonBuilder(I % 2 != 0 ? &IntB : &IntA));
+
+    // Closed-loop measurement: each client thread round-robins its own
+    // stripe of documents; returns {goodput ops/ms, p99 ms}.
+    auto MeasureLoop = [&](double WindowMs) {
+      std::vector<std::thread> Threads;
+      std::mutex LatMu;
+      std::vector<double> LatMs;
+      std::atomic<uint64_t> OkOps{0};
+      auto T0 = Clock::now();
+      for (unsigned C = 0; C != IntClients; ++C)
+        Threads.emplace_back([&, C] {
+          std::vector<double> Local;
+          for (unsigned I = 0; msSince(T0) < WindowMs; ++I) {
+            DocId Doc = static_cast<DocId>(
+                1 + C + (I % (IntDocs / IntClients)) * IntClients);
+            auto S0 = Clock::now();
+            Response R = Service.submit(
+                Doc, pythonBuilder((I + C) % 2 != 0 ? &IntB : &IntA));
+            Local.push_back(msSince(S0));
+            if (R.Ok)
+              OkOps.fetch_add(1);
+          }
+          std::lock_guard<std::mutex> Lock(LatMu);
+          LatMs.insert(LatMs.end(), Local.begin(), Local.end());
+        });
+      for (std::thread &T : Threads)
+        T.join();
+      double Wall = msSince(T0);
+      std::sort(LatMs.begin(), LatMs.end());
+      double P99 = LatMs.empty()
+                       ? 0
+                       : LatMs[std::min(LatMs.size() - 1,
+                                        LatMs.size() * 99 / 100)];
+      return std::make_pair(static_cast<double>(OkOps.load()) / Wall, P99);
+    };
+
+    // Scrubber stop() is terminal (one start per instance, like the
+    // service lifecycle), so the off rounds run first and one scrubber
+    // then stays up through the on rounds and the repair experiment.
+    integrity::Scrubber::Config SC;
+    SC.IntervalMs = 10;  // continuously active across the window
+    SC.RatePerSec = 500; // the deployment story: paced, not greedy
+    SC.NumShards = Store.config().NumShards;
+    integrity::Scrubber Scrub(Store, SC, &Persist);
+
+    const double WindowMs = 250;
+    for (int Round = 0; Opened && Round < 2; ++Round) {
+      auto Off = MeasureLoop(WindowMs);
+      if (Off.first > ScrubOffPerMs) {
+        ScrubOffPerMs = Off.first;
+        ScrubOffP99 = Off.second;
+      }
+    }
+    Scrub.start();
+    for (int Round = 0; Opened && Round < 2; ++Round) {
+      auto On = MeasureLoop(WindowMs);
+      if (On.first > ScrubOnPerMs) {
+        ScrubOnPerMs = On.first;
+        ScrubOnP99 = On.second;
+      }
+    }
+
+    // False-positive gate: every cycle above scrubbed healthy state.
+    integrity::Scrubber::Stats Clean = Scrub.stats();
+    ScrubCycles = Clean.Cycles;
+    ScrubClean = Clean.Cycles > 0 && Clean.DigestMismatches == 0 &&
+                 Clean.WalCrcErrors == 0 && Clean.SnapshotErrors == 0 &&
+                 Clean.Quarantined == 0 && Clean.RepairsFailed == 0;
+
+    // Detection and repair: corrupt one live document's digest cache,
+    // then clock the running scrubber. Flush first so durable state
+    // can prove the live version (repair refuses to roll a document
+    // back).
+    DocumentSnapshot Before = Store.snapshot(2);
+    if (Opened && Before.Ok) {
+      Persist.flush();
+      Store.corruptDigestForTest(2);
+      uint64_t BaseMismatches = Clean.DigestMismatches;
+      auto C0 = Clock::now();
+      while (msSince(C0) < 5000) {
+        integrity::Scrubber::Stats Now = Scrub.stats();
+        if (DetectMs < 0 && Now.DigestMismatches > BaseMismatches)
+          DetectMs = msSince(C0);
+        if (DetectMs >= 0 && !Store.quarantineInfo(2)) {
+          RepairMs = msSince(C0);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      Scrub.stop();
+      DocumentSnapshot After = Store.snapshot(2);
+      ScrubRepaired = DetectMs >= 0 && RepairMs >= 0 && After.Ok &&
+                      !After.Quarantined && After.UriText == Before.UriText &&
+                      After.Version == Before.Version &&
+                      !Store.checkDigests(2).has_value();
+    }
+    Service.shutdown();
+  }
+
+  double ScrubPenalty =
+      ScrubOffPerMs == 0 ? 1.0 : 1.0 - ScrubOnPerMs / ScrubOffPerMs;
+  bool ScrubOk = ScrubOffPerMs > 0 && ScrubPenalty <= 0.05 && ScrubClean &&
+                 ScrubRepaired;
+
+  std::printf("\n%-12s %12s %12s %12s %12s\n", "integrity", "ops/ms",
+              "p99 ms", "detect ms", "repair ms");
+  std::printf("%-12s %12.2f %12.2f %12s %12s\n", "scrub-off", ScrubOffPerMs,
+              ScrubOffP99, "-", "-");
+  std::printf("%-12s %12.2f %12.2f %12.1f %12.1f\n", "scrub-on", ScrubOnPerMs,
+              ScrubOnP99, DetectMs, RepairMs);
+  std::printf("# goodput penalty: %.1f%%, cycles: %llu, clean findings: %s, "
+              "repaired byte-identical: %s\n",
+              ScrubPenalty * 100.0,
+              static_cast<unsigned long long>(ScrubCycles),
+              ScrubClean ? "zero" : "NONZERO", ScrubRepaired ? "yes" : "NO");
+
+  Report.scalar("scrub_off_goodput", "ops_per_ms", ScrubOffPerMs);
+  Report.scalar("scrub_on_goodput", "ops_per_ms", ScrubOnPerMs);
+  Report.scalar("scrub_off_p99", "ms", ScrubOffP99);
+  Report.scalar("scrub_on_p99", "ms", ScrubOnP99);
+  Report.scalar("scrub_goodput_penalty", "ratio", ScrubPenalty);
+  Report.scalar("scrub_time_to_detect", "ms", DetectMs);
+  Report.scalar("scrub_time_to_repair", "ms", RepairMs);
+  Report.meta("scrub_ok", ScrubOk ? "yes" : "no");
   Report.write();
 
   std::printf("\n# aggregate nodes/ms %s monotonically (within 10%% noise) "
@@ -1025,8 +1230,12 @@ int main(int Argc, char **Argv) {
     std::printf("# FAIL: after killing the leader mid-load, the promoted "
                 "follower must serve the client's writes and converge "
                 "byte-identically with no durable write lost\n");
+  if (!ScrubOk)
+    std::printf("# FAIL: the background scrubber must cost at most 5%% "
+                "goodput, find nothing on a clean run, and detect+repair "
+                "an injected corruption to byte identity\n");
   return Monotone && CacheOk && PolicyOk && FallbackOk && OverloadOk &&
-                 FailoverOk
+                 FailoverOk && ScrubOk
              ? 0
              : 1;
 }

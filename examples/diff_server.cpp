@@ -88,6 +88,20 @@
 /// [<host:port>]` does the same by hand and records where clients should
 /// be redirected. Demoted ex-leaders rejoin by restarting as followers.
 ///
+/// Integrity flags (src/integrity): a background scrubber continuously
+/// re-verifies the digest cache of every live document, re-reads closed
+/// WAL segments and snapshot files (CRC), and -- when this node leads
+/// replicas -- fans anti-entropy digest summaries out so diverged
+/// followers resync. Corrupt documents are quarantined (writes answer
+/// code=quarantined, gets carry quarantined=1) and repaired from
+/// durable state; corrupt disk files are repaired from the healthy
+/// in-memory state. The `scrub` verb runs one cycle synchronously and
+/// answers with its findings; `stats` gains an "integrity" section.
+///   --scrub-interval-ms=<n>  background scrub cycle period
+///                            (0 = manual only via the scrub verb)
+///   --scrub-rate=<n>         scrub at most n documents/files per
+///                            second (token bucket; 0 = unlimited)
+///
 /// SIGTERM/SIGINT trigger a graceful shutdown: the server stops reading,
 /// drains accepted requests, flushes the WAL, and exits. Exit codes:
 ///   0  clean shutdown, everything acknowledged as durable is on disk
@@ -100,6 +114,7 @@
 
 #include "blame/Provenance.h"
 #include "blame/Render.h"
+#include "integrity/Scrubber.h"
 #include "json/Json.h"
 #include "net/Role.h"
 #include "net/ServiceHandler.h"
@@ -145,6 +160,17 @@ std::string recoveryJson(const persist::RecoveryResult &R) {
          ",\"max_seq\":" + N(R.MaxSeq) + "}";
 }
 
+std::string scrubCycleJson(const integrity::Scrubber::CycleReport &C) {
+  auto N = [](uint64_t V) { return std::to_string(V); };
+  return "{\"docs_scrubbed\":" + N(C.DocsScrubbed) +
+         ",\"digest_mismatches\":" + N(C.DigestMismatches) +
+         ",\"wal_crc_errors\":" + N(C.WalCrcErrors) +
+         ",\"snapshot_errors\":" + N(C.SnapshotErrors) +
+         ",\"newly_quarantined\":" + N(C.NewlyQuarantined) +
+         ",\"repaired\":" + N(C.Repaired) +
+         ",\"summaries_sent\":" + N(C.SummariesSent) + "}";
+}
+
 volatile std::sig_atomic_t GotSignal = 0;
 
 extern "C" void onShutdownSignal(int Sig) { GotSignal = Sig; }
@@ -186,6 +212,8 @@ int main(int Argc, char **Argv) {
   uint64_t IdleTimeoutMs = 60000;
   DigestPolicy Digest = DigestPolicy::Sha256;
   uint64_t Step1Workers = 0;
+  uint64_t ScrubIntervalMs = 0;
+  uint64_t ScrubRate = 0;
   // Parses the numeric tail of --flag=<n>. Garbage, trailing junk, and
   // out-of-range values set BadArgs (-> usage + exit 2) instead of
   // silently becoming 0 the way atoll would.
@@ -245,6 +273,10 @@ int main(int Argc, char **Argv) {
         BadArgs = true;
     } else if (Arg.rfind("--step1-workers=", 0) == 0)
       Step1Workers = NumArg(Arg, "--step1-workers=");
+    else if (Arg.rfind("--scrub-interval-ms=", 0) == 0)
+      ScrubIntervalMs = NumArg(Arg, "--scrub-interval-ms=");
+    else if (Arg.rfind("--scrub-rate=", 0) == 0)
+      ScrubRate = NumArg(Arg, "--scrub-rate=");
     else if (Lang.empty() && !Arg.empty() && Arg[0] != '-')
       Lang = std::string(Arg);
     else if (!Arg.empty() && Arg[0] != '-')
@@ -268,7 +300,8 @@ int main(int Argc, char **Argv) {
                  "[--shed-target-ms=<n>] [--degraded-ok] [--listen=<port>] "
                  "[--repl-listen=<port>] [--follow=<host:port>] "
                  "[--epoch=<n>] [--idle-timeout-ms=<n>] "
-                 "[--digest=sha256|fast] [--step1-workers=<n>]\n",
+                 "[--digest=sha256|fast] [--step1-workers=<n>] "
+                 "[--scrub-interval-ms=<n>] [--scrub-rate=<n>]\n",
                  Argv[0]);
     return 2;
   }
@@ -482,6 +515,9 @@ int main(int Argc, char **Argv) {
   std::unique_ptr<replica::Leader> Lead;
   std::unique_ptr<net::ServiceHandler> Handler;
   std::unique_ptr<net::NetServer> Srv;
+  // Declared after everything it scrubs (store, persistence, leader), so
+  // it is destroyed -- and its background thread joined -- first.
+  std::unique_ptr<integrity::Scrubber> Scrub;
 
   // Subscribe the index to the live script stream (recovery above used
   // the WAL instead; restore() emits nothing, so nothing double-folds),
@@ -492,12 +528,17 @@ int main(int Argc, char **Argv) {
     // Lead is fixed before the loop starts serving; no race with stats.
     return Lead ? ",\"replica\":" + Lead->replicaJson() : std::string();
   };
+  auto IntegrityFragment = [&Scrub]() -> std::string {
+    // Scrub, like Lead, is fixed before traffic starts.
+    return Scrub ? "," + Scrub->statsJsonFragment() : std::string();
+  };
   if (Persist) {
     persist::Persistence *P = Persist.get();
     Service.setDrainHook([P] { P->flush(); });
-    Service.setStatsAugmenter([P, &Prov, ReplicaFragment] {
+    Service.setStatsAugmenter([P, &Prov, ReplicaFragment, IntegrityFragment] {
       return "\"persist\":" + P->statsJson() + "," +
-             Prov.statsJsonFragment() + ReplicaFragment();
+             Prov.statsJsonFragment() + ReplicaFragment() +
+             IntegrityFragment();
     });
     Service.setHealthSource([P] {
       persist::Persistence::HealthInfo H = P->healthInfo();
@@ -508,8 +549,9 @@ int main(int Argc, char **Argv) {
       return S;
     });
   } else {
-    Service.setStatsAugmenter([&Prov, ReplicaFragment] {
-      return Prov.statsJsonFragment() + ReplicaFragment();
+    Service.setStatsAugmenter([&Prov, ReplicaFragment, IntegrityFragment] {
+      return Prov.statsJsonFragment() + ReplicaFragment() +
+             IntegrityFragment();
     });
   }
 
@@ -539,6 +581,30 @@ int main(int Argc, char **Argv) {
       return 1;
     }
   }
+
+  // The integrity scrubber: always constructed (the scrub verb works
+  // even without a background interval), wired to whatever subsystems
+  // exist -- persistence for disk verification and repair, the
+  // replication leader for anti-entropy fan-out.
+  {
+    integrity::Scrubber::Config IC;
+    IC.IntervalMs = static_cast<unsigned>(ScrubIntervalMs);
+    IC.RatePerSec = static_cast<double>(ScrubRate);
+    IC.NumShards = Store.config().NumShards;
+    if (Lead) {
+      replica::Leader *LeadPtr = Lead.get();
+      replica::ReplicationLog *LogPtr = Log.get();
+      IC.Broadcast = [LeadPtr](const replica::ShardSummaryMsg &M) {
+        LeadPtr->broadcastSummary(M);
+      };
+      IC.CurrentSeq = [LogPtr] { return LogPtr->currentSeq(); };
+      IC.ResyncsServed = [LeadPtr] { return LeadPtr->stats().ResyncsServed; };
+    }
+    Scrub = std::make_unique<integrity::Scrubber>(Store, std::move(IC),
+                                                  Persist.get());
+    Scrub->start();
+  }
+
   if (Listen) {
     net::ServiceHandler::Config HC;
     HC.Limits = Limits;
@@ -580,6 +646,13 @@ int main(int Argc, char **Argv) {
         return R;
       };
     }
+    integrity::Scrubber *SPtr = Scrub.get();
+    HC.OnScrub = [SPtr] {
+      Response R;
+      R.Ok = true;
+      R.Payload = scrubCycleJson(SPtr->scrubCycle());
+      return R;
+    };
     Handler = std::make_unique<net::ServiceHandler>(Service, HC);
     net::NetServer::Config SC;
     SC.Port = static_cast<uint16_t>(ListenPort);
@@ -602,8 +675,8 @@ int main(int Argc, char **Argv) {
     DigestNote += ", " + std::to_string(Step1Workers) + " step-1 workers";
   std::fprintf(stderr,
                "diff_server: %s signature, %u workers%s%s%s; commands: open, "
-               "submit, rollback, get, blame, history, save, recover, stats, "
-               "health, promote, demote, quit\n",
+               "submit, rollback, get, blame, history, save, scrub, recover, "
+               "stats, health, promote, demote, quit\n",
                Lang.c_str(), Service.workers(), Persist ? ", durable" : "",
                DigestNote.c_str(), DeadlineNote.c_str());
   if (Srv)
@@ -621,6 +694,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "diff_server: caught signal %d, draining and flushing\n",
                  static_cast<int>(GotSignal));
+    Scrub->stop(); // before the loop: broadcastSummary posts to it
     Loop->stop();
     Service.shutdown();
     if (Persist && Persist->degraded()) {
@@ -682,6 +756,10 @@ int main(int Argc, char **Argv) {
         R.Error = "no such document";
       }
       break;
+    case WireCommand::Kind::Scrub:
+      R.Ok = true;
+      R.Payload = scrubCycleJson(Scrub->scrubCycle());
+      break;
     case WireCommand::Kind::Recover:
       if (!Persist) {
         R.Error = "persistence is disabled (run with --data-dir=<dir>)";
@@ -733,6 +811,7 @@ int main(int Argc, char **Argv) {
   // Graceful shutdown on every exit path (quit verb, EOF, SIGTERM/
   // SIGINT): stop accepting, drain accepted requests, then the drain
   // hook flushes the WAL so acknowledged-durable operations are on disk.
+  Scrub->stop(); // before the loop: broadcastSummary posts to it
   if (Loop)
     Loop->stop(); // REPL mode can still carry a replication leader
   Service.shutdown();

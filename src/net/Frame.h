@@ -89,6 +89,7 @@ enum class ReplFrame : uint8_t {
   CatchupDone = 5,   ///< varint seq: initial dump complete up to seq
   ResyncReq = 6,     ///< varint doc-id: follower requests a fresh snapshot
   Ack = 7,           ///< varint seq: follower durably applied up to seq
+  ShardSummary = 8,  ///< anti-entropy digest summary for one store shard
 };
 
 struct FrameHeader {

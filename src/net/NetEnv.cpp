@@ -92,6 +92,19 @@ ssize_t FaultyNetEnv::sendBytes(int Fd, const char *Data, size_t Len) {
     return -1;
   }
 
+  // In-flight mutation: one bit of this send flips before the bytes hit
+  // the socket. Applied on a copy -- the caller's buffer is const and the
+  // caller believes the original bytes were sent, exactly like a checksum
+  // escape on the wire.
+  std::string Mutated;
+  if (Cfg.CorruptProb > 0 && unitDraw(S.Rng) < Cfg.CorruptProb) {
+    Mutated.assign(Data, Len);
+    size_t Byte = S.Rng() % Len;
+    Mutated[Byte] = static_cast<char>(Mutated[Byte] ^ (1u << (S.Rng() % 8)));
+    Data = Mutated.data();
+    ++Counters.CorruptedSends;
+  }
+
   bool Held = AllPartitioned || S.Partitioned;
   bool Delayed = !Held && Cfg.DelayProb > 0 && unitDraw(S.Rng) < Cfg.DelayProb;
   // Anything already queued must drain first or bytes would reorder.

@@ -19,13 +19,19 @@
 ///                    (per-fd or whole-env; one-way partitions fall out
 ///                    of giving each endpoint's loop its own env),
 ///   kills            the connection errors after a byte budget, exactly
-///                    like a peer reset mid-stream.
+///                    like a peer reset mid-stream,
+///   corruption       a send's bytes reach the peer with one seeded bit
+///                    flipped -- the rare mutation TCP's 16-bit checksum
+///                    fails to catch (or a buggy middlebox introduces).
 ///
-/// Every fault is injected on the send side: bytes are delayed or
-/// withheld, never reordered or corrupted, because TCP does not corrupt
-/// or reorder either -- it delivers a prefix. A killed or closed
-/// connection drops whatever the env still held for it, which is the
-/// prefix-loss a real crash produces.
+/// Every fault is injected on the send side: bytes are delayed,
+/// withheld, or (only when CorruptProb asks for it) mutated, never
+/// reordered -- TCP delivers a prefix. A killed or closed connection
+/// drops whatever the env still held for it, which is the prefix-loss a
+/// real crash produces. A corrupted send is *silent* at this layer: the
+/// peer's framing either rejects the frame (loud, connection dies) or
+/// decodes plausible-but-wrong data -- the divergence the anti-entropy
+/// exchange exists to detect.
 ///
 /// Threading: sendBytes/recvBytes/onOpen/onClose/tick run on the owning
 /// loop thread; the fault dials (setPartitioned, ...) may be flipped
@@ -87,6 +93,9 @@ public:
     /// connection dies after a uniform byte budget in [1, KillAfterMax].
     double KillProb = 0;
     size_t KillAfterMax = 4096;
+    /// Probability one send call's bytes arrive with a single seeded bit
+    /// flipped (silent in-flight mutation; see file comment).
+    double CorruptProb = 0;
   };
 
   FaultyNetEnv() = default;
@@ -114,6 +123,7 @@ public:
     uint64_t DelayedSends = 0;
     uint64_t HeldSends = 0; ///< sends absorbed while partitioned
     uint64_t Kills = 0;
+    uint64_t CorruptedSends = 0; ///< sends with a bit flipped in flight
   };
   Stats stats() const;
 

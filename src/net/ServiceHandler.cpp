@@ -123,6 +123,10 @@ void ServiceHandler::handle(NetRequest Req,
     Done(Cfg.OnSave ? Cfg.OnSave(Cmd.Doc)
                     : errorResponse("persistence is disabled"));
     return;
+  case WireCommand::Kind::Scrub:
+    Done(Cfg.OnScrub ? Cfg.OnScrub()
+                     : errorResponse("integrity scrubbing is disabled"));
+    return;
   case WireCommand::Kind::Recover:
     Done(Cfg.OnRecover ? Cfg.OnRecover()
                        : errorResponse("persistence is disabled"));

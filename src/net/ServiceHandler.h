@@ -43,6 +43,11 @@ public:
     std::function<service::Response(service::DocId)> OnSave;
     /// recover: last recovery summary. Unset = error, as above.
     std::function<service::Response()> OnRecover;
+    /// scrub: run one synchronous integrity scrub cycle, answering with
+    /// its findings as JSON. Unset = "integrity scrubbing is disabled"
+    /// error. Blocks for the cycle (rate-limited by the scrubber's
+    /// token bucket), so wire it through a connection-independent path.
+    std::function<service::Response()> OnScrub;
     /// Role gate: when set, writes (open/submit/rollback/save) are only
     /// admitted while the role is Leader; otherwise they answer
     /// ErrCode::NotLeader carrying the view's leader address and

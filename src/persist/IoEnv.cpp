@@ -7,6 +7,7 @@
 #include "persist/IoEnv.h"
 
 #include <cerrno>
+#include <cstdio>
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -35,6 +36,22 @@ int IoEnv::unlinkFile(const char *Path) { return ::unlink(Path); }
 
 int IoEnv::makeDir(const char *Path, mode_t Mode) {
   return ::mkdir(Path, Mode);
+}
+
+int IoEnv::readFile(const char *Path, std::string &Out) {
+  Out.clear();
+  std::FILE *F = std::fopen(Path, "rb");
+  if (F == nullptr)
+    return -1;
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  int Rc = std::ferror(F) ? -1 : 0;
+  int SavedErrno = errno;
+  std::fclose(F);
+  errno = SavedErrno;
+  return Rc;
 }
 
 IoEnv &persist::realIoEnv() {
@@ -167,6 +184,27 @@ int FaultyIoEnv::makeDir(const char *Path, mode_t Mode) {
   return Base.makeDir(Path, Mode);
 }
 
+int FaultyIoEnv::readFile(const char *Path, std::string &Out) {
+  uint64_t Op;
+  bool Flip = roll(Plan.ReadFlipPermille, Op);
+  maybeSleep(Plan.MaxLatencyUs, Op);
+  int Rc = Base.readFile(Path, Out);
+  if (Rc != 0)
+    return Rc;
+  // Silent corruption: the read *succeeds* -- no errno, no short count --
+  // but one deterministic bit of the payload is wrong. Only checksums or
+  // digest re-verification can tell. Plan.ReadFlipPermille gates it so a
+  // dead disk (roll forces true) does not start flipping bits when the
+  // plan never asked for read corruption.
+  if (Flip && Plan.ReadFlipPermille != 0 && !Out.empty()) {
+    size_t Byte = static_cast<size_t>((Op * 2654435761u) % Out.size());
+    Out[Byte] = static_cast<char>(Out[Byte] ^ (1u << (Op % 8)));
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++Stats.ReadsCorrupted;
+  }
+  return 0;
+}
+
 void FaultyIoEnv::heal() {
   std::lock_guard<std::mutex> Lock(Mu);
   Healed = true;
@@ -178,7 +216,7 @@ bool FaultyIoEnv::healed() const {
     return true;
   return Plan.WriteErrorPermille == 0 && Plan.FsyncErrorPermille == 0 &&
          Plan.OpenErrorPermille == 0 && Plan.RenameErrorPermille == 0 &&
-         Plan.DieAfterOps == 0;
+         Plan.DieAfterOps == 0 && Plan.ReadFlipPermille == 0;
 }
 
 FaultyIoEnv::Counters FaultyIoEnv::counters() const {

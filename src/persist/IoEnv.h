@@ -14,9 +14,12 @@
 ///
 /// All methods follow POSIX conventions: they return the syscall's
 /// result and report failure as -1 with errno set, never by throwing.
-/// The read side (recovery, compaction scans) stays on real I/O: faults
-/// there are modelled by corrupting files, which persist_test already
-/// covers byte by byte.
+/// The read side exposes a single whole-file seam (readFile) used by
+/// recovery and the integrity scrubber's disk pass; FaultyIoEnv can
+/// silently flip bits in the returned bytes -- the media-decay fault
+/// model the scrubber exists to catch. Structured read faults (torn
+/// frames) are still modelled by corrupting files on disk, which
+/// persist_test covers byte by byte.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +30,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <string>
 
 #include <sys/types.h>
 
@@ -61,6 +65,12 @@ public:
 
   /// ::mkdir.
   virtual int makeDir(const char *Path, mode_t Mode);
+
+  /// Reads the whole file at \p Path into \p Out. Returns 0 on success,
+  /// -1 with errno set otherwise. The read seam of recovery and the
+  /// integrity scrubber: a faulty environment may return success with
+  /// silently corrupted bytes, exactly like decaying media.
+  virtual int readFile(const char *Path, std::string &Out);
 };
 
 /// The shared pass-through environment; what a null IoEnv* means.
@@ -96,6 +106,11 @@ public:
     /// After this many faultable calls the disk "dies": every subsequent
     /// write/fsync/open/rename fails until heal(). 0 disables.
     uint64_t DieAfterOps = 0;
+    /// Probability (permille) that a readFile succeeds but one seeded
+    /// bit of the returned bytes is flipped -- silent read-path
+    /// corruption past every syscall error check. The CRC/digest
+    /// verification of the scrubber is what must catch it.
+    unsigned ReadFlipPermille = 0;
   };
 
   struct Counters {
@@ -106,6 +121,8 @@ public:
     uint64_t FsyncsFailed = 0;
     uint64_t OpensFailed = 0;
     uint64_t RenamesFailed = 0;
+    /// readFile calls whose returned bytes were silently bit-flipped.
+    uint64_t ReadsCorrupted = 0;
   };
 
   explicit FaultyIoEnv(FaultPlan P, IoEnv &Base = realIoEnv());
@@ -117,6 +134,7 @@ public:
   int renameFile(const char *From, const char *To) override;
   int unlinkFile(const char *Path) override;
   int makeDir(const char *Path, mode_t Mode) override;
+  int readFile(const char *Path, std::string &Out) override;
 
   /// Stops all fault injection (the "faults cease" phase of a chaos
   /// schedule); subsequent calls pass straight through.

@@ -132,20 +132,14 @@ std::string persist::writeSnapshotFile(const std::string &Dir,
   return Final;
 }
 
-ReadSnapshotResult persist::readSnapshotFile(const std::string &Path) {
+ReadSnapshotResult persist::readSnapshotFile(const std::string &Path,
+                                             IoEnv *Env) {
   ReadSnapshotResult Result;
   std::string Bytes;
-  {
-    std::FILE *F = std::fopen(Path.c_str(), "rb");
-    if (F == nullptr) {
-      Result.Error = "cannot open " + Path;
-      return Result;
-    }
-    char Buf[1 << 16];
-    size_t N;
-    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) != 0)
-      Bytes.append(Buf, N);
-    std::fclose(F);
+  IoEnv &E = Env != nullptr ? *Env : realIoEnv();
+  if (E.readFile(Path.c_str(), Bytes) != 0) {
+    Result.Error = "cannot open " + Path;
+    return Result;
   }
 
   if (Bytes.size() < sizeof(FileMagic) + 8 ||

@@ -97,8 +97,11 @@ struct ReadSnapshotResult {
 };
 
 /// Reads and CRC-checks one snapshot file; corrupt or truncated files
-/// yield an error, never a partial snapshot.
-ReadSnapshotResult readSnapshotFile(const std::string &Path);
+/// yield an error, never a partial snapshot. \p Env is the read seam
+/// (null = real I/O); a faulty environment can silently corrupt the
+/// bytes, which the CRC check then reports as a mismatch.
+ReadSnapshotResult readSnapshotFile(const std::string &Path,
+                                    IoEnv *Env = nullptr);
 
 /// Lists snapshot files in \p Dir as (path, doc, seq) parsed from the
 /// file name, unordered. Callers must still trust only the file header.

@@ -302,22 +302,16 @@ std::vector<std::pair<uint64_t, std::string>> persist::listWalSegments(
   return Out;
 }
 
-WalSegment persist::readWalSegment(uint64_t Index, const std::string &Path) {
+WalSegment persist::readWalSegment(uint64_t Index, const std::string &Path,
+                                   IoEnv *Env) {
   WalSegment Seg;
   Seg.Index = Index;
   Seg.Path = Path;
 
   std::string Bytes;
-  {
-    std::FILE *F = std::fopen(Path.c_str(), "rb");
-    if (F == nullptr)
-      return Seg;
-    char Buf[1 << 16];
-    size_t N;
-    while ((N = std::fread(Buf, 1, sizeof(Buf), F)) != 0)
-      Bytes.append(Buf, N);
-    std::fclose(F);
-  }
+  IoEnv &E = Env != nullptr ? *Env : realIoEnv();
+  if (E.readFile(Path.c_str(), Bytes) != 0)
+    return Seg;
 
   if (Bytes.size() < sizeof(SegmentHeader) ||
       std::memcmp(Bytes.data(), SegmentHeader, sizeof(SegmentHeader)) != 0) {

@@ -183,7 +183,11 @@ std::vector<std::pair<uint64_t, std::string>> listWalSegments(
     const std::string &Dir);
 
 /// Reads one segment, stopping cleanly at the first invalid frame.
-WalSegment readWalSegment(uint64_t Index, const std::string &Path);
+/// \p Env is the read seam (null = real I/O); a faulty environment can
+/// silently corrupt the returned bytes, which the CRC walk then
+/// classifies as a torn tail.
+WalSegment readWalSegment(uint64_t Index, const std::string &Path,
+                          IoEnv *Env = nullptr);
 
 } // namespace persist
 } // namespace truediff

@@ -208,6 +208,12 @@ bool Follower::parseOne(Conn &C) {
       onCatchupDone(D);
     break;
   }
+  case ReplFrame::ShardSummary: {
+    ShardSummaryMsg M;
+    if ((Ok = decodeShardSummary(Payload, M)))
+      onShardSummary(C, M);
+    break;
+  }
   default:
     break;
   }
@@ -429,6 +435,44 @@ void Follower::onCatchupDone(const CatchupDoneMsg &D) {
   CatchupSeen = true;
 }
 
+void Follower::onShardSummary(Conn &C, const ShardSummaryMsg &M) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Counters.SummariesReceived;
+  // Comparing states at different points in time would manufacture false
+  // mismatches, so the summary only applies once this follower has
+  // applied everything the summary reflects.
+  if (!CatchupSeen || LastSeq < M.AsOfSeq)
+    return;
+  for (const ShardSummaryMsg::Entry &E : M.Entries) {
+    auto It = Docs.find(E.Doc);
+    if (It == Docs.end()) {
+      // The leader holds a document this caught-up follower lacks: a
+      // lost open no gap check noticed. The resync installs it.
+      ++Counters.SummaryMismatches;
+      requestResync(C, E.Doc);
+      continue;
+    }
+    ReplicaDoc &D = It->second;
+    // A doc that advanced past the summary's cut (or is mid-resync) is
+    // being compared against stale information; skip, the next summary
+    // covers it.
+    if (D.Resyncing || D.DocSeq > M.AsOfSeq)
+      continue;
+    bool Mismatch = D.Version != E.Version;
+    if (!Mismatch) {
+      TreeContext Tmp(Sig);
+      Tree *T = D.T->toTreePreservingUris(Tmp);
+      Mismatch = T == nullptr ||
+                 Sha256::hash(printSExprWithUris(Sig, T)).toHex() !=
+                     E.DigestHex;
+    }
+    if (Mismatch) {
+      ++Counters.SummaryMismatches;
+      requestResync(C, E.Doc);
+    }
+  }
+}
+
 void Follower::requestResync(Conn &C, uint64_t Doc) {
   auto It = Docs.find(Doc);
   if (It != Docs.end()) {
@@ -526,7 +570,7 @@ Follower::Stats Follower::stats() const {
 
 std::string Follower::statsJson() const {
   Stats S = stats();
-  char Buf[512];
+  char Buf[640];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"role\":\"follower\",\"last_seq\":%llu,\"epoch\":%llu,"
@@ -534,7 +578,8 @@ std::string Follower::statsJson() const {
       "\"records_applied\":%llu,\"snapshots_installed\":%llu,"
       "\"resyncs_requested\":%llu,\"gap_rehellos\":%llu,"
       "\"stale_leader_rejects\":%llu,\"orphan_records\":%llu,"
-      "\"dup_records\":%llu}",
+      "\"dup_records\":%llu,\"summaries_received\":%llu,"
+      "\"summary_mismatches\":%llu}",
       static_cast<unsigned long long>(S.LastSeq),
       static_cast<unsigned long long>(S.Epoch),
       static_cast<unsigned long long>(S.MaxEpochSeen),
@@ -545,7 +590,9 @@ std::string Follower::statsJson() const {
       static_cast<unsigned long long>(S.GapRehellos),
       static_cast<unsigned long long>(S.StaleLeaderRejects),
       static_cast<unsigned long long>(S.OrphanRecords),
-      static_cast<unsigned long long>(S.DupRecords));
+      static_cast<unsigned long long>(S.DupRecords),
+      static_cast<unsigned long long>(S.SummariesReceived),
+      static_cast<unsigned long long>(S.SummaryMismatches));
   return Buf;
 }
 
@@ -554,6 +601,41 @@ void Follower::injectGapForTest(uint64_t Doc) {
   auto It = Docs.find(Doc);
   if (It != Docs.end())
     It->second.Version += 1000;
+}
+
+bool Follower::corruptDocForTest(uint64_t Doc) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Docs.find(Doc);
+  if (It == Docs.end() || It->second.T == nullptr)
+    return false;
+  // Kind-preserving mutation of the first literal found: the tree stays
+  // well-formed (rendering, export, and patching all keep working), only
+  // its *content* is silently wrong. Version and seq are untouched.
+  std::deque<MNode *> Work{It->second.T->root()};
+  while (!Work.empty()) {
+    MNode *N = Work.front();
+    Work.pop_front();
+    for (auto &[Link, Lit] : N->Lits) {
+      switch (Lit.kind()) {
+      case LitKind::Int:
+        Lit = Literal(Lit.asInt() + 1);
+        break;
+      case LitKind::Float:
+        Lit = Literal(Lit.asFloat() + 1.0);
+        break;
+      case LitKind::Bool:
+        Lit = Literal(!Lit.asBool());
+        break;
+      case LitKind::String:
+        Lit = Literal(Lit.asString() + "?");
+        break;
+      }
+      return true;
+    }
+    for (auto &[Link, Kid] : N->Kids)
+      Work.push_back(Kid);
+  }
+  return false;
 }
 
 void Follower::prepareForPromotion(uint64_t NewEpoch) {
@@ -660,6 +742,7 @@ void ReplicaReadHandler::handle(net::NetRequest Req,
   case WireCommand::Kind::Submit:
   case WireCommand::Kind::Rollback:
   case WireCommand::Kind::Save:
+  case WireCommand::Kind::Scrub:
   case WireCommand::Kind::Recover:
     R.Error = "read-only follower replica; send writes to the leader";
     R.Code = ErrCode::NotLeader;

@@ -114,6 +114,10 @@ public:
     uint64_t StaleLeaderRejects = 0;
     uint64_t OrphanRecords = 0;
     uint64_t DupRecords = 0;
+    uint64_t SummariesReceived = 0;
+    /// Anti-entropy summary entries whose version or content digest
+    /// disagreed with our applied state (each one triggered a resync).
+    uint64_t SummaryMismatches = 0;
   };
   Stats stats() const;
   std::string statsJson() const;
@@ -121,6 +125,13 @@ public:
   /// Test hook: corrupts \p Doc's applied version so the next record for
   /// it fails the version check and triggers a ResyncReq.
   void injectGapForTest(uint64_t Doc);
+
+  /// Test hook: silently mutates one literal of \p Doc's applied tree
+  /// *without* touching its version or seq -- divergence no gap or
+  /// version check can ever notice, only the anti-entropy digest
+  /// comparison. Returns false if the document is absent or its tree
+  /// holds no literal to mutate.
+  bool corruptDocForTest(uint64_t Doc);
 
   /// First half of a promotion (see replica/Failover.h): drops the
   /// leader link and raises the fencing floor to \p NewEpoch, so no
@@ -204,6 +215,7 @@ private:
   void onLeaderHello(net::Conn &C, const LeaderHello &LH);
   void onRecord(net::Conn &C, const RecordMsg &R);
   void onSnapshot(const DocSnapshotMsg &S);
+  void onShardSummary(net::Conn &C, const ShardSummaryMsg &M);
   void onCatchupDone(const CatchupDoneMsg &D);
   void applyDocRecord(net::Conn &C, const RecordMsg &R);
   void requestResync(net::Conn &C, uint64_t Doc);

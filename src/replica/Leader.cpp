@@ -190,6 +190,24 @@ void Leader::broadcast(const RecordMsg &R) {
   }
 }
 
+void Leader::broadcastSummary(const ShardSummaryMsg &M) {
+  // Encoded once here (any thread), fanned out on the loop thread like
+  // the record broadcast so it interleaves cleanly with live records.
+  std::string Bytes = encodeShardSummary(M);
+  Loop.post([this, Bytes = std::move(Bytes)] {
+    bool Sent = false;
+    for (auto &[Id, C] : Followers) {
+      auto It = States.find(Id);
+      if (It != States.end() && It->second.Live && !C->closing()) {
+        C->send(Bytes);
+        Sent = true;
+      }
+    }
+    if (Sent)
+      SummariesSent.fetch_add(1);
+  });
+}
+
 Leader::Stats Leader::stats() const {
   Stats S;
   S.Followers = NumLive.load();
@@ -197,6 +215,7 @@ Leader::Stats Leader::stats() const {
   S.TailRecords = TailRecords.load();
   S.ResyncsServed = ResyncsServed.load();
   S.FencedHellos = FencedHellos.load();
+  S.SummariesSent = SummariesSent.load();
   return S;
 }
 

@@ -61,12 +61,20 @@ public:
   uint16_t port() const { return BoundPort; }
   uint64_t epoch() const { return Cfg.Epoch; }
 
+  /// Fans an anti-entropy digest summary out to every live follower.
+  /// Safe from any thread (the send is posted to the loop); the
+  /// integrity scrubber calls this once per scrubbed shard. Followers
+  /// that are still catching up simply ignore summaries ahead of their
+  /// applied seq.
+  void broadcastSummary(const ShardSummaryMsg &M);
+
   struct Stats {
     uint64_t Followers = 0;     ///< currently connected, past handshake
     uint64_t SnapshotsSent = 0; ///< catch-up + resync snapshots
     uint64_t TailRecords = 0;   ///< records replayed from the tail ring
     uint64_t ResyncsServed = 0;
     uint64_t FencedHellos = 0;  ///< hellos that reported a higher epoch
+    uint64_t SummariesSent = 0; ///< anti-entropy shard summaries fanned out
   };
   Stats stats() const;
 
@@ -107,6 +115,7 @@ private:
   std::atomic<uint64_t> TailRecords{0};
   std::atomic<uint64_t> ResyncsServed{0};
   std::atomic<uint64_t> FencedHellos{0};
+  std::atomic<uint64_t> SummariesSent{0};
 
   /// Applied watermark per live follower conn id, written on the loop
   /// thread (Ack frames, handshakes, closes), read from stats threads.

@@ -87,6 +87,21 @@ std::string replica::encodeAck(const AckMsg &M) {
   return frame(ReplFrame::Ack, P);
 }
 
+std::string replica::encodeShardSummary(const ShardSummaryMsg &M) {
+  std::string P;
+  putVarint(P, M.Shard);
+  putVarint(P, M.ShardCount);
+  putVarint(P, M.AsOfSeq);
+  putVarint(P, M.Entries.size());
+  for (const ShardSummaryMsg::Entry &E : M.Entries) {
+    putVarint(P, E.Doc);
+    putVarint(P, E.Version);
+    putVarint(P, E.DigestHex.size());
+    P += E.DigestHex;
+  }
+  return frame(ReplFrame::ShardSummary, P);
+}
+
 bool replica::decodeFollowerHello(std::string_view Payload,
                                   FollowerHello &Out) {
   size_t Pos = 0;
@@ -200,4 +215,33 @@ bool replica::decodeAck(std::string_view Payload, AckMsg &Out) {
     return false;
   Out.Seq = *Seq;
   return true;
+}
+
+bool replica::decodeShardSummary(std::string_view Payload,
+                                 ShardSummaryMsg &Out) {
+  size_t Pos = 0;
+  auto Shard = getVarint(Payload, Pos);
+  auto Count = getVarint(Payload, Pos);
+  auto AsOf = getVarint(Payload, Pos);
+  auto N = getVarint(Payload, Pos);
+  if (!Shard || !Count || *Count == 0 || !AsOf || !N)
+    return false;
+  Out.Shard = *Shard;
+  Out.ShardCount = *Count;
+  Out.AsOfSeq = *AsOf;
+  Out.Entries.clear();
+  for (uint64_t I = 0; I != *N; ++I) {
+    ShardSummaryMsg::Entry E;
+    auto Doc = getVarint(Payload, Pos);
+    auto Version = getVarint(Payload, Pos);
+    auto DigestLen = getVarint(Payload, Pos);
+    if (!Doc || !Version || !DigestLen || *DigestLen > Payload.size() - Pos)
+      return false;
+    E.Doc = *Doc;
+    E.Version = *Version;
+    E.DigestHex = std::string(Payload.substr(Pos, *DigestLen));
+    Pos += *DigestLen;
+    Out.Entries.push_back(std::move(E));
+  }
+  return Pos == Payload.size();
 }

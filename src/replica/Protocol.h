@@ -26,6 +26,9 @@
 ///   Ack             seq: the follower applied everything up to here --
 ///                   the leader's durability watermark (per-follower lag
 ///                   in stats, and what failover treats as durable)
+///   ShardSummary    anti-entropy digest summary of one store shard:
+///                   shard, shard-count, as-of-seq, then per document
+///                   (doc, version, SHA-256-of-URI-rendering hex)
 ///
 /// Decoders are total and strict: trailing bytes or truncated varints
 /// fail the decode. A follower treats any undecodable frame from its
@@ -41,6 +44,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace truediff {
 namespace replica {
@@ -119,6 +123,33 @@ struct AckMsg {
   uint64_t Seq = 0;
 };
 
+/// Anti-entropy: the leader's digest summary of one store shard,
+/// broadcast periodically by the integrity scrubber. Each entry names a
+/// document, its version, and the SHA-256 hex digest of its URI
+/// rendering -- the cross-process-stable content identity (never the
+/// seeded Fast128 node digests, which are meaningless outside one
+/// process). A follower compares each entry against its own state up to
+/// AsOfSeq and requests a resync for any mismatch, catching silent
+/// divergence that gap detection cannot (the follower applied
+/// *something* for every seq; it was just wrong).
+struct ShardSummaryMsg {
+  /// Which shard of the document-id space this summarizes (Doc %
+  /// ShardCount == Shard for every entry).
+  uint64_t Shard = 0;
+  uint64_t ShardCount = 1;
+  /// Replication seq the summary was taken at. A follower that has not
+  /// yet applied up to here skips the comparison -- it would be
+  /// comparing different points in time, not detecting corruption.
+  uint64_t AsOfSeq = 0;
+  struct Entry {
+    uint64_t Doc = 0;
+    uint64_t Version = 0;
+    /// SHA-256 hex of the document's URI rendering.
+    std::string DigestHex;
+  };
+  std::vector<Entry> Entries;
+};
+
 /// Each encoder renders a complete wire frame (header included).
 std::string encodeFollowerHello(const FollowerHello &M);
 std::string encodeLeaderHello(const LeaderHello &M);
@@ -127,6 +158,7 @@ std::string encodeDocSnapshot(const DocSnapshotMsg &M);
 std::string encodeCatchupDone(const CatchupDoneMsg &M);
 std::string encodeResyncReq(const ResyncReqMsg &M);
 std::string encodeAck(const AckMsg &M);
+std::string encodeShardSummary(const ShardSummaryMsg &M);
 
 /// Each decoder parses one frame's payload; false on malformed input.
 bool decodeFollowerHello(std::string_view Payload, FollowerHello &Out);
@@ -136,6 +168,7 @@ bool decodeDocSnapshot(std::string_view Payload, DocSnapshotMsg &Out);
 bool decodeCatchupDone(std::string_view Payload, CatchupDoneMsg &Out);
 bool decodeResyncReq(std::string_view Payload, ResyncReqMsg &Out);
 bool decodeAck(std::string_view Payload, AckMsg &Out);
+bool decodeShardSummary(std::string_view Payload, ShardSummaryMsg &Out);
 
 } // namespace replica
 } // namespace truediff

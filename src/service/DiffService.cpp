@@ -542,6 +542,8 @@ Response DiffService::execute(Operation &Op, Clock::time_point Deadline) {
           Out.Version = S.Version;
           Out.TreeSize = S.TreeSize;
           Out.Payload = std::move(S.Text);
+          if (S.Quarantined)
+            Out.IntegrityWarning = std::move(S.QuarantineReason);
           return Out;
         } else if constexpr (std::is_same_v<T, BlameOp>) {
           if (!BlameFn) {
@@ -611,12 +613,13 @@ std::string DiffService::statsJson() const {
       Buf, sizeof(Buf),
       ",\"store\":{\"documents\":%llu,\"versions_retained\":%llu,"
       "\"live_nodes\":%llu,\"nodes_rehashed\":%llu,"
-      "\"digest_cache_saved_nodes\":%llu}}",
+      "\"digest_cache_saved_nodes\":%llu,\"quarantined\":%llu}}",
       static_cast<unsigned long long>(S.NumDocuments),
       static_cast<unsigned long long>(S.VersionsRetained),
       static_cast<unsigned long long>(S.LiveNodes),
       static_cast<unsigned long long>(S.NodesRehashed),
-      static_cast<unsigned long long>(S.NodesDigestCacheSaved));
+      static_cast<unsigned long long>(S.NodesDigestCacheSaved),
+      static_cast<unsigned long long>(S.Quarantined));
   std::string Json = Metrics.toJson(Queue.depth(), Queue.capacity(),
                                     NumWorkers, Queue.activeKeys());
   // Splice the store object into the metrics object.

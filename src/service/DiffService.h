@@ -100,6 +100,11 @@ struct Response {
   /// binary front end can encode it without re-parsing Payload (which is
   /// left empty in that mode).
   EditScript Script;
+  /// get: non-empty when the document is quarantined by an integrity
+  /// check -- the answer is served (a possibly-wrong answer plus an
+  /// explicit warning beats silence) but carries the quarantine reason,
+  /// and the wire layer marks the ok line with quarantined=1.
+  std::string IntegrityWarning;
 };
 
 /// Completion of one request, invoked exactly once from a worker thread

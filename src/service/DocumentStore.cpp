@@ -51,6 +51,8 @@ const char *truediff::service::errCodeName(ErrCode C) {
     return "no_such_node";
   case ErrCode::CasMismatch:
     return "cas_mismatch";
+  case ErrCode::Quarantined:
+    return "quarantined";
   }
   return "unknown";
 }
@@ -141,6 +143,15 @@ StoreResult DocumentStore::submit(DocId Doc, const TreeBuilder &Build,
     return R;
   }
   std::lock_guard<std::mutex> Lock(D->Mu);
+  if (D->Quarantined) {
+    // Rejected before the CAS check and the builder: a quarantined
+    // document accepts no writes at all until repair lifts the flag, so
+    // corruption cannot be compounded by diffing against a corrupt base.
+    R.Error = "document is quarantined: " + D->QuarantineReason;
+    R.Code = ErrCode::Quarantined;
+    R.Version = D->Version;
+    return R;
+  }
   if (Opts.ExpectedVersion && *Opts.ExpectedVersion != D->Version) {
     // Checked before the builder runs: a failed guard must not pay for a
     // parse, and must report where the document actually is so the
@@ -266,6 +277,12 @@ StoreResult DocumentStore::rollback(DocId Doc) {
     return R;
   }
   std::lock_guard<std::mutex> Lock(D->Mu);
+  if (D->Quarantined) {
+    R.Error = "document is quarantined: " + D->QuarantineReason;
+    R.Code = ErrCode::Quarantined;
+    R.Version = D->Version;
+    return R;
+  }
   if (D->History.empty()) {
     // Distinguish "nothing ever to undo" from "the record fell off the
     // bounded ring": rolling back past the ring's oldest retained version
@@ -344,6 +361,8 @@ DocumentSnapshot DocumentStore::snapshot(DocId Doc) const {
   S.TreeSize = D->Current->size();
   S.Text = printSExpr(Sig, D->Current);
   S.UriText = printSExprWithUris(Sig, D->Current);
+  S.Quarantined = D->Quarantined;
+  S.QuarantineReason = D->QuarantineReason;
   return S;
 }
 
@@ -402,6 +421,107 @@ bool DocumentStore::erase(DocId Doc) {
   for (const EraseListener &L : EraseListeners)
     L(Doc);
   return true;
+}
+
+std::vector<DocId> DocumentStore::listDocuments() const {
+  std::vector<DocId> Out;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (const auto &[Id, D] : S.Docs)
+      Out.push_back(Id);
+  }
+  return Out;
+}
+
+bool DocumentStore::quarantine(DocId Doc, std::string Reason) {
+  std::shared_ptr<Document> D = find(Doc);
+  if (!D)
+    return false;
+  std::lock_guard<std::mutex> Lock(D->Mu);
+  if (!D->Quarantined) {
+    D->Quarantined = true;
+    D->QuarantineReason = std::move(Reason);
+  }
+  return true;
+}
+
+bool DocumentStore::corruptDigestForTest(DocId Doc) {
+  std::shared_ptr<Document> D = find(Doc);
+  if (!D)
+    return false;
+  std::lock_guard<std::mutex> Lock(D->Mu);
+  TreeContext::corruptDerivedForTest(D->Current);
+  return true;
+}
+
+bool DocumentStore::clearQuarantine(DocId Doc) {
+  std::shared_ptr<Document> D = find(Doc);
+  if (!D)
+    return false;
+  std::lock_guard<std::mutex> Lock(D->Mu);
+  D->Quarantined = false;
+  D->QuarantineReason.clear();
+  return true;
+}
+
+std::optional<std::string> DocumentStore::quarantineInfo(DocId Doc) const {
+  std::shared_ptr<Document> D = find(Doc);
+  if (!D)
+    return std::nullopt;
+  std::lock_guard<std::mutex> Lock(D->Mu);
+  if (!D->Quarantined)
+    return std::nullopt;
+  return D->QuarantineReason;
+}
+
+StoreResult DocumentStore::repair(DocId Doc, uint64_t Version,
+                                  const TreeBuilder &Build,
+                                  std::vector<RestoreEntry> History,
+                                  std::string OpenAuthor) {
+  StoreResult R;
+  std::shared_ptr<Document> D = find(Doc);
+  if (!D) {
+    R.Error = "no such document";
+    R.Code = ErrCode::NoSuchDocument;
+    return R;
+  }
+  // Build the recovered state into a fresh context first; the corrupt
+  // arena is only released once the replacement exists, so a failed
+  // repair leaves the document exactly as it was (still quarantined).
+  auto FreshCtx = std::make_unique<TreeContext>(Sig, Cfg.Digest);
+  FreshCtx->attachBudget(Cfg.MemBudget);
+  BuildResult B = Build(*FreshCtx);
+  if (B.Root == nullptr) {
+    R.Error = B.Error.empty() ? "builder produced no tree" : B.Error;
+    R.Code = B.Code != ErrCode::None ? B.Code : ErrCode::BuildFailed;
+    return R;
+  }
+  std::deque<VersionRecord> Ring;
+  if (History.size() > Cfg.HistoryCapacity)
+    History.erase(History.begin(),
+                  History.end() - static_cast<ptrdiff_t>(Cfg.HistoryCapacity));
+  for (RestoreEntry &E : History) {
+    VersionRecord Rec;
+    Rec.Version = E.Version;
+    Rec.Inverse = invertScript(E.Script);
+    Rec.Script = std::move(E.Script);
+    Rec.Author = std::move(E.Author);
+    Ring.push_back(std::move(Rec));
+  }
+
+  std::lock_guard<std::mutex> Lock(D->Mu);
+  D->Ctx = std::move(FreshCtx);
+  D->Current = B.Root;
+  D->Version = Version;
+  D->History = std::move(Ring);
+  D->OpenAuthor = std::move(OpenAuthor);
+  D->Quarantined = false;
+  D->QuarantineReason.clear();
+
+  R.Ok = true;
+  R.Version = Version;
+  R.TreeSize = D->Current->size();
+  return R;
 }
 
 bool DocumentStore::withDocument(
@@ -491,6 +611,8 @@ StoreStats DocumentStore::stats() const {
       Out.LiveNodes += D->Current->size();
       Out.NodesRehashed += D->NodesRehashed;
       Out.NodesDigestCacheSaved += D->NodesDigestCacheSaved;
+      if (D->Quarantined)
+        ++Out.Quarantined;
     }
   }
   return Out;

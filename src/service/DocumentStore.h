@@ -92,6 +92,7 @@ enum class ErrCode : uint8_t {
   NotLeader,        ///< write sent to a read-only follower replica
   NoSuchNode,       ///< blame/history query for a URI with no live node
   CasMismatch,      ///< submit's expected version != the current version
+  Quarantined,      ///< document failed an integrity check; writes rejected
 };
 
 /// Short stable name for \p C (for logs and stats).
@@ -190,6 +191,13 @@ struct DocumentSnapshot {
   /// S-expression with URI subscripts; stable across rollback, so tests
   /// can assert exact (URI-level) restoration.
   std::string UriText;
+  /// The document is quarantined: an integrity check found its in-memory
+  /// state corrupt and repair has not (yet) succeeded. The snapshot is
+  /// still returned -- a possibly-wrong answer plus an explicit warning
+  /// beats silence -- but callers must surface the warning.
+  bool Quarantined = false;
+  /// Why the document was quarantined (empty when !Quarantined).
+  std::string QuarantineReason;
 };
 
 /// Aggregate store gauges.
@@ -203,6 +211,8 @@ struct StoreStats {
   /// instead of rehashing: sum over submits of patched-tree size minus
   /// rehashed paths. Zero when digests are not persisted.
   uint64_t NodesDigestCacheSaved = 0;
+  /// Documents currently quarantined by an integrity check.
+  uint64_t Quarantined = 0;
 };
 
 class DocumentStore {
@@ -368,6 +378,44 @@ public:
   /// against the detached document. Returns false if absent.
   bool erase(DocId Doc);
 
+  /// Ids of every live document, in no particular order -- the scrub
+  /// walk's worklist. A snapshot: documents opened or erased afterwards
+  /// are not reflected.
+  std::vector<DocId> listDocuments() const;
+
+  /// Marks \p Doc corrupt: subsequent submits and rollbacks fail with
+  /// ErrCode::Quarantined, snapshots carry an integrity warning, and
+  /// every other document keeps serving untouched (the blast radius is
+  /// exactly one document). Idempotent; the first reason wins. Returns
+  /// false if the document does not exist.
+  bool quarantine(DocId Doc, std::string Reason);
+
+  /// Lifts \p Doc's quarantine (after a successful repair). Returns
+  /// false if the document does not exist.
+  bool clearQuarantine(DocId Doc);
+
+  /// The quarantine reason if \p Doc is quarantined, std::nullopt if it
+  /// is healthy or absent.
+  std::optional<std::string> quarantineInfo(DocId Doc) const;
+
+  /// Test-only fault injection: flips one byte in the cached structure
+  /// hash of \p Doc's root -- the in-memory analogue of FaultyIoEnv's
+  /// read-path bit flips -- so the next checkDigests() reports the root
+  /// stale. Returns false if the document does not exist.
+  bool corruptDigestForTest(DocId Doc);
+
+  /// Repairs \p Doc in place from recovered state: \p Build produces the
+  /// known-good tree (URIs preserved) in a fresh context, \p History the
+  /// forward scripts of the retained ring (oldest first), exactly like
+  /// restore() -- but the document must already exist, its old (corrupt)
+  /// arena is replaced under the document lock, and a successful swap
+  /// clears any quarantine. In-flight readers finish against the old
+  /// state; nothing is emitted to listeners. Fails without touching the
+  /// document if the builder fails or the document is absent.
+  StoreResult repair(DocId Doc, uint64_t Version, const TreeBuilder &Build,
+                     std::vector<RestoreEntry> History,
+                     std::string OpenAuthor = std::string());
+
   StoreStats stats() const;
 
 private:
@@ -391,6 +439,11 @@ private:
     /// Digest-cache accounting across this document's submits.
     uint64_t NodesRehashed = 0;
     uint64_t NodesDigestCacheSaved = 0;
+    /// Set by quarantine(): an integrity check found this document's
+    /// state corrupt. Writes are rejected until repair() or
+    /// clearQuarantine() lifts it; reads carry QuarantineReason.
+    bool Quarantined = false;
+    std::string QuarantineReason;
   };
 
   struct Shard {

@@ -181,6 +181,8 @@ WireCommand service::parseWireCommand(std::string_view Line,
     NeedDocUri(WireCommand::Kind::History, /*UriRequired=*/true);
   else if (Verb == "save")
     NeedDoc(WireCommand::Kind::Save, /*WantsArg=*/false);
+  else if (Verb == "scrub" && trimLeft(Rest).empty())
+    Cmd.K = WireCommand::Kind::Scrub;
   else if (Verb == "promote") {
     // The epoch operand is mandatory: an accidental bare "promote" must
     // not silently pick an epoch and split the cluster's brain.
@@ -233,6 +235,13 @@ std::string service::formatWireResponse(const Response &R) {
                   static_cast<unsigned long long>(R.TreeSize),
                   R.Fallback ? " fallback=1" : "");
     Out += Buf;
+    // Integrity warning: the document is quarantined; the payload is
+    // served anyway but the client must know it may be corrupt. The
+    // marker is additive, like fallback=1.
+    if (!R.IntegrityWarning.empty()) {
+      Out.pop_back(); // '\n'
+      Out += " quarantined=1\n";
+    }
     if (!R.Payload.empty()) {
       Out += R.Payload;
       if (Out.back() != '\n')
@@ -263,6 +272,7 @@ std::string service::formatWireResponse(const Response &R,
   switch (K) {
   case WireCommand::Kind::Health:
   case WireCommand::Kind::Stats:
+  case WireCommand::Kind::Scrub:
   case WireCommand::Kind::Recover:
   case WireCommand::Kind::Promote:
   case WireCommand::Kind::Demote:

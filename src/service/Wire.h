@@ -16,6 +16,7 @@
 ///   blame <doc-id> [<uri>]            per-node attribution (tree or node)
 ///   history <doc-id> <uri>            retained revision chain of one node
 ///   save <doc-id>                     force a durable snapshot now
+///   scrub                             run one integrity scrub cycle now
 ///   recover                           last recovery's summary as JSON
 ///   stats                             service metrics as JSON
 ///   health                            durability liveness as JSON
@@ -38,6 +39,11 @@
 ///
 /// save and recover require the server to run with persistence enabled
 /// (diff_server --data-dir); without it they answer with an error.
+/// scrub runs one synchronous integrity cycle (digest re-verification,
+/// disk CRC re-reads, anti-entropy fan-out) and answers with the
+/// cycle's findings as JSON; it requires the integrity scrubber to be
+/// wired in. A get of a quarantined document still answers, but its ok
+/// line carries " quarantined=1" -- the explicit integrity warning.
 ///
 /// Responses are framed by a terminating "." line:
 ///
@@ -93,6 +99,7 @@ struct WireCommand {
     Blame,
     History,
     Save,
+    Scrub,
     Recover,
     Stats,
     Health,

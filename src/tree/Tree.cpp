@@ -414,6 +414,12 @@ std::optional<std::string> TreeContext::validate(const Tree *T) const {
   return std::nullopt;
 }
 
+void TreeContext::corruptDerivedForTest(Tree *T) {
+  std::array<uint8_t, Digest::NumBytes> B = T->StructHash.bytes();
+  B[0] ^= 0x01;
+  T->StructHash = Digest(B);
+}
+
 bool truediff::treeEqualsModuloUris(const Tree *A, const Tree *B) {
   if (A->tag() != B->tag() || A->arity() != B->arity() ||
       A->numLits() != B->numLits())

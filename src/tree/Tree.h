@@ -355,6 +355,13 @@ public:
   /// this, so the function exists for tests and external input.
   std::optional<std::string> validate(const Tree *T) const;
 
+  /// Test-only fault injection: flips one byte of \p T's cached
+  /// structure hash, simulating a silent in-memory corruption (bit rot,
+  /// stray write) that verification against a from-scratch rebuild must
+  /// catch. Lives on TreeContext because it is the class entrusted with
+  /// the derived-data invariant this deliberately breaks.
+  static void corruptDerivedForTest(Tree *T);
+
   /// Next URI that will be handed out; also used by truediff to allocate
   /// URIs for loaded nodes.
   URI peekNextUri() const { return NextUri; }

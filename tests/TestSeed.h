@@ -15,12 +15,17 @@
 ///   TRUEDIFF_TEST_SEED=123456 ./build/tests/chaos_test
 ///
 /// Use SEED_TRACE(Seed) at the top of the test so any assertion failure
-/// prints the seed that produced it.
+/// prints the seed that produced it. SEED_TRACE also echoes the
+/// per-process digest seed (TRUEDIFF_DIGEST_SEED): with the Fast128
+/// digest policy, hash-table iteration order and digest bytes depend on
+/// it, so replaying a failure faithfully needs both seeds exported.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TRUEDIFF_TESTS_TESTSEED_H
 #define TRUEDIFF_TESTS_TESTSEED_H
+
+#include "support/TreeHash.h"
 
 #include "gtest/gtest.h"
 
@@ -62,9 +67,12 @@ inline uint64_t testIters(const char *EnvVar, uint64_t Default) {
 } // namespace tests
 } // namespace truediff
 
-/// Attaches the seed to every assertion failure in the enclosing scope,
-/// so a red nightly run is reproducible by exporting TRUEDIFF_TEST_SEED.
+/// Attaches both seeds to every assertion failure in the enclosing scope,
+/// so a red nightly run is reproducible by exporting TRUEDIFF_TEST_SEED
+/// and, when digest-sensitive behaviour is involved, TRUEDIFF_DIGEST_SEED.
 #define SEED_TRACE(Seed)                                                       \
-  SCOPED_TRACE("TRUEDIFF_TEST_SEED=" + std::to_string(Seed))
+  SCOPED_TRACE("TRUEDIFF_TEST_SEED=" + std::to_string(Seed) +                  \
+               " TRUEDIFF_DIGEST_SEED=" +                                      \
+               std::to_string(::truediff::processDigestSeed()))
 
 #endif // TRUEDIFF_TESTS_TESTSEED_H

@@ -295,6 +295,63 @@ TEST(OverloadTest, SustainedSojournShedsNewestWithPerDocHints) {
             std::string::npos);
 }
 
+TEST(OverloadTest, ArrivalSheddingRejectsBeforeQueueingAndSparesOtherDocs) {
+  SignatureTable Sig = makeExpSignature();
+  DocumentStore Store(Sig);
+  ServiceConfig Cfg;
+  Cfg.Workers = 1;
+  Cfg.QueueCapacity = 64;
+  Cfg.ShedTargetMs = 5;
+  DiffService Service(Store, Cfg);
+  ASSERT_TRUE(Service.open(1, makeSExprBuilder("(a)")).Ok);
+  ASSERT_TRUE(Service.open(2, makeSExprBuilder("(a)")).Ok);
+
+  // Seed document 1's service-time EWMA well above the target: a gated
+  // submit whose service time is ~40ms.
+  {
+    std::promise<void> GateP;
+    std::shared_future<void> Gate(GateP.get_future());
+    std::future<Response> Slow = Service.submitAsync(1, gatedBuilder(Gate, "b"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    GateP.set_value();
+    ASSERT_TRUE(Slow.get().Ok);
+  }
+
+  // Park the worker on document 2, queue ONE request for document 1
+  // (depth 1 x ~40ms EWMA >> 5ms target), then offer a second: the
+  // second must be rejected at arrival, without ever taking a queue
+  // slot, while document 2 -- no EWMA yet -- is still admitted.
+  std::promise<void> GateP;
+  std::shared_future<void> Gate(GateP.get_future());
+  std::future<Response> Parked = Service.submitAsync(2, gatedBuilder(Gate, "b"));
+  while (Service.queueDepth() != 0)
+    std::this_thread::yield();
+
+  std::future<Response> Backlog = Service.submitAsync(1, makeSExprBuilder("(c)"));
+  std::future<Response> ShedNow = Service.submitAsync(1, makeSExprBuilder("(d)"));
+  Response R = ShedNow.get(); // resolves while the worker is still parked
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Code, ErrCode::Shed) << R.Error;
+  EXPECT_NE(R.Error.find("shed at arrival"), std::string::npos) << R.Error;
+  EXPECT_GE(R.RetryAfterMs, 1u);
+  EXPECT_EQ(Service.metrics().ArrivalShed.load(), 1u);
+  EXPECT_EQ(Service.metrics().Shed.load(), 1u);
+
+  // The cold document is not collateral damage.
+  std::future<Response> Cold = Service.submitAsync(2, makeSExprBuilder("(d)"));
+  GateP.set_value();
+  Response ParkedR = Parked.get();
+  EXPECT_TRUE(ParkedR.Ok) << ParkedR.Error;
+  Response BacklogR = Backlog.get();
+  EXPECT_TRUE(BacklogR.Ok) << BacklogR.Error;
+  Response ColdR = Cold.get();
+  EXPECT_TRUE(ColdR.Ok) << ColdR.Error;
+  // Exactly one document-1 request was refused; the admitted ones landed
+  // (open is version 0, so each doc took two successful submits).
+  EXPECT_EQ(Store.snapshot(1).Version, 2u);
+  EXPECT_EQ(Store.snapshot(2).Version, 2u);
+}
+
 //===----------------------------------------------------------------------===//
 // Parse-time admission caps (hostile-input fuzz)
 //===----------------------------------------------------------------------===//
@@ -593,8 +650,9 @@ TEST(WireHardeningTest, StatsExposeOverloadCounters) {
 
   std::string J = Service.statsJson();
   for (const char *Key :
-       {"\"shed\":", "\"admission_rejected\":", "\"budget_rejected\":",
-        "\"doc_queues\":", "\"mem_used_bytes\":", "\"mem_budget_bytes\":"})
+       {"\"shed\":", "\"shed_at_arrival\":", "\"admission_rejected\":",
+        "\"budget_rejected\":", "\"doc_queues\":", "\"mem_used_bytes\":",
+        "\"mem_budget_bytes\":", "\"quarantined\":"})
     EXPECT_NE(J.find(Key), std::string::npos) << Key << " missing in " << J;
   // The budget gauges mirror live values.
   EXPECT_NE(J.find("\"mem_budget_bytes\":" + std::to_string(32u << 20)),
